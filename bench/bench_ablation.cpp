@@ -1,0 +1,110 @@
+// Experiments ABL-EPOCH and ABL-DELTA: ablations of SC's two design
+// choices.
+//
+//  * speculation window delta_t = c * lambda/mu: the paper's choice is
+//    c = 1 (the ski-rental break-even). The sweep shows cost rising on
+//    both sides of c = 1 on speculation-friendly workloads.
+//  * epoch length N: resetting replicas every N transfers trades wasted
+//    replication against re-fetch cost; N -> inf removes resets.
+#include <cstdio>
+#include <functional>
+
+#include "core/offline_dp.h"
+#include "core/online_sc.h"
+#include "util/stats.h"
+#include "util/table.h"
+#include "workload/generators.h"
+
+using namespace mcdc;
+
+namespace {
+
+constexpr int kInstances = 40;
+
+double mean_ratio(const CostModel& cm, const SpeculativeCachingOptions& opt,
+                  std::uint64_t seed,
+                  const std::function<RequestSequence(Rng&)>& gen) {
+  Rng rng(seed);
+  RunningStats stats;
+  for (int i = 0; i < kInstances; ++i) {
+    const auto seq = gen(rng);
+    const auto sc = run_speculative_caching(seq, cm, opt);
+    const auto best = solve_offline(seq, cm, {.reconstruct_schedule = false});
+    stats.add(sc.total_cost / best.optimal_cost);
+  }
+  return stats.mean();
+}
+
+}  // namespace
+
+int main() {
+  const CostModel cm(1.0, 1.0);
+  const auto mobility = [](Rng& rng) {
+    MobilityConfig cfg;
+    cfg.num_servers = 6;
+    cfg.num_requests = 150;
+    cfg.dwell_rate = 0.2;
+    return gen_markov_mobility(rng, cfg);
+  };
+  const auto zipf = [](Rng& rng) {
+    PoissonZipfConfig cfg;
+    cfg.num_servers = 6;
+    cfg.num_requests = 150;
+    cfg.zipf_alpha = 0.8;
+    return gen_poisson_zipf(rng, cfg);
+  };
+
+  std::puts("== ABL-DELTA: speculation window factor c (delta_t = c*lambda/mu) ==");
+  Table td({"c", "mean SC/OPT (mobility)", "mean SC/OPT (zipf)"});
+  double best_mob = 1e18, best_mob_c = 0.0;
+  for (const double c : {0.125, 0.25, 0.5, 1.0, 2.0, 4.0, 8.0}) {
+    SpeculativeCachingOptions opt;
+    opt.speculation_factor = c;
+    const double rm = mean_ratio(cm, opt, 31, mobility);
+    const double rz = mean_ratio(cm, opt, 32, zipf);
+    if (rm < best_mob) {
+      best_mob = rm;
+      best_mob_c = c;
+    }
+    td.add_row({Table::num(c, 3), Table::num(rm, 3), Table::num(rz, 3)});
+  }
+  std::fputs(td.render().c_str(), stdout);
+  std::printf("best mobility factor: c = %.3f (paper's choice c = 1 is the "
+              "worst-case-optimal ski-rental point)\n\n",
+              best_mob_c);
+
+  std::puts("== ABL-EPOCH: epoch length N (replica reset every N transfers) ==");
+  Table te({"N", "mean SC/OPT (mobility)", "mean SC/OPT (zipf)"});
+  for (const std::size_t N : {std::size_t{1}, std::size_t{2}, std::size_t{5},
+                              std::size_t{10}, std::size_t{25}, std::size_t{100},
+                              static_cast<std::size_t>(-1)}) {
+    SpeculativeCachingOptions opt;
+    opt.epoch_transfers = N;
+    const std::string label = N == static_cast<std::size_t>(-1)
+                                  ? "inf" : std::to_string(N);
+    te.add_row({label, Table::num(mean_ratio(cm, opt, 33, mobility), 3),
+                Table::num(mean_ratio(cm, opt, 34, zipf), 3)});
+  }
+  std::fputs(te.render().c_str(), stdout);
+
+  std::puts("\n== ABL-DELTA x lambda/mu: the window must track the cost ratio ==");
+  Table tr({"lambda/mu", "mean SC/OPT (c=1)", "max SC/OPT (c=1)"});
+  for (const double lam : {0.1, 0.5, 1.0, 2.0, 10.0}) {
+    const CostModel model(1.0, lam);
+    Rng rng(35);
+    RunningStats stats;
+    double worst = 0.0;
+    for (int i = 0; i < kInstances; ++i) {
+      const auto seq = zipf(rng);
+      const auto sc = run_speculative_caching(seq, model);
+      const auto best = solve_offline(seq, model, {.reconstruct_schedule = false});
+      const double r = sc.total_cost / best.optimal_cost;
+      stats.add(r);
+      worst = std::max(worst, r);
+    }
+    tr.add_row({Table::num(lam, 1), Table::num(stats.mean(), 3),
+                Table::num(worst, 3)});
+  }
+  std::fputs(tr.render().c_str(), stdout);
+  return 0;
+}

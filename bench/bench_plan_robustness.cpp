@@ -1,0 +1,99 @@
+// Experiment PLAN: the title's question, quantified — when does *online*
+// beat a stale *off-line* plan?
+//
+// The off-line optimum is computed on a *predicted* trajectory (the actual
+// one perturbed by time jitter and server flips), then executed against
+// reality with emergency repairs (analysis/plan_repair.h). As prediction
+// error grows, the stale plan degrades past the prediction-free online SC
+// — the crossover locates how good a trajectory model must be before
+// off-line planning pays.
+#include <cstdio>
+
+#include "analysis/plan_repair.h"
+#include "core/offline_dp.h"
+#include "core/online_sc.h"
+#include "model/schedule_validator.h"
+#include "util/stats.h"
+#include "util/table.h"
+#include "workload/generators.h"
+
+using namespace mcdc;
+
+namespace {
+constexpr int kInstances = 30;
+
+RequestSequence draw(Rng& rng) {
+  MobilityConfig cfg;
+  cfg.num_servers = 6;
+  cfg.num_requests = 150;
+  cfg.dwell_rate = 0.15;
+  return gen_markov_mobility(rng, cfg);
+}
+}  // namespace
+
+int main() {
+  std::puts("== PLAN: stale off-line plan (with repairs) vs online SC ==");
+  const CostModel cm(1.0, 1.0);
+
+  // Error knob: time jitter scales with the mean inter-arrival gap; server
+  // flips grow alongside.
+  Table t({"jitter (gaps)", "flip prob", "plan ratio to OPT", "repairs/req",
+           "SC ratio", "winner"});
+  double sc_mean = 0.0;
+  {
+    Rng rng(6000);
+    RunningStats sc_ratio;
+    for (int inst = 0; inst < kInstances; ++inst) {
+      const auto actual = draw(rng);
+      const auto opt = solve_offline(actual, cm, {.reconstruct_schedule = false});
+      sc_ratio.add(run_speculative_caching(actual, cm).total_cost /
+                   opt.optimal_cost);
+    }
+    sc_mean = sc_ratio.mean();
+  }
+
+  bool crossover_seen = false;
+  bool all_feasible = true;
+  for (const auto& [jitter_gaps, flip] :
+       std::vector<std::pair<double, double>>{{0.0, 0.0},
+                                              {0.5, 0.02},
+                                              {1.0, 0.05},
+                                              {2.0, 0.10},
+                                              {4.0, 0.25},
+                                              {8.0, 0.50}}) {
+    Rng rng(6000);
+    Rng noise_rng(6100);
+    RunningStats plan_ratio, repairs;
+    for (int inst = 0; inst < kInstances; ++inst) {
+      const auto actual = draw(rng);
+      const double mean_gap = actual.horizon() / actual.n();
+      const auto predicted =
+          perturb_sequence(noise_rng, actual, jitter_gaps * mean_gap, flip);
+      const auto plan = solve_offline(predicted, cm);
+      const auto repaired = repair_schedule(plan.schedule, actual, cm);
+      if (!validate_schedule(repaired.schedule, actual).ok) {
+        all_feasible = false;
+        continue;
+      }
+      const auto opt = solve_offline(actual, cm, {.reconstruct_schedule = false});
+      plan_ratio.add(repaired.cost / opt.optimal_cost);
+      repairs.add(static_cast<double>(repaired.repairs) / actual.n());
+    }
+    const bool online_wins = plan_ratio.mean() > sc_mean;
+    crossover_seen |= online_wins;
+    t.add_row({Table::num(jitter_gaps, 1), Table::num(flip, 2),
+               Table::num(plan_ratio.mean(), 3), Table::num(repairs.mean(), 3),
+               Table::num(sc_mean, 3),
+               online_wins ? "online SC" : "off-line plan"});
+  }
+  std::fputs(t.render().c_str(), stdout);
+  std::printf("\nall repaired plans feasible: %s\n",
+              all_feasible ? "PASS" : "FAIL");
+  std::printf("crossover observed (online overtakes stale plans): %s\n",
+              crossover_seen ? "PASS" : "FAIL");
+  std::puts("reading: with accurate predictions the off-line plan is near-");
+  std::puts("optimal (the paper's premise); as trajectory error grows the");
+  std::puts("repair transfers pile up until the prediction-free online");
+  std::puts("algorithm becomes the better choice.");
+  return all_feasible ? 0 : 1;
+}

@@ -1,0 +1,127 @@
+// Experiment FIG7_9: the online SC algorithm over one epoch (paper Fig. 7),
+// its Double-Transfer transformation (Fig. 8 / Definition 10), and the
+// V-/H-reductions with the Lemma 7/8 bounds (Fig. 9 / Lemmas 5-8).
+#include <cstdio>
+
+#include "core/double_transfer.h"
+#include "core/offline_dp.h"
+#include "core/online_sc.h"
+#include "core/reductions.h"
+#include "model/schedule_validator.h"
+#include "util/rng.h"
+#include "util/table.h"
+
+using namespace mcdc;
+
+int main() {
+  std::puts("== FIG7-9: SC epoch, DT transform, V/H reductions ==");
+
+  // A 4-server stream engineered to produce 5 transfers in the first epoch
+  // (epoch size 5, as in Fig. 7), mu = lambda = 1 (delta_t = 1).
+  const CostModel cm(1.0, 1.0);
+  const RequestSequence seq(4, {{1, 0.4},   // transfer 1 (s1 -> s2)
+                                {1, 0.8},   // hit on s2
+                                {2, 2.2},   // transfer 2 (s2 -> s3)
+                                {3, 3.6},   // transfer 3 (s3 -> s4)
+                                {0, 5.0},   // transfer 4 (s4 -> s1)
+                                {0, 5.5},   // hit on s1
+                                {1, 7.2},   // transfer 5 -> epoch completes
+                                {1, 8.0}}); // next epoch, hit
+  SpeculativeCachingOptions opt;
+  opt.epoch_transfers = 5;
+  const auto sc = run_speculative_caching(seq, cm, opt);
+
+  std::puts("SC run (epoch size 5):");
+  std::printf("  hits=%zu misses=%zu expirations=%zu epochs=%zu\n", sc.hits,
+              sc.misses, sc.expirations, sc.epochs_completed);
+  std::printf("  caching=%.3f transfer=%.3f total=%.3f\n", sc.caching_cost,
+              sc.transfer_cost, sc.total_cost);
+  std::printf("  schedule: %s\n", sc.schedule.to_string().c_str());
+  const auto v = validate_schedule(sc.schedule, seq);
+  std::printf("  feasibility: %s (%zu speculative-tail warnings)\n",
+              v.ok ? "OK" : "INFEASIBLE", v.warnings.size());
+
+  std::puts("\nper-copy lifetimes (speculative tails feed the DT transform):");
+  Table copies({"server", "birth", "death", "last_use", "tail", "via edge"});
+  for (const auto& c : sc.copies) {
+    copies.add_row({"s" + std::to_string(c.server + 1), Table::num(c.birth, 2),
+                    Table::num(c.death, 2), Table::num(c.last_use, 2),
+                    Table::num(c.death - c.last_use, 2),
+                    c.created_by_edge < 0 ? "initial"
+                                          : "#" + std::to_string(c.created_by_edge)});
+  }
+  std::fputs(copies.render().c_str(), stdout);
+
+  const auto dt = dt_transform(sc, cm);
+  std::puts("\nDT transform (Definition 10):");
+  std::printf("  Pi(SC)=%.6f  Pi(DT)=%.6f  identical: %s\n", sc.total_cost,
+              dt.total(), almost_equal(sc.total_cost, dt.total(), 1e-7) ? "YES" : "NO");
+  std::printf("  initial cost=%.3f (<= lambda)  max edge weight=%.3f (<= 2*lambda)\n",
+              dt.initial_cost, dt.max_edge_weight());
+  Table edges({"edge", "from", "to", "at", "weight (lambda + omega)"});
+  for (std::size_t i = 0; i < dt.edges.size(); ++i) {
+    const auto& e = dt.edges[i];
+    edges.add_row({"#" + std::to_string(i), "s" + std::to_string(e.from + 1),
+                   "s" + std::to_string(e.to + 1), Table::num(e.at, 2),
+                   Table::num(e.weight, 3)});
+  }
+  std::fputs(edges.render().c_str(), stdout);
+
+  const auto rep = compute_reductions(seq, cm);
+  const auto best = solve_offline(seq, cm);
+  std::puts("\nreductions (Definitions 11-12) applied to both schedules:");
+  std::printf("  |SR|=%zu  n'=%zu  v-reduction=%.3f  h-reduction=%.3f\n",
+              static_cast<std::size_t>(seq.n()) - rep.n_prime, rep.n_prime,
+              rep.v_amount, rep.h_amount);
+  const double dt_reduced = rep.reduced(sc.total_cost);
+  const double opt_reduced = rep.reduced(best.optimal_cost);
+  std::printf("  Pi(DT')=%.3f  <= 3*n'*lambda=%.3f : %s   (Lemma 7)\n", dt_reduced,
+              3.0 * static_cast<double>(rep.n_prime) * cm.lambda,
+              dt_reduced <= 3.0 * static_cast<double>(rep.n_prime) * cm.lambda + 1e-9
+                  ? "PASS" : "FAIL");
+  std::printf("  Pi(OPT')=%.3f >= n'*lambda=%.3f   : %s   (Lemma 8)\n", opt_reduced,
+              static_cast<double>(rep.n_prime) * cm.lambda,
+              opt_reduced >= static_cast<double>(rep.n_prime) * cm.lambda - 1e-9
+                  ? "PASS" : "FAIL");
+  std::printf("  B' = %.3f = n'*lambda (Lemma 8 equality check)\n", rep.b_prime);
+  std::printf("  Lemma 5 (one spanning cache on long gaps): SC=%zu OPT=%zu (<=1)\n",
+              max_spanning_caches_on_long_gaps(sc.schedule, seq, cm),
+              max_spanning_caches_on_long_gaps(best.schedule, seq, cm));
+  std::printf("  Lemma 6 (SR served by own cache):          SC=%s OPT=%s\n",
+              sr_requests_served_by_cache(sc.schedule, seq, cm) ? "PASS" : "FAIL",
+              sr_requests_served_by_cache(best.schedule, seq, cm) ? "PASS" : "FAIL");
+
+  std::printf("\nratio on this instance: Pi(SC)/Pi(OPT) = %.3f / %.3f = %.3f (bound 3)\n",
+              sc.total_cost, best.optimal_cost, sc.total_cost / best.optimal_cost);
+
+  // Batch check of the lemma-level inequalities on random epochs.
+  std::puts("\nbatch lemma verification (random streams, epoch size 5):");
+  Rng rng(777);
+  int violations = 0;
+  const int kInstances = 300;
+  double worst_ratio = 0.0;
+  for (int k = 0; k < kInstances; ++k) {
+    std::vector<Request> reqs;
+    Time t = 0.0;
+    for (int i = 0; i < 30; ++i) {
+      t += rng.exponential(0.8) + 1e-4;
+      reqs.push_back({static_cast<ServerId>(rng.uniform_int(std::uint64_t(4))), t});
+    }
+    const RequestSequence s(4, std::move(reqs));
+    const auto run = run_speculative_caching(s, cm, opt);
+    const auto o = solve_offline(s, cm, {.reconstruct_schedule = false});
+    const auto r = compute_reductions(s, cm);
+    const auto d = dt_transform(run, cm);
+    const bool ok = almost_equal(run.total_cost, d.total(), 1e-7) &&
+                    d.max_edge_weight() <= 2.0 * cm.lambda + 1e-9 &&
+                    r.reduced(run.total_cost) <=
+                        3.0 * static_cast<double>(r.n_prime) * cm.lambda + 1e-7 &&
+                    run.total_cost <= 3.0 * o.optimal_cost + 1e-7;
+    worst_ratio = std::max(worst_ratio, run.total_cost / o.optimal_cost);
+    if (!ok) ++violations;
+  }
+  std::printf("  %d instances, %d violations, worst SC/OPT ratio %.3f\n",
+              kInstances, violations, worst_ratio);
+  std::printf("\noverall: %s\n", violations == 0 ? "ALL CHECKS PASS" : "FAILURES PRESENT");
+  return violations == 0 ? 0 : 1;
+}

@@ -1,0 +1,230 @@
+// Experiments CLX-OFF and CLX-ON: complexity claims.
+//
+//  * Theorem 2: the off-line DP runs in O(mn) time and space. We time the
+//    fast solver against n (m fixed) and against m (n fixed) and let
+//    google-benchmark fit the complexity exponent.
+//  * "O(m log m) times faster than [4],[6]": measured against the
+//    ordered-map (Veeravalli-style) baseline and the O(n^2) scan DP.
+//  * §V: the online SC algorithm serves each request in O(1) with O(m)
+//    state: total time over a stream is linear in n and flat in m.
+//
+// After the google-benchmark run, a direct wall-clock speedup table is
+// printed (the bench's summary artifact for EXPERIMENTS.md).
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <tuple>
+#include <vector>
+
+#include "baselines/offline_quadratic.h"
+#include "baselines/offline_veeravalli.h"
+#include "core/offline_dp.h"
+#include "core/online_sc.h"
+#include "util/rng.h"
+#include "util/stats.h"
+#include "util/table.h"
+#include "util/timer.h"
+
+using namespace mcdc;
+
+namespace {
+
+RequestSequence make_sequence(int m, int n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Request> reqs;
+  reqs.reserve(static_cast<std::size_t>(n));
+  Time t = 0.0;
+  for (int i = 0; i < n; ++i) {
+    t += rng.exponential(1.0) + 1e-6;
+    reqs.push_back({static_cast<ServerId>(rng.uniform_int(std::uint64_t(m))), t});
+  }
+  return RequestSequence(m, std::move(reqs));
+}
+
+const OfflineDpOptions kNoSchedule{PivotLookup::kAuto, false};
+
+void BM_FastDP_vs_n(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const auto seq = make_sequence(16, n, 42);
+  const CostModel cm(1.0, 1.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(solve_offline(seq, cm, kNoSchedule).optimal_cost);
+  }
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_FastDP_vs_n)->RangeMultiplier(4)->Range(1024, 65536)
+    ->Unit(benchmark::kMillisecond)->Complexity(benchmark::oN);
+
+void BM_FastDP_vs_m(benchmark::State& state) {
+  const int m = static_cast<int>(state.range(0));
+  const auto seq = make_sequence(m, 8192, 43);
+  const CostModel cm(1.0, 1.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(solve_offline(seq, cm, kNoSchedule).optimal_cost);
+  }
+  state.SetComplexityN(m);
+}
+BENCHMARK(BM_FastDP_vs_m)->RangeMultiplier(4)->Range(4, 256)
+    ->Unit(benchmark::kMillisecond)->Complexity(benchmark::oN);
+
+void BM_FastDP_PointerMatrix(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const auto seq = make_sequence(16, n, 44);
+  const CostModel cm(1.0, 1.0);
+  const OfflineDpOptions opt{PivotLookup::kPointerMatrix, false};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(solve_offline(seq, cm, opt).optimal_cost);
+  }
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_FastDP_PointerMatrix)->RangeMultiplier(4)->Range(1024, 65536)
+    ->Unit(benchmark::kMillisecond)->Complexity(benchmark::oN);
+
+void BM_FastDP_BinarySearch(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const auto seq = make_sequence(16, n, 44);
+  const CostModel cm(1.0, 1.0);
+  const OfflineDpOptions opt{PivotLookup::kBinarySearch, false};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(solve_offline(seq, cm, opt).optimal_cost);
+  }
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_FastDP_BinarySearch)->RangeMultiplier(4)->Range(1024, 65536)
+    ->Unit(benchmark::kMillisecond)->Complexity(benchmark::oN);
+
+void BM_QuadraticDP_vs_n(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const auto seq = make_sequence(16, n, 45);
+  const CostModel cm(1.0, 1.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(solve_offline_quadratic(seq, cm).optimal_cost);
+  }
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_QuadraticDP_vs_n)->RangeMultiplier(4)->Range(512, 8192)
+    ->Unit(benchmark::kMillisecond)->Complexity(benchmark::oNSquared);
+
+void BM_VeeravalliDP_vs_n(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const auto seq = make_sequence(16, n, 46);
+  const CostModel cm(1.0, 1.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(solve_offline_veeravalli(seq, cm).optimal_cost);
+  }
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_VeeravalliDP_vs_n)->RangeMultiplier(4)->Range(1024, 32768)
+    ->Unit(benchmark::kMillisecond)->Complexity(benchmark::oNLogN);
+
+void BM_VeeravalliDP_vs_m(benchmark::State& state) {
+  const int m = static_cast<int>(state.range(0));
+  const auto seq = make_sequence(m, 8192, 47);
+  const CostModel cm(1.0, 1.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(solve_offline_veeravalli(seq, cm).optimal_cost);
+  }
+  state.SetComplexityN(m);
+}
+BENCHMARK(BM_VeeravalliDP_vs_m)->RangeMultiplier(4)->Range(4, 256)
+    ->Unit(benchmark::kMillisecond)->Complexity(benchmark::oNLogN);
+
+void BM_OnlineSC_vs_n(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const auto seq = make_sequence(16, n, 48);
+  const CostModel cm(1.0, 1.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(run_speculative_caching(seq, cm).total_cost);
+  }
+  state.SetComplexityN(n);
+  state.counters["ns_per_request"] = benchmark::Counter(
+      static_cast<double>(n), benchmark::Counter::kIsIterationInvariantRate |
+                                  benchmark::Counter::kInvert);
+}
+BENCHMARK(BM_OnlineSC_vs_n)->RangeMultiplier(4)->Range(1024, 262144)
+    ->Unit(benchmark::kMillisecond)->Complexity(benchmark::oN);
+
+void BM_OnlineSC_vs_m(benchmark::State& state) {
+  // O(1) per request: per-request latency must stay flat as m grows.
+  const int m = static_cast<int>(state.range(0));
+  const auto seq = make_sequence(m, 32768, 49);
+  const CostModel cm(1.0, 1.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(run_speculative_caching(seq, cm).total_cost);
+  }
+  state.SetComplexityN(m);
+}
+BENCHMARK(BM_OnlineSC_vs_m)->RangeMultiplier(4)->Range(4, 1024)
+    ->Unit(benchmark::kMillisecond)->Complexity(benchmark::o1);
+
+void print_speedup_summary() {
+  std::puts("\n== CLX-OFF summary: fast O(mn) DP vs baselines (single run each) ==");
+  const CostModel cm(1.0, 1.0);
+  Table t({"m", "n", "fast (ms)", "veeravalli-style (ms)", "quadratic (ms)",
+           "speedup vs veer", "speedup vs quad"});
+  const std::vector<std::tuple<int, int, bool>> configs{
+      {16, 8192, true}, {64, 8192, true}, {256, 8192, false},
+      {16, 65536, false}, {64, 65536, false}};
+  for (const auto& [m, n, run_quad] : configs) {
+    const auto seq = make_sequence(m, n, 1000 + static_cast<std::uint64_t>(m));
+    Timer timer;
+    const auto fast = solve_offline(seq, cm, kNoSchedule).optimal_cost;
+    const double t_fast = timer.millis();
+    timer.reset();
+    const auto veer = solve_offline_veeravalli(seq, cm).optimal_cost;
+    const double t_veer = timer.millis();
+    double t_quad = -1.0;
+    if (run_quad) {
+      timer.reset();
+      const auto quad = solve_offline_quadratic(seq, cm).optimal_cost;
+      t_quad = timer.millis();
+      if (!almost_equal(fast, quad, 1e-6)) std::puts("  WARNING: quad mismatch!");
+    }
+    if (!almost_equal(fast, veer, 1e-6)) std::puts("  WARNING: veer mismatch!");
+    t.add_row({std::to_string(m), std::to_string(n), Table::num(t_fast, 2),
+               Table::num(t_veer, 2), run_quad ? Table::num(t_quad, 2) : "-",
+               Table::num(t_veer / t_fast, 1) + "x",
+               run_quad ? Table::num(t_quad / t_fast, 1) + "x" : "-"});
+  }
+  std::fputs(t.render().c_str(), stdout);
+
+  std::puts("\n== CLX-OFF large scale: fast DP only (auto lookup mode) ==");
+  Table t3({"m", "n", "time (ms)", "us per (request)", "lookup mode"});
+  const std::vector<std::pair<int, int>> big{
+      {16, 524288}, {256, 131072}, {1024, 65536}};
+  for (const auto& [m, n] : big) {
+    const auto seq = make_sequence(m, n, 3000 + static_cast<std::uint64_t>(m));
+    const bool matrix =
+        (static_cast<std::size_t>(n) + 1) * static_cast<std::size_t>(m) <=
+        64ull * 1024 * 1024;
+    Timer timer;
+    benchmark::DoNotOptimize(solve_offline(seq, cm, kNoSchedule).optimal_cost);
+    const double ms = timer.millis();
+    t3.add_row({std::to_string(m), std::to_string(n), Table::num(ms, 1),
+                Table::num(ms * 1000.0 / n, 3),
+                matrix ? "pointer-matrix" : "binary-search"});
+  }
+  std::fputs(t3.render().c_str(), stdout);
+
+  std::puts("\n== CLX-ON summary: SC state size and per-request latency ==");
+  Table t2({"m", "n", "total (ms)", "us/request"});
+  for (const auto& [m, n] : {std::pair{16, 262144}, {256, 262144}, {1024, 262144}}) {
+    const auto seq = make_sequence(m, n, 2000 + static_cast<std::uint64_t>(m));
+    Timer timer;
+    benchmark::DoNotOptimize(run_speculative_caching(seq, cm).total_cost);
+    const double ms = timer.millis();
+    t2.add_row({std::to_string(m), std::to_string(n), Table::num(ms, 2),
+                Table::num(ms * 1000.0 / n, 4)});
+  }
+  std::fputs(t2.render().c_str(), stdout);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  print_speedup_summary();
+  return 0;
+}

@@ -1,0 +1,93 @@
+// Experiment SERVICE: the multi-item data service at scale, plus network
+// fault robustness.
+//
+// (A) Service sweep: off-line planning vs streaming online SC across item
+//     populations and popularity skews; per-item independence keeps the
+//     aggregate ratio within the item-wise factor-3 envelope.
+// (B) Fault injection: transfers fail with probability p and are retried
+//     (billed per attempt); cost degradation should track the geometric
+//     retry multiplier 1/(1-p) on the transfer share only.
+#include <cstdio>
+
+#include "core/offline_dp.h"
+#include "service/data_service.h"
+#include "sim/policies.h"
+#include "sim/policy_runner.h"
+#include "util/stats.h"
+#include "util/table.h"
+#include "workload/generators.h"
+
+using namespace mcdc;
+
+int main() {
+  const CostModel cm(1.0, 1.0);
+
+  std::puts("== SERVICE (A): off-line planning vs online service ==");
+  Table ta({"items", "item skew", "requests", "offline cost", "online cost",
+            "ratio", "online local-serve %"});
+  bool ok = true;
+  for (const auto& [items, skew] :
+       std::vector<std::pair<int, double>>{
+           {10, 0.0}, {10, 1.0}, {50, 0.0}, {50, 1.0}, {200, 1.0}}) {
+    Rng rng(40000 + items + static_cast<int>(10 * skew));
+    MultiItemConfig cfg;
+    cfg.num_servers = 8;
+    cfg.num_items = items;
+    cfg.num_requests = 4000;
+    cfg.item_zipf_alpha = skew;
+    const auto stream = gen_multi_item(rng, cfg);
+
+    const auto offline = plan_offline_service(stream, cfg.num_servers, cm);
+    OnlineDataService service(cfg.num_servers, cm);
+    std::size_t local = 0;
+    for (const auto& r : stream) local += service.request(r.item, r.server, r.time);
+    const auto online = service.finish();
+
+    const double ratio = online.total_cost / offline.total_cost;
+    ok &= ratio <= 3.0 + 1e-6 && ratio >= 1.0 - 1e-6;
+    ta.add_row({std::to_string(items), Table::num(skew, 1),
+                std::to_string(cfg.num_requests),
+                Table::num(offline.total_cost, 0),
+                Table::num(online.total_cost, 0), Table::num(ratio, 3),
+                Table::num(100.0 * static_cast<double>(local) /
+                               static_cast<double>(stream.size()),
+                           1)});
+  }
+  std::fputs(ta.render().c_str(), stdout);
+
+  std::puts("\n== SERVICE (B): transfer-failure robustness of online SC ==");
+  Table tb({"failure prob", "mean cost ratio to OPT", "observed transfer-cost "
+            "multiplier", "expected 1/(1-p)"});
+  for (const double p : {0.0, 0.1, 0.25, 0.5}) {
+    Rng rng(777);
+    Rng frng(778);
+    RunningStats ratio;
+    double base_transfer = 0.0, injected_transfer = 0.0;
+    for (int inst = 0; inst < 25; ++inst) {
+      PoissonZipfConfig cfg;
+      cfg.num_servers = 6;
+      cfg.num_requests = 150;
+      cfg.zipf_alpha = 0.8;
+      const auto seq = gen_poisson_zipf(rng, cfg);
+      ScSimPolicy policy(cm, seq.origin());
+      PolicyRunOptions opts;
+      opts.transfer_failure_prob = p;
+      opts.rng = p > 0 ? &frng : nullptr;
+      const auto res = run_policy(seq, cm, policy, opts);
+      if (!res.feasible) ok = false;
+      const auto opt = solve_offline(seq, cm, {.reconstruct_schedule = false});
+      ratio.add(res.total_cost / opt.optimal_cost);
+      base_transfer += cm.lambda * static_cast<double>(res.transfers);
+      injected_transfer += res.transfer_cost;
+    }
+    tb.add_row({Table::num(p, 2), Table::num(ratio.mean(), 3),
+                Table::num(injected_transfer / base_transfer, 3),
+                Table::num(1.0 / (1.0 - p), 3)});
+  }
+  std::fputs(tb.render().c_str(), stdout);
+  std::puts("\nreading: the service ratio stays within the item-wise factor-3");
+  std::puts("envelope at every scale; under faults the transfer share inflates");
+  std::puts("by the geometric retry factor while caching cost is untouched.");
+  std::printf("\noverall: %s\n", ok ? "ALL CHECKS PASS" : "FAILURES PRESENT");
+  return ok ? 0 : 1;
+}

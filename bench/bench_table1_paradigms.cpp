@@ -1,0 +1,158 @@
+// Experiment TAB1: regenerate the paper's Table I comparison — classic
+// capacity-driven network caching vs. cloud cost-driven data caching — with
+// measured numbers on one shared multi-item workload.
+//
+// Classic side: every server runs a k-slot cache over the item universe
+// (LRU / LFU / FIFO / Belady); a miss fetches the item for lambda. Its
+// monetary footprint under the cloud cost model adds the always-on
+// provisioned capacity: mu * k * m * horizon.
+// Cloud side: each item is an independent instance of the paper's problem;
+// we solve it off-line optimally (the paper's O(mn) algorithm, the
+// analogue of Belady's position in Table I) and online with SC
+// (3-competitive, the analogue of the k-competitive classic bound).
+#include <cstdio>
+#include <map>
+#include <vector>
+
+#include "core/offline_dp.h"
+#include "core/online_sc.h"
+#include "paging/paging.h"
+#include "util/table.h"
+#include "workload/generators.h"
+
+using namespace mcdc;
+
+namespace {
+
+struct ClassicOutcome {
+  double hit_ratio = 0.0;
+  std::size_t faults = 0;
+  Cost fault_cost = 0.0;
+  Cost capacity_cost = 0.0;
+  /// Classic caching presumes a backing store that persistently holds every
+  /// item (misses re-fetch from it). Under the cloud monetary model that
+  /// store costs mu per item-time — the cloud paradigm's "at least one copy
+  /// at all times" plays exactly this role, so a fair monetary comparison
+  /// charges it on both sides.
+  Cost origin_store_cost = 0.0;
+  Cost total() const { return fault_cost + capacity_cost + origin_store_cost; }
+};
+
+ClassicOutcome run_classic(const std::vector<MultiItemRequest>& stream,
+                           int num_servers, std::size_t k, PagingPolicy policy,
+                           const CostModel& cm, Time horizon, Rng& rng) {
+  // Split the stream into per-server item traces; each server's cache is
+  // independent (classic edge caching).
+  std::vector<std::vector<int>> per_server(static_cast<std::size_t>(num_servers));
+  for (const auto& r : stream) {
+    per_server[static_cast<std::size_t>(r.server)].push_back(r.item);
+  }
+  ClassicOutcome out;
+  std::size_t hits = 0, total = 0;
+  for (const auto& trace : per_server) {
+    const auto res = simulate_paging(trace, k, policy, &rng);
+    hits += res.hits;
+    total += trace.size();
+    out.faults += res.faults;
+  }
+  out.hit_ratio = total ? static_cast<double>(hits) / static_cast<double>(total) : 0.0;
+  out.fault_cost = cm.lambda * static_cast<double>(out.faults);
+  out.capacity_cost =
+      cm.mu * static_cast<double>(k) * static_cast<double>(num_servers) * horizon;
+  return out;
+}
+
+Cost origin_store_cost(int num_items, const CostModel& cm, Time horizon) {
+  return cm.mu * static_cast<double>(num_items) * horizon;
+}
+
+}  // namespace
+
+int main() {
+  std::puts("== TAB1: classic capacity caching vs. cloud cost-driven caching ==");
+  const CostModel cm(1.0, 1.0);
+  Rng rng(20170101);
+
+  MultiItemConfig cfg;
+  cfg.num_servers = 6;
+  cfg.num_items = 40;
+  cfg.num_requests = 4000;
+  cfg.arrival_rate = 8.0;
+  const auto stream = gen_multi_item(rng, cfg);
+  const Time horizon = stream.back().time;
+  std::printf("workload: %d items, %d requests over %d servers, horizon %.1f\n\n",
+              cfg.num_items, cfg.num_requests, cfg.num_servers, horizon);
+
+  // ---- Cloud side: per-item optimal and SC. ----
+  const auto per_item = split_by_item(stream, cfg.num_servers, cfg.num_items);
+  Cost opt_total = 0.0, sc_total = 0.0;
+  std::size_t opt_transfers = 0, sc_transfers = 0, sc_hits = 0, cloud_reqs = 0;
+  for (const auto& seq : per_item) {
+    if (seq.n() == 0) continue;
+    cloud_reqs += static_cast<std::size_t>(seq.n());
+    const auto opt = solve_offline(seq, cm);
+    opt_total += opt.optimal_cost;
+    opt_transfers += opt.schedule.transfers().size();
+    const auto sc = run_speculative_caching(seq, cm);
+    sc_total += sc.total_cost;
+    sc_transfers += sc.misses;
+    sc_hits += sc.hits;
+  }
+  const double sc_hit_ratio =
+      static_cast<double>(sc_hits) / static_cast<double>(cloud_reqs);
+
+  // ---- Classic side. ----
+  const Cost store = origin_store_cost(cfg.num_items, cm, horizon);
+  Table t({"paradigm", "policy", "k", "hit ratio", "fetch/transfer",
+           "edge capacity", "origin store", "total monetary cost"});
+  Cost best_classic_total = kInfiniteCost;
+  std::string best_classic;
+  for (const std::size_t k : {std::size_t{2}, std::size_t{4}, std::size_t{8}}) {
+    for (const auto policy : {PagingPolicy::kLru, PagingPolicy::kLfu,
+                              PagingPolicy::kFifo, PagingPolicy::kClock,
+                              PagingPolicy::kBelady}) {
+      auto c = run_classic(stream, cfg.num_servers, k, policy, cm, horizon, rng);
+      c.origin_store_cost = store;
+      if (c.total() < best_classic_total) {
+        best_classic_total = c.total();
+        best_classic = paging_policy_name(policy) + "(k=" + std::to_string(k) + ")";
+      }
+      t.add_row({"classic", paging_policy_name(policy), std::to_string(k),
+                 Table::num(c.hit_ratio, 3), Table::num(c.fault_cost, 0),
+                 Table::num(c.capacity_cost, 0), Table::num(store, 0),
+                 Table::num(c.total(), 0)});
+    }
+  }
+  {
+    // Cloud rows: capacity is dynamic and the mandatory "at least one copy"
+    // persistence is already inside the measured caching cost — no separate
+    // origin store.
+    Cost opt_cache = opt_total - cm.lambda * static_cast<double>(opt_transfers);
+    Cost sc_cache = sc_total - cm.lambda * static_cast<double>(sc_transfers);
+    t.add_row({"cloud", "OPT (O(mn) DP)", "dyn", "-",
+               Table::num(cm.lambda * static_cast<double>(opt_transfers), 0),
+               Table::num(opt_cache, 0), "included", Table::num(opt_total, 0)});
+    t.add_row({"cloud", "SC (3-competitive)", "dyn", Table::num(sc_hit_ratio, 3),
+               Table::num(cm.lambda * static_cast<double>(sc_transfers), 0),
+               Table::num(sc_cache, 0), "included", Table::num(sc_total, 0)});
+  }
+  std::fputs(t.render().c_str(), stdout);
+  std::puts("\nnote: classic caching presumes a backing store persistently");
+  std::puts("holding all items; the cloud model's availability constraint IS");
+  std::puts("that store, so its cost appears on both sides of the comparison.");
+
+  std::puts("\nTable I claims checked:");
+  const bool sc_ok = sc_total <= 3.0 * opt_total + 1e-6;
+  std::printf("  cloud OPT <= cloud SC <= 3 * OPT : %s (SC/OPT = %.3f)\n",
+              sc_ok ? "PASS" : "FAIL", sc_total / opt_total);
+  const bool opt_wins = opt_total < best_classic_total;
+  std::printf("  cloud OPT beats best classic (%s) on monetary cost: %s "
+              "(%.0f vs %.0f)\n",
+              best_classic.c_str(), opt_wins ? "PASS" : "FAIL", opt_total,
+              best_classic_total);
+  const bool sc_wins = sc_total < best_classic_total;
+  std::printf("  cloud SC (online!) beats best classic (off-line incl. Belady): "
+              "%s (%.0f vs %.0f)\n",
+              sc_wins ? "PASS" : "FAIL", sc_total, best_classic_total);
+  return sc_ok && opt_wins ? 0 : 1;
+}

@@ -1,0 +1,90 @@
+// Mobile-trajectory scenario: the paper's motivating workload.
+//
+// A user population moves between edge servers following a Markov mobility
+// model; their requests to a shared item exhibit the spatial-temporal
+// trajectory locality the paper exploits ("93% of human mobility is
+// predictable"). We sweep trajectory predictability (dwell rate) and show
+// how the off-line optimum, online SC, and naive policies respond.
+//
+//   ./mobile_trajectory [--servers=8] [--requests=300] [--users=3]
+//                       [--instances=20] [--seed=7]
+#include <cstdio>
+#include <memory>
+
+#include "core/offline_dp.h"
+#include "core/online_sc.h"
+#include "sim/policies.h"
+#include "sim/policy_runner.h"
+#include "util/cli.h"
+#include "util/stats.h"
+#include "util/table.h"
+#include "workload/generators.h"
+
+using namespace mcdc;
+
+int main(int argc, char** argv) {
+  ArgParser args;
+  args.add_flag("servers", "number of edge servers", "8");
+  args.add_flag("requests", "requests per instance", "300");
+  args.add_flag("users", "concurrent mobile users", "3");
+  args.add_flag("instances", "instances per configuration", "20");
+  args.add_flag("seed", "rng seed", "7");
+  try {
+    args.parse(argc, argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s\n%s", e.what(), args.usage("mobile_trajectory").c_str());
+    return 2;
+  }
+
+  const CostModel cm(1.0, 1.0);
+  const int m = static_cast<int>(args.get_int("servers"));
+  const int n = static_cast<int>(args.get_int("requests"));
+  const int users = static_cast<int>(args.get_int("users"));
+  const int instances = static_cast<int>(args.get_int("instances"));
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed"));
+
+  std::puts("== mobility sweep: dwell rate vs policy cost (ratio to OPT) ==");
+  std::printf("m=%d n=%d users=%d instances=%d\n\n", m, n, users, instances);
+
+  Table t({"dwell rate", "handoffs/req", "OPT cost", "SC", "always-migrate",
+           "static-home", "full-replication"});
+  for (const double dwell : {0.02, 0.05, 0.1, 0.2, 0.5, 1.0}) {
+    Rng rng(seed);
+    RunningStats opt_cost, sc_r, mig_r, home_r, repl_r, handoff;
+    for (int k = 0; k < instances; ++k) {
+      MobilityConfig cfg;
+      cfg.num_servers = m;
+      cfg.num_requests = n;
+      cfg.num_users = users;
+      cfg.dwell_rate = dwell;
+      const auto seq = gen_markov_mobility(rng, cfg);
+
+      int changes = 0;
+      for (RequestIndex i = 2; i <= seq.n(); ++i) {
+        changes += seq.server(i) != seq.server(i - 1);
+      }
+      handoff.add(static_cast<double>(changes) / seq.n());
+
+      const auto opt = solve_offline(seq, cm, {.reconstruct_schedule = false});
+      opt_cost.add(opt.optimal_cost);
+      const auto sc = run_speculative_caching(seq, cm);
+      sc_r.add(sc.total_cost / opt.optimal_cost);
+
+      AlwaysMigratePolicy mig(seq.origin());
+      StaticHomePolicy home(seq.origin());
+      FullReplicationPolicy repl(seq.origin());
+      mig_r.add(run_policy(seq, cm, mig).total_cost / opt.optimal_cost);
+      home_r.add(run_policy(seq, cm, home).total_cost / opt.optimal_cost);
+      repl_r.add(run_policy(seq, cm, repl).total_cost / opt.optimal_cost);
+    }
+    t.add_row({Table::num(dwell, 2), Table::num(handoff.mean(), 3),
+               Table::num(opt_cost.mean(), 1), Table::num(sc_r.mean(), 3),
+               Table::num(mig_r.mean(), 3), Table::num(home_r.mean(), 3),
+               Table::num(repl_r.mean(), 3)});
+  }
+  std::fputs(t.render().c_str(), stdout);
+  std::puts("\nreading: low dwell rate = sticky users = high locality. SC tracks");
+  std::puts("OPT closely everywhere and never exceeds its factor-3 envelope;");
+  std::puts("naive policies lose exactly where their assumption breaks.");
+  return 0;
+}

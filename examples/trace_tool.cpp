@@ -1,0 +1,165 @@
+// trace_tool: command-line utility around the trace format.
+//
+//   trace_tool gen   --out=trace.csv [--kind=zipf|mobility|commuter|bursty]
+//                    [--servers=4] [--requests=100] [--seed=1]
+//   trace_tool solve --in=trace.csv [--mu=1] [--lambda=1] [--dot=graph.dot]
+//   trace_tool online --in=trace.csv [--mu=1] [--lambda=1] [--epoch=0]
+//
+// `gen` writes a synthetic trace; `solve` runs the off-line optimum on a
+// trace (optionally exporting the space-time graph with the optimal
+// schedule overlaid as Graphviz DOT); `online` replays it through SC.
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "analysis/cost_breakdown.h"
+#include "analysis/diagram.h"
+#include "analysis/request_report.h"
+#include "analysis/space_time_graph.h"
+#include "model/pricing.h"
+#include "core/offline_dp.h"
+#include "core/online_sc.h"
+#include "model/schedule_validator.h"
+#include "util/cli.h"
+#include "workload/generators.h"
+#include "workload/trace_io.h"
+
+using namespace mcdc;
+
+namespace {
+
+int cmd_gen(const ArgParser& args) {
+  Rng rng(static_cast<std::uint64_t>(args.get_int("seed")));
+  const int m = static_cast<int>(args.get_int("servers"));
+  const int n = static_cast<int>(args.get_int("requests"));
+  const std::string kind = args.get("kind");
+  RequestSequence seq(1, {});
+  if (kind == "zipf") {
+    PoissonZipfConfig cfg;
+    cfg.num_servers = m;
+    cfg.num_requests = n;
+    seq = gen_poisson_zipf(rng, cfg);
+  } else if (kind == "mobility") {
+    MobilityConfig cfg;
+    cfg.num_servers = m;
+    cfg.num_requests = n;
+    seq = gen_markov_mobility(rng, cfg);
+  } else if (kind == "commuter") {
+    CommuterConfig cfg;
+    cfg.num_servers = m;
+    cfg.num_requests = n;
+    seq = gen_commuter(rng, cfg);
+  } else if (kind == "bursty") {
+    BurstyConfig cfg;
+    cfg.num_servers = m;
+    cfg.num_requests = n;
+    seq = gen_bursty_pareto(rng, cfg);
+  } else {
+    std::fprintf(stderr, "unknown --kind=%s\n", kind.c_str());
+    return 2;
+  }
+  write_trace_file(args.get("out"), seq);
+  std::printf("wrote %s: m=%d n=%d horizon=%.3f\n", args.get("out").c_str(),
+              seq.m(), seq.n(), seq.horizon());
+  return 0;
+}
+
+CostModel cost_model_from_args(const ArgParser& args) {
+  if (args.has("profile")) {
+    const auto cm = calibrate(price_profile(args.get("profile")),
+                              args.get_double("size-gb"));
+    std::printf("profile %s, %.2f GB item: mu=%.5f $/h, lambda=%.5f $, "
+                "break-even window %.2f h\n",
+                args.get("profile").c_str(), args.get_double("size-gb"), cm.mu,
+                cm.lambda, cm.speculation_window());
+    return cm;
+  }
+  return CostModel(args.get_double("mu"), args.get_double("lambda"));
+}
+
+int cmd_solve(const ArgParser& args) {
+  const auto seq = read_trace_file(args.get("in"));
+  const CostModel cm = cost_model_from_args(args);
+  const auto opt = solve_offline(seq, cm);
+  std::printf("instance: m=%d n=%d horizon=%.3f\n", seq.m(), seq.n(), seq.horizon());
+  std::printf("optimal cost C(n) = %.6f (lower bound B_n = %.6f)\n",
+              opt.optimal_cost, opt.bounds.B.back());
+  const auto b = breakdown(opt.schedule, cm, seq.m());
+  std::printf("caching %.3f + transfers %.3f (%zu transfers)\n", b.caching,
+              b.transfer, b.num_transfers);
+  std::printf("serves: %s\n", serve_profile(opt).to_string().c_str());
+  const auto v = validate_schedule(opt.schedule, seq);
+  std::printf("feasible: %s\n", v.ok ? "yes" : v.to_string().c_str());
+  if (seq.n() <= 60 && seq.m() <= 12) {
+    std::fputs(render_schedule_diagram(seq, opt.schedule, {.width = 80}).c_str(),
+               stdout);
+  }
+  if (args.get_bool("report")) {
+    std::fputs(build_request_report(seq, opt).to_table().c_str(), stdout);
+  }
+  if (args.has("dot")) {
+    const SpaceTimeGraph g(seq, cm);
+    std::ofstream out(args.get("dot"));
+    if (!out) {
+      std::fprintf(stderr, "cannot open %s\n", args.get("dot").c_str());
+      return 2;
+    }
+    out << g.to_dot(&opt.schedule);
+    std::printf("space-time graph with overlay written to %s\n",
+                args.get("dot").c_str());
+  }
+  return 0;
+}
+
+int cmd_online(const ArgParser& args) {
+  const auto seq = read_trace_file(args.get("in"));
+  const CostModel cm = cost_model_from_args(args);
+  SpeculativeCachingOptions opt;
+  const auto epoch = args.get_int("epoch");
+  if (epoch > 0) opt.epoch_transfers = static_cast<std::size_t>(epoch);
+  const auto sc = run_speculative_caching(seq, cm, opt);
+  const auto best = solve_offline(seq, cm, {.reconstruct_schedule = false});
+  std::printf("instance: m=%d n=%d\n", seq.m(), seq.n());
+  std::printf("SC: hits=%zu misses=%zu expirations=%zu epochs=%zu\n", sc.hits,
+              sc.misses, sc.expirations, sc.epochs_completed);
+  std::printf("SC cost %.6f vs OPT %.6f -> ratio %.3f (bound 3)\n", sc.total_cost,
+              best.optimal_cost, sc.total_cost / best.optimal_cost);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ArgParser args;
+  args.add_flag("out", "output trace path", "trace.csv");
+  args.add_flag("in", "input trace path", "trace.csv");
+  args.add_flag("kind", "generator: zipf|mobility|commuter|bursty", "zipf");
+  args.add_flag("servers", "servers", "4");
+  args.add_flag("requests", "requests", "100");
+  args.add_flag("seed", "rng seed", "1");
+  args.add_flag("mu", "caching cost rate", "1.0");
+  args.add_flag("lambda", "transfer cost", "1.0");
+  args.add_flag("profile", "price profile (intra-region|cross-continent|edge-cdn); overrides mu/lambda");
+  args.add_flag("size-gb", "item size in GB when using --profile", "1.0");
+  args.add_flag("epoch", "SC epoch transfers (0 = none)", "0");
+  args.add_flag("dot", "write DOT of the space-time graph here");
+  args.add_bool_flag("report", "print the per-request cost attribution table");
+
+  try {
+    const auto pos = args.parse(argc, argv);
+    if (pos.size() != 1) {
+      std::fprintf(stderr, "usage: trace_tool <gen|solve|online> [flags]\n%s",
+                   args.usage("trace_tool").c_str());
+      return 2;
+    }
+    if (pos[0] == "gen") return cmd_gen(args);
+    if (pos[0] == "solve") return cmd_solve(args);
+    if (pos[0] == "online") return cmd_online(args);
+    std::fprintf(stderr, "unknown command: %s\n", pos[0].c_str());
+    return 2;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Reproduce everything: build, full test suite, every experiment.
+# Outputs land in test_output.txt and bench_output.txt at the repo root.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+
+ctest --test-dir build 2>&1 | tee test_output.txt
+
+# Every bench binary regenerates one paper table/figure or extension
+# experiment (see DESIGN.md section 3 for the index).
+(for b in build/bench/bench_*; do
+  echo "===== $b"
+  "$b"
+done) 2>&1 | tee bench_output.txt
+
+echo "done: test_output.txt, bench_output.txt"

@@ -1,0 +1,78 @@
+#include "analysis/competitive.h"
+
+#include <atomic>
+#include <stdexcept>
+#include <vector>
+
+#include "core/offline_dp.h"
+#include "core/online_sc.h"
+#include "util/parallel.h"
+
+namespace mcdc {
+
+CompetitiveReport measure_competitive(const std::string& label,
+                                      const SequenceGenerator& gen,
+                                      const OnlineCostFn& online_cost,
+                                      const CostModel& cm, int instances,
+                                      std::uint64_t seed) {
+  if (instances <= 0) {
+    throw std::invalid_argument("measure_competitive: instances <= 0");
+  }
+  // One forked RNG per instance: results are identical at any thread count.
+  Rng root(seed);
+  std::vector<Rng> rngs;
+  rngs.reserve(static_cast<std::size_t>(instances));
+  for (int k = 0; k < instances; ++k) rngs.push_back(root.fork());
+
+  std::vector<double> ratios(static_cast<std::size_t>(instances), 0.0);
+  std::vector<double> online_costs(static_cast<std::size_t>(instances), 0.0);
+  std::vector<double> opt_costs(static_cast<std::size_t>(instances), 0.0);
+  std::atomic<bool> bad_opt{false};
+  parallel_for(static_cast<std::size_t>(instances), [&](std::size_t k) {
+    const RequestSequence seq = gen(rngs[k]);
+    OfflineDpOptions opt;
+    opt.reconstruct_schedule = false;
+    const Cost best = solve_offline(seq, cm, opt).optimal_cost;
+    const Cost online = online_cost(seq);
+    if (!(best > 0)) {
+      bad_opt = true;
+      return;
+    }
+    ratios[k] = online / best;
+    online_costs[k] = online;
+    opt_costs[k] = best;
+  });
+  if (bad_opt) {
+    throw std::runtime_error("measure_competitive: OPT cost is not positive");
+  }
+  RunningStats online_stats, opt_stats;
+  for (int k = 0; k < instances; ++k) {
+    online_stats.add(online_costs[static_cast<std::size_t>(k)]);
+    opt_stats.add(opt_costs[static_cast<std::size_t>(k)]);
+  }
+  CompetitiveReport rep;
+  rep.label = label;
+  rep.ratio = summarize(ratios);
+  rep.max_ratio = rep.ratio.max;
+  rep.mean_online_cost = online_stats.mean();
+  rep.mean_opt_cost = opt_stats.mean();
+  rep.instances = instances;
+  return rep;
+}
+
+CompetitiveReport measure_sc_competitive(const std::string& label,
+                                         const SequenceGenerator& gen,
+                                         const CostModel& cm, int instances,
+                                         std::uint64_t seed,
+                                         std::size_t epoch_transfers) {
+  SpeculativeCachingOptions opt;
+  opt.epoch_transfers = epoch_transfers;
+  return measure_competitive(
+      label, gen,
+      [&cm, opt](const RequestSequence& seq) {
+        return run_speculative_caching(seq, cm, opt).total_cost;
+      },
+      cm, instances, seed);
+}
+
+}  // namespace mcdc

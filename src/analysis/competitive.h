@@ -1,0 +1,45 @@
+// Empirical competitive-ratio measurement harness (paper Theorem 3).
+//
+// Draws many instances from a generator, runs an online cost function and
+// the off-line optimum on each, and reports the ratio distribution. Used
+// by bench_competitive (experiment CMP3) and the property tests.
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "model/cost_model.h"
+#include "model/request.h"
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace mcdc {
+
+using SequenceGenerator = std::function<RequestSequence(Rng&)>;
+using OnlineCostFn = std::function<Cost(const RequestSequence&)>;
+
+struct CompetitiveReport {
+  std::string label;
+  Summary ratio;        ///< distribution of online/OPT over instances
+  double max_ratio = 0.0;
+  double mean_online_cost = 0.0;
+  double mean_opt_cost = 0.0;
+  int instances = 0;
+};
+
+/// Measure `online_cost` against the O(mn) optimum over `instances` draws.
+CompetitiveReport measure_competitive(const std::string& label,
+                                      const SequenceGenerator& gen,
+                                      const OnlineCostFn& online_cost,
+                                      const CostModel& cm, int instances,
+                                      std::uint64_t seed);
+
+/// Convenience: measure the paper's SC algorithm itself.
+CompetitiveReport measure_sc_competitive(const std::string& label,
+                                         const SequenceGenerator& gen,
+                                         const CostModel& cm, int instances,
+                                         std::uint64_t seed,
+                                         std::size_t epoch_transfers =
+                                             static_cast<std::size_t>(-1));
+
+}  // namespace mcdc

@@ -1,0 +1,63 @@
+#include "analysis/cost_breakdown.h"
+
+#include <sstream>
+
+namespace mcdc {
+
+std::string CostBreakdown::to_string() const {
+  std::ostringstream os;
+  os << "caching=" << caching << " transfer=" << transfer << " total=" << total
+     << " (#tr=" << num_transfers << ", cached_time=" << total_cached_time << ")";
+  return os.str();
+}
+
+CostBreakdown breakdown(const Schedule& schedule, const CostModel& cm, int m) {
+  CostBreakdown b;
+  b.cached_time_per_server.assign(static_cast<std::size_t>(m), 0.0);
+  for (const auto& c : schedule.caches()) {
+    b.total_cached_time += c.duration();
+    if (c.server >= 0 && c.server < m) {
+      b.cached_time_per_server[static_cast<std::size_t>(c.server)] += c.duration();
+    }
+  }
+  b.num_cache_intervals = schedule.caches().size();
+  b.num_transfers = schedule.transfers().size();
+  b.caching = cm.mu * b.total_cached_time;
+  b.transfer = cm.lambda * static_cast<double>(b.num_transfers);
+  b.total = b.caching + b.transfer;
+  return b;
+}
+
+std::string ServeProfile::to_string() const {
+  std::ostringstream os;
+  os << "transfer=" << by_transfer << " own-cache=" << by_own_cache
+     << " marginal-cache=" << by_marginal_cache
+     << " marginal-transfer=" << by_marginal_transfer;
+  return os.str();
+}
+
+ServeProfile serve_profile(const OfflineDpResult& result) {
+  ServeProfile p;
+  for (const auto s : result.serve) {
+    switch (s) {
+      case OfflineDpResult::Serve::kBoundary:
+        break;
+      case OfflineDpResult::Serve::kTransfer:
+        ++p.by_transfer;
+        break;
+      case OfflineDpResult::Serve::kCacheTrivial:
+      case OfflineDpResult::Serve::kCachePivot:
+        ++p.by_own_cache;
+        break;
+      case OfflineDpResult::Serve::kMarginalCache:
+        ++p.by_marginal_cache;
+        break;
+      case OfflineDpResult::Serve::kMarginalTransfer:
+        ++p.by_marginal_transfer;
+        break;
+    }
+  }
+  return p;
+}
+
+}  // namespace mcdc

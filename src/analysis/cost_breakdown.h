@@ -1,0 +1,40 @@
+// Cost decomposition helpers for reports and benches.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/offline_dp.h"
+#include "model/cost_model.h"
+#include "model/request.h"
+#include "model/schedule.h"
+
+namespace mcdc {
+
+struct CostBreakdown {
+  Cost caching = 0.0;
+  Cost transfer = 0.0;
+  Cost total = 0.0;
+  std::size_t num_transfers = 0;
+  std::size_t num_cache_intervals = 0;
+  Time total_cached_time = 0.0;
+  std::vector<Time> cached_time_per_server;
+
+  std::string to_string() const;
+};
+
+CostBreakdown breakdown(const Schedule& schedule, const CostModel& cm, int m);
+
+/// How the reconstructed optimum serves requests (counts per Serve kind).
+struct ServeProfile {
+  std::size_t by_transfer = 0;
+  std::size_t by_own_cache = 0;       // trivial + pivot
+  std::size_t by_marginal_cache = 0;
+  std::size_t by_marginal_transfer = 0;
+
+  std::string to_string() const;
+};
+
+ServeProfile serve_profile(const OfflineDpResult& result);
+
+}  // namespace mcdc

@@ -1,0 +1,88 @@
+#include "analysis/diagram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+namespace mcdc {
+
+std::string render_schedule_diagram(const RequestSequence& seq,
+                                    const Schedule& schedule,
+                                    const DiagramOptions& options) {
+  if (options.width < 10) {
+    throw std::invalid_argument("render_schedule_diagram: width too small");
+  }
+  const int m = seq.m();
+  const Time t0 = seq.time(0);
+  const Time tn = seq.time(seq.n());
+  const Time span = std::max(tn - t0, 1e-12);
+  const auto width = options.width;
+
+  auto col = [&](Time t) {
+    const double f = (t - t0) / span;
+    const auto c = static_cast<std::ptrdiff_t>(std::lround(f * static_cast<double>(width - 1)));
+    return static_cast<std::size_t>(std::clamp<std::ptrdiff_t>(
+        c, 0, static_cast<std::ptrdiff_t>(width) - 1));
+  };
+
+  // Canvas: 2 rows per server (server line + spacer for transfer paths),
+  // minus the trailing spacer.
+  const std::size_t rows = static_cast<std::size_t>(2 * m - 1);
+  std::vector<std::string> canvas(rows, std::string(width, ' '));
+  auto server_row = [&](ServerId s) { return static_cast<std::size_t>(2 * s); };
+
+  // Baseline dots on server rows.
+  for (ServerId s = 0; s < m; ++s) {
+    canvas[server_row(s)].assign(width, '.');
+  }
+
+  Schedule norm = schedule;
+  norm.normalize();
+
+  // Cache intervals.
+  for (const auto& c : norm.caches()) {
+    if (c.server < 0 || c.server >= m) continue;
+    const std::size_t a = col(c.start);
+    const std::size_t b = col(std::min(c.end, tn));
+    auto& row = canvas[server_row(c.server)];
+    for (std::size_t x = a; x <= b && x < width; ++x) row[x] = '=';
+  }
+
+  // Transfers: vertical path between the two server rows.
+  for (const auto& t : norm.transfers()) {
+    if (t.from < 0 || t.from >= m || t.to < 0 || t.to >= m) continue;
+    const std::size_t x = col(t.at);
+    const std::size_t r1 = std::min(server_row(t.from), server_row(t.to));
+    const std::size_t r2 = std::max(server_row(t.from), server_row(t.to));
+    for (std::size_t r = r1 + 1; r < r2; ++r) canvas[r][x] = '|';
+    canvas[server_row(t.from)][x] = 'T';
+  }
+
+  // Requests (and the initial copy).
+  for (RequestIndex i = 0; i <= seq.n(); ++i) {
+    canvas[server_row(seq.server(i))][col(seq.time(i))] = 'o';
+  }
+
+  std::ostringstream os;
+  for (ServerId s = 0; s < m; ++s) {
+    os << "s" << s + 1 << (s + 1 < 10 ? " " : "") << "|"
+       << canvas[server_row(s)] << "\n";
+    if (s + 1 < m) os << "   |" << canvas[static_cast<std::size_t>(2 * s + 1)] << "\n";
+  }
+  // Time axis.
+  os << "   +" << std::string(width, '-') << "\n";
+  std::ostringstream lo, hi;
+  lo << t0;
+  hi << tn;
+  std::string axis(width, ' ');
+  const std::string lo_s = "t=" + lo.str();
+  const std::string hi_s = "t=" + hi.str();
+  axis.replace(0, lo_s.size(), lo_s);
+  if (hi_s.size() < width) axis.replace(width - hi_s.size(), hi_s.size(), hi_s);
+  os << "    " << axis << "\n";
+  return os.str();
+}
+
+}  // namespace mcdc

@@ -1,0 +1,31 @@
+// ASCII space-time diagrams in the style of the paper's Figs. 2 and 6.
+//
+// One row per server (top row = s1), time flowing left to right:
+//
+//   s1 |o====================T...........
+//      |                     |
+//   s2 |............o========o=====o.....
+//
+//   o  request (or the initial copy)     =  cached copy
+//   T  transfer departure                 |  transfer path (vertical)
+//
+// Used by examples/trace_tool and quickstart for human-readable output of
+// solver results.
+#pragma once
+
+#include <string>
+
+#include "model/request.h"
+#include "model/schedule.h"
+
+namespace mcdc {
+
+struct DiagramOptions {
+  std::size_t width = 96;  ///< character columns for the time axis
+};
+
+std::string render_schedule_diagram(const RequestSequence& seq,
+                                    const Schedule& schedule,
+                                    const DiagramOptions& options = {});
+
+}  // namespace mcdc

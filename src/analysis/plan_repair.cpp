@@ -1,0 +1,69 @@
+#include "analysis/plan_repair.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace mcdc {
+
+RepairResult repair_schedule(const Schedule& planned,
+                             const RequestSequence& actual, const CostModel& cm) {
+  RepairResult res;
+  res.schedule = planned;
+  res.schedule.normalize();
+
+  const Time horizon = actual.time(actual.n());
+
+  // Keep at least one replica alive to the actual horizon.
+  {
+    auto caches = res.schedule.caches();
+    if (caches.empty()) {
+      res.schedule.add_cache(actual.origin(), actual.time(0), horizon);
+      res.coverage_extension = horizon - actual.time(0);
+    } else {
+      auto last = std::max_element(
+          caches.begin(), caches.end(),
+          [](const auto& a, const auto& b) { return a.end < b.end; });
+      if (last->end < horizon - kEps) {
+        res.coverage_extension = horizon - last->end;
+        res.schedule.add_cache(last->server, last->end, horizon);
+        res.schedule.normalize();
+      }
+    }
+  }
+
+  for (RequestIndex i = 1; i <= actual.n(); ++i) {
+    const ServerId sv = actual.server(i);
+    const Time ti = actual.time(i);
+    if (res.schedule.covered(sv, ti)) continue;
+    bool arriving = false;
+    for (const auto& tr : res.schedule.transfers()) {
+      if (tr.to == sv && almost_equal(tr.at, ti)) {
+        arriving = true;
+        break;
+      }
+    }
+    if (arriving) continue;
+
+    // Emergency transfer from any live replica.
+    ServerId source = kNoServer;
+    for (const auto& c : res.schedule.caches()) {
+      if (c.covers(ti)) {
+        source = c.server;
+        break;
+      }
+    }
+    if (source == kNoServer) {
+      throw std::logic_error(
+          "repair_schedule: no live replica found (planned schedule was not "
+          "internally consistent)");
+    }
+    res.schedule.add_transfer(source, sv, ti);
+    ++res.repairs;
+  }
+
+  res.schedule.normalize();
+  res.cost = res.schedule.cost(cm);
+  return res;
+}
+
+}  // namespace mcdc

@@ -1,0 +1,35 @@
+// Plan repair: executing a stale off-line plan against reality.
+//
+// The paper's off-line algorithm presumes the trajectory is known (mined
+// logs, mobility models). In practice the plan is computed on a *predicted*
+// sequence and reality deviates. repair_schedule() takes a planned
+// schedule (feasible for the predicted sequence) and the actual sequence,
+// keeps all planned caching/transfers, and patches every actual request
+// the plan fails to serve with an emergency transfer from a currently
+// live replica (served-and-discarded, cost lambda). If the actual horizon
+// outruns the plan, the last replica is kept alive to the end.
+//
+// bench_plan_robustness uses this to answer the title's question
+// quantitatively: at what prediction error does the online algorithm
+// overtake a stale off-line plan?
+#pragma once
+
+#include "model/cost_model.h"
+#include "model/request.h"
+#include "model/schedule.h"
+
+namespace mcdc {
+
+struct RepairResult {
+  Schedule schedule;        ///< feasible for the *actual* sequence
+  std::size_t repairs = 0;  ///< emergency transfers added
+  Time coverage_extension = 0.0;  ///< extra cached time appended at the end
+  Cost cost = 0.0;          ///< total cost of the repaired schedule
+};
+
+/// `planned` must be internally consistent (e.g. an optimal schedule for a
+/// predicted sequence); the result serves every request of `actual`.
+RepairResult repair_schedule(const Schedule& planned,
+                             const RequestSequence& actual, const CostModel& cm);
+
+}  // namespace mcdc

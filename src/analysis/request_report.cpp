@@ -1,0 +1,58 @@
+#include "analysis/request_report.h"
+
+#include <stdexcept>
+
+#include "util/table.h"
+
+namespace mcdc {
+
+std::string serve_name(OfflineDpResult::Serve serve) {
+  switch (serve) {
+    case OfflineDpResult::Serve::kBoundary: return "boundary";
+    case OfflineDpResult::Serve::kTransfer: return "transfer";
+    case OfflineDpResult::Serve::kCacheTrivial: return "own-cache";
+    case OfflineDpResult::Serve::kCachePivot: return "own-cache(pivot)";
+    case OfflineDpResult::Serve::kMarginalCache: return "short-cache";
+    case OfflineDpResult::Serve::kMarginalTransfer: return "star-transfer";
+  }
+  return "?";
+}
+
+RequestReport build_request_report(const RequestSequence& seq,
+                                   const OfflineDpResult& result) {
+  if (result.C.size() != static_cast<std::size_t>(seq.n()) + 1) {
+    throw std::invalid_argument("build_request_report: result/sequence mismatch");
+  }
+  RequestReport rep;
+  rep.rows.reserve(static_cast<std::size_t>(seq.n()));
+  for (RequestIndex i = 1; i <= seq.n(); ++i) {
+    const auto ii = static_cast<std::size_t>(i);
+    RequestCostRow row;
+    row.index = i;
+    row.server = seq.server(i);
+    row.time = seq.time(i);
+    row.sigma = seq.sigma(i);
+    row.marginal = result.C[ii] - result.C[ii - 1];
+    row.bound = result.bounds.b[ii];
+    row.serve = result.serve.size() > ii ? result.serve[ii]
+                                         : OfflineDpResult::Serve::kBoundary;
+    rep.rows.push_back(row);
+  }
+  rep.total = result.C.back();
+  return rep;
+}
+
+std::string RequestReport::to_table() const {
+  Table t({"i", "server", "t_i", "sigma_i", "marginal C(i)-C(i-1)", "bound b_i",
+           "served by"});
+  for (const auto& row : rows) {
+    t.add_row({std::to_string(row.index), "s" + std::to_string(row.server + 1),
+               Table::num(row.time, 3), Table::num(row.sigma, 3),
+               Table::num(row.marginal, 3), Table::num(row.bound, 3),
+               serve_name(row.serve)});
+  }
+  t.add_row({"", "", "", "", Table::num(total, 3), "", "= C(n)"});
+  return t.render();
+}
+
+}  // namespace mcdc

@@ -1,0 +1,43 @@
+// Per-request cost attribution from the off-line DP.
+//
+// C(i) - C(i-1) is the marginal cost of appending request r_i to the
+// instance (C is the exact prefix optimum, so the attribution is
+// well-defined and sums to C(n)). Combined with the serve-mode annotation
+// and the b_i lower bound, this yields the per-request audit table used by
+// trace_tool and the examples: which requests were expensive, which rode
+// an existing replica, and how tight the running bound was.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/offline_dp.h"
+#include "model/request.h"
+
+namespace mcdc {
+
+struct RequestCostRow {
+  RequestIndex index = 0;
+  ServerId server = kNoServer;
+  Time time = 0.0;
+  Time sigma = 0.0;                   ///< +inf for first touch of a server
+  Cost marginal = 0.0;                ///< C(i) - C(i-1)
+  Cost bound = 0.0;                   ///< b_i = min(lambda, mu*sigma_i)
+  OfflineDpResult::Serve serve = OfflineDpResult::Serve::kBoundary;
+};
+
+struct RequestReport {
+  std::vector<RequestCostRow> rows;   ///< one per request 1..n
+  Cost total = 0.0;                   ///< equals C(n)
+
+  /// Render as an ASCII table.
+  std::string to_table() const;
+};
+
+RequestReport build_request_report(const RequestSequence& seq,
+                                   const OfflineDpResult& result);
+
+/// Human-readable serve-mode label.
+std::string serve_name(OfflineDpResult::Serve serve);
+
+}  // namespace mcdc

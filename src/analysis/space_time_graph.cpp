@@ -1,0 +1,118 @@
+#include "analysis/space_time_graph.h"
+
+#include <algorithm>
+#include <queue>
+#include <sstream>
+#include <stdexcept>
+
+namespace mcdc {
+
+SpaceTimeGraph::SpaceTimeGraph(const RequestSequence& seq, const CostModel& cm)
+    : seq_(seq), cm_(cm), m_(seq.m()), n_(seq.n()) {
+  // Cache edges: (v_{j,i-1} -> v_{j,i}) with weight mu * (t_i - t_{i-1}).
+  for (ServerId j = 0; j < m_; ++j) {
+    for (RequestIndex i = 1; i <= n_; ++i) {
+      edges_.push_back({vertex(j, i - 1), vertex(j, i),
+                        cm_.mu * (seq_.time(i) - seq_.time(i - 1)),
+                        EdgeKind::kCache});
+    }
+  }
+  // Transfer edges: the star around each request vertex, both directions.
+  for (RequestIndex i = 1; i <= n_; ++i) {
+    const ServerId sv = seq_.server(i);
+    for (ServerId j = 0; j < m_; ++j) {
+      if (j == sv) continue;
+      edges_.push_back({vertex(j, i), vertex(sv, i), cm_.lambda, EdgeKind::kTransfer});
+      edges_.push_back({vertex(sv, i), vertex(j, i), cm_.lambda, EdgeKind::kTransfer});
+    }
+  }
+}
+
+std::size_t SpaceTimeGraph::vertex(ServerId j, RequestIndex i) const {
+  if (j < 0 || j >= m_ || i < 0 || i > n_) {
+    throw std::out_of_range("SpaceTimeGraph::vertex");
+  }
+  return static_cast<std::size_t>(j) * (static_cast<std::size_t>(n_) + 1) +
+         static_cast<std::size_t>(i);
+}
+
+Cost SpaceTimeGraph::single_copy_delivery_cost(RequestIndex i) const {
+  if (i < 0 || i > n_) throw std::out_of_range("single_copy_delivery_cost");
+  // Dijkstra from (origin, 0). The graph is small (m * (n+1) vertices).
+  std::vector<std::vector<std::pair<std::size_t, Cost>>> adj(num_vertices());
+  for (const auto& e : edges_) adj[e.from].push_back({e.to, e.weight});
+
+  std::vector<Cost> dist(num_vertices(), kInfiniteCost);
+  using Item = std::pair<Cost, std::size_t>;
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> pq;
+  const std::size_t src = vertex(seq_.origin(), 0);
+  dist[src] = 0.0;
+  pq.push({0.0, src});
+  const std::size_t goal = vertex(seq_.server(i), i);
+  while (!pq.empty()) {
+    const auto [d, u] = pq.top();
+    pq.pop();
+    if (d > dist[u] + kEps) continue;
+    if (u == goal) return d;
+    for (const auto& [v, w] : adj[u]) {
+      if (d + w < dist[v] - kEps) {
+        dist[v] = d + w;
+        pq.push({dist[v], v});
+      }
+    }
+  }
+  return dist[goal];
+}
+
+std::string SpaceTimeGraph::to_dot(const Schedule* overlay) const {
+  std::ostringstream os;
+  os << "digraph space_time {\n  rankdir=LR;\n  node [shape=point];\n";
+  for (ServerId j = 0; j < m_; ++j) {
+    for (RequestIndex i = 0; i <= n_; ++i) {
+      const bool is_req = seq_.server(i) == j;
+      os << "  v" << vertex(j, i) << " [pos=\"" << seq_.time(i) << "," << j
+         << "!\"";
+      if (is_req) os << ", shape=circle, width=0.12, label=\"\"";
+      os << "];\n";
+    }
+  }
+  auto in_overlay_cache = [&](ServerId j, RequestIndex i) {
+    if (!overlay) return false;
+    const Time lo = seq_.time(i - 1);
+    const Time hi = seq_.time(i);
+    for (const auto& c : overlay->caches()) {
+      if (c.server == j && c.start <= lo + kEps && c.end >= hi - kEps) return true;
+    }
+    return false;
+  };
+  auto in_overlay_transfer = [&](ServerId from, ServerId to, RequestIndex i) {
+    if (!overlay) return false;
+    for (const auto& t : overlay->transfers()) {
+      if (t.from == from && t.to == to && almost_equal(t.at, seq_.time(i))) {
+        return true;
+      }
+    }
+    return false;
+  };
+  for (const auto& e : edges_) {
+    const auto stride = static_cast<std::size_t>(n_) + 1;
+    const auto j_from = static_cast<ServerId>(e.from / stride);
+    const auto i_from = static_cast<RequestIndex>(e.from % stride);
+    const auto j_to = static_cast<ServerId>(e.to / stride);
+    const auto i_to = static_cast<RequestIndex>(e.to % stride);
+    bool bold = false;
+    if (e.kind == EdgeKind::kCache) {
+      bold = in_overlay_cache(j_from, i_to);
+    } else {
+      bold = in_overlay_transfer(j_from, j_to, i_from);
+    }
+    os << "  v" << e.from << " -> v" << e.to << " [label=\"" << e.weight << "\"";
+    if (e.kind == EdgeKind::kTransfer) os << ", style=dashed";
+    if (bold) os << ", penwidth=3, color=red";
+    os << "];\n";
+  }
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace mcdc

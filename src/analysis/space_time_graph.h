@@ -1,0 +1,60 @@
+// The space-time graph of paper Definition 2.
+//
+// Vertices v_{j,i} are (server j, request time t_i) grid points; cache
+// edges run horizontally in time on each server with weight mu * dt, and
+// transfer edges of weight lambda connect the request vertex r_i to every
+// other server at t_i (both directions — the biconnected star of §III).
+// Schedules are subgraphs of this object; we use it for visual export
+// (Graphviz DOT, as in the paper's Figs. 2/6) and for per-request
+// single-copy shortest-path bounds.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "model/cost_model.h"
+#include "model/request.h"
+#include "model/schedule.h"
+
+namespace mcdc {
+
+class SpaceTimeGraph {
+ public:
+  enum class EdgeKind { kCache, kTransfer };
+
+  struct Edge {
+    std::size_t from = 0;
+    std::size_t to = 0;
+    Cost weight = 0.0;
+    EdgeKind kind = EdgeKind::kCache;
+  };
+
+  SpaceTimeGraph(const RequestSequence& seq, const CostModel& cm);
+
+  int m() const { return m_; }
+  RequestIndex n() const { return n_; }
+
+  /// Vertex id of (server j, time index i).
+  std::size_t vertex(ServerId j, RequestIndex i) const;
+  std::size_t num_vertices() const { return static_cast<std::size_t>(m_) * (static_cast<std::size_t>(n_) + 1); }
+  const std::vector<Edge>& edges() const { return edges_; }
+
+  /// Minimum cost to move one copy from (origin, t_0) to request r_i's
+  /// vertex, ignoring all other requests: a per-request lower bound on any
+  /// schedule's marginal delivery cost. Dijkstra over the grid.
+  Cost single_copy_delivery_cost(RequestIndex i) const;
+
+  /// Graphviz DOT rendering; if `overlay` is non-null its cache intervals
+  /// and transfers are drawn bold (the paper's Fig. 2/6 style).
+  std::string to_dot(const Schedule* overlay = nullptr) const;
+
+ private:
+  const RequestSequence& seq_;
+  CostModel cm_;
+  int m_ = 0;
+  RequestIndex n_ = 0;
+  std::vector<Edge> edges_;
+};
+
+}  // namespace mcdc

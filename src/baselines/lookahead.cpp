@@ -1,0 +1,47 @@
+#include "baselines/lookahead.h"
+
+#include <stdexcept>
+
+namespace mcdc {
+
+LookaheadResult solve_lookahead(const RequestSequence& seq, const CostModel& cm,
+                                const LookaheadOptions& options) {
+  if (options.window < 1) {
+    throw std::invalid_argument("solve_lookahead: window must be >= 1");
+  }
+  const HeterogeneousCostModel hcm(seq.m(), cm);
+
+  LookaheadResult out;
+  std::vector<ServerId> holders{seq.origin()};
+  Time clock = seq.time(0);
+
+  RequestIndex i = 1;
+  while (i <= seq.n()) {
+    std::vector<Request> window;
+    const RequestIndex end =
+        std::min<RequestIndex>(seq.n(), i + options.window - 1);
+    for (RequestIndex j = i; j <= end; ++j) window.push_back(seq.request(j));
+
+    ExactSolverOptions exact;
+    exact.reconstruct_schedule = true;
+    const auto res =
+        solve_exact_window(window, clock, holders, seq.m(), hcm, exact);
+
+    out.total_cost += res.optimal_cost;
+    for (const auto& c : res.schedule.caches()) {
+      out.schedule.add_cache(c.server, c.start, c.end);
+    }
+    for (const auto& t : res.schedule.transfers()) {
+      out.schedule.add_transfer(t.from, t.to, t.at);
+    }
+    holders = res.final_holders;
+    clock = window.back().time;
+    ++out.windows;
+    i = end + 1;
+  }
+
+  out.schedule.normalize();
+  return out;
+}
+
+}  // namespace mcdc

@@ -1,0 +1,41 @@
+// Windowed lookahead solver: interpolating between the paper's two poles.
+//
+// The paper studies the fully off-line problem (trajectory known, O(mn)
+// optimal DP) and the fully online one (nothing known, 3-competitive SC).
+// Real trajectory predictors sit in between: the next k requests are known
+// with confidence ([2]'s 93% predictability). This solver plans each
+// window of k requests *optimally* (exact subset DP seeded with the
+// current replica placement) and chains windows by carrying the final
+// replica set forward.
+//
+//   k = 1   -> greedy myopic serving,
+//   k = n   -> the exact off-line optimum,
+//   between -> a measured "value of lookahead" curve (bench_lookahead).
+//
+// Because each window is solved exactly over the subset lattice, the
+// solver requires the number of servers active in any window (window
+// servers + carried replicas) to stay <= 14.
+#pragma once
+
+#include "baselines/offline_exact.h"
+#include "model/cost_model.h"
+#include "model/request.h"
+#include "model/schedule.h"
+
+namespace mcdc {
+
+struct LookaheadOptions {
+  /// Requests planned per window (the lookahead depth k), >= 1.
+  int window = 8;
+};
+
+struct LookaheadResult {
+  Cost total_cost = 0.0;
+  Schedule schedule;
+  std::size_t windows = 0;
+};
+
+LookaheadResult solve_lookahead(const RequestSequence& seq, const CostModel& cm,
+                                const LookaheadOptions& options = {});
+
+}  // namespace mcdc

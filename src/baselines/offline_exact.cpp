@@ -1,0 +1,225 @@
+#include "baselines/offline_exact.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+namespace mcdc {
+
+namespace {
+
+constexpr int kMaxActiveServers = 14;
+
+struct Active {
+  std::vector<ServerId> servers;  // bit -> server id
+  std::vector<int> bit_of;        // server id -> bit or -1
+
+  void add(ServerId s) {
+    if (bit_of[static_cast<std::size_t>(s)] < 0) {
+      bit_of[static_cast<std::size_t>(s)] = static_cast<int>(servers.size());
+      servers.push_back(s);
+    }
+  }
+};
+
+ExactSolverResult solve_core(const std::vector<Request>& requests,
+                             Time start_time,
+                             const std::vector<ServerId>& initial_holders,
+                             int num_servers, const HeterogeneousCostModel& cm,
+                             const ExactSolverOptions& options) {
+  if (initial_holders.empty()) {
+    throw std::invalid_argument("solve_exact: need at least one initial holder");
+  }
+  Active act;
+  act.bit_of.assign(static_cast<std::size_t>(num_servers), -1);
+  for (const ServerId s : initial_holders) {
+    if (s < 0 || s >= num_servers) {
+      throw std::invalid_argument("solve_exact: holder out of range");
+    }
+    act.add(s);
+  }
+  Time prev = start_time;
+  for (const auto& r : requests) {
+    if (r.server < 0 || r.server >= num_servers) {
+      throw std::invalid_argument("solve_exact: request server out of range");
+    }
+    if (!(r.time > prev)) {
+      throw std::invalid_argument("solve_exact: times must strictly increase");
+    }
+    prev = r.time;
+    act.add(r.server);
+  }
+  if (static_cast<int>(act.servers.size()) > kMaxActiveServers) {
+    throw std::invalid_argument(
+        "solve_exact: too many active servers (limit " +
+        std::to_string(kMaxActiveServers) + ")");
+  }
+
+  const int a = static_cast<int>(act.servers.size());
+  const std::size_t num_masks = std::size_t{1} << a;
+  const auto n = static_cast<RequestIndex>(requests.size());
+
+  std::vector<double> mu_sum(num_masks, 0.0);
+  for (std::size_t mask = 1; mask < num_masks; ++mask) {
+    const auto low = static_cast<int>(std::countr_zero(mask));
+    mu_sum[mask] =
+        mu_sum[mask & (mask - 1)] + cm.mu(act.servers[static_cast<std::size_t>(low)]);
+  }
+
+  std::vector<Cost> dp(num_masks, kInfiniteCost);
+  std::size_t init_mask = 0;
+  for (const ServerId s : initial_holders) {
+    init_mask |= std::size_t{1} << act.bit_of[static_cast<std::size_t>(s)];
+  }
+  dp[init_mask] = 0.0;
+
+  struct Parent {
+    std::uint32_t prev_state = 0;  ///< dp state after r_{i-1} (lookup key)
+    std::uint32_t kept = 0;        ///< subset held over the gap [t_{i-1}, t_i]
+    ServerId transfer_from = kNoServer;
+    bool upload = false;
+  };
+  std::vector<std::vector<Parent>> parents;
+  if (options.reconstruct_schedule) {
+    parents.assign(static_cast<std::size_t>(n) + 1, {});
+  }
+
+  std::vector<Cost> next(num_masks);
+  Time clock = start_time;
+  for (RequestIndex i = 1; i <= n; ++i) {
+    const auto& req = requests[static_cast<std::size_t>(i) - 1];
+    const Time dt = req.time - clock;
+    clock = req.time;
+    const ServerId dst = req.server;
+    const std::size_t dst_mask =
+        std::size_t{1} << act.bit_of[static_cast<std::size_t>(dst)];
+
+    std::fill(next.begin(), next.end(), kInfiniteCost);
+    std::vector<Parent> par;
+    if (options.reconstruct_schedule) par.assign(num_masks, Parent{});
+
+    for (std::size_t mask = 1; mask < num_masks; ++mask) {
+      const Cost base = dp[mask];
+      if (std::isinf(base)) continue;
+      for (std::size_t kept = mask; kept != 0; kept = (kept - 1) & mask) {
+        const Cost held = base + mu_sum[kept] * dt;
+        if (kept & dst_mask) {
+          if (held < next[kept]) {
+            next[kept] = held;
+            if (options.reconstruct_schedule) {
+              par[kept] = Parent{static_cast<std::uint32_t>(mask),
+                                 static_cast<std::uint32_t>(kept), kNoServer,
+                                 false};
+            }
+          }
+        } else {
+          Cost best_lambda = kInfiniteCost;
+          ServerId best_src = kNoServer;
+          for (std::size_t rest = kept; rest != 0; rest &= rest - 1) {
+            const auto bit = static_cast<int>(std::countr_zero(rest));
+            const ServerId src = act.servers[static_cast<std::size_t>(bit)];
+            const Cost l = cm.lambda(src, dst);
+            if (l < best_lambda) {
+              best_lambda = l;
+              best_src = src;
+            }
+          }
+          const std::size_t to_mask = kept | dst_mask;
+          if (held + best_lambda < next[to_mask]) {
+            next[to_mask] = held + best_lambda;
+            if (options.reconstruct_schedule) {
+              par[to_mask] = Parent{static_cast<std::uint32_t>(mask),
+                                    static_cast<std::uint32_t>(kept), best_src,
+                                    false};
+            }
+          }
+          if (!std::isinf(options.upload_cost) &&
+              held + options.upload_cost < next[to_mask]) {
+            next[to_mask] = held + options.upload_cost;
+            if (options.reconstruct_schedule) {
+              par[to_mask] = Parent{static_cast<std::uint32_t>(mask),
+                                    static_cast<std::uint32_t>(kept), kNoServer,
+                                    true};
+            }
+          }
+        }
+      }
+    }
+    dp.swap(next);
+    if (options.reconstruct_schedule) {
+      parents[static_cast<std::size_t>(i)] = std::move(par);
+    }
+  }
+
+  ExactSolverResult res;
+  std::size_t best_mask = init_mask;
+  res.optimal_cost = kInfiniteCost;
+  for (std::size_t mask = 1; mask < num_masks; ++mask) {
+    if (dp[mask] < res.optimal_cost) {
+      res.optimal_cost = dp[mask];
+      best_mask = mask;
+    }
+  }
+  if (n == 0) res.optimal_cost = 0.0;
+
+  for (std::size_t rest = best_mask; rest != 0; rest &= rest - 1) {
+    const auto bit = static_cast<int>(std::countr_zero(rest));
+    res.final_holders.push_back(act.servers[static_cast<std::size_t>(bit)]);
+  }
+
+  if (options.reconstruct_schedule && n >= 1 && !std::isinf(res.optimal_cost)) {
+    std::size_t mask = best_mask;
+    Time hi_clock = requests.back().time;
+    for (RequestIndex i = n; i >= 1; --i) {
+      const Parent& p = parents[static_cast<std::size_t>(i)][mask];
+      const Time hi = hi_clock;
+      const Time lo = i >= 2 ? requests[static_cast<std::size_t>(i) - 2].time
+                             : start_time;
+      for (std::size_t rest = p.kept; rest != 0; rest &= rest - 1) {
+        const auto bit = static_cast<int>(std::countr_zero(rest));
+        res.schedule.add_cache(act.servers[static_cast<std::size_t>(bit)], lo, hi);
+      }
+      if (p.transfer_from != kNoServer) {
+        res.schedule.add_transfer(p.transfer_from,
+                                  requests[static_cast<std::size_t>(i) - 1].server,
+                                  hi);
+      }
+      mask = p.prev_state;
+      hi_clock = lo;
+    }
+    res.schedule.normalize();
+    res.has_schedule = true;
+  }
+
+  return res;
+}
+
+}  // namespace
+
+ExactSolverResult solve_offline_exact(const RequestSequence& seq,
+                                      const HeterogeneousCostModel& cm,
+                                      const ExactSolverOptions& options) {
+  std::vector<Request> requests;
+  requests.reserve(static_cast<std::size_t>(seq.n()));
+  for (RequestIndex i = 1; i <= seq.n(); ++i) requests.push_back(seq.request(i));
+  return solve_core(requests, seq.time(0), {seq.origin()}, seq.m(), cm, options);
+}
+
+ExactSolverResult solve_offline_exact(const RequestSequence& seq,
+                                      const CostModel& cm,
+                                      const ExactSolverOptions& options) {
+  return solve_offline_exact(seq, HeterogeneousCostModel(seq.m(), cm), options);
+}
+
+ExactSolverResult solve_exact_window(const std::vector<Request>& requests,
+                                     Time start_time,
+                                     const std::vector<ServerId>& initial_holders,
+                                     int num_servers,
+                                     const HeterogeneousCostModel& cm,
+                                     const ExactSolverOptions& options) {
+  return solve_core(requests, start_time, initial_holders, num_servers, cm, options);
+}
+
+}  // namespace mcdc

@@ -1,0 +1,67 @@
+// Exact exponential solver: independent ground truth for the O(mn) DP.
+//
+// Observation 1 (standard form) lets us restrict to schedules where copies
+// are created only at request servers at request times and deleted only at
+// request times. The replica set between consecutive requests is therefore
+// a subset of servers, and the problem becomes a shortest path over
+// (request index, replica set) states:
+//
+//   from set S after r_{i-1}, keep any non-empty S' subseteq S over the gap
+//   (cost sum_{j in S'} mu_j * dt), then serve r_i either from a copy in S'
+//   (free) or by a transfer from the cheapest member of S' (cost lambda).
+//
+// Complexity O(n * 3^a) where a = number of servers that receive requests;
+// we enforce a <= 14. Unlike the O(mn) DP this solver also accepts
+// heterogeneous cost models and an optional upload cost (the paper's beta),
+// making it the oracle for every extension test.
+#pragma once
+
+#include <optional>
+
+#include "model/cost_model.h"
+#include "model/request.h"
+#include "model/schedule.h"
+#include "util/types.h"
+
+namespace mcdc {
+
+struct ExactSolverOptions {
+  /// Serving a request straight from external storage (the paper's upload
+  /// cost beta). Disabled (infinity) by default, matching §IV.
+  Cost upload_cost = kInfiniteCost;
+
+  /// Also reconstruct one optimal schedule (costs memory O(n * 2^a)).
+  bool reconstruct_schedule = false;
+};
+
+struct ExactSolverResult {
+  Cost optimal_cost = 0.0;
+  Schedule schedule;
+  bool has_schedule = false;
+  /// Replica set right after the last request of the optimal solution
+  /// (used by the windowed lookahead solver to chain windows).
+  std::vector<ServerId> final_holders;
+};
+
+/// Exact optimum under the homogeneous model.
+ExactSolverResult solve_offline_exact(const RequestSequence& seq,
+                                      const CostModel& cm,
+                                      const ExactSolverOptions& options = {});
+
+/// Exact optimum under a heterogeneous model (extension).
+ExactSolverResult solve_offline_exact(const RequestSequence& seq,
+                                      const HeterogeneousCostModel& cm,
+                                      const ExactSolverOptions& options = {});
+
+/// Window form: solve an arbitrary request window starting from a given
+/// replica state (the chaining primitive of core/lookahead.h). `requests`
+/// must be strictly increasing in time with times > start_time; holders
+/// must be non-empty. Costs are charged from start_time onward.
+ExactSolverResult solve_exact_window(const std::vector<Request>& requests,
+                                     Time start_time,
+                                     const std::vector<ServerId>& initial_holders,
+                                     int num_servers,
+                                     const HeterogeneousCostModel& cm,
+                                     const ExactSolverOptions& options = {});
+
+}  // namespace mcdc

@@ -1,0 +1,152 @@
+#include "baselines/offline_het_heuristic.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mcdc {
+
+namespace {
+
+enum class CChoice : std::uint8_t { kUseD, kTransfer };
+enum class DChoice : std::uint8_t { kNone, kTrivial, kPivot };
+
+}  // namespace
+
+HetHeuristicResult solve_offline_het_heuristic(const RequestSequence& seq,
+                                               const HeterogeneousCostModel& cm) {
+  const RequestIndex n = seq.n();
+  const auto nn = static_cast<std::size_t>(n);
+
+  // Cheapest incoming transfer per server, for the marginal bounds.
+  std::vector<Cost> lambda_in(static_cast<std::size_t>(seq.m()), kInfiniteCost);
+  for (ServerId to = 0; to < seq.m(); ++to) {
+    for (ServerId from = 0; from < seq.m(); ++from) {
+      if (from == to) continue;
+      lambda_in[static_cast<std::size_t>(to)] =
+          std::min(lambda_in[static_cast<std::size_t>(to)], cm.lambda(from, to));
+    }
+  }
+  if (seq.m() == 1) lambda_in[0] = kInfiniteCost;
+
+  // Heterogeneous marginal bounds.
+  std::vector<Cost> b(nn + 1, 0.0), B(nn + 1, 0.0);
+  for (RequestIndex i = 1; i <= n; ++i) {
+    const auto ii = static_cast<std::size_t>(i);
+    const Time sigma = seq.sigma(i);
+    const Cost cache_b =
+        std::isinf(sigma) ? kInfiniteCost : cm.mu(seq.server(i)) * sigma;
+    b[ii] = std::min(lambda_in[static_cast<std::size_t>(seq.server(i))], cache_b);
+    B[ii] = B[ii - 1] + b[ii];
+  }
+
+  HetHeuristicResult res;
+  res.C.assign(nn + 1, 0.0);
+  res.D.assign(nn + 1, kInfiniteCost);
+  std::vector<CChoice> c_choice(nn + 1, CChoice::kUseD);
+  std::vector<DChoice> d_choice(nn + 1, DChoice::kNone);
+  std::vector<RequestIndex> d_pivot(nn + 1, kNoRequest);
+
+  for (RequestIndex i = 1; i <= n; ++i) {
+    const auto ii = static_cast<std::size_t>(i);
+    const ServerId si = seq.server(i);
+    const RequestIndex p = seq.prev_same_server(i);
+
+    if (p != kNoRequest) {
+      const auto pp = static_cast<std::size_t>(p);
+      const Cost mu_sigma = cm.mu(si) * (seq.time(i) - seq.time(p));
+      Cost best = res.C[pp] + mu_sigma + B[ii - 1] - B[pp];
+      DChoice choice = DChoice::kTrivial;
+      RequestIndex pivot = kNoRequest;
+      if (p >= 1) {
+        for (ServerId j = 0; j < seq.m(); ++j) {
+          if (j == si || seq.on_server(j).empty()) continue;
+          const RequestIndex k0 = seq.last_on_server_before(j, p);
+          if (k0 == kNoRequest) continue;
+          const RequestIndex k = seq.next_same_server(k0);
+          if (k == kNoRequest || k >= i) continue;
+          const auto kk = static_cast<std::size_t>(k);
+          if (std::isinf(res.D[kk])) continue;
+          const Cost cand = res.D[kk] + mu_sigma + B[ii - 1] - B[kk];
+          if (definitely_less(cand, best)) {
+            best = cand;
+            choice = DChoice::kPivot;
+            pivot = k;
+          }
+        }
+      }
+      res.D[ii] = best;
+      d_choice[ii] = choice;
+      d_pivot[ii] = pivot;
+    }
+
+    const ServerId prev_server = seq.server(i - 1);
+    Cost via_transfer = res.C[ii - 1] +
+                        cm.mu(prev_server) * (seq.time(i) - seq.time(i - 1));
+    via_transfer += prev_server == si ? 0.0 : cm.lambda(prev_server, si);
+    if (less_or_equal(res.D[ii], via_transfer)) {
+      res.C[ii] = res.D[ii];
+      c_choice[ii] = CChoice::kUseD;
+    } else {
+      res.C[ii] = via_transfer;
+      c_choice[ii] = CChoice::kTransfer;
+    }
+  }
+
+  // Reconstruction: identical walk to the homogeneous solver, but marginal
+  // requests choose between a real short cache and a real transfer off the
+  // spanning holder (so the schedule is feasible even when the recurrence's
+  // optimistic lambda_in differs from the achievable price).
+  Schedule& sch = res.schedule;
+  auto serve_marginal = [&](RequestIndex lo, RequestIndex i) {
+    const ServerId h = seq.server(i);
+    for (RequestIndex j = lo + 1; j < i; ++j) {
+      const RequestIndex pj = seq.prev_same_server(j);
+      const ServerId sj = seq.server(j);
+      const Cost cache_cost =
+          pj == kNoRequest ? kInfiniteCost : cm.mu(sj) * seq.sigma(j);
+      const Cost transfer_cost = sj == h ? kInfiniteCost : cm.lambda(h, sj);
+      if (cache_cost <= transfer_cost) {
+        sch.add_cache(sj, seq.time(pj), seq.time(j));
+      } else {
+        sch.add_transfer(h, sj, seq.time(j));
+      }
+    }
+  };
+
+  enum class Mode { kC, kD };
+  Mode mode = Mode::kC;
+  RequestIndex idx = n;
+  while (idx > 0) {
+    const auto ii = static_cast<std::size_t>(idx);
+    if (mode == Mode::kC) {
+      if (c_choice[ii] == CChoice::kTransfer) {
+        const ServerId src = seq.server(idx - 1);
+        sch.add_cache(src, seq.time(idx - 1), seq.time(idx));
+        if (src != seq.server(idx)) {
+          sch.add_transfer(src, seq.server(idx), seq.time(idx));
+        }
+        --idx;
+      } else {
+        mode = Mode::kD;
+      }
+    } else {
+      const RequestIndex p = seq.prev_same_server(idx);
+      sch.add_cache(seq.server(idx), seq.time(p), seq.time(idx));
+      if (d_choice[ii] == DChoice::kTrivial) {
+        serve_marginal(p, idx);
+        idx = p;
+        mode = Mode::kC;
+      } else {
+        const RequestIndex kappa = d_pivot[ii];
+        serve_marginal(kappa, idx);
+        idx = kappa;
+        mode = Mode::kD;
+      }
+    }
+  }
+  sch.normalize();
+  res.cost = sch.cost(cm);
+  return res;
+}
+
+}  // namespace mcdc

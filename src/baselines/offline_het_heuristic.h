@@ -1,0 +1,38 @@
+// Heuristic off-line solver for heterogeneous cost models.
+//
+// The paper's O(mn) optimality proof needs homogeneity; real deployments
+// (its ref [4]) have per-server caching rates and per-pair transfer
+// prices. For small instances the exact subset DP (offline_exact.h) is the
+// oracle, but it is exponential in the active-server count. This heuristic
+// generalizes the paper's recurrences with heterogeneous parameters:
+//
+//   b_j   = min( cheapest lambda into s_j,  mu_{s_j} * sigma_j )
+//   C(i)  = min( D(i), C(i-1) + mu_{s_{i-1}}*dt + lambda(s_{i-1}, s_i) )
+//   D(i)  = min( C(p(i)) + mu_{s_i}*sigma_i + B_{i-1} - B_{p(i)},
+//                min_kappa D(kappa) + mu_{s_i}*sigma_i + B_{i-1} - B_kappa )
+//
+// It degenerates to the exact optimum under homogeneous parameters and is
+// an upper bound in general (it searches a subset of feasible schedules —
+// schedule reconstruction stays valid); tests measure its gap against the
+// exact solver on small heterogeneous instances.
+#pragma once
+
+#include <vector>
+
+#include "model/cost_model.h"
+#include "model/request.h"
+#include "model/schedule.h"
+
+namespace mcdc {
+
+struct HetHeuristicResult {
+  std::vector<Cost> C;
+  std::vector<Cost> D;
+  Cost cost = 0.0;       ///< upper bound on the heterogeneous optimum
+  Schedule schedule;     ///< feasible schedule achieving `cost`
+};
+
+HetHeuristicResult solve_offline_het_heuristic(const RequestSequence& seq,
+                                               const HeterogeneousCostModel& cm);
+
+}  // namespace mcdc

@@ -1,0 +1,28 @@
+// O(n^2) reference implementation of the paper's recurrence system.
+//
+// Identical mathematics to core/offline_dp.h, but D(i)'s pivot candidates
+// are found by scanning every earlier request and testing the pi(i)
+// membership predicate p(k) < p(i) <= k < i directly — the
+// "straightforward implementation [that] should run in O(n^2) time" the
+// paper mentions below Theorem 1. Used to cross-validate the O(mn) solver
+// and as the slow end of the scaling bench.
+#pragma once
+
+#include "model/cost_model.h"
+#include "model/request.h"
+#include "util/types.h"
+
+#include <vector>
+
+namespace mcdc {
+
+struct QuadraticDpResult {
+  std::vector<Cost> C;
+  std::vector<Cost> D;
+  Cost optimal_cost = 0.0;
+};
+
+QuadraticDpResult solve_offline_quadratic(const RequestSequence& seq,
+                                          const CostModel& cm);
+
+}  // namespace mcdc

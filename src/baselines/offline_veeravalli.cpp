@@ -1,0 +1,70 @@
+#include "baselines/offline_veeravalli.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "core/marginal_bounds.h"
+
+namespace mcdc {
+
+VeeravalliResult solve_offline_veeravalli(const RequestSequence& seq,
+                                          const CostModel& cm) {
+  const RequestIndex n = seq.n();
+  const auto nn = static_cast<std::size_t>(n);
+  const MarginalBounds mb = compute_marginal_bounds(seq, cm);
+  const std::vector<Cost>& B = mb.B;
+
+  VeeravalliResult res;
+  res.C.assign(nn + 1, 0.0);
+  res.D.assign(nn + 1, kInfiniteCost);
+
+  // Per-server ordered map: request time -> request index, grown as the
+  // sweep advances (the balanced-tree structure of the prior algorithms).
+  std::vector<std::map<Time, RequestIndex>> seen(
+      static_cast<std::size_t>(seq.m()));
+  seen[static_cast<std::size_t>(seq.origin())].emplace(seq.time(0), 0);
+
+  for (RequestIndex i = 1; i <= n; ++i) {
+    const auto ii = static_cast<std::size_t>(i);
+    const RequestIndex p = seq.prev_same_server(i);
+
+    if (p != kNoRequest) {
+      const auto pp = static_cast<std::size_t>(p);
+      const Time tp = seq.time(p);
+      const Cost mu_sigma = cm.mu * (seq.time(i) - tp);
+      Cost best = res.C[pp] + mu_sigma + B[ii - 1] - B[pp];
+
+      // For each server, find the interval spanning t_{p(i)} via the map:
+      // the last request strictly before t_p, then its successor on the
+      // same server.
+      for (ServerId j = 0; j < seq.m(); ++j) {
+        if (j == seq.server(i)) continue;
+        const auto& m = seen[static_cast<std::size_t>(j)];
+        if (m.empty()) continue;
+        auto it = m.lower_bound(tp);
+        if (it == m.begin()) continue;  // no request on j before t_p
+        --it;                           // last request on j with time < t_p
+        auto succ = std::next(it);
+        if (succ == m.end()) continue;  // no interval spans t_p yet
+        const RequestIndex k = succ->second;
+        if (k >= i) continue;
+        const auto kk = static_cast<std::size_t>(k);
+        if (std::isinf(res.D[kk])) continue;
+        best = std::min(best, res.D[kk] + mu_sigma + B[ii - 1] - B[kk]);
+      }
+      res.D[ii] = best;
+    }
+
+    const Cost via_transfer =
+        res.C[ii - 1] + cm.mu * (seq.time(i) - seq.time(i - 1)) + cm.lambda;
+    res.C[ii] = std::min(res.D[ii], via_transfer);
+
+    seen[static_cast<std::size_t>(seq.server(i))].emplace(seq.time(i), i);
+  }
+
+  res.optimal_cost = res.C[nn];
+  return res;
+}
+
+}  // namespace mcdc

@@ -1,0 +1,33 @@
+// Prior-generation baseline in the spirit of Veeravalli (2003) [paper ref 6].
+//
+// The original O(n m^2 log m) algorithm could not be reconstructed
+// faithfully offline (the 2003 paper is unavailable), so this module
+// implements the closest structure we can justify: the same optimal
+// recurrence evaluated through per-server ordered maps keyed by time, the
+// balanced-tree machinery pre-pointer-prescan algorithms rely on. Each
+// request pays O(m log n) map probes, i.e. O(n m log n) total — a strictly
+// *more favorable* baseline than the original's O(n m^2 log m), so the
+// measured speedup of the paper's O(mn) algorithm (bench_scaling) is a
+// lower bound on the claimed "O(m log m) times faster". The substitution
+// is documented in DESIGN.md; cross-check tests require cost equality with
+// both other solvers.
+#pragma once
+
+#include <vector>
+
+#include "model/cost_model.h"
+#include "model/request.h"
+#include "util/types.h"
+
+namespace mcdc {
+
+struct VeeravalliResult {
+  std::vector<Cost> C;
+  std::vector<Cost> D;
+  Cost optimal_cost = 0.0;
+};
+
+VeeravalliResult solve_offline_veeravalli(const RequestSequence& seq,
+                                          const CostModel& cm);
+
+}  // namespace mcdc

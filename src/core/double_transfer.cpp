@@ -1,0 +1,49 @@
+#include "core/double_transfer.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace mcdc {
+
+Cost DtSchedule::edge_cost() const {
+  Cost c = 0.0;
+  for (const auto& e : edges) c += e.weight;
+  return c;
+}
+
+Cost DtSchedule::total() const {
+  return initial_cost + edge_cost() + residual_cache_cost;
+}
+
+Cost DtSchedule::max_edge_weight() const {
+  Cost w = 0.0;
+  for (const auto& e : edges) w = std::max(w, e.weight);
+  return w;
+}
+
+DtSchedule dt_transform(const OnlineScResult& sc, const CostModel& cm) {
+  DtSchedule dt;
+  dt.edges.reserve(sc.edges.size());
+  for (const auto& e : sc.edges) {
+    dt.edges.push_back(DtEdge{e.from, e.to, e.at, cm.lambda});
+  }
+
+  for (const auto& copy : sc.copies) {
+    const Time tail = std::max(0.0, copy.death - copy.last_use);
+    const Time used = std::max(0.0, copy.last_use - copy.birth);
+    const Cost omega = cm.mu * tail;
+    dt.residual_cache_cost += cm.mu * used;
+    if (copy.created_by_edge < 0) {
+      dt.initial_cost += omega;
+    } else {
+      const auto idx = static_cast<std::size_t>(copy.created_by_edge);
+      if (idx >= dt.edges.size()) {
+        throw std::out_of_range("dt_transform: dangling created_by_edge");
+      }
+      dt.edges[idx].weight += omega;
+    }
+  }
+  return dt;
+}
+
+}  // namespace mcdc

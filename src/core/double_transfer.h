@@ -1,0 +1,40 @@
+// Double-Transfer (DT) schedule transformation (paper Definition 10).
+//
+// The DT schedule re-attributes each copy's speculative caching cost
+// omega (the cached time past its last use, at most delta_t, so at most
+// lambda in cost) onto the transfer edge that created the copy, whose
+// weight becomes lambda + omega <= 2*lambda. The initial copy on the
+// origin has no incoming edge; its omega becomes the "initial cost".
+// Caching between uses stays as ordinary cache cost. By construction
+// Pi(DT) = Pi(SC) — the identity the competitive proof pivots on — and
+// our tests assert both the identity and the per-edge 2*lambda bound.
+#pragma once
+
+#include <vector>
+
+#include "core/online_sc.h"
+#include "model/cost_model.h"
+
+namespace mcdc {
+
+struct DtEdge {
+  ServerId from = kNoServer;
+  ServerId to = kNoServer;
+  Time at = 0.0;
+  Cost weight = 0.0;  ///< lambda + mu * speculative tail of the created copy
+};
+
+struct DtSchedule {
+  Cost initial_cost = 0.0;       ///< omega of the origin's initial copy
+  std::vector<DtEdge> edges;     ///< weighted transfer edges
+  Cost residual_cache_cost = 0.0;///< inter-use caching left in place
+
+  Cost edge_cost() const;
+  Cost total() const;
+  Cost max_edge_weight() const;
+};
+
+/// Build the DT schedule from a finished SC run.
+DtSchedule dt_transform(const OnlineScResult& sc, const CostModel& cm);
+
+}  // namespace mcdc

@@ -1,0 +1,26 @@
+#include "core/marginal_bounds.h"
+
+#include <algorithm>
+
+namespace mcdc {
+
+MarginalBounds compute_marginal_bounds(const RequestSequence& seq,
+                                       const CostModel& cm) {
+  const RequestIndex n = seq.n();
+  MarginalBounds mb;
+  mb.b.assign(static_cast<std::size_t>(n) + 1, 0.0);
+  mb.B.assign(static_cast<std::size_t>(n) + 1, 0.0);
+  for (RequestIndex i = 1; i <= n; ++i) {
+    const Time sigma = seq.sigma(i);  // +inf for the first request on a server
+    const Cost bi = std::isinf(sigma) ? cm.lambda : std::min(cm.lambda, cm.mu * sigma);
+    mb.b[static_cast<std::size_t>(i)] = bi;
+    mb.B[static_cast<std::size_t>(i)] = mb.B[static_cast<std::size_t>(i) - 1] + bi;
+  }
+  return mb;
+}
+
+Cost running_lower_bound(const RequestSequence& seq, const CostModel& cm) {
+  return compute_marginal_bounds(seq, cm).B.back();
+}
+
+}  // namespace mcdc

@@ -1,0 +1,32 @@
+// Marginal cost bounds (paper Definitions 4-5).
+//
+//   b_i = min(lambda, mu * sigma_i)   marginal cost bound of request r_i
+//   B_i = sum_{j<=i} b_j              running bound, a lower bound on C(i)
+//
+// These appear inside the D(i) recurrence and power the competitive
+// analysis of the online algorithm (B' lower-bounds OPT in Lemma 8).
+#pragma once
+
+#include <vector>
+
+#include "model/cost_model.h"
+#include "model/request.h"
+
+namespace mcdc {
+
+struct MarginalBounds {
+  /// b[i] for 0 <= i <= n, with b[0] = 0.
+  std::vector<Cost> b;
+  /// B[i] = b[1] + ... + b[i], with B[0] = 0.
+  std::vector<Cost> B;
+};
+
+/// Compute b_i and B_i for the whole sequence in O(n).
+MarginalBounds compute_marginal_bounds(const RequestSequence& seq,
+                                       const CostModel& cm);
+
+/// The running bound B_n: a lower bound on the optimal schedule cost
+/// (paper: B_i <= C(i)).
+Cost running_lower_bound(const RequestSequence& seq, const CostModel& cm);
+
+}  // namespace mcdc

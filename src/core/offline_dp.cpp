@@ -1,0 +1,209 @@
+#include "core/offline_dp.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace mcdc {
+
+namespace {
+
+// Branch chosen when computing C(i) / D(i); kept as small parallel arrays
+// so backtracking can rebuild an optimal schedule without re-deriving.
+enum class CChoice : std::uint8_t { kUseD, kTransfer };
+enum class DChoice : std::uint8_t { kNone, kTrivial, kPivot };
+
+/// Resolves "last request on server j with index < q" in O(1) or O(log n),
+/// depending on the selected strategy (see PivotLookup).
+class SpanningIndex {
+ public:
+  SpanningIndex(const RequestSequence& seq, PivotLookup lookup) : seq_(seq) {
+    const auto n = static_cast<std::size_t>(seq.n());
+    const auto m = static_cast<std::size_t>(seq.m());
+    if (lookup == PivotLookup::kAuto) {
+      constexpr std::size_t kMaxMatrixCells = 64ull * 1024 * 1024;
+      lookup = ((n + 1) * m <= kMaxMatrixCells) ? PivotLookup::kPointerMatrix
+                                                : PivotLookup::kBinarySearch;
+    }
+    use_matrix_ = lookup == PivotLookup::kPointerMatrix;
+    if (use_matrix_) {
+      // The paper's pre-scan (Theorem 2): A[q][j] = last request on server j
+      // among r_0..r_q. Built row by row in Theta(mn).
+      matrix_.assign((n + 1) * m, kNoRequest);
+      for (std::size_t q = 0; q <= n; ++q) {
+        RequestIndex* row = &matrix_[q * m];
+        if (q > 0) {
+          const RequestIndex* prev = &matrix_[(q - 1) * m];
+          std::copy(prev, prev + m, row);
+        }
+        row[static_cast<std::size_t>(seq.server(static_cast<RequestIndex>(q)))] =
+            static_cast<RequestIndex>(q);
+      }
+    }
+  }
+
+  /// Last request on server j with index strictly below q (q >= 1).
+  RequestIndex last_before(ServerId j, RequestIndex q) const {
+    if (use_matrix_) {
+      const auto m = static_cast<std::size_t>(seq_.m());
+      return matrix_[static_cast<std::size_t>(q - 1) * m +
+                     static_cast<std::size_t>(j)];
+    }
+    return seq_.last_on_server_before(j, q);
+  }
+
+ private:
+  const RequestSequence& seq_;
+  bool use_matrix_ = false;
+  std::vector<RequestIndex> matrix_;
+};
+
+}  // namespace
+
+OfflineDpResult solve_offline(const RequestSequence& seq, const CostModel& cm,
+                              const OfflineDpOptions& options) {
+  const RequestIndex n = seq.n();
+  const auto nn = static_cast<std::size_t>(n);
+
+  OfflineDpResult res;
+  res.bounds = compute_marginal_bounds(seq, cm);
+  res.C.assign(nn + 1, 0.0);
+  res.D.assign(nn + 1, kInfiniteCost);
+  res.serve.assign(nn + 1, OfflineDpResult::Serve::kBoundary);
+  res.pivot.assign(nn + 1, kNoRequest);
+
+  std::vector<CChoice> c_choice(nn + 1, CChoice::kUseD);
+  std::vector<DChoice> d_choice(nn + 1, DChoice::kNone);
+  std::vector<RequestIndex> d_pivot(nn + 1, kNoRequest);
+
+  const SpanningIndex span(seq, options.lookup);
+  const std::vector<Cost>& B = res.bounds.B;
+
+  // Servers with no requests never participate (the paper ignores them).
+  std::vector<ServerId> active;
+  active.reserve(static_cast<std::size_t>(seq.m()));
+  for (ServerId j = 0; j < seq.m(); ++j) {
+    if (!seq.on_server(j).empty()) active.push_back(j);
+  }
+
+  for (RequestIndex i = 1; i <= n; ++i) {
+    const auto ii = static_cast<std::size_t>(i);
+    const ServerId si = seq.server(i);
+    const RequestIndex p = seq.prev_same_server(i);
+
+    // ---- D(i): r_i served by the cache on its own server (Eq. 5). ----
+    if (p != kNoRequest) {
+      const Cost mu_sigma = cm.mu * (seq.time(i) - seq.time(p));
+      const auto pp = static_cast<std::size_t>(p);
+
+      // First branch: anchor at the unconditional optimum C(p(i)).
+      Cost best = res.C[pp] + mu_sigma + B[ii - 1] - B[pp];
+      DChoice choice = DChoice::kTrivial;
+      RequestIndex pivot = kNoRequest;
+
+      // Second branch: anchor at a pivot kappa in pi(i) — per server, the
+      // one request whose own-server interval spans t_{p(i)}.
+      if (p >= 1) {
+        for (ServerId j : active) {
+          if (j == si) continue;  // own server only yields kappa = p(i),
+                                  // dominated by the C(p(i)) branch
+          const RequestIndex k0 = span.last_before(j, p);
+          if (k0 == kNoRequest) continue;
+          const RequestIndex k = seq.next_same_server(k0);
+          if (k == kNoRequest || k >= i) continue;
+          const auto kk = static_cast<std::size_t>(k);
+          if (std::isinf(res.D[kk])) continue;
+          const Cost cand = res.D[kk] + mu_sigma + B[ii - 1] - B[kk];
+          if (definitely_less(cand, best)) {
+            best = cand;
+            choice = DChoice::kPivot;
+            pivot = k;
+          }
+        }
+      }
+
+      res.D[ii] = best;
+      d_choice[ii] = choice;
+      d_pivot[ii] = pivot;
+    }
+
+    // ---- C(i) = min(D(i), transfer from r_{i-1}'s server) (Eq. 2). ----
+    const Cost via_transfer =
+        res.C[ii - 1] + cm.mu * (seq.time(i) - seq.time(i - 1)) + cm.lambda;
+    if (less_or_equal(res.D[ii], via_transfer)) {
+      res.C[ii] = res.D[ii];
+      c_choice[ii] = CChoice::kUseD;
+    } else {
+      res.C[ii] = via_transfer;
+      c_choice[ii] = CChoice::kTransfer;
+    }
+  }
+
+  res.optimal_cost = res.C[nn];
+
+  if (!options.reconstruct_schedule) return res;
+
+  // ---- Backtracking: rebuild one optimal schedule (standard form). ----
+  //
+  // The decision chain is C(n) -> {C(n-1) | D(n)}, D(i) -> {C(p(i)) | D(k)};
+  // every request between an anchor and i is served at its marginal bound
+  // b_j: a short own-server cache when mu*sigma_j <= lambda, otherwise a
+  // transfer off the spanning cache H(s_i, t_{p(i)}, t_i).
+  Schedule& sch = res.schedule;
+
+  auto serve_marginal = [&](RequestIndex lo, RequestIndex i) {
+    const ServerId h_server = seq.server(i);
+    for (RequestIndex j = lo + 1; j < i; ++j) {
+      const auto jj = static_cast<std::size_t>(j);
+      const RequestIndex pj = seq.prev_same_server(j);
+      const Time sigma = seq.sigma(j);
+      if (pj != kNoRequest && less_or_equal(cm.mu * sigma, cm.lambda)) {
+        sch.add_cache(seq.server(j), seq.time(pj), seq.time(j));
+        res.serve[jj] = OfflineDpResult::Serve::kMarginalCache;
+      } else {
+        sch.add_transfer(h_server, seq.server(j), seq.time(j));
+        res.serve[jj] = OfflineDpResult::Serve::kMarginalTransfer;
+      }
+    }
+  };
+
+  enum class Mode { kC, kD };
+  Mode mode = Mode::kC;
+  RequestIndex idx = n;
+  while (idx > 0) {
+    const auto ii = static_cast<std::size_t>(idx);
+    if (mode == Mode::kC) {
+      if (c_choice[ii] == CChoice::kTransfer) {
+        const ServerId src = seq.server(idx - 1);
+        sch.add_cache(src, seq.time(idx - 1), seq.time(idx));
+        sch.add_transfer(src, seq.server(idx), seq.time(idx));
+        res.serve[ii] = OfflineDpResult::Serve::kTransfer;
+        --idx;
+      } else {
+        mode = Mode::kD;
+      }
+    } else {
+      const RequestIndex p = seq.prev_same_server(idx);
+      sch.add_cache(seq.server(idx), seq.time(p), seq.time(idx));
+      if (d_choice[ii] == DChoice::kTrivial) {
+        res.serve[ii] = OfflineDpResult::Serve::kCacheTrivial;
+        serve_marginal(p, idx);
+        idx = p;
+        mode = Mode::kC;
+      } else {
+        const RequestIndex kappa = d_pivot[ii];
+        res.serve[ii] = OfflineDpResult::Serve::kCachePivot;
+        res.pivot[ii] = kappa;
+        serve_marginal(kappa, idx);
+        idx = kappa;
+        mode = Mode::kD;
+      }
+    }
+  }
+
+  sch.normalize();
+  res.has_schedule = true;
+  return res;
+}
+
+}  // namespace mcdc

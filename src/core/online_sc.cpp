@@ -1,0 +1,191 @@
+#include "core/online_sc.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace mcdc {
+
+SpeculativeCache::SpeculativeCache(int num_servers, ServerId origin,
+                                   const CostModel& cm,
+                                   const SpeculativeCachingOptions& options)
+    : cm_(cm), opt_(options) {
+  if (num_servers <= 0) {
+    throw std::invalid_argument("SpeculativeCache: need at least one server");
+  }
+  if (origin < 0 || origin >= num_servers) {
+    throw std::invalid_argument("SpeculativeCache: origin out of range");
+  }
+  if (opt_.speculation_factor <= 0) {
+    throw std::invalid_argument("SpeculativeCache: speculation_factor must be > 0");
+  }
+  if (opt_.epoch_transfers == 0) {
+    throw std::invalid_argument("SpeculativeCache: epoch_transfers must be >= 1");
+  }
+  delta_t_ = opt_.speculation_factor * cm_.lambda / cm_.mu;
+  slots_.assign(static_cast<std::size_t>(num_servers), Slot{});
+
+  // The initial copy on the origin (the paper's c <- 1, data at s^1).
+  Slot& s0 = slots_[static_cast<std::size_t>(origin)];
+  s0.alive = true;
+  s0.birth = 0.0;
+  s0.last_use = 0.0;
+  s0.expiry = delta_t_;
+  s0.created_by_edge = -1;
+  list_push_back(origin);
+  alive_count_ = 1;
+  last_request_server_ = origin;
+
+  result_.served_by_cache.push_back(false);  // slot for index 0
+}
+
+void SpeculativeCache::list_push_back(ServerId s) {
+  Slot& slot = slots_[static_cast<std::size_t>(s)];
+  slot.prev = tail_;
+  slot.next = kNoServer;
+  if (tail_ != kNoServer) slots_[static_cast<std::size_t>(tail_)].next = s;
+  tail_ = s;
+  if (head_ == kNoServer) head_ = s;
+}
+
+void SpeculativeCache::list_unlink(ServerId s) {
+  Slot& slot = slots_[static_cast<std::size_t>(s)];
+  if (slot.prev != kNoServer) slots_[static_cast<std::size_t>(slot.prev)].next = slot.next;
+  if (slot.next != kNoServer) slots_[static_cast<std::size_t>(slot.next)].prev = slot.prev;
+  if (head_ == s) head_ = slot.next;
+  if (tail_ == s) tail_ = slot.prev;
+  slot.prev = slot.next = kNoServer;
+}
+
+void SpeculativeCache::kill(ServerId s, Time death, bool expired) {
+  Slot& slot = slots_[static_cast<std::size_t>(s)];
+  list_unlink(s);
+  slot.alive = false;
+  --alive_count_;
+  result_.caching_cost += cm_.mu * (death - slot.birth);
+  result_.copies.push_back(
+      CopyLifetime{s, slot.birth, death, slot.last_use, slot.created_by_edge});
+  result_.schedule.add_cache(s, slot.birth, death);
+  if (expired) ++result_.expirations;
+}
+
+void SpeculativeCache::expire_before(Time t) {
+  // Copies sit in last-use order == expiry order, so stale copies are at
+  // the front. The front copy is never killed while it is the only one
+  // alive: that is the paper's "extend the last copy" rule, which is
+  // cost-identical to repeated extension by delta_t.
+  while (alive_count_ > 1) {
+    const ServerId s = head_;
+    const Slot& slot = slots_[static_cast<std::size_t>(s)];
+    if (slot.expiry >= t - kEps) break;
+    kill(s, slot.expiry, /*expired=*/true);
+  }
+}
+
+bool SpeculativeCache::observe(ServerId server, Time time) {
+  if (finished_) throw std::logic_error("SpeculativeCache: already finished");
+  if (server < 0 || static_cast<std::size_t>(server) >= slots_.size()) {
+    throw std::invalid_argument("SpeculativeCache: server out of range");
+  }
+  if (!(time > last_time_)) {
+    throw std::invalid_argument("SpeculativeCache: times must strictly increase");
+  }
+
+  expire_before(time);
+
+  Slot& slot = slots_[static_cast<std::size_t>(server)];
+  const bool hit = slot.alive;
+  if (hit) {
+    // Served by the local copy: refresh its speculative window.
+    slot.last_use = time;
+    slot.expiry = time + delta_t_;
+    list_unlink(server);
+    list_push_back(server);
+    ++result_.hits;
+    result_.served_by_cache.push_back(true);
+  } else {
+    // Served by a transfer from the server of r_{i-1}, whose copy is alive
+    // by the extension invariant (Observation 4). The defensive fallback to
+    // the most recently used copy should never trigger.
+    ServerId src = last_request_server_;
+    if (!slots_[static_cast<std::size_t>(src)].alive || src == server) {
+      src = tail_;
+    }
+    result_.edges.push_back(ScTransferEdge{src, server, time, next_request_index_});
+    result_.transfer_cost += cm_.lambda;
+    ++result_.misses;
+    result_.served_by_cache.push_back(false);
+
+    // Both endpoints of the transfer get a fresh window (step 3 of §V);
+    // the source is re-inserted before the target so that a simultaneous
+    // expiration deletes the source and keeps the target (the tie rule).
+    Slot& src_slot = slots_[static_cast<std::size_t>(src)];
+    src_slot.last_use = time;
+    src_slot.expiry = time + delta_t_;
+    list_unlink(src);
+    list_push_back(src);
+
+    slot.alive = true;
+    slot.birth = time;
+    slot.last_use = time;
+    slot.expiry = time + delta_t_;
+    slot.created_by_edge = static_cast<int>(result_.edges.size()) - 1;
+    list_push_back(server);
+    ++alive_count_;
+
+    if (++epoch_transfers_seen_ >= opt_.epoch_transfers) {
+      // Epoch complete: restart with a single copy at the current server.
+      while (alive_count_ > 1) {
+        const ServerId victim = head_ == server ? slots_[static_cast<std::size_t>(head_)].next
+                                                : head_;
+        kill(victim, time, /*expired=*/false);
+      }
+      epoch_transfers_seen_ = 0;
+      ++result_.epochs_completed;
+    }
+  }
+
+  last_request_server_ = server;
+  last_time_ = time;
+  ++next_request_index_;
+  return hit;
+}
+
+void SpeculativeCache::finish(Time horizon) {
+  if (finished_) return;
+  if (horizon < last_time_ - kEps) {
+    throw std::invalid_argument("SpeculativeCache: horizon before last request");
+  }
+  expire_before(horizon);
+  while (alive_count_ > 0) {
+    const ServerId s = head_;
+    const Slot& slot = slots_[static_cast<std::size_t>(s)];
+    Time death;
+    if (opt_.truncate_at_horizon) {
+      death = horizon;
+    } else {
+      // Speculative tails run to expiry; the sole stale survivor was being
+      // extended and is charged up to the horizon.
+      death = std::max(slot.expiry, horizon);
+    }
+    kill(s, std::max(death, slot.birth), /*expired=*/false);
+  }
+  for (const auto& e : result_.edges) {
+    result_.schedule.add_transfer(e.from, e.to, e.at);
+  }
+  result_.schedule.normalize();
+  result_.total_cost = result_.caching_cost + result_.transfer_cost;
+  finished_ = true;
+}
+
+OnlineScResult run_speculative_caching(const RequestSequence& seq,
+                                       const CostModel& cm,
+                                       const SpeculativeCachingOptions& options) {
+  SpeculativeCache cache(seq.m(), seq.origin(), cm, options);
+  for (RequestIndex i = 1; i <= seq.n(); ++i) {
+    cache.observe(seq.server(i), seq.time(i));
+  }
+  cache.finish(seq.time(seq.n()));
+  return cache.take_result();
+}
+
+}  // namespace mcdc

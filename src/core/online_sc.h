@@ -1,0 +1,154 @@
+// The paper's second contribution (§V): the 3-competitive online
+// Speculative Caching (SC) algorithm.
+//
+// Idea: a copy that served a request (or sourced a transfer) at time t is
+// speculatively kept alive until t + delta_t, with delta_t = lambda/mu: if
+// the next local request arrives within delta_t, serving it from cache
+// costs no more than a transfer would have. Expired copies are deleted,
+// except the most recently used one, which keeps extending (the system
+// must always hold at least one copy). A miss is served by a transfer from
+// the server of the immediately preceding request r_{i-1} (whose copy is
+// alive by that extension invariant — Observation 4). Every `epoch_transfers`
+// transfers the replica set is reset to just the current server (the
+// paper's epoch of n transfers).
+//
+// Implementation notes:
+//  * State is O(m): one slot per server plus an intrusive doubly linked
+//    list of alive copies kept in last-use order. Because every use sets
+//    expiry = now + delta_t and time is monotone, the list is also sorted
+//    by expiry; expirations pop from the front. Each copy is created and
+//    killed once, so the per-request work is amortized O(1) — exactly the
+//    constant-time claim of the paper.
+//  * The paper's tie rule for a transfer's pair of simultaneous expirations
+//    (delete the source, keep the target) falls out of list order: the
+//    source is re-inserted before the target, so it is killed first.
+//  * The "extend the last copy" rule is implemented implicitly: the front
+//    copy is never killed while it is the only one alive, which is
+//    cost-equivalent to repeatedly extending its expiration.
+#pragma once
+
+#include <cstddef>
+#include <limits>
+#include <vector>
+
+#include "model/cost_model.h"
+#include "model/request.h"
+#include "model/schedule.h"
+
+namespace mcdc {
+
+struct SpeculativeCachingOptions {
+  /// Transfers per epoch (the paper's n). Default: no epoch resets.
+  std::size_t epoch_transfers = std::numeric_limits<std::size_t>::max();
+
+  /// Ablation knob: delta_t = speculation_factor * lambda / mu. The paper's
+  /// algorithm is factor 1.
+  double speculation_factor = 1.0;
+
+  /// If true (default), all copies stop accruing caching cost at t_n, the
+  /// time of the last request — the same horizon OPT is charged on. If
+  /// false, speculative tails run to their expiration (never past it).
+  bool truncate_at_horizon = true;
+};
+
+/// One replica's lifetime, for analysis (DT transform) and validation.
+struct CopyLifetime {
+  ServerId server = kNoServer;
+  Time birth = 0.0;
+  Time death = 0.0;
+  Time last_use = 0.0;
+  /// Index into OnlineScResult::edges of the transfer that created this
+  /// copy, or -1 for the initial copy on the origin.
+  int created_by_edge = -1;
+};
+
+struct ScTransferEdge {
+  ServerId from = kNoServer;
+  ServerId to = kNoServer;
+  Time at = 0.0;
+  RequestIndex serves = kNoRequest;
+};
+
+struct OnlineScResult {
+  Cost total_cost = 0.0;
+  Cost caching_cost = 0.0;
+  Cost transfer_cost = 0.0;
+
+  std::size_t hits = 0;
+  std::size_t misses = 0;
+  std::size_t expirations = 0;        ///< copies deleted on expiry
+  std::size_t epochs_completed = 0;
+
+  Schedule schedule;                  ///< replayable cache intervals + transfers
+  std::vector<CopyLifetime> copies;   ///< closed lifetimes, in death order
+  std::vector<ScTransferEdge> edges;  ///< transfer edges, in time order
+  std::vector<bool> served_by_cache;  ///< per request index 1..n ([0] unused)
+};
+
+/// Streaming form of the algorithm: O(m) state, amortized O(1) per request.
+/// Feed strictly increasing request times via observe(); finish() closes
+/// all lifetimes. Results accumulate into an OnlineScResult.
+class SpeculativeCache {
+ public:
+  SpeculativeCache(int num_servers, ServerId origin, const CostModel& cm,
+                   const SpeculativeCachingOptions& options = {});
+
+  /// Process one request; returns true for a cache hit, false for a miss
+  /// (served by a transfer).
+  bool observe(ServerId server, Time time);
+
+  /// Close all copy lifetimes at `horizon` (usually t_n).
+  void finish(Time horizon);
+
+  /// Number of currently alive copies (the paper's c).
+  std::size_t alive_copies() const { return alive_count_; }
+
+  /// Transfers in the current epoch (the paper's r).
+  std::size_t epoch_transfer_count() const { return epoch_transfers_seen_; }
+
+  Time speculation_window() const { return delta_t_; }
+
+  const OnlineScResult& result() const { return result_; }
+  OnlineScResult take_result() { return std::move(result_); }
+
+ private:
+  struct Slot {
+    bool alive = false;
+    Time birth = 0.0;
+    Time expiry = 0.0;
+    Time last_use = 0.0;
+    int created_by_edge = -1;
+    ServerId prev = kNoServer;  // intrusive list links (server ids)
+    ServerId next = kNoServer;
+  };
+
+  void list_push_back(ServerId s);
+  void list_unlink(ServerId s);
+  void kill(ServerId s, Time death, bool expired);
+  void expire_before(Time t);
+
+  CostModel cm_;
+  SpeculativeCachingOptions opt_;
+  Time delta_t_ = 0.0;
+
+  std::vector<Slot> slots_;
+  ServerId head_ = kNoServer;
+  ServerId tail_ = kNoServer;
+  std::size_t alive_count_ = 0;
+
+  ServerId last_request_server_ = kNoServer;
+  std::size_t epoch_transfers_seen_ = 0;
+  Time last_time_ = 0.0;
+  RequestIndex next_request_index_ = 1;
+  bool finished_ = false;
+
+  OnlineScResult result_;
+};
+
+/// Convenience driver: run SC over a whole sequence and return the result
+/// (schedule normalized, served_by_cache sized n+1).
+OnlineScResult run_speculative_caching(const RequestSequence& seq,
+                                       const CostModel& cm,
+                                       const SpeculativeCachingOptions& options = {});
+
+}  // namespace mcdc

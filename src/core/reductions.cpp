@@ -1,0 +1,82 @@
+#include "core/reductions.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mcdc {
+
+ReductionReport compute_reductions(const RequestSequence& seq, const CostModel& cm) {
+  const RequestIndex n = seq.n();
+  ReductionReport rep;
+  rep.in_sr.assign(static_cast<std::size_t>(n) + 1, false);
+  rep.sigma_prime.assign(static_cast<std::size_t>(n) + 1, 0.0);
+
+  for (RequestIndex i = 1; i <= n; ++i) {
+    const auto ii = static_cast<std::size_t>(i);
+    const Time sigma = seq.sigma(i);  // +inf for first request on a server
+    const bool in_sr = !std::isinf(sigma) && definitely_less(cm.mu * sigma, cm.lambda);
+    rep.in_sr[ii] = in_sr;
+
+    const Time gap = seq.time(i) - seq.time(i - 1);
+    const Cost over = cm.mu * gap - cm.lambda;
+    if (over > kEps) rep.v_amount += over;
+
+    if (in_sr) {
+      rep.h_amount += cm.mu * sigma;
+      continue;
+    }
+    ++rep.n_prime;
+
+    // Eq. 6: when the preceding gap was V-reduced, the same time is removed
+    // from sigma_i (cases 1 and 2 of Fig. 10); otherwise sigma is unchanged
+    // (case 3).
+    Time sp = sigma;
+    if (!std::isinf(sigma) && over > kEps) sp = sigma - (gap - cm.lambda / cm.mu);
+    rep.sigma_prime[ii] = sp;
+    rep.b_prime += std::isinf(sp) ? cm.lambda : std::min(cm.lambda, cm.mu * sp);
+  }
+  return rep;
+}
+
+std::size_t max_spanning_caches_on_long_gaps(const Schedule& schedule,
+                                             const RequestSequence& seq,
+                                             const CostModel& cm) {
+  Schedule s = schedule;
+  s.normalize();
+  std::size_t worst = 0;
+  for (RequestIndex i = 1; i <= seq.n(); ++i) {
+    const Time lo = seq.time(i - 1);
+    const Time hi = seq.time(i);
+    if (!(cm.mu * (hi - lo) > cm.lambda + kEps)) continue;
+    std::size_t spanning = 0;
+    for (const auto& c : s.caches()) {
+      if (c.start <= lo + kEps && c.end >= hi - kEps) ++spanning;
+    }
+    worst = std::max(worst, spanning);
+  }
+  return worst;
+}
+
+bool sr_requests_served_by_cache(const Schedule& schedule,
+                                 const RequestSequence& seq, const CostModel& cm) {
+  Schedule s = schedule;
+  s.normalize();
+  const ReductionReport rep = compute_reductions(seq, cm);
+  for (RequestIndex i = 1; i <= seq.n(); ++i) {
+    if (!rep.in_sr[static_cast<std::size_t>(i)]) continue;
+    const RequestIndex p = seq.prev_same_server(i);
+    const ServerId sv = seq.server(i);
+    bool spanned = false;
+    for (const auto& c : s.caches()) {
+      if (c.server == sv && c.start <= seq.time(p) + kEps &&
+          c.end >= seq.time(i) - kEps) {
+        spanned = true;
+        break;
+      }
+    }
+    if (!spanned) return false;
+  }
+  return true;
+}
+
+}  // namespace mcdc

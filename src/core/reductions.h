@@ -1,0 +1,60 @@
+// V- and H-reductions (paper Definitions 11-12) and the sigma' refinement
+// (paper Eq. 6 / Fig. 10).
+//
+// The competitive proof compares the DT and OPT schedules after removing
+// cost both provably pay:
+//   * V-reduction: every inter-request gap with mu*dt > lambda is cached by
+//     exactly one server in both schedules (Lemma 5); clip its cost to
+//     lambda (remove mu*dt - lambda).
+//   * H-reduction: every request with mu*sigma_i < lambda is served by the
+//     own-server cache H(s_i, t_{p(i)}, t_i) in both schedules (Lemma 6);
+//     remove that mu*sigma_i. Such requests form the set SR; the survivors
+//     R' = R \ SR have |R'| = n'.
+// After both, Pi(DT') <= 3 n' lambda (Lemma 7) and Pi(OPT') >= B' = n' lambda
+// (Lemma 8), giving the ratio 3.
+//
+// This header provides the reduction bookkeeping plus schedule-level
+// checkers for the two lemmas, all used by tests and bench_sc_epoch.
+#pragma once
+
+#include <vector>
+
+#include "model/cost_model.h"
+#include "model/request.h"
+#include "model/schedule.h"
+
+namespace mcdc {
+
+struct ReductionReport {
+  /// in_sr[i] for 0 <= i <= n: request i is in SR (mu*sigma_i < lambda).
+  std::vector<bool> in_sr;
+  /// Number of surviving requests n' = |R'|.
+  std::size_t n_prime = 0;
+  /// Total V-reduction: sum over gaps of max(0, mu*dt_{i-1,i} - lambda).
+  Cost v_amount = 0.0;
+  /// Total H-reduction: sum over SR of mu*sigma_i.
+  Cost h_amount = 0.0;
+  /// sigma'_i per Eq. 6 (only meaningful for i not in SR; 0 for i in SR).
+  std::vector<Time> sigma_prime;
+  /// B' = sum over R' of min(lambda, mu*sigma'_i). Lemma 8: equals n'*lambda.
+  Cost b_prime = 0.0;
+
+  Cost reduced(Cost total) const { return total - v_amount - h_amount; }
+};
+
+ReductionReport compute_reductions(const RequestSequence& seq, const CostModel& cm);
+
+/// Lemma 5 checker: for every gap [t_{i-1}, t_i] with mu*dt > lambda, count
+/// the cache intervals spanning the entire gap; returns the maximum count
+/// over all such gaps (0 if there are none). Both DT/SC and OPT schedules
+/// must yield <= 1.
+std::size_t max_spanning_caches_on_long_gaps(const Schedule& schedule,
+                                             const RequestSequence& seq,
+                                             const CostModel& cm);
+
+/// Lemma 6 checker: true iff for every i in SR the schedule caches s_i over
+/// the whole interval [t_{p(i)}, t_i].
+bool sr_requests_served_by_cache(const Schedule& schedule,
+                                 const RequestSequence& seq, const CostModel& cm);
+
+}  // namespace mcdc

@@ -1,0 +1,63 @@
+#include "model/cost_model.h"
+
+namespace mcdc {
+
+HeterogeneousCostModel::HeterogeneousCostModel(int m, const CostModel& base) {
+  if (m <= 0) throw std::invalid_argument("HeterogeneousCostModel: m must be > 0");
+  mu_.assign(static_cast<std::size_t>(m), base.mu);
+  lambda_.assign(static_cast<std::size_t>(m),
+                 std::vector<double>(static_cast<std::size_t>(m), base.lambda));
+}
+
+HeterogeneousCostModel::HeterogeneousCostModel(
+    std::vector<double> mu, std::vector<std::vector<double>> lambda)
+    : mu_(std::move(mu)), lambda_(std::move(lambda)) {
+  if (mu_.empty()) {
+    throw std::invalid_argument("HeterogeneousCostModel: empty mu");
+  }
+  if (lambda_.size() != mu_.size()) {
+    throw std::invalid_argument("HeterogeneousCostModel: lambda shape mismatch");
+  }
+  for (const auto& row : lambda_) {
+    if (row.size() != mu_.size()) {
+      throw std::invalid_argument("HeterogeneousCostModel: lambda row mismatch");
+    }
+  }
+  for (double v : mu_) {
+    if (v <= 0) throw std::invalid_argument("HeterogeneousCostModel: mu must be > 0");
+  }
+  for (std::size_t j = 0; j < lambda_.size(); ++j) {
+    for (std::size_t k = 0; k < lambda_.size(); ++k) {
+      if (j != k && lambda_[j][k] <= 0) {
+        throw std::invalid_argument(
+            "HeterogeneousCostModel: lambda must be > 0 off-diagonal");
+      }
+    }
+  }
+}
+
+double HeterogeneousCostModel::lambda(ServerId from, ServerId to) const {
+  if (from == to) {
+    throw std::invalid_argument("lambda: self transfer is undefined");
+  }
+  return lambda_.at(static_cast<std::size_t>(from))
+      .at(static_cast<std::size_t>(to));
+}
+
+bool HeterogeneousCostModel::is_homogeneous() const {
+  const double mu0 = mu_[0];
+  for (double v : mu_) {
+    if (!almost_equal(v, mu0)) return false;
+  }
+  double l0 = -1.0;
+  for (std::size_t j = 0; j < lambda_.size(); ++j) {
+    for (std::size_t k = 0; k < lambda_.size(); ++k) {
+      if (j == k) continue;
+      if (l0 < 0) l0 = lambda_[j][k];
+      if (!almost_equal(lambda_[j][k], l0)) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace mcdc

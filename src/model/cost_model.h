@@ -1,0 +1,61 @@
+// Cost models (paper §III).
+//
+// The paper's model is homogeneous: caching costs mu per copy per unit
+// time on every server, and any server-to-server transfer costs lambda.
+// Replication and deletion are free (folded into the transfer cost).
+//
+// HeterogeneousCostModel is an extension (the paper lists it as the realm
+// of [4]): per-server caching rates and a per-pair transfer matrix. Only
+// the exact solver and the simulator accept it; the O(mn) DP requires
+// homogeneity (its optimality proof does).
+#pragma once
+
+#include <stdexcept>
+#include <vector>
+
+#include "util/types.h"
+
+namespace mcdc {
+
+struct CostModel {
+  double mu = 1.0;      ///< caching cost per unit time per copy
+  double lambda = 1.0;  ///< transfer cost between any two servers
+
+  CostModel() = default;
+  CostModel(double mu_, double lambda_) : mu(mu_), lambda(lambda_) {
+    if (mu <= 0 || lambda <= 0) {
+      throw std::invalid_argument("CostModel: mu and lambda must be > 0");
+    }
+  }
+
+  /// The speculative window of the online SC algorithm (paper §V):
+  /// keeping a copy for delta_t costs exactly one transfer.
+  Time speculation_window() const { return lambda / mu; }
+
+  Cost caching(Time duration) const { return mu * duration; }
+  Cost transfer() const { return lambda; }
+};
+
+class HeterogeneousCostModel {
+ public:
+  /// Homogeneous-equivalent constructor (useful for cross-checks).
+  HeterogeneousCostModel(int m, const CostModel& base);
+
+  /// Fully general: mu[j] and lambda[j][k] (lambda[j][j] ignored).
+  HeterogeneousCostModel(std::vector<double> mu,
+                         std::vector<std::vector<double>> lambda);
+
+  int m() const { return static_cast<int>(mu_.size()); }
+  double mu(ServerId s) const { return mu_.at(static_cast<std::size_t>(s)); }
+  double lambda(ServerId from, ServerId to) const;
+
+  Cost caching(ServerId s, Time duration) const { return mu(s) * duration; }
+
+  bool is_homogeneous() const;
+
+ private:
+  std::vector<double> mu_;
+  std::vector<std::vector<double>> lambda_;
+};
+
+}  // namespace mcdc

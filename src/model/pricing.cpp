@@ -1,0 +1,41 @@
+#include "model/pricing.h"
+
+#include <stdexcept>
+
+namespace mcdc {
+
+const std::vector<PriceProfile>& builtin_price_profiles() {
+  // Stylized, order-of-magnitude numbers (USD): in-memory-class storage
+  // billed hourly vs. per-GB egress. Not provider quotes.
+  static const std::vector<PriceProfile> kProfiles{
+      // Same-region replication between zones: cheap egress, RAM-like
+      // storage.
+      {"intra-region", /*storage*/ 0.005, /*egress*/ 0.01, /*fee*/ 0.0},
+      // Cross-continent: storage unchanged, egress dominates.
+      {"cross-continent", 0.005, 0.09, 0.0},
+      // Edge/CDN tier: cheaper disk-class storage, metered per-request.
+      {"edge-cdn", 0.001, 0.02, 0.0001},
+  };
+  return kProfiles;
+}
+
+const PriceProfile& price_profile(const std::string& name) {
+  for (const auto& p : builtin_price_profiles()) {
+    if (p.name == name) return p;
+  }
+  throw std::invalid_argument("price_profile: unknown profile: " + name);
+}
+
+CostModel calibrate(const PriceProfile& profile, double item_size_gb) {
+  if (item_size_gb <= 0) {
+    throw std::invalid_argument("calibrate: item size must be > 0");
+  }
+  const double mu = profile.storage_per_gb_hour * item_size_gb;
+  const double lambda = profile.egress_per_gb * item_size_gb + profile.request_fee;
+  if (mu <= 0 || lambda <= 0) {
+    throw std::invalid_argument("calibrate: profile yields non-positive costs");
+  }
+  return CostModel(mu, lambda);
+}
+
+}  // namespace mcdc

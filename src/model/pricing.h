@@ -1,0 +1,43 @@
+// Monetary calibration: from cloud price sheets to (mu, lambda).
+//
+// The paper works with abstract per-time caching cost mu and per-transfer
+// cost lambda. Real deployments derive them from a provider's storage and
+// egress prices and the item size:
+//
+//   mu     = storage_price_per_gb_hour * item_size_gb      [$ / hour]
+//   lambda = (egress_price_per_gb + request_fee) * item_size_gb-ish  [$]
+//
+// This module performs that calibration and ships a few illustrative
+// price profiles (stylized, order-of-magnitude values — not quotes) so
+// examples and benches can speak in dollars and hours instead of abstract
+// units. The interesting derived quantity is the speculation window
+// lambda/mu: how long holding a replica costs as much as re-shipping it.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "model/cost_model.h"
+
+namespace mcdc {
+
+struct PriceProfile {
+  std::string name;
+  double storage_per_gb_hour = 0.0;  ///< $ per GB per hour of cached storage
+  double egress_per_gb = 0.0;        ///< $ per GB moved between servers
+  double request_fee = 0.0;          ///< flat $ per transfer operation
+};
+
+/// Stylized profiles: a hyperscaler-like region pair, an expensive
+/// cross-continent path, and an edge/CDN-like tier.
+const std::vector<PriceProfile>& builtin_price_profiles();
+
+/// Look up a builtin profile by name; throws std::invalid_argument if
+/// unknown.
+const PriceProfile& price_profile(const std::string& name);
+
+/// Calibrate the paper's cost model for an item of `item_size_gb`
+/// gigabytes under a profile. Time unit of the resulting model: hours.
+CostModel calibrate(const PriceProfile& profile, double item_size_gb);
+
+}  // namespace mcdc

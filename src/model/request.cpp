@@ -1,0 +1,117 @@
+#include "model/request.h"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+namespace mcdc {
+
+RequestSequence::RequestSequence(int num_servers, std::vector<Request> requests,
+                                 ServerId origin)
+    : m_(num_servers) {
+  if (num_servers <= 0) {
+    throw std::invalid_argument("RequestSequence: need at least one server");
+  }
+  if (origin < 0 || origin >= num_servers) {
+    throw std::invalid_argument("RequestSequence: origin out of range");
+  }
+
+  req_.reserve(requests.size() + 1);
+  req_.push_back(Request{origin, 0.0});
+  for (const auto& r : requests) req_.push_back(r);
+
+  for (std::size_t i = 1; i < req_.size(); ++i) {
+    const auto& r = req_[i];
+    if (r.server < 0 || r.server >= num_servers) {
+      throw std::invalid_argument("RequestSequence: server id out of range at r_" +
+                                  std::to_string(i));
+    }
+    if (!(r.time > req_[i - 1].time)) {
+      throw std::invalid_argument(
+          "RequestSequence: times must be strictly increasing (violated at r_" +
+          std::to_string(i) + ")");
+    }
+  }
+
+  by_server_.assign(static_cast<std::size_t>(num_servers), {});
+  prev_.assign(req_.size(), kNoRequest);
+  next_.assign(req_.size(), kNoRequest);
+  std::vector<RequestIndex> last(static_cast<std::size_t>(num_servers), kNoRequest);
+  for (std::size_t i = 0; i < req_.size(); ++i) {
+    const auto s = static_cast<std::size_t>(req_[i].server);
+    const auto idx = static_cast<RequestIndex>(i);
+    prev_[i] = last[s];
+    if (last[s] != kNoRequest) next_[static_cast<std::size_t>(last[s])] = idx;
+    last[s] = idx;
+    by_server_[s].push_back(idx);
+  }
+
+  active_servers_ = 0;
+  for (const auto& v : by_server_) {
+    if (!v.empty()) ++active_servers_;
+  }
+}
+
+std::size_t RequestSequence::check(RequestIndex i) const {
+  if (i < 0 || static_cast<std::size_t>(i) >= req_.size()) {
+    throw std::out_of_range("RequestSequence: index " + std::to_string(i));
+  }
+  return static_cast<std::size_t>(i);
+}
+
+RequestIndex RequestSequence::prev_same_server(RequestIndex i) const {
+  const auto idx = check(i);
+  if (i == 0) throw std::out_of_range("prev_same_server: r_0 has no predecessor");
+  return prev_[idx];
+}
+
+RequestIndex RequestSequence::next_same_server(RequestIndex i) const {
+  return next_[check(i)];
+}
+
+Time RequestSequence::sigma(RequestIndex i) const {
+  const RequestIndex p = prev_same_server(i);
+  if (p == kNoRequest) return std::numeric_limits<Time>::infinity();
+  return time(i) - time(p);
+}
+
+const std::vector<RequestIndex>& RequestSequence::on_server(ServerId s) const {
+  if (s < 0 || s >= m_) throw std::out_of_range("on_server: bad server id");
+  return by_server_[static_cast<std::size_t>(s)];
+}
+
+RequestIndex RequestSequence::last_on_server_before(ServerId s, RequestIndex i) const {
+  const auto& v = on_server(s);
+  auto it = std::lower_bound(v.begin(), v.end(), i);
+  if (it == v.begin()) return kNoRequest;
+  return *(it - 1);
+}
+
+RequestSequence RequestSequence::from_unsorted(int num_servers,
+                                               std::vector<Request> requests,
+                                               ServerId origin, Time min_gap) {
+  if (!(min_gap > 0)) {
+    throw std::invalid_argument("from_unsorted: min_gap must be > 0");
+  }
+  std::stable_sort(requests.begin(), requests.end(),
+                   [](const Request& a, const Request& b) { return a.time < b.time; });
+  Time prev = 0.0;
+  for (auto& r : requests) {
+    if (r.time <= prev) r.time = prev + min_gap;
+    prev = r.time;
+  }
+  return RequestSequence(num_servers, std::move(requests), origin);
+}
+
+std::string RequestSequence::to_string() const {
+  std::ostringstream os;
+  os << "RequestSequence(m=" << m_ << ", n=" << n() << ") [";
+  for (RequestIndex i = 0; i <= n(); ++i) {
+    if (i) os << ", ";
+    os << "r" << i << "=(s" << server(i) + 1 << "," << time(i) << ")";
+  }
+  os << "]";
+  return os.str();
+}
+
+}  // namespace mcdc

@@ -1,0 +1,105 @@
+// Problem instance types: requests and request sequences (paper §III).
+//
+// A RequestSequence owns the boundary request r_0 = (origin, 0) plus the n
+// user requests r_1..r_n with strictly increasing times, and precomputes
+// the per-server index structures every algorithm in this library needs:
+//
+//   p(i)       previous request on the same server (paper's p(i)),
+//   next(i)    next request on the same server,
+//   sigma(i)   t_i - t_{p(i)}, the "server interval on request r_i",
+//   per-server ordered request lists.
+//
+// Requests at -infinity (the paper's r_{-j} boundary dummies) are
+// represented by p(i) == kNoRequest and sigma(i) == +infinity.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/types.h"
+
+namespace mcdc {
+
+struct Request {
+  ServerId server = kNoServer;
+  Time time = 0.0;
+
+  bool operator==(const Request&) const = default;
+};
+
+class RequestSequence {
+ public:
+  /// Build a sequence over `num_servers` servers. `requests` are r_1..r_n in
+  /// strictly increasing time order with times > 0; the shared item starts
+  /// on `origin` at time 0 (the paper's s^1). Throws std::invalid_argument
+  /// on any violation.
+  RequestSequence(int num_servers, std::vector<Request> requests,
+                  ServerId origin = 0);
+
+  /// Number of real requests n (excludes r_0).
+  RequestIndex n() const { return static_cast<RequestIndex>(req_.size()) - 1; }
+
+  /// Number of servers m.
+  int m() const { return m_; }
+
+  ServerId origin() const { return req_[0].server; }
+
+  /// Request accessors, valid for 0 <= i <= n (0 is the boundary request).
+  const Request& request(RequestIndex i) const { return req_[check(i)]; }
+  ServerId server(RequestIndex i) const { return req_[check(i)].server; }
+  Time time(RequestIndex i) const { return req_[check(i)].time; }
+
+  /// p(i): index of the previous request on server(i), or kNoRequest if r_i
+  /// is the first request on its server. p of the first request on the
+  /// origin server is 0 (the boundary request). Valid for 1 <= i <= n.
+  RequestIndex prev_same_server(RequestIndex i) const;
+
+  /// Next request on the same server, or kNoRequest.  Valid for 0 <= i <= n.
+  RequestIndex next_same_server(RequestIndex i) const;
+
+  /// sigma_i = t_i - t_{p(i)}; +infinity when p(i) == kNoRequest.
+  Time sigma(RequestIndex i) const;
+
+  /// delta t_{i,j} = t_j - t_i.
+  Time delta(RequestIndex i, RequestIndex j) const { return time(j) - time(i); }
+
+  /// All request indices on server s (including index 0 for the origin),
+  /// ascending.
+  const std::vector<RequestIndex>& on_server(ServerId s) const;
+
+  /// Index of the last request on server s with index strictly less than i,
+  /// or kNoRequest. O(log) via binary search.
+  RequestIndex last_on_server_before(ServerId s, RequestIndex i) const;
+
+  /// Total time horizon t_n - t_0.
+  Time horizon() const { return req_.back().time - req_.front().time; }
+
+  /// Number of distinct servers that actually receive requests.
+  int active_servers() const { return active_servers_; }
+
+  std::string to_string() const;
+
+  bool operator==(const RequestSequence& other) const {
+    return m_ == other.m_ && req_ == other.req_;
+  }
+
+  /// Build from raw log records: sorts by time and separates ties/non-
+  /// positive leading times by `min_gap` so the strict-increase invariant
+  /// holds. Use for imported traces whose clocks have coarse resolution.
+  static RequestSequence from_unsorted(int num_servers,
+                                       std::vector<Request> requests,
+                                       ServerId origin = 0,
+                                       Time min_gap = 1e-9);
+
+ private:
+  std::size_t check(RequestIndex i) const;
+
+  int m_ = 0;
+  int active_servers_ = 0;
+  std::vector<Request> req_;                     // [0..n], req_[0] is r_0
+  std::vector<RequestIndex> prev_;               // p(i)
+  std::vector<RequestIndex> next_;               // next on same server
+  std::vector<std::vector<RequestIndex>> by_server_;
+};
+
+}  // namespace mcdc

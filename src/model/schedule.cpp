@@ -1,0 +1,93 @@
+#include "model/schedule.h"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+namespace mcdc {
+
+void Schedule::add_cache(ServerId server, Time start, Time end) {
+  if (server < 0) throw std::invalid_argument("add_cache: bad server");
+  if (!(end >= start - kEps)) {
+    throw std::invalid_argument("add_cache: end before start");
+  }
+  if (end <= start) return;  // zero-length caches carry no cost or meaning
+  caches_.push_back(CacheInterval{server, start, end});
+}
+
+void Schedule::add_transfer(ServerId from, ServerId to, Time at) {
+  if (from < 0 || to < 0) throw std::invalid_argument("add_transfer: bad server");
+  if (from == to) throw std::invalid_argument("add_transfer: self transfer");
+  transfers_.push_back(Transfer{from, to, at});
+}
+
+void Schedule::normalize() {
+  std::sort(caches_.begin(), caches_.end(), [](const auto& a, const auto& b) {
+    if (a.server != b.server) return a.server < b.server;
+    if (a.start != b.start) return a.start < b.start;
+    return a.end < b.end;
+  });
+  std::vector<CacheInterval> merged;
+  for (const auto& c : caches_) {
+    if (!merged.empty() && merged.back().server == c.server &&
+        c.start <= merged.back().end + kEps) {
+      merged.back().end = std::max(merged.back().end, c.end);
+    } else {
+      merged.push_back(c);
+    }
+  }
+  caches_ = std::move(merged);
+  std::sort(transfers_.begin(), transfers_.end(), [](const auto& a, const auto& b) {
+    if (a.at != b.at) return a.at < b.at;
+    if (a.from != b.from) return a.from < b.from;
+    return a.to < b.to;
+  });
+}
+
+Time Schedule::total_cache_time() const {
+  Time total = 0.0;
+  for (const auto& c : caches_) total += c.duration();
+  return total;
+}
+
+Cost Schedule::caching_cost(const CostModel& cm) const {
+  return cm.mu * total_cache_time();
+}
+
+Cost Schedule::transfer_cost(const CostModel& cm) const {
+  return cm.lambda * static_cast<double>(transfers_.size());
+}
+
+Cost Schedule::cost(const CostModel& cm) const {
+  return caching_cost(cm) + transfer_cost(cm);
+}
+
+Cost Schedule::cost(const HeterogeneousCostModel& cm) const {
+  Cost total = 0.0;
+  for (const auto& c : caches_) total += cm.caching(c.server, c.duration());
+  for (const auto& t : transfers_) total += cm.lambda(t.from, t.to);
+  return total;
+}
+
+bool Schedule::covered(ServerId server, Time t) const {
+  for (const auto& c : caches_) {
+    if (c.server == server && c.covers(t)) return true;
+  }
+  return false;
+}
+
+std::string Schedule::to_string() const {
+  std::ostringstream os;
+  os << "Schedule{caches:";
+  for (const auto& c : caches_) {
+    os << " H(s" << c.server + 1 << "," << c.start << "," << c.end << ")";
+  }
+  os << "; transfers:";
+  for (const auto& t : transfers_) {
+    os << " Tr(s" << t.from + 1 << "->s" << t.to + 1 << "@" << t.at << ")";
+  }
+  os << "}";
+  return os.str();
+}
+
+}  // namespace mcdc

@@ -1,0 +1,72 @@
+// Schedules: the output of every solver in this library (paper Def. 1).
+//
+// A schedule is a set of cache intervals H(s, x, y) and transfers
+// Tr(from, to, at). Its cost under the homogeneous model is
+//   mu * (total cached time across all intervals) + lambda * (#transfers).
+//
+// normalize() merges overlapping/adjacent intervals per server so the cost
+// of a schedule is well defined even if a solver emits redundant pieces.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "model/cost_model.h"
+#include "util/types.h"
+
+namespace mcdc {
+
+struct CacheInterval {
+  ServerId server = kNoServer;
+  Time start = 0.0;
+  Time end = 0.0;
+
+  Time duration() const { return end - start; }
+  bool covers(Time t) const { return start - kEps <= t && t <= end + kEps; }
+  bool operator==(const CacheInterval&) const = default;
+};
+
+struct Transfer {
+  ServerId from = kNoServer;
+  ServerId to = kNoServer;
+  Time at = 0.0;
+
+  bool operator==(const Transfer&) const = default;
+};
+
+class Schedule {
+ public:
+  Schedule() = default;
+
+  void add_cache(ServerId server, Time start, Time end);
+  void add_transfer(ServerId from, ServerId to, Time at);
+
+  const std::vector<CacheInterval>& caches() const { return caches_; }
+  const std::vector<Transfer>& transfers() const { return transfers_; }
+
+  /// Sort events and merge overlapping/adjacent cache intervals per server.
+  void normalize();
+
+  /// Total cached copy-time (sum of interval durations). Assumes normalized
+  /// if overlap-free accounting is required.
+  Time total_cache_time() const;
+
+  Cost caching_cost(const CostModel& cm) const;
+  Cost transfer_cost(const CostModel& cm) const;
+  Cost cost(const CostModel& cm) const;
+
+  /// Heterogeneous extension (exact solver / simulator).
+  Cost cost(const HeterogeneousCostModel& cm) const;
+
+  /// True if some cache interval on `server` covers time `t` (closed, with
+  /// tolerance).
+  bool covered(ServerId server, Time t) const;
+
+  std::string to_string() const;
+
+ private:
+  std::vector<CacheInterval> caches_;
+  std::vector<Transfer> transfers_;
+};
+
+}  // namespace mcdc

@@ -1,0 +1,149 @@
+#include "model/schedule_validator.h"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+namespace mcdc {
+
+namespace {
+
+std::string fmt_interval(const CacheInterval& c) {
+  std::ostringstream os;
+  os << "H(s" << c.server + 1 << "," << c.start << "," << c.end << ")";
+  return os.str();
+}
+
+}  // namespace
+
+std::string ValidationResult::to_string() const {
+  std::ostringstream os;
+  os << (ok ? "OK" : "INFEASIBLE");
+  for (const auto& e : errors) os << "\n  error: " << e;
+  for (const auto& w : warnings) os << "\n  warning: " << w;
+  return os.str();
+}
+
+ValidationResult validate_schedule(const Schedule& schedule,
+                                   const RequestSequence& seq) {
+  ValidationResult res;
+  auto fail = [&res](const std::string& msg) {
+    res.ok = false;
+    res.errors.push_back(msg);
+  };
+
+  Schedule s = schedule;  // normalize a copy; validation is not hot-path
+  s.normalize();
+  const auto& caches = s.caches();
+  const auto& transfers = s.transfers();
+
+  const Time t0 = seq.time(0);
+  const Time tn = seq.time(seq.n());
+
+  // (V1) global coverage of [t0, tn].
+  {
+    std::vector<CacheInterval> sorted(caches.begin(), caches.end());
+    std::sort(sorted.begin(), sorted.end(),
+              [](const auto& a, const auto& b) { return a.start < b.start; });
+    Time covered_to = t0;
+    for (const auto& c : sorted) {
+      if (covered_to >= tn - kEps) break;
+      if (c.start > covered_to + kEps) {
+        std::ostringstream os;
+        os << "coverage gap: no copy in (" << covered_to << ", " << c.start << ")";
+        fail(os.str());
+        covered_to = c.start;  // keep scanning for more gaps
+      }
+      covered_to = std::max(covered_to, c.end);
+    }
+    if (covered_to < tn - kEps) {
+      std::ostringstream os;
+      os << "coverage gap: no copy in (" << covered_to << ", " << tn << ")";
+      fail(os.str());
+    }
+  }
+
+  // (V2) initial copy on origin at t0 (trivial when there are no requests
+  // after t0 needing it — but the paper requires a copy at all times, so an
+  // interval must begin at t0 on the origin whenever n >= 1).
+  if (seq.n() >= 1) {
+    bool found = false;
+    for (const auto& c : caches) {
+      if (c.server == seq.origin() && c.start <= t0 + kEps && c.covers(t0)) {
+        found = true;
+        break;
+      }
+    }
+    if (!found) fail("no cache interval on the origin starting at t_0");
+  }
+
+  // (V3) every request served.
+  for (RequestIndex i = 1; i <= seq.n(); ++i) {
+    const ServerId sv = seq.server(i);
+    const Time ti = seq.time(i);
+    bool served = s.covered(sv, ti);
+    if (!served) {
+      for (const auto& tr : transfers) {
+        if (tr.to == sv && almost_equal(tr.at, ti)) {
+          served = true;
+          break;
+        }
+      }
+    }
+    if (!served) {
+      std::ostringstream os;
+      os << "request r_" << i << " on s" << sv + 1 << " @" << ti << " not served";
+      fail(os.str());
+    }
+  }
+
+  // (V4) transfer sources hold a copy.
+  for (const auto& tr : transfers) {
+    if (!s.covered(tr.from, tr.at)) {
+      std::ostringstream os;
+      os << "transfer Tr(s" << tr.from + 1 << "->s" << tr.to + 1 << "@" << tr.at
+         << ") has no copy at the source";
+      fail(os.str());
+    }
+  }
+
+  // (V5) cache interval justification.
+  for (const auto& c : caches) {
+    if (c.server == seq.origin() && c.start <= t0 + kEps) continue;
+    bool justified = false;
+    for (const auto& tr : transfers) {
+      if (tr.to == c.server && almost_equal(tr.at, c.start)) {
+        justified = true;
+        break;
+      }
+    }
+    if (!justified) {
+      fail("unjustified cache interval " + fmt_interval(c) +
+           ": no incoming transfer at its start");
+    }
+  }
+
+  // Warnings: dead-end caches (paper §III: minimal schedules have none).
+  {
+    std::map<ServerId, Time> last_use;
+    for (RequestIndex i = 0; i <= seq.n(); ++i) {
+      last_use[seq.server(i)] = std::max(last_use[seq.server(i)], seq.time(i));
+    }
+    for (const auto& tr : transfers) {
+      last_use[tr.from] = std::max(last_use[tr.from], tr.at);
+      last_use[tr.to] = std::max(last_use[tr.to], tr.at);
+    }
+    for (const auto& c : caches) {
+      auto it = last_use.find(c.server);
+      const Time last = it == last_use.end() ? t0 : it->second;
+      if (c.end > last + kEps && c.end <= tn + kEps) {
+        res.warnings.push_back("dead-end cache " + fmt_interval(c) +
+                               " extends past the last use on its server");
+      }
+    }
+  }
+
+  return res;
+}
+
+}  // namespace mcdc

@@ -1,0 +1,39 @@
+// Feasibility checking for schedules (paper §III conditions 1-2).
+//
+// A schedule is feasible for a sequence iff:
+//   (V1) at least one copy exists at every instant of [t_0, t_n]
+//        (union of cache intervals has no gap),
+//   (V2) the initial copy is on the origin server at t_0,
+//   (V3) every request r_i is served: a cache interval on s_i covers t_i,
+//        or a transfer into s_i occurs at exactly t_i,
+//   (V4) every transfer's source holds a copy at the transfer time,
+//   (V5) every cache interval is *justified*: it begins at t_0 on the
+//        origin, or a transfer arrives at its server at its start time, or
+//        a justified interval on the same server abuts it (removed by
+//        normalization).
+//
+// Dead-end caches (cached time past the last use on a server) are legal but
+// wasteful; they are reported as warnings, not errors — the online SC
+// algorithm intentionally produces them (speculation tails).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "model/request.h"
+#include "model/schedule.h"
+
+namespace mcdc {
+
+struct ValidationResult {
+  bool ok = true;
+  std::vector<std::string> errors;
+  std::vector<std::string> warnings;
+
+  std::string to_string() const;
+};
+
+ValidationResult validate_schedule(const Schedule& schedule,
+                                   const RequestSequence& seq);
+
+}  // namespace mcdc

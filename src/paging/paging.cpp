@@ -1,0 +1,193 @@
+#include "paging/paging.h"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace mcdc {
+
+std::string paging_policy_name(PagingPolicy p) {
+  switch (p) {
+    case PagingPolicy::kLru: return "LRU";
+    case PagingPolicy::kLfu: return "LFU";
+    case PagingPolicy::kFifo: return "FIFO";
+    case PagingPolicy::kRandom: return "RANDOM";
+    case PagingPolicy::kBelady: return "BELADY";
+    case PagingPolicy::kClock: return "CLOCK";
+    case PagingPolicy::kMru: return "MRU";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Belady: evict the item whose next use is farthest in the future.
+PagingResult run_belady(const std::vector<int>& trace, std::size_t capacity) {
+  PagingResult res;
+  const std::size_t n = trace.size();
+
+  // next_use[i] = next position of trace[i] after i, or n if none.
+  std::vector<std::size_t> next_use(n, n);
+  std::unordered_map<int, std::size_t> last_seen;
+  for (std::size_t i = n; i-- > 0;) {
+    auto it = last_seen.find(trace[i]);
+    next_use[i] = it == last_seen.end() ? n : it->second;
+    last_seen[trace[i]] = i;
+  }
+
+  // cache: item -> its next use position (kept up to date each access).
+  std::unordered_map<int, std::size_t> cache;
+  for (std::size_t i = 0; i < n; ++i) {
+    const int item = trace[i];
+    auto it = cache.find(item);
+    if (it != cache.end()) {
+      ++res.hits;
+      it->second = next_use[i];
+      continue;
+    }
+    ++res.faults;
+    if (cache.size() >= capacity) {
+      auto victim = cache.begin();
+      for (auto jt = cache.begin(); jt != cache.end(); ++jt) {
+        if (jt->second > victim->second) victim = jt;
+      }
+      cache.erase(victim);
+    }
+    cache.emplace(item, next_use[i]);
+  }
+  res.hit_ratio = n ? static_cast<double>(res.hits) / static_cast<double>(n) : 0.0;
+  return res;
+}
+
+/// Second-chance CLOCK: a reference bit per resident item and a rotating
+/// hand over the insertion ring.
+PagingResult run_clock(const std::vector<int>& trace, std::size_t capacity) {
+  PagingResult res;
+  struct Frame {
+    int item = -1;
+    bool ref = false;
+  };
+  std::vector<Frame> ring;
+  ring.reserve(capacity);
+  std::unordered_map<int, std::size_t> where;
+  std::size_t hand = 0;
+
+  for (const int item : trace) {
+    auto it = where.find(item);
+    if (it != where.end()) {
+      ++res.hits;
+      ring[it->second].ref = true;
+      continue;
+    }
+    ++res.faults;
+    if (ring.size() < capacity) {
+      where[item] = ring.size();
+      ring.push_back({item, false});
+      continue;
+    }
+    while (ring[hand].ref) {
+      ring[hand].ref = false;
+      hand = (hand + 1) % ring.size();
+    }
+    where.erase(ring[hand].item);
+    where[item] = hand;
+    ring[hand] = {item, false};
+    hand = (hand + 1) % ring.size();
+  }
+  res.hit_ratio = trace.empty()
+                      ? 0.0
+                      : static_cast<double>(res.hits) / static_cast<double>(trace.size());
+  return res;
+}
+
+}  // namespace
+
+PagingResult simulate_paging(const std::vector<int>& trace, std::size_t capacity,
+                             PagingPolicy policy, Rng* rng) {
+  if (capacity == 0) throw std::invalid_argument("simulate_paging: capacity 0");
+  if (policy == PagingPolicy::kRandom && rng == nullptr) {
+    throw std::invalid_argument("simulate_paging: RANDOM needs an Rng");
+  }
+  if (policy == PagingPolicy::kBelady) return run_belady(trace, capacity);
+  if (policy == PagingPolicy::kClock) return run_clock(trace, capacity);
+
+  PagingResult res;
+  struct Meta {
+    std::uint64_t last_use = 0;   // LRU
+    std::uint64_t inserted = 0;   // FIFO
+    std::uint64_t frequency = 0;  // LFU
+  };
+  std::unordered_map<int, Meta> cache;
+  std::uint64_t clock = 0;
+
+  for (const int item : trace) {
+    ++clock;
+    auto it = cache.find(item);
+    if (it != cache.end()) {
+      ++res.hits;
+      it->second.last_use = clock;
+      ++it->second.frequency;
+      continue;
+    }
+    ++res.faults;
+    if (cache.size() >= capacity) {
+      auto victim = cache.end();
+      switch (policy) {
+        case PagingPolicy::kLru:
+          for (auto jt = cache.begin(); jt != cache.end(); ++jt) {
+            if (victim == cache.end() || jt->second.last_use < victim->second.last_use) {
+              victim = jt;
+            }
+          }
+          break;
+        case PagingPolicy::kFifo:
+          for (auto jt = cache.begin(); jt != cache.end(); ++jt) {
+            if (victim == cache.end() || jt->second.inserted < victim->second.inserted) {
+              victim = jt;
+            }
+          }
+          break;
+        case PagingPolicy::kLfu:
+          for (auto jt = cache.begin(); jt != cache.end(); ++jt) {
+            if (victim == cache.end() ||
+                jt->second.frequency < victim->second.frequency ||
+                (jt->second.frequency == victim->second.frequency &&
+                 jt->second.last_use < victim->second.last_use)) {
+              victim = jt;
+            }
+          }
+          break;
+        case PagingPolicy::kMru:
+          for (auto jt = cache.begin(); jt != cache.end(); ++jt) {
+            if (victim == cache.end() || jt->second.last_use > victim->second.last_use) {
+              victim = jt;
+            }
+          }
+          break;
+        case PagingPolicy::kRandom: {
+          auto idx = rng->uniform_int(static_cast<std::uint64_t>(cache.size()));
+          victim = cache.begin();
+          std::advance(victim, static_cast<long>(idx));
+          break;
+        }
+        case PagingPolicy::kBelady:
+        case PagingPolicy::kClock:
+          break;  // handled above
+      }
+      cache.erase(victim);
+    }
+    cache.emplace(item, Meta{clock, clock, 1});
+  }
+  res.hit_ratio =
+      trace.empty() ? 0.0 : static_cast<double>(res.hits) / static_cast<double>(trace.size());
+  return res;
+}
+
+std::size_t belady_faults(const std::vector<int>& trace, std::size_t capacity) {
+  return run_belady(trace, capacity).faults;
+}
+
+}  // namespace mcdc

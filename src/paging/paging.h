@@ -1,0 +1,41 @@
+// Classic capacity-driven caching (paging), the left column of the paper's
+// Table I.
+//
+// A fixed cache of k slots over an item universe, replaced by LRU / LFU /
+// FIFO / Random / Belady (the optimal off-line policy [5] the paper
+// contrasts with its own off-line optimum). Misses cost one fault; there
+// is no per-time caching cost — capacity, not cost, is the constraint.
+// bench_table1_paradigms feeds the same multi-item stream through these
+// policies and through the cloud-side DP/SC to regenerate Table I's
+// comparison with measured numbers.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace mcdc {
+
+enum class PagingPolicy { kLru, kLfu, kFifo, kRandom, kBelady, kClock, kMru };
+
+std::string paging_policy_name(PagingPolicy p);
+
+struct PagingResult {
+  std::size_t hits = 0;
+  std::size_t faults = 0;
+  double hit_ratio = 0.0;
+};
+
+/// Simulate a k-slot cache over an item-id trace. `rng` is required for
+/// kRandom only. Belady uses the full trace (off-line, like the paper's
+/// optimal algorithms). Cold-start faults count as faults.
+PagingResult simulate_paging(const std::vector<int>& trace, std::size_t capacity,
+                             PagingPolicy policy, Rng* rng = nullptr);
+
+/// Theoretical sanity bound used in tests: no demand policy can beat
+/// Belady; returns Belady's fault count.
+std::size_t belady_faults(const std::vector<int>& trace, std::size_t capacity);
+
+}  // namespace mcdc

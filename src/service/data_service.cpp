@@ -1,0 +1,133 @@
+#include "service/data_service.h"
+
+#include <stdexcept>
+
+#include "core/offline_dp.h"
+
+namespace mcdc {
+
+std::vector<ItemInstance> service_instances(const std::vector<MultiItemRequest>& stream,
+                                            int num_servers) {
+  struct Builder {
+    ServerId origin = kNoServer;
+    Time birth = 0.0;
+    std::vector<Request> requests;
+  };
+  std::map<int, Builder> builders;
+  Time prev = -1.0;
+  for (const auto& r : stream) {
+    if (r.server < 0 || r.server >= num_servers) {
+      throw std::invalid_argument("service_instances: server out of range");
+    }
+    if (!(r.time > prev)) {
+      throw std::invalid_argument("service_instances: times must strictly increase");
+    }
+    prev = r.time;
+    auto [it, inserted] = builders.try_emplace(r.item);
+    if (inserted) {
+      it->second.origin = r.server;
+      it->second.birth = r.time;
+    } else {
+      it->second.requests.push_back({r.server, r.time - it->second.birth});
+    }
+  }
+  std::vector<ItemInstance> out;
+  out.reserve(builders.size());
+  for (auto& [item, b] : builders) {
+    out.push_back(ItemInstance{item, b.origin, b.birth,
+                               RequestSequence(num_servers, std::move(b.requests),
+                                               b.origin)});
+  }
+  return out;
+}
+
+ServiceReport plan_offline_service(const std::vector<MultiItemRequest>& stream,
+                                   int num_servers, const CostModel& cm) {
+  ServiceReport rep;
+  for (auto& inst : service_instances(stream, num_servers)) {
+    const auto res = solve_offline(inst.sequence, cm);
+    ItemOutcome item;
+    item.item = inst.item;
+    item.origin = inst.origin;
+    item.birth = inst.birth;
+    item.requests = static_cast<std::size_t>(inst.sequence.n());
+    item.cost = res.optimal_cost;
+    item.transfer_cost =
+        cm.lambda * static_cast<double>(res.schedule.transfers().size());
+    item.caching_cost = item.cost - item.transfer_cost;
+    item.transfers = res.schedule.transfers().size();
+    item.schedule = res.schedule;
+    rep.total_cost += item.cost;
+    rep.caching_cost += item.caching_cost;
+    rep.transfer_cost += item.transfer_cost;
+    rep.requests += item.requests;
+    ++rep.items;
+    rep.per_item.push_back(std::move(item));
+  }
+  return rep;
+}
+
+OnlineDataService::OnlineDataService(int num_servers, const CostModel& cm,
+                                     const SpeculativeCachingOptions& options)
+    : num_servers_(num_servers), cm_(cm), options_(options) {
+  if (num_servers <= 0) {
+    throw std::invalid_argument("OnlineDataService: need at least one server");
+  }
+}
+
+bool OnlineDataService::request(int item, ServerId server, Time time) {
+  if (finished_) throw std::logic_error("OnlineDataService: already finished");
+  if (server < 0 || server >= num_servers_) {
+    throw std::invalid_argument("OnlineDataService: server out of range");
+  }
+  if (!(time > last_time_)) {
+    throw std::invalid_argument("OnlineDataService: times must strictly increase");
+  }
+  last_time_ = time;
+
+  auto [it, inserted] = items_.try_emplace(item);
+  ItemState& state = it->second;
+  if (inserted) {
+    // Birth: the item materializes on the requesting server (client
+    // upload); the request is served locally.
+    state.cache = std::make_unique<SpeculativeCache>(num_servers_, server, cm_,
+                                                     options_);
+    state.origin = server;
+    state.birth = time;
+    state.last_time = time;
+    return true;
+  }
+  state.last_time = time;
+  ++state.requests;
+  return state.cache->observe(server, time - state.birth);
+}
+
+ServiceReport OnlineDataService::finish() {
+  if (finished_) throw std::logic_error("OnlineDataService: already finished");
+  finished_ = true;
+  ServiceReport rep;
+  for (auto& [item, state] : items_) {
+    state.cache->finish(state.last_time - state.birth);
+    const OnlineScResult res = state.cache->take_result();
+    ItemOutcome out;
+    out.item = item;
+    out.origin = state.origin;
+    out.birth = state.birth;
+    out.requests = state.requests;
+    out.cost = res.total_cost;
+    out.caching_cost = res.caching_cost;
+    out.transfer_cost = res.transfer_cost;
+    out.transfers = res.misses;
+    out.hits = res.hits;
+    out.schedule = res.schedule;
+    rep.total_cost += out.cost;
+    rep.caching_cost += out.caching_cost;
+    rep.transfer_cost += out.transfer_cost;
+    rep.requests += out.requests;
+    ++rep.items;
+    rep.per_item.push_back(std::move(out));
+  }
+  return rep;
+}
+
+}  // namespace mcdc

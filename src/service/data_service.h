@@ -1,0 +1,102 @@
+// Multi-item data service layer.
+//
+// The paper analyses one shared data item; a cloud data service hosts
+// many. Under the homogeneous cost model items are independent — the total
+// service cost is the sum of per-item costs — so the service layer manages
+// one problem instance per item:
+//
+//  * plan_offline_service  — given the full multi-item trace (trajectory
+//    mining scenario), runs the O(mn) optimal DP per item and aggregates.
+//  * OnlineDataService     — streaming service: each item is born on the
+//    server of its first request (a client upload, served locally for
+//    free) and is subsequently managed by its own Speculative Caching
+//    instance; 3-competitiveness is inherited item-wise.
+//
+// Conventions: an item's clock starts at its birth (first request); its
+// horizon ends at its last request. Per-item and aggregate costs are
+// reported.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "core/online_sc.h"
+#include "model/cost_model.h"
+#include "model/request.h"
+#include "model/schedule.h"
+#include "workload/generators.h"
+
+namespace mcdc {
+
+struct ItemOutcome {
+  int item = 0;
+  ServerId origin = kNoServer;   ///< server of the first request (birth site)
+  Time birth = 0.0;              ///< absolute time of the first request
+  std::size_t requests = 0;      ///< requests after birth
+  Cost cost = 0.0;
+  Cost caching_cost = 0.0;
+  Cost transfer_cost = 0.0;
+  std::size_t transfers = 0;
+  std::size_t hits = 0;
+  Schedule schedule;             ///< in item-local time (0 = birth)
+};
+
+struct ServiceReport {
+  Cost total_cost = 0.0;
+  Cost caching_cost = 0.0;
+  Cost transfer_cost = 0.0;
+  std::size_t items = 0;
+  std::size_t requests = 0;  ///< excludes the per-item birth requests
+  std::vector<ItemOutcome> per_item;
+};
+
+/// Per-item problem instances extracted from a multi-item stream: the
+/// birth request becomes the instance origin at local time 0; remaining
+/// requests are shifted to item-local time.
+struct ItemInstance {
+  int item = 0;
+  ServerId origin = kNoServer;
+  Time birth = 0.0;
+  RequestSequence sequence;
+};
+std::vector<ItemInstance> service_instances(const std::vector<MultiItemRequest>& stream,
+                                            int num_servers);
+
+/// Off-line planning: optimal per-item schedules via the O(mn) DP.
+ServiceReport plan_offline_service(const std::vector<MultiItemRequest>& stream,
+                                   int num_servers, const CostModel& cm);
+
+/// Streaming online service over many items.
+class OnlineDataService {
+ public:
+  OnlineDataService(int num_servers, const CostModel& cm,
+                    const SpeculativeCachingOptions& options = {});
+
+  /// Process one request. Returns true when served locally (a hit or the
+  /// birth request), false when a transfer was needed.
+  bool request(int item, ServerId server, Time time);
+
+  /// Close every item at its own last request time and build the report.
+  ServiceReport finish();
+
+  std::size_t live_items() const { return items_.size(); }
+
+ private:
+  struct ItemState {
+    std::unique_ptr<SpeculativeCache> cache;
+    ServerId origin = kNoServer;
+    Time birth = 0.0;
+    Time last_time = 0.0;
+    std::size_t requests = 0;
+  };
+
+  int num_servers_;
+  CostModel cm_;
+  SpeculativeCachingOptions options_;
+  std::map<int, ItemState> items_;
+  Time last_time_ = 0.0;
+  bool finished_ = false;
+};
+
+}  // namespace mcdc

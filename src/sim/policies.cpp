@@ -1,0 +1,211 @@
+#include "sim/policies.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numbers>
+
+namespace mcdc {
+
+namespace {
+
+/// Drop every due copy (expiry <= now) in (expiry, ordinal) order, never
+/// touching the last copy — the shared expiration discipline of the
+/// window-based policies (paper §V step 4 incl. the tie and last-copy
+/// rules).
+template <typename ExpiryVec, typename OrdinalVec>
+void drop_due_copies(ReplicaContext& ctx, const ExpiryVec& expiry,
+                     const OrdinalVec& ordinal) {
+  while (ctx.copy_count() > 1) {
+    ServerId victim = kNoServer;
+    for (const ServerId h : ctx.holders()) {
+      if (expiry[static_cast<std::size_t>(h)] > ctx.now() + kEps) continue;
+      if (victim == kNoServer ||
+          expiry[static_cast<std::size_t>(h)] <
+              expiry[static_cast<std::size_t>(victim)] - kEps ||
+          (almost_equal(expiry[static_cast<std::size_t>(h)],
+                        expiry[static_cast<std::size_t>(victim)]) &&
+           ordinal[static_cast<std::size_t>(h)] <
+               ordinal[static_cast<std::size_t>(victim)])) {
+        victim = h;
+      }
+    }
+    if (victim == kNoServer) break;
+    ctx.drop(victim);
+  }
+}
+
+}  // namespace
+
+// ---------------- ScSimPolicy ----------------
+
+ScSimPolicy::ScSimPolicy(const CostModel& cm, ServerId origin,
+                         std::size_t epoch_transfers, double speculation_factor)
+    : delta_t_(speculation_factor * cm.lambda / cm.mu),
+      epoch_limit_(epoch_transfers),
+      last_request_server_(origin) {}
+
+void ScSimPolicy::on_start(ReplicaContext& ctx) {
+  expiry_.assign(static_cast<std::size_t>(ctx.num_servers()), 0.0);
+  ordinal_.assign(static_cast<std::size_t>(ctx.num_servers()), 0);
+  refresh(ctx, last_request_server_);
+}
+
+void ScSimPolicy::refresh(ReplicaContext& ctx, ServerId s) {
+  expiry_[static_cast<std::size_t>(s)] = ctx.now() + delta_t_;
+  ordinal_[static_cast<std::size_t>(s)] = ++counter_;
+  ctx.wake_at(ctx.now() + delta_t_);
+}
+
+void ScSimPolicy::on_request(ReplicaContext& ctx, ServerId server,
+                             RequestIndex /*index*/) {
+  if (ctx.has_copy(server)) {
+    refresh(ctx, server);
+  } else {
+    ServerId src = last_request_server_;
+    if (!ctx.has_copy(src) || src == server) {
+      // Defensive: fall back to the most recently used holder.
+      std::uint64_t best = 0;
+      src = kNoServer;
+      for (const ServerId h : ctx.holders()) {
+        if (src == kNoServer || ordinal_[static_cast<std::size_t>(h)] >= best) {
+          best = ordinal_[static_cast<std::size_t>(h)];
+          src = h;
+        }
+      }
+    }
+    ctx.transfer(src, server);
+    refresh(ctx, src);     // the source gets a fresh window too (step 3)
+    refresh(ctx, server);  // target refreshed after: the tie rule keeps it
+
+    if (++epoch_transfers_ >= epoch_limit_) {
+      for (const ServerId h : ctx.holders()) {
+        if (h != server) ctx.drop(h);
+      }
+      epoch_transfers_ = 0;
+    }
+  }
+  last_request_server_ = server;
+}
+
+void ScSimPolicy::on_wake(ReplicaContext& ctx) {
+  drop_due_copies(ctx, expiry_, ordinal_);
+}
+
+// ---------------- AlwaysMigratePolicy ----------------
+
+void AlwaysMigratePolicy::on_request(ReplicaContext& ctx, ServerId server,
+                                     RequestIndex /*index*/) {
+  if (server == holder_) return;
+  ctx.transfer(holder_, server);
+  ctx.drop(holder_);
+  holder_ = server;
+}
+
+// ---------------- StaticHomePolicy ----------------
+
+void StaticHomePolicy::on_request(ReplicaContext& ctx, ServerId server,
+                                  RequestIndex /*index*/) {
+  if (server == home_) return;
+  ctx.transfer(home_, server);
+  ctx.drop(server);  // serve and discard immediately
+}
+
+// ---------------- FullReplicationPolicy ----------------
+
+void FullReplicationPolicy::on_request(ReplicaContext& ctx, ServerId server,
+                                       RequestIndex /*index*/) {
+  if (!ctx.has_copy(server)) {
+    const ServerId src = ctx.has_copy(last_) ? last_ : ctx.holders().front();
+    ctx.transfer(src, server);
+  }
+  last_ = server;
+}
+
+// ---------------- LruKPolicy ----------------
+
+LruKPolicy::LruKPolicy(int num_servers, ServerId origin, std::size_t capacity)
+    : capacity_(std::max<std::size_t>(1, capacity)), last_(origin) {
+  last_use_.assign(static_cast<std::size_t>(num_servers), 0);
+  last_use_[static_cast<std::size_t>(origin)] = ++counter_;
+}
+
+void LruKPolicy::on_request(ReplicaContext& ctx, ServerId server,
+                            RequestIndex /*index*/) {
+  if (!ctx.has_copy(server)) {
+    const ServerId src = ctx.has_copy(last_) ? last_ : ctx.holders().front();
+    ctx.transfer(src, server);
+  }
+  last_use_[static_cast<std::size_t>(server)] = ++counter_;
+  last_ = server;
+  while (ctx.copy_count() > capacity_) {
+    ServerId victim = kNoServer;
+    for (const ServerId h : ctx.holders()) {
+      if (h == server) continue;
+      if (victim == kNoServer || last_use_[static_cast<std::size_t>(h)] <
+                                     last_use_[static_cast<std::size_t>(victim)]) {
+        victim = h;
+      }
+    }
+    if (victim == kNoServer) break;
+    ctx.drop(victim);
+  }
+}
+
+// ---------------- RandomizedSkiRentalPolicy ----------------
+
+RandomizedSkiRentalPolicy::RandomizedSkiRentalPolicy(const CostModel& cm,
+                                                     ServerId origin, Rng& rng)
+    : delta_t_(cm.lambda / cm.mu), rng_(&rng), last_request_server_(origin) {}
+
+double RandomizedSkiRentalPolicy::sample_window() {
+  // Inverse-CDF sample of the optimal randomized ski-rental density
+  // f(x) = e^x / (e - 1) on [0, 1), scaled to the deterministic window.
+  const double u = rng_->uniform();
+  return delta_t_ * std::log(1.0 + u * (std::numbers::e - 1.0));
+}
+
+void RandomizedSkiRentalPolicy::on_start(ReplicaContext& ctx) {
+  expiry_.assign(static_cast<std::size_t>(ctx.num_servers()), 0.0);
+  window_.assign(static_cast<std::size_t>(ctx.num_servers()), delta_t_);
+  ordinal_.assign(static_cast<std::size_t>(ctx.num_servers()), 0);
+  window_[static_cast<std::size_t>(last_request_server_)] = sample_window();
+  refresh(ctx, last_request_server_);
+}
+
+void RandomizedSkiRentalPolicy::refresh(ReplicaContext& ctx, ServerId s) {
+  expiry_[static_cast<std::size_t>(s)] =
+      ctx.now() + window_[static_cast<std::size_t>(s)];
+  ordinal_[static_cast<std::size_t>(s)] = ++counter_;
+  ctx.wake_at(expiry_[static_cast<std::size_t>(s)]);
+}
+
+void RandomizedSkiRentalPolicy::on_request(ReplicaContext& ctx, ServerId server,
+                                           RequestIndex /*index*/) {
+  if (ctx.has_copy(server)) {
+    refresh(ctx, server);
+  } else {
+    ServerId src = last_request_server_;
+    if (!ctx.has_copy(src) || src == server) {
+      std::uint64_t best = 0;
+      src = kNoServer;
+      for (const ServerId h : ctx.holders()) {
+        if (src == kNoServer || ordinal_[static_cast<std::size_t>(h)] >= best) {
+          best = ordinal_[static_cast<std::size_t>(h)];
+          src = h;
+        }
+      }
+    }
+    ctx.transfer(src, server);
+    window_[static_cast<std::size_t>(server)] = sample_window();
+    refresh(ctx, src);
+    refresh(ctx, server);
+  }
+  last_request_server_ = server;
+}
+
+void RandomizedSkiRentalPolicy::on_wake(ReplicaContext& ctx) {
+  drop_due_copies(ctx, expiry_, ordinal_);
+}
+
+}  // namespace mcdc

@@ -1,0 +1,116 @@
+// Online replica-management policies for the simulator.
+//
+//  * ScSimPolicy        — the paper's Speculative Caching, re-implemented
+//                         on top of the generic policy API. Intentionally a
+//                         second, independent implementation: tests require
+//                         cost equality with core/online_sc.cpp.
+//  * AlwaysMigratePolicy— one copy that follows the request stream
+//                         (transfer on every server change, never replicate).
+//  * StaticHomePolicy   — the copy never leaves the origin; remote requests
+//                         are served by transfer-and-discard.
+//  * FullReplicationPolicy — replicate on first touch, never delete.
+//  * LruKPolicy         — capacity-driven baseline: at most k replicas,
+//                         least-recently-used eviction (classic caching
+//                         transplanted into the cloud cost model; Table I's
+//                         left column).
+//  * RandomizedSkiRentalPolicy — SC with the classical randomized ski-rental
+//                         window distribution (density e^x/(e-1) on [0,1],
+//                         scaled by delta_t) instead of the fixed window.
+#pragma once
+
+#include <vector>
+
+#include "model/cost_model.h"
+#include "sim/policy.h"
+#include "util/rng.h"
+
+namespace mcdc {
+
+class ScSimPolicy final : public OnlinePolicy {
+ public:
+  ScSimPolicy(const CostModel& cm, ServerId origin,
+              std::size_t epoch_transfers = static_cast<std::size_t>(-1),
+              double speculation_factor = 1.0);
+
+  std::string name() const override { return "sc"; }
+  void on_start(ReplicaContext& ctx) override;
+  void on_request(ReplicaContext& ctx, ServerId server, RequestIndex index) override;
+  void on_wake(ReplicaContext& ctx) override;
+
+ private:
+  void refresh(ReplicaContext& ctx, ServerId s);
+
+  Time delta_t_;
+  std::size_t epoch_limit_;
+  std::size_t epoch_transfers_ = 0;
+  ServerId last_request_server_;
+  std::vector<Time> expiry_;
+  std::vector<std::uint64_t> ordinal_;
+  std::uint64_t counter_ = 0;
+};
+
+class AlwaysMigratePolicy final : public OnlinePolicy {
+ public:
+  explicit AlwaysMigratePolicy(ServerId origin) : holder_(origin) {}
+  std::string name() const override { return "always-migrate"; }
+  void on_request(ReplicaContext& ctx, ServerId server, RequestIndex index) override;
+
+ private:
+  ServerId holder_;
+};
+
+class StaticHomePolicy final : public OnlinePolicy {
+ public:
+  explicit StaticHomePolicy(ServerId origin) : home_(origin) {}
+  std::string name() const override { return "static-home"; }
+  void on_request(ReplicaContext& ctx, ServerId server, RequestIndex index) override;
+
+ private:
+  ServerId home_;
+};
+
+class FullReplicationPolicy final : public OnlinePolicy {
+ public:
+  explicit FullReplicationPolicy(ServerId origin) : last_(origin) {}
+  std::string name() const override { return "full-replication"; }
+  void on_request(ReplicaContext& ctx, ServerId server, RequestIndex index) override;
+
+ private:
+  ServerId last_;
+};
+
+class LruKPolicy final : public OnlinePolicy {
+ public:
+  LruKPolicy(int num_servers, ServerId origin, std::size_t capacity);
+  std::string name() const override { return "lru-" + std::to_string(capacity_); }
+  void on_request(ReplicaContext& ctx, ServerId server, RequestIndex index) override;
+
+ private:
+  std::size_t capacity_;
+  ServerId last_;
+  std::vector<std::uint64_t> last_use_;
+  std::uint64_t counter_ = 0;
+};
+
+class RandomizedSkiRentalPolicy final : public OnlinePolicy {
+ public:
+  RandomizedSkiRentalPolicy(const CostModel& cm, ServerId origin, Rng& rng);
+  std::string name() const override { return "rand-ski"; }
+  void on_start(ReplicaContext& ctx) override;
+  void on_request(ReplicaContext& ctx, ServerId server, RequestIndex index) override;
+  void on_wake(ReplicaContext& ctx) override;
+
+ private:
+  double sample_window();
+  void refresh(ReplicaContext& ctx, ServerId s);
+
+  Time delta_t_;
+  Rng* rng_;
+  ServerId last_request_server_;
+  std::vector<Time> expiry_;
+  std::vector<Time> window_;
+  std::vector<std::uint64_t> ordinal_;
+  std::uint64_t counter_ = 0;
+};
+
+}  // namespace mcdc

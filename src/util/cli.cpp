@@ -1,0 +1,103 @@
+#include "util/cli.h"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace mcdc {
+
+void ArgParser::add_flag(const std::string& name, const std::string& help,
+                         const std::string& default_value) {
+  flags_[name] = Flag{help, default_value, /*is_bool=*/false, /*seen=*/false};
+}
+
+void ArgParser::add_bool_flag(const std::string& name, const std::string& help) {
+  flags_[name] = Flag{help, "false", /*is_bool=*/true, /*seen=*/false};
+}
+
+std::vector<std::string> ArgParser::parse(int argc, const char* const* argv) {
+  std::vector<std::string> positional;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional.push_back(std::move(arg));
+      continue;
+    }
+    std::string name = arg.substr(2);
+    std::optional<std::string> value;
+    if (auto eq = name.find('='); eq != std::string::npos) {
+      value = name.substr(eq + 1);
+      name = name.substr(0, eq);
+    }
+    auto it = flags_.find(name);
+    if (it == flags_.end()) {
+      throw std::invalid_argument("unknown flag: --" + name);
+    }
+    Flag& f = it->second;
+    if (f.is_bool) {
+      f.value = value.value_or("true");
+    } else if (value) {
+      f.value = *value;
+    } else {
+      if (i + 1 >= argc) {
+        throw std::invalid_argument("flag --" + name + " expects a value");
+      }
+      f.value = argv[++i];
+    }
+    f.seen = true;
+  }
+  return positional;
+}
+
+const ArgParser::Flag& ArgParser::flag(const std::string& name) const {
+  auto it = flags_.find(name);
+  if (it == flags_.end()) {
+    throw std::invalid_argument("flag not registered: --" + name);
+  }
+  return it->second;
+}
+
+bool ArgParser::has(const std::string& name) const { return flag(name).seen; }
+
+std::string ArgParser::get(const std::string& name) const { return flag(name).value; }
+
+long long ArgParser::get_int(const std::string& name) const {
+  const std::string& v = flag(name).value;
+  std::size_t pos = 0;
+  const long long out = std::stoll(v, &pos);
+  if (pos != v.size()) {
+    throw std::invalid_argument("flag --" + name + ": not an integer: " + v);
+  }
+  return out;
+}
+
+double ArgParser::get_double(const std::string& name) const {
+  const std::string& v = flag(name).value;
+  std::size_t pos = 0;
+  const double out = std::stod(v, &pos);
+  if (pos != v.size()) {
+    throw std::invalid_argument("flag --" + name + ": not a number: " + v);
+  }
+  return out;
+}
+
+bool ArgParser::get_bool(const std::string& name) const {
+  const std::string& v = flag(name).value;
+  if (v == "true" || v == "1") return true;
+  if (v == "false" || v == "0") return false;
+  throw std::invalid_argument("flag --" + name + ": not a boolean: " + v);
+}
+
+std::string ArgParser::usage(const std::string& program) const {
+  std::ostringstream os;
+  os << "usage: " << program << " [flags]\n";
+  for (const auto& [name, f] : flags_) {
+    os << "  --" << name;
+    if (!f.is_bool) os << "=<value>";
+    os << "  " << f.help;
+    if (!f.value.empty() && !f.is_bool) os << " (default: " << f.value << ")";
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace mcdc

@@ -1,0 +1,45 @@
+// Tiny command-line flag parser for examples and bench harnesses.
+//
+// Supports `--name=value`, `--name value`, and boolean `--name`. Unknown
+// flags are an error so typos surface immediately.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace mcdc {
+
+class ArgParser {
+ public:
+  /// Register flags before parse(). `help` is shown by usage().
+  void add_flag(const std::string& name, const std::string& help,
+                const std::string& default_value = "");
+  void add_bool_flag(const std::string& name, const std::string& help);
+
+  /// Parse argv; throws std::invalid_argument on unknown/malformed flags.
+  /// Returns leftover positional arguments.
+  std::vector<std::string> parse(int argc, const char* const* argv);
+
+  bool has(const std::string& name) const;
+  std::string get(const std::string& name) const;
+  long long get_int(const std::string& name) const;
+  double get_double(const std::string& name) const;
+  bool get_bool(const std::string& name) const;
+
+  std::string usage(const std::string& program) const;
+
+ private:
+  struct Flag {
+    std::string help;
+    std::string value;
+    bool is_bool = false;
+    bool seen = false;
+  };
+  const Flag& flag(const std::string& name) const;
+
+  std::map<std::string, Flag> flags_;
+};
+
+}  // namespace mcdc

@@ -1,0 +1,75 @@
+#include "util/csv.h"
+
+#include <istream>
+#include <ostream>
+
+namespace mcdc {
+
+std::vector<std::string> csv_split_line(const std::string& line) {
+  std::vector<std::string> fields;
+  std::string cur;
+  bool quoted = false;
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    const char ch = line[i];
+    if (quoted) {
+      if (ch == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          cur += '"';
+          ++i;
+        } else {
+          quoted = false;
+        }
+      } else {
+        cur += ch;
+      }
+    } else if (ch == '"') {
+      quoted = true;
+    } else if (ch == ',') {
+      fields.push_back(std::move(cur));
+      cur.clear();
+    } else if (ch == '\r') {
+      // tolerate CRLF
+    } else {
+      cur += ch;
+    }
+  }
+  fields.push_back(std::move(cur));
+  return fields;
+}
+
+std::string csv_escape(const std::string& cell) {
+  const bool needs = cell.find_first_of(",\"\n") != std::string::npos;
+  if (!needs) return cell;
+  std::string out = "\"";
+  for (char ch : cell) {
+    if (ch == '"') out += "\"\"";
+    else out += ch;
+  }
+  out += '"';
+  return out;
+}
+
+std::string csv_join(const std::vector<std::string>& cells) {
+  std::string out;
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i) out += ',';
+    out += csv_escape(cells[i]);
+  }
+  return out;
+}
+
+std::vector<std::vector<std::string>> csv_read(std::istream& in) {
+  std::vector<std::vector<std::string>> rows;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line == "\r") continue;
+    rows.push_back(csv_split_line(line));
+  }
+  return rows;
+}
+
+void csv_write(std::ostream& out, const std::vector<std::vector<std::string>>& rows) {
+  for (const auto& row : rows) out << csv_join(row) << '\n';
+}
+
+}  // namespace mcdc

@@ -1,0 +1,30 @@
+// Minimal CSV reading/writing for trace import/export.
+//
+// Traces are plain `server,time` rows (see workload/trace_io.h); this layer
+// is a general tokenizer handling quoting so user traces survive round
+// trips.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace mcdc {
+
+/// Split one CSV line into fields, honouring double-quoted cells with
+/// embedded commas and doubled quotes ("" -> ").
+std::vector<std::string> csv_split_line(const std::string& line);
+
+/// Quote a single cell if it needs quoting.
+std::string csv_escape(const std::string& cell);
+
+/// Join cells into a CSV line.
+std::string csv_join(const std::vector<std::string>& cells);
+
+/// Read all rows from a stream; skips empty lines.
+std::vector<std::vector<std::string>> csv_read(std::istream& in);
+
+/// Write all rows to a stream.
+void csv_write(std::ostream& out, const std::vector<std::vector<std::string>>& rows);
+
+}  // namespace mcdc

@@ -1,0 +1,41 @@
+// Deterministic data-parallel helpers.
+//
+// Experiment sweeps are embarrassingly parallel across instances; we use
+// OpenMP when available and fall back to a serial loop otherwise. Work
+// assignment is by index, and callers pre-fork one RNG per index, so
+// results are bit-identical at any thread count — a requirement for the
+// reproducibility story in EXPERIMENTS.md.
+#pragma once
+
+#include <cstddef>
+
+#if defined(_OPENMP)
+#include <omp.h>
+#endif
+
+namespace mcdc {
+
+/// Number of threads a parallel_for would use (1 without OpenMP).
+inline int hardware_parallelism() {
+#if defined(_OPENMP)
+  return omp_get_max_threads();
+#else
+  return 1;
+#endif
+}
+
+/// Run f(i) for i in [0, n). f must be safe to call concurrently for
+/// distinct indices (typically writing results[i] only).
+template <typename F>
+void parallel_for(std::size_t n, F&& f) {
+#if defined(_OPENMP)
+#pragma omp parallel for schedule(dynamic)
+  for (long long i = 0; i < static_cast<long long>(n); ++i) {
+    f(static_cast<std::size_t>(i));
+  }
+#else
+  for (std::size_t i = 0; i < n; ++i) f(i);
+#endif
+}
+
+}  // namespace mcdc

@@ -1,0 +1,88 @@
+// Deterministic, seedable random number generation.
+//
+// We ship our own xoshiro256** generator instead of std::mt19937 so that
+// workload generation is bit-reproducible across standard libraries and
+// platforms: every experiment in EXPERIMENTS.md is regenerable from a seed.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace mcdc {
+
+/// SplitMix64: used to expand a single 64-bit seed into generator state.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256** 1.0 (Blackman & Vigna), a fast high-quality PRNG.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x2b7e151628aed2a6ULL);
+
+  /// Uniform 64-bit value.
+  std::uint64_t next_u64();
+
+  /// Uniform in [0, 1).
+  double uniform();
+
+  /// Uniform in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Uniform integer in [0, n). n must be > 0.
+  std::uint64_t uniform_int(std::uint64_t n);
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// Exponential with given rate (mean 1/rate). rate must be > 0.
+  double exponential(double rate);
+
+  /// Pareto (Lomax-style heavy tail): scale * (U^(-1/alpha) - 1) + floor.
+  double pareto(double alpha, double scale);
+
+  /// Standard normal via Box-Muller.
+  double normal(double mean = 0.0, double stddev = 1.0);
+
+  /// Bernoulli trial.
+  bool bernoulli(double p);
+
+  /// Sample an index according to non-negative weights (linear scan).
+  std::size_t weighted_index(const std::vector<double>& weights);
+
+  /// Fork a statistically independent child generator (for parallel sweeps).
+  Rng fork();
+
+ private:
+  std::uint64_t s_[4];
+  bool have_spare_normal_ = false;
+  double spare_normal_ = 0.0;
+};
+
+/// Zipf(alpha) sampler over {0..n-1} using precomputed CDF; O(log n) draws.
+class ZipfSampler {
+ public:
+  ZipfSampler(std::size_t n, double alpha);
+
+  std::size_t sample(Rng& rng) const;
+
+  std::size_t size() const { return cdf_.size(); }
+  double alpha() const { return alpha_; }
+
+ private:
+  std::vector<double> cdf_;
+  double alpha_;
+};
+
+}  // namespace mcdc

@@ -1,0 +1,34 @@
+// ASCII table rendering for bench harness output.
+//
+// Every bench binary that regenerates a paper table/figure prints its rows
+// through this formatter so EXPERIMENTS.md snippets are copy-pasteable.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace mcdc {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Append a row; must have the same arity as the header.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with the given precision.
+  static std::string num(double v, int precision = 3);
+  static std::string integer(long long v);
+
+  std::size_t rows() const { return rows_.size(); }
+
+  /// Render with column alignment and +---+ rules.
+  std::string render() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace mcdc

@@ -1,0 +1,27 @@
+// Wall-clock timing helpers for the scaling benches.
+#pragma once
+
+#include <chrono>
+
+namespace mcdc {
+
+/// Monotonic stopwatch. start() on construction; elapsed in seconds.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void reset() { start_ = Clock::now(); }
+
+  double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double millis() const { return seconds() * 1e3; }
+  double micros() const { return seconds() * 1e6; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace mcdc

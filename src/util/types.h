@@ -1,0 +1,50 @@
+// Core scalar types and numeric conventions shared by every mcdc module.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+namespace mcdc {
+
+/// Index of a server in the fully connected network, 0-based internally.
+/// The paper writes servers as s^1..s^m; we map s^j to ServerId j-1.
+using ServerId = std::int32_t;
+
+/// Index of a request within a sequence. Request 0 is the boundary request
+/// r_0 = (s^1, 0) holding the initial copy; real requests are 1..n.
+using RequestIndex = std::int32_t;
+
+/// Continuous time in abstract units (the paper's t_i).
+using Time = double;
+
+/// Monetary cost in abstract units (multiples of mu and lambda).
+using Cost = double;
+
+inline constexpr ServerId kNoServer = -1;
+inline constexpr RequestIndex kNoRequest = -1;
+
+/// Tolerance used for all floating point cost/time comparisons. Costs in
+/// this problem are short sums of products of user-supplied scalars, so a
+/// fixed absolute epsilon is appropriate.
+inline constexpr double kEps = 1e-9;
+
+inline constexpr Cost kInfiniteCost = std::numeric_limits<Cost>::infinity();
+
+/// a approximately equals b under the global tolerance, scaled mildly by
+/// magnitude so large accumulated costs still compare sanely.
+inline bool almost_equal(double a, double b, double eps = kEps) {
+  if (std::isinf(a) || std::isinf(b)) return a == b;
+  const double scale = 1.0 + std::fmax(std::fabs(a), std::fabs(b));
+  return std::fabs(a - b) <= eps * scale;
+}
+
+inline bool definitely_less(double a, double b, double eps = kEps) {
+  return a < b && !almost_equal(a, b, eps);
+}
+
+inline bool less_or_equal(double a, double b, double eps = kEps) {
+  return a < b || almost_equal(a, b, eps);
+}
+
+}  // namespace mcdc

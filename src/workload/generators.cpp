@@ -1,0 +1,322 @@
+#include "workload/generators.h"
+
+#include <algorithm>
+#include <map>
+#include <numeric>
+#include <stdexcept>
+
+namespace mcdc {
+
+namespace {
+
+void check_shape(int num_servers, int num_requests) {
+  if (num_servers <= 0) throw std::invalid_argument("generator: num_servers <= 0");
+  if (num_requests < 0) throw std::invalid_argument("generator: num_requests < 0");
+}
+
+}  // namespace
+
+RequestSequence gen_poisson_zipf(Rng& rng, const PoissonZipfConfig& cfg) {
+  check_shape(cfg.num_servers, cfg.num_requests);
+  if (cfg.arrival_rate <= 0) throw std::invalid_argument("generator: rate <= 0");
+  const ZipfSampler zipf(static_cast<std::size_t>(cfg.num_servers), cfg.zipf_alpha);
+  std::vector<Request> reqs;
+  reqs.reserve(static_cast<std::size_t>(cfg.num_requests));
+  Time t = 0.0;
+  for (int i = 0; i < cfg.num_requests; ++i) {
+    t += rng.exponential(cfg.arrival_rate) + 1e-9;
+    reqs.push_back({static_cast<ServerId>(zipf.sample(rng)), t});
+  }
+  return RequestSequence(cfg.num_servers, std::move(reqs));
+}
+
+RequestSequence gen_uniform(Rng& rng, int num_servers, int num_requests,
+                            double arrival_rate) {
+  PoissonZipfConfig cfg;
+  cfg.num_servers = num_servers;
+  cfg.num_requests = num_requests;
+  cfg.arrival_rate = arrival_rate;
+  cfg.zipf_alpha = 0.0;
+  return gen_poisson_zipf(rng, cfg);
+}
+
+RequestSequence gen_markov_mobility(Rng& rng, const MobilityConfig& cfg) {
+  check_shape(cfg.num_servers, cfg.num_requests);
+  if (cfg.num_users <= 0) throw std::invalid_argument("generator: num_users <= 0");
+  if (cfg.request_rate <= 0 || cfg.dwell_rate <= 0) {
+    throw std::invalid_argument("generator: rates must be > 0");
+  }
+
+  struct User {
+    ServerId at;
+    Time next_request;
+    Time next_move;
+  };
+  std::vector<User> users;
+  for (int u = 0; u < cfg.num_users; ++u) {
+    const auto at = static_cast<ServerId>(
+        rng.uniform_int(static_cast<std::uint64_t>(cfg.num_servers)));
+    users.push_back({at, rng.exponential(cfg.request_rate),
+                     rng.exponential(cfg.dwell_rate)});
+  }
+
+  std::vector<Request> reqs;
+  reqs.reserve(static_cast<std::size_t>(cfg.num_requests));
+  Time last_t = 0.0;
+  while (static_cast<int>(reqs.size()) < cfg.num_requests) {
+    // Next event over all users (request or move).
+    std::size_t who = 0;
+    bool is_request = true;
+    Time best = users[0].next_request;
+    for (std::size_t u = 0; u < users.size(); ++u) {
+      if (users[u].next_request < best) {
+        best = users[u].next_request;
+        who = u;
+        is_request = true;
+      }
+      if (users[u].next_move < best) {
+        best = users[u].next_move;
+        who = u;
+        is_request = false;
+      }
+    }
+    User& user = users[who];
+    if (is_request) {
+      const Time t = std::max(best, last_t + 1e-9);
+      reqs.push_back({user.at, t});
+      last_t = t;
+      user.next_request = best + rng.exponential(cfg.request_rate);
+    } else {
+      if (rng.bernoulli(cfg.neighbor_prob)) {
+        const int dir = rng.bernoulli(0.5) ? 1 : cfg.num_servers - 1;
+        user.at = static_cast<ServerId>((user.at + dir) % cfg.num_servers);
+      } else {
+        user.at = static_cast<ServerId>(
+            rng.uniform_int(static_cast<std::uint64_t>(cfg.num_servers)));
+      }
+      user.next_move = best + rng.exponential(cfg.dwell_rate);
+    }
+  }
+  return RequestSequence(cfg.num_servers, std::move(reqs));
+}
+
+RequestSequence gen_commuter(Rng& rng, const CommuterConfig& cfg) {
+  check_shape(cfg.num_servers, cfg.num_requests);
+  if (cfg.period <= 0 || cfg.stops_per_period <= 0) {
+    throw std::invalid_argument("generator: period/stops must be > 0");
+  }
+  // A fixed rotation of stops (home, commute, work, ...) over the servers.
+  std::vector<ServerId> stops;
+  for (int s = 0; s < cfg.stops_per_period; ++s) {
+    stops.push_back(static_cast<ServerId>(s % cfg.num_servers));
+  }
+
+  std::vector<Request> reqs;
+  reqs.reserve(static_cast<std::size_t>(cfg.num_requests));
+  const double slot = cfg.period / cfg.stops_per_period;
+  Time last_t = 0.0;
+  int emitted = 0;
+  for (int k = 0; emitted < cfg.num_requests; ++k) {
+    const int stop_index = k % cfg.stops_per_period;
+    const double base = (k + 0.5) * slot;
+    const double t_raw = base + rng.uniform(-cfg.time_jitter, cfg.time_jitter);
+    const Time t = std::max(t_raw, last_t + 1e-9);
+    ServerId server = stops[static_cast<std::size_t>(stop_index)];
+    if (rng.bernoulli(cfg.detour_prob)) {
+      server = static_cast<ServerId>(
+          rng.uniform_int(static_cast<std::uint64_t>(cfg.num_servers)));
+    }
+    reqs.push_back({server, t});
+    last_t = t;
+    ++emitted;
+  }
+  return RequestSequence(cfg.num_servers, std::move(reqs));
+}
+
+RequestSequence gen_bursty_pareto(Rng& rng, const BurstyConfig& cfg) {
+  check_shape(cfg.num_servers, cfg.num_requests);
+  const ZipfSampler zipf(static_cast<std::size_t>(cfg.num_servers), cfg.zipf_alpha);
+  std::vector<Request> reqs;
+  reqs.reserve(static_cast<std::size_t>(cfg.num_requests));
+  Time t = 0.0;
+  for (int i = 0; i < cfg.num_requests; ++i) {
+    t += rng.pareto(cfg.pareto_alpha, cfg.pareto_scale) + 1e-9;
+    reqs.push_back({static_cast<ServerId>(zipf.sample(rng)), t});
+  }
+  return RequestSequence(cfg.num_servers, std::move(reqs));
+}
+
+RequestSequence gen_adversarial_alternation(const CostModel& cm, int num_requests,
+                                            double gap_factor, int num_servers) {
+  check_shape(num_servers, num_requests);
+  if (num_servers < 2) throw std::invalid_argument("adversarial: need >= 2 servers");
+  if (gap_factor <= 0) throw std::invalid_argument("adversarial: gap_factor <= 0");
+  const Time gap = gap_factor * cm.speculation_window();
+  std::vector<Request> reqs;
+  reqs.reserve(static_cast<std::size_t>(num_requests));
+  Time t = 0.0;
+  for (int i = 0; i < num_requests; ++i) {
+    t += gap;
+    reqs.push_back({static_cast<ServerId>(i % 2 == 0 ? 1 : 0), t});
+  }
+  return RequestSequence(num_servers, std::move(reqs));
+}
+
+RequestSequence gen_diurnal(Rng& rng, const DiurnalConfig& cfg) {
+  check_shape(cfg.num_servers, cfg.num_requests);
+  if (cfg.period <= 0 || cfg.day_fraction <= 0 || cfg.day_fraction >= 1 ||
+      cfg.day_rate <= 0 || cfg.night_rate <= 0) {
+    throw std::invalid_argument("gen_diurnal: bad config");
+  }
+  const int work_servers = std::max(1, cfg.num_servers / 2);
+  const int home_servers = std::max(1, cfg.num_servers - work_servers);
+
+  std::vector<Request> reqs;
+  reqs.reserve(static_cast<std::size_t>(cfg.num_requests));
+  Time t = 0.0;
+  while (static_cast<int>(reqs.size()) < cfg.num_requests) {
+    const double phase = std::fmod(t, cfg.period) / cfg.period;
+    const bool day = phase < cfg.day_fraction;
+    t += rng.exponential(day ? cfg.day_rate : cfg.night_rate) + 1e-9;
+    // Re-evaluate the phase at the actual request time.
+    const double p2 = std::fmod(t, cfg.period) / cfg.period;
+    const bool day2 = p2 < cfg.day_fraction;
+    ServerId server;
+    if (day2) {
+      server = static_cast<ServerId>(
+          rng.uniform_int(static_cast<std::uint64_t>(work_servers)));
+    } else {
+      server = static_cast<ServerId>(
+          work_servers + static_cast<int>(rng.uniform_int(
+                             static_cast<std::uint64_t>(home_servers))));
+    }
+    server = std::min<ServerId>(server, cfg.num_servers - 1);
+    reqs.push_back({server, t});
+  }
+  return RequestSequence(cfg.num_servers, std::move(reqs));
+}
+
+RequestSequence gen_flash_crowd(Rng& rng, const FlashCrowdConfig& cfg) {
+  check_shape(cfg.num_servers, cfg.num_requests);
+  if (cfg.base_rate <= 0 || cfg.hotspot_interval <= 0 ||
+      cfg.hotspot_duration <= 0 || cfg.hotspot_rate <= 0 ||
+      cfg.hotspot_affinity < 0 || cfg.hotspot_affinity > 1) {
+    throw std::invalid_argument("gen_flash_crowd: bad config");
+  }
+  std::vector<Request> reqs;
+  reqs.reserve(static_cast<std::size_t>(cfg.num_requests));
+  Time t = 0.0;
+  Time next_hotspot = cfg.hotspot_interval;
+  Time hotspot_end = -1.0;
+  ServerId hot = 0;
+  while (static_cast<int>(reqs.size()) < cfg.num_requests) {
+    if (t >= next_hotspot) {
+      hot = static_cast<ServerId>(
+          rng.uniform_int(static_cast<std::uint64_t>(cfg.num_servers)));
+      hotspot_end = t + cfg.hotspot_duration;
+      next_hotspot = t + cfg.hotspot_interval;
+    }
+    const bool burning = t < hotspot_end;
+    t += rng.exponential(burning ? cfg.hotspot_rate : cfg.base_rate) + 1e-9;
+    ServerId server;
+    if (burning && rng.bernoulli(cfg.hotspot_affinity)) {
+      server = hot;
+    } else {
+      server = static_cast<ServerId>(
+          rng.uniform_int(static_cast<std::uint64_t>(cfg.num_servers)));
+    }
+    reqs.push_back({server, t});
+  }
+  return RequestSequence(cfg.num_servers, std::move(reqs));
+}
+
+RequestSequence perturb_sequence(Rng& rng, const RequestSequence& seq,
+                                 double time_jitter, double server_flip_prob) {
+  if (time_jitter < 0 || server_flip_prob < 0 || server_flip_prob > 1) {
+    throw std::invalid_argument("perturb_sequence: bad noise parameters");
+  }
+  std::vector<Request> reqs;
+  reqs.reserve(static_cast<std::size_t>(seq.n()));
+  for (RequestIndex i = 1; i <= seq.n(); ++i) {
+    ServerId server = seq.server(i);
+    if (server_flip_prob > 0 && rng.bernoulli(server_flip_prob)) {
+      server = static_cast<ServerId>(
+          rng.uniform_int(static_cast<std::uint64_t>(seq.m())));
+    }
+    Time t = seq.time(i);
+    if (time_jitter > 0) t += rng.uniform(-time_jitter, time_jitter);
+    reqs.push_back({server, t});
+  }
+  std::sort(reqs.begin(), reqs.end(),
+            [](const Request& a, const Request& b) { return a.time < b.time; });
+  Time prev = 0.0;
+  for (auto& r : reqs) {
+    if (r.time <= prev) r.time = prev + 1e-9;
+    prev = r.time;
+  }
+  return RequestSequence(seq.m(), std::move(reqs), seq.origin());
+}
+
+std::vector<MultiItemRequest> gen_multi_item(Rng& rng, const MultiItemConfig& cfg) {
+  check_shape(cfg.num_servers, cfg.num_requests);
+  if (cfg.num_items <= 0) throw std::invalid_argument("generator: num_items <= 0");
+  const ZipfSampler item_zipf(static_cast<std::size_t>(cfg.num_items),
+                              cfg.item_zipf_alpha);
+  const ZipfSampler server_zipf(static_cast<std::size_t>(cfg.num_servers),
+                                cfg.server_zipf_alpha);
+
+  // Per-item random rotation of the server popularity order: each item has
+  // its own locality.
+  std::vector<int> rotation(static_cast<std::size_t>(cfg.num_items));
+  for (auto& r : rotation) {
+    r = static_cast<int>(rng.uniform_int(static_cast<std::uint64_t>(cfg.num_servers)));
+  }
+
+  std::vector<MultiItemRequest> stream;
+  stream.reserve(static_cast<std::size_t>(cfg.num_requests));
+  Time t = 0.0;
+  for (int i = 0; i < cfg.num_requests; ++i) {
+    t += rng.exponential(cfg.arrival_rate) + 1e-9;
+    const int item = static_cast<int>(item_zipf.sample(rng));
+    const auto rank = static_cast<int>(server_zipf.sample(rng));
+    const auto server = static_cast<ServerId>(
+        (rank + rotation[static_cast<std::size_t>(item)]) % cfg.num_servers);
+    stream.push_back({item, server, t});
+  }
+  return stream;
+}
+
+std::vector<RequestSequence> split_by_item(const std::vector<MultiItemRequest>& stream,
+                                           int num_servers, int num_items,
+                                           double lead_in) {
+  if (lead_in <= 0) throw std::invalid_argument("split_by_item: lead_in <= 0");
+  std::vector<std::vector<Request>> per_item(static_cast<std::size_t>(num_items));
+  std::vector<Time> first_time(static_cast<std::size_t>(num_items), -1.0);
+  std::vector<ServerId> origin(static_cast<std::size_t>(num_items), 0);
+  for (const auto& r : stream) {
+    if (r.item < 0 || r.item >= num_items) {
+      throw std::invalid_argument("split_by_item: item id out of range");
+    }
+    auto& vec = per_item[static_cast<std::size_t>(r.item)];
+    if (vec.empty()) {
+      first_time[static_cast<std::size_t>(r.item)] = r.time;
+      origin[static_cast<std::size_t>(r.item)] = r.server;
+    }
+    vec.push_back({r.server, r.time});
+  }
+  std::vector<RequestSequence> out;
+  out.reserve(per_item.size());
+  for (std::size_t item = 0; item < per_item.size(); ++item) {
+    auto reqs = per_item[item];
+    if (reqs.empty()) {
+      out.emplace_back(num_servers, std::vector<Request>{});
+      continue;
+    }
+    const Time shift = first_time[item] - lead_in;
+    for (auto& r : reqs) r.time -= shift;
+    out.emplace_back(num_servers, std::move(reqs), origin[item]);
+  }
+  return out;
+}
+
+}  // namespace mcdc

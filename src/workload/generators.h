@@ -1,0 +1,159 @@
+// Synthetic request-stream generators.
+//
+// The paper motivates cloud data caching with mobile access patterns that
+// are strongly predictable in space and time ([2]: >93% of human mobility;
+// [3]: spatial-temporal trajectory models). No real trajectory logs are
+// available offline, so these generators provide the closest synthetic
+// equivalents, each exercising a different regime of the algorithms:
+//
+//   * poisson_zipf   — memoryless arrivals, skewed server popularity
+//                      (no trajectory structure; the hardest case for
+//                      speculation).
+//   * markov_mobility— users walk a Markov chain over servers with
+//                      geometric dwell times, emitting requests while
+//                      attached (strong spatial-temporal locality).
+//   * commuter       — deterministic periodic home/work trajectory with
+//                      jitter (the "93% predictable" regime).
+//   * bursty_pareto  — heavy-tailed inter-arrival gaps (bursts then
+//                      silences; stresses the speculation window).
+//   * adversarial_alternation — deterministic worst case for SC: alternate
+//                      servers with gaps just past delta_t so every
+//                      speculative hold is wasted.
+//   * uniform        — poisson_zipf with alpha = 0.
+//
+// All generators take an explicit Rng so every experiment is reproducible
+// from a seed.
+#pragma once
+
+#include <vector>
+
+#include "model/cost_model.h"
+#include "model/request.h"
+#include "util/rng.h"
+
+namespace mcdc {
+
+struct PoissonZipfConfig {
+  int num_servers = 4;
+  int num_requests = 100;
+  double arrival_rate = 1.0;  ///< mean inter-arrival = 1/rate
+  double zipf_alpha = 0.8;    ///< 0 = uniform server choice
+};
+
+RequestSequence gen_poisson_zipf(Rng& rng, const PoissonZipfConfig& cfg);
+
+RequestSequence gen_uniform(Rng& rng, int num_servers, int num_requests,
+                            double arrival_rate = 1.0);
+
+struct MobilityConfig {
+  int num_servers = 8;
+  int num_requests = 200;
+  int num_users = 3;
+  double request_rate = 1.0;   ///< per-user request rate while attached
+  double dwell_rate = 0.1;     ///< rate of leaving the current server
+  double neighbor_prob = 0.8;  ///< move to a ring neighbour vs uniform jump
+};
+
+/// Users perform a continuous-time random walk on a ring of servers
+/// (neighbour moves with probability neighbor_prob, otherwise a uniform
+/// jump) and emit Poisson requests from wherever they are attached.
+RequestSequence gen_markov_mobility(Rng& rng, const MobilityConfig& cfg);
+
+struct CommuterConfig {
+  int num_servers = 6;
+  int num_requests = 200;
+  double period = 24.0;        ///< one "day"
+  double time_jitter = 0.25;   ///< absolute jitter on each request time
+  double detour_prob = 0.05;   ///< probability a request comes from a random
+                               ///< server instead of the scheduled one
+  int stops_per_period = 4;    ///< home -> commute -> work -> commute ...
+};
+
+/// A periodic trajectory: the user visits `stops_per_period` servers in a
+/// fixed rotation each period, with jitter and occasional detours.
+RequestSequence gen_commuter(Rng& rng, const CommuterConfig& cfg);
+
+struct BurstyConfig {
+  int num_servers = 4;
+  int num_requests = 100;
+  double pareto_alpha = 1.5;  ///< tail index of inter-arrival gaps
+  double pareto_scale = 0.5;
+  double zipf_alpha = 0.8;
+};
+
+RequestSequence gen_bursty_pareto(Rng& rng, const BurstyConfig& cfg);
+
+/// Deterministic adversarial stream for SC: requests alternate between two
+/// servers with inter-arrival gap = gap_factor * (lambda/mu). gap_factor
+/// slightly above 1 defeats every speculative hold.
+RequestSequence gen_adversarial_alternation(const CostModel& cm, int num_requests,
+                                            double gap_factor = 1.01,
+                                            int num_servers = 2);
+
+struct DiurnalConfig {
+  int num_servers = 8;       ///< first half = "work" cells, second = "home"
+  int num_requests = 200;
+  double period = 24.0;
+  double day_fraction = 0.5; ///< fraction of the period spent at work cells
+  double day_rate = 4.0;     ///< request rate during the day
+  double night_rate = 1.0;   ///< request rate at night
+};
+
+/// Day/night pattern: during the day requests come from the work half of
+/// the servers at a high rate; at night from the home half at a low rate.
+/// Strong, periodic spatial-temporal structure.
+RequestSequence gen_diurnal(Rng& rng, const DiurnalConfig& cfg);
+
+struct FlashCrowdConfig {
+  int num_servers = 8;
+  int num_requests = 300;
+  double base_rate = 1.0;
+  double hotspot_interval = 20.0;  ///< a new hotspot ignites this often
+  double hotspot_duration = 5.0;
+  double hotspot_rate = 10.0;      ///< rate while a hotspot burns
+  double hotspot_affinity = 0.9;   ///< fraction of hotspot traffic at the hot server
+};
+
+/// Flash crowds: background uniform traffic with periodic bursts focused
+/// on one (random) server — the migration stress case.
+RequestSequence gen_flash_crowd(Rng& rng, const FlashCrowdConfig& cfg);
+
+/// Perturb a sequence into a "prediction" of it: every request time gets
+/// uniform jitter in [-time_jitter, time_jitter] (order re-sorted, strict
+/// increase restored) and every server is replaced by a uniform random one
+/// with probability server_flip_prob. Models trajectory-prediction error
+/// for the plan-repair experiments.
+RequestSequence perturb_sequence(Rng& rng, const RequestSequence& seq,
+                                 double time_jitter, double server_flip_prob);
+
+// ---- Multi-item streams (for the Table I paradigm comparison) ----
+
+struct MultiItemRequest {
+  int item = 0;
+  ServerId server = kNoServer;
+  Time time = 0.0;
+};
+
+struct MultiItemConfig {
+  int num_servers = 4;
+  int num_items = 50;
+  int num_requests = 2000;
+  double arrival_rate = 5.0;
+  double item_zipf_alpha = 0.9;    ///< item popularity skew
+  double server_zipf_alpha = 0.6;  ///< per-item server affinity skew
+};
+
+/// A stream over many items: item drawn Zipf, server drawn from a Zipf
+/// order randomly rotated per item (each item has its own favourite
+/// servers, mimicking data locality).
+std::vector<MultiItemRequest> gen_multi_item(Rng& rng, const MultiItemConfig& cfg);
+
+/// Split a multi-item stream into one RequestSequence per item. Each item's
+/// clock is re-based so its first request sits `lead_in` after its own t_0,
+/// and its origin is the server of its first request (the item is born
+/// where it is first written).
+std::vector<RequestSequence> split_by_item(const std::vector<MultiItemRequest>& stream,
+                                           int num_servers, int num_items,
+                                           double lead_in = 0.1);
+
+}  // namespace mcdc

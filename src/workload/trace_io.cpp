@@ -1,0 +1,111 @@
+#include "workload/trace_io.h"
+
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/csv.h"
+
+namespace mcdc {
+
+namespace {
+
+std::string fmt_time(Time t) {
+  std::ostringstream os;
+  os << std::setprecision(17) << t;
+  return os.str();
+}
+
+int parse_int(const std::string& s, const char* what) {
+  try {
+    std::size_t pos = 0;
+    const int v = std::stoi(s, &pos);
+    if (pos != s.size()) throw std::invalid_argument(s);
+    return v;
+  } catch (const std::exception&) {
+    throw std::invalid_argument(std::string("trace: bad ") + what + ": " + s);
+  }
+}
+
+double parse_time(const std::string& s) {
+  try {
+    std::size_t pos = 0;
+    const double v = std::stod(s, &pos);
+    if (pos != s.size()) throw std::invalid_argument(s);
+    return v;
+  } catch (const std::exception&) {
+    throw std::invalid_argument("trace: bad time: " + s);
+  }
+}
+
+}  // namespace
+
+void write_trace(std::ostream& out, const RequestSequence& seq) {
+  std::vector<std::vector<std::string>> rows;
+  rows.push_back({std::to_string(seq.m()), std::to_string(seq.origin() + 1)});
+  for (RequestIndex i = 1; i <= seq.n(); ++i) {
+    rows.push_back({std::to_string(seq.server(i) + 1), fmt_time(seq.time(i))});
+  }
+  csv_write(out, rows);
+}
+
+RequestSequence read_trace(std::istream& in) {
+  const auto rows = csv_read(in);
+  if (rows.empty() || rows[0].size() != 2) {
+    throw std::invalid_argument("trace: missing m,origin header");
+  }
+  const int m = parse_int(rows[0][0], "m");
+  const int origin = parse_int(rows[0][1], "origin") - 1;
+  std::vector<Request> reqs;
+  for (std::size_t r = 1; r < rows.size(); ++r) {
+    if (rows[r].size() != 2) throw std::invalid_argument("trace: bad row arity");
+    reqs.push_back({static_cast<ServerId>(parse_int(rows[r][0], "server") - 1),
+                    parse_time(rows[r][1])});
+  }
+  return RequestSequence(m, std::move(reqs), static_cast<ServerId>(origin));
+}
+
+void write_trace_file(const std::string& path, const RequestSequence& seq) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("trace: cannot open for write: " + path);
+  write_trace(out, seq);
+}
+
+RequestSequence read_trace_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("trace: cannot open for read: " + path);
+  return read_trace(in);
+}
+
+void write_multi_item_trace(std::ostream& out,
+                            const std::vector<MultiItemRequest>& stream,
+                            int num_servers, int num_items) {
+  std::vector<std::vector<std::string>> rows;
+  rows.push_back({std::to_string(num_servers), std::to_string(num_items)});
+  for (const auto& r : stream) {
+    rows.push_back({std::to_string(r.item), std::to_string(r.server + 1),
+                    fmt_time(r.time)});
+  }
+  csv_write(out, rows);
+}
+
+MultiItemTrace read_multi_item_trace(std::istream& in) {
+  const auto rows = csv_read(in);
+  if (rows.empty() || rows[0].size() != 2) {
+    throw std::invalid_argument("trace: missing m,items header");
+  }
+  MultiItemTrace trace;
+  trace.num_servers = parse_int(rows[0][0], "m");
+  trace.num_items = parse_int(rows[0][1], "items");
+  for (std::size_t r = 1; r < rows.size(); ++r) {
+    if (rows[r].size() != 3) throw std::invalid_argument("trace: bad row arity");
+    trace.stream.push_back(
+        {parse_int(rows[r][0], "item"),
+         static_cast<ServerId>(parse_int(rows[r][1], "server") - 1),
+         parse_time(rows[r][2])});
+  }
+  return trace;
+}
+
+}  // namespace mcdc

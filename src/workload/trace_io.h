@@ -1,0 +1,39 @@
+// CSV trace import/export.
+//
+// Single-item traces:
+//   # header row:  m,origin
+//   data rows:     server,time        (servers 1-based, as in the paper)
+//
+// Multi-item traces:
+//   # header row:  m,items
+//   data rows:     item,server,time   (item 0-based, server 1-based)
+//
+// Round trips are exact to the printed precision (17 significant digits).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "model/request.h"
+#include "workload/generators.h"
+
+namespace mcdc {
+
+void write_trace(std::ostream& out, const RequestSequence& seq);
+RequestSequence read_trace(std::istream& in);
+
+void write_trace_file(const std::string& path, const RequestSequence& seq);
+RequestSequence read_trace_file(const std::string& path);
+
+void write_multi_item_trace(std::ostream& out,
+                            const std::vector<MultiItemRequest>& stream,
+                            int num_servers, int num_items);
+struct MultiItemTrace {
+  int num_servers = 0;
+  int num_items = 0;
+  std::vector<MultiItemRequest> stream;
+};
+MultiItemTrace read_multi_item_trace(std::istream& in);
+
+}  // namespace mcdc

@@ -1,0 +1,271 @@
+// Tests for the analysis layer: the space-time graph of Definition 2, the
+// competitive-ratio harness, and cost breakdowns.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "analysis/competitive.h"
+#include "analysis/cost_breakdown.h"
+#include "analysis/diagram.h"
+#include "analysis/plan_repair.h"
+#include "analysis/request_report.h"
+#include "analysis/space_time_graph.h"
+#include "core/offline_dp.h"
+#include "core/online_sc.h"
+#include "model/schedule_validator.h"
+#include "workload/generators.h"
+
+namespace mcdc {
+namespace {
+
+RequestSequence fig6_sequence() {
+  return RequestSequence(4, {{1, 0.5},
+                             {2, 0.8},
+                             {3, 1.1},
+                             {0, 1.4},
+                             {1, 2.6},
+                             {1, 3.2},
+                             {2, 4.0}});
+}
+
+TEST(SpaceTimeGraph, VertexAndEdgeCounts) {
+  const auto seq = fig6_sequence();
+  const CostModel cm(1.0, 1.0);
+  const SpaceTimeGraph g(seq, cm);
+  // Vertices: m * (n + 1) = 4 * 8 = 32.
+  EXPECT_EQ(g.num_vertices(), 32u);
+  // Cache edges m*n = 28; transfer edges 2*(m-1) per request = 6*7 = 42.
+  std::size_t cache = 0, transfer = 0;
+  for (const auto& e : g.edges()) {
+    (e.kind == SpaceTimeGraph::EdgeKind::kCache ? cache : transfer) += 1;
+  }
+  EXPECT_EQ(cache, 28u);
+  EXPECT_EQ(transfer, 42u);
+}
+
+TEST(SpaceTimeGraph, SingleCopyDeliveryMatchesSingletonOptimum) {
+  // For a single-request instance, the delivery shortest path equals the
+  // DP optimum.
+  const CostModel cm(1.0, 1.0);
+  const RequestSequence seq(3, {{2, 1.7}});
+  const SpaceTimeGraph g(seq, cm);
+  const auto opt = solve_offline(seq, cm);
+  EXPECT_NEAR(g.single_copy_delivery_cost(1), opt.optimal_cost, 1e-9);
+}
+
+TEST(SpaceTimeGraph, DeliveryCostIsLowerBoundPerRequest) {
+  const auto seq = fig6_sequence();
+  const CostModel cm(1.0, 1.0);
+  const SpaceTimeGraph g(seq, cm);
+  const auto opt = solve_offline(seq, cm);
+  for (RequestIndex i = 1; i <= seq.n(); ++i) {
+    EXPECT_LE(g.single_copy_delivery_cost(i), opt.optimal_cost + kEps)
+        << "request " << i;
+  }
+  // Delivery to r_0's vertex is free.
+  EXPECT_NEAR(g.single_copy_delivery_cost(0), 0.0, 1e-12);
+}
+
+TEST(SpaceTimeGraph, DotExportContainsOverlay) {
+  const auto seq = fig6_sequence();
+  const CostModel cm(1.0, 1.0);
+  const SpaceTimeGraph g(seq, cm);
+  const auto opt = solve_offline(seq, cm);
+  const std::string plain = g.to_dot();
+  const std::string bold = g.to_dot(&opt.schedule);
+  EXPECT_NE(plain.find("digraph"), std::string::npos);
+  EXPECT_EQ(plain.find("penwidth=3"), std::string::npos);
+  EXPECT_NE(bold.find("penwidth=3"), std::string::npos);
+}
+
+TEST(Competitive, ScReportWithinBound) {
+  const CostModel cm(1.0, 1.0);
+  const auto rep = measure_sc_competitive(
+      "poisson-zipf",
+      [](Rng& rng) {
+        PoissonZipfConfig cfg;
+        cfg.num_servers = 4;
+        cfg.num_requests = 50;
+        return gen_poisson_zipf(rng, cfg);
+      },
+      cm, 40, 4242);
+  EXPECT_EQ(rep.instances, 40);
+  EXPECT_LE(rep.max_ratio, 3.0 + 1e-7);
+  EXPECT_GE(rep.ratio.min, 1.0 - 1e-7);
+  EXPECT_GT(rep.mean_opt_cost, 0.0);
+  EXPECT_GE(rep.mean_online_cost, rep.mean_opt_cost);
+}
+
+TEST(Competitive, GenericOnlineFnAndErrors) {
+  const CostModel cm(1.0, 1.0);
+  const auto gen = [](Rng& rng) { return gen_uniform(rng, 3, 20); };
+  // An "online" function that is secretly OPT gives ratio exactly 1.
+  const auto rep = measure_competitive(
+      "opt-itself", gen,
+      [&cm](const RequestSequence& seq) {
+        OfflineDpOptions o;
+        o.reconstruct_schedule = false;
+        return solve_offline(seq, cm, o).optimal_cost;
+      },
+      cm, 10, 99);
+  EXPECT_NEAR(rep.max_ratio, 1.0, 1e-9);
+  EXPECT_THROW(measure_competitive("bad", gen,
+                                   [](const RequestSequence&) { return 1.0; },
+                                   cm, 0, 1),
+               std::invalid_argument);
+}
+
+TEST(PlanRepair, PerfectPredictionNeedsNoRepairs) {
+  Rng rng(201);
+  const CostModel cm(1.0, 1.0);
+  MobilityConfig cfg;
+  cfg.num_servers = 5;
+  cfg.num_requests = 60;
+  const auto actual = gen_markov_mobility(rng, cfg);
+  const auto plan = solve_offline(actual, cm);
+  const auto repaired = repair_schedule(plan.schedule, actual, cm);
+  EXPECT_EQ(repaired.repairs, 0u);
+  EXPECT_NEAR(repaired.cost, plan.optimal_cost, 1e-9);
+  EXPECT_TRUE(validate_schedule(repaired.schedule, actual).ok);
+}
+
+TEST(PlanRepair, NoisyPlansStayFeasibleAndCostAtLeastOpt) {
+  Rng rng(203);
+  Rng noise(205);
+  const CostModel cm(1.0, 1.0);
+  for (int inst = 0; inst < 15; ++inst) {
+    MobilityConfig cfg;
+    cfg.num_servers = 5;
+    cfg.num_requests = 50;
+    const auto actual = gen_markov_mobility(rng, cfg);
+    const auto predicted = perturb_sequence(noise, actual, 0.8, 0.1);
+    const auto plan = solve_offline(predicted, cm);
+    const auto repaired = repair_schedule(plan.schedule, actual, cm);
+    const auto v = validate_schedule(repaired.schedule, actual);
+    EXPECT_TRUE(v.ok) << v.to_string();
+    const auto opt = solve_offline(actual, cm, {.reconstruct_schedule = false});
+    EXPECT_GE(repaired.cost, opt.optimal_cost - 1e-7);
+  }
+}
+
+TEST(PlanRepair, ExtendsCoverageWhenRealityOutrunsPlan) {
+  const CostModel cm(1.0, 1.0);
+  // Plan built for a short predicted sequence; reality has a later request.
+  const RequestSequence predicted(2, {{1, 1.0}});
+  const RequestSequence actual(2, {{1, 1.0}, {1, 5.0}});
+  const auto plan = solve_offline(predicted, cm);
+  const auto repaired = repair_schedule(plan.schedule, actual, cm);
+  EXPECT_GT(repaired.coverage_extension, 0.0);
+  EXPECT_TRUE(validate_schedule(repaired.schedule, actual).ok);
+}
+
+TEST(PlanRepair, EmptyPlanStillServes) {
+  const CostModel cm(1.0, 1.0);
+  const RequestSequence actual(2, {{1, 1.0}});
+  Schedule empty;
+  const auto repaired = repair_schedule(empty, actual, cm);
+  EXPECT_TRUE(validate_schedule(repaired.schedule, actual).ok);
+  EXPECT_EQ(repaired.repairs, 1u);
+}
+
+TEST(RequestReport, MarginalsSumToOptimum) {
+  Rng rng(301);
+  const CostModel cm(1.0, 1.0);
+  for (int inst = 0; inst < 10; ++inst) {
+    PoissonZipfConfig cfg;
+    cfg.num_servers = 5;
+    cfg.num_requests = 40;
+    const auto seq = gen_poisson_zipf(rng, cfg);
+    const auto opt = solve_offline(seq, cm);
+    const auto rep = build_request_report(seq, opt);
+    ASSERT_EQ(rep.rows.size(), static_cast<std::size_t>(seq.n()));
+    Cost sum = 0.0;
+    for (const auto& row : rep.rows) {
+      sum += row.marginal;
+      // Each marginal is at least the request's bound b_i... that is only
+      // guaranteed in aggregate (B_i <= C(i)); individually marginals are
+      // still non-negative.
+      EXPECT_GE(row.marginal, -kEps);
+    }
+    EXPECT_NEAR(sum, opt.optimal_cost, 1e-7);
+    EXPECT_NEAR(rep.total, opt.optimal_cost, 1e-12);
+  }
+}
+
+TEST(RequestReport, TableRendersEveryRow) {
+  const auto seq = fig6_sequence();
+  const auto opt = solve_offline(seq, CostModel(1.0, 1.0));
+  const auto rep = build_request_report(seq, opt);
+  const auto table = rep.to_table();
+  EXPECT_NE(table.find("= C(n)"), std::string::npos);
+  EXPECT_NE(table.find("own-cache"), std::string::npos);
+  for (RequestIndex i = 1; i <= seq.n(); ++i) {
+    EXPECT_NE(table.find("| " + std::to_string(i) + " "), std::string::npos);
+  }
+  EXPECT_FALSE(serve_name(OfflineDpResult::Serve::kTransfer).empty());
+}
+
+TEST(RequestReport, RejectsMismatchedInputs) {
+  const auto seq = fig6_sequence();
+  const RequestSequence other(2, {{1, 1.0}});
+  const auto opt = solve_offline(seq, CostModel(1.0, 1.0));
+  EXPECT_THROW(build_request_report(other, opt), std::invalid_argument);
+}
+
+TEST(Breakdown, MatchesScheduleCost) {
+  const auto seq = fig6_sequence();
+  const CostModel cm(1.0, 1.0);
+  const auto opt = solve_offline(seq, cm);
+  const auto b = breakdown(opt.schedule, cm, seq.m());
+  EXPECT_NEAR(b.total, opt.optimal_cost, 1e-9);
+  EXPECT_NEAR(b.caching + b.transfer, b.total, 1e-12);
+  double per_server = 0.0;
+  for (const auto t : b.cached_time_per_server) per_server += t;
+  EXPECT_NEAR(per_server, b.total_cached_time, 1e-12);
+  EXPECT_FALSE(b.to_string().empty());
+}
+
+TEST(Diagram, RendersAllElements) {
+  const auto seq = fig6_sequence();
+  const CostModel cm(1.0, 1.0);
+  const auto opt = solve_offline(seq, cm);
+  const auto out = render_schedule_diagram(seq, opt.schedule);
+  // One 'o' per request incl. r0.
+  EXPECT_EQ(std::count(out.begin(), out.end(), 'o'),
+            static_cast<long>(seq.n()) + 1);
+  EXPECT_NE(out.find('='), std::string::npos);   // cache runs
+  EXPECT_NE(out.find('T'), std::string::npos);   // transfer departures
+  EXPECT_NE(out.find('|'), std::string::npos);   // transfer verticals
+  EXPECT_NE(out.find("s1 |"), std::string::npos);
+  EXPECT_NE(out.find("s4 |"), std::string::npos);
+  EXPECT_THROW(render_schedule_diagram(seq, opt.schedule, {.width = 3}),
+               std::invalid_argument);
+}
+
+TEST(Diagram, WidthControlsLineLength) {
+  const auto seq = fig6_sequence();
+  const auto opt = solve_offline(seq, CostModel(1.0, 1.0));
+  const auto narrow = render_schedule_diagram(seq, opt.schedule, {.width = 40});
+  std::size_t longest = 0;
+  std::size_t start = 0;
+  while (start < narrow.size()) {
+    const auto end = narrow.find('\n', start);
+    longest = std::max(longest, (end == std::string::npos ? narrow.size() : end) - start);
+    if (end == std::string::npos) break;
+    start = end + 1;
+  }
+  EXPECT_LE(longest, 40u + 4u);
+}
+
+TEST(Breakdown, ServeProfileCountsAllRequests) {
+  const auto seq = fig6_sequence();
+  const auto opt = solve_offline(seq, CostModel(1.0, 1.0));
+  const auto p = serve_profile(opt);
+  EXPECT_EQ(p.by_transfer + p.by_own_cache + p.by_marginal_cache +
+                p.by_marginal_transfer,
+            static_cast<std::size_t>(seq.n()));
+  EXPECT_FALSE(p.to_string().empty());
+}
+
+}  // namespace
+}  // namespace mcdc

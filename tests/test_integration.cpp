@@ -1,0 +1,239 @@
+// End-to-end integration tests: whole pipelines across modules, the way a
+// downstream user composes the library.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "analysis/competitive.h"
+#include "analysis/cost_breakdown.h"
+#include "analysis/diagram.h"
+#include "analysis/space_time_graph.h"
+#include "baselines/lookahead.h"
+#include "baselines/offline_exact.h"
+#include "baselines/offline_quadratic.h"
+#include "baselines/offline_veeravalli.h"
+#include "core/double_transfer.h"
+#include "core/offline_dp.h"
+#include "core/online_sc.h"
+#include "core/reductions.h"
+#include "model/schedule_validator.h"
+#include "service/data_service.h"
+#include "sim/executor.h"
+#include "sim/policies.h"
+#include "sim/policy_runner.h"
+#include "workload/generators.h"
+#include "workload/trace_io.h"
+
+namespace mcdc {
+namespace {
+
+// One full pass over a sequence: solve off-line three ways, validate,
+// replay, run SC, transform, reduce, and check every cross-cutting
+// invariant the paper states.
+void full_pipeline(const RequestSequence& seq, const CostModel& cm,
+                   bool run_exact) {
+  SCOPED_TRACE(seq.to_string());
+
+  // Off-line solvers agree.
+  const auto fast = solve_offline(seq, cm);
+  const auto quad = solve_offline_quadratic(seq, cm);
+  const auto veer = solve_offline_veeravalli(seq, cm);
+  EXPECT_TRUE(almost_equal(fast.optimal_cost, quad.optimal_cost, 1e-6));
+  EXPECT_TRUE(almost_equal(fast.optimal_cost, veer.optimal_cost, 1e-6));
+  if (run_exact) {
+    const auto exact = solve_offline_exact(seq, cm);
+    EXPECT_TRUE(almost_equal(fast.optimal_cost, exact.optimal_cost, 1e-6));
+  }
+
+  // Schedule is feasible declaratively and operationally; costs agree.
+  ASSERT_TRUE(fast.has_schedule);
+  EXPECT_TRUE(validate_schedule(fast.schedule, seq).ok);
+  const auto exec = execute_schedule(fast.schedule, seq, cm);
+  EXPECT_TRUE(exec.ok) << exec.to_string();
+  EXPECT_TRUE(almost_equal(exec.measured_total_cost, fast.optimal_cost, 1e-6));
+
+  // Lower bound.
+  EXPECT_LE(running_lower_bound(seq, cm), fast.optimal_cost + 1e-7);
+
+  // Online SC: two implementations agree; replay agrees; bound holds.
+  const auto sc = run_speculative_caching(seq, cm);
+  ScSimPolicy policy(cm, seq.origin());
+  const auto sim = run_policy(seq, cm, policy);
+  ASSERT_TRUE(sim.feasible);
+  EXPECT_TRUE(almost_equal(sc.total_cost, sim.total_cost, 1e-6));
+  EXPECT_LE(sc.total_cost, 3.0 * fast.optimal_cost + 1e-6);
+  EXPECT_GE(sc.total_cost, fast.optimal_cost - 1e-6);
+
+  // DT transform identity and reductions.
+  const auto dt = dt_transform(sc, cm);
+  EXPECT_TRUE(almost_equal(dt.total(), sc.total_cost, 1e-6));
+  EXPECT_LE(dt.max_edge_weight(), 2.0 * cm.lambda + 1e-9);
+  const auto rep = compute_reductions(seq, cm);
+  EXPECT_LE(rep.reduced(sc.total_cost),
+            3.0 * static_cast<double>(rep.n_prime) * cm.lambda + 1e-6);
+  EXPECT_GE(rep.reduced(fast.optimal_cost),
+            static_cast<double>(rep.n_prime) * cm.lambda - 1e-6);
+
+  // Lookahead sits between SC and OPT in expectation; always >= OPT.
+  if (run_exact) {
+    const auto la = solve_lookahead(seq, cm, {.window = 6});
+    EXPECT_GE(la.total_cost, fast.optimal_cost - 1e-6);
+    EXPECT_TRUE(validate_schedule(la.schedule, seq).ok);
+  }
+
+  // Diagram and DOT render without error.
+  EXPECT_FALSE(render_schedule_diagram(seq, fast.schedule).empty());
+}
+
+TEST(Integration, PoissonZipfPipeline) {
+  Rng rng(101);
+  const CostModel cm(1.0, 1.0);
+  for (int i = 0; i < 5; ++i) {
+    PoissonZipfConfig cfg;
+    cfg.num_servers = 5;
+    cfg.num_requests = 40;
+    full_pipeline(gen_poisson_zipf(rng, cfg), cm, /*run_exact=*/true);
+  }
+}
+
+TEST(Integration, MobilityPipeline) {
+  Rng rng(102);
+  const CostModel cm(2.0, 1.0);
+  for (int i = 0; i < 5; ++i) {
+    MobilityConfig cfg;
+    cfg.num_servers = 6;
+    cfg.num_requests = 50;
+    full_pipeline(gen_markov_mobility(rng, cfg), cm, /*run_exact=*/true);
+  }
+}
+
+TEST(Integration, CommuterPipeline) {
+  Rng rng(103);
+  const CostModel cm(1.0, 2.5);
+  CommuterConfig cfg;
+  cfg.num_servers = 6;
+  cfg.num_requests = 60;
+  full_pipeline(gen_commuter(rng, cfg), cm, /*run_exact=*/true);
+}
+
+TEST(Integration, DiurnalAndFlashCrowdPipeline) {
+  Rng rng(104);
+  const CostModel cm(1.0, 1.0);
+  DiurnalConfig d;
+  d.num_servers = 6;
+  d.num_requests = 50;
+  full_pipeline(gen_diurnal(rng, d), cm, /*run_exact=*/true);
+  FlashCrowdConfig f;
+  f.num_servers = 6;
+  f.num_requests = 50;
+  full_pipeline(gen_flash_crowd(rng, f), cm, /*run_exact=*/true);
+}
+
+TEST(Integration, BigInstanceWithoutExactOracle) {
+  Rng rng(105);
+  const CostModel cm(1.0, 1.0);
+  PoissonZipfConfig cfg;
+  cfg.num_servers = 24;  // beyond the exact solver's limit: skip it
+  cfg.num_requests = 400;
+  full_pipeline(gen_poisson_zipf(rng, cfg), cm, /*run_exact=*/false);
+}
+
+TEST(Integration, TraceRoundTripPreservesSolutions) {
+  Rng rng(106);
+  const CostModel cm(1.0, 1.0);
+  MobilityConfig cfg;
+  cfg.num_servers = 5;
+  cfg.num_requests = 60;
+  const auto seq = gen_markov_mobility(rng, cfg);
+  std::stringstream buf;
+  write_trace(buf, seq);
+  const auto back = read_trace(buf);
+  const auto a = solve_offline(seq, cm, {.reconstruct_schedule = false});
+  const auto b = solve_offline(back, cm, {.reconstruct_schedule = false});
+  EXPECT_DOUBLE_EQ(a.optimal_cost, b.optimal_cost);
+  const auto sa = run_speculative_caching(seq, cm);
+  const auto sb = run_speculative_caching(back, cm);
+  EXPECT_DOUBLE_EQ(sa.total_cost, sb.total_cost);
+}
+
+TEST(Integration, MultiItemServicePipeline) {
+  Rng rng(107);
+  const CostModel cm(1.0, 1.0);
+  MultiItemConfig cfg;
+  cfg.num_servers = 5;
+  cfg.num_items = 6;
+  cfg.num_requests = 300;
+  const auto stream = gen_multi_item(rng, cfg);
+
+  // Round trip the multi-item trace.
+  std::stringstream buf;
+  write_multi_item_trace(buf, stream, cfg.num_servers, cfg.num_items);
+  const auto back = read_multi_item_trace(buf);
+  ASSERT_EQ(back.stream.size(), stream.size());
+
+  const auto offline = plan_offline_service(back.stream, back.num_servers, cm);
+  OnlineDataService service(back.num_servers, cm);
+  for (const auto& r : back.stream) service.request(r.item, r.server, r.time);
+  const auto online = service.finish();
+
+  EXPECT_LE(online.total_cost, 3.0 * offline.total_cost + 1e-6);
+  // Every per-item optimal schedule validates against its instance.
+  const auto instances = service_instances(back.stream, back.num_servers);
+  ASSERT_EQ(instances.size(), offline.per_item.size());
+  for (std::size_t i = 0; i < instances.size(); ++i) {
+    const auto v = validate_schedule(offline.per_item[i].schedule,
+                                     instances[i].sequence);
+    EXPECT_TRUE(v.ok) << v.to_string();
+  }
+}
+
+TEST(Integration, CompetitiveHarnessOverAllGenerators) {
+  const CostModel cm(1.0, 1.0);
+  const std::vector<std::pair<std::string, SequenceGenerator>> generators{
+      {"zipf",
+       [](Rng& rng) {
+         PoissonZipfConfig c;
+         c.num_servers = 4;
+         c.num_requests = 40;
+         return gen_poisson_zipf(rng, c);
+       }},
+      {"bursty",
+       [](Rng& rng) {
+         BurstyConfig c;
+         c.num_servers = 4;
+         c.num_requests = 40;
+         return gen_bursty_pareto(rng, c);
+       }},
+      {"diurnal",
+       [](Rng& rng) {
+         DiurnalConfig c;
+         c.num_servers = 4;
+         c.num_requests = 40;
+         return gen_diurnal(rng, c);
+       }},
+  };
+  for (const auto& [name, gen] : generators) {
+    const auto rep = measure_sc_competitive(name, gen, cm, 20, 999);
+    EXPECT_LE(rep.max_ratio, 3.0 + 1e-7) << name;
+    EXPECT_GE(rep.ratio.min, 1.0 - 1e-7) << name;
+  }
+}
+
+TEST(Integration, DeterministicEndToEnd) {
+  const CostModel cm(1.0, 1.0);
+  auto run_once = [&cm](std::uint64_t seed) {
+    Rng rng(seed);
+    MobilityConfig cfg;
+    cfg.num_servers = 5;
+    cfg.num_requests = 80;
+    const auto seq = gen_markov_mobility(rng, cfg);
+    const auto opt = solve_offline(seq, cm, {.reconstruct_schedule = false});
+    const auto sc = run_speculative_caching(seq, cm);
+    return std::pair{opt.optimal_cost, sc.total_cost};
+  };
+  EXPECT_EQ(run_once(42), run_once(42));
+  EXPECT_NE(run_once(42), run_once(43));
+}
+
+}  // namespace
+}  // namespace mcdc

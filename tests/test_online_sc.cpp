@@ -1,0 +1,494 @@
+// Tests for the online Speculative Caching algorithm (paper §V): behaviour
+// of the speculation window, expiration rules, epochs, the DT transform
+// identity, the reduction lemmas, and the 3-competitive bound as an
+// empirical property against the exact off-line optimum.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/double_transfer.h"
+#include "core/offline_dp.h"
+#include "core/online_sc.h"
+#include "core/reductions.h"
+#include "model/schedule_validator.h"
+#include "util/rng.h"
+
+namespace mcdc {
+namespace {
+
+constexpr double kTol = 1e-9;
+
+// ---------------- Basic serving behaviour ----------------
+
+TEST(OnlineSc, SingleServerAllHits) {
+  const RequestSequence seq(1, {{0, 1.0}, {0, 5.0}, {0, 9.0}});
+  const CostModel cm(1.0, 1.0);  // delta_t = 1, gaps of 4 >> delta_t
+  const auto res = run_speculative_caching(seq, cm);
+  // The sole copy keeps extending (last-copy rule): all hits, no transfers.
+  EXPECT_EQ(res.hits, 3u);
+  EXPECT_EQ(res.misses, 0u);
+  EXPECT_NEAR(res.total_cost, 9.0, kTol);  // mu * horizon
+}
+
+TEST(OnlineSc, HitWithinWindowMissBeyond) {
+  // delta_t = 2. r1 pulls the copy to s2; r2 on s2 at +1.5 hits; r3 on s2
+  // at +5 misses (copy expired; the extended survivor sits on s2 though...)
+  // Use two servers so the survivor moves away in between.
+  const CostModel cm(1.0, 2.0);
+  const RequestSequence seq(2, {{1, 1.0},    // miss: transfer s1->s2
+                                {1, 2.5},    // hit (within 1.5 <= 2)
+                                {0, 3.0},    // hit on s1? copy expired at 1+2=3
+                                {1, 10.0}}); // s2 expired at 4.5; survivor?
+  const auto res = run_speculative_caching(seq, cm);
+  // r1: miss. r2: hit. r3: s1's copy (refreshed as transfer source at t=1,
+  // expiry 3.0) is still alive at exactly t=3 -> hit. r4: s2's copy expired
+  // at 4.5 but s2 was the most recent user... r3 on s1 was the most recent
+  // request, so the survivor is s1's copy; s2's copy died at 4.5 -> miss.
+  EXPECT_EQ(res.misses, 2u);
+  EXPECT_EQ(res.hits, 2u);
+  ASSERT_EQ(res.served_by_cache.size(), 5u);
+  EXPECT_FALSE(res.served_by_cache[1]);
+  EXPECT_TRUE(res.served_by_cache[2]);
+  EXPECT_TRUE(res.served_by_cache[3]);
+  EXPECT_FALSE(res.served_by_cache[4]);
+}
+
+TEST(OnlineSc, ConsecutiveSameServerAlwaysHits) {
+  // Observation 4: t_{p'(i)} = t_{i-1} on the same server implies local
+  // service regardless of the gap length (the copy keeps extending).
+  const CostModel cm(1.0, 0.5);
+  const RequestSequence seq(3, {{2, 1.0}, {2, 100.0}, {2, 500.0}});
+  const auto res = run_speculative_caching(seq, cm);
+  EXPECT_EQ(res.misses, 1u);  // only the first touch of s3
+  EXPECT_EQ(res.hits, 2u);
+}
+
+TEST(OnlineSc, TransferSourceIsPreviousRequestServer) {
+  const CostModel cm(1.0, 1.0);
+  const RequestSequence seq(3, {{1, 5.0}, {2, 10.0}});
+  const auto res = run_speculative_caching(seq, cm);
+  ASSERT_EQ(res.edges.size(), 2u);
+  EXPECT_EQ(res.edges[0].from, 0);  // origin
+  EXPECT_EQ(res.edges[0].to, 1);
+  EXPECT_EQ(res.edges[1].from, 1);  // server of r1
+  EXPECT_EQ(res.edges[1].to, 2);
+}
+
+TEST(OnlineSc, ExpirationDeletesNonLastCopies) {
+  const CostModel cm(1.0, 1.0);  // delta_t = 1
+  // Transfer to s2 at t=1 creates copies on s1 and s2 (both expire 2.0);
+  // by t=5 only one survivor remains. The tie rule keeps the target s2.
+  const RequestSequence seq(2, {{1, 1.0}, {1, 5.0}});
+  const auto res = run_speculative_caching(seq, cm);
+  EXPECT_EQ(res.expirations, 1u);
+  EXPECT_EQ(res.hits, 1u);  // r2 on s2 hits the extended survivor
+  // s1's copy lived [0, 2], s2's [1, 5]: caching 2 + 4 = 6, one transfer.
+  EXPECT_NEAR(res.caching_cost, 6.0, kTol);
+  EXPECT_NEAR(res.transfer_cost, 1.0, kTol);
+}
+
+TEST(OnlineSc, TieRuleKeepsTransferTarget) {
+  const CostModel cm(1.0, 1.0);
+  const RequestSequence seq(2, {{1, 1.0}, {1, 5.0}});
+  const auto res = run_speculative_caching(seq, cm);
+  // The copy that died (expired) is the source s1.
+  ASSERT_EQ(res.expirations, 1u);
+  const auto& dead = res.copies.front();
+  EXPECT_EQ(dead.server, 0);
+  EXPECT_NEAR(dead.death, 2.0, kTol);
+}
+
+TEST(OnlineSc, CostEqualsScheduleCost) {
+  Rng rng(42);
+  const CostModel cm(1.0, 1.5);
+  for (int inst = 0; inst < 20; ++inst) {
+    std::vector<Request> reqs;
+    Time t = 0.0;
+    for (int i = 0; i < 30; ++i) {
+      t += rng.exponential(0.8) + 1e-3;
+      reqs.push_back({static_cast<ServerId>(rng.uniform_int(std::uint64_t(5))), t});
+    }
+    const RequestSequence seq(5, std::move(reqs));
+    const auto res = run_speculative_caching(seq, cm);
+    EXPECT_NEAR(res.schedule.cost(cm), res.total_cost, 1e-7);
+    EXPECT_NEAR(res.total_cost, res.caching_cost + res.transfer_cost, 1e-9);
+    EXPECT_EQ(res.misses, res.edges.size());
+    EXPECT_EQ(res.hits + res.misses, 30u);
+  }
+}
+
+TEST(OnlineSc, ScheduleIsOperationallyFeasible) {
+  Rng rng(43);
+  const CostModel cm(2.0, 1.0);
+  for (int inst = 0; inst < 20; ++inst) {
+    std::vector<Request> reqs;
+    Time t = 0.0;
+    for (int i = 0; i < 25; ++i) {
+      t += rng.exponential(1.2) + 1e-3;
+      reqs.push_back({static_cast<ServerId>(rng.uniform_int(std::uint64_t(4))), t});
+    }
+    const RequestSequence seq(4, std::move(reqs));
+    const auto res = run_speculative_caching(seq, cm);
+    const auto v = validate_schedule(res.schedule, seq);
+    EXPECT_TRUE(v.ok) << v.to_string() << "\n" << res.schedule.to_string();
+  }
+}
+
+TEST(OnlineSc, AlwaysAtLeastOneCopy) {
+  const CostModel cm(1.0, 1.0);
+  SpeculativeCache cache(3, 0, cm);
+  Rng rng(7);
+  Time t = 0.0;
+  for (int i = 0; i < 200; ++i) {
+    t += rng.exponential(0.5) + 1e-3;
+    cache.observe(static_cast<ServerId>(rng.uniform_int(std::uint64_t(3))), t);
+    EXPECT_GE(cache.alive_copies(), 1u);
+    EXPECT_LE(cache.alive_copies(), 3u);
+  }
+  cache.finish(t);
+  EXPECT_EQ(cache.alive_copies(), 0u);
+}
+
+TEST(OnlineSc, StreamingApiErrors) {
+  const CostModel cm(1.0, 1.0);
+  EXPECT_THROW(SpeculativeCache(0, 0, cm), std::invalid_argument);
+  EXPECT_THROW(SpeculativeCache(2, 5, cm), std::invalid_argument);
+  SpeculativeCachingOptions bad;
+  bad.speculation_factor = 0.0;
+  EXPECT_THROW(SpeculativeCache(2, 0, cm, bad), std::invalid_argument);
+  SpeculativeCachingOptions bad2;
+  bad2.epoch_transfers = 0;
+  EXPECT_THROW(SpeculativeCache(2, 0, cm, bad2), std::invalid_argument);
+
+  SpeculativeCache c(2, 0, cm);
+  c.observe(1, 1.0);
+  EXPECT_THROW(c.observe(1, 1.0), std::invalid_argument);  // non-increasing
+  EXPECT_THROW(c.observe(9, 2.0), std::invalid_argument);
+  c.finish(1.0);
+  EXPECT_THROW(c.observe(1, 2.0), std::logic_error);
+}
+
+TEST(OnlineSc, HitExactlyAtWindowBoundary) {
+  // delta_t = 1; the second request on s2 lands exactly at expiry: the
+  // closed interval [t, t + delta_t] means it is a hit (paper step 3).
+  const CostModel cm(1.0, 1.0);
+  const RequestSequence seq(2, {{1, 1.0}, {1, 2.0}});
+  const auto res = run_speculative_caching(seq, cm);
+  EXPECT_EQ(res.hits, 1u);
+  EXPECT_EQ(res.misses, 1u);
+}
+
+TEST(OnlineSc, OtherServerExpiryExactlyAtRequestTime) {
+  // s1's copy (refreshed as source at t=1) expires exactly at t=2 while a
+  // request lands on s2: s2 hits, s1 dies at its expiry (cost to 2.0).
+  const CostModel cm(1.0, 1.0);
+  const RequestSequence seq(2, {{1, 1.0}, {1, 2.0}, {1, 2.5}});
+  const auto res = run_speculative_caching(seq, cm);
+  for (const auto& c : res.copies) {
+    if (c.server == 0) EXPECT_NEAR(c.death, 2.0, 1e-9);
+  }
+}
+
+TEST(OnlineSc, TinyWindowDegradesToAlwaysTransfer) {
+  Rng rng(77);
+  const CostModel cm(1.0, 1.0);
+  std::vector<Request> reqs;
+  Time t = 0.0;
+  for (int i = 0; i < 40; ++i) {
+    t += 1.0;
+    reqs.push_back({static_cast<ServerId>(i % 3), t});
+  }
+  const RequestSequence seq(3, std::move(reqs));
+  SpeculativeCachingOptions tiny;
+  tiny.speculation_factor = 1e-6;
+  const auto res = run_speculative_caching(seq, cm, tiny);
+  // Every server change is a miss (window effectively zero). The very
+  // first request lands on the origin, whose sole copy survives via the
+  // last-copy rule — the one hit.
+  EXPECT_EQ(res.misses, 39u);
+  EXPECT_EQ(res.hits, 1u);
+}
+
+TEST(OnlineSc, LongIdleSingleCopyCostsExactlyHorizon) {
+  // One server, gigantic gaps: the extension rule must never double-bill.
+  const CostModel cm(1.0, 1.0);
+  const RequestSequence seq(1, {{0, 1000.0}, {0, 5000.0}});
+  const auto res = run_speculative_caching(seq, cm);
+  EXPECT_NEAR(res.total_cost, 5000.0, 1e-9);
+  EXPECT_EQ(res.misses, 0u);
+}
+
+// ---------------- Epochs ----------------
+
+TEST(OnlineSc, EpochResetDropsReplicas) {
+  const CostModel cm(1.0, 1.0);
+  SpeculativeCachingOptions opt;
+  opt.epoch_transfers = 2;
+  // Misses at t=1 (s2) and t=2 (s3): second transfer completes the epoch,
+  // leaving only s3's copy.
+  SpeculativeCache cache(3, 0, cm, opt);
+  cache.observe(1, 1.0);
+  EXPECT_EQ(cache.alive_copies(), 2u);
+  cache.observe(2, 2.0);
+  EXPECT_EQ(cache.alive_copies(), 1u);  // epoch reset
+  EXPECT_EQ(cache.epoch_transfer_count(), 0u);
+  cache.finish(2.0);
+  EXPECT_EQ(cache.result().epochs_completed, 1u);
+}
+
+TEST(OnlineSc, EpochCountersAdvance) {
+  const CostModel cm(1.0, 1.0);
+  SpeculativeCachingOptions opt;
+  opt.epoch_transfers = 3;
+  Rng rng(11);
+  std::vector<Request> reqs;
+  Time t = 0.0;
+  for (int i = 0; i < 60; ++i) {
+    t += 10.0;  // every request far apart: all (non-same-server) misses
+    reqs.push_back({static_cast<ServerId>(i % 4), t});
+  }
+  const RequestSequence seq(4, std::move(reqs));
+  const auto res = run_speculative_caching(seq, cm, opt);
+  EXPECT_GT(res.epochs_completed, 10u);
+  EXPECT_EQ(res.misses, 60u - 1u);  // r0 boundary is on server 0; first
+                                    // request (i=0, server 0) hits
+}
+
+// ---------------- Speculation window ablation knob ----------------
+
+TEST(OnlineSc, SmallerWindowMeansMoreTransfers) {
+  Rng rng(17);
+  std::vector<Request> reqs;
+  Time t = 0.0;
+  for (int i = 0; i < 200; ++i) {
+    t += rng.exponential(1.0) + 1e-3;
+    reqs.push_back({static_cast<ServerId>(rng.uniform_int(std::uint64_t(4))), t});
+  }
+  const RequestSequence seq(4, std::move(reqs));
+  const CostModel cm(1.0, 1.0);
+
+  SpeculativeCachingOptions tiny;
+  tiny.speculation_factor = 0.125;
+  SpeculativeCachingOptions huge;
+  huge.speculation_factor = 8.0;
+
+  const auto r_tiny = run_speculative_caching(seq, cm, tiny);
+  const auto r_std = run_speculative_caching(seq, cm);
+  const auto r_huge = run_speculative_caching(seq, cm, huge);
+  EXPECT_GT(r_tiny.misses, r_std.misses);
+  EXPECT_LT(r_huge.misses, r_std.misses);
+}
+
+TEST(OnlineSc, TailModeCostsAtLeastTruncated) {
+  const CostModel cm(1.0, 1.0);
+  const RequestSequence seq(2, {{1, 1.0}, {0, 4.0}, {1, 8.0}});
+  SpeculativeCachingOptions tail;
+  tail.truncate_at_horizon = false;
+  const auto trunc = run_speculative_caching(seq, cm);
+  const auto with_tail = run_speculative_caching(seq, cm, tail);
+  EXPECT_GE(with_tail.total_cost, trunc.total_cost - kTol);
+}
+
+// ---------------- DT transform (Definition 10) ----------------
+
+TEST(DoubleTransfer, PreservesTotalCost) {
+  Rng rng(23);
+  const CostModel cm(1.0, 2.0);
+  for (int inst = 0; inst < 30; ++inst) {
+    std::vector<Request> reqs;
+    Time t = 0.0;
+    for (int i = 0; i < 40; ++i) {
+      t += rng.exponential(0.7) + 1e-3;
+      reqs.push_back({static_cast<ServerId>(rng.uniform_int(std::uint64_t(5))), t});
+    }
+    const RequestSequence seq(5, std::move(reqs));
+    const auto sc = run_speculative_caching(seq, cm);
+    const auto dt = dt_transform(sc, cm);
+    EXPECT_NEAR(dt.total(), sc.total_cost, 1e-7);
+  }
+}
+
+TEST(DoubleTransfer, EdgeWeightsAtMostTwoLambda) {
+  Rng rng(29);
+  const CostModel cm(1.0, 1.0);
+  for (int inst = 0; inst < 30; ++inst) {
+    std::vector<Request> reqs;
+    Time t = 0.0;
+    for (int i = 0; i < 40; ++i) {
+      t += rng.exponential(1.0) + 1e-3;
+      reqs.push_back({static_cast<ServerId>(rng.uniform_int(std::uint64_t(4))), t});
+    }
+    const RequestSequence seq(4, std::move(reqs));
+    const auto sc = run_speculative_caching(seq, cm);
+    const auto dt = dt_transform(sc, cm);
+    EXPECT_LE(dt.max_edge_weight(), 2.0 * cm.lambda + 1e-9);
+    EXPECT_LE(dt.initial_cost, cm.lambda + 1e-9);
+  }
+}
+
+// ---------------- Reductions (Definitions 11-12, Lemmas 5-8) ----------------
+
+TEST(Reductions, SigmaPrimeCases) {
+  // Fig. 10's three cases with mu = lambda = 1 (delta_t = 1).
+  // r1 (s2, 3.0): first on server, sigma = inf, long gap 3 (> lambda).
+  // r2 (s1, 3.5): sigma = 3.5 (since r0), short gap: case 3.
+  // r3 (s2, 8.0): sigma = 5, gap 4.5 > lambda: case 1/2, sigma' = 5 - 3.5.
+  const RequestSequence seq(2, {{1, 3.0}, {0, 3.5}, {1, 8.0}});
+  const CostModel cm(1.0, 1.0);
+  const auto rep = compute_reductions(seq, cm);
+  EXPECT_EQ(rep.n_prime, 3u);
+  EXPECT_TRUE(std::isinf(rep.sigma_prime[1]));
+  EXPECT_NEAR(rep.sigma_prime[2], 3.5, kTol);       // case 3 (gap 0.5 <= 1)
+  EXPECT_NEAR(rep.sigma_prime[3], 5.0 - 3.5, kTol); // case 1/2
+  // v-reduction: gaps 3.0 and 4.5 exceed lambda: (3-1) + (4.5-1) = 5.5.
+  EXPECT_NEAR(rep.v_amount, 5.5, kTol);
+  EXPECT_NEAR(rep.h_amount, 0.0, kTol);
+  // Lemma 8: B' = n' * lambda.
+  EXPECT_NEAR(rep.b_prime, 3.0 * cm.lambda, kTol);
+}
+
+TEST(Reductions, SrMembership) {
+  const CostModel cm(1.0, 1.0);
+  const RequestSequence seq(2, {{1, 1.0}, {1, 1.5}, {0, 5.0}, {1, 5.2}});
+  const auto rep = compute_reductions(seq, cm);
+  EXPECT_FALSE(rep.in_sr[1]);  // first on server: sigma = inf
+  EXPECT_TRUE(rep.in_sr[2]);   // sigma = 0.5 < lambda
+  EXPECT_FALSE(rep.in_sr[3]);  // sigma = 5.0 >= lambda
+  EXPECT_FALSE(rep.in_sr[4]);  // sigma = 5.2 - 1.5 = 3.7 >= lambda
+  EXPECT_EQ(rep.n_prime, 3u);
+  EXPECT_NEAR(rep.h_amount, 0.5, kTol);
+}
+
+TEST(Reductions, BPrimeEqualsNPrimeLambda) {
+  // Lemma 8 computationally: for random sequences, B' == n' * lambda.
+  Rng rng(31);
+  const CostModel cm(1.0, 1.0);
+  for (int inst = 0; inst < 50; ++inst) {
+    std::vector<Request> reqs;
+    Time t = 0.0;
+    const int m = 2 + static_cast<int>(rng.uniform_int(std::uint64_t(4)));
+    for (int i = 0; i < 30; ++i) {
+      t += rng.exponential(1.0) + 1e-3;
+      reqs.push_back({static_cast<ServerId>(rng.uniform_int(std::uint64_t(m))), t});
+    }
+    const RequestSequence seq(m, std::move(reqs));
+    const auto rep = compute_reductions(seq, cm);
+    EXPECT_GE(rep.b_prime, static_cast<double>(rep.n_prime) * cm.lambda - 1e-7);
+  }
+}
+
+TEST(Reductions, Lemma5HoldsForScAndOpt) {
+  Rng rng(37);
+  const CostModel cm(1.0, 1.0);
+  for (int inst = 0; inst < 30; ++inst) {
+    std::vector<Request> reqs;
+    Time t = 0.0;
+    for (int i = 0; i < 25; ++i) {
+      t += rng.exponential(0.4) + 1e-3;  // mix of long and short gaps
+      reqs.push_back({static_cast<ServerId>(rng.uniform_int(std::uint64_t(4))), t});
+    }
+    const RequestSequence seq(4, std::move(reqs));
+    const auto sc = run_speculative_caching(seq, cm);
+    const auto opt = solve_offline(seq, cm);
+    EXPECT_LE(max_spanning_caches_on_long_gaps(sc.schedule, seq, cm), 1u);
+    EXPECT_LE(max_spanning_caches_on_long_gaps(opt.schedule, seq, cm), 1u);
+  }
+}
+
+TEST(Reductions, Lemma6HoldsForScAndOpt) {
+  Rng rng(41);
+  const CostModel cm(1.0, 1.0);
+  for (int inst = 0; inst < 30; ++inst) {
+    std::vector<Request> reqs;
+    Time t = 0.0;
+    for (int i = 0; i < 25; ++i) {
+      t += rng.exponential(2.0) + 1e-3;  // many short sigmas -> SR non-empty
+      reqs.push_back({static_cast<ServerId>(rng.uniform_int(std::uint64_t(3))), t});
+    }
+    const RequestSequence seq(3, std::move(reqs));
+    const auto sc = run_speculative_caching(seq, cm);
+    const auto opt = solve_offline(seq, cm);
+    EXPECT_TRUE(sr_requests_served_by_cache(sc.schedule, seq, cm));
+    EXPECT_TRUE(sr_requests_served_by_cache(opt.schedule, seq, cm));
+  }
+}
+
+// ---------------- The 3-competitive bound (Theorem 3) ----------------
+
+struct RatioParam {
+  int m;
+  int n;
+  double mu;
+  double lambda;
+  double rate;       // request arrival rate
+  std::size_t epoch; // epoch_transfers (SIZE_MAX for none)
+  std::uint64_t seed;
+  int instances;
+};
+
+class CompetitiveRatio : public ::testing::TestWithParam<RatioParam> {};
+
+TEST_P(CompetitiveRatio, ScWithinThreeTimesOpt) {
+  const auto p = GetParam();
+  Rng rng(p.seed);
+  const CostModel cm(p.mu, p.lambda);
+  double worst = 0.0;
+  for (int inst = 0; inst < p.instances; ++inst) {
+    std::vector<Request> reqs;
+    Time t = 0.0;
+    for (int i = 0; i < p.n; ++i) {
+      t += rng.exponential(p.rate) + 1e-4;
+      reqs.push_back(
+          {static_cast<ServerId>(rng.uniform_int(std::uint64_t(p.m))), t});
+    }
+    const RequestSequence seq(p.m, std::move(reqs));
+    SpeculativeCachingOptions opt;
+    opt.epoch_transfers = p.epoch;
+    const auto sc = run_speculative_caching(seq, cm, opt);
+    const auto best = solve_offline(seq, cm, {.reconstruct_schedule = false});
+    ASSERT_GT(best.optimal_cost, 0.0);
+    const double ratio = sc.total_cost / best.optimal_cost;
+    worst = std::max(worst, ratio);
+    EXPECT_LE(ratio, 3.0 + 1e-7) << seq.to_string();
+  }
+  // Sanity: SC should not be *better* than the off-line optimum.
+  EXPECT_GE(worst, 1.0 - 1e-7);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Workloads, CompetitiveRatio,
+    ::testing::Values(
+        RatioParam{2, 40, 1.0, 1.0, 1.0, SIZE_MAX, 201, 40},
+        RatioParam{4, 60, 1.0, 1.0, 0.5, SIZE_MAX, 202, 40},
+        RatioParam{8, 80, 1.0, 1.0, 2.0, SIZE_MAX, 203, 30},
+        RatioParam{4, 60, 0.2, 1.0, 1.0, SIZE_MAX, 204, 30},
+        RatioParam{4, 60, 5.0, 1.0, 1.0, SIZE_MAX, 205, 30},
+        RatioParam{4, 60, 1.0, 1.0, 1.0, 10, 206, 30},
+        RatioParam{4, 60, 1.0, 1.0, 1.0, 3, 207, 30},
+        RatioParam{6, 100, 1.0, 0.3, 1.0, 25, 208, 20}),
+    [](const ::testing::TestParamInfo<RatioParam>& info) {
+      const auto& p = info.param;
+      return "m" + std::to_string(p.m) + "_n" + std::to_string(p.n) + "_idx" +
+             std::to_string(info.index);
+    });
+
+// Adversarial stream aimed at SC: alternate two servers with gaps just
+// past delta_t so every speculation is wasted.
+TEST(CompetitiveAdversarial, JustPastWindowAlternation) {
+  const CostModel cm(1.0, 1.0);  // delta_t = 1
+  std::vector<Request> reqs;
+  Time t = 0.0;
+  for (int i = 0; i < 60; ++i) {
+    t += 1.01;  // just over the window
+    reqs.push_back({static_cast<ServerId>(i % 2), t});
+  }
+  const RequestSequence seq(2, std::move(reqs));
+  const auto sc = run_speculative_caching(seq, cm);
+  const auto best = solve_offline(seq, cm, {.reconstruct_schedule = false});
+  const double ratio = sc.total_cost / best.optimal_cost;
+  EXPECT_LE(ratio, 3.0 + 1e-7);
+  EXPECT_GT(ratio, 1.2);  // genuinely adversarial: well above trivial
+}
+
+}  // namespace
+}  // namespace mcdc

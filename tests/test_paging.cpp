@@ -1,0 +1,172 @@
+// Tests for the classic capacity-driven paging substrate (Table I's left
+// column): policy behaviour on hand-checked traces plus the Belady
+// optimality property on random traces.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "paging/paging.h"
+#include "util/rng.h"
+
+namespace mcdc {
+namespace {
+
+TEST(Paging, LruOnKnownTrace) {
+  // k = 2, trace a b a c b: faults a, b, c (evicts b? LRU at c: cache {a,b},
+  // LRU is b after 'a' hit... walk: a F {a}; b F {a,b}; a H; c F evict b
+  // -> {a,c}; b F evict a -> {c,b}. Faults = 4, hits = 1.
+  const std::vector<int> trace{0, 1, 0, 2, 1};
+  const auto res = simulate_paging(trace, 2, PagingPolicy::kLru);
+  EXPECT_EQ(res.faults, 4u);
+  EXPECT_EQ(res.hits, 1u);
+  EXPECT_NEAR(res.hit_ratio, 0.2, 1e-12);
+}
+
+TEST(Paging, FifoDiffersFromLru) {
+  // k = 2, trace: 0 1 0 2 0. LRU: 0F 1F 0H 2F(evict 1) 0H -> 3 faults.
+  // FIFO: 0F 1F 0H 2F(evict 0, oldest insertion) 0F -> 4 faults.
+  const std::vector<int> trace{0, 1, 0, 2, 0};
+  EXPECT_EQ(simulate_paging(trace, 2, PagingPolicy::kLru).faults, 3u);
+  EXPECT_EQ(simulate_paging(trace, 2, PagingPolicy::kFifo).faults, 4u);
+}
+
+TEST(Paging, BeladyOnKnownTrace) {
+  // k = 2, trace 0 1 2 0 1: Belady: 0F 1F 2F(evict whichever is used
+  // later... next uses: 0@3, 1@4 -> evict 1) {0,2}; 0H; 1F. 4 faults.
+  const std::vector<int> trace{0, 1, 2, 0, 1};
+  const auto res = simulate_paging(trace, 2, PagingPolicy::kBelady);
+  EXPECT_EQ(res.faults, 4u);
+}
+
+TEST(Paging, LfuKeepsHotItem) {
+  // Item 0 is hot; LFU never evicts it.
+  std::vector<int> trace;
+  for (int i = 0; i < 30; ++i) {
+    trace.push_back(0);
+    trace.push_back(1 + (i % 5));
+  }
+  const auto res = simulate_paging(trace, 2, PagingPolicy::kLfu);
+  // Item 0 faults once; the rotating items nearly always fault.
+  EXPECT_EQ(res.hits, 29u);
+}
+
+TEST(Paging, CapacityOneThrashes) {
+  const std::vector<int> trace{0, 1, 0, 1, 0, 1};
+  const auto res = simulate_paging(trace, 1, PagingPolicy::kLru);
+  EXPECT_EQ(res.faults, 6u);
+}
+
+TEST(Paging, LargeCapacityOnlyColdMisses) {
+  Rng rng(3);
+  std::vector<int> trace;
+  for (int i = 0; i < 500; ++i) {
+    trace.push_back(static_cast<int>(rng.uniform_int(std::uint64_t(20))));
+  }
+  for (const auto policy : {PagingPolicy::kLru, PagingPolicy::kLfu,
+                            PagingPolicy::kFifo, PagingPolicy::kBelady,
+                            PagingPolicy::kClock, PagingPolicy::kMru}) {
+    const auto res = simulate_paging(trace, 50, policy);
+    EXPECT_EQ(res.faults, 20u) << paging_policy_name(policy);
+  }
+}
+
+TEST(Paging, ClockApproximatesLru) {
+  // CLOCK gives a second chance: on LRU-friendly loops it tracks LRU
+  // closely and beats MRU.
+  Rng rng(4);
+  const ZipfSampler zipf(12, 1.0);
+  std::vector<int> trace;
+  for (int i = 0; i < 800; ++i) trace.push_back(static_cast<int>(zipf.sample(rng)));
+  const auto lru = simulate_paging(trace, 4, PagingPolicy::kLru);
+  const auto clock = simulate_paging(trace, 4, PagingPolicy::kClock);
+  const auto mru = simulate_paging(trace, 4, PagingPolicy::kMru);
+  EXPECT_LT(std::abs(static_cast<long>(clock.faults) - static_cast<long>(lru.faults)),
+            static_cast<long>(trace.size()) / 10);
+  EXPECT_LT(clock.faults, mru.faults);
+}
+
+TEST(Paging, ClockSecondChanceOnKnownTrace) {
+  // k = 2, trace 0 1 0 2: CLOCK: 0F 1F 0H(ref) 2F: hand at 0 (ref) ->
+  // clear, advance to 1 (no ref) -> evict 1. Cache {0, 2}.
+  const std::vector<int> trace{0, 1, 0, 2, 0};
+  const auto res = simulate_paging(trace, 2, PagingPolicy::kClock);
+  EXPECT_EQ(res.faults, 3u);  // final 0 is a hit
+}
+
+TEST(Paging, MruEvictsHottestOnScan) {
+  // Sequential scan larger than the cache: MRU famously beats LRU.
+  std::vector<int> trace;
+  for (int round = 0; round < 20; ++round) {
+    for (int item = 0; item < 5; ++item) trace.push_back(item);
+  }
+  const auto lru = simulate_paging(trace, 4, PagingPolicy::kLru);
+  const auto mru = simulate_paging(trace, 4, PagingPolicy::kMru);
+  EXPECT_LT(mru.faults, lru.faults);
+}
+
+TEST(Paging, RandomNeedsRngAndWorks) {
+  const std::vector<int> trace{0, 1, 2, 0, 1, 2};
+  EXPECT_THROW(simulate_paging(trace, 2, PagingPolicy::kRandom),
+               std::invalid_argument);
+  Rng rng(5);
+  const auto res = simulate_paging(trace, 2, PagingPolicy::kRandom, &rng);
+  EXPECT_EQ(res.hits + res.faults, trace.size());
+  EXPECT_GE(res.faults, 3u);  // at least the cold misses
+}
+
+TEST(Paging, RejectsZeroCapacity) {
+  EXPECT_THROW(simulate_paging({0, 1}, 0, PagingPolicy::kLru),
+               std::invalid_argument);
+}
+
+TEST(Paging, EmptyTrace) {
+  const auto res = simulate_paging({}, 4, PagingPolicy::kLru);
+  EXPECT_EQ(res.hits, 0u);
+  EXPECT_EQ(res.faults, 0u);
+  EXPECT_DOUBLE_EQ(res.hit_ratio, 0.0);
+}
+
+// Belady is optimal: no demand policy faults less, on any trace.
+struct BeladyParam {
+  std::uint64_t seed;
+  int universe;
+  std::size_t capacity;
+  int length;
+  double zipf;
+};
+
+class BeladyOptimality : public ::testing::TestWithParam<BeladyParam> {};
+
+TEST_P(BeladyOptimality, NoPolicyBeatsBelady) {
+  const auto p = GetParam();
+  Rng rng(p.seed);
+  const ZipfSampler zipf(static_cast<std::size_t>(p.universe), p.zipf);
+  for (int inst = 0; inst < 10; ++inst) {
+    std::vector<int> trace;
+    for (int i = 0; i < p.length; ++i) {
+      trace.push_back(static_cast<int>(zipf.sample(rng)));
+    }
+    const std::size_t belady = belady_faults(trace, p.capacity);
+    Rng prng(p.seed + 1);
+    for (const auto policy : {PagingPolicy::kLru, PagingPolicy::kLfu,
+                              PagingPolicy::kFifo, PagingPolicy::kRandom,
+                              PagingPolicy::kClock, PagingPolicy::kMru}) {
+      const auto res = simulate_paging(trace, p.capacity, policy, &prng);
+      EXPECT_GE(res.faults, belady) << paging_policy_name(policy);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomTraces, BeladyOptimality,
+    ::testing::Values(BeladyParam{61, 10, 3, 300, 0.8},
+                      BeladyParam{62, 20, 5, 400, 1.0},
+                      BeladyParam{63, 6, 2, 200, 0.0},
+                      BeladyParam{64, 40, 8, 500, 1.2},
+                      BeladyParam{65, 15, 14, 300, 0.5}),
+    [](const ::testing::TestParamInfo<BeladyParam>& info) {
+      return "case" + std::to_string(info.index);
+    });
+
+}  // namespace
+}  // namespace mcdc

@@ -1,0 +1,230 @@
+// Property-based tests: invariance laws and structural facts that must
+// hold for every instance, checked over randomized parameter sweeps.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/marginal_bounds.h"
+#include "core/offline_dp.h"
+#include "core/online_sc.h"
+#include "util/rng.h"
+
+namespace mcdc {
+namespace {
+
+RequestSequence random_sequence(Rng& rng, int m, int n, double rate = 1.0) {
+  std::vector<Request> reqs;
+  Time t = 0.0;
+  for (int i = 0; i < n; ++i) {
+    t += rng.exponential(rate) + 1e-3;
+    reqs.push_back({static_cast<ServerId>(rng.uniform_int(std::uint64_t(m))), t});
+  }
+  return RequestSequence(m, std::move(reqs));
+}
+
+class DpProperties : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DpProperties, PrefixCostsAreMonotone) {
+  Rng rng(GetParam());
+  const CostModel cm(rng.uniform(0.2, 3.0), rng.uniform(0.2, 3.0));
+  const auto seq = random_sequence(rng, 5, 30);
+  const auto res = solve_offline(seq, cm, {.reconstruct_schedule = false});
+  for (std::size_t i = 1; i < res.C.size(); ++i) {
+    EXPECT_GE(res.C[i], res.C[i - 1] - kEps) << "C must be nondecreasing";
+  }
+}
+
+TEST_P(DpProperties, CNeverExceedsD) {
+  Rng rng(GetParam() + 1000);
+  const CostModel cm(1.0, rng.uniform(0.2, 4.0));
+  const auto seq = random_sequence(rng, 4, 30);
+  const auto res = solve_offline(seq, cm, {.reconstruct_schedule = false});
+  for (std::size_t i = 1; i < res.C.size(); ++i) {
+    EXPECT_LE(res.C[i], res.D[i] + kEps);
+  }
+}
+
+TEST_P(DpProperties, RunningBoundHoldsAtEveryPrefix) {
+  Rng rng(GetParam() + 2000);
+  const CostModel cm(rng.uniform(0.2, 3.0), rng.uniform(0.2, 3.0));
+  const auto seq = random_sequence(rng, 5, 30);
+  const auto res = solve_offline(seq, cm, {.reconstruct_schedule = false});
+  for (std::size_t i = 0; i < res.C.size(); ++i) {
+    EXPECT_LE(res.bounds.B[i], res.C[i] + 1e-7) << "B_i <= C(i) at i=" << i;
+  }
+}
+
+TEST_P(DpProperties, CostModelScalingInvariance) {
+  Rng rng(GetParam() + 3000);
+  const double mu = rng.uniform(0.3, 2.0);
+  const double lambda = rng.uniform(0.3, 2.0);
+  const double a = rng.uniform(0.5, 5.0);
+  const auto seq = random_sequence(rng, 4, 25);
+  const auto base =
+      solve_offline(seq, CostModel(mu, lambda), {.reconstruct_schedule = false});
+  const auto scaled = solve_offline(seq, CostModel(a * mu, a * lambda),
+                                    {.reconstruct_schedule = false});
+  EXPECT_TRUE(almost_equal(scaled.optimal_cost, a * base.optimal_cost, 1e-6));
+}
+
+TEST_P(DpProperties, TimeStretchInvariance) {
+  // Stretching all times by s while dividing mu by s leaves every caching
+  // cost (and thus the optimum) unchanged.
+  Rng rng(GetParam() + 4000);
+  const double s = rng.uniform(0.5, 4.0);
+  const auto seq = random_sequence(rng, 4, 25);
+  std::vector<Request> stretched;
+  for (RequestIndex i = 1; i <= seq.n(); ++i) {
+    stretched.push_back({seq.server(i), seq.time(i) * s});
+  }
+  const RequestSequence seq2(seq.m(), std::move(stretched), seq.origin());
+  const auto a =
+      solve_offline(seq, CostModel(1.0, 1.3), {.reconstruct_schedule = false});
+  const auto b =
+      solve_offline(seq2, CostModel(1.0 / s, 1.3), {.reconstruct_schedule = false});
+  EXPECT_TRUE(almost_equal(a.optimal_cost, b.optimal_cost, 1e-6));
+}
+
+TEST_P(DpProperties, ServerRelabelingInvariance) {
+  Rng rng(GetParam() + 5000);
+  const auto seq = random_sequence(rng, 5, 25);
+  // Random permutation of server ids.
+  std::vector<ServerId> perm(5);
+  for (int i = 0; i < 5; ++i) perm[static_cast<std::size_t>(i)] = i;
+  for (int i = 4; i > 0; --i) {
+    std::swap(perm[static_cast<std::size_t>(i)],
+              perm[rng.uniform_int(std::uint64_t(i + 1))]);
+  }
+  std::vector<Request> relabeled;
+  for (RequestIndex i = 1; i <= seq.n(); ++i) {
+    relabeled.push_back(
+        {perm[static_cast<std::size_t>(seq.server(i))], seq.time(i)});
+  }
+  const RequestSequence seq2(5, std::move(relabeled),
+                             perm[static_cast<std::size_t>(seq.origin())]);
+  const CostModel cm(1.0, 1.0);
+  const auto a = solve_offline(seq, cm, {.reconstruct_schedule = false});
+  const auto b = solve_offline(seq2, cm, {.reconstruct_schedule = false});
+  EXPECT_TRUE(almost_equal(a.optimal_cost, b.optimal_cost, 1e-7));
+}
+
+TEST_P(DpProperties, BracketedByTrivialBounds) {
+  // mu * horizon <= OPT <= follow-the-requests (single migrating copy).
+  Rng rng(GetParam() + 6000);
+  const CostModel cm(rng.uniform(0.3, 2.0), rng.uniform(0.3, 2.0));
+  const auto seq = random_sequence(rng, 5, 30);
+  const auto res = solve_offline(seq, cm, {.reconstruct_schedule = false});
+  EXPECT_GE(res.optimal_cost, cm.mu * seq.horizon() - 1e-7);
+  Cost follow = cm.mu * seq.horizon();
+  for (RequestIndex i = 1; i <= seq.n(); ++i) {
+    if (seq.server(i) != seq.server(i - 1)) follow += cm.lambda;
+  }
+  EXPECT_LE(res.optimal_cost, follow + 1e-7);
+}
+
+TEST_P(DpProperties, RemovingTailRequestsNeverRaisesCost) {
+  // C(i) is the optimum of the prefix instance: solving the truncated
+  // instance directly must give the same value.
+  Rng rng(GetParam() + 7000);
+  const CostModel cm(1.0, 1.0);
+  const auto seq = random_sequence(rng, 4, 20);
+  const auto full = solve_offline(seq, cm, {.reconstruct_schedule = false});
+  for (const RequestIndex cut : {5, 10, 15}) {
+    std::vector<Request> prefix;
+    for (RequestIndex i = 1; i <= cut; ++i) prefix.push_back(seq.request(i));
+    const RequestSequence sub(seq.m(), std::move(prefix), seq.origin());
+    const auto part = solve_offline(sub, cm, {.reconstruct_schedule = false});
+    EXPECT_TRUE(almost_equal(part.optimal_cost,
+                             full.C[static_cast<std::size_t>(cut)], 1e-7))
+        << "prefix optimality at cut " << cut;
+  }
+}
+
+class ScProperties : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ScProperties, ScalingInvariance) {
+  Rng rng(GetParam());
+  const double mu = rng.uniform(0.3, 2.0);
+  const double lambda = rng.uniform(0.3, 2.0);
+  const double a = rng.uniform(0.5, 5.0);
+  const auto seq = random_sequence(rng, 4, 40);
+  const auto base = run_speculative_caching(seq, CostModel(mu, lambda));
+  const auto scaled = run_speculative_caching(seq, CostModel(a * mu, a * lambda));
+  EXPECT_TRUE(almost_equal(scaled.total_cost, a * base.total_cost, 1e-6));
+  EXPECT_EQ(base.misses, scaled.misses);  // same decisions, scaled prices
+}
+
+TEST_P(ScProperties, HitsPlusMissesEqualsN) {
+  Rng rng(GetParam() + 100);
+  const auto seq = random_sequence(rng, 5, 60);
+  const auto res = run_speculative_caching(seq, CostModel(1.0, 1.0));
+  EXPECT_EQ(res.hits + res.misses, static_cast<std::size_t>(seq.n()));
+  EXPECT_EQ(res.served_by_cache.size(), static_cast<std::size_t>(seq.n()) + 1);
+}
+
+TEST_P(ScProperties, CopyLifetimesArePositiveAndDisjointPerServer) {
+  Rng rng(GetParam() + 200);
+  const auto seq = random_sequence(rng, 4, 60);
+  const auto res = run_speculative_caching(seq, CostModel(1.0, 1.0));
+  std::vector<std::vector<std::pair<Time, Time>>> per_server(4);
+  for (const auto& c : res.copies) {
+    EXPECT_GE(c.death, c.birth - kEps);
+    EXPECT_GE(c.last_use, c.birth - kEps);
+    EXPECT_LE(c.last_use, c.death + kEps);
+    per_server[static_cast<std::size_t>(c.server)].push_back({c.birth, c.death});
+  }
+  for (auto& v : per_server) {
+    std::sort(v.begin(), v.end());
+    for (std::size_t i = 1; i < v.size(); ++i) {
+      EXPECT_LE(v[i - 1].second, v[i].first + kEps)
+          << "overlapping lifetimes on one server";
+    }
+  }
+}
+
+TEST_P(ScProperties, SpeculativeTailsNeverExceedWindow) {
+  Rng rng(GetParam() + 300);
+  const CostModel cm(1.0, 1.5);
+  const auto seq = random_sequence(rng, 4, 60);
+  const auto res = run_speculative_caching(seq, cm);
+  for (const auto& c : res.copies) {
+    EXPECT_LE(c.death - c.last_use, cm.speculation_window() + 1e-9);
+  }
+}
+
+TEST_P(ScProperties, RelabelingInvariance) {
+  Rng rng(GetParam() + 400);
+  const auto seq = random_sequence(rng, 4, 40);
+  std::vector<ServerId> perm{2, 0, 3, 1};
+  std::vector<Request> relabeled;
+  for (RequestIndex i = 1; i <= seq.n(); ++i) {
+    relabeled.push_back(
+        {perm[static_cast<std::size_t>(seq.server(i))], seq.time(i)});
+  }
+  const RequestSequence seq2(4, std::move(relabeled),
+                             perm[static_cast<std::size_t>(seq.origin())]);
+  const CostModel cm(1.0, 1.0);
+  const auto a = run_speculative_caching(seq, cm);
+  const auto b = run_speculative_caching(seq2, cm);
+  EXPECT_TRUE(almost_equal(a.total_cost, b.total_cost, 1e-9));
+  EXPECT_EQ(a.hits, b.hits);
+  EXPECT_EQ(a.expirations, b.expirations);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DpProperties,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u, 7u, 8u, 9u,
+                                           10u, 11u, 12u, 13u, 14u, 15u, 16u),
+                         [](const auto& info) {
+                           return "seed" + std::to_string(info.param);
+                         });
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ScProperties,
+                         ::testing::Values(21u, 22u, 23u, 24u, 25u, 26u, 27u,
+                                           28u, 29u, 30u, 31u, 32u),
+                         [](const auto& info) {
+                           return "seed" + std::to_string(info.param);
+                         });
+
+}  // namespace
+}  // namespace mcdc

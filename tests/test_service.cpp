@@ -1,0 +1,134 @@
+// Tests for the multi-item data service layer.
+#include <gtest/gtest.h>
+
+#include "core/offline_dp.h"
+#include "core/online_sc.h"
+#include "service/data_service.h"
+#include "util/rng.h"
+
+namespace mcdc {
+namespace {
+
+std::vector<MultiItemRequest> small_stream() {
+  // Two items over 3 servers. Item 0 born on s1 at t=1; item 1 on s2 at t=2.
+  return {{0, 0, 1.0}, {1, 1, 2.0}, {0, 1, 3.0},
+          {1, 1, 4.0}, {0, 0, 5.0}, {1, 2, 6.0}};
+}
+
+TEST(ServiceInstances, SplitsAndRebases) {
+  const auto inst = service_instances(small_stream(), 3);
+  ASSERT_EQ(inst.size(), 2u);
+  EXPECT_EQ(inst[0].item, 0);
+  EXPECT_EQ(inst[0].origin, 0);
+  EXPECT_DOUBLE_EQ(inst[0].birth, 1.0);
+  EXPECT_EQ(inst[0].sequence.n(), 2);  // birth request excluded
+  EXPECT_DOUBLE_EQ(inst[0].sequence.time(1), 2.0);  // 3.0 - 1.0
+  EXPECT_EQ(inst[0].sequence.server(1), 1);
+  EXPECT_EQ(inst[1].origin, 1);
+  EXPECT_EQ(inst[1].sequence.n(), 2);
+}
+
+TEST(ServiceInstances, RejectsBadStreams) {
+  EXPECT_THROW(service_instances({{0, 9, 1.0}}, 3), std::invalid_argument);
+  EXPECT_THROW(service_instances({{0, 0, 1.0}, {1, 1, 1.0}}, 3),
+               std::invalid_argument);
+}
+
+TEST(OfflineService, AggregatesPerItemOptima) {
+  const CostModel cm(1.0, 1.0);
+  const auto rep = plan_offline_service(small_stream(), 3, cm);
+  EXPECT_EQ(rep.items, 2u);
+  EXPECT_EQ(rep.requests, 4u);
+  // Cross-check: sum of per-item DP optima.
+  Cost manual = 0.0;
+  for (const auto& inst : service_instances(small_stream(), 3)) {
+    manual += solve_offline(inst.sequence, cm, {.reconstruct_schedule = false})
+                  .optimal_cost;
+  }
+  EXPECT_NEAR(rep.total_cost, manual, 1e-9);
+  EXPECT_NEAR(rep.caching_cost + rep.transfer_cost, rep.total_cost, 1e-9);
+}
+
+TEST(OnlineService, MatchesPerItemScRuns) {
+  Rng rng(21);
+  const CostModel cm(1.0, 1.0);
+  MultiItemConfig cfg;
+  cfg.num_servers = 4;
+  cfg.num_items = 8;
+  cfg.num_requests = 400;
+  const auto stream = gen_multi_item(rng, cfg);
+
+  OnlineDataService service(cfg.num_servers, cm);
+  for (const auto& r : stream) service.request(r.item, r.server, r.time);
+  const auto rep = service.finish();
+
+  Cost manual = 0.0;
+  std::size_t manual_items = 0;
+  for (const auto& inst : service_instances(stream, cfg.num_servers)) {
+    manual += run_speculative_caching(inst.sequence, cm).total_cost;
+    ++manual_items;
+  }
+  EXPECT_EQ(rep.items, manual_items);
+  EXPECT_NEAR(rep.total_cost, manual, 1e-7);
+}
+
+TEST(OnlineService, BirthRequestIsLocalHit) {
+  const CostModel cm(1.0, 1.0);
+  OnlineDataService service(3, cm);
+  EXPECT_TRUE(service.request(7, 2, 1.0));   // birth on s3
+  EXPECT_TRUE(service.request(7, 2, 1.5));   // local hit
+  EXPECT_FALSE(service.request(7, 0, 9.0));  // transfer after expiry
+  const auto rep = service.finish();
+  EXPECT_EQ(rep.items, 1u);
+  EXPECT_EQ(rep.requests, 2u);
+  EXPECT_EQ(rep.per_item[0].transfers, 1u);
+  EXPECT_EQ(rep.per_item[0].hits, 1u);
+}
+
+TEST(OnlineService, ThreeCompetitivePerItem) {
+  Rng rng(23);
+  const CostModel cm(1.0, 1.0);
+  MultiItemConfig cfg;
+  cfg.num_servers = 4;
+  cfg.num_items = 10;
+  cfg.num_requests = 600;
+  const auto stream = gen_multi_item(rng, cfg);
+
+  OnlineDataService service(cfg.num_servers, cm);
+  for (const auto& r : stream) service.request(r.item, r.server, r.time);
+  const auto online = service.finish();
+  const auto offline = plan_offline_service(stream, cfg.num_servers, cm);
+  EXPECT_LE(online.total_cost, 3.0 * offline.total_cost + 1e-6);
+  EXPECT_GE(online.total_cost, offline.total_cost - 1e-6);
+}
+
+TEST(OnlineService, Errors) {
+  const CostModel cm(1.0, 1.0);
+  OnlineDataService service(2, cm);
+  EXPECT_THROW(OnlineDataService(0, cm), std::invalid_argument);
+  service.request(0, 0, 1.0);
+  EXPECT_THROW(service.request(0, 0, 1.0), std::invalid_argument);
+  EXPECT_THROW(service.request(0, 5, 2.0), std::invalid_argument);
+  service.finish();
+  EXPECT_THROW(service.request(0, 0, 3.0), std::logic_error);
+  EXPECT_THROW(service.finish(), std::logic_error);
+}
+
+TEST(OnlineService, ManyItemsLiveIndependently) {
+  const CostModel cm(1.0, 1.0);
+  OnlineDataService service(4, cm);
+  Rng rng(29);
+  Time t = 0.0;
+  for (int i = 0; i < 200; ++i) {
+    t += 0.1;
+    service.request(static_cast<int>(rng.uniform_int(std::uint64_t(20))),
+                    static_cast<ServerId>(rng.uniform_int(std::uint64_t(4))), t);
+  }
+  EXPECT_LE(service.live_items(), 20u);
+  const auto rep = service.finish();
+  EXPECT_EQ(rep.items, service.live_items());
+  EXPECT_GT(rep.total_cost, 0.0);
+}
+
+}  // namespace
+}  // namespace mcdc

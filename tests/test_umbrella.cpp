@@ -1,0 +1,28 @@
+// Compile-and-run check of the umbrella header: a downstream user's whole
+// workflow through a single include.
+#include "mcdc.h"
+
+#include <gtest/gtest.h>
+
+namespace mcdc {
+namespace {
+
+TEST(Umbrella, EndToEndThroughSingleInclude) {
+  Rng rng(8);
+  PoissonZipfConfig cfg;
+  cfg.num_servers = 4;
+  cfg.num_requests = 30;
+  const auto seq = gen_poisson_zipf(rng, cfg);
+  const auto cm = calibrate(price_profile("cross-continent"), 1.0);
+
+  const auto opt = solve_offline(seq, cm);
+  const auto sc = run_speculative_caching(seq, cm);
+  EXPECT_TRUE(validate_schedule(opt.schedule, seq).ok);
+  EXPECT_TRUE(execute_schedule(opt.schedule, seq, cm).ok);
+  EXPECT_LE(sc.total_cost, 3.0 * opt.optimal_cost + 1e-9);
+  EXPECT_GE(running_lower_bound(seq, cm), 0.0);
+  EXPECT_FALSE(render_schedule_diagram(seq, opt.schedule).empty());
+}
+
+}  // namespace
+}  // namespace mcdc

@@ -1,0 +1,322 @@
+// Tests for the workload generators and trace I/O.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <sstream>
+
+#include "workload/generators.h"
+#include "workload/trace_io.h"
+
+namespace mcdc {
+namespace {
+
+TEST(PoissonZipf, ShapeAndDeterminism) {
+  PoissonZipfConfig cfg;
+  cfg.num_servers = 5;
+  cfg.num_requests = 200;
+  Rng a(11), b(11);
+  const auto s1 = gen_poisson_zipf(a, cfg);
+  const auto s2 = gen_poisson_zipf(b, cfg);
+  EXPECT_EQ(s1.n(), 200);
+  EXPECT_EQ(s1.m(), 5);
+  EXPECT_TRUE(s1 == s2);
+}
+
+TEST(PoissonZipf, SkewFavorsLowServers) {
+  PoissonZipfConfig cfg;
+  cfg.num_servers = 8;
+  cfg.num_requests = 4000;
+  cfg.zipf_alpha = 1.2;
+  Rng rng(13);
+  const auto seq = gen_poisson_zipf(rng, cfg);
+  std::vector<int> counts(8, 0);
+  for (RequestIndex i = 1; i <= seq.n(); ++i) ++counts[static_cast<std::size_t>(seq.server(i))];
+  EXPECT_GT(counts[0], counts[7] * 3);
+}
+
+TEST(PoissonZipf, ArrivalRateControlsHorizon) {
+  Rng rng(15);
+  PoissonZipfConfig slow;
+  slow.num_requests = 500;
+  slow.arrival_rate = 0.1;
+  PoissonZipfConfig fast = slow;
+  fast.arrival_rate = 10.0;
+  const auto s_slow = gen_poisson_zipf(rng, slow);
+  const auto s_fast = gen_poisson_zipf(rng, fast);
+  EXPECT_GT(s_slow.horizon(), s_fast.horizon() * 10);
+}
+
+TEST(PoissonZipf, RejectsBadConfig) {
+  Rng rng(1);
+  PoissonZipfConfig cfg;
+  cfg.num_servers = 0;
+  EXPECT_THROW(gen_poisson_zipf(rng, cfg), std::invalid_argument);
+  cfg.num_servers = 2;
+  cfg.arrival_rate = 0.0;
+  EXPECT_THROW(gen_poisson_zipf(rng, cfg), std::invalid_argument);
+}
+
+TEST(Mobility, LocalityBeatsUniform) {
+  // Consecutive requests land on the same server far more often under the
+  // mobility model than under uniform drawing.
+  Rng rng(17);
+  MobilityConfig cfg;
+  cfg.num_servers = 8;
+  cfg.num_requests = 2000;
+  cfg.num_users = 1;
+  cfg.request_rate = 2.0;
+  cfg.dwell_rate = 0.05;
+  const auto mob = gen_markov_mobility(rng, cfg);
+  const auto uni = gen_uniform(rng, 8, 2000, 2.0);
+
+  auto same_frac = [](const RequestSequence& s) {
+    int same = 0;
+    for (RequestIndex i = 2; i <= s.n(); ++i) same += (s.server(i) == s.server(i - 1));
+    return static_cast<double>(same) / static_cast<double>(s.n() - 1);
+  };
+  EXPECT_GT(same_frac(mob), 0.5);
+  EXPECT_LT(same_frac(uni), 0.25);
+}
+
+TEST(Mobility, MultipleUsersInterleave) {
+  Rng rng(19);
+  MobilityConfig cfg;
+  cfg.num_users = 4;
+  cfg.num_requests = 500;
+  const auto seq = gen_markov_mobility(rng, cfg);
+  EXPECT_EQ(seq.n(), 500);
+  EXPECT_GE(seq.active_servers(), 2);
+}
+
+TEST(Commuter, StaysOnRotation) {
+  Rng rng(23);
+  CommuterConfig cfg;
+  cfg.num_servers = 6;
+  cfg.num_requests = 400;
+  cfg.stops_per_period = 3;
+  cfg.detour_prob = 0.0;
+  const auto seq = gen_commuter(rng, cfg);
+  for (RequestIndex i = 1; i <= seq.n(); ++i) {
+    EXPECT_LT(seq.server(i), 3);  // rotation uses servers 0..2 only
+  }
+}
+
+TEST(Commuter, PeriodicityVisible) {
+  Rng rng(29);
+  CommuterConfig cfg;
+  cfg.num_servers = 4;
+  cfg.num_requests = 64;
+  cfg.stops_per_period = 4;
+  cfg.period = 24.0;
+  cfg.time_jitter = 0.1;
+  cfg.detour_prob = 0.0;
+  const auto seq = gen_commuter(rng, cfg);
+  // Request k and k + stops_per_period sit one period apart (within jitter).
+  for (RequestIndex i = 1; i + 4 <= seq.n(); ++i) {
+    EXPECT_NEAR(seq.time(i + 4) - seq.time(i), 24.0, 0.5);
+  }
+}
+
+TEST(Bursty, HeavyTailsProduceLongGaps) {
+  Rng rng(31);
+  BurstyConfig cfg;
+  cfg.num_requests = 2000;
+  cfg.pareto_alpha = 1.2;
+  const auto seq = gen_bursty_pareto(rng, cfg);
+  Time max_gap = 0.0, sum_gap = 0.0;
+  for (RequestIndex i = 1; i <= seq.n(); ++i) {
+    const Time gap = seq.time(i) - seq.time(i - 1);
+    max_gap = std::max(max_gap, gap);
+    sum_gap += gap;
+  }
+  const Time mean_gap = sum_gap / seq.n();
+  EXPECT_GT(max_gap, 10 * mean_gap);  // heavy tail signature
+}
+
+TEST(Adversarial, AlternatesJustPastWindow) {
+  const CostModel cm(1.0, 2.0);  // delta_t = 2
+  const auto seq = gen_adversarial_alternation(cm, 10, 1.05);
+  EXPECT_EQ(seq.n(), 10);
+  for (RequestIndex i = 1; i <= seq.n(); ++i) {
+    EXPECT_NEAR(seq.time(i) - seq.time(i - 1), 2.1, 1e-9);
+    if (i >= 2) EXPECT_NE(seq.server(i), seq.server(i - 1));
+  }
+  EXPECT_THROW(gen_adversarial_alternation(cm, 5, 1.0, 1), std::invalid_argument);
+}
+
+TEST(Diurnal, DayNightServerSplit) {
+  Rng rng(57);
+  DiurnalConfig cfg;
+  cfg.num_servers = 8;
+  cfg.num_requests = 2000;
+  cfg.period = 24.0;
+  cfg.day_fraction = 0.5;
+  const auto seq = gen_diurnal(rng, cfg);
+  // Requests in the day phase must be on work servers (0..3), night phase
+  // on home servers (4..7).
+  for (RequestIndex i = 1; i <= seq.n(); ++i) {
+    const double phase = std::fmod(seq.time(i), 24.0) / 24.0;
+    if (phase < 0.5) {
+      EXPECT_LT(seq.server(i), 4) << "day request on home server";
+    } else {
+      EXPECT_GE(seq.server(i), 4) << "night request on work server";
+    }
+  }
+}
+
+TEST(Diurnal, DayIsDenser) {
+  Rng rng(59);
+  DiurnalConfig cfg;
+  cfg.num_servers = 4;
+  cfg.num_requests = 3000;
+  cfg.day_rate = 8.0;
+  cfg.night_rate = 1.0;
+  const auto seq = gen_diurnal(rng, cfg);
+  int day = 0, night = 0;
+  for (RequestIndex i = 1; i <= seq.n(); ++i) {
+    const double phase = std::fmod(seq.time(i), cfg.period) / cfg.period;
+    (phase < cfg.day_fraction ? day : night) += 1;
+  }
+  EXPECT_GT(day, 2 * night);
+}
+
+TEST(FlashCrowd, HotspotsConcentrateTraffic) {
+  Rng rng(61);
+  FlashCrowdConfig cfg;
+  cfg.num_servers = 8;
+  cfg.num_requests = 3000;
+  const auto seq = gen_flash_crowd(rng, cfg);
+  // During bursts most consecutive requests repeat the same server; the
+  // overall same-server fraction must clearly beat uniform (1/8).
+  int same = 0;
+  for (RequestIndex i = 2; i <= seq.n(); ++i) same += seq.server(i) == seq.server(i - 1);
+  EXPECT_GT(static_cast<double>(same) / seq.n(), 0.3);
+}
+
+TEST(FlashCrowd, RejectsBadConfig) {
+  Rng rng(1);
+  FlashCrowdConfig cfg;
+  cfg.hotspot_affinity = 1.5;
+  EXPECT_THROW(gen_flash_crowd(rng, cfg), std::invalid_argument);
+}
+
+TEST(Perturb, ZeroNoiseIsIdentity) {
+  Rng rng(63);
+  const auto seq = gen_uniform(rng, 4, 50);
+  const auto same = perturb_sequence(rng, seq, 0.0, 0.0);
+  EXPECT_TRUE(seq == same);
+}
+
+TEST(Perturb, KeepsShapeAndOrdering) {
+  Rng rng(65);
+  const auto seq = gen_uniform(rng, 4, 100);
+  const auto noisy = perturb_sequence(rng, seq, 2.0, 0.3);
+  EXPECT_EQ(noisy.n(), seq.n());
+  EXPECT_EQ(noisy.m(), seq.m());
+  EXPECT_EQ(noisy.origin(), seq.origin());
+  for (RequestIndex i = 1; i <= noisy.n(); ++i) {
+    EXPECT_GT(noisy.time(i), noisy.time(i - 1));
+  }
+  // Some servers must actually have flipped.
+  int diffs = 0;
+  for (RequestIndex i = 1; i <= noisy.n(); ++i) {
+    diffs += noisy.server(i) != seq.server(i);
+  }
+  EXPECT_GT(diffs, 5);
+}
+
+TEST(Perturb, RejectsBadNoise) {
+  Rng rng(67);
+  const auto seq = gen_uniform(rng, 3, 10);
+  EXPECT_THROW(perturb_sequence(rng, seq, -1.0, 0.0), std::invalid_argument);
+  EXPECT_THROW(perturb_sequence(rng, seq, 0.0, 1.5), std::invalid_argument);
+}
+
+TEST(MultiItem, SplitPreservesEverything) {
+  Rng rng(37);
+  MultiItemConfig cfg;
+  cfg.num_servers = 4;
+  cfg.num_items = 12;
+  cfg.num_requests = 600;
+  const auto stream = gen_multi_item(rng, cfg);
+  ASSERT_EQ(stream.size(), 600u);
+  const auto split = split_by_item(stream, cfg.num_servers, cfg.num_items);
+  ASSERT_EQ(split.size(), 12u);
+  int total = 0;
+  for (const auto& seq : split) total += seq.n();
+  EXPECT_EQ(total, 600);
+  // Per-item: origin equals the server of the first request; times re-based.
+  std::map<int, const MultiItemRequest*> first;
+  for (const auto& r : stream) {
+    if (!first.count(r.item)) first[r.item] = &r;
+  }
+  for (const auto& [item, req] : first) {
+    const auto& seq = split[static_cast<std::size_t>(item)];
+    ASSERT_GE(seq.n(), 1);
+    EXPECT_EQ(seq.origin(), req->server);
+    EXPECT_NEAR(seq.time(1), 0.1, 1e-9);
+  }
+}
+
+TEST(MultiItem, PopularItemsDominate) {
+  Rng rng(41);
+  MultiItemConfig cfg;
+  cfg.num_items = 30;
+  cfg.num_requests = 3000;
+  cfg.item_zipf_alpha = 1.1;
+  const auto stream = gen_multi_item(rng, cfg);
+  std::vector<int> counts(30, 0);
+  for (const auto& r : stream) ++counts[static_cast<std::size_t>(r.item)];
+  EXPECT_GT(counts[0], counts[29] * 3);
+}
+
+TEST(TraceIo, SingleItemRoundTrip) {
+  Rng rng(43);
+  const auto seq = gen_uniform(rng, 5, 50);
+  std::stringstream buf;
+  write_trace(buf, seq);
+  const auto back = read_trace(buf);
+  EXPECT_TRUE(seq == back);
+}
+
+TEST(TraceIo, MultiItemRoundTrip) {
+  Rng rng(47);
+  MultiItemConfig cfg;
+  cfg.num_items = 5;
+  cfg.num_requests = 100;
+  const auto stream = gen_multi_item(rng, cfg);
+  std::stringstream buf;
+  write_multi_item_trace(buf, stream, cfg.num_servers, cfg.num_items);
+  const auto back = read_multi_item_trace(buf);
+  EXPECT_EQ(back.num_servers, cfg.num_servers);
+  EXPECT_EQ(back.num_items, cfg.num_items);
+  ASSERT_EQ(back.stream.size(), stream.size());
+  for (std::size_t i = 0; i < stream.size(); ++i) {
+    EXPECT_EQ(back.stream[i].item, stream[i].item);
+    EXPECT_EQ(back.stream[i].server, stream[i].server);
+    EXPECT_DOUBLE_EQ(back.stream[i].time, stream[i].time);
+  }
+}
+
+TEST(TraceIo, FileRoundTrip) {
+  Rng rng(53);
+  const auto seq = gen_uniform(rng, 3, 20);
+  const std::string path = "/tmp/mcdc_test_trace.csv";
+  write_trace_file(path, seq);
+  const auto back = read_trace_file(path);
+  EXPECT_TRUE(seq == back);
+  EXPECT_THROW(read_trace_file("/nonexistent/nope.csv"), std::runtime_error);
+}
+
+TEST(TraceIo, RejectsMalformed) {
+  std::stringstream bad1("not-a-number,1\n");
+  EXPECT_THROW(read_trace(bad1), std::invalid_argument);
+  std::stringstream bad2("2,1\n1\n");
+  EXPECT_THROW(read_trace(bad2), std::invalid_argument);
+  std::stringstream bad3("2,1\n1,xyz\n");
+  EXPECT_THROW(read_trace(bad3), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mcdc
