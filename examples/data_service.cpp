@@ -7,7 +7,6 @@
 // (Speculative Caching per item), and prints the busiest items.
 //
 //   ./data_service [--servers=6] [--items=30] [--requests=3000] [--seed=2]
-#include <algorithm>
 #include <cstdio>
 
 #include "service/data_service.h"
@@ -63,19 +62,8 @@ int main(int argc, char** argv) {
               online.total_cost / offline.total_cost);
   std::printf("requests served locally online: %zu / %zu\n", local, stream.size());
 
-  // Busiest items.
-  auto items = online.per_item;
-  std::sort(items.begin(), items.end(), [](const auto& a, const auto& b) {
-    return a.requests > b.requests;
-  });
-  std::puts("\nbusiest items (online service):");
-  Table ti({"item", "born on", "requests", "hits", "transfers", "cost"});
-  for (std::size_t i = 0; i < std::min<std::size_t>(5, items.size()); ++i) {
-    const auto& it = items[i];
-    ti.add_row({std::to_string(it.item), "s" + std::to_string(it.origin + 1),
-                std::to_string(it.requests), std::to_string(it.hits),
-                std::to_string(it.transfers), Table::num(it.cost, 1)});
-  }
-  std::fputs(ti.render().c_str(), stdout);
+  // Costliest items, via the report's own formatter.
+  std::puts("\nonline service report:");
+  std::fputs(online.to_string(/*max_items=*/5).c_str(), stdout);
   return 0;
 }

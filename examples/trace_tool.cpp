@@ -8,9 +8,14 @@
 // `gen` writes a synthetic trace; `solve` runs the off-line optimum on a
 // trace (optionally exporting the space-time graph with the optimal
 // schedule overlaid as Graphviz DOT); `online` replays it through SC.
+//
+// Observability: `solve` and `online` accept `--metrics-out=metrics.json`
+// (registry snapshot) and `--trace-out=trace.jsonl` (structured event
+// stream); see docs/OBSERVABILITY.md for both schemas.
 #include <cstdio>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <string>
 
 #include "analysis/cost_breakdown.h"
@@ -21,6 +26,8 @@
 #include "core/offline_dp.h"
 #include "core/online_sc.h"
 #include "model/schedule_validator.h"
+#include "obs/observer.h"
+#include "obs/sinks.h"
 #include "util/cli.h"
 #include "workload/generators.h"
 #include "workload/trace_io.h"
@@ -28,6 +35,45 @@
 using namespace mcdc;
 
 namespace {
+
+/// Telemetry bundle built from --metrics-out / --trace-out; attached()
+/// is false (and the observer unused) when neither flag is present.
+struct CliTelemetry {
+  explicit CliTelemetry(const ArgParser& args) {
+    if (args.has("trace-out")) {
+      sink = std::make_unique<obs::JsonlSink>(args.get("trace-out"));
+      if (!sink->ok()) {
+        throw std::runtime_error("cannot open " + args.get("trace-out"));
+      }
+      trace_path = args.get("trace-out");
+    }
+    if (args.has("metrics-out")) metrics_path = args.get("metrics-out");
+    observer = obs::Observer(&registry, sink.get());
+  }
+
+  bool attached() const { return sink != nullptr || !metrics_path.empty(); }
+  obs::Observer* get() { return attached() ? &observer : nullptr; }
+
+  /// Write metrics.json (if requested) and report both outputs.
+  void flush() {
+    if (!metrics_path.empty()) {
+      std::ofstream out(metrics_path);
+      if (!out) throw std::runtime_error("cannot open " + metrics_path);
+      out << registry.to_json() << '\n';
+      std::printf("metrics snapshot written to %s\n", metrics_path.c_str());
+    }
+    if (sink != nullptr) {
+      std::printf("%zu events written to %s\n", sink->written(),
+                  trace_path.c_str());
+    }
+  }
+
+  obs::MetricsRegistry registry;
+  std::unique_ptr<obs::JsonlSink> sink;
+  obs::Observer observer;
+  std::string metrics_path;
+  std::string trace_path;
+};
 
 int cmd_gen(const ArgParser& args) {
   Rng rng(static_cast<std::uint64_t>(args.get_int("seed")));
@@ -81,7 +127,10 @@ CostModel cost_model_from_args(const ArgParser& args) {
 int cmd_solve(const ArgParser& args) {
   const auto seq = read_trace_file(args.get("in"));
   const CostModel cm = cost_model_from_args(args);
-  const auto opt = solve_offline(seq, cm);
+  CliTelemetry telemetry(args);
+  OfflineDpOptions dp_options;
+  dp_options.observer = telemetry.get();
+  const auto opt = solve_offline(seq, cm, dp_options);
   std::printf("instance: m=%d n=%d horizon=%.3f\n", seq.m(), seq.n(), seq.horizon());
   std::printf("optimal cost C(n) = %.6f (lower bound B_n = %.6f)\n",
               opt.optimal_cost, opt.bounds.B.back());
@@ -109,15 +158,18 @@ int cmd_solve(const ArgParser& args) {
     std::printf("space-time graph with overlay written to %s\n",
                 args.get("dot").c_str());
   }
+  telemetry.flush();
   return 0;
 }
 
 int cmd_online(const ArgParser& args) {
   const auto seq = read_trace_file(args.get("in"));
   const CostModel cm = cost_model_from_args(args);
+  CliTelemetry telemetry(args);
   SpeculativeCachingOptions opt;
   const auto epoch = args.get_int("epoch");
   if (epoch > 0) opt.epoch_transfers = static_cast<std::size_t>(epoch);
+  opt.observer = telemetry.get();
   const auto sc = run_speculative_caching(seq, cm, opt);
   const auto best = solve_offline(seq, cm, {.reconstruct_schedule = false});
   std::printf("instance: m=%d n=%d\n", seq.m(), seq.n());
@@ -125,6 +177,7 @@ int cmd_online(const ArgParser& args) {
               sc.misses, sc.expirations, sc.epochs_completed);
   std::printf("SC cost %.6f vs OPT %.6f -> ratio %.3f (bound 3)\n", sc.total_cost,
               best.optimal_cost, sc.total_cost / best.optimal_cost);
+  telemetry.flush();
   return 0;
 }
 
@@ -145,6 +198,8 @@ int main(int argc, char** argv) {
   args.add_flag("epoch", "SC epoch transfers (0 = none)", "0");
   args.add_flag("dot", "write DOT of the space-time graph here");
   args.add_bool_flag("report", "print the per-request cost attribution table");
+  args.add_flag("metrics-out", "write an obs metrics snapshot (JSON) here");
+  args.add_flag("trace-out", "write the obs event stream (JSONL) here");
 
   try {
     const auto pos = args.parse(argc, argv);

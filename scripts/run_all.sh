@@ -16,4 +16,11 @@ ctest --test-dir build 2>&1 | tee test_output.txt
   "$b"
 done) 2>&1 | tee bench_output.txt
 
-echo "done: test_output.txt, bench_output.txt"
+# Observability artifacts: metrics snapshot + JSONL event trace from a
+# representative online run (see docs/OBSERVABILITY.md for the schema).
+build/examples/trace_tool gen --out=build/obs_trace.csv --kind=mobility \
+  --requests=2000 --servers=8
+build/examples/trace_tool online --in=build/obs_trace.csv --epoch=16 \
+  --metrics-out=metrics.json --trace-out=trace.jsonl > /dev/null
+
+echo "done: test_output.txt, bench_output.txt, metrics.json, trace.jsonl"

@@ -4,6 +4,9 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "obs/observer.h"
+#include "util/timer.h"
+
 namespace mcdc {
 
 namespace {
@@ -66,7 +69,12 @@ OfflineDpResult solve_offline(const RequestSequence& seq, const CostModel& cm,
   const auto nn = static_cast<std::size_t>(n);
 
   OfflineDpResult res;
+  Timer stage;  // read only when an observer is attached
   res.bounds = compute_marginal_bounds(seq, cm);
+  if (options.observer != nullptr) {
+    options.observer->dp_stage_done("bounds", stage.micros());
+    stage.reset();
+  }
   res.C.assign(nn + 1, 0.0);
   res.D.assign(nn + 1, kInfiniteCost);
   res.serve.assign(nn + 1, OfflineDpResult::Serve::kBoundary);
@@ -140,6 +148,10 @@ OfflineDpResult solve_offline(const RequestSequence& seq, const CostModel& cm,
   }
 
   res.optimal_cost = res.C[nn];
+  if (options.observer != nullptr) {
+    options.observer->dp_stage_done("forward", stage.micros());
+    stage.reset();
+  }
 
   if (!options.reconstruct_schedule) return res;
 
@@ -203,6 +215,9 @@ OfflineDpResult solve_offline(const RequestSequence& seq, const CostModel& cm,
 
   sch.normalize();
   res.has_schedule = true;
+  if (options.observer != nullptr) {
+    options.observer->dp_stage_done("reconstruct", stage.micros());
+  }
   return res;
 }
 

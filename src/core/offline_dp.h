@@ -37,6 +37,10 @@
 
 namespace mcdc {
 
+namespace obs {
+class Observer;
+}  // namespace obs
+
 enum class PivotLookup : std::uint8_t {
   kAuto,           ///< matrix when (n+1)*m fits in ~256 MB, else binary search
   kPointerMatrix,  ///< the paper's O(mn)-space pre-scan (Theorem 2)
@@ -46,6 +50,11 @@ enum class PivotLookup : std::uint8_t {
 struct OfflineDpOptions {
   PivotLookup lookup = PivotLookup::kAuto;
   bool reconstruct_schedule = true;
+
+  /// Optional telemetry: emits one DpStageDone event (and feeds the
+  /// `dp_stage_us` histogram) per solver stage — "bounds", "forward",
+  /// "reconstruct". Not owned. Null (default) = off.
+  obs::Observer* observer = nullptr;
 };
 
 struct OfflineDpResult {

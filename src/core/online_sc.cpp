@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "obs/observer.h"
+
 namespace mcdc {
 
 SpeculativeCache::SpeculativeCache(int num_servers, ServerId origin,
@@ -36,6 +38,10 @@ SpeculativeCache::SpeculativeCache(int num_servers, ServerId origin,
   last_request_server_ = origin;
 
   result_.served_by_cache.push_back(false);  // slot for index 0
+
+  if (opt_.observer != nullptr) {
+    opt_.observer->copy_born(opt_.trace_item, origin, opt_.trace_time_offset);
+  }
 }
 
 void SpeculativeCache::list_push_back(ServerId s) {
@@ -66,6 +72,11 @@ void SpeculativeCache::kill(ServerId s, Time death, bool expired) {
       CopyLifetime{s, slot.birth, death, slot.last_use, slot.created_by_edge});
   result_.schedule.add_cache(s, slot.birth, death);
   if (expired) ++result_.expirations;
+  if (opt_.observer != nullptr) {
+    opt_.observer->copy_expired(opt_.trace_item, s,
+                                opt_.trace_time_offset + death, expired,
+                                cm_.mu * (death - slot.birth));
+  }
 }
 
 void SpeculativeCache::expire_before(Time t) {
@@ -102,6 +113,11 @@ bool SpeculativeCache::observe(ServerId server, Time time) {
     list_push_back(server);
     ++result_.hits;
     result_.served_by_cache.push_back(true);
+    if (opt_.observer != nullptr) {
+      opt_.observer->request_served(opt_.trace_item, next_request_index_,
+                                    server, opt_.trace_time_offset + time,
+                                    /*hit=*/true, 0.0, alive_count_);
+    }
   } else {
     // Served by a transfer from the server of r_{i-1}, whose copy is alive
     // by the extension invariant (Observation 4). The defensive fallback to
@@ -132,6 +148,16 @@ bool SpeculativeCache::observe(ServerId server, Time time) {
     list_push_back(server);
     ++alive_count_;
 
+    if (opt_.observer != nullptr) {
+      const Time abs_time = opt_.trace_time_offset + time;
+      opt_.observer->transfer_issued(opt_.trace_item, next_request_index_, src,
+                                     server, abs_time, cm_.lambda);
+      opt_.observer->copy_born(opt_.trace_item, server, abs_time);
+      opt_.observer->request_served(opt_.trace_item, next_request_index_,
+                                    server, abs_time, /*hit=*/false,
+                                    cm_.lambda, alive_count_);
+    }
+
     if (++epoch_transfers_seen_ >= opt_.epoch_transfers) {
       // Epoch complete: restart with a single copy at the current server.
       while (alive_count_ > 1) {
@@ -141,6 +167,10 @@ bool SpeculativeCache::observe(ServerId server, Time time) {
       }
       epoch_transfers_seen_ = 0;
       ++result_.epochs_completed;
+      if (opt_.observer != nullptr) {
+        opt_.observer->epoch_reset(opt_.trace_item,
+                                   opt_.trace_time_offset + time);
+      }
     }
   }
 

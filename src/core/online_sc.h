@@ -37,6 +37,10 @@
 
 namespace mcdc {
 
+namespace obs {
+class Observer;
+}  // namespace obs
+
 struct SpeculativeCachingOptions {
   /// Transfers per epoch (the paper's n). Default: no epoch resets.
   std::size_t epoch_transfers = std::numeric_limits<std::size_t>::max();
@@ -49,6 +53,17 @@ struct SpeculativeCachingOptions {
   /// time of the last request — the same horizon OPT is charged on. If
   /// false, speculative tails run to their expiration (never past it).
   bool truncate_at_horizon = true;
+
+  /// Optional telemetry (metrics + event trace; see obs/observer.h). Null
+  /// — the default — keeps the algorithm allocation-free and costs one
+  /// branch per instrumentation site. Not owned; must outlive the cache.
+  obs::Observer* observer = nullptr;
+
+  /// Trace context stamped onto emitted events: the multi-item id and the
+  /// absolute-time offset of this instance's local t=0. Used by
+  /// OnlineDataService so per-item event streams merge coherently.
+  int trace_item = -1;
+  Time trace_time_offset = 0.0;
 };
 
 /// One replica's lifetime, for analysis (DT transform) and validation.

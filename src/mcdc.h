@@ -38,6 +38,13 @@
 #include "sim/policy_runner.h"
 #include "sim/predictive_policy.h"
 
+// Observability: metrics registry, event tracing, profiling scopes.
+#include "obs/events.h"
+#include "obs/metrics.h"
+#include "obs/observer.h"
+#include "obs/scoped_timer.h"
+#include "obs/sinks.h"
+
 // Analysis and reporting.
 #include "analysis/competitive.h"
 #include "analysis/cost_breakdown.h"

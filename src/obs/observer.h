@@ -1,0 +1,181 @@
+// Observer: the single handle instrumented code holds.
+//
+// Bundles an optional MetricsRegistry and an optional TraceSink behind one
+// pointer. Construction registers the standard metric set once and caches
+// the returned handles, so every hook is a couple of cached-pointer updates
+// plus (when a sink is attached) one virtual call — no map lookups, no
+// allocation, nothing on the hot path that scales with registry size.
+//
+// Attachment points:
+//   SpeculativeCachingOptions::observer  — SC + OnlineDataService
+//   OfflineDpOptions::observer           — the off-line DP stages
+//   execute_schedule(..., observer)      — the discrete-event replay
+//
+// An absent observer (nullptr, the default everywhere) costs one branch per
+// instrumentation site. Standard metric names are listed in
+// docs/OBSERVABILITY.md.
+#pragma once
+
+#include "obs/events.h"
+#include "obs/metrics.h"
+
+namespace mcdc::obs {
+
+class Observer {
+ public:
+  Observer() = default;
+
+  explicit Observer(MetricsRegistry* metrics, TraceSink* sink = nullptr)
+      : metrics_(metrics), sink_(sink) {
+    if (metrics_ == nullptr) return;
+    requests_served_ = &metrics_->counter("requests_served");
+    cache_hits_ = &metrics_->counter("cache_hits");
+    cache_misses_ = &metrics_->counter("cache_misses");
+    transfers_issued_ = &metrics_->counter("transfers_issued");
+    copies_born_ = &metrics_->counter("copies_born");
+    copies_expired_ = &metrics_->counter("copies_expired");
+    epoch_resets_ = &metrics_->counter("epoch_resets");
+    dp_stages_ = &metrics_->counter("dp_stages");
+    replicas_alive_ = &metrics_->gauge("replicas_alive");
+    live_items_ = &metrics_->gauge("live_items");
+    // µs scale: 1µs .. ~4s.
+    request_latency_us_ = &metrics_->histogram(
+        "request_latency_us", Histogram::exponential_bounds(1.0, 4.0, 12));
+    dp_stage_us_ = &metrics_->histogram(
+        "dp_stage_us", Histogram::exponential_bounds(1.0, 4.0, 12));
+    executor_replay_us_ = &metrics_->histogram(
+        "executor_replay_us", Histogram::exponential_bounds(1.0, 4.0, 12));
+    // Cost in lambda-ish units; 0 hits the first bucket via underflow bound.
+    cost_per_request_ = &metrics_->histogram(
+        "cost_per_request", Histogram::exponential_bounds(0.125, 2.0, 12));
+    replicas_per_request_ = &metrics_->histogram(
+        "replicas_per_request", {1, 2, 4, 8, 16, 32, 64, 128});
+  }
+
+  MetricsRegistry* metrics() const { return metrics_; }
+  TraceSink* sink() const { return sink_; }
+
+  // --- instrumentation hooks -------------------------------------------
+
+  void request_served(int item, RequestIndex request, ServerId server, Time at,
+                      bool hit, Cost cost_delta, std::size_t replicas_alive) {
+    if (metrics_ != nullptr) {
+      requests_served_->inc();
+      (hit ? cache_hits_ : cache_misses_)->inc();
+      cost_per_request_->observe(cost_delta);
+      replicas_per_request_->observe(static_cast<double>(replicas_alive));
+      replicas_alive_->set(static_cast<double>(replicas_alive));
+    }
+    if (sink_ != nullptr) {
+      Event e;
+      e.kind = EventKind::kRequestServed;
+      e.item = item;
+      e.request = request;
+      e.server = server;
+      e.at = at;
+      e.hit = hit;
+      e.cost_delta = cost_delta;
+      sink_->on_event(e);
+    }
+  }
+
+  void transfer_issued(int item, RequestIndex request, ServerId from,
+                       ServerId to, Time at, Cost cost_delta) {
+    if (metrics_ != nullptr) transfers_issued_->inc();
+    if (sink_ != nullptr) {
+      Event e;
+      e.kind = EventKind::kTransferIssued;
+      e.item = item;
+      e.request = request;
+      e.server = to;
+      e.from = from;
+      e.at = at;
+      e.cost_delta = cost_delta;
+      sink_->on_event(e);
+    }
+  }
+
+  void copy_born(int item, ServerId server, Time at) {
+    if (metrics_ != nullptr) copies_born_->inc();
+    if (sink_ != nullptr) {
+      Event e;
+      e.kind = EventKind::kCopyBorn;
+      e.item = item;
+      e.server = server;
+      e.at = at;
+      sink_->on_event(e);
+    }
+  }
+
+  void copy_expired(int item, ServerId server, Time at, bool expired,
+                    Cost cost_delta) {
+    if (metrics_ != nullptr) copies_expired_->inc();
+    if (sink_ != nullptr) {
+      Event e;
+      e.kind = EventKind::kCopyExpired;
+      e.item = item;
+      e.server = server;
+      e.at = at;
+      e.expired = expired;
+      e.cost_delta = cost_delta;
+      sink_->on_event(e);
+    }
+  }
+
+  void epoch_reset(int item, Time at) {
+    if (metrics_ != nullptr) epoch_resets_->inc();
+    if (sink_ != nullptr) {
+      Event e;
+      e.kind = EventKind::kEpochReset;
+      e.item = item;
+      e.at = at;
+      sink_->on_event(e);
+    }
+  }
+
+  /// `stage` must point to static storage (a string literal).
+  void dp_stage_done(const char* stage, double micros) {
+    if (metrics_ != nullptr) {
+      dp_stages_->inc();
+      dp_stage_us_->observe(micros);
+    }
+    if (sink_ != nullptr) {
+      Event e;
+      e.kind = EventKind::kDpStageDone;
+      e.stage = stage;
+      e.micros = micros;
+      sink_->on_event(e);
+    }
+  }
+
+  void set_live_items(std::size_t n) {
+    if (live_items_ != nullptr) live_items_->set(static_cast<double>(n));
+  }
+
+  // Cached histogram handles for ScopedTimer call sites (null without a
+  // registry, which ScopedTimer treats as "off").
+  Histogram* request_latency_us() const { return request_latency_us_; }
+  Histogram* executor_replay_us() const { return executor_replay_us_; }
+
+ private:
+  MetricsRegistry* metrics_ = nullptr;
+  TraceSink* sink_ = nullptr;
+
+  Counter* requests_served_ = nullptr;
+  Counter* cache_hits_ = nullptr;
+  Counter* cache_misses_ = nullptr;
+  Counter* transfers_issued_ = nullptr;
+  Counter* copies_born_ = nullptr;
+  Counter* copies_expired_ = nullptr;
+  Counter* epoch_resets_ = nullptr;
+  Counter* dp_stages_ = nullptr;
+  Gauge* replicas_alive_ = nullptr;
+  Gauge* live_items_ = nullptr;
+  Histogram* request_latency_us_ = nullptr;
+  Histogram* dp_stage_us_ = nullptr;
+  Histogram* executor_replay_us_ = nullptr;
+  Histogram* cost_per_request_ = nullptr;
+  Histogram* replicas_per_request_ = nullptr;
+};
+
+}  // namespace mcdc::obs

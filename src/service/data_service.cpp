@@ -1,10 +1,64 @@
 #include "service/data_service.h"
 
+#include <algorithm>
+#include <sstream>
 #include <stdexcept>
 
 #include "core/offline_dp.h"
+#include "obs/observer.h"
+#include "obs/scoped_timer.h"
+#include "util/table.h"
 
 namespace mcdc {
+
+std::string ItemOutcome::summary() const {
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(3);
+  os << "item " << item << ": born s" << origin + 1 << "@" << birth << ", "
+     << requests << " requests, " << hits << " hits, " << transfers
+     << " transfers, cost " << cost << " (caching " << caching_cost
+     << " + transfer " << transfer_cost << ")";
+  return os.str();
+}
+
+std::string ServiceReport::to_string(std::size_t max_items) const {
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(3);
+  os << items << " items, " << requests << " requests: total cost "
+     << total_cost << " (caching " << caching_cost << " + transfer "
+     << transfer_cost << ")";
+  if (per_item.empty()) return os.str();
+
+  std::vector<const ItemOutcome*> by_cost;
+  by_cost.reserve(per_item.size());
+  for (const auto& it : per_item) by_cost.push_back(&it);
+  std::sort(by_cost.begin(), by_cost.end(),
+            [](const ItemOutcome* a, const ItemOutcome* b) {
+              if (a->cost != b->cost) return a->cost > b->cost;
+              return a->item < b->item;
+            });
+  const std::size_t shown =
+      max_items == 0 ? by_cost.size() : std::min(max_items, by_cost.size());
+
+  Table t({"item", "origin", "born", "requests", "hits", "transfers",
+           "caching", "transfer", "cost"});
+  for (std::size_t i = 0; i < shown; ++i) {
+    const ItemOutcome& it = *by_cost[i];
+    t.add_row({std::to_string(it.item), "s" + std::to_string(it.origin + 1),
+               Table::num(it.birth), Table::integer(static_cast<long long>(it.requests)),
+               Table::integer(static_cast<long long>(it.hits)),
+               Table::integer(static_cast<long long>(it.transfers)),
+               Table::num(it.caching_cost), Table::num(it.transfer_cost),
+               Table::num(it.cost)});
+  }
+  os << "\n" << t.render();
+  if (shown < by_cost.size()) {
+    os << "(+" << by_cost.size() - shown << " more items by cost)\n";
+  }
+  return os.str();
+}
 
 std::vector<ItemInstance> service_instances(const std::vector<MultiItemRequest>& stream,
                                             int num_servers) {
@@ -42,10 +96,13 @@ std::vector<ItemInstance> service_instances(const std::vector<MultiItemRequest>&
 }
 
 ServiceReport plan_offline_service(const std::vector<MultiItemRequest>& stream,
-                                   int num_servers, const CostModel& cm) {
+                                   int num_servers, const CostModel& cm,
+                                   obs::Observer* observer) {
   ServiceReport rep;
+  OfflineDpOptions dp_options;
+  dp_options.observer = observer;
   for (auto& inst : service_instances(stream, num_servers)) {
-    const auto res = solve_offline(inst.sequence, cm);
+    const auto res = solve_offline(inst.sequence, cm, dp_options);
     ItemOutcome item;
     item.item = inst.item;
     item.origin = inst.origin;
@@ -76,6 +133,8 @@ OnlineDataService::OnlineDataService(int num_servers, const CostModel& cm,
 }
 
 bool OnlineDataService::request(int item, ServerId server, Time time) {
+  obs::Observer* ob = options_.observer;
+  obs::ScopedTimer latency(ob != nullptr ? ob->request_latency_us() : nullptr);
   if (finished_) throw std::logic_error("OnlineDataService: already finished");
   if (server < 0 || server >= num_servers_) {
     throw std::invalid_argument("OnlineDataService: server out of range");
@@ -89,12 +148,21 @@ bool OnlineDataService::request(int item, ServerId server, Time time) {
   ItemState& state = it->second;
   if (inserted) {
     // Birth: the item materializes on the requesting server (client
-    // upload); the request is served locally.
+    // upload); the request is served locally. The per-item cache inherits
+    // the service options with its trace context (item id, absolute birth
+    // time) filled in, so every item's events land in one coherent stream.
+    SpeculativeCachingOptions per_item = options_;
+    per_item.trace_item = item;
+    per_item.trace_time_offset = time;
     state.cache = std::make_unique<SpeculativeCache>(num_servers_, server, cm_,
-                                                     options_);
+                                                     per_item);
     state.origin = server;
     state.birth = time;
     state.last_time = time;
+    if (ob != nullptr) {
+      ob->set_live_items(items_.size());
+      ob->request_served(item, 0, server, time, /*hit=*/true, 0.0, 1);
+    }
     return true;
   }
   state.last_time = time;

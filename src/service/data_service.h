@@ -19,6 +19,7 @@
 
 #include <map>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "core/online_sc.h"
@@ -40,6 +41,10 @@ struct ItemOutcome {
   std::size_t transfers = 0;
   std::size_t hits = 0;
   Schedule schedule;             ///< in item-local time (0 = birth)
+
+  /// One-line summary, e.g.
+  /// "item 7: born s3@12.500, 42 requests, 30 hits, 12 transfers, cost 18.25".
+  std::string summary() const;
 };
 
 struct ServiceReport {
@@ -49,6 +54,10 @@ struct ServiceReport {
   std::size_t items = 0;
   std::size_t requests = 0;  ///< excludes the per-item birth requests
   std::vector<ItemOutcome> per_item;
+
+  /// Totals plus a util/table.h table of the `max_items` costliest items
+  /// (0 = all), mirroring ExecutionReport::to_string for the service layer.
+  std::string to_string(std::size_t max_items = 10) const;
 };
 
 /// Per-item problem instances extracted from a multi-item stream: the
@@ -63,11 +72,19 @@ struct ItemInstance {
 std::vector<ItemInstance> service_instances(const std::vector<MultiItemRequest>& stream,
                                             int num_servers);
 
-/// Off-line planning: optimal per-item schedules via the O(mn) DP.
+/// Off-line planning: optimal per-item schedules via the O(mn) DP. An
+/// optional observer receives per-stage DP telemetry for every item solve.
 ServiceReport plan_offline_service(const std::vector<MultiItemRequest>& stream,
-                                   int num_servers, const CostModel& cm);
+                                   int num_servers, const CostModel& cm,
+                                   obs::Observer* observer = nullptr);
 
 /// Streaming online service over many items.
+///
+/// Telemetry: set `options.observer` (see obs/observer.h) to receive the
+/// merged event stream of every per-item SC instance — events carry the
+/// item id and absolute stream time — plus service-level metrics (request
+/// latency histogram, live-items gauge). The null-observer default keeps
+/// request() allocation-free beyond the per-item map itself.
 class OnlineDataService {
  public:
   OnlineDataService(int num_servers, const CostModel& cm,

@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <sstream>
 
+#include "obs/observer.h"
+#include "obs/scoped_timer.h"
+
 namespace mcdc {
 
 namespace {
@@ -36,7 +39,10 @@ std::string ExecutionReport::to_string() const {
 }
 
 ExecutionReport execute_schedule(const Schedule& schedule,
-                                 const RequestSequence& seq, const CostModel& cm) {
+                                 const RequestSequence& seq, const CostModel& cm,
+                                 obs::Observer* observer) {
+  obs::ScopedTimer replay_timer(observer != nullptr ? observer->executor_replay_us()
+                                                    : nullptr);
   ExecutionReport rep;
   auto fail = [&rep](const std::string& msg) {
     rep.ok = false;
@@ -105,17 +111,26 @@ ExecutionReport execute_schedule(const Schedule& schedule,
         }
         ++alive;
         rep.peak_replicas = std::max(rep.peak_replicas, alive);
+        if (observer != nullptr) observer->copy_born(-1, c.server, ev.at);
         break;
       }
       case EventKind::kCacheEnd: {
         const auto& c = s.caches()[static_cast<std::size_t>(ev.payload)];
         --replicas[static_cast<std::size_t>(c.server)];
         --alive;
+        if (observer != nullptr) {
+          observer->copy_expired(-1, c.server, ev.at, /*expired=*/false,
+                                 cm.mu * (c.end - c.start));
+        }
         break;
       }
       case EventKind::kTransfer: {
         const auto& t = s.transfers()[static_cast<std::size_t>(ev.payload)];
         rep.measured_transfer_cost += cm.lambda;
+        if (observer != nullptr) {
+          observer->transfer_issued(-1, kNoRequest, t.from, t.to, t.at,
+                                    cm.lambda);
+        }
         if (replicas[static_cast<std::size_t>(t.from)] <= 0) {
           std::ostringstream os;
           os << "transfer at t=" << t.at << " from s" << t.from + 1
@@ -128,7 +143,12 @@ ExecutionReport execute_schedule(const Schedule& schedule,
       case EventKind::kRequest: {
         const RequestIndex i = ev.payload;
         const ServerId sv = seq.server(i);
-        if (replicas[static_cast<std::size_t>(sv)] > 0) {
+        const bool by_cache = replicas[static_cast<std::size_t>(sv)] > 0;
+        if (observer != nullptr) {
+          observer->request_served(-1, i, sv, ev.at, by_cache,
+                                   by_cache ? 0.0 : cm.lambda, alive);
+        }
+        if (by_cache) {
           ++rep.requests_served_by_cache;
         } else if (std::find(arrivals.begin(), arrivals.end(), sv) !=
                    arrivals.end()) {

@@ -18,6 +18,10 @@
 
 namespace mcdc {
 
+namespace obs {
+class Observer;
+}  // namespace obs
+
 struct ExecutionReport {
   bool ok = true;
   std::vector<std::string> errors;
@@ -36,8 +40,11 @@ struct ExecutionReport {
 };
 
 /// Replay `schedule` for `seq` under `cm`. The schedule should be
-/// normalized (the executor normalizes a copy if needed).
+/// normalized (the executor normalizes a copy if needed). When `observer`
+/// is set, the sweep emits one event per request/transfer/interval and
+/// feeds the `executor_replay_us` histogram.
 ExecutionReport execute_schedule(const Schedule& schedule,
-                                 const RequestSequence& seq, const CostModel& cm);
+                                 const RequestSequence& seq, const CostModel& cm,
+                                 obs::Observer* observer = nullptr);
 
 }  // namespace mcdc

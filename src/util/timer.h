@@ -1,7 +1,9 @@
-// Wall-clock timing helpers for the scaling benches.
+// Wall-clock timing: the stopwatch behind bench harnesses and the obs
+// profiling scopes (obs::ScopedTimer feeds histograms from it).
 #pragma once
 
 #include <chrono>
+#include <cstdint>
 
 namespace mcdc {
 
@@ -18,6 +20,14 @@ class Timer {
 
   double millis() const { return seconds() * 1e3; }
   double micros() const { return seconds() * 1e6; }
+
+  /// Integer nanoseconds, the native resolution — what histogram feeders
+  /// should use to avoid double rounding at small scales.
+  std::int64_t elapsed_ns() const {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                                start_)
+        .count();
+  }
 
  private:
   using Clock = std::chrono::steady_clock;
