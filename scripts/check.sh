@@ -1,0 +1,97 @@
+#!/usr/bin/env bash
+# Static-analysis and dynamic-checking gate (see docs/STATIC_ANALYSIS.md).
+#
+# Runs, in order:
+#   1. clang-format --dry-run over the tree        (skipped if not installed)
+#   2. clang-tidy with the repo .clang-tidy config (skipped if not installed)
+#   3. a strict-warnings build with MCDC_WERROR=ON
+#   4. the ASan / UBSan / TSan ctest matrix, contracts enabled
+#
+# Exit code is non-zero iff any gate that could run failed; unavailable
+# tools are reported as SKIP, not failure, so the gate degrades gracefully
+# on containers that ship only gcc (sanitizers still run — gcc provides
+# them natively).
+#
+# Knobs:
+#   MCDC_CHECK_SANITIZERS   space-separated subset of "address undefined
+#                           thread" (default: all three)
+#   MCDC_CHECK_JOBS         parallel build/test jobs (default: nproc)
+#   MCDC_CHECK_SKIP_TIDY    non-empty: skip clang-tidy even if installed
+#   MCDC_CHECK_SKIP_FORMAT  non-empty: skip clang-format even if installed
+#   MCDC_FUZZ_ITERS         forwarded to the fuzz harness (default 1000)
+set -uo pipefail
+cd "$(dirname "$0")/.."
+
+JOBS="${MCDC_CHECK_JOBS:-$(nproc)}"
+SANITIZERS="${MCDC_CHECK_SANITIZERS:-address undefined thread}"
+
+declare -a RESULTS=()
+FAILED=0
+
+record() {  # record <status> <name>
+  RESULTS+=("$(printf '%-6s %s' "$1" "$2")")
+  if [ "$1" = "FAIL" ]; then FAILED=1; fi
+}
+
+# ---- 1. clang-format ------------------------------------------------------
+if [ -n "${MCDC_CHECK_SKIP_FORMAT:-}" ]; then
+  record SKIP "clang-format (MCDC_CHECK_SKIP_FORMAT set)"
+elif command -v clang-format > /dev/null 2>&1; then
+  if find src tests bench examples -name '*.cpp' -o -name '*.h' \
+      | xargs clang-format --dry-run -Werror; then
+    record PASS "clang-format"
+  else
+    record FAIL "clang-format"
+  fi
+else
+  record SKIP "clang-format (not installed)"
+fi
+
+# ---- 2. clang-tidy --------------------------------------------------------
+if [ -n "${MCDC_CHECK_SKIP_TIDY:-}" ]; then
+  record SKIP "clang-tidy (MCDC_CHECK_SKIP_TIDY set)"
+elif command -v clang-tidy > /dev/null 2>&1; then
+  # compile_commands.json comes from the werror configure (step 3 reuses it).
+  cmake --preset werror > /dev/null \
+    && find src -name '*.cpp' \
+       | xargs clang-tidy -p build-werror --quiet
+  if [ $? -eq 0 ]; then
+    record PASS "clang-tidy"
+  else
+    record FAIL "clang-tidy"
+  fi
+else
+  record SKIP "clang-tidy (not installed)"
+fi
+
+# ---- 3. strict warnings as errors ----------------------------------------
+if cmake --preset werror > /dev/null \
+    && cmake --build --preset werror -j "$JOBS" > /dev/null; then
+  record PASS "werror build (-Wconversion -Wshadow -Wdouble-promotion)"
+else
+  record FAIL "werror build (-Wconversion -Wshadow -Wdouble-promotion)"
+fi
+
+# ---- 4. sanitizer matrix --------------------------------------------------
+for san in $SANITIZERS; do
+  case "$san" in
+    address) preset=asan ;;
+    undefined) preset=ubsan ;;
+    thread) preset=tsan ;;
+    *) echo "unknown sanitizer '$san'" >&2; record FAIL "sanitizer $san"; continue ;;
+  esac
+  echo "=== sanitizer: $san (preset $preset) ==="
+  if cmake --preset "$preset" > /dev/null \
+      && cmake --build --preset "$preset" -j "$JOBS" > /dev/null \
+      && ctest --preset "$preset" -j "$JOBS"; then
+    record PASS "ctest under $san"
+  else
+    record FAIL "ctest under $san"
+  fi
+done
+
+# ---- summary --------------------------------------------------------------
+echo
+echo "==== check.sh summary ===="
+for r in "${RESULTS[@]}"; do echo "  $r"; done
+exit "$FAILED"

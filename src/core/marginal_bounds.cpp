@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "util/contracts.h"
+
 namespace mcdc {
 
 MarginalBounds compute_marginal_bounds(const RequestSequence& seq,
@@ -13,8 +15,16 @@ MarginalBounds compute_marginal_bounds(const RequestSequence& seq,
   for (RequestIndex i = 1; i <= n; ++i) {
     const Time sigma = seq.sigma(i);  // +inf for the first request on a server
     const Cost bi = std::isinf(sigma) ? cm.lambda : std::min(cm.lambda, cm.mu * sigma);
+    // Each marginal term is a genuine per-request charge: positive (every
+    // request costs something) and clipped at one transfer; B is therefore
+    // monotone — the property the DP recurrence and Lemma 8 lean on.
+    MCDC_INVARIANT(bi > 0.0 && bi <= cm.lambda + kEps,
+                   "b_%d=%g outside (0, lambda=%g]", i, bi, cm.lambda);
     mb.b[static_cast<std::size_t>(i)] = bi;
     mb.B[static_cast<std::size_t>(i)] = mb.B[static_cast<std::size_t>(i) - 1] + bi;
+    MCDC_INVARIANT(mb.B[static_cast<std::size_t>(i)] >=
+                       mb.B[static_cast<std::size_t>(i) - 1],
+                   "B not monotone at i=%d", i);
   }
   return mb;
 }

@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "obs/observer.h"
+#include "util/contracts.h"
 #include "util/timer.h"
 
 namespace mcdc {
@@ -119,6 +120,12 @@ OfflineDpResult solve_offline(const RequestSequence& seq, const CostModel& cm,
           if (k0 == kNoRequest) continue;
           const RequestIndex k = seq.next_same_server(k0);
           if (k == kNoRequest || k >= i) continue;
+          // k is server j's unique pi(i) member: p(k) < p(i) <= k < i.
+          MCDC_INVARIANT(seq.server(k) == j && seq.prev_same_server(k) < p &&
+                             p <= k,
+                         "pi(%d) candidate k=%d on server %d violates "
+                         "p(k) < p(i)=%d <= k",
+                         i, k, j, p);
           const auto kk = static_cast<std::size_t>(k);
           if (std::isinf(res.D[kk])) continue;
           const Cost cand = res.D[kk] + mu_sigma + B[ii - 1] - B[kk];
@@ -145,6 +152,17 @@ OfflineDpResult solve_offline(const RequestSequence& seq, const CostModel& cm,
       res.C[ii] = via_transfer;
       c_choice[ii] = CChoice::kTransfer;
     }
+
+    // The paper's sandwich at every prefix: B_i <= C(i) <= D(i), and C is
+    // nondecreasing (serving a longer prefix cannot get cheaper).
+    MCDC_INVARIANT(less_or_equal(res.C[ii], res.D[ii]),
+                   "C(%d)=%g exceeds D(%d)=%g", i, res.C[ii], i, res.D[ii]);
+    MCDC_INVARIANT(less_or_equal(res.C[ii - 1], res.C[ii], 1e-7),
+                   "C not monotone at i=%d: C(i-1)=%g > C(i)=%g", i,
+                   res.C[ii - 1], res.C[ii]);
+    MCDC_INVARIANT(less_or_equal(B[ii], res.C[ii], 1e-7),
+                   "marginal bound B_%d=%g exceeds C(%d)=%g", i, B[ii], i,
+                   res.C[ii]);
   }
 
   res.optimal_cost = res.C[nn];
@@ -196,6 +214,10 @@ OfflineDpResult solve_offline(const RequestSequence& seq, const CostModel& cm,
       }
     } else {
       const RequestIndex p = seq.prev_same_server(idx);
+      // Mode kD is only entered through a finite D(idx), which requires a
+      // previous request on idx's server and a recorded branch choice.
+      MCDC_ASSERT(p != kNoRequest && d_choice[ii] != DChoice::kNone,
+                  "backtracking reached D(%d) with no own-server anchor", idx);
       sch.add_cache(seq.server(idx), seq.time(p), seq.time(idx));
       if (d_choice[ii] == DChoice::kTrivial) {
         res.serve[ii] = OfflineDpResult::Serve::kCacheTrivial;
@@ -204,6 +226,8 @@ OfflineDpResult solve_offline(const RequestSequence& seq, const CostModel& cm,
         mode = Mode::kC;
       } else {
         const RequestIndex kappa = d_pivot[ii];
+        MCDC_ASSERT(kappa != kNoRequest && kappa < idx,
+                    "pivot branch of D(%d) has no recorded kappa", idx);
         res.serve[ii] = OfflineDpResult::Serve::kCachePivot;
         res.pivot[ii] = kappa;
         serve_marginal(kappa, idx);

@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "obs/observer.h"
+#include "util/contracts.h"
 
 namespace mcdc {
 
@@ -46,6 +47,19 @@ SpeculativeCache::SpeculativeCache(int num_servers, ServerId origin,
 
 void SpeculativeCache::list_push_back(ServerId s) {
   Slot& slot = slots_[static_cast<std::size_t>(s)];
+  // The intrusive list is sorted by expiry because time is monotone and
+  // every (re-)insertion sets expiry = now + delta_t; expire_before relies
+  // on popping stale copies strictly from the front.
+  MCDC_INVARIANT(slot.prev == kNoServer && slot.next == kNoServer &&
+                     head_ != s && tail_ != s,
+                 "server %d is already linked", s);
+  MCDC_INVARIANT(tail_ == kNoServer ||
+                     slots_[static_cast<std::size_t>(tail_)].expiry <=
+                         slot.expiry + kEps,
+                 "push_back would break expiry order (tail=%g, new=%g)",
+                 tail_ == kNoServer ? 0.0
+                                    : slots_[static_cast<std::size_t>(tail_)].expiry,
+                 slot.expiry);
   slot.prev = tail_;
   slot.next = kNoServer;
   if (tail_ != kNoServer) slots_[static_cast<std::size_t>(tail_)].next = s;
@@ -64,6 +78,12 @@ void SpeculativeCache::list_unlink(ServerId s) {
 
 void SpeculativeCache::kill(ServerId s, Time death, bool expired) {
   Slot& slot = slots_[static_cast<std::size_t>(s)];
+  MCDC_ASSERT(slot.alive && alive_count_ > 0, "kill of dead copy on s%d", s + 1);
+  // Booking a copy's lifetime must add non-negative cost: mu > 0 and every
+  // copy dies no earlier than its birth (expiry >= last_use >= birth).
+  MCDC_INVARIANT(death >= slot.birth - kEps,
+                 "copy on s%d dies at %g before its birth %g", s + 1, death,
+                 slot.birth);
   list_unlink(s);
   slot.alive = false;
   --alive_count_;
@@ -90,6 +110,8 @@ void SpeculativeCache::expire_before(Time t) {
     if (slot.expiry >= t - kEps) break;
     kill(s, slot.expiry, /*expired=*/true);
   }
+  MCDC_INVARIANT(alive_count_ >= 1 && head_ != kNoServer,
+                 "the system must always hold at least one copy");
 }
 
 bool SpeculativeCache::observe(ServerId server, Time time) {
@@ -121,7 +143,14 @@ bool SpeculativeCache::observe(ServerId server, Time time) {
   } else {
     // Served by a transfer from the server of r_{i-1}, whose copy is alive
     // by the extension invariant (Observation 4). The defensive fallback to
-    // the most recently used copy should never trigger.
+    // the most recently used copy should never trigger: r_{i-1}'s copy was
+    // refreshed last, so it sits at the tail and survives expire_before —
+    // and if it sat on this server, the request would have been a hit.
+    MCDC_INVARIANT(
+        slots_[static_cast<std::size_t>(last_request_server_)].alive &&
+            last_request_server_ != server,
+        "Observation 4: copy of r_{i-1}'s server s%d must be alive on a miss",
+        last_request_server_ + 1);
     ServerId src = last_request_server_;
     if (!slots_[static_cast<std::size_t>(src)].alive || src == server) {
       src = tail_;
@@ -204,6 +233,18 @@ void SpeculativeCache::finish(Time horizon) {
   }
   result_.schedule.normalize();
   result_.total_cost = result_.caching_cost + result_.transfer_cost;
+  // Exact booking reconciliation: every lifetime was closed (kill booked
+  // mu*lifetime), every miss booked one lambda, and nothing else was added.
+  MCDC_INVARIANT(alive_count_ == 0 && result_.copies.size() >= 1,
+                 "finish left %zu copies alive", alive_count_);
+  MCDC_INVARIANT(
+      almost_equal(result_.transfer_cost,
+                   cm_.lambda * static_cast<double>(result_.misses), 1e-7),
+      "transfer booking %g != lambda * misses = %g", result_.transfer_cost,
+      cm_.lambda * static_cast<double>(result_.misses));
+  MCDC_INVARIANT(result_.caching_cost >= -kEps && result_.total_cost >= -kEps,
+                 "negative booked cost (caching=%g, total=%g)",
+                 result_.caching_cost, result_.total_cost);
   finished_ = true;
 }
 

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "util/contracts.h"
+
 namespace mcdc {
 
 ReductionReport compute_reductions(const RequestSequence& seq, const CostModel& cm) {
@@ -32,9 +34,23 @@ ReductionReport compute_reductions(const RequestSequence& seq, const CostModel& 
     // (case 3).
     Time sp = sigma;
     if (!std::isinf(sigma) && over > kEps) sp = sigma - (gap - cm.lambda / cm.mu);
+    // Survivors keep mu*sigma' >= lambda: sigma >= gap (p(i) <= i-1), so a
+    // V-reduced gap still leaves sigma' >= delta_t. This is what makes
+    // Lemma 8's B' = n'*lambda exact rather than an inequality.
+    MCDC_INVARIANT(std::isinf(sp) || less_or_equal(cm.lambda, cm.mu * sp, 1e-7),
+                   "sigma'_%d=%g fell below delta_t=%g for a surviving request",
+                   i, sp, cm.lambda / cm.mu);
     rep.sigma_prime[ii] = sp;
     rep.b_prime += std::isinf(sp) ? cm.lambda : std::min(cm.lambda, cm.mu * sp);
   }
+  MCDC_INVARIANT(rep.v_amount >= 0.0 && rep.h_amount >= 0.0,
+                 "reduction amounts must be non-negative (v=%g, h=%g)",
+                 rep.v_amount, rep.h_amount);
+  MCDC_INVARIANT(
+      almost_equal(rep.b_prime,
+                   static_cast<double>(rep.n_prime) * cm.lambda, 1e-7),
+      "Lemma 8: B'=%g != n'*lambda=%g", rep.b_prime,
+      static_cast<double>(rep.n_prime) * cm.lambda);
   return rep;
 }
 

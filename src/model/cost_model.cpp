@@ -1,5 +1,7 @@
 #include "model/cost_model.h"
 
+#include "util/contracts.h"
+
 namespace mcdc {
 
 HeterogeneousCostModel::HeterogeneousCostModel(int m, const CostModel& base) {
@@ -7,6 +9,10 @@ HeterogeneousCostModel::HeterogeneousCostModel(int m, const CostModel& base) {
   mu_.assign(static_cast<std::size_t>(m), base.mu);
   lambda_.assign(static_cast<std::size_t>(m),
                  std::vector<double>(static_cast<std::size_t>(m), base.lambda));
+  // A homogeneous lift must round-trip: cross-check tests depend on it.
+  MCDC_INVARIANT(is_homogeneous(),
+                 "homogeneous-equivalent constructor produced a "
+                 "non-homogeneous model (m=%d)", m);
 }
 
 HeterogeneousCostModel::HeterogeneousCostModel(

@@ -4,6 +4,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "util/contracts.h"
+
 namespace mcdc {
 
 void Schedule::add_cache(ServerId server, Time start, Time end) {
@@ -42,6 +44,22 @@ void Schedule::normalize() {
     if (a.from != b.from) return a.from < b.from;
     return a.to < b.to;
   });
+
+#if MCDC_CONTRACTS
+  // Postcondition: per server, intervals are disjoint with positive length
+  // and strictly separated — this is what makes cost() overlap-free and
+  // lets the executor treat >1 replica per server as an error.
+  for (std::size_t i = 0; i < caches_.size(); ++i) {
+    MCDC_INVARIANT(caches_[i].end > caches_[i].start,
+                   "normalize kept an empty interval on s%d",
+                   caches_[i].server + 1);
+    if (i > 0 && caches_[i - 1].server == caches_[i].server) {
+      MCDC_INVARIANT(caches_[i].start > caches_[i - 1].end + kEps,
+                     "normalize left touching intervals on s%d at t=%g",
+                     caches_[i].server + 1, caches_[i].start);
+    }
+  }
+#endif
 }
 
 Time Schedule::total_cache_time() const {

@@ -4,6 +4,8 @@
 #include <map>
 #include <sstream>
 
+#include "util/contracts.h"
+
 namespace mcdc {
 
 namespace {
@@ -39,6 +41,9 @@ ValidationResult validate_schedule(const Schedule& schedule,
 
   const Time t0 = seq.time(0);
   const Time tn = seq.time(seq.n());
+  // Precondition for every check below: the instance itself is well formed
+  // (RequestSequence enforces strictly increasing times from t_0 = 0).
+  MCDC_ASSERT(tn >= t0, "request horizon [%g, %g] is inverted", t0, tn);
 
   // (V1) global coverage of [t0, tn].
   {
@@ -143,6 +148,11 @@ ValidationResult validate_schedule(const Schedule& schedule,
     }
   }
 
+  // Postcondition: the verdict is exactly the conjunction of V1-V5 —
+  // ok flips iff some check recorded an error, and warnings never do.
+  MCDC_INVARIANT(res.ok == res.errors.empty(),
+                 "verdict %d disagrees with %zu recorded errors", res.ok,
+                 res.errors.size());
   return res;
 }
 

@@ -11,21 +11,27 @@
 // overhead budget on the per-request path).
 #pragma once
 
-#include <optional>
+#include <chrono>
+#include <cstdint>
 
 #include "obs/metrics.h"
-#include "util/timer.h"
 
 namespace mcdc::obs {
 
 class ScopedTimer {
+  // The start point is value-initialized (clock epoch) rather than wrapped
+  // in std::optional: the disabled path still never reads the clock, and
+  // GCC's -Wmaybe-uninitialized cannot see through optional's engaged flag
+  // here (it fired on every call site under the strict warning set).
+  using Clock = std::chrono::steady_clock;
+
  public:
   explicit ScopedTimer(Histogram* hist) : hist_(hist) {
-    if (hist_ != nullptr) timer_.emplace();
+    if (hist_ != nullptr) start_ = Clock::now();
   }
   ~ScopedTimer() {
     if (hist_ != nullptr) {
-      hist_->observe(static_cast<double>(timer_->elapsed_ns()) * 1e-3);
+      hist_->observe(static_cast<double>(elapsed_ns()) * 1e-3);
     }
   }
 
@@ -33,11 +39,19 @@ class ScopedTimer {
   ScopedTimer& operator=(const ScopedTimer&) = delete;
 
   /// Elapsed µs so far; 0 when the scope is disabled.
-  double micros() const { return timer_ ? timer_->micros() : 0.0; }
+  double micros() const {
+    return hist_ != nullptr ? static_cast<double>(elapsed_ns()) * 1e-3 : 0.0;
+  }
 
  private:
+  std::int64_t elapsed_ns() const {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                                start_)
+        .count();
+  }
+
   Histogram* hist_;
-  std::optional<Timer> timer_;
+  Clock::time_point start_{};
 };
 
 }  // namespace mcdc::obs

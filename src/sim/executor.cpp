@@ -5,6 +5,7 @@
 
 #include "obs/observer.h"
 #include "obs/scoped_timer.h"
+#include "util/contracts.h"
 
 namespace mcdc {
 
@@ -81,6 +82,11 @@ ExecutionReport execute_schedule(const Schedule& schedule,
   std::vector<ServerId> arrivals;
 
   for (const auto& ev : events) {
+    // Event time is monotone after the stable sort, so every cost delta
+    // booked below (mu * alive * dt and one lambda per transfer) is
+    // non-negative — the executor can only add cost, never retract it.
+    MCDC_INVARIANT(less_or_equal(clock, ev.at),
+                   "event at t=%g precedes the replay clock %g", ev.at, clock);
     if (ev.at > clock) {
       if (alive == 0 && clock < horizon - kEps) {
         std::ostringstream os;
@@ -116,6 +122,8 @@ ExecutionReport execute_schedule(const Schedule& schedule,
       }
       case EventKind::kCacheEnd: {
         const auto& c = s.caches()[static_cast<std::size_t>(ev.payload)];
+        MCDC_ASSERT(replicas[static_cast<std::size_t>(c.server)] > 0 && alive > 0,
+                    "interval end on s%d with no open interval", c.server + 1);
         --replicas[static_cast<std::size_t>(c.server)];
         --alive;
         if (observer != nullptr) {
@@ -166,6 +174,12 @@ ExecutionReport execute_schedule(const Schedule& schedule,
 
   rep.measured_total_cost = rep.measured_caching_cost + rep.measured_transfer_cost;
   rep.mean_replicas = horizon > 0 ? occupancy_integral / horizon : 1.0;
+  MCDC_INVARIANT(rep.measured_caching_cost >= -kEps &&
+                     rep.measured_transfer_cost >= -kEps,
+                 "replay booked negative cost (caching=%g, transfer=%g)",
+                 rep.measured_caching_cost, rep.measured_transfer_cost);
+  MCDC_INVARIANT(alive == 0, "replay left %zu intervals open past the horizon",
+                 alive);
   return rep;
 }
 

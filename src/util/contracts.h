@@ -1,0 +1,93 @@
+// Debug contracts: the paper's invariants, checked in place.
+//
+// Every solver in this library rests on exact structural claims — B_i is
+// monotone, D(i) >= C(i) >= B_i, pi(i) holds one candidate per server, the
+// validator's V1-V5 are pre/postconditions, cost deltas book non-negative.
+// These macros state those claims at the point where they must hold:
+//
+//   MCDC_ASSERT(cond)                 precondition / local sanity check
+//   MCDC_ASSERT(cond, fmt, ...)       ... with a printf-formatted message
+//   MCDC_INVARIANT(cond, fmt, ...)    structural invariant (same mechanics,
+//                                     different label in the abort message)
+//   MCDC_UNREACHABLE(fmt, ...)        control flow that must never execute
+//
+// A violated contract prints `file:line: KIND(condition) violated: message`
+// to stderr and aborts — an abort a sanitizer run or death test can catch.
+//
+// Contracts compile out in release builds: the condition expression is not
+// evaluated at all (so a condition may be arbitrarily expensive), and
+// MCDC_UNREACHABLE degrades to __builtin_unreachable(). Control:
+//
+//   MCDC_CONTRACTS=1   force on  (sanitizer presets do this)
+//   MCDC_CONTRACTS=0   force off
+//   undefined          follow the build type: on unless NDEBUG
+//
+// The macros are self-contained per translation unit, so a single test
+// binary can probe both modes (see tests/test_contracts.cpp).
+#pragma once
+
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+
+#ifndef MCDC_CONTRACTS
+#ifdef NDEBUG
+#define MCDC_CONTRACTS 0
+#else
+#define MCDC_CONTRACTS 1
+#endif
+#endif
+
+namespace mcdc::detail {
+
+#if defined(__GNUC__) || defined(__clang__)
+__attribute__((format(printf, 5, 6)))
+#endif
+[[noreturn]] inline void
+contract_fail(const char* kind, const char* cond, const char* file, int line,
+              const char* fmt = nullptr, ...) {
+  std::fprintf(stderr, "%s:%d: %s(%s) violated", file, line, kind, cond);
+  if (fmt != nullptr) {
+    std::fputs(": ", stderr);
+    std::va_list args;
+    va_start(args, fmt);
+    std::vfprintf(stderr, fmt, args);
+    va_end(args);
+  }
+  std::fputc('\n', stderr);
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace mcdc::detail
+
+#if MCDC_CONTRACTS
+
+#define MCDC_ASSERT(cond, ...)                                       \
+  ((cond) ? (void)0                                                  \
+          : ::mcdc::detail::contract_fail("MCDC_ASSERT", #cond,      \
+                                          __FILE__, __LINE__         \
+                                          __VA_OPT__(, ) __VA_ARGS__))
+
+#define MCDC_INVARIANT(cond, ...)                                    \
+  ((cond) ? (void)0                                                  \
+          : ::mcdc::detail::contract_fail("MCDC_INVARIANT", #cond,   \
+                                          __FILE__, __LINE__         \
+                                          __VA_OPT__(, ) __VA_ARGS__))
+
+#define MCDC_UNREACHABLE(...)                                        \
+  ::mcdc::detail::contract_fail("MCDC_UNREACHABLE", "reached",       \
+                                __FILE__, __LINE__                   \
+                                __VA_OPT__(, ) __VA_ARGS__)
+
+#else  // contracts compiled out: conditions are never evaluated
+
+#define MCDC_ASSERT(...) ((void)0)
+#define MCDC_INVARIANT(...) ((void)0)
+#if defined(__GNUC__) || defined(__clang__)
+#define MCDC_UNREACHABLE(...) __builtin_unreachable()
+#else
+#define MCDC_UNREACHABLE(...) ((void)0)
+#endif
+
+#endif  // MCDC_CONTRACTS

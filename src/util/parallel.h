@@ -5,6 +5,13 @@
 // assignment is by index, and callers pre-fork one RNG per index, so
 // results are bit-identical at any thread count — a requirement for the
 // reproducibility story in EXPERIMENTS.md.
+//
+// ThreadSanitizer builds (-fsanitize=thread defines __SANITIZE_THREAD__ on
+// GCC, __has_feature(thread_sanitizer) on Clang) take the serial path even
+// when OpenMP is compiled in: libgomp itself is not TSan-instrumented, so
+// its barrier/team internals would drown real findings in false positives.
+// Serial execution is bit-identical by design, so TSan still exercises the
+// full workload — just without the uninstrumented runtime underneath.
 #pragma once
 
 #include <cstddef>
@@ -13,11 +20,23 @@
 #include <omp.h>
 #endif
 
+#if defined(__SANITIZE_THREAD__)
+#define MCDC_TSAN_ACTIVE 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define MCDC_TSAN_ACTIVE 1
+#endif
+#endif
+#ifndef MCDC_TSAN_ACTIVE
+#define MCDC_TSAN_ACTIVE 0
+#endif
+
 namespace mcdc {
 
-/// Number of threads a parallel_for would use (1 without OpenMP).
+/// Number of threads a parallel_for would use (1 without OpenMP or under
+/// ThreadSanitizer).
 inline int hardware_parallelism() {
-#if defined(_OPENMP)
+#if defined(_OPENMP) && !MCDC_TSAN_ACTIVE
   return omp_get_max_threads();
 #else
   return 1;
@@ -28,7 +47,7 @@ inline int hardware_parallelism() {
 /// distinct indices (typically writing results[i] only).
 template <typename F>
 void parallel_for(std::size_t n, F&& f) {
-#if defined(_OPENMP)
+#if defined(_OPENMP) && !MCDC_TSAN_ACTIVE
 #pragma omp parallel for schedule(dynamic)
   for (long long i = 0; i < static_cast<long long>(n); ++i) {
     f(static_cast<std::size_t>(i));

@@ -1,0 +1,32 @@
+// Release-mode probe for the contract macros: this translation unit forces
+// MCDC_CONTRACTS=0 before including the header, so MCDC_ASSERT and
+// MCDC_INVARIANT must expand to nothing — in particular their condition
+// and message arguments must never be evaluated. The probe threads a
+// side-effecting sentinel through both macros and reports how often it ran.
+#ifdef MCDC_CONTRACTS  // may arrive via -DMCDC_CONTRACTS from the build
+#undef MCDC_CONTRACTS
+#endif
+#define MCDC_CONTRACTS 0
+#include "util/contracts.h"
+
+#include "tests_contracts_probe.h"
+
+namespace mcdc::testprobe {
+
+int release_probe_evaluations() {
+  int evaluations = 0;
+  auto sentinel = [&evaluations]() {
+    ++evaluations;
+    return true;
+  };
+  MCDC_ASSERT(sentinel(), "never formatted %d", ++evaluations);
+  MCDC_INVARIANT(!sentinel(), "never formatted %d", ++evaluations);
+  MCDC_ASSERT(sentinel());
+  // With MCDC_CONTRACTS=0 the macros expand to nothing, so the compiler
+  // correctly sees `sentinel` as never called — that no-use is the very
+  // property under test.
+  (void)sentinel;
+  return evaluations;
+}
+
+}  // namespace mcdc::testprobe

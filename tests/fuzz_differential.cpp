@@ -1,0 +1,260 @@
+// Differential fuzz harness for the solvers (ctest label: fuzz).
+//
+// A seeded sweep over (m, n, lambda/mu, workload family) instances; for
+// each instance every solver output is cross-checked against independent
+// implementations and replayed through the executor:
+//
+//   * offline_dp (both pivot-lookup strategies, alternating) vs the O(n^2)
+//     reference recurrence: C and D tables must agree element-wise.
+//   * offline_dp vs the exponential exact solver on small instances: the
+//     optimal cost must agree (independent ground truth, different
+//     state space).
+//   * every reconstructed schedule passes validate_schedule (V1-V5), its
+//     arithmetic cost equals the reported optimum, and an event-level
+//     replay through sim/executor reconciles the cost exactly.
+//   * B_n <= OPT (the marginal bound is a certified lower bound), and the
+//     3-competitive certificate for SC. Note the raw inequality
+//     "SC <= 3 * B_n" is false in general — B_n clips every long gap at
+//     lambda while both SC and OPT must pay mu * gap to bridge it — so we
+//     check the paper's actual reduction-normalized chain (Lemmas 5-8):
+//         Pi(SC) - v - h <= 3 * B'   with   B' = n' * lambda,
+//     plus the end-to-end consequence Pi(SC) <= 3 * OPT.
+//
+// Iteration count is bounded by default and overridable for long runs:
+//   MCDC_FUZZ_ITERS  number of random instances (default 1000)
+//   MCDC_FUZZ_SEED   base seed of the sweep (default 20170814)
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <string>
+
+#include "baselines/offline_exact.h"
+#include "baselines/offline_quadratic.h"
+#include "core/offline_dp.h"
+#include "core/online_sc.h"
+#include "core/reductions.h"
+#include "model/schedule_validator.h"
+#include "sim/executor.h"
+#include "util/rng.h"
+#include "workload/generators.h"
+
+namespace mcdc {
+namespace {
+
+constexpr double kTol = 1e-7;
+
+std::uint64_t env_u64(const char* name, std::uint64_t fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  return std::strtoull(v, nullptr, 10);
+}
+
+RequestSequence random_instance(Rng& rng, int m, int n, const CostModel& cm) {
+  switch (rng.uniform_int(std::uint64_t{7})) {
+    case 0: {
+      PoissonZipfConfig cfg;
+      cfg.num_servers = m;
+      cfg.num_requests = n;
+      cfg.arrival_rate = rng.uniform(0.2, 4.0);
+      cfg.zipf_alpha = rng.uniform(0.0, 1.5);
+      return gen_poisson_zipf(rng, cfg);
+    }
+    case 1: {
+      MobilityConfig cfg;
+      cfg.num_servers = m;
+      cfg.num_requests = n;
+      cfg.num_users = 1 + static_cast<int>(rng.uniform_int(std::uint64_t{3}));
+      return gen_markov_mobility(rng, cfg);
+    }
+    case 2: {
+      CommuterConfig cfg;
+      cfg.num_servers = m;
+      cfg.num_requests = n;
+      return gen_commuter(rng, cfg);
+    }
+    case 3: {
+      BurstyConfig cfg;
+      cfg.num_servers = m;
+      cfg.num_requests = n;
+      cfg.pareto_alpha = rng.uniform(1.1, 2.5);
+      return gen_bursty_pareto(rng, cfg);
+    }
+    case 4: {
+      if (m >= 2) {
+        return gen_adversarial_alternation(cm, n, rng.uniform(0.6, 1.8), m);
+      }
+      return gen_uniform(rng, m, n, rng.uniform(0.2, 4.0));
+    }
+    case 5: {
+      DiurnalConfig cfg;
+      cfg.num_servers = std::max(m, 2);
+      cfg.num_requests = n;
+      return gen_diurnal(rng, cfg);
+    }
+    default:
+      return gen_uniform(rng, m, n, rng.uniform(0.2, 4.0));
+  }
+}
+
+// One full differential pass over an instance. `tag` prefixes every failure
+// message so a red run identifies the offending seed immediately.
+void check_instance(const RequestSequence& seq, const CostModel& cm,
+                    PivotLookup lookup, const std::string& tag) {
+  SCOPED_TRACE(tag + " mu=" + std::to_string(cm.mu) +
+               " lambda=" + std::to_string(cm.lambda) + " " + seq.to_string());
+
+  // ---- offline DP vs the quadratic reference recurrence. ----
+  const auto dp = solve_offline(seq, cm, {.lookup = lookup});
+  const auto quad = solve_offline_quadratic(seq, cm);
+  ASSERT_EQ(dp.C.size(), quad.C.size());
+  for (std::size_t i = 0; i < dp.C.size(); ++i) {
+    ASSERT_TRUE(almost_equal(dp.C[i], quad.C[i], kTol))
+        << "C mismatch at i=" << i << ": dp=" << dp.C[i]
+        << " quad=" << quad.C[i];
+    ASSERT_TRUE(almost_equal(dp.D[i], quad.D[i], kTol))
+        << "D mismatch at i=" << i << ": dp=" << dp.D[i]
+        << " quad=" << quad.D[i];
+  }
+  ASSERT_TRUE(almost_equal(dp.optimal_cost, quad.optimal_cost, kTol));
+
+  // ---- the marginal bound certifies OPT from below. ----
+  ASSERT_TRUE(less_or_equal(dp.bounds.B.back(), dp.optimal_cost, kTol))
+      << "B_n=" << dp.bounds.B.back() << " > OPT=" << dp.optimal_cost;
+
+  // ---- reconstructed optimal schedule: feasible, priced, replayable. ----
+  ASSERT_TRUE(dp.has_schedule);
+  const auto val = validate_schedule(dp.schedule, seq);
+  ASSERT_TRUE(val.ok) << "DP schedule infeasible: " << val.to_string();
+  ASSERT_TRUE(almost_equal(dp.schedule.cost(cm), dp.optimal_cost, kTol))
+      << "schedule cost " << dp.schedule.cost(cm) << " != C(n) "
+      << dp.optimal_cost;
+  const auto replay = execute_schedule(dp.schedule, seq, cm);
+  ASSERT_TRUE(replay.ok) << "DP replay failed: " << replay.to_string();
+  ASSERT_TRUE(almost_equal(replay.measured_total_cost, dp.optimal_cost, kTol))
+      << "replay reconciliation: measured " << replay.measured_total_cost
+      << " != C(n) " << dp.optimal_cost;
+
+  // ---- exponential exact solver as independent ground truth (small n). ----
+  if (seq.n() <= 16 && seq.active_servers() <= 6) {
+    const auto exact = solve_offline_exact(seq, cm);
+    ASSERT_TRUE(almost_equal(exact.optimal_cost, dp.optimal_cost, kTol))
+        << "exact=" << exact.optimal_cost << " dp=" << dp.optimal_cost;
+  }
+
+  // ---- online SC: feasibility, booking reconciliation, 3-competitive. ----
+  const auto sc = run_speculative_caching(seq, cm);
+  ASSERT_EQ(sc.hits + sc.misses, static_cast<std::size_t>(seq.n()));
+  const auto sc_val = validate_schedule(sc.schedule, seq);
+  ASSERT_TRUE(sc_val.ok) << "SC schedule infeasible: " << sc_val.to_string();
+  const auto sc_replay = execute_schedule(sc.schedule, seq, cm);
+  ASSERT_TRUE(sc_replay.ok) << "SC replay failed: " << sc_replay.to_string();
+  ASSERT_TRUE(
+      almost_equal(sc_replay.measured_total_cost, sc.total_cost, kTol))
+      << "SC replay reconciliation: measured " << sc_replay.measured_total_cost
+      << " != booked " << sc.total_cost;
+  ASSERT_TRUE(less_or_equal(dp.optimal_cost, sc.total_cost, kTol))
+      << "online beat the optimum: SC=" << sc.total_cost
+      << " OPT=" << dp.optimal_cost;
+  ASSERT_TRUE(less_or_equal(sc.total_cost, 3.0 * dp.optimal_cost, kTol))
+      << "competitive ratio " << sc.total_cost / dp.optimal_cost << " > 3";
+
+  // Theorem 3's actual chain, anchored at the marginal bound: after the
+  // V- and H-reductions both sides provably pay, SC is within 3 * B'.
+  const auto red = compute_reductions(seq, cm);
+  ASSERT_TRUE(
+      less_or_equal(red.reduced(sc.total_cost), 3.0 * red.b_prime, kTol))
+      << "reduced SC cost " << red.reduced(sc.total_cost) << " > 3*B' = "
+      << 3.0 * red.b_prime << " (n'=" << red.n_prime << ")";
+
+  // ---- SC with epoch resets: still feasible, reconciled, >= OPT. --------
+  // Fixed-count epoch resets are this repo's extension knob, not the
+  // paper's intrinsic epochs (which end when the replica set collapses on
+  // its own): a forced reset every k transfers discards copies OPT would
+  // keep, so the global 3-competitive bound provably does NOT survive —
+  // e.g. epoch=2 with lambda/mu >> 1 reaches ratios near 5. We therefore
+  // hold epoch variants to every structural guarantee except Theorem 3.
+  for (const std::size_t epoch : {std::size_t{2}, std::size_t{7}}) {
+    SpeculativeCachingOptions opt;
+    opt.epoch_transfers = epoch;
+    const auto esc = run_speculative_caching(seq, cm, opt);
+    const auto eval = validate_schedule(esc.schedule, seq);
+    ASSERT_TRUE(eval.ok) << "epoch=" << epoch
+                         << " SC schedule infeasible: " << eval.to_string();
+    const auto ereplay = execute_schedule(esc.schedule, seq, cm);
+    ASSERT_TRUE(ereplay.ok && almost_equal(ereplay.measured_total_cost,
+                                           esc.total_cost, kTol))
+        << "epoch=" << epoch << " replay reconciliation failed: "
+        << ereplay.to_string();
+    ASSERT_TRUE(less_or_equal(dp.optimal_cost, esc.total_cost, kTol))
+        << "epoch=" << epoch << " beat the optimum: SC=" << esc.total_cost
+        << " OPT=" << dp.optimal_cost;
+  }
+}
+
+TEST(FuzzDifferential, RandomizedSweep) {
+  const std::uint64_t iters = env_u64("MCDC_FUZZ_ITERS", 1000);
+  const std::uint64_t base_seed = env_u64("MCDC_FUZZ_SEED", 20170814);
+
+  for (std::uint64_t it = 0; it < iters; ++it) {
+    const std::uint64_t seed = base_seed + it;
+    Rng rng(seed);
+    const int m = 1 + static_cast<int>(rng.uniform_int(std::uint64_t{12}));
+    const int n = 1 + static_cast<int>(rng.uniform_int(std::uint64_t{70}));
+    // Log-uniform price sweep: lambda/mu spans ~3 decades either side of 1.
+    const double mu = std::exp(rng.uniform(-2.3, 1.4));
+    const double lambda = std::exp(rng.uniform(-2.3, 2.1));
+    const CostModel cm(mu, lambda);
+    const auto seq = random_instance(rng, m, n, cm);
+    const PivotLookup lookup =
+        (it % 2 == 0) ? PivotLookup::kPointerMatrix : PivotLookup::kBinarySearch;
+    check_instance(seq, cm, lookup, "seed=" + std::to_string(seed));
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+}
+
+// Deterministic corners the random sweep hits only by luck.
+TEST(FuzzDifferential, DeterministicEdgeCases) {
+  // A single far-away request: B_1 = lambda but OPT must bridge the gap at
+  // mu * t_1 — the instance demonstrating why SC <= 3*B_n cannot hold raw.
+  {
+    const CostModel cm(1.0, 1.0);
+    const RequestSequence seq(2, {{1, 50.0}});
+    check_instance(seq, cm, PivotLookup::kPointerMatrix, "single-far-request");
+  }
+  // Everything on the origin server: OPT is pure caching, SC never misses.
+  {
+    const CostModel cm(0.5, 2.0);
+    const RequestSequence seq(3, {{0, 1.0}, {0, 2.0}, {0, 7.5}, {0, 8.0}});
+    check_instance(seq, cm, PivotLookup::kBinarySearch, "origin-only");
+  }
+  // One server total (m = 1): degenerate pi(i), no transfers possible.
+  {
+    const CostModel cm(2.0, 0.3);
+    const RequestSequence seq(1, {{0, 0.4}, {0, 1.9}, {0, 2.0}});
+    check_instance(seq, cm, PivotLookup::kPointerMatrix, "m-equals-1");
+  }
+  // Adversarial alternation just past the speculation window, both lookups.
+  {
+    const CostModel cm(1.0, 1.0);
+    const auto seq = gen_adversarial_alternation(cm, 40, 1.01, 2);
+    check_instance(seq, cm, PivotLookup::kPointerMatrix, "adversarial-matrix");
+    check_instance(seq, cm, PivotLookup::kBinarySearch, "adversarial-binsearch");
+  }
+  // Dense ties near the speculation boundary with skewed prices.
+  {
+    const CostModel cm(3.0, 0.1);
+    std::vector<Request> reqs;
+    Time t = 0.0;
+    for (int i = 0; i < 30; ++i) {
+      t += (i % 3 == 0) ? 1e-4 : cm.speculation_window();
+      reqs.push_back({static_cast<ServerId>(i % 4), t});
+    }
+    const RequestSequence seq(4, std::move(reqs));
+    check_instance(seq, cm, PivotLookup::kBinarySearch, "window-boundary");
+  }
+}
+
+}  // namespace
+}  // namespace mcdc

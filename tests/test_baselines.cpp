@@ -135,7 +135,7 @@ TEST(Heterogeneous, AsymmetricTransferCostsRespected) {
   const auto res = solve_offline_exact(seq, hcm, {.reconstruct_schedule = true});
   ASSERT_TRUE(res.has_schedule);
   for (const auto& t : res.schedule.transfers()) {
-    if (t.to == 2) EXPECT_EQ(t.from, 1);
+    if (t.to == 2) { EXPECT_EQ(t.from, 1); }
   }
   // s1->s2 (1) + s2->s3 (1) + caching ~2 over [0,2]... cost well under 50.
   EXPECT_LT(res.optimal_cost, 10.0);

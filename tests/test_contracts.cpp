@@ -1,0 +1,56 @@
+// Tests for src/util/contracts.h: death-test behaviour with contracts
+// enabled (this TU forces MCDC_CONTRACTS=1 regardless of build type) and
+// compiled-out no-op behaviour in release mode (via the sentinel probe in
+// contracts_release_probe.cpp, which forces MCDC_CONTRACTS=0).
+#ifdef MCDC_CONTRACTS  // may arrive via -DMCDC_CONTRACTS from the build
+#undef MCDC_CONTRACTS
+#endif
+#define MCDC_CONTRACTS 1
+#include "util/contracts.h"
+
+#include <gtest/gtest.h>
+
+#include "tests_contracts_probe.h"
+
+namespace mcdc {
+namespace {
+
+TEST(ContractsDeath, AssertAbortsWithFileLineAndMessage) {
+  const int x = 41;
+  EXPECT_DEATH(MCDC_ASSERT(x == 42, "x=%d should be %d", x, 42),
+               "test_contracts\\.cpp:[0-9]+: MCDC_ASSERT\\(x == 42\\) "
+               "violated: x=41 should be 42");
+}
+
+TEST(ContractsDeath, AssertWithoutMessageStillNamesTheCondition) {
+  EXPECT_DEATH(MCDC_ASSERT(1 + 1 == 3),
+               "MCDC_ASSERT\\(1 \\+ 1 == 3\\) violated");
+}
+
+TEST(ContractsDeath, InvariantAbortsWithItsOwnLabel) {
+  const double cost = -0.5;
+  EXPECT_DEATH(MCDC_INVARIANT(cost >= 0.0, "booked cost %g is negative", cost),
+               "MCDC_INVARIANT\\(cost >= 0.0\\) violated: booked cost -0.5");
+}
+
+TEST(ContractsDeath, UnreachableAborts) {
+  EXPECT_DEATH(MCDC_UNREACHABLE("fell off a covered switch"),
+               "MCDC_UNREACHABLE\\(reached\\) violated: fell off a covered "
+               "switch");
+}
+
+TEST(Contracts, PassingConditionsAreSilent) {
+  int evaluations = 0;
+  MCDC_ASSERT(++evaluations == 1, "must evaluate exactly once");
+  MCDC_INVARIANT(++evaluations == 2, "must evaluate exactly once");
+  EXPECT_EQ(evaluations, 2);
+}
+
+TEST(Contracts, ReleaseModeCompilesOutConditionAndMessage) {
+  // The probe TU is built with MCDC_CONTRACTS=0: its side-effecting
+  // sentinel must never run — no evaluation, no formatting, no abort.
+  EXPECT_EQ(testprobe::release_probe_evaluations(), 0);
+}
+
+}  // namespace
+}  // namespace mcdc

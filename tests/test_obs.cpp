@@ -280,10 +280,10 @@ TEST(ObsIntegration, ScEventsReconcileWithResult) {
   // Registry counters agree with the result structs.
   const auto snap = reg.snapshot();
   for (const auto& [name, v] : snap.counters) {
-    if (name == "cache_hits") EXPECT_EQ(v, res.hits);
-    if (name == "cache_misses") EXPECT_EQ(v, res.misses);
-    if (name == "transfers_issued") EXPECT_EQ(v, res.misses);
-    if (name == "epoch_resets") EXPECT_EQ(v, res.epochs_completed);
+    if (name == "cache_hits") { EXPECT_EQ(v, res.hits); }
+    if (name == "cache_misses") { EXPECT_EQ(v, res.misses); }
+    if (name == "transfers_issued") { EXPECT_EQ(v, res.misses); }
+    if (name == "epoch_resets") { EXPECT_EQ(v, res.epochs_completed); }
   }
 }
 
@@ -393,11 +393,11 @@ TEST(ObsIntegration, ServiceEventStreamCarriesItemsAndAbsoluteTime) {
 
   // live_items gauge saw every birth.
   for (const auto& [name, v] : reg.snapshot().gauges) {
-    if (name == "live_items") EXPECT_DOUBLE_EQ(v, static_cast<double>(rep.items));
+    if (name == "live_items") { EXPECT_DOUBLE_EQ(v, static_cast<double>(rep.items)); }
   }
   // Latency histogram sampled once per request.
   for (const auto& [name, h] : reg.snapshot().histograms) {
-    if (name == "request_latency_us") EXPECT_EQ(h.count, stream.size());
+    if (name == "request_latency_us") { EXPECT_EQ(h.count, stream.size()); }
   }
 }
 
@@ -434,7 +434,7 @@ TEST(ObsIntegration, ExecutorEmitsReplayEvents) {
   }
   EXPECT_NEAR(booked, rep.measured_total_cost, 1e-9);
   for (const auto& [name, h] : reg.snapshot().histograms) {
-    if (name == "executor_replay_us") EXPECT_EQ(h.count, 1u);
+    if (name == "executor_replay_us") { EXPECT_EQ(h.count, 1u); }
   }
 }
 

@@ -276,10 +276,10 @@ INSTANTIATE_TEST_SUITE_P(
         CrossCheckParam{3, 10, 1.0, 20.0, 110, 60},  // transfers dear
         CrossCheckParam{8, 20, 2.0, 3.0, 111, 20},
         CrossCheckParam{10, 24, 0.7, 1.3, 112, 10}),
-    [](const ::testing::TestParamInfo<CrossCheckParam>& info) {
-      const auto& p = info.param;
+    [](const ::testing::TestParamInfo<CrossCheckParam>& pinfo) {
+      const auto& p = pinfo.param;
       return "m" + std::to_string(p.m) + "_n" + std::to_string(p.n) + "_idx" +
-             std::to_string(info.index);
+             std::to_string(pinfo.index);
     });
 
 // Dense bursts: many requests in tiny time windows stress tie handling.

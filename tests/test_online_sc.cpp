@@ -185,7 +185,7 @@ TEST(OnlineSc, OtherServerExpiryExactlyAtRequestTime) {
   const RequestSequence seq(2, {{1, 1.0}, {1, 2.0}, {1, 2.5}});
   const auto res = run_speculative_caching(seq, cm);
   for (const auto& c : res.copies) {
-    if (c.server == 0) EXPECT_NEAR(c.death, 2.0, 1e-9);
+    if (c.server == 0) { EXPECT_NEAR(c.death, 2.0, 1e-9); }
   }
 }
 
@@ -466,10 +466,10 @@ INSTANTIATE_TEST_SUITE_P(
         RatioParam{4, 60, 1.0, 1.0, 1.0, 10, 206, 30},
         RatioParam{4, 60, 1.0, 1.0, 1.0, 3, 207, 30},
         RatioParam{6, 100, 1.0, 0.3, 1.0, 25, 208, 20}),
-    [](const ::testing::TestParamInfo<RatioParam>& info) {
-      const auto& p = info.param;
+    [](const ::testing::TestParamInfo<RatioParam>& pinfo) {
+      const auto& p = pinfo.param;
       return "m" + std::to_string(p.m) + "_n" + std::to_string(p.n) + "_idx" +
-             std::to_string(info.index);
+             std::to_string(pinfo.index);
     });
 
 // Adversarial stream aimed at SC: alternate two servers with gaps just

@@ -164,8 +164,8 @@ INSTANTIATE_TEST_SUITE_P(
                       BeladyParam{63, 6, 2, 200, 0.0},
                       BeladyParam{64, 40, 8, 500, 1.2},
                       BeladyParam{65, 15, 14, 300, 0.5}),
-    [](const ::testing::TestParamInfo<BeladyParam>& info) {
-      return "case" + std::to_string(info.index);
+    [](const ::testing::TestParamInfo<BeladyParam>& pinfo) {
+      return "case" + std::to_string(pinfo.index);
     });
 
 }  // namespace

@@ -215,15 +215,15 @@ TEST_P(ScProperties, RelabelingInvariance) {
 INSTANTIATE_TEST_SUITE_P(Seeds, DpProperties,
                          ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u, 7u, 8u, 9u,
                                            10u, 11u, 12u, 13u, 14u, 15u, 16u),
-                         [](const auto& info) {
-                           return "seed" + std::to_string(info.param);
+                         [](const auto& pinfo) {
+                           return "seed" + std::to_string(pinfo.param);
                          });
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ScProperties,
                          ::testing::Values(21u, 22u, 23u, 24u, 25u, 26u, 27u,
                                            28u, 29u, 30u, 31u, 32u),
-                         [](const auto& info) {
-                           return "seed" + std::to_string(info.param);
+                         [](const auto& pinfo) {
+                           return "seed" + std::to_string(pinfo.param);
                          });
 
 }  // namespace

@@ -140,7 +140,7 @@ TEST(Adversarial, AlternatesJustPastWindow) {
   EXPECT_EQ(seq.n(), 10);
   for (RequestIndex i = 1; i <= seq.n(); ++i) {
     EXPECT_NEAR(seq.time(i) - seq.time(i - 1), 2.1, 1e-9);
-    if (i >= 2) EXPECT_NE(seq.server(i), seq.server(i - 1));
+    if (i >= 2) { EXPECT_NE(seq.server(i), seq.server(i - 1)); }
   }
   EXPECT_THROW(gen_adversarial_alternation(cm, 5, 1.0, 1), std::invalid_argument);
 }

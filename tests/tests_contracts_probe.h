@@ -1,0 +1,14 @@
+// Shared declaration between test_contracts.cpp (contracts forced ON) and
+// contracts_release_probe.cpp (contracts forced OFF). Two translation
+// units in one binary deliberately probe both modes of util/contracts.h.
+#pragma once
+
+namespace mcdc::testprobe {
+
+/// Runs MCDC_ASSERT/MCDC_INVARIANT with a side-effecting condition in a TU
+/// compiled with MCDC_CONTRACTS=0; returns how many times the condition
+/// (or message argument) was evaluated. Must be 0: release contracts are
+/// compiled out entirely, not merely ignored.
+int release_probe_evaluations();
+
+}  // namespace mcdc::testprobe
