@@ -1,17 +1,25 @@
 // trace_tool: command-line utility around the trace format.
 //
-//   trace_tool gen   --out=trace.csv [--kind=zipf|mobility|commuter|bursty]
-//                    [--servers=4] [--requests=100] [--seed=1]
+//   trace_tool gen   --out=trace.csv [--kind=zipf|mobility|commuter|bursty|multi]
+//                    [--servers=4] [--requests=100] [--seed=1] [--items=50]
 //   trace_tool solve --in=trace.csv [--mu=1] [--lambda=1] [--dot=graph.dot]
 //   trace_tool online --in=trace.csv [--mu=1] [--lambda=1] [--epoch=0]
+//   trace_tool serve --in=multi.csv [--engine --shards=4 --queue-cap=1024
+//                    --batch=64 --policy=block|drop|spill] [--verify]
 //
-// `gen` writes a synthetic trace; `solve` runs the off-line optimum on a
-// trace (optionally exporting the space-time graph with the optimal
-// schedule overlaid as Graphviz DOT); `online` replays it through SC.
+// `gen` writes a synthetic trace (`--kind=multi` emits a multi-item trace
+// for `serve`); `solve` runs the off-line optimum on a single-item trace
+// (optionally exporting the space-time graph with the optimal schedule
+// overlaid as Graphviz DOT); `online` replays it through SC; `serve`
+// replays a multi-item trace through the streaming data service — by
+// default the serial OnlineDataService, with `--engine` through the
+// sharded concurrent StreamingEngine (see docs/ENGINE.md). `--verify`
+// runs both and checks the engine report is bit-identical to serial.
 //
-// Observability: `solve` and `online` accept `--metrics-out=metrics.json`
-// (registry snapshot) and `--trace-out=trace.jsonl` (structured event
-// stream); see docs/OBSERVABILITY.md for both schemas.
+// Observability: `solve`, `online`, and `serve` accept
+// `--metrics-out=metrics.json` (registry snapshot) and
+// `--trace-out=trace.jsonl` (structured event stream); see
+// docs/OBSERVABILITY.md for both schemas.
 #include <cstdio>
 #include <fstream>
 #include <iostream>
@@ -22,12 +30,14 @@
 #include "analysis/diagram.h"
 #include "analysis/request_report.h"
 #include "analysis/space_time_graph.h"
+#include "engine/streaming_engine.h"
 #include "model/pricing.h"
 #include "core/offline_dp.h"
 #include "core/online_sc.h"
 #include "model/schedule_validator.h"
 #include "obs/observer.h"
 #include "obs/sinks.h"
+#include "service/data_service.h"
 #include "util/cli.h"
 #include "workload/generators.h"
 #include "workload/trace_io.h"
@@ -101,6 +111,21 @@ int cmd_gen(const ArgParser& args) {
     cfg.num_servers = m;
     cfg.num_requests = n;
     seq = gen_bursty_pareto(rng, cfg);
+  } else if (kind == "multi") {
+    MultiItemConfig cfg;
+    cfg.num_servers = m;
+    cfg.num_requests = n;
+    cfg.num_items = static_cast<int>(args.get_int("items"));
+    const auto stream = gen_multi_item(rng, cfg);
+    std::ofstream out(args.get("out"));
+    if (!out) {
+      std::fprintf(stderr, "cannot open %s\n", args.get("out").c_str());
+      return 2;
+    }
+    write_multi_item_trace(out, stream, m, cfg.num_items);
+    std::printf("wrote %s: m=%d items=%d n=%zu\n", args.get("out").c_str(), m,
+                cfg.num_items, stream.size());
+    return 0;
   } else {
     std::fprintf(stderr, "unknown --kind=%s\n", kind.c_str());
     return 2;
@@ -181,6 +206,64 @@ int cmd_online(const ArgParser& args) {
   return 0;
 }
 
+int cmd_serve(const ArgParser& args) {
+  std::ifstream in(args.get("in"));
+  if (!in) {
+    std::fprintf(stderr, "cannot open %s\n", args.get("in").c_str());
+    return 2;
+  }
+  const auto trace = read_multi_item_trace(in);
+  const CostModel cm = cost_model_from_args(args);
+  CliTelemetry telemetry(args);
+  std::printf("stream: m=%d items=%d n=%zu\n", trace.num_servers,
+              trace.num_items, trace.stream.size());
+
+  auto run_serial = [&](obs::Observer* ob) {
+    SpeculativeCachingOptions opt;
+    opt.observer = ob;
+    OnlineDataService service(trace.num_servers, cm, opt);
+    for (const auto& r : trace.stream) service.request(r.item, r.server, r.time);
+    return service.finish();
+  };
+
+  ServiceReport rep;
+  if (args.get_bool("engine")) {
+    EngineConfig cfg;
+    cfg.num_shards = static_cast<int>(args.get_int("shards"));
+    cfg.queue_capacity = static_cast<std::size_t>(args.get_int("queue-cap"));
+    cfg.max_batch = static_cast<std::size_t>(args.get_int("batch"));
+    cfg.policy = parse_backpressure_policy(args.get("policy").c_str());
+    cfg.deterministic = !args.get_bool("no-determinism");
+    cfg.service_options.observer = telemetry.get();
+    StreamingEngine engine(trace.num_servers, cm, cfg);
+    for (const auto& r : trace.stream) engine.submit(r.item, r.server, r.time);
+    rep = engine.finish();
+    std::printf("engine: %d shards, queue cap %zu, batch %zu, policy %s%s\n",
+                engine.num_shards(), cfg.queue_capacity, cfg.max_batch,
+                to_string(cfg.policy),
+                cfg.deterministic ? ", deterministic" : "");
+    std::printf("%s\n", engine.stats().to_string().c_str());
+    if (args.get_bool("verify")) {
+      const auto serial = run_serial(nullptr);
+      const bool identical = serial.total_cost == rep.total_cost &&
+                             serial.caching_cost == rep.caching_cost &&
+                             serial.transfer_cost == rep.transfer_cost &&
+                             serial.items == rep.items &&
+                             serial.requests == rep.requests;
+      std::printf("verify vs serial: %s (serial %.9f, engine %.9f)\n",
+                  identical ? "bit-identical" : "MISMATCH", serial.total_cost,
+                  rep.total_cost);
+      if (!identical) return 1;
+    }
+  } else {
+    rep = run_serial(telemetry.get());
+  }
+  std::printf("%s\n", rep.to_string(static_cast<std::size_t>(
+                          args.get_int("items-top"))).c_str());
+  telemetry.flush();
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -200,17 +283,27 @@ int main(int argc, char** argv) {
   args.add_bool_flag("report", "print the per-request cost attribution table");
   args.add_flag("metrics-out", "write an obs metrics snapshot (JSON) here");
   args.add_flag("trace-out", "write the obs event stream (JSONL) here");
+  args.add_flag("items", "items for --kind=multi", "50");
+  args.add_bool_flag("engine", "serve: use the sharded streaming engine");
+  args.add_flag("shards", "serve --engine: shard count (0 = hw threads)", "4");
+  args.add_flag("queue-cap", "serve --engine: per-shard queue capacity", "1024");
+  args.add_flag("batch", "serve --engine: max dequeue batch", "64");
+  args.add_flag("policy", "serve --engine: backpressure block|drop|spill", "block");
+  args.add_bool_flag("no-determinism", "serve --engine: allow lossy policies");
+  args.add_bool_flag("verify", "serve --engine: check bit-identity vs serial");
+  args.add_flag("items-top", "serve: items shown in the report table", "10");
 
   try {
     const auto pos = args.parse(argc, argv);
     if (pos.size() != 1) {
-      std::fprintf(stderr, "usage: trace_tool <gen|solve|online> [flags]\n%s",
+      std::fprintf(stderr, "usage: trace_tool <gen|solve|online|serve> [flags]\n%s",
                    args.usage("trace_tool").c_str());
       return 2;
     }
     if (pos[0] == "gen") return cmd_gen(args);
     if (pos[0] == "solve") return cmd_solve(args);
     if (pos[0] == "online") return cmd_online(args);
+    if (pos[0] == "serve") return cmd_serve(args);
     std::fprintf(stderr, "unknown command: %s\n", pos[0].c_str());
     return 2;
   } catch (const std::exception& e) {

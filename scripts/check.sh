@@ -6,6 +6,10 @@
 #   2. clang-tidy with the repo .clang-tidy config (skipped if not installed)
 #   3. a strict-warnings build with MCDC_WERROR=ON
 #   4. the ASan / UBSan / TSan ctest matrix, contracts enabled
+#   5. a TSan stress lane over the engine-labelled tests (the sharded
+#      streaming engine runs real std::thread workers under TSan — it has
+#      no serial fallback, unlike util/parallel.h — so interleavings are
+#      worth re-rolling)
 #
 # Exit code is non-zero iff any gate that could run failed; unavailable
 # tools are reported as SKIP, not failure, so the gate degrades gracefully
@@ -19,6 +23,8 @@
 #   MCDC_CHECK_SKIP_TIDY    non-empty: skip clang-tidy even if installed
 #   MCDC_CHECK_SKIP_FORMAT  non-empty: skip clang-format even if installed
 #   MCDC_FUZZ_ITERS         forwarded to the fuzz harness (default 1000)
+#   MCDC_CHECK_ENGINE_STRESS  repeat count for the engine TSan stress lane
+#                           (default 3; 0 disables the lane)
 set -uo pipefail
 cd "$(dirname "$0")/.."
 
@@ -89,6 +95,25 @@ for san in $SANITIZERS; do
     record FAIL "ctest under $san"
   fi
 done
+
+# ---- 5. engine TSan stress lane -------------------------------------------
+# Concurrency bugs are interleaving-dependent; one green run proves little.
+# Re-roll the engine-labelled tests (test_engine, the engine fuzz lane, the
+# threaded smoke tests) under TSan until-fail a few times. Reuses the tsan
+# build from step 4 when present; builds it otherwise.
+ENGINE_STRESS="${MCDC_CHECK_ENGINE_STRESS:-3}"
+if [ "$ENGINE_STRESS" -le 0 ]; then
+  record SKIP "engine TSan stress (MCDC_CHECK_ENGINE_STRESS=$ENGINE_STRESS)"
+else
+  echo "=== engine TSan stress (repeat until-fail:$ENGINE_STRESS) ==="
+  if cmake --preset tsan > /dev/null \
+      && cmake --build --preset tsan -j "$JOBS" > /dev/null \
+      && ctest --preset tsan -L engine --repeat "until-fail:$ENGINE_STRESS" -j "$JOBS"; then
+    record PASS "engine TSan stress (x$ENGINE_STRESS)"
+  else
+    record FAIL "engine TSan stress (x$ENGINE_STRESS)"
+  fi
+fi
 
 # ---- summary --------------------------------------------------------------
 echo

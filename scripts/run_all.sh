@@ -25,9 +25,14 @@ fi
 
 # Every bench binary regenerates one paper table/figure or extension
 # experiment (see DESIGN.md section 3 for the index).
+# bench_engine_throughput additionally drops BENCH_engine.json (ingest
+# throughput vs shard count) at the repo root; see docs/ENGINE.md.
 (for b in build/bench/bench_*; do
   echo "===== $b"
-  "$b"
+  case "$b" in
+    */bench_engine_throughput) "$b" --out=BENCH_engine.json ;;
+    *) "$b" ;;
+  esac
 done) 2>&1 | tee bench_output.txt
 
 # Observability artifacts: metrics snapshot + JSONL event trace from a
@@ -37,4 +42,4 @@ build/examples/trace_tool gen --out=build/obs_trace.csv --kind=mobility \
 build/examples/trace_tool online --in=build/obs_trace.csv --epoch=16 \
   --metrics-out=metrics.json --trace-out=trace.jsonl > /dev/null
 
-echo "done: test_output.txt, bench_output.txt, metrics.json, trace.jsonl"
+echo "done: test_output.txt, bench_output.txt, BENCH_engine.json, metrics.json, trace.jsonl"

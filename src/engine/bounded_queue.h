@@ -1,0 +1,125 @@
+// Bounded MPSC ingest queue with pluggable backpressure.
+//
+// One instance fronts each shard: any number of producers push, the shard's
+// worker thread pops in batches. The implementation is a mutex + two
+// condition variables over a deque — deliberately boring: every primitive
+// is fully ThreadSanitizer-instrumented (unlike libgomp, see
+// util/parallel.h), FIFO order is trivially exact (the determinism
+// contract leans on it), and the lock is amortized by batched pops. The
+// capacity bound is what creates backpressure; the policy decides what a
+// full queue means for the producer (block / drop / spill — see
+// engine_config.h).
+//
+// Stats are collected under the same lock (no extra atomics) and snapshot
+// on demand.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <vector>
+
+#include "engine/engine_config.h"
+#include "util/contracts.h"
+
+namespace mcdc {
+
+struct QueueStats {
+  std::uint64_t enqueued = 0;   ///< accepted pushes (includes spilled)
+  std::uint64_t dropped = 0;    ///< rejected pushes (kDrop on a full queue)
+  std::uint64_t spilled = 0;    ///< pushes beyond capacity (kSpill)
+  std::uint64_t stalls = 0;     ///< producer waits (kBlock on a full queue)
+  std::size_t max_depth = 0;    ///< high-water mark of the queue depth
+};
+
+template <typename T>
+class BoundedMpscQueue {
+ public:
+  BoundedMpscQueue(std::size_t capacity, BackpressurePolicy policy)
+      : capacity_(capacity), policy_(policy) {
+    MCDC_ASSERT(capacity > 0, "queue capacity must be positive");
+  }
+
+  /// Push one element under the configured policy. Returns false only when
+  /// the policy is kDrop and the queue is full; kBlock may wait. Pushing
+  /// into a closed queue is a contract violation (the engine never does).
+  bool push(T v) {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (policy_ == BackpressurePolicy::kBlock && q_.size() >= capacity_) {
+      ++stats_.stalls;
+      not_full_.wait(lock,
+                     [this] { return q_.size() < capacity_ || closed_; });
+    } else if (policy_ == BackpressurePolicy::kDrop &&
+               q_.size() >= capacity_) {
+      ++stats_.dropped;
+      return false;
+    } else if (policy_ == BackpressurePolicy::kSpill &&
+               q_.size() >= capacity_) {
+      ++stats_.spilled;
+    }
+    MCDC_ASSERT(!closed_, "push into a closed queue");
+    q_.push_back(std::move(v));
+    ++stats_.enqueued;
+    if (q_.size() > stats_.max_depth) stats_.max_depth = q_.size();
+    lock.unlock();
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Pop up to `max` elements into `out` (appended), blocking until at
+  /// least one is available or the queue is closed and drained. Returns the
+  /// number popped; 0 means closed-and-empty — the consumer's termination
+  /// signal.
+  std::size_t pop_batch(std::vector<T>& out, std::size_t max) {
+    MCDC_ASSERT(max > 0);
+    std::unique_lock<std::mutex> lock(mu_);
+    not_empty_.wait(lock, [this] { return !q_.empty() || closed_; });
+    std::size_t popped = 0;
+    while (popped < max && !q_.empty()) {
+      out.push_back(std::move(q_.front()));
+      q_.pop_front();
+      ++popped;
+    }
+    lock.unlock();
+    // Only kBlock producers ever wait on not_full_; wake them all — a
+    // batch frees up to `max` slots.
+    if (popped > 0 && policy_ == BackpressurePolicy::kBlock) {
+      not_full_.notify_all();
+    }
+    return popped;
+  }
+
+  /// No more pushes will arrive; wakes the consumer to drain and exit.
+  void close() {
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      closed_ = true;
+    }
+    not_empty_.notify_all();
+    not_full_.notify_all();
+  }
+
+  std::size_t depth() const {
+    const std::lock_guard<std::mutex> lock(mu_);
+    return q_.size();
+  }
+
+  QueueStats stats() const {
+    const std::lock_guard<std::mutex> lock(mu_);
+    return stats_;
+  }
+
+ private:
+  const std::size_t capacity_;
+  const BackpressurePolicy policy_;
+
+  mutable std::mutex mu_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::deque<T> q_;
+  QueueStats stats_;
+  bool closed_ = false;
+};
+
+}  // namespace mcdc

@@ -1,0 +1,52 @@
+// Configuration for the sharded streaming engine (see docs/ENGINE.md).
+#pragma once
+
+#include <cstddef>
+
+#include "core/online_sc.h"
+
+namespace mcdc {
+
+/// What a producer experiences when a shard's ingest queue is full.
+enum class BackpressurePolicy {
+  kBlock,  ///< wait until the shard drains — lossless, bounded memory
+  kDrop,   ///< reject the request (submit() returns false) — lossy, bounded
+  kSpill,  ///< grow past capacity, counting spilled entries — lossless,
+           ///< unbounded memory (the overflow lives in the same FIFO, so
+           ///< ordering is preserved)
+};
+
+const char* to_string(BackpressurePolicy policy);
+
+/// Parse "block" | "drop" | "spill"; throws std::invalid_argument otherwise
+/// (CLI surface for trace_tool / benches).
+BackpressurePolicy parse_backpressure_policy(const char* name);
+
+struct EngineConfig {
+  /// Number of shards (worker threads). 0 = one per hardware thread.
+  int num_shards = 4;
+
+  /// Per-shard ingest queue capacity, in requests.
+  std::size_t queue_capacity = 1024;
+
+  /// Max requests a worker dequeues per lock acquisition (micro-batching
+  /// amortizes the mutex over up to this many requests).
+  std::size_t max_batch = 64;
+
+  BackpressurePolicy policy = BackpressurePolicy::kBlock;
+
+  /// Deterministic mode: forces kBlock (no losses) and enables the shard
+  /// replay-order contract checks, so per-item outcomes and aggregate
+  /// ServiceReport totals are bit-identical to the serial
+  /// OnlineDataService on the same stream (item independence makes this
+  /// exact; see docs/ENGINE.md "Determinism contract").
+  bool deterministic = true;
+
+  /// Forwarded to every shard's OnlineDataService (speculation knobs,
+  /// observer). A non-null observer's metrics registry is shared by all
+  /// shards (counters are atomic); an attached TraceSink is wrapped in an
+  /// obs::LockedSink so shard event streams interleave without racing.
+  SpeculativeCachingOptions service_options;
+};
+
+}  // namespace mcdc

@@ -1,0 +1,35 @@
+#include "engine/engine_stats.h"
+
+#include <sstream>
+
+#include "util/table.h"
+
+namespace mcdc {
+
+std::string EngineStats::to_string() const {
+  std::ostringstream os;
+  os << shards.size() << " shards: " << submitted << " submitted";
+  if (dropped > 0) os << ", " << dropped << " dropped";
+  if (spilled > 0) os << ", " << spilled << " spilled";
+  os << ", " << stalls << " enqueue stalls";
+
+  Table t({"shard", "items", "requests", "max depth", "stalls", "drops",
+           "spills", "batches", "mean batch", "max batch", "cost"});
+  for (const auto& s : shards) {
+    t.add_row({std::to_string(s.shard),
+               Table::integer(static_cast<long long>(s.items)),
+               Table::integer(static_cast<long long>(s.requests)),
+               Table::integer(static_cast<long long>(s.queue.max_depth)),
+               Table::integer(static_cast<long long>(s.queue.stalls)),
+               Table::integer(static_cast<long long>(s.queue.dropped)),
+               Table::integer(static_cast<long long>(s.queue.spilled)),
+               Table::integer(static_cast<long long>(s.batches.batches)),
+               Table::num(s.batches.mean_batch(), 2),
+               Table::integer(static_cast<long long>(s.batches.max_batch)),
+               Table::num(s.cost)});
+  }
+  os << "\n" << t.render();
+  return os.str();
+}
+
+}  // namespace mcdc

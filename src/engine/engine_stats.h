@@ -1,0 +1,44 @@
+// Per-shard and engine-level runtime statistics.
+//
+// Complements the ServiceReport (which books *costs*): these describe how
+// the serving layer behaved — queue pressure, batch shapes, losses. They
+// are collected lock-free on the worker side (queue stats live under the
+// queue's own mutex, batch stats are worker-local) and snapshot after
+// finish(), so reading them costs the hot path nothing. When an observer
+// with a metrics registry is attached, the same numbers also roll up into
+// per-shard registry metrics (see docs/OBSERVABILITY.md, "Engine").
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "engine/batcher.h"
+#include "engine/bounded_queue.h"
+#include "model/cost_model.h"
+
+namespace mcdc {
+
+struct ShardStats {
+  int shard = 0;
+  std::size_t items = 0;        ///< distinct items routed to this shard
+  std::uint64_t requests = 0;   ///< requests processed (births included)
+  QueueStats queue;
+  BatchStats batches;
+  Cost cost = 0.0;              ///< this shard's share of the total cost
+};
+
+struct EngineStats {
+  std::vector<ShardStats> shards;
+
+  std::uint64_t submitted = 0;  ///< submit() calls accepted or dropped
+  std::uint64_t dropped = 0;    ///< lost to kDrop backpressure
+  std::uint64_t spilled = 0;    ///< pushed past capacity under kSpill
+  std::uint64_t stalls = 0;     ///< producer waits under kBlock
+
+  /// Totals plus a util/table.h per-shard breakdown (queue pressure, batch
+  /// amortization, cost share).
+  std::string to_string() const;
+};
+
+}  // namespace mcdc

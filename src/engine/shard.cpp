@@ -1,0 +1,123 @@
+#include "engine/shard.h"
+
+#include <string>
+#include <vector>
+
+namespace mcdc {
+
+namespace {
+
+BackpressurePolicy effective_policy(const EngineConfig& cfg) {
+  // Deterministic mode must be lossless: a dropped request would change
+  // per-item outcomes, so kDrop is overridden to kBlock. kSpill is already
+  // lossless and order-preserving, hence allowed.
+  if (cfg.deterministic && cfg.policy == BackpressurePolicy::kDrop) {
+    return BackpressurePolicy::kBlock;
+  }
+  return cfg.policy;
+}
+
+}  // namespace
+
+EngineShard::EngineShard(int index, int num_servers, const CostModel& cm,
+                         const EngineConfig& cfg,
+                         const SpeculativeCachingOptions& options)
+    : index_(index),
+      deterministic_(cfg.deterministic),
+      service_(num_servers, cm, options),
+      queue_(cfg.queue_capacity, effective_policy(cfg)),
+      batcher_(cfg.max_batch) {
+  obs::Observer* ob = options.observer;
+  if (ob != nullptr && ob->metrics() != nullptr) {
+    obs::MetricsRegistry& reg = *ob->metrics();
+    const std::string p = "engine_shard" + std::to_string(index) + "_";
+    queue_depth_ = &reg.gauge(p + "queue_depth");
+    batch_size_ = &reg.histogram(p + "batch_size",
+                                 {1, 2, 4, 8, 16, 32, 64, 128, 256});
+    enqueue_stalls_ = &reg.counter(p + "enqueue_stalls");
+    requests_ = &reg.counter(p + "requests");
+    cost_total_ = &reg.gauge(p + "cost_total");
+  }
+}
+
+EngineShard::~EngineShard() {
+  // Abandoned (engine destroyed before finish()): unblock and join the
+  // worker; any failure it recorded dies with us.
+  if (!joined_) {
+    queue_.value.close();
+    if (worker_.joinable()) worker_.join();
+  }
+}
+
+void EngineShard::start() {
+  MCDC_ASSERT(!worker_.joinable(), "shard started twice");
+  worker_ = std::thread([this] { run(); });
+}
+
+bool EngineShard::enqueue(const MultiItemRequest& r) {
+  return queue_.value.push(r);
+}
+
+void EngineShard::run() {
+  try {
+    for (;;) {
+      const std::vector<MultiItemRequest>& batch = batcher_.next(queue_.value);
+      if (batch.empty()) break;  // closed and drained
+      if (queue_depth_ != nullptr) {
+        queue_depth_->set(static_cast<double>(queue_.value.depth()));
+      }
+      if (batch_size_ != nullptr) {
+        batch_size_->observe(static_cast<double>(batch.size()));
+      }
+      for (const MultiItemRequest& r : batch) {
+        if (deterministic_) {
+          // Replay-order contract: FIFO delivery of a time-ordered stream.
+          // (service_.request would also reject, but this names the broken
+          // engine invariant rather than a generic input error.)
+          MCDC_INVARIANT(!saw_request_ || r.time > last_time_seen_,
+                         "shard %d replay order broken: t=%.12g after %.12g",
+                         index_, r.time, last_time_seen_);
+        }
+        saw_request_ = true;
+        last_time_seen_ = r.time;
+        service_.request(r.item, r.server, r.time);
+        ++processed_;
+      }
+      if (requests_ != nullptr) requests_->inc(batch.size());
+    }
+  } catch (...) {
+    failure_ = std::current_exception();
+    // Keep draining so a kBlock producer stalled on our full queue cannot
+    // deadlock; the exception resurfaces from drain_and_finish().
+    std::vector<MultiItemRequest> discard;
+    while (queue_.value.pop_batch(discard, 1024) > 0) discard.clear();
+  }
+}
+
+ServiceReport EngineShard::drain_and_finish() {
+  queue_.value.close();
+  if (worker_.joinable()) worker_.join();
+  joined_ = true;
+  if (failure_ != nullptr) std::rethrow_exception(failure_);
+  ServiceReport rep = service_.finish();
+  items_ = rep.items;
+  cost_ = rep.total_cost;
+  if (enqueue_stalls_ != nullptr) enqueue_stalls_->inc(queue_.value.stats().stalls);
+  if (cost_total_ != nullptr) cost_total_->set(cost_);
+  if (queue_depth_ != nullptr) queue_depth_->set(0.0);
+  return rep;
+}
+
+ShardStats EngineShard::stats() const {
+  MCDC_ASSERT(joined_, "shard stats read before drain_and_finish");
+  ShardStats s;
+  s.shard = index_;
+  s.items = items_;
+  s.requests = processed_;
+  s.queue = queue_.value.stats();
+  s.batches = batcher_.stats();
+  s.cost = cost_;
+  return s;
+}
+
+}  // namespace mcdc

@@ -1,0 +1,78 @@
+// One shard of the streaming engine: a bounded ingest queue, a worker
+// thread, and a private OnlineDataService owning every item hashed here.
+//
+// Because the engine's producer feeds each shard in global time order and
+// the queue is FIFO, the shard sees a strictly-increasing-time subsequence
+// of the stream — exactly what OnlineDataService requires — and every item
+// is owned by exactly one shard, so per-item results are independent of
+// the shard count (the determinism contract, docs/ENGINE.md).
+#pragma once
+
+#include <exception>
+#include <thread>
+
+#include "engine/batcher.h"
+#include "engine/bounded_queue.h"
+#include "engine/engine_config.h"
+#include "engine/engine_stats.h"
+#include "obs/observer.h"
+#include "service/data_service.h"
+#include "util/concurrency.h"
+#include "workload/generators.h"
+
+namespace mcdc {
+
+class EngineShard {
+ public:
+  /// `options` are the per-shard service options (observer already
+  /// rewired by the engine for thread safety; not owned).
+  EngineShard(int index, int num_servers, const CostModel& cm,
+              const EngineConfig& cfg,
+              const SpeculativeCachingOptions& options);
+
+  EngineShard(const EngineShard&) = delete;
+  EngineShard& operator=(const EngineShard&) = delete;
+  ~EngineShard();
+
+  void start();
+
+  /// Enqueue under the shard's backpressure policy. Returns false when the
+  /// request was dropped (kDrop on a full queue). Producer-side only.
+  bool enqueue(const MultiItemRequest& r);
+
+  /// Close the queue, join the worker (rethrowing anything it threw), and
+  /// return the shard's service report (per_item ascending by item id).
+  ServiceReport drain_and_finish();
+
+  /// Valid after drain_and_finish().
+  ShardStats stats() const;
+
+  int index() const { return index_; }
+
+ private:
+  void run();
+
+  const int index_;
+  const bool deterministic_;
+  OnlineDataService service_;
+  CachePadded<BoundedMpscQueue<MultiItemRequest>> queue_;
+  Microbatcher<MultiItemRequest> batcher_;
+  std::thread worker_;
+  std::exception_ptr failure_;
+  bool joined_ = false;
+
+  std::uint64_t processed_ = 0;
+  Time last_time_seen_ = 0.0;
+  bool saw_request_ = false;
+  std::size_t items_ = 0;
+  Cost cost_ = 0.0;
+
+  // Per-shard registry metrics (null without an observer registry).
+  obs::Gauge* queue_depth_ = nullptr;
+  obs::Histogram* batch_size_ = nullptr;
+  obs::Counter* enqueue_stalls_ = nullptr;
+  obs::Counter* requests_ = nullptr;
+  obs::Gauge* cost_total_ = nullptr;
+};
+
+}  // namespace mcdc

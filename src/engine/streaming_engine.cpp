@@ -1,0 +1,139 @@
+#include "engine/streaming_engine.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+#include "util/concurrency.h"
+
+namespace mcdc {
+
+const char* to_string(BackpressurePolicy policy) {
+  switch (policy) {
+    case BackpressurePolicy::kBlock:
+      return "block";
+    case BackpressurePolicy::kDrop:
+      return "drop";
+    case BackpressurePolicy::kSpill:
+      return "spill";
+  }
+  MCDC_UNREACHABLE("bad BackpressurePolicy %d", static_cast<int>(policy));
+}
+
+BackpressurePolicy parse_backpressure_policy(const char* name) {
+  const std::string s(name);
+  if (s == "block") return BackpressurePolicy::kBlock;
+  if (s == "drop") return BackpressurePolicy::kDrop;
+  if (s == "spill") return BackpressurePolicy::kSpill;
+  throw std::invalid_argument("unknown backpressure policy: " + s +
+                              " (expected block|drop|spill)");
+}
+
+std::size_t StreamingEngine::shard_of(int item, int num_shards) {
+  MCDC_ASSERT(num_shards > 0);
+  // splitmix64 finalizer: item ids are often small and sequential, so a
+  // plain modulo would lane-correlate with generator patterns.
+  std::uint64_t x = static_cast<std::uint32_t>(item);
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return static_cast<std::size_t>(x % static_cast<std::uint64_t>(num_shards));
+}
+
+StreamingEngine::StreamingEngine(int num_servers, const CostModel& cm,
+                                 const EngineConfig& cfg)
+    : num_servers_(num_servers) {
+  if (num_servers <= 0) {
+    throw std::invalid_argument("StreamingEngine: need at least one server");
+  }
+  if (cfg.queue_capacity == 0) {
+    throw std::invalid_argument("StreamingEngine: queue_capacity must be > 0");
+  }
+  if (cfg.max_batch == 0) {
+    throw std::invalid_argument("StreamingEngine: max_batch must be > 0");
+  }
+  const int shards = cfg.num_shards > 0
+                         ? cfg.num_shards
+                         : static_cast<int>(hardware_thread_count());
+
+  SpeculativeCachingOptions shard_options = cfg.service_options;
+  obs::Observer* ob = cfg.service_options.observer;
+  if (ob != nullptr && ob->sink() != nullptr) {
+    locked_sink_ = std::make_unique<obs::LockedSink>(ob->sink());
+    shard_observer_ =
+        std::make_unique<obs::Observer>(ob->metrics(), locked_sink_.get());
+    shard_options.observer = shard_observer_.get();
+  }
+
+  shards_.reserve(static_cast<std::size_t>(shards));
+  for (int i = 0; i < shards; ++i) {
+    shards_.push_back(std::make_unique<EngineShard>(i, num_servers, cm, cfg,
+                                                    shard_options));
+  }
+  for (auto& s : shards_) s->start();
+}
+
+bool StreamingEngine::submit(int item, ServerId server, Time time) {
+  if (finished_) throw std::logic_error("StreamingEngine: already finished");
+  if (server < 0 || server >= num_servers_) {
+    throw std::invalid_argument("StreamingEngine: server out of range");
+  }
+  if (!(time > last_time_)) {
+    throw std::invalid_argument("StreamingEngine: times must strictly increase");
+  }
+  last_time_ = time;
+  ++submitted_;
+  const std::size_t s = shard_of(item, num_shards());
+  const bool accepted = shards_[s]->enqueue({item, server, time});
+  if (!accepted) ++dropped_;
+  return accepted;
+}
+
+ServiceReport StreamingEngine::finish() {
+  if (finished_) throw std::logic_error("StreamingEngine: already finished");
+  finished_ = true;
+
+  ServiceReport rep;
+  for (auto& s : shards_) {
+    ServiceReport shard_rep = s->drain_and_finish();
+    rep.per_item.insert(rep.per_item.end(),
+                        std::make_move_iterator(shard_rep.per_item.begin()),
+                        std::make_move_iterator(shard_rep.per_item.end()));
+  }
+  // Restore the serial service's summation order (ascending item id — what
+  // OnlineDataService's ordered map produces) so aggregate totals are
+  // bit-identical, then recompute them through the shared reconciliation
+  // helper. Item ids are unique across shards, so the order is total.
+  std::sort(rep.per_item.begin(), rep.per_item.end(),
+            [](const ItemOutcome& a, const ItemOutcome& b) {
+              return a.item < b.item;
+            });
+  finalize_report(rep);
+
+  stats_.shards.clear();
+  stats_.submitted = submitted_;
+  stats_.dropped = dropped_;
+  stats_.spilled = 0;
+  stats_.stalls = 0;
+  for (const auto& s : shards_) {
+    stats_.shards.push_back(s->stats());
+    stats_.spilled += stats_.shards.back().queue.spilled;
+    stats_.stalls += stats_.shards.back().queue.stalls;
+  }
+  MCDC_INVARIANT(submitted_ - dropped_ ==
+                     rep.requests + static_cast<std::uint64_t>(rep.items),
+                 "engine accounting: %llu accepted != %zu served + %zu births",
+                 static_cast<unsigned long long>(submitted_ - dropped_),
+                 rep.requests, rep.items);
+  return rep;
+}
+
+const EngineStats& StreamingEngine::stats() const {
+  MCDC_ASSERT(finished_, "engine stats read before finish()");
+  return stats_;
+}
+
+}  // namespace mcdc

@@ -1,0 +1,89 @@
+// Sharded concurrent streaming engine fronting the multi-item data service.
+//
+// The serial OnlineDataService ingests one request at a time, paying the
+// per-item Speculative Caching update on the caller's thread — fine for a
+// trace replay, a ceiling for "heavy traffic" streams. Under the
+// homogeneous cost model items are independent (the service layer already
+// exploits this), so the stream can be hash-partitioned by item id onto N
+// shards, each an OnlineDataService of its own behind a bounded MPSC
+// queue: the producer pays only hash + enqueue, the SC work proceeds on N
+// worker threads, and no cross-shard coordination ever happens because no
+// item spans shards.
+//
+// Determinism contract (asserted by the differential fuzz lane): with a
+// lossless policy (kBlock/kSpill, forced by EngineConfig::deterministic),
+// per-item outcomes AND aggregate ServiceReport totals are bit-identical
+// to the serial service on the same stream — same per-item subsequences
+// (stable shard_of hash + FIFO queues), same floating-point summation
+// order (finalize_report over item-id-ascending outcomes). Only the
+// interleaving of observer events across items is unspecified.
+//
+// Threading contract: submit() is single-producer (it enforces the global
+// strictly-increasing-time invariant, mirroring the serial service);
+// worker threads are internal. finish() closes the queues, joins, merges.
+// The engine stays threaded under ThreadSanitizer by design — std::thread
+// and std::mutex are fully instrumented (unlike the OpenMP runtime that
+// forces util/parallel.h serial) — so TSan actually races the hot paths.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "engine/engine_config.h"
+#include "engine/engine_stats.h"
+#include "engine/shard.h"
+#include "obs/observer.h"
+#include "obs/sinks.h"
+#include "service/data_service.h"
+
+namespace mcdc {
+
+class StreamingEngine {
+ public:
+  StreamingEngine(int num_servers, const CostModel& cm,
+                  const EngineConfig& cfg = {});
+
+  /// Joins any still-running workers; results are discarded if finish()
+  /// was never called.
+  ~StreamingEngine() = default;
+
+  /// Route one request to its shard. Returns false iff the request was
+  /// dropped by kDrop backpressure; kBlock may wait for the shard to
+  /// drain. Times must strictly increase across calls (throws otherwise,
+  /// like the serial service). Single producer thread.
+  bool submit(int item, ServerId server, Time time);
+
+  /// Close all queues, join all workers (rethrowing the first worker
+  /// failure), and merge the per-shard reports into one ServiceReport
+  /// whose per_item is ascending by item id and whose totals satisfy the
+  /// finalize_report reconciliation invariant.
+  ServiceReport finish();
+
+  /// Queue/batch/loss statistics. Valid after finish().
+  const EngineStats& stats() const;
+
+  int num_shards() const { return static_cast<int>(shards_.size()); }
+
+  /// Stable item -> shard assignment (splitmix64 finalizer; independent of
+  /// platform, std::hash, and insertion order — part of the determinism
+  /// contract).
+  static std::size_t shard_of(int item, int num_shards);
+
+ private:
+  int num_servers_;
+  std::vector<std::unique_ptr<EngineShard>> shards_;
+
+  // Engine-owned observer rewiring: shards share the caller's metrics
+  // registry directly (atomics), but an attached TraceSink is serialized
+  // through this LockedSink.
+  std::unique_ptr<obs::LockedSink> locked_sink_;
+  std::unique_ptr<obs::Observer> shard_observer_;
+
+  Time last_time_ = 0.0;
+  std::uint64_t submitted_ = 0;
+  std::uint64_t dropped_ = 0;
+  bool finished_ = false;
+  EngineStats stats_;
+};
+
+}  // namespace mcdc

@@ -55,5 +55,10 @@
 // Multi-item data service.
 #include "service/data_service.h"
 
+// Sharded concurrent streaming engine fronting the service.
+#include "engine/engine_config.h"
+#include "engine/engine_stats.h"
+#include "engine/streaming_engine.h"
+
 // Classic capacity-driven paging (Table I baseline).
 #include "paging/paging.h"

@@ -8,6 +8,11 @@
 //                     events; per-kind totals cover *all* events seen, so
 //                     reconciliation checks survive overflow. The sink of
 //                     choice for tests and the overhead bench.
+//  * LockedSink     — mutex decorator making any sink safe to share across
+//                     threads. Single-threaded emitters (every solver, the
+//                     serial service) stay lock-free by not using it; the
+//                     sharded streaming engine wraps the user's sink in one
+//                     so per-shard event streams interleave without racing.
 //
 // The zero-overhead "tracing off" path is a null sink *pointer* (see
 // obs::Observer), not a NullSink instance: with no observer attached the
@@ -18,6 +23,7 @@
 #include <cstddef>
 #include <iosfwd>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -75,6 +81,23 @@ class RingBufferSink final : public TraceSink {
   std::size_t next_ = 0;     // insertion cursor once full
   std::size_t seen_ = 0;
   std::array<std::uint64_t, kNumEventKinds> kind_counts_{};
+};
+
+/// Serializes on_event() calls onto a wrapped sink. The inner sink is
+/// borrowed and must outlive the decorator.
+class LockedSink final : public TraceSink {
+ public:
+  explicit LockedSink(TraceSink* inner) : inner_(inner) {}
+
+  void on_event(const Event& e) override {
+    if (inner_ == nullptr) return;
+    const std::lock_guard<std::mutex> lock(mu_);
+    inner_->on_event(e);
+  }
+
+ private:
+  std::mutex mu_;
+  TraceSink* inner_ = nullptr;
 };
 
 }  // namespace mcdc::obs

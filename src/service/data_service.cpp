@@ -7,6 +7,7 @@
 #include "core/offline_dp.h"
 #include "obs/observer.h"
 #include "obs/scoped_timer.h"
+#include "util/contracts.h"
 #include "util/table.h"
 
 namespace mcdc {
@@ -58,6 +59,29 @@ std::string ServiceReport::to_string(std::size_t max_items) const {
     os << "(+" << by_cost.size() - shown << " more items by cost)\n";
   }
   return os.str();
+}
+
+void finalize_report(ServiceReport& rep) {
+  rep.total_cost = 0.0;
+  rep.caching_cost = 0.0;
+  rep.transfer_cost = 0.0;
+  rep.requests = 0;
+  rep.items = rep.per_item.size();
+  for (const auto& it : rep.per_item) {
+    MCDC_INVARIANT(almost_equal(it.caching_cost + it.transfer_cost, it.cost),
+                   "item %d: caching %.12g + transfer %.12g != cost %.12g",
+                   it.item, it.caching_cost, it.transfer_cost, it.cost);
+    rep.total_cost += it.cost;
+    rep.caching_cost += it.caching_cost;
+    rep.transfer_cost += it.transfer_cost;
+    rep.requests += it.requests;
+  }
+  MCDC_INVARIANT(almost_equal(rep.caching_cost + rep.transfer_cost,
+                              rep.total_cost),
+                 "aggregate reconciliation: caching %.12g + transfer %.12g != "
+                 "total %.12g over %zu items",
+                 rep.caching_cost, rep.transfer_cost, rep.total_cost,
+                 rep.items);
 }
 
 std::vector<ItemInstance> service_instances(const std::vector<MultiItemRequest>& stream,
@@ -114,13 +138,9 @@ ServiceReport plan_offline_service(const std::vector<MultiItemRequest>& stream,
     item.caching_cost = item.cost - item.transfer_cost;
     item.transfers = res.schedule.transfers().size();
     item.schedule = res.schedule;
-    rep.total_cost += item.cost;
-    rep.caching_cost += item.caching_cost;
-    rep.transfer_cost += item.transfer_cost;
-    rep.requests += item.requests;
-    ++rep.items;
     rep.per_item.push_back(std::move(item));
   }
+  finalize_report(rep);
   return rep;
 }
 
@@ -188,13 +208,11 @@ ServiceReport OnlineDataService::finish() {
     out.transfers = res.misses;
     out.hits = res.hits;
     out.schedule = res.schedule;
-    rep.total_cost += out.cost;
-    rep.caching_cost += out.caching_cost;
-    rep.transfer_cost += out.transfer_cost;
-    rep.requests += out.requests;
-    ++rep.items;
     rep.per_item.push_back(std::move(out));
   }
+  // items_ is an ordered map, so per_item is ascending by item id — the
+  // summation order the engine merge reproduces for bit-identical totals.
+  finalize_report(rep);
   return rep;
 }
 

@@ -60,6 +60,17 @@ struct ServiceReport {
   std::string to_string(std::size_t max_items = 10) const;
 };
 
+/// Recompute `rep`'s aggregate totals (items, requests, cost components)
+/// from `per_item`, accumulating in stored order. Every report producer —
+/// the off-line planner, the streaming service, and the sharded engine's
+/// merge — funnels through this helper with `per_item` sorted by ascending
+/// item id, so their aggregate totals are bit-identical by construction
+/// (floating-point summation order is part of the determinism contract).
+/// Asserts the reconciliation invariant via MCDC_INVARIANT: per item,
+/// caching + transfer == cost; in aggregate, the component sums match the
+/// totals.
+void finalize_report(ServiceReport& rep);
+
 /// Per-item problem instances extracted from a multi-item stream: the
 /// birth request becomes the instance origin at local time 0; remaining
 /// requests are shifted to item-local time.

@@ -1,0 +1,43 @@
+// Small concurrency helpers shared by the threaded subsystems.
+//
+// parallel.h serves the *data-parallel sweep* use case (OpenMP, serial
+// under TSan because libgomp is uninstrumented). The streaming engine is
+// different: it is built on std::thread + std::mutex/condition_variable,
+// which TSan instruments fully, so it must stay threaded under TSan — that
+// is the whole point of running the race detector over it. Hence these
+// helpers are deliberately independent of parallel.h's MCDC_TSAN_ACTIVE
+// fallback.
+#pragma once
+
+#include <cstddef>
+#include <thread>
+#include <utility>
+
+namespace mcdc {
+
+/// Usable hardware threads (never 0; hardware_concurrency() may report 0
+/// on exotic platforms). Unlike parallel.h's hardware_parallelism(), this
+/// does NOT collapse to 1 under ThreadSanitizer.
+inline unsigned hardware_thread_count() {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1u : n;
+}
+
+/// Conservative cache-line size for false-sharing padding. We do not use
+/// std::hardware_destructive_interference_size: GCC warns (and werror
+/// breaks) because its value is ABI-fragile across compiler versions.
+inline constexpr std::size_t kCacheLineSize = 64;
+
+/// Pads T to a cache line so adjacent instances (per-shard counters,
+/// queues in an array) never false-share. Constructor args forward to T,
+/// so immovable types (mutex-bearing queues) can be wrapped in place.
+template <typename T>
+struct alignas(kCacheLineSize) CachePadded {
+  CachePadded() = default;
+  template <typename... Args>
+  explicit CachePadded(Args&&... args) : value(std::forward<Args>(args)...) {}
+
+  T value{};
+};
+
+}  // namespace mcdc

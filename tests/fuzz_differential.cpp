@@ -19,6 +19,12 @@
 //     check the paper's actual reduction-normalized chain (Lemmas 5-8):
 //         Pi(SC) - v - h <= 3 * B'   with   B' = n' * lambda,
 //     plus the end-to-end consequence Pi(SC) <= 3 * OPT.
+//   * the sharded streaming engine (deterministic mode, random shard
+//     count / queue capacity / batch size / lossless policy) vs the serial
+//     OnlineDataService on random multi-item streams: per-item costs,
+//     transfers, hits, and aggregate ServiceReport totals must be
+//     BIT-identical (item independence makes the equivalence exact; the
+//     merge reproduces the serial summation order).
 //
 // Iteration count is bounded by default and overridable for long runs:
 //   MCDC_FUZZ_ITERS  number of random instances (default 1000)
@@ -35,7 +41,9 @@
 #include "core/offline_dp.h"
 #include "core/online_sc.h"
 #include "core/reductions.h"
+#include "engine/streaming_engine.h"
 #include "model/schedule_validator.h"
+#include "service/data_service.h"
 #include "sim/executor.h"
 #include "util/rng.h"
 #include "workload/generators.h"
@@ -210,6 +218,76 @@ TEST(FuzzDifferential, RandomizedSweep) {
     const PivotLookup lookup =
         (it % 2 == 0) ? PivotLookup::kPointerMatrix : PivotLookup::kBinarySearch;
     check_instance(seq, cm, lookup, "seed=" + std::to_string(seed));
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+}
+
+// Engine lane: the sharded streaming engine must be bit-identical to the
+// serial service on every stream, at every shard count, under every
+// lossless backpressure policy. "Bit-identical" is literal — ASSERT_EQ on
+// doubles — because the engine routes each item's full subsequence to one
+// shard's SpeculativeCache (same arithmetic as serial) and merges reports
+// in the serial summation order.
+TEST(FuzzDifferential, EngineBitIdenticalToSerial) {
+  const std::uint64_t iters = env_u64("MCDC_FUZZ_ITERS", 1000);
+  const std::uint64_t base_seed = env_u64("MCDC_FUZZ_SEED", 20170814);
+
+  for (std::uint64_t it = 0; it < iters; ++it) {
+    const std::uint64_t seed = base_seed + 0x700000000ULL + it;
+    Rng rng(seed);
+    MultiItemConfig cfg;
+    cfg.num_servers = 1 + static_cast<int>(rng.uniform_int(std::uint64_t{6}));
+    cfg.num_items = 1 + static_cast<int>(rng.uniform_int(std::uint64_t{40}));
+    cfg.num_requests = 1 + static_cast<int>(rng.uniform_int(std::uint64_t{250}));
+    cfg.arrival_rate = rng.uniform(0.5, 8.0);
+    cfg.item_zipf_alpha = rng.uniform(0.0, 1.3);
+    cfg.server_zipf_alpha = rng.uniform(0.0, 1.3);
+    const CostModel cm(std::exp(rng.uniform(-2.3, 1.4)),
+                       std::exp(rng.uniform(-2.3, 2.1)));
+    const auto stream = gen_multi_item(rng, cfg);
+
+    SCOPED_TRACE("engine seed=" + std::to_string(seed) + " m=" +
+                 std::to_string(cfg.num_servers) + " items=" +
+                 std::to_string(cfg.num_items) + " n=" +
+                 std::to_string(cfg.num_requests));
+
+    OnlineDataService serial(cfg.num_servers, cm);
+    for (const auto& r : stream) serial.request(r.item, r.server, r.time);
+    const ServiceReport want = serial.finish();
+
+    EngineConfig ecfg;
+    ecfg.num_shards = 1 + static_cast<int>(rng.uniform_int(std::uint64_t{6}));
+    ecfg.queue_capacity = std::size_t{1}
+                          << rng.uniform_int(std::uint64_t{8});  // 1..128
+    ecfg.max_batch = 1 + rng.uniform_int(std::uint64_t{16});
+    ecfg.policy = (it % 2 == 0) ? BackpressurePolicy::kBlock
+                                : BackpressurePolicy::kSpill;
+    ecfg.deterministic = true;
+    StreamingEngine engine(cfg.num_servers, cm, ecfg);
+    for (const auto& r : stream) {
+      ASSERT_TRUE(engine.submit(r.item, r.server, r.time));
+    }
+    const ServiceReport got = engine.finish();
+
+    ASSERT_EQ(want.total_cost, got.total_cost);
+    ASSERT_EQ(want.caching_cost, got.caching_cost);
+    ASSERT_EQ(want.transfer_cost, got.transfer_cost);
+    ASSERT_EQ(want.items, got.items);
+    ASSERT_EQ(want.requests, got.requests);
+    ASSERT_EQ(want.per_item.size(), got.per_item.size());
+    for (std::size_t i = 0; i < want.per_item.size(); ++i) {
+      const ItemOutcome& w = want.per_item[i];
+      const ItemOutcome& g = got.per_item[i];
+      ASSERT_EQ(w.item, g.item);
+      ASSERT_EQ(w.origin, g.origin);
+      ASSERT_EQ(w.birth, g.birth);
+      ASSERT_EQ(w.requests, g.requests);
+      ASSERT_EQ(w.cost, g.cost) << "item " << w.item;
+      ASSERT_EQ(w.caching_cost, g.caching_cost) << "item " << w.item;
+      ASSERT_EQ(w.transfer_cost, g.transfer_cost) << "item " << w.item;
+      ASSERT_EQ(w.transfers, g.transfers) << "item " << w.item;
+      ASSERT_EQ(w.hits, g.hits) << "item " << w.item;
+    }
     if (::testing::Test::HasFatalFailure()) return;
   }
 }

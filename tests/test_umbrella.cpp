@@ -22,6 +22,11 @@ TEST(Umbrella, EndToEndThroughSingleInclude) {
   EXPECT_LE(sc.total_cost, 3.0 * opt.optimal_cost + 1e-9);
   EXPECT_GE(running_lower_bound(seq, cm), 0.0);
   EXPECT_FALSE(render_schedule_diagram(seq, opt.schedule).empty());
+
+  // The concurrent layer is reachable through the same include.
+  StreamingEngine engine(4, cm, EngineConfig{});
+  EXPECT_TRUE(engine.submit(0, 1, 0.5));
+  EXPECT_EQ(engine.finish().items, 1);
 }
 
 }  // namespace

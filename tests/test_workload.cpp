@@ -299,6 +299,62 @@ TEST(TraceIo, MultiItemRoundTrip) {
   }
 }
 
+// The sharded engine replays each item's subsequence independently, so the
+// quantities that must survive a trace round trip bit-exactly are the ones
+// shard replay derives: which items exist, each item's birth time (first
+// request), its horizon (last request), and the per-item request order.
+TEST(TraceIo, MultiItemRoundTripPreservesPerItemStructure) {
+  Rng rng(59);
+  MultiItemConfig cfg;
+  cfg.num_items = 12;
+  cfg.num_servers = 7;
+  cfg.num_requests = 600;
+  auto stream = gen_multi_item(rng, cfg);
+  // Perturb times to awkward doubles (non-terminating binary fractions at
+  // very different magnitudes) so "exact to printed precision" is actually
+  // exercised, not just round decimals surviving by luck.
+  for (std::size_t i = 0; i < stream.size(); ++i) {
+    stream[i].time = stream[i].time * (1.0 / 3.0) + 1e-7 * static_cast<double>(i);
+  }
+
+  struct PerItem {
+    Time birth = 0.0;
+    Time horizon = 0.0;
+    std::vector<std::pair<ServerId, Time>> subsequence;
+  };
+  const auto digest = [](const std::vector<MultiItemRequest>& s) {
+    std::map<int, PerItem> out;
+    for (const auto& r : s) {
+      auto [it, fresh] = out.try_emplace(r.item);
+      if (fresh) it->second.birth = r.time;
+      it->second.horizon = r.time;
+      it->second.subsequence.emplace_back(r.server, r.time);
+    }
+    return out;
+  };
+
+  std::stringstream buf;
+  write_multi_item_trace(buf, stream, cfg.num_servers, cfg.num_items);
+  const auto back = read_multi_item_trace(buf);
+
+  const auto want = digest(stream);
+  const auto got = digest(back.stream);
+  ASSERT_EQ(got.size(), want.size());
+  for (const auto& [item, w] : want) {
+    const auto it = got.find(item);
+    ASSERT_NE(it, got.end()) << "item " << item << " lost in round trip";
+    const PerItem& g = it->second;
+    // EXPECT_EQ on doubles: bit-exact, not approximate.
+    EXPECT_EQ(g.birth, w.birth) << "item " << item;
+    EXPECT_EQ(g.horizon, w.horizon) << "item " << item;
+    ASSERT_EQ(g.subsequence.size(), w.subsequence.size()) << "item " << item;
+    for (std::size_t i = 0; i < w.subsequence.size(); ++i) {
+      EXPECT_EQ(g.subsequence[i].first, w.subsequence[i].first);
+      EXPECT_EQ(g.subsequence[i].second, w.subsequence[i].second);
+    }
+  }
+}
+
 TEST(TraceIo, FileRoundTrip) {
   Rng rng(53);
   const auto seq = gen_uniform(rng, 3, 20);
