@@ -1,0 +1,401 @@
+// Experiment SERVICE-MEMORY: resident footprint of the online serving core.
+//
+// Question: what does the sparse, pooled service (FlatIndexMap + item slab
+// + O(alive) copy slab + RecordingMode::kCostsOnly) save over the
+// pre-refactor dense path (std::map of unique_ptr'd items, one slot per
+// server per item, always-on result recording)?
+//
+// Methodology: the dense path is reimplemented here as a self-contained
+// mirror of the pre-refactor algorithm — same arithmetic, same kill order,
+// same recording — so the two paths are paired on the same stream and the
+// comparison is validated by bit-identical total cost (a footprint number
+// from a divergent implementation is worthless, so mismatch is a hard
+// failure). Footprints are capacity-derived on both sides: every container
+// a path retains is charged at capacity, map/pointer overheads included.
+//
+// The sweep crosses item count × fleet size m. Occupancy is sparse by
+// construction — per-item Zipf server affinity plus SC's epoch resets keep
+// alive copies per item far below m — which is exactly the regime the
+// refactor targets: dense slots scale O(m) per item, the sparse core
+// O(alive).
+//
+// Output: BENCH_service_memory.json; CHECK enforces >= 4x reduction at
+// m=64.
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/online_sc.h"
+#include "service/data_service.h"
+#include "util/cli.h"
+#include "util/table.h"
+#include "workload/generators.h"
+
+using namespace mcdc;
+
+namespace {
+
+// --- dense mirror of the pre-refactor serving core --------------------------
+
+/// One slot per server, alive flag, intrusive list by server id — the
+/// pre-refactor SpeculativeCache layout, with recording always on.
+class DenseCache {
+ public:
+  DenseCache(int num_servers, ServerId origin, const CostModel& cm,
+             const SpeculativeCachingOptions& opt)
+      : cm_(cm), opt_(opt) {
+    delta_t_ = opt_.speculation_factor * cm_.lambda / cm_.mu;
+    slots_.assign(static_cast<std::size_t>(num_servers), Slot{});
+    Slot& s0 = slots_[static_cast<std::size_t>(origin)];
+    s0.alive = true;
+    s0.birth = 0.0;
+    s0.last_use = 0.0;
+    s0.expiry = delta_t_;
+    list_push_back(origin);
+    alive_count_ = 1;
+    last_request_server_ = origin;
+    result_.served_by_cache.push_back(false);
+  }
+
+  bool observe(ServerId server, Time time) {
+    expire_before(time);
+    Slot& slot = slots_[static_cast<std::size_t>(server)];
+    const bool hit = slot.alive;
+    if (hit) {
+      slot.last_use = time;
+      slot.expiry = time + delta_t_;
+      list_unlink(server);
+      list_push_back(server);
+      ++result_.hits;
+      result_.served_by_cache.push_back(true);
+    } else {
+      ServerId src = last_request_server_;
+      if (!slots_[static_cast<std::size_t>(src)].alive || src == server) {
+        src = tail_;
+      }
+      result_.edges.push_back(
+          ScTransferEdge{src, server, time, next_request_index_});
+      result_.transfer_cost += cm_.lambda;
+      ++result_.misses;
+      result_.served_by_cache.push_back(false);
+
+      Slot& src_slot = slots_[static_cast<std::size_t>(src)];
+      src_slot.last_use = time;
+      src_slot.expiry = time + delta_t_;
+      list_unlink(src);
+      list_push_back(src);
+
+      slot.alive = true;
+      slot.birth = time;
+      slot.last_use = time;
+      slot.expiry = time + delta_t_;
+      list_push_back(server);
+      ++alive_count_;
+
+      if (++epoch_transfers_seen_ >= opt_.epoch_transfers) {
+        while (alive_count_ > 1) {
+          const ServerId victim =
+              head_ == server ? slots_[static_cast<std::size_t>(head_)].next
+                              : head_;
+          kill(victim, time);
+        }
+        epoch_transfers_seen_ = 0;
+      }
+    }
+    last_request_server_ = server;
+    last_time_ = time;
+    ++next_request_index_;
+    return hit;
+  }
+
+  void finish(Time horizon) {
+    expire_before(horizon);
+    while (alive_count_ > 0) {
+      const ServerId s = head_;
+      const Slot& slot = slots_[static_cast<std::size_t>(s)];
+      const Time death = opt_.truncate_at_horizon
+                             ? horizon
+                             : std::max(slot.expiry, horizon);
+      kill(s, std::max(death, slot.birth));
+    }
+    for (const auto& e : result_.edges) {
+      result_.schedule.add_transfer(e.from, e.to, e.at);
+    }
+    result_.schedule.normalize();
+    result_.total_cost = result_.caching_cost + result_.transfer_cost;
+  }
+
+  const OnlineScResult& result() const { return result_; }
+
+  std::size_t heap_bytes() const {
+    return slots_.capacity() * sizeof(Slot) +
+           result_.copies.capacity() * sizeof(CopyLifetime) +
+           result_.edges.capacity() * sizeof(ScTransferEdge) +
+           result_.served_by_cache.capacity() / 8 +
+           result_.schedule.heap_bytes();
+  }
+
+ private:
+  struct Slot {
+    bool alive = false;
+    Time birth = 0.0;
+    Time expiry = 0.0;
+    Time last_use = 0.0;
+    int created_by_edge = -1;
+    ServerId prev = kNoServer;
+    ServerId next = kNoServer;
+  };
+
+  void list_push_back(ServerId s) {
+    Slot& slot = slots_[static_cast<std::size_t>(s)];
+    slot.prev = tail_;
+    slot.next = kNoServer;
+    if (tail_ != kNoServer) slots_[static_cast<std::size_t>(tail_)].next = s;
+    tail_ = s;
+    if (head_ == kNoServer) head_ = s;
+  }
+
+  void list_unlink(ServerId s) {
+    Slot& slot = slots_[static_cast<std::size_t>(s)];
+    if (slot.prev != kNoServer) {
+      slots_[static_cast<std::size_t>(slot.prev)].next = slot.next;
+    }
+    if (slot.next != kNoServer) {
+      slots_[static_cast<std::size_t>(slot.next)].prev = slot.prev;
+    }
+    if (head_ == s) head_ = slot.next;
+    if (tail_ == s) tail_ = slot.prev;
+    slot.prev = slot.next = kNoServer;
+  }
+
+  void kill(ServerId s, Time death) {
+    Slot& slot = slots_[static_cast<std::size_t>(s)];
+    list_unlink(s);
+    slot.alive = false;
+    --alive_count_;
+    result_.caching_cost += cm_.mu * (death - slot.birth);
+    result_.copies.push_back(CopyLifetime{s, slot.birth, death, slot.last_use,
+                                          slot.created_by_edge});
+    result_.schedule.add_cache(s, slot.birth, death);
+  }
+
+  void expire_before(Time t) {
+    while (alive_count_ > 1) {
+      const ServerId s = head_;
+      const Slot& slot = slots_[static_cast<std::size_t>(s)];
+      if (slot.expiry >= t - kEps) break;
+      kill(s, slot.expiry);
+    }
+  }
+
+  CostModel cm_;
+  SpeculativeCachingOptions opt_;
+  Time delta_t_ = 0.0;
+  std::vector<Slot> slots_;
+  ServerId head_ = kNoServer;
+  ServerId tail_ = kNoServer;
+  std::size_t alive_count_ = 0;
+  ServerId last_request_server_ = kNoServer;
+  std::size_t epoch_transfers_seen_ = 0;
+  Time last_time_ = 0.0;
+  RequestIndex next_request_index_ = 1;
+  OnlineScResult result_;
+};
+
+/// The pre-refactor service: ordered map, one unique_ptr per item.
+class DenseService {
+ public:
+  DenseService(int num_servers, const CostModel& cm,
+               const SpeculativeCachingOptions& opt)
+      : num_servers_(num_servers), cm_(cm), options_(opt) {}
+
+  bool request(int item, ServerId server, Time time) {
+    auto [it, inserted] = items_.try_emplace(item);
+    ItemState& state = it->second;
+    if (inserted) {
+      state.cache = std::make_unique<DenseCache>(num_servers_, server, cm_,
+                                                 options_);
+      state.origin = server;
+      state.birth = time;
+      state.last_time = time;
+      return true;
+    }
+    state.last_time = time;
+    ++state.requests;
+    return state.cache->observe(server, time - state.birth);
+  }
+
+  ServiceReport finish() {
+    ServiceReport rep;
+    for (auto& [item, state] : items_) {
+      state.cache->finish(state.last_time - state.birth);
+      const OnlineScResult& res = state.cache->result();
+      ItemOutcome out;
+      out.item = item;
+      out.origin = state.origin;
+      out.birth = state.birth;
+      out.requests = state.requests;
+      out.cost = res.total_cost;
+      out.caching_cost = res.caching_cost;
+      out.transfer_cost = res.transfer_cost;
+      out.transfers = res.misses;
+      out.hits = res.hits;
+      rep.per_item.push_back(std::move(out));
+    }
+    finalize_report(rep);
+    return rep;
+  }
+
+  /// Capacity-derived footprint, pointer and node overheads included:
+  /// each item costs one red-black node (3 links + color word), the
+  /// in-node pair (key + ItemState with its unique_ptr), the separately
+  /// allocated DenseCache, and that cache's heap.
+  std::size_t resident_bytes() const {
+    constexpr std::size_t kRbNodeOverhead = 4 * sizeof(void*);
+    std::size_t bytes = sizeof(*this);
+    for (const auto& [item, state] : items_) {
+      (void)item;
+      bytes += kRbNodeOverhead + sizeof(std::pair<const int, ItemState>) +
+               sizeof(DenseCache) + state.cache->heap_bytes();
+    }
+    return bytes;
+  }
+
+ private:
+  struct ItemState {
+    std::unique_ptr<DenseCache> cache;
+    ServerId origin = kNoServer;
+    Time birth = 0.0;
+    Time last_time = 0.0;
+    std::size_t requests = 0;
+  };
+
+  int num_servers_;
+  CostModel cm_;
+  SpeculativeCachingOptions options_;
+  std::map<int, ItemState> items_;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ArgParser args;
+  args.add_bool_flag("quick", "smaller sweep (ctest smoke mode)");
+  args.add_flag("requests", "stream length per configuration", "60000");
+  args.add_flag("items", "distinct items", "300");
+  args.add_flag("out", "output JSON path", "BENCH_service_memory.json");
+  try {
+    args.parse(argc, argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s\n%s", e.what(),
+                 args.usage("bench_service_memory").c_str());
+    return 2;
+  }
+  const bool quick = args.get_bool("quick");
+  const int requests =
+      quick ? 12000 : static_cast<int>(args.get_int("requests"));
+  const int items = static_cast<int>(args.get_int("items"));
+  const std::vector<int> fleet_sizes =
+      quick ? std::vector<int>{16, 64} : std::vector<int>{8, 16, 32, 64};
+
+  const CostModel cm(1.0, 1.0);
+  SpeculativeCachingOptions sparse_opt;
+  sparse_opt.recording = RecordingMode::kCostsOnly;
+  const SpeculativeCachingOptions dense_opt;  // pre-refactor: always kFull
+
+  std::puts("== SERVICE-MEMORY: sparse/pooled core vs dense pre-refactor ==");
+  std::printf("stream: %d requests, %d items per configuration\n\n", requests,
+              items);
+
+  struct Row {
+    int m = 0;
+    std::size_t dense_bytes = 0;
+    std::size_t sparse_bytes = 0;
+    double ratio = 0.0;
+    Cost cost = 0.0;
+  };
+  std::vector<Row> rows;
+  bool ok = true;
+
+  for (const int m : fleet_sizes) {
+    Rng rng(2024 + static_cast<std::uint64_t>(m));
+    MultiItemConfig cfg;
+    cfg.num_servers = m;
+    cfg.num_items = items;
+    cfg.num_requests = requests;
+    const auto stream = gen_multi_item(rng, cfg);
+
+    DenseService dense(m, cm, dense_opt);
+    OnlineDataService sparse(m, cm, sparse_opt);
+    for (const auto& r : stream) {
+      dense.request(r.item, r.server, r.time);
+      sparse.request(r.item, r.server, r.time);
+    }
+    // Peak footprints, sampled before finish() tears the populations down.
+    Row row;
+    row.m = m;
+    row.dense_bytes = dense.resident_bytes();
+    row.sparse_bytes = sparse.resident_bytes();
+    row.ratio = static_cast<double>(row.dense_bytes) /
+                static_cast<double>(row.sparse_bytes);
+
+    const ServiceReport dense_rep = dense.finish();
+    const ServiceReport sparse_rep = sparse.finish();
+    row.cost = sparse_rep.total_cost;
+    if (dense_rep.total_cost != sparse_rep.total_cost) {
+      std::printf(
+          "FAIL: m=%d dense mirror diverged (dense %.12f vs sparse %.12f) — "
+          "the footprint comparison is void\n",
+          m, dense_rep.total_cost, sparse_rep.total_cost);
+      ok = false;
+    }
+    rows.push_back(row);
+  }
+
+  Table t({"m", "dense KiB", "sparse KiB", "reduction"});
+  for (const Row& row : rows) {
+    t.add_row({std::to_string(row.m),
+               Table::num(static_cast<double>(row.dense_bytes) / 1024.0, 1),
+               Table::num(static_cast<double>(row.sparse_bytes) / 1024.0, 1),
+               Table::num(row.ratio, 2) + "x"});
+  }
+  std::fputs(t.render().c_str(), stdout);
+
+  // ---- BENCH_service_memory.json -----------------------------------------
+  {
+    std::ofstream out(args.get("out"));
+    if (!out) {
+      std::fprintf(stderr, "cannot open %s\n", args.get("out").c_str());
+      return 2;
+    }
+    out << "{\n  \"bench\": \"service_memory\",\n";
+    out << "  \"stream\": {\"requests\": " << requests
+        << ", \"items\": " << items << "},\n";
+    out << "  \"configs\": [\n";
+    char buf[256];
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      std::snprintf(buf, sizeof(buf),
+                    "    {\"servers\": %d, \"dense_bytes\": %zu, "
+                    "\"sparse_bytes\": %zu, \"reduction\": %.3f}%s\n",
+                    rows[i].m, rows[i].dense_bytes, rows[i].sparse_bytes,
+                    rows[i].ratio, i + 1 < rows.size() ? "," : "");
+      out << buf;
+    }
+    out << "  ]\n}\n";
+    std::printf("\nwrote %s\n", args.get("out").c_str());
+  }
+
+  // ---- the 4x-at-m=64 target ---------------------------------------------
+  const Row& back = rows.back();  // every sweep ends at m=64
+  const bool hit = back.ratio >= 4.0;
+  std::printf("CHECK resident-memory reduction at m=%d: %.2fx (target >= 4x) "
+              "— %s\n",
+              back.m, back.ratio, hit ? "PASS" : "FAIL");
+  if (!hit) ok = false;
+
+  return ok ? 0 : 1;
+}

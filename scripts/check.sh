@@ -7,8 +7,8 @@
 #   3. a strict-warnings build with MCDC_WERROR=ON
 #   4. the ASan / UBSan / TSan ctest matrix, contracts enabled
 #   5. a TSan stress lane over the engine-labelled tests (the sharded
-#      streaming engine runs real std::thread workers under TSan — it has
-#      no serial fallback, unlike util/parallel.h — so interleavings are
+#      streaming engine runs real std::thread workers under TSan — no
+#      serial fallback anywhere in the repo — so interleavings are
 #      worth re-rolling)
 #
 # Exit code is non-zero iff any gate that could run failed; unavailable

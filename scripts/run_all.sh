@@ -25,12 +25,16 @@ fi
 
 # Every bench binary regenerates one paper table/figure or extension
 # experiment (see DESIGN.md section 3 for the index).
-# bench_engine_throughput additionally drops BENCH_engine.json (ingest
-# throughput vs shard count) at the repo root; see docs/ENGINE.md.
+# Benches with machine-readable artifacts drop their BENCH_*.json at the
+# repo root: BENCH_engine.json (ingest throughput vs shard count,
+# docs/ENGINE.md) and BENCH_service_memory.json (resident footprint of
+# the sparse core vs the dense pre-refactor path, docs/ENGINE.md
+# "Memory model").
 (for b in build/bench/bench_*; do
   echo "===== $b"
   case "$b" in
     */bench_engine_throughput) "$b" --out=BENCH_engine.json ;;
+    */bench_service_memory) "$b" --out=BENCH_service_memory.json ;;
     *) "$b" ;;
   esac
 done) 2>&1 | tee bench_output.txt

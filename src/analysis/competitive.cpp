@@ -6,7 +6,7 @@
 
 #include "core/offline_dp.h"
 #include "core/online_sc.h"
-#include "util/parallel.h"
+#include "util/concurrency.h"
 
 namespace mcdc {
 
@@ -28,7 +28,7 @@ CompetitiveReport measure_competitive(const std::string& label,
   std::vector<double> online_costs(static_cast<std::size_t>(instances), 0.0);
   std::vector<double> opt_costs(static_cast<std::size_t>(instances), 0.0);
   std::atomic<bool> bad_opt{false};
-  parallel_for(static_cast<std::size_t>(instances), [&](std::size_t k) {
+  parallel_for_threads(static_cast<std::size_t>(instances), [&](std::size_t k) {
     const RequestSequence seq = gen(rngs[k]);
     OfflineDpOptions opt;
     opt.reconstruct_schedule = false;

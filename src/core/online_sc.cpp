@@ -11,7 +11,7 @@ namespace mcdc {
 SpeculativeCache::SpeculativeCache(int num_servers, ServerId origin,
                                    const CostModel& cm,
                                    const SpeculativeCachingOptions& options)
-    : cm_(cm), opt_(options) {
+    : cm_(cm), opt_(options), num_servers_(num_servers) {
   if (num_servers <= 0) {
     throw std::invalid_argument("SpeculativeCache: need at least one server");
   }
@@ -25,78 +25,103 @@ SpeculativeCache::SpeculativeCache(int num_servers, ServerId origin,
     throw std::invalid_argument("SpeculativeCache: epoch_transfers must be >= 1");
   }
   delta_t_ = opt_.speculation_factor * cm_.lambda / cm_.mu;
-  slots_.assign(static_cast<std::size_t>(num_servers), Slot{});
 
   // The initial copy on the origin (the paper's c <- 1, data at s^1).
-  Slot& s0 = slots_[static_cast<std::size_t>(origin)];
-  s0.alive = true;
-  s0.birth = 0.0;
-  s0.last_use = 0.0;
-  s0.expiry = delta_t_;
-  s0.created_by_edge = -1;
-  list_push_back(origin);
+  const int idx = alloc_copy(origin);
+  Copy& c0 = copies_[static_cast<std::size_t>(idx)];
+  c0.birth = 0.0;
+  c0.last_use = 0.0;
+  c0.expiry = delta_t_;
+  c0.created_by_edge = -1;
+  list_push_back(idx);
   alive_count_ = 1;
   last_request_server_ = origin;
 
-  result_.served_by_cache.push_back(false);  // slot for index 0
+  if (recording_full()) {
+    result_.served_by_cache.push_back(false);  // slot for index 0
+  }
 
   if (opt_.observer != nullptr) {
     opt_.observer->copy_born(opt_.trace_item, origin, opt_.trace_time_offset);
   }
 }
 
-void SpeculativeCache::list_push_back(ServerId s) {
-  Slot& slot = slots_[static_cast<std::size_t>(s)];
+int SpeculativeCache::alloc_copy(ServerId server) {
+  int idx;
+  if (free_head_ != kNil) {
+    idx = free_head_;
+    free_head_ = copies_[static_cast<std::size_t>(idx)].next;
+  } else {
+    idx = static_cast<int>(copies_.size());
+    copies_.emplace_back();
+  }
+  Copy& c = copies_[static_cast<std::size_t>(idx)];
+  c.server = server;
+  c.prev = c.next = kNil;
+  copy_index_.insert(server, idx);
+  return idx;
+}
+
+void SpeculativeCache::list_push_back(int idx) {
+  Copy& c = copies_[static_cast<std::size_t>(idx)];
   // The intrusive list is sorted by expiry because time is monotone and
   // every (re-)insertion sets expiry = now + delta_t; expire_before relies
   // on popping stale copies strictly from the front.
-  MCDC_INVARIANT(slot.prev == kNoServer && slot.next == kNoServer &&
-                     head_ != s && tail_ != s,
-                 "server %d is already linked", s);
-  MCDC_INVARIANT(tail_ == kNoServer ||
-                     slots_[static_cast<std::size_t>(tail_)].expiry <=
-                         slot.expiry + kEps,
+  MCDC_INVARIANT(c.prev == kNil && c.next == kNil && head_ != idx &&
+                     tail_ != idx,
+                 "copy %d (server %d) is already linked", idx, c.server);
+  MCDC_INVARIANT(tail_ == kNil ||
+                     copies_[static_cast<std::size_t>(tail_)].expiry <=
+                         c.expiry + kEps,
                  "push_back would break expiry order (tail=%g, new=%g)",
-                 tail_ == kNoServer ? 0.0
-                                    : slots_[static_cast<std::size_t>(tail_)].expiry,
-                 slot.expiry);
-  slot.prev = tail_;
-  slot.next = kNoServer;
-  if (tail_ != kNoServer) slots_[static_cast<std::size_t>(tail_)].next = s;
-  tail_ = s;
-  if (head_ == kNoServer) head_ = s;
+                 tail_ == kNil ? 0.0
+                               : copies_[static_cast<std::size_t>(tail_)].expiry,
+                 c.expiry);
+  c.prev = tail_;
+  c.next = kNil;
+  if (tail_ != kNil) copies_[static_cast<std::size_t>(tail_)].next = idx;
+  tail_ = idx;
+  if (head_ == kNil) head_ = idx;
 }
 
-void SpeculativeCache::list_unlink(ServerId s) {
-  Slot& slot = slots_[static_cast<std::size_t>(s)];
-  if (slot.prev != kNoServer) slots_[static_cast<std::size_t>(slot.prev)].next = slot.next;
-  if (slot.next != kNoServer) slots_[static_cast<std::size_t>(slot.next)].prev = slot.prev;
-  if (head_ == s) head_ = slot.next;
-  if (tail_ == s) tail_ = slot.prev;
-  slot.prev = slot.next = kNoServer;
+void SpeculativeCache::list_unlink(int idx) {
+  Copy& c = copies_[static_cast<std::size_t>(idx)];
+  if (c.prev != kNil) copies_[static_cast<std::size_t>(c.prev)].next = c.next;
+  if (c.next != kNil) copies_[static_cast<std::size_t>(c.next)].prev = c.prev;
+  if (head_ == idx) head_ = c.next;
+  if (tail_ == idx) tail_ = c.prev;
+  c.prev = c.next = kNil;
 }
 
-void SpeculativeCache::kill(ServerId s, Time death, bool expired) {
-  Slot& slot = slots_[static_cast<std::size_t>(s)];
-  MCDC_ASSERT(slot.alive && alive_count_ > 0, "kill of dead copy on s%d", s + 1);
+void SpeculativeCache::kill(int idx, Time death, bool expired) {
+  Copy& c = copies_[static_cast<std::size_t>(idx)];
+  MCDC_ASSERT(alive_count_ > 0, "kill with no copies alive (s%d)",
+              c.server + 1);
   // Booking a copy's lifetime must add non-negative cost: mu > 0 and every
   // copy dies no earlier than its birth (expiry >= last_use >= birth).
-  MCDC_INVARIANT(death >= slot.birth - kEps,
-                 "copy on s%d dies at %g before its birth %g", s + 1, death,
-                 slot.birth);
-  list_unlink(s);
-  slot.alive = false;
+  MCDC_INVARIANT(death >= c.birth - kEps,
+                 "copy on s%d dies at %g before its birth %g", c.server + 1,
+                 death, c.birth);
+  list_unlink(idx);
+  [[maybe_unused]] const bool erased = copy_index_.erase(c.server);
+  MCDC_ASSERT(erased, "kill of unindexed copy on s%d", c.server + 1);
   --alive_count_;
-  result_.caching_cost += cm_.mu * (death - slot.birth);
-  result_.copies.push_back(
-      CopyLifetime{s, slot.birth, death, slot.last_use, slot.created_by_edge});
-  result_.schedule.add_cache(s, slot.birth, death);
+  result_.caching_cost += cm_.mu * (death - c.birth);
+  if (recording_full()) {
+    result_.copies.push_back(
+        CopyLifetime{c.server, c.birth, death, c.last_use, c.created_by_edge});
+    result_.schedule.add_cache(c.server, c.birth, death);
+  }
   if (expired) ++result_.expirations;
   if (opt_.observer != nullptr) {
-    opt_.observer->copy_expired(opt_.trace_item, s,
+    opt_.observer->copy_expired(opt_.trace_item, c.server,
                                 opt_.trace_time_offset + death, expired,
-                                cm_.mu * (death - slot.birth));
+                                cm_.mu * (death - c.birth));
   }
+  // Return the slab entry to the free list.
+  c.server = kNoServer;
+  c.next = free_head_;
+  free_head_ = idx;
 }
 
 void SpeculativeCache::expire_before(Time t) {
@@ -105,18 +130,18 @@ void SpeculativeCache::expire_before(Time t) {
   // alive: that is the paper's "extend the last copy" rule, which is
   // cost-identical to repeated extension by delta_t.
   while (alive_count_ > 1) {
-    const ServerId s = head_;
-    const Slot& slot = slots_[static_cast<std::size_t>(s)];
-    if (slot.expiry >= t - kEps) break;
-    kill(s, slot.expiry, /*expired=*/true);
+    const int idx = head_;
+    const Copy& c = copies_[static_cast<std::size_t>(idx)];
+    if (c.expiry >= t - kEps) break;
+    kill(idx, c.expiry, /*expired=*/true);
   }
-  MCDC_INVARIANT(alive_count_ >= 1 && head_ != kNoServer,
+  MCDC_INVARIANT(alive_count_ >= 1 && head_ != kNil,
                  "the system must always hold at least one copy");
 }
 
 bool SpeculativeCache::observe(ServerId server, Time time) {
   if (finished_) throw std::logic_error("SpeculativeCache: already finished");
-  if (server < 0 || static_cast<std::size_t>(server) >= slots_.size()) {
+  if (server < 0 || server >= num_servers_) {
     throw std::invalid_argument("SpeculativeCache: server out of range");
   }
   if (!(time > last_time_)) {
@@ -125,16 +150,17 @@ bool SpeculativeCache::observe(ServerId server, Time time) {
 
   expire_before(time);
 
-  Slot& slot = slots_[static_cast<std::size_t>(server)];
-  const bool hit = slot.alive;
+  const int local = copy_index_.find(server);
+  const bool hit = local != kNil;
   if (hit) {
     // Served by the local copy: refresh its speculative window.
-    slot.last_use = time;
-    slot.expiry = time + delta_t_;
-    list_unlink(server);
-    list_push_back(server);
+    Copy& c = copies_[static_cast<std::size_t>(local)];
+    c.last_use = time;
+    c.expiry = time + delta_t_;
+    list_unlink(local);
+    list_push_back(local);
     ++result_.hits;
-    result_.served_by_cache.push_back(true);
+    if (recording_full()) result_.served_by_cache.push_back(true);
     if (opt_.observer != nullptr) {
       opt_.observer->request_served(opt_.trace_item, next_request_index_,
                                     server, opt_.trace_time_offset + time,
@@ -146,35 +172,45 @@ bool SpeculativeCache::observe(ServerId server, Time time) {
     // the most recently used copy should never trigger: r_{i-1}'s copy was
     // refreshed last, so it sits at the tail and survives expire_before —
     // and if it sat on this server, the request would have been a hit.
+    int src_idx = copy_index_.find(last_request_server_);
+    ServerId src = last_request_server_;
     MCDC_INVARIANT(
-        slots_[static_cast<std::size_t>(last_request_server_)].alive &&
-            last_request_server_ != server,
+        src_idx != kNil && last_request_server_ != server,
         "Observation 4: copy of r_{i-1}'s server s%d must be alive on a miss",
         last_request_server_ + 1);
-    ServerId src = last_request_server_;
-    if (!slots_[static_cast<std::size_t>(src)].alive || src == server) {
-      src = tail_;
+    if (src_idx == kNil || src == server) {
+      src_idx = tail_;
+      src = copies_[static_cast<std::size_t>(tail_)].server;
     }
-    result_.edges.push_back(ScTransferEdge{src, server, time, next_request_index_});
+    if (recording_full()) {
+      result_.edges.push_back(
+          ScTransferEdge{src, server, time, next_request_index_});
+    }
     result_.transfer_cost += cm_.lambda;
     ++result_.misses;
-    result_.served_by_cache.push_back(false);
+    if (recording_full()) result_.served_by_cache.push_back(false);
 
     // Both endpoints of the transfer get a fresh window (step 3 of §V);
     // the source is re-inserted before the target so that a simultaneous
     // expiration deletes the source and keeps the target (the tie rule).
-    Slot& src_slot = slots_[static_cast<std::size_t>(src)];
-    src_slot.last_use = time;
-    src_slot.expiry = time + delta_t_;
-    list_unlink(src);
-    list_push_back(src);
+    {
+      Copy& src_copy = copies_[static_cast<std::size_t>(src_idx)];
+      src_copy.last_use = time;
+      src_copy.expiry = time + delta_t_;
+    }
+    list_unlink(src_idx);
+    list_push_back(src_idx);
 
-    slot.alive = true;
-    slot.birth = time;
-    slot.last_use = time;
-    slot.expiry = time + delta_t_;
-    slot.created_by_edge = static_cast<int>(result_.edges.size()) - 1;
-    list_push_back(server);
+    // alloc_copy may grow the slab, invalidating Copy references — take
+    // the reference only after.
+    const int idx = alloc_copy(server);
+    Copy& c = copies_[static_cast<std::size_t>(idx)];
+    c.birth = time;
+    c.last_use = time;
+    c.expiry = time + delta_t_;
+    c.created_by_edge =
+        recording_full() ? static_cast<int>(result_.edges.size()) - 1 : -1;
+    list_push_back(idx);
     ++alive_count_;
 
     if (opt_.observer != nullptr) {
@@ -190,8 +226,8 @@ bool SpeculativeCache::observe(ServerId server, Time time) {
     if (++epoch_transfers_seen_ >= opt_.epoch_transfers) {
       // Epoch complete: restart with a single copy at the current server.
       while (alive_count_ > 1) {
-        const ServerId victim = head_ == server ? slots_[static_cast<std::size_t>(head_)].next
-                                                : head_;
+        const Copy& front = copies_[static_cast<std::size_t>(head_)];
+        const int victim = front.server == server ? front.next : head_;
         kill(victim, time, /*expired=*/false);
       }
       epoch_transfers_seen_ = 0;
@@ -216,27 +252,31 @@ void SpeculativeCache::finish(Time horizon) {
   }
   expire_before(horizon);
   while (alive_count_ > 0) {
-    const ServerId s = head_;
-    const Slot& slot = slots_[static_cast<std::size_t>(s)];
+    const int idx = head_;
+    const Copy& c = copies_[static_cast<std::size_t>(idx)];
     Time death;
     if (opt_.truncate_at_horizon) {
       death = horizon;
     } else {
       // Speculative tails run to expiry; the sole stale survivor was being
       // extended and is charged up to the horizon.
-      death = std::max(slot.expiry, horizon);
+      death = std::max(c.expiry, horizon);
     }
-    kill(s, std::max(death, slot.birth), /*expired=*/false);
+    kill(idx, std::max(death, c.birth), /*expired=*/false);
   }
-  for (const auto& e : result_.edges) {
-    result_.schedule.add_transfer(e.from, e.to, e.at);
+  if (recording_full()) {
+    for (const auto& e : result_.edges) {
+      result_.schedule.add_transfer(e.from, e.to, e.at);
+    }
+    result_.schedule.normalize();
   }
-  result_.schedule.normalize();
   result_.total_cost = result_.caching_cost + result_.transfer_cost;
   // Exact booking reconciliation: every lifetime was closed (kill booked
   // mu*lifetime), every miss booked one lambda, and nothing else was added.
-  MCDC_INVARIANT(alive_count_ == 0 && result_.copies.size() >= 1,
+  MCDC_INVARIANT(alive_count_ == 0 && copy_index_.empty(),
                  "finish left %zu copies alive", alive_count_);
+  MCDC_INVARIANT(!recording_full() || result_.copies.size() >= 1,
+                 "full recording closed no lifetimes");
   MCDC_INVARIANT(
       almost_equal(result_.transfer_cost,
                    cm_.lambda * static_cast<double>(result_.misses), 1e-7),
@@ -246,6 +286,16 @@ void SpeculativeCache::finish(Time horizon) {
                  "negative booked cost (caching=%g, total=%g)",
                  result_.caching_cost, result_.total_cost);
   finished_ = true;
+}
+
+std::size_t SpeculativeCache::heap_bytes() const {
+  std::size_t bytes = copies_.capacity() * sizeof(Copy) +
+                      copy_index_.heap_bytes() +
+                      result_.copies.capacity() * sizeof(CopyLifetime) +
+                      result_.edges.capacity() * sizeof(ScTransferEdge) +
+                      result_.served_by_cache.capacity() / 8 +
+                      result_.schedule.heap_bytes();
+  return bytes;
 }
 
 OnlineScResult run_speculative_caching(const RequestSequence& seq,

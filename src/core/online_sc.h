@@ -13,18 +13,26 @@
 // paper's epoch of n transfers).
 //
 // Implementation notes:
-//  * State is O(m): one slot per server plus an intrusive doubly linked
-//    list of alive copies kept in last-use order. Because every use sets
-//    expiry = now + delta_t and time is monotone, the list is also sorted
-//    by expiry; expirations pop from the front. Each copy is created and
-//    killed once, so the per-request work is amortized O(1) — exactly the
-//    constant-time claim of the paper.
+//  * State is O(alive copies), not O(m): live copies sit in a small slab
+//    (free-listed, so entries recycle without allocation) indexed by an
+//    open-addressing FlatIndexMap from server id, plus an intrusive doubly
+//    linked list in last-use order. The paper proves the alive set stays
+//    small (copies die delta_t after their last use), so a service hosting
+//    millions of items pays a few copies per item, not m slots per item.
+//    Because every use sets expiry = now + delta_t and time is monotone,
+//    the list is also sorted by expiry; expirations pop from the front.
+//    Each copy is created and killed once, so the per-request work is
+//    amortized O(1) — exactly the constant-time claim of the paper.
 //  * The paper's tie rule for a transfer's pair of simultaneous expirations
 //    (delete the source, keep the target) falls out of list order: the
 //    source is re-inserted before the target, so it is killed first.
 //  * The "extend the last copy" rule is implemented implicitly: the front
 //    copy is never killed while it is the only one alive, which is
 //    cost-equivalent to repeatedly extending its expiration.
+//  * RecordingMode::kCostsOnly folds costs and counters without retaining
+//    the per-request / per-copy vectors (schedule, copies, edges,
+//    served_by_cache) — the streaming service's steady-state mode, where
+//    request processing must not grow memory with the request count.
 #pragma once
 
 #include <cstddef>
@@ -34,12 +42,24 @@
 #include "model/cost_model.h"
 #include "model/request.h"
 #include "model/schedule.h"
+#include "util/flat_map.h"
 
 namespace mcdc {
 
 namespace obs {
 class Observer;
 }  // namespace obs
+
+/// What an SC instance retains beyond cost totals and counters.
+enum class RecordingMode {
+  /// Keep everything: replayable Schedule, closed CopyLifetimes, transfer
+  /// edges, and the per-request served_by_cache bitmap. Memory grows with
+  /// the request count — right for analysis (DT transform, validators).
+  kFull,
+  /// Fold costs and counters only; all recording vectors stay empty. The
+  /// arithmetic (and hence every cost, bit for bit) is identical to kFull.
+  kCostsOnly,
+};
 
 struct SpeculativeCachingOptions {
   /// Transfers per epoch (the paper's n). Default: no epoch resets.
@@ -53,6 +73,9 @@ struct SpeculativeCachingOptions {
   /// time of the last request — the same horizon OPT is charged on. If
   /// false, speculative tails run to their expiration (never past it).
   bool truncate_at_horizon = true;
+
+  /// What to retain besides costs/counters (see RecordingMode).
+  RecordingMode recording = RecordingMode::kFull;
 
   /// Optional telemetry (metrics + event trace; see obs/observer.h). Null
   /// — the default — keeps the algorithm allocation-free and costs one
@@ -94,15 +117,17 @@ struct OnlineScResult {
   std::size_t expirations = 0;        ///< copies deleted on expiry
   std::size_t epochs_completed = 0;
 
+  // Populated under RecordingMode::kFull only (empty in kCostsOnly):
   Schedule schedule;                  ///< replayable cache intervals + transfers
   std::vector<CopyLifetime> copies;   ///< closed lifetimes, in death order
   std::vector<ScTransferEdge> edges;  ///< transfer edges, in time order
   std::vector<bool> served_by_cache;  ///< per request index 1..n ([0] unused)
 };
 
-/// Streaming form of the algorithm: O(m) state, amortized O(1) per request.
-/// Feed strictly increasing request times via observe(); finish() closes
-/// all lifetimes. Results accumulate into an OnlineScResult.
+/// Streaming form of the algorithm: O(alive copies) state, amortized O(1)
+/// per request. Feed strictly increasing request times via observe();
+/// finish() closes all lifetimes. Results accumulate into an
+/// OnlineScResult.
 class SpeculativeCache {
  public:
   SpeculativeCache(int num_servers, ServerId origin, const CostModel& cm,
@@ -123,32 +148,51 @@ class SpeculativeCache {
 
   Time speculation_window() const { return delta_t_; }
 
+  /// Heap bytes owned by this instance (copy slab + index + recording
+  /// vectors). O(1); used for the service resident-memory gauges.
+  std::size_t heap_bytes() const;
+
+  /// heap_bytes() plus the object itself.
+  std::size_t resident_bytes() const { return sizeof(*this) + heap_bytes(); }
+
   const OnlineScResult& result() const { return result_; }
   OnlineScResult take_result() { return std::move(result_); }
 
  private:
-  struct Slot {
-    bool alive = false;
+  static constexpr int kNil = -1;
+
+  /// One alive (or free-listed) replica. `prev`/`next` are slab indices of
+  /// the intrusive last-use list; a free entry reuses `next` as the free
+  /// list link.
+  struct Copy {
+    ServerId server = kNoServer;
     Time birth = 0.0;
     Time expiry = 0.0;
     Time last_use = 0.0;
     int created_by_edge = -1;
-    ServerId prev = kNoServer;  // intrusive list links (server ids)
-    ServerId next = kNoServer;
+    int prev = kNil;
+    int next = kNil;
   };
 
-  void list_push_back(ServerId s);
-  void list_unlink(ServerId s);
-  void kill(ServerId s, Time death, bool expired);
+  int alloc_copy(ServerId server);
+  void list_push_back(int idx);
+  void list_unlink(int idx);
+  void kill(int idx, Time death, bool expired);
   void expire_before(Time t);
+  bool recording_full() const {
+    return opt_.recording == RecordingMode::kFull;
+  }
 
   CostModel cm_;
   SpeculativeCachingOptions opt_;
   Time delta_t_ = 0.0;
+  int num_servers_ = 0;
 
-  std::vector<Slot> slots_;
-  ServerId head_ = kNoServer;
-  ServerId tail_ = kNoServer;
+  std::vector<Copy> copies_;   ///< slab: sized by peak concurrent replicas
+  FlatIndexMap copy_index_;    ///< server id -> slab index of its live copy
+  int free_head_ = kNil;
+  int head_ = kNil;            ///< intrusive list, last-use == expiry order
+  int tail_ = kNil;
   std::size_t alive_count_ = 0;
 
   ServerId last_request_server_ = kNoServer;

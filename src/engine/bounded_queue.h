@@ -3,8 +3,8 @@
 // One instance fronts each shard: any number of producers push, the shard's
 // worker thread pops in batches. The implementation is a mutex + two
 // condition variables over a deque — deliberately boring: every primitive
-// is fully ThreadSanitizer-instrumented (unlike libgomp, see
-// util/parallel.h), FIFO order is trivially exact (the determinism
+// is fully ThreadSanitizer-instrumented (the repo-wide policy, see
+// util/concurrency.h), FIFO order is trivially exact (the determinism
 // contract leans on it), and the lock is amortized by batched pops. The
 // capacity bound is what creates backpressure; the policy decides what a
 // full queue means for the producer (block / drop / spill — see

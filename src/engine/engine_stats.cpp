@@ -14,7 +14,8 @@ std::string EngineStats::to_string() const {
   os << ", " << stalls << " enqueue stalls";
 
   Table t({"shard", "items", "requests", "max depth", "stalls", "drops",
-           "spills", "batches", "mean batch", "max batch", "cost"});
+           "spills", "batches", "mean batch", "max batch", "arena KiB",
+           "cost"});
   for (const auto& s : shards) {
     t.add_row({std::to_string(s.shard),
                Table::integer(static_cast<long long>(s.items)),
@@ -26,6 +27,7 @@ std::string EngineStats::to_string() const {
                Table::integer(static_cast<long long>(s.batches.batches)),
                Table::num(s.batches.mean_batch(), 2),
                Table::integer(static_cast<long long>(s.batches.max_batch)),
+               Table::num(static_cast<double>(s.resident_bytes) / 1024.0, 1),
                Table::num(s.cost)});
   }
   os << "\n" << t.render();

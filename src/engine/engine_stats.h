@@ -26,6 +26,7 @@ struct ShardStats {
   QueueStats queue;
   BatchStats batches;
   Cost cost = 0.0;              ///< this shard's share of the total cost
+  std::size_t resident_bytes = 0;  ///< shard arena footprint at drain time
 };
 
 struct EngineStats {

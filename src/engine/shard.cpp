@@ -37,6 +37,7 @@ EngineShard::EngineShard(int index, int num_servers, const CostModel& cm,
     enqueue_stalls_ = &reg.counter(p + "enqueue_stalls");
     requests_ = &reg.counter(p + "requests");
     cost_total_ = &reg.gauge(p + "cost_total");
+    shard_resident_bytes_ = &reg.gauge(p + "resident_bytes");
   }
 }
 
@@ -80,7 +81,7 @@ void EngineShard::run() {
         }
         saw_request_ = true;
         last_time_seen_ = r.time;
-        service_.request(r.item, r.server, r.time);
+        service_.value.request(r.item, r.server, r.time);
         ++processed_;
       }
       if (requests_ != nullptr) requests_->inc(batch.size());
@@ -99,11 +100,17 @@ ServiceReport EngineShard::drain_and_finish() {
   if (worker_.joinable()) worker_.join();
   joined_ = true;
   if (failure_ != nullptr) std::rethrow_exception(failure_);
-  ServiceReport rep = service_.finish();
+  // Arena footprint at its peak — finish() releases the recording vectors
+  // into the report, so sample first.
+  resident_bytes_ = service_.value.resident_bytes();
+  ServiceReport rep = service_.value.finish();
   items_ = rep.items;
   cost_ = rep.total_cost;
   if (enqueue_stalls_ != nullptr) enqueue_stalls_->inc(queue_.value.stats().stalls);
   if (cost_total_ != nullptr) cost_total_->set(cost_);
+  if (shard_resident_bytes_ != nullptr) {
+    shard_resident_bytes_->set(static_cast<double>(resident_bytes_));
+  }
   if (queue_depth_ != nullptr) queue_depth_->set(0.0);
   return rep;
 }
@@ -117,6 +124,7 @@ ShardStats EngineShard::stats() const {
   s.queue = queue_.value.stats();
   s.batches = batcher_.stats();
   s.cost = cost_;
+  s.resident_bytes = resident_bytes_;
   return s;
 }
 

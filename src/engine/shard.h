@@ -6,6 +6,12 @@
 // of the stream — exactly what OnlineDataService requires — and every item
 // is owned by exactly one shard, so per-item results are independent of
 // the shard count (the determinism contract, docs/ENGINE.md).
+//
+// Memory: the shard's service is its arena — item state lives in the
+// service-owned slab (docs/ENGINE.md "Memory model"), so steady-state
+// ingest allocates nothing on the worker thread and teardown releases the
+// whole item population chunk-wise. Both the service and the queue are
+// CachePadded: adjacent shards in the engine's array never false-share.
 #pragma once
 
 #include <exception>
@@ -54,7 +60,7 @@ class EngineShard {
 
   const int index_;
   const bool deterministic_;
-  OnlineDataService service_;
+  CachePadded<OnlineDataService> service_;
   CachePadded<BoundedMpscQueue<MultiItemRequest>> queue_;
   Microbatcher<MultiItemRequest> batcher_;
   std::thread worker_;
@@ -66,6 +72,7 @@ class EngineShard {
   bool saw_request_ = false;
   std::size_t items_ = 0;
   Cost cost_ = 0.0;
+  std::size_t resident_bytes_ = 0;
 
   // Per-shard registry metrics (null without an observer registry).
   obs::Gauge* queue_depth_ = nullptr;
@@ -73,6 +80,7 @@ class EngineShard {
   obs::Counter* enqueue_stalls_ = nullptr;
   obs::Counter* requests_ = nullptr;
   obs::Gauge* cost_total_ = nullptr;
+  obs::Gauge* shard_resident_bytes_ = nullptr;
 };
 
 }  // namespace mcdc

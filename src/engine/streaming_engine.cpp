@@ -61,6 +61,7 @@ StreamingEngine::StreamingEngine(int num_servers, const CostModel& cm,
 
   SpeculativeCachingOptions shard_options = cfg.service_options;
   obs::Observer* ob = cfg.service_options.observer;
+  observer_ = ob;
   if (ob != nullptr && ob->sink() != nullptr) {
     locked_sink_ = std::make_unique<obs::LockedSink>(ob->sink());
     shard_observer_ =
@@ -118,11 +119,17 @@ ServiceReport StreamingEngine::finish() {
   stats_.dropped = dropped_;
   stats_.spilled = 0;
   stats_.stalls = 0;
+  std::size_t resident = 0;
   for (const auto& s : shards_) {
     stats_.shards.push_back(s->stats());
     stats_.spilled += stats_.shards.back().queue.spilled;
     stats_.stalls += stats_.shards.back().queue.stalls;
+    resident += stats_.shards.back().resident_bytes;
   }
+  // Fleet-wide arena footprint: each shard sampled its peak at drain time;
+  // publish the sum once so the gauge covers the whole engine rather than
+  // whichever shard drained last.
+  if (observer_ != nullptr) observer_->set_service_resident_bytes(resident);
   MCDC_INVARIANT(submitted_ - dropped_ ==
                      rep.requests + static_cast<std::uint64_t>(rep.items),
                  "engine accounting: %llu accepted != %zu served + %zu births",

@@ -22,8 +22,8 @@
 // strictly-increasing-time invariant, mirroring the serial service);
 // worker threads are internal. finish() closes the queues, joins, merges.
 // The engine stays threaded under ThreadSanitizer by design — std::thread
-// and std::mutex are fully instrumented (unlike the OpenMP runtime that
-// forces util/parallel.h serial) — so TSan actually races the hot paths.
+// and std::mutex are fully instrumented — so TSan actually races the hot
+// paths (util/concurrency.h states the repo-wide threading policy).
 #pragma once
 
 #include <memory>
@@ -78,6 +78,7 @@ class StreamingEngine {
   // through this LockedSink.
   std::unique_ptr<obs::LockedSink> locked_sink_;
   std::unique_ptr<obs::Observer> shard_observer_;
+  obs::Observer* observer_ = nullptr;  ///< caller's observer (fleet gauges)
 
   Time last_time_ = 0.0;
   std::uint64_t submitted_ = 0;

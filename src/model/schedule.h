@@ -8,6 +8,7 @@
 // of a schedule is well defined even if a solver emits redundant pieces.
 #pragma once
 
+#include <cstddef>
 #include <string>
 #include <vector>
 
@@ -61,6 +62,14 @@ class Schedule {
   /// True if some cache interval on `server` covers time `t` (closed, with
   /// tolerance).
   bool covered(ServerId server, Time t) const;
+
+  /// Heap bytes owned by the event vectors (resident-memory accounting for
+  /// the serving layers; capacity-based, so it reflects what the allocator
+  /// actually holds).
+  std::size_t heap_bytes() const {
+    return caches_.capacity() * sizeof(CacheInterval) +
+           transfers_.capacity() * sizeof(Transfer);
+  }
 
   std::string to_string() const;
 

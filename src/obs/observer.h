@@ -37,7 +37,8 @@ class Observer {
     epoch_resets_ = &metrics_->counter("epoch_resets");
     dp_stages_ = &metrics_->counter("dp_stages");
     replicas_alive_ = &metrics_->gauge("replicas_alive");
-    live_items_ = &metrics_->gauge("live_items");
+    items_live_ = &metrics_->gauge("items_live");
+    service_resident_bytes_ = &metrics_->gauge("service_resident_bytes");
     // µs scale: 1µs .. ~4s.
     request_latency_us_ = &metrics_->histogram(
         "request_latency_us", Histogram::exponential_bounds(1.0, 4.0, 12));
@@ -148,8 +149,22 @@ class Observer {
     }
   }
 
-  void set_live_items(std::size_t n) {
-    if (live_items_ != nullptr) live_items_->set(static_cast<double>(n));
+  void set_items_live(std::size_t n) {
+    if (items_live_ != nullptr) items_live_->set(static_cast<double>(n));
+  }
+
+  /// Resident heap footprint of a serving layer (item slab + index + copy
+  /// state; see OnlineDataService::resident_bytes). Engine shards add to
+  /// the shared gauge so the exported value covers the whole fleet.
+  void set_service_resident_bytes(std::size_t bytes) {
+    if (service_resident_bytes_ != nullptr) {
+      service_resident_bytes_->set(static_cast<double>(bytes));
+    }
+  }
+  void add_service_resident_bytes(std::size_t bytes) {
+    if (service_resident_bytes_ != nullptr) {
+      service_resident_bytes_->add(static_cast<double>(bytes));
+    }
   }
 
   // Cached histogram handles for ScopedTimer call sites (null without a
@@ -170,7 +185,8 @@ class Observer {
   Counter* epoch_resets_ = nullptr;
   Counter* dp_stages_ = nullptr;
   Gauge* replicas_alive_ = nullptr;
-  Gauge* live_items_ = nullptr;
+  Gauge* items_live_ = nullptr;
+  Gauge* service_resident_bytes_ = nullptr;
   Histogram* request_latency_us_ = nullptr;
   Histogram* dp_stage_us_ = nullptr;
   Histogram* executor_replay_us_ = nullptr;

@@ -1,6 +1,7 @@
 #include "service/data_service.h"
 
 #include <algorithm>
+#include <map>
 #include <sstream>
 #include <stdexcept>
 
@@ -164,41 +165,50 @@ bool OnlineDataService::request(int item, ServerId server, Time time) {
   }
   last_time_ = time;
 
-  auto [it, inserted] = items_.try_emplace(item);
-  ItemState& state = it->second;
-  if (inserted) {
+  const int slot = index_.find(item);
+  if (slot < 0) {
     // Birth: the item materializes on the requesting server (client
     // upload); the request is served locally. The per-item cache inherits
     // the service options with its trace context (item id, absolute birth
     // time) filled in, so every item's events land in one coherent stream.
+    // The state is constructed in place inside the service-owned slab —
+    // no per-item unique_ptr, one chunk allocation per kChunk births.
     SpeculativeCachingOptions per_item = options_;
     per_item.trace_item = item;
     per_item.trace_time_offset = time;
-    state.cache = std::make_unique<SpeculativeCache>(num_servers_, server, cm_,
-                                                     per_item);
-    state.origin = server;
-    state.birth = time;
-    state.last_time = time;
+    const std::size_t idx =
+        items_.emplace(item, server, time, num_servers_, cm_, per_item);
+    index_.insert(item, static_cast<int>(idx));
     if (ob != nullptr) {
-      ob->set_live_items(items_.size());
+      ob->set_items_live(items_.size());
       ob->request_served(item, 0, server, time, /*hit=*/true, 0.0, 1);
     }
     return true;
   }
+  ItemState& state = items_[static_cast<std::size_t>(slot)];
   state.last_time = time;
   ++state.requests;
-  return state.cache->observe(server, time - state.birth);
+  return state.cache.observe(server, time - state.birth);
 }
 
 ServiceReport OnlineDataService::finish() {
   if (finished_) throw std::logic_error("OnlineDataService: already finished");
   finished_ = true;
+  obs::Observer* ob = options_.observer;
+  if (ob != nullptr) {
+    // Peak footprint, sampled before teardown releases the recording
+    // vectors into the report.
+    ob->set_service_resident_bytes(resident_bytes());
+    ob->set_items_live(items_.size());
+  }
   ServiceReport rep;
-  for (auto& [item, state] : items_) {
-    state.cache->finish(state.last_time - state.birth);
-    const OnlineScResult res = state.cache->take_result();
+  rep.per_item.reserve(items_.size());
+  for (std::size_t i = 0; i < items_.size(); ++i) {
+    ItemState& state = items_[i];
+    state.cache.finish(state.last_time - state.birth);
+    const OnlineScResult res = state.cache.take_result();
     ItemOutcome out;
-    out.item = item;
+    out.item = state.item;
     out.origin = state.origin;
     out.birth = state.birth;
     out.requests = state.requests;
@@ -210,10 +220,24 @@ ServiceReport OnlineDataService::finish() {
     out.schedule = res.schedule;
     rep.per_item.push_back(std::move(out));
   }
-  // items_ is an ordered map, so per_item is ascending by item id — the
-  // summation order the engine merge reproduces for bit-identical totals.
+  // The slab holds items in birth order; restore ascending item id — the
+  // summation order the pre-slab std::map produced and the engine merge
+  // reproduces for bit-identical totals.
+  std::sort(rep.per_item.begin(), rep.per_item.end(),
+            [](const ItemOutcome& a, const ItemOutcome& b) {
+              return a.item < b.item;
+            });
   finalize_report(rep);
   return rep;
+}
+
+std::size_t OnlineDataService::resident_bytes() const {
+  std::size_t bytes =
+      sizeof(*this) + index_.heap_bytes() + items_.heap_bytes();
+  for (std::size_t i = 0; i < items_.size(); ++i) {
+    bytes += items_[i].cache.heap_bytes();
+  }
+  return bytes;
 }
 
 }  // namespace mcdc

@@ -12,13 +12,19 @@
 //    free) and is subsequently managed by its own Speculative Caching
 //    instance; 3-competitiveness is inherited item-wise.
 //
+// Memory model (see docs/ENGINE.md "Memory model"): per-item state lives
+// in a service-owned Slab arena (no unique_ptr per item), located through
+// an open-addressing FlatIndexMap; each SpeculativeCache keeps O(alive
+// copies), not O(m). With RecordingMode::kCostsOnly the steady-state
+// request path performs zero heap allocations (asserted by a
+// counting-allocator test) and resident memory is O(items + alive copies),
+// independent of m and of the request count.
+//
 // Conventions: an item's clock starts at its birth (first request); its
 // horizon ends at its last request. Per-item and aggregate costs are
 // reported.
 #pragma once
 
-#include <map>
-#include <memory>
 #include <string>
 #include <vector>
 
@@ -26,6 +32,8 @@
 #include "model/cost_model.h"
 #include "model/request.h"
 #include "model/schedule.h"
+#include "util/flat_map.h"
+#include "util/slab.h"
 #include "workload/generators.h"
 
 namespace mcdc {
@@ -40,7 +48,8 @@ struct ItemOutcome {
   Cost transfer_cost = 0.0;
   std::size_t transfers = 0;
   std::size_t hits = 0;
-  Schedule schedule;             ///< in item-local time (0 = birth)
+  Schedule schedule;             ///< in item-local time (0 = birth); empty
+                                 ///< under RecordingMode::kCostsOnly
 
   /// One-line summary, e.g.
   /// "item 7: born s3@12.500, 42 requests, 30 hits, 12 transfers, cost 18.25".
@@ -94,8 +103,9 @@ ServiceReport plan_offline_service(const std::vector<MultiItemRequest>& stream,
 /// Telemetry: set `options.observer` (see obs/observer.h) to receive the
 /// merged event stream of every per-item SC instance — events carry the
 /// item id and absolute stream time — plus service-level metrics (request
-/// latency histogram, live-items gauge). The null-observer default keeps
-/// request() allocation-free beyond the per-item map itself.
+/// latency histogram, items_live / service_resident_bytes gauges). The
+/// null-observer default keeps request() free of instrumentation cost
+/// beyond one branch per site.
 class OnlineDataService {
  public:
   OnlineDataService(int num_servers, const CostModel& cm,
@@ -105,24 +115,40 @@ class OnlineDataService {
   /// birth request), false when a transfer was needed.
   bool request(int item, ServerId server, Time time);
 
-  /// Close every item at its own last request time and build the report.
+  /// Close every item at its own last request time and build the report
+  /// (per_item ascending by item id).
   ServiceReport finish();
 
   std::size_t live_items() const { return items_.size(); }
 
+  /// Bytes resident for this service: the item slab and index plus every
+  /// per-item cache's heap. O(live items); used by the memory bench and
+  /// the service_resident_bytes gauge.
+  std::size_t resident_bytes() const;
+
  private:
   struct ItemState {
-    std::unique_ptr<SpeculativeCache> cache;
+    int item = 0;
     ServerId origin = kNoServer;
     Time birth = 0.0;
     Time last_time = 0.0;
     std::size_t requests = 0;
+    SpeculativeCache cache;
+
+    ItemState(int item_, ServerId origin_, Time birth_, int num_servers,
+              const CostModel& cm, const SpeculativeCachingOptions& options)
+        : item(item_),
+          origin(origin_),
+          birth(birth_),
+          last_time(birth_),
+          cache(num_servers, origin_, cm, options) {}
   };
 
   int num_servers_;
   CostModel cm_;
   SpeculativeCachingOptions options_;
-  std::map<int, ItemState> items_;
+  FlatIndexMap index_;        ///< item id -> slab slot
+  Slab<ItemState> items_;     ///< the item arena: born once, freed together
   Time last_time_ = 0.0;
   bool finished_ = false;
 };

@@ -1,23 +1,28 @@
-// Small concurrency helpers shared by the threaded subsystems.
+// Concurrency helpers shared by the threaded subsystems.
 //
-// parallel.h serves the *data-parallel sweep* use case (OpenMP, serial
-// under TSan because libgomp is uninstrumented). The streaming engine is
-// different: it is built on std::thread + std::mutex/condition_variable,
-// which TSan instruments fully, so it must stay threaded under TSan — that
-// is the whole point of running the race detector over it. Hence these
-// helpers are deliberately independent of parallel.h's MCDC_TSAN_ACTIVE
-// fallback.
+// Everything threaded in this repo is built on std::thread +
+// std::mutex/condition_variable, which ThreadSanitizer instruments fully —
+// so TSan races the real interleavings instead of being shielded by a
+// serial fallback (the old util/parallel.h OpenMP shim did exactly that
+// and is gone). Determinism comes from work assignment, not from running
+// serial: parallel_for_threads callers address results by index and
+// pre-fork any RNG per index, so output is bit-identical at every thread
+// count, including 1.
 #pragma once
 
+#include <algorithm>
+#include <atomic>
 #include <cstddef>
+#include <exception>
+#include <mutex>
 #include <thread>
 #include <utility>
+#include <vector>
 
 namespace mcdc {
 
 /// Usable hardware threads (never 0; hardware_concurrency() may report 0
-/// on exotic platforms). Unlike parallel.h's hardware_parallelism(), this
-/// does NOT collapse to 1 under ThreadSanitizer.
+/// on exotic platforms). Does NOT collapse to 1 under ThreadSanitizer.
 inline unsigned hardware_thread_count() {
   const unsigned n = std::thread::hardware_concurrency();
   return n == 0 ? 1u : n;
@@ -39,5 +44,47 @@ struct alignas(kCacheLineSize) CachePadded {
 
   T value{};
 };
+
+/// Run f(i) for i in [0, n) across up to `threads` std::threads (0 means
+/// hardware_thread_count()). f must be safe to call concurrently for
+/// distinct indices — typically it writes results[i] only. Indices are
+/// claimed from a shared atomic counter (dynamic load balancing); because
+/// callers address all output by index, results are identical at any
+/// thread count. The first exception thrown by f is rethrown on the
+/// caller after every worker has joined; remaining indices still run.
+template <typename F>
+void parallel_for_threads(std::size_t n, F&& f, unsigned threads = 0) {
+  if (n == 0) return;
+  if (threads == 0) threads = hardware_thread_count();
+  const unsigned workers =
+      static_cast<unsigned>(std::min<std::size_t>(threads, n));
+  if (workers <= 1) {
+    for (std::size_t i = 0; i < n; ++i) f(i);
+    return;
+  }
+
+  std::atomic<std::size_t> next{0};
+  std::exception_ptr failure;
+  std::mutex failure_mutex;
+  const auto work = [&] {
+    try {
+      for (;;) {
+        const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= n) return;
+        f(i);
+      }
+    } catch (...) {
+      const std::lock_guard<std::mutex> lock(failure_mutex);
+      if (failure == nullptr) failure = std::current_exception();
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(workers - 1);
+  for (unsigned t = 1; t < workers; ++t) pool.emplace_back(work);
+  work();  // the caller is worker 0
+  for (auto& th : pool) th.join();
+  if (failure != nullptr) std::rethrow_exception(failure);
+}
 
 }  // namespace mcdc

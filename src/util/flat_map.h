@@ -1,0 +1,149 @@
+// Open-addressing integer index map for the online serving hot path.
+//
+// The serving layers need one mapping each: item id -> slot in the item
+// slab (OnlineDataService) and server id -> slot in the copy slab
+// (SpeculativeCache). A node-based std::map costs one allocation per key,
+// pointer-chasing per lookup, and O(log n) probes; this map is a single
+// flat array with linear probing, so a steady-state lookup is one hash and
+// a short scan over contiguous memory, and — crucially for the
+// zero-steady-state-allocation contract — erase uses backward-shift
+// deletion instead of tombstones, so long-running erase/insert churn never
+// degrades the table or forces a cleanup rehash. The only allocations are
+// capacity doublings on growth.
+//
+// Keys are int (any value, including negatives); values are non-negative
+// ints (slab indices). find() returns -1 for absent keys, which no valid
+// slab index collides with.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/contracts.h"
+
+namespace mcdc {
+
+class FlatIndexMap {
+ public:
+  FlatIndexMap() = default;
+
+  /// Slot index for `key`, or -1 when absent.
+  int find(int key) const {
+    if (table_.empty()) return -1;
+    const std::size_t mask = table_.size() - 1;
+    std::size_t i = hash(key) & mask;
+    for (;;) {
+      const Entry& e = table_[i];
+      if (e.key == kEmptyKey) return -1;
+      if (e.key == static_cast<std::int64_t>(key)) return e.value;
+      i = (i + 1) & mask;
+    }
+  }
+
+  /// Insert an absent key. Asserts (contracts builds) on duplicates.
+  void insert(int key, int value) {
+    MCDC_ASSERT(value >= 0, "FlatIndexMap: negative value %d", value);
+    if ((size_ + 1) * 4 >= table_.size() * 3) grow();
+    const std::size_t mask = table_.size() - 1;
+    std::size_t i = hash(key) & mask;
+    while (table_[i].key != kEmptyKey) {
+      MCDC_ASSERT(table_[i].key != static_cast<std::int64_t>(key),
+                  "FlatIndexMap: duplicate key %d", key);
+      i = (i + 1) & mask;
+    }
+    table_[i] = Entry{static_cast<std::int64_t>(key), value};
+    ++size_;
+  }
+
+  /// Remove `key` (backward-shift deletion: no tombstones, no rehash).
+  /// Returns false when the key was absent.
+  bool erase(int key) {
+    if (table_.empty()) return false;
+    const std::size_t mask = table_.size() - 1;
+    std::size_t hole = hash(key) & mask;
+    for (;;) {
+      const Entry& e = table_[hole];
+      if (e.key == kEmptyKey) return false;
+      if (e.key == static_cast<std::int64_t>(key)) break;
+      hole = (hole + 1) & mask;
+    }
+    // Shift the probe chain back over the hole until a stopper: an empty
+    // slot or an entry already sitting at its home position relative to
+    // the hole.
+    std::size_t j = hole;
+    for (;;) {
+      j = (j + 1) & mask;
+      if (table_[j].key == kEmptyKey) break;
+      const std::size_t home = hash32(table_[j].key) & mask;
+      // Movable iff the home does not lie cyclically inside (hole, j].
+      if (((j - home) & mask) >= ((j - hole) & mask)) {
+        table_[hole] = table_[j];
+        hole = j;
+      }
+    }
+    table_[hole].key = kEmptyKey;
+    --size_;
+    return true;
+  }
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  /// Pre-size for at least `n` keys without rehash.
+  void reserve(std::size_t n) {
+    std::size_t cap = kMinCapacity;
+    while (n * 4 >= cap * 3) cap <<= 1;
+    if (cap > table_.size()) rehash(cap);
+  }
+
+  /// Heap footprint of the table (for resident-memory accounting).
+  std::size_t heap_bytes() const { return table_.capacity() * sizeof(Entry); }
+
+ private:
+  // int keys occupy [-2^31, 2^31); the sentinel lives outside that range.
+  static constexpr std::int64_t kEmptyKey = INT64_MIN;
+  static constexpr std::size_t kMinCapacity = 16;
+
+  struct Entry {
+    std::int64_t key = kEmptyKey;
+    int value = -1;
+  };
+
+  static std::size_t hash(int key) {
+    return hash32(static_cast<std::int64_t>(key));
+  }
+
+  static std::size_t hash32(std::int64_t key) {
+    // splitmix64 finalizer: item/server ids are small and sequential, so
+    // identity hashing would cluster probe chains.
+    std::uint64_t x = static_cast<std::uint64_t>(key);
+    x ^= x >> 30;
+    x *= 0xbf58476d1ce4e5b9ULL;
+    x ^= x >> 27;
+    x *= 0x94d049bb133111ebULL;
+    x ^= x >> 31;
+    return static_cast<std::size_t>(x);
+  }
+
+  void grow() {
+    rehash(table_.empty() ? kMinCapacity : table_.size() * 2);
+  }
+
+  void rehash(std::size_t cap) {
+    std::vector<Entry> old = std::move(table_);
+    table_.assign(cap, Entry{});
+    const std::size_t mask = cap - 1;
+    for (const Entry& e : old) {
+      if (e.key == kEmptyKey) continue;
+      std::size_t i = hash32(e.key) & mask;
+      while (table_[i].key != kEmptyKey) i = (i + 1) & mask;
+      table_[i] = e;
+    }
+  }
+
+  std::vector<Entry> table_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace mcdc

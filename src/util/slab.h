@@ -1,0 +1,93 @@
+// Chunked append-only arena with stable addresses.
+//
+// The online service owns one live problem instance per item; a
+// unique_ptr per item means one allocator round-trip per birth and a
+// pointer dereference per request. A Slab packs the instances into
+// fixed-size chunks instead: emplace() constructs in place (amortized one
+// chunk allocation per kChunk births), references never move (chunks are
+// never reallocated, unlike a std::vector of T), and teardown is one walk
+// freeing whole chunks — the "shard arena" of the sharded engine, where
+// each shard's service drops its entire item population at once.
+//
+// T need not be movable or copyable. Elements are destroyed only by
+// clear() / the destructor, in construction order; there is no per-element
+// erase — the serving layers never remove an item once born.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <new>
+#include <utility>
+#include <vector>
+
+namespace mcdc {
+
+template <typename T, std::size_t kChunk = 64>
+class Slab {
+  static_assert(kChunk > 0);
+
+ public:
+  Slab() = default;
+  Slab(const Slab&) = delete;
+  Slab& operator=(const Slab&) = delete;
+  Slab(Slab&& other) noexcept
+      : chunks_(std::move(other.chunks_)), size_(other.size_) {
+    other.size_ = 0;
+  }
+  Slab& operator=(Slab&& other) noexcept {
+    if (this != &other) {
+      clear();
+      chunks_ = std::move(other.chunks_);
+      size_ = other.size_;
+      other.size_ = 0;
+    }
+    return *this;
+  }
+  ~Slab() { clear(); }
+
+  /// Construct a new element in place; returns its stable index.
+  template <typename... Args>
+  std::size_t emplace(Args&&... args) {
+    if (size_ == chunks_.size() * kChunk) {
+      chunks_.push_back(std::make_unique<Chunk>());
+    }
+    T* p = slot(size_);
+    ::new (static_cast<void*>(p)) T(std::forward<Args>(args)...);
+    return size_++;
+  }
+
+  T& operator[](std::size_t i) { return *slot(i); }
+  const T& operator[](std::size_t i) const { return *slot(i); }
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  /// Destroy all elements and free every chunk, directory included —
+  /// after clear() the slab holds no heap memory at all.
+  void clear() {
+    for (std::size_t i = size_; i > 0; --i) slot(i - 1)->~T();
+    size_ = 0;
+    std::vector<std::unique_ptr<Chunk>>().swap(chunks_);
+  }
+
+  /// Heap footprint: chunk storage plus the chunk-pointer directory.
+  std::size_t heap_bytes() const {
+    return chunks_.size() * sizeof(Chunk) +
+           chunks_.capacity() * sizeof(std::unique_ptr<Chunk>);
+  }
+
+ private:
+  struct Chunk {
+    alignas(T) unsigned char storage[sizeof(T) * kChunk];
+  };
+
+  T* slot(std::size_t i) const {
+    return std::launder(reinterpret_cast<T*>(chunks_[i / kChunk]->storage) +
+                        i % kChunk);
+  }
+
+  std::vector<std::unique_ptr<Chunk>> chunks_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace mcdc

@@ -118,6 +118,34 @@ TEST(HeterogeneousCostModel, General) {
                std::invalid_argument);
 }
 
+TEST(HeterogeneousCostModel, ConstructionValidation) {
+  // Homogeneous lift: m must be >= 1.
+  EXPECT_THROW(HeterogeneousCostModel(0, CostModel(1.0, 1.0)),
+               std::invalid_argument);
+  EXPECT_THROW(HeterogeneousCostModel(-3, CostModel(1.0, 1.0)),
+               std::invalid_argument);
+  // General form: empty mu.
+  EXPECT_THROW(HeterogeneousCostModel(std::vector<double>{},
+                                      std::vector<std::vector<double>>{}),
+               std::invalid_argument);
+  // lambda must be square and match mu's size: wrong row count, ragged row.
+  EXPECT_THROW(HeterogeneousCostModel({1.0, 1.0}, {{0.0, 1.0}}),
+               std::invalid_argument);
+  EXPECT_THROW(HeterogeneousCostModel({1.0, 1.0}, {{0.0, 1.0}, {1.0}}),
+               std::invalid_argument);
+  // mu strictly positive (zero is as invalid as negative).
+  EXPECT_THROW(HeterogeneousCostModel({1.0, 0.0}, {{0.0, 1.0}, {1.0, 0.0}}),
+               std::invalid_argument);
+  // Off-diagonal lambda strictly positive; zero and negative both rejected.
+  EXPECT_THROW(HeterogeneousCostModel({1.0, 1.0}, {{0.0, 0.0}, {1.0, 0.0}}),
+               std::invalid_argument);
+  EXPECT_THROW(HeterogeneousCostModel({1.0, 1.0}, {{0.0, -2.0}, {1.0, 0.0}}),
+               std::invalid_argument);
+  // A valid model still rejects self-transfer queries.
+  const HeterogeneousCostModel ok({1.0, 1.0}, {{0.0, 1.0}, {1.0, 0.0}});
+  EXPECT_THROW(ok.lambda(0, 0), std::invalid_argument);
+}
+
 TEST(Schedule, CostAccounting) {
   const CostModel cm(1.0, 1.0);
   Schedule s;

@@ -391,10 +391,21 @@ TEST(ObsIntegration, ServiceEventStreamCarriesItemsAndAbsoluteTime) {
   EXPECT_NEAR(caching_sum, rep.caching_cost, 1e-9);
   EXPECT_NEAR(transfer_sum + caching_sum, rep.total_cost, 1e-9);
 
-  // live_items gauge saw every birth.
+  // items_live gauge saw every birth; the resident-bytes gauge sampled a
+  // non-trivial footprint (at least the service struct itself) at finish.
+  bool saw_items_live = false;
+  bool saw_resident = false;
   for (const auto& [name, v] : reg.snapshot().gauges) {
-    if (name == "live_items") { EXPECT_DOUBLE_EQ(v, static_cast<double>(rep.items)); }
+    if (name == "items_live") {
+      saw_items_live = true;
+      EXPECT_DOUBLE_EQ(v, static_cast<double>(rep.items));
+    } else if (name == "service_resident_bytes") {
+      saw_resident = true;
+      EXPECT_GT(v, 0.0);
+    }
   }
+  EXPECT_TRUE(saw_items_live);
+  EXPECT_TRUE(saw_resident);
   // Latency histogram sampled once per request.
   for (const auto& [name, h] : reg.snapshot().histograms) {
     if (name == "request_latency_us") { EXPECT_EQ(h.count, stream.size()); }

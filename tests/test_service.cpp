@@ -130,5 +130,79 @@ TEST(OnlineService, ManyItemsLiveIndependently) {
   EXPECT_GT(rep.total_cost, 0.0);
 }
 
+// --- report formatting (golden strings) ------------------------------------
+//
+// These pin the exact rendered output: the strings land in EXPERIMENTS.md
+// snippets and operator logs, so formatting drift is a real regression,
+// not a cosmetic one.
+
+ServiceReport golden_report() {
+  ItemOutcome a;
+  a.item = 7;
+  a.origin = 1;
+  a.birth = 1.5;
+  a.requests = 3;
+  a.hits = 1;
+  a.transfers = 2;
+  a.caching_cost = 2.25;
+  a.transfer_cost = 4.0;
+  a.cost = 6.25;
+  ItemOutcome b;
+  b.item = 2;
+  b.origin = 0;
+  b.birth = 0.5;
+  b.requests = 2;
+  b.hits = 2;
+  b.transfers = 0;
+  b.caching_cost = 1.0;
+  b.transfer_cost = 0.0;
+  b.cost = 1.0;
+  ServiceReport rep;
+  rep.per_item = {b, a};  // ascending item id, like finish() produces
+  finalize_report(rep);
+  return rep;
+}
+
+TEST(ServiceReportFormat, ItemOutcomeSummaryGolden) {
+  const ServiceReport rep = golden_report();
+  EXPECT_EQ(rep.per_item[1].summary(),
+            "item 7: born s2@1.500, 3 requests, 1 hits, 2 transfers, "
+            "cost 6.250 (caching 2.250 + transfer 4.000)");
+}
+
+TEST(ServiceReportFormat, ToStringGolden) {
+  // Rows are sorted by descending cost (item 7 before item 2), not id.
+  const std::string expected =
+      "2 items, 5 requests: total cost 7.250 (caching 3.250 + transfer 4.000)\n"
+      "+------+--------+-------+----------+------+-----------+---------+----------+-------+\n"
+      "| item | origin | born  | requests | hits | transfers | caching | transfer | cost  |\n"
+      "+------+--------+-------+----------+------+-----------+---------+----------+-------+\n"
+      "| 7    | s2     | 1.500 | 3        | 1    | 2         | 2.250   | 4.000    | 6.250 |\n"
+      "| 2    | s1     | 0.500 | 2        | 2    | 0         | 1.000   | 0.000    | 1.000 |\n"
+      "+------+--------+-------+----------+------+-----------+---------+----------+-------+\n";
+  EXPECT_EQ(golden_report().to_string(), expected);
+}
+
+TEST(ServiceReportFormat, ToStringTruncationGolden) {
+  // max_items=1 keeps the costliest row and reports the remainder.
+  const std::string expected =
+      "2 items, 5 requests: total cost 7.250 (caching 3.250 + transfer 4.000)\n"
+      "+------+--------+-------+----------+------+-----------+---------+----------+-------+\n"
+      "| item | origin | born  | requests | hits | transfers | caching | transfer | cost  |\n"
+      "+------+--------+-------+----------+------+-----------+---------+----------+-------+\n"
+      "| 7    | s2     | 1.500 | 3        | 1    | 2         | 2.250   | 4.000    | 6.250 |\n"
+      "+------+--------+-------+----------+------+-----------+---------+----------+-------+\n"
+      "(+1 more items by cost)\n";
+  EXPECT_EQ(golden_report().to_string(1), expected);
+}
+
+TEST(ServiceReportFormat, ToStringEmptyReportOmitsTable) {
+  ServiceReport rep;
+  finalize_report(rep);
+  EXPECT_EQ(rep.to_string(),
+            "0 items, 0 requests: total cost 0.000 (caching 0.000 + "
+            "transfer 0.000)");
+}
+
 }  // namespace
 }  // namespace mcdc

@@ -1,0 +1,358 @@
+// Memory-model tests for the sparse online serving core.
+//
+// Three contracts from the refactor:
+//   1. FlatIndexMap / Slab behave like their reference containers under
+//      churn (the service's correctness rests on them);
+//   2. RecordingMode::kCostsOnly books bit-identical costs to kFull while
+//      retaining no per-request vectors;
+//   3. steady-state serving (warm items, kCostsOnly, no observer) performs
+//      ZERO heap allocations — proven by a counting global operator new,
+//      not argued from code inspection.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+#include <new>
+#include <unordered_map>
+#include <vector>
+
+#include "core/online_sc.h"
+#include "service/data_service.h"
+#include "util/flat_map.h"
+#include "util/rng.h"
+#include "util/slab.h"
+
+// --- counting global allocator ---------------------------------------------
+//
+// Replaceable operator new/delete for the whole test binary. Counting is
+// gated on a flag so gtest's own bookkeeping outside the measured window
+// does not pollute the count. malloc/free stay the underlying source, so
+// the sanitizers still see every allocation.
+
+namespace {
+std::atomic<bool> g_count_allocs{false};
+std::atomic<std::uint64_t> g_alloc_count{0};
+
+void* counted_alloc(std::size_t n) {
+  if (g_count_allocs.load(std::memory_order_relaxed)) {
+    g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  }
+  void* p = std::malloc(n == 0 ? 1 : n);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+}  // namespace
+
+void* operator new(std::size_t n) { return counted_alloc(n); }
+void* operator new[](std::size_t n) { return counted_alloc(n); }
+void* operator new(std::size_t n, std::align_val_t) { return counted_alloc(n); }
+void* operator new[](std::size_t n, std::align_val_t) {
+  return counted_alloc(n);
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+
+namespace mcdc {
+namespace {
+
+// --- FlatIndexMap ----------------------------------------------------------
+
+TEST(FlatIndexMap, BasicInsertFindErase) {
+  FlatIndexMap m;
+  EXPECT_TRUE(m.empty());
+  EXPECT_EQ(m.find(42), -1);
+  EXPECT_FALSE(m.erase(42));
+  m.insert(42, 0);
+  m.insert(-7, 1);
+  m.insert(0, 2);
+  EXPECT_EQ(m.size(), 3u);
+  EXPECT_EQ(m.find(42), 0);
+  EXPECT_EQ(m.find(-7), 1);
+  EXPECT_EQ(m.find(0), 2);
+  EXPECT_EQ(m.find(1), -1);
+  EXPECT_TRUE(m.erase(-7));
+  EXPECT_EQ(m.find(-7), -1);
+  EXPECT_EQ(m.find(42), 0);
+  EXPECT_EQ(m.size(), 2u);
+}
+
+TEST(FlatIndexMap, ChurnMatchesReferenceMap) {
+  // Random insert/erase/find churn cross-checked against
+  // std::unordered_map. Sequential-ish keys stress probe-chain clustering;
+  // the erase mix stresses backward-shift deletion (any shift bug shows as
+  // a lost or phantom key).
+  FlatIndexMap m;
+  std::unordered_map<int, int> ref;
+  Rng rng(99);
+  int next_value = 0;
+  for (int step = 0; step < 20000; ++step) {
+    const int key = static_cast<int>(rng.uniform_int(std::uint64_t(200))) - 50;
+    const auto op = rng.uniform_int(std::uint64_t(3));
+    if (op == 0) {
+      if (ref.find(key) == ref.end()) {
+        m.insert(key, next_value);
+        ref.emplace(key, next_value);
+        ++next_value;
+      }
+    } else if (op == 1) {
+      EXPECT_EQ(m.erase(key), ref.erase(key) > 0);
+    } else {
+      const auto it = ref.find(key);
+      EXPECT_EQ(m.find(key), it == ref.end() ? -1 : it->second);
+    }
+    EXPECT_EQ(m.size(), ref.size());
+  }
+  // Full sweep: every surviving key maps identically.
+  for (const auto& [k, v] : ref) EXPECT_EQ(m.find(k), v);
+}
+
+TEST(FlatIndexMap, ReservePreventsSteadyStateGrowth) {
+  FlatIndexMap m;
+  m.reserve(64);
+  const std::size_t bytes = m.heap_bytes();
+  EXPECT_GT(bytes, 0u);
+  // Insert/erase churn within the reserved population: the table must
+  // never rehash (backward-shift deletion leaves no tombstones to clean).
+  for (int round = 0; round < 200; ++round) {
+    for (int k = 0; k < 64; ++k) m.insert(k, k);
+    for (int k = 0; k < 64; ++k) EXPECT_TRUE(m.erase(k));
+  }
+  EXPECT_EQ(m.heap_bytes(), bytes);
+  EXPECT_TRUE(m.empty());
+}
+
+// --- Slab ------------------------------------------------------------------
+
+struct Pinned {
+  // Immovable, like the service's ItemState (SpeculativeCache holds
+  // intrusive indices) — the slab must construct in place and never move.
+  explicit Pinned(int v, std::vector<int>* log) : value(v), destroy_log(log) {}
+  Pinned(const Pinned&) = delete;
+  Pinned& operator=(const Pinned&) = delete;
+  ~Pinned() { destroy_log->push_back(value); }
+
+  int value;
+  std::vector<int>* destroy_log;
+};
+
+TEST(SlabTest, StableAddressesAcrossGrowth) {
+  std::vector<int> log;
+  Slab<Pinned, 4> slab;  // small chunks so the test crosses boundaries
+  std::vector<const Pinned*> addresses;
+  for (int i = 0; i < 40; ++i) {
+    const std::size_t idx = slab.emplace(i, &log);
+    EXPECT_EQ(idx, static_cast<std::size_t>(i));
+    addresses.push_back(&slab[idx]);
+  }
+  for (int i = 0; i < 40; ++i) {
+    EXPECT_EQ(&slab[static_cast<std::size_t>(i)], addresses[static_cast<std::size_t>(i)]);
+    EXPECT_EQ(slab[static_cast<std::size_t>(i)].value, i);
+  }
+}
+
+TEST(SlabTest, ClearDestroysInReverseOrder) {
+  std::vector<int> log;
+  {
+    Slab<Pinned, 4> slab;
+    for (int i = 0; i < 10; ++i) slab.emplace(i, &log);
+    slab.clear();
+    EXPECT_TRUE(slab.empty());
+    EXPECT_EQ(slab.heap_bytes(), 0u);
+  }
+  ASSERT_EQ(log.size(), 10u);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(log[static_cast<std::size_t>(i)], 9 - i);
+}
+
+TEST(SlabTest, HeapBytesGrowsChunkwise) {
+  std::vector<int> log;
+  Slab<Pinned, 8> slab;
+  EXPECT_EQ(slab.heap_bytes(), 0u);
+  slab.emplace(0, &log);
+  const std::size_t one_chunk = slab.heap_bytes();
+  EXPECT_GT(one_chunk, 0u);
+  for (int i = 1; i < 8; ++i) slab.emplace(i, &log);
+  EXPECT_EQ(slab.heap_bytes(), one_chunk);  // same chunk, no growth
+  slab.emplace(8, &log);
+  EXPECT_GT(slab.heap_bytes(), one_chunk);  // ninth element opens chunk two
+}
+
+// --- RecordingMode ---------------------------------------------------------
+
+std::vector<MultiItemRequest> random_stream(int requests, int items,
+                                            int servers, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<MultiItemRequest> stream;
+  stream.reserve(static_cast<std::size_t>(requests));
+  Time t = 0.0;
+  for (int i = 0; i < requests; ++i) {
+    t += 0.01 + 0.1 * rng.uniform();
+    stream.push_back(
+        {static_cast<int>(rng.uniform_int(static_cast<std::uint64_t>(items))),
+         static_cast<ServerId>(
+             rng.uniform_int(static_cast<std::uint64_t>(servers))),
+         t});
+  }
+  return stream;
+}
+
+TEST(RecordingMode, CostsOnlyBooksBitIdenticalCosts) {
+  const CostModel cm(1.0, 2.5);
+  const auto stream = random_stream(4000, 25, 6, 7);
+
+  SpeculativeCachingOptions full;
+  full.recording = RecordingMode::kFull;
+  SpeculativeCachingOptions costs_only;
+  costs_only.recording = RecordingMode::kCostsOnly;
+
+  OnlineDataService a(6, cm, full);
+  OnlineDataService b(6, cm, costs_only);
+  for (const auto& r : stream) {
+    EXPECT_EQ(a.request(r.item, r.server, r.time),
+              b.request(r.item, r.server, r.time));
+  }
+  const ServiceReport ra = a.finish();
+  const ServiceReport rb = b.finish();
+
+  // Costs are computed by the same expressions in the same order; the mode
+  // only gates retention. Hence bit-identity, not epsilon-closeness.
+  EXPECT_EQ(ra.total_cost, rb.total_cost);
+  EXPECT_EQ(ra.caching_cost, rb.caching_cost);
+  EXPECT_EQ(ra.transfer_cost, rb.transfer_cost);
+  ASSERT_EQ(ra.per_item.size(), rb.per_item.size());
+  bool full_recorded_something = false;
+  for (std::size_t i = 0; i < ra.per_item.size(); ++i) {
+    const ItemOutcome& ia = ra.per_item[i];
+    const ItemOutcome& ib = rb.per_item[i];
+    EXPECT_EQ(ia.item, ib.item);
+    EXPECT_EQ(ia.cost, ib.cost);
+    EXPECT_EQ(ia.caching_cost, ib.caching_cost);
+    EXPECT_EQ(ia.transfer_cost, ib.transfer_cost);
+    EXPECT_EQ(ia.hits, ib.hits);
+    EXPECT_EQ(ia.transfers, ib.transfers);
+    // kFull retains the per-item schedule; kCostsOnly folds it away.
+    full_recorded_something |= !ia.schedule.caches().empty();
+    EXPECT_TRUE(ib.schedule.caches().empty());
+    EXPECT_TRUE(ib.schedule.transfers().empty());
+  }
+  EXPECT_TRUE(full_recorded_something);
+}
+
+RequestSequence random_sc_sequence(Rng& rng, int m, int n) {
+  std::vector<Request> reqs;
+  Time t = 0.0;
+  for (int i = 0; i < n; ++i) {
+    t += rng.exponential(1.0) + 1e-3;
+    reqs.push_back(
+        {static_cast<ServerId>(rng.uniform_int(static_cast<std::uint64_t>(m))),
+         t});
+  }
+  return RequestSequence(m, std::move(reqs));
+}
+
+TEST(RecordingMode, SingleCacheCostsOnlyRetainsNoVectors) {
+  const CostModel cm(1.0, 1.0);
+  Rng rng(11);
+  const RequestSequence seq = random_sc_sequence(rng, 5, 300);
+
+  SpeculativeCachingOptions full;
+  full.recording = RecordingMode::kFull;
+  SpeculativeCachingOptions costs_only;
+  costs_only.recording = RecordingMode::kCostsOnly;
+
+  const OnlineScResult rf = run_speculative_caching(seq, cm, full);
+  const OnlineScResult rc = run_speculative_caching(seq, cm, costs_only);
+
+  EXPECT_EQ(rf.total_cost, rc.total_cost);
+  EXPECT_EQ(rf.caching_cost, rc.caching_cost);
+  EXPECT_EQ(rf.transfer_cost, rc.transfer_cost);
+  EXPECT_EQ(rf.hits, rc.hits);
+  EXPECT_EQ(rf.misses, rc.misses);
+  EXPECT_EQ(rf.epochs_completed, rc.epochs_completed);
+  EXPECT_EQ(rf.expirations, rc.expirations);
+
+  EXPECT_GE(rf.copies.size(), 1u);
+  EXPECT_EQ(rf.served_by_cache.size(), static_cast<std::size_t>(seq.n()) + 1);
+  EXPECT_TRUE(rc.copies.empty());
+  EXPECT_TRUE(rc.edges.empty());
+  EXPECT_TRUE(rc.served_by_cache.empty());
+  EXPECT_TRUE(rc.schedule.caches().empty());
+  EXPECT_TRUE(rc.schedule.transfers().empty());
+}
+
+// --- resident-memory accounting --------------------------------------------
+
+TEST(ResidentBytes, GrowsWithPopulationAndCoversContainers) {
+  const CostModel cm(1.0, 1.0);
+  SpeculativeCachingOptions opt;
+  opt.recording = RecordingMode::kCostsOnly;
+  OnlineDataService service(8, cm, opt);
+  const std::size_t empty_bytes = service.resident_bytes();
+  EXPECT_GE(empty_bytes, sizeof(OnlineDataService));
+
+  Time t = 0.0;
+  for (const auto& r : random_stream(2000, 100, 8, 3)) {
+    t = r.time;
+    service.request(r.item, r.server, t);
+  }
+  EXPECT_EQ(service.live_items(), 100u);
+  // 100 live items must cost at least an ItemState each.
+  EXPECT_GE(service.resident_bytes(),
+            empty_bytes + 100 * sizeof(SpeculativeCache));
+  service.finish();
+}
+
+// --- the zero-allocation contract -------------------------------------------
+
+TEST(ZeroAllocation, SteadyStateServingAllocatesNothing) {
+  const CostModel cm(1.0, 1.0);
+  SpeculativeCachingOptions opt;
+  opt.recording = RecordingMode::kCostsOnly;
+  opt.epoch_transfers = 8;
+  const int servers = 8;
+  const int items = 32;
+  OnlineDataService service(servers, cm, opt);
+
+  Rng rng(4242);
+  Time t = 0.0;
+  const auto drive = [&](int requests) {
+    for (int i = 0; i < requests; ++i) {
+      t += 0.01 + 0.05 * rng.uniform();
+      service.request(
+          static_cast<int>(rng.uniform_int(static_cast<std::uint64_t>(items))),
+          static_cast<ServerId>(
+              rng.uniform_int(static_cast<std::uint64_t>(servers))),
+          t);
+    }
+  };
+
+  // Warm-up: birth every item and churn until every container reaches its
+  // steady-state capacity (copies_ is bounded by one copy per server, the
+  // index tables by the fixed populations).
+  drive(20000);
+
+  g_alloc_count.store(0);
+  g_count_allocs.store(true);
+  drive(20000);
+  g_count_allocs.store(false);
+
+  EXPECT_EQ(g_alloc_count.load(), 0u)
+      << "steady-state request() touched the allocator";
+
+  const ServiceReport rep = service.finish();
+  EXPECT_EQ(rep.items, static_cast<std::size_t>(items));
+  EXPECT_EQ(rep.requests + rep.items, 40000u);
+}
+
+}  // namespace
+}  // namespace mcdc
