@@ -3,33 +3,45 @@
 //   trace_tool gen   --out=trace.csv [--kind=zipf|mobility|commuter|bursty|multi]
 //                    [--servers=4] [--requests=100] [--seed=1] [--items=50]
 //   trace_tool solve --in=trace.csv [--mu=1] [--lambda=1] [--dot=graph.dot]
+//                    [--algo=dp|quadratic|exact]
 //   trace_tool online --in=trace.csv [--mu=1] [--lambda=1] [--epoch=0]
 //   trace_tool serve --in=multi.csv [--engine --shards=4 --queue-cap=1024
-//                    --batch=64 --policy=block|drop|spill] [--verify]
+//                    --batch=64 --policy=block|drop|spill
+//                    --engine-config=shards=4,queue=1024,...
+//                    --producers=4] [--verify]
 //
 // `gen` writes a synthetic trace (`--kind=multi` emits a multi-item trace
 // for `serve`); `solve` runs the off-line optimum on a single-item trace
-// (optionally exporting the space-time graph with the optimal schedule
-// overlaid as Graphviz DOT); `online` replays it through SC; `serve`
-// replays a multi-item trace through the streaming data service — by
-// default the serial OnlineDataService, with `--engine` through the
-// sharded concurrent StreamingEngine (see docs/ENGINE.md). `--verify`
-// runs both and checks the engine report is bit-identical to serial.
+// through the mcdc::solve_offline facade (`--algo` picks the backend;
+// `--dot` exports the space-time graph with the optimal schedule overlaid
+// as Graphviz DOT); `online` replays it through SC; `serve` replays a
+// multi-item trace through the streaming data service — by default the
+// serial OnlineDataService, with `--engine` through the sharded
+// concurrent StreamingEngine (see docs/ENGINE.md). `--producers=N` feeds
+// the engine from N concurrent ingestion sessions (round-robin split of
+// the trace, barrier-started threads); `--verify` runs the serial service
+// too and checks the engine report is bit-identical regardless of N.
 //
 // Observability: `solve`, `online`, and `serve` accept
 // `--metrics-out=metrics.json` (registry snapshot) and
 // `--trace-out=trace.jsonl` (structured event stream); see
 // docs/OBSERVABILITY.md for both schemas.
+#include <atomic>
 #include <cstdio>
+#include <exception>
 #include <fstream>
 #include <iostream>
 #include <memory>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "analysis/cost_breakdown.h"
 #include "analysis/diagram.h"
 #include "analysis/request_report.h"
 #include "analysis/space_time_graph.h"
+#include "baselines/solve.h"
+#include "engine/ingress.h"
 #include "engine/streaming_engine.h"
 #include "model/pricing.h"
 #include "core/offline_dp.h"
@@ -153,10 +165,33 @@ int cmd_solve(const ArgParser& args) {
   const auto seq = read_trace_file(args.get("in"));
   const CostModel cm = cost_model_from_args(args);
   CliTelemetry telemetry(args);
+  const auto algo = parse_offline_algorithm(args.get("algo").c_str());
+  std::printf("instance: m=%d n=%d horizon=%.3f\n", seq.m(), seq.n(), seq.horizon());
+
+  if (algo != OfflineAlgorithm::kDp && algo != OfflineAlgorithm::kAuto) {
+    // Alternate backends through the unified facade: same optimum, but no
+    // DP-specific extras (bounds, serve profile, per-request report).
+    SolveOptions so;
+    so.algorithm = algo;
+    so.observer = telemetry.get();
+    const auto res = solve_offline(seq, cm, so);
+    std::printf("algorithm: %s\n", to_string(res.algorithm));
+    std::printf("optimal cost C(n) = %.6f\n", res.optimal_cost);
+    if (res.has_schedule) {
+      const auto b = breakdown(res.schedule, cm, seq.m());
+      std::printf("caching %.3f + transfers %.3f (%zu transfers)\n", b.caching,
+                  b.transfer, b.num_transfers);
+      const auto v = validate_schedule(res.schedule, seq);
+      std::printf("feasible: %s\n", v.ok ? "yes" : v.to_string().c_str());
+    }
+    telemetry.flush();
+    return 0;
+  }
+
   OfflineDpOptions dp_options;
   dp_options.observer = telemetry.get();
   const auto opt = solve_offline(seq, cm, dp_options);
-  std::printf("instance: m=%d n=%d horizon=%.3f\n", seq.m(), seq.n(), seq.horizon());
+  std::printf("algorithm: dp\n");
   std::printf("optimal cost C(n) = %.6f (lower bound B_n = %.6f)\n",
               opt.optimal_cost, opt.bounds.B.back());
   const auto b = breakdown(opt.schedule, cm, seq.m());
@@ -229,19 +264,68 @@ int cmd_serve(const ArgParser& args) {
   ServiceReport rep;
   if (args.get_bool("engine")) {
     EngineConfig cfg;
-    cfg.num_shards = static_cast<int>(args.get_int("shards"));
-    cfg.queue_capacity = static_cast<std::size_t>(args.get_int("queue-cap"));
-    cfg.max_batch = static_cast<std::size_t>(args.get_int("batch"));
-    cfg.policy = parse_backpressure_policy(args.get("policy").c_str());
-    cfg.deterministic = !args.get_bool("no-determinism");
+    if (args.has("engine-config")) {
+      cfg = EngineConfig::parse(args.get("engine-config"));
+    } else {
+      cfg.num_shards = static_cast<int>(args.get_int("shards"));
+      cfg.queue_capacity = static_cast<std::size_t>(args.get_int("queue-cap"));
+      cfg.max_batch = static_cast<std::size_t>(args.get_int("batch"));
+      cfg.policy = parse_backpressure_policy(args.get("policy").c_str());
+      cfg.deterministic = !args.get_bool("no-determinism");
+    }
     cfg.service_options.observer = telemetry.get();
+    const int producers = static_cast<int>(args.get_int("producers"));
+    if (producers < 1) {
+      throw std::invalid_argument("--producers must be >= 1");
+    }
+
     StreamingEngine engine(trace.num_servers, cm, cfg);
-    for (const auto& r : trace.stream) engine.submit(r.item, r.server, r.time);
+    if (producers == 1) {
+      IngressSession session = engine.open_producer();
+      for (const auto& r : trace.stream) {
+        session.submit(r.item, r.server, r.time);
+      }
+      session.close();
+    } else {
+      // Round-robin slices keep each producer's times strictly increasing
+      // (the trace is globally increasing); a barrier start maximizes
+      // cross-producer interleaving so --verify exercises the merge.
+      std::vector<IngressSession> sessions;
+      sessions.reserve(static_cast<std::size_t>(producers));
+      for (int p = 0; p < producers; ++p) {
+        sessions.push_back(engine.open_producer());
+      }
+      std::vector<std::exception_ptr> errors(
+          static_cast<std::size_t>(producers));
+      std::atomic<bool> go{false};
+      std::vector<std::thread> threads;
+      threads.reserve(static_cast<std::size_t>(producers));
+      for (int p = 0; p < producers; ++p) {
+        threads.emplace_back([&, p] {
+          while (!go.load(std::memory_order_acquire)) std::this_thread::yield();
+          auto& session = sessions[static_cast<std::size_t>(p)];
+          try {
+            for (std::size_t k = static_cast<std::size_t>(p);
+                 k < trace.stream.size();
+                 k += static_cast<std::size_t>(producers)) {
+              const auto& r = trace.stream[k];
+              session.submit(r.item, r.server, r.time);
+            }
+          } catch (...) {
+            errors[static_cast<std::size_t>(p)] = std::current_exception();
+          }
+          session.close();
+        });
+      }
+      go.store(true, std::memory_order_release);
+      for (auto& t : threads) t.join();
+      for (const auto& e : errors) {
+        if (e) std::rethrow_exception(e);
+      }
+    }
     rep = engine.finish();
-    std::printf("engine: %d shards, queue cap %zu, batch %zu, policy %s%s\n",
-                engine.num_shards(), cfg.queue_capacity, cfg.max_batch,
-                to_string(cfg.policy),
-                cfg.deterministic ? ", deterministic" : "");
+    std::printf("engine: %s (%d shards resolved), %d producer(s)\n",
+                cfg.to_string().c_str(), engine.num_shards(), producers);
     std::printf("%s\n", engine.stats().to_string().c_str());
     if (args.get_bool("verify")) {
       const auto serial = run_serial(nullptr);
@@ -279,6 +363,7 @@ int main(int argc, char** argv) {
   args.add_flag("profile", "price profile (intra-region|cross-continent|edge-cdn); overrides mu/lambda");
   args.add_flag("size-gb", "item size in GB when using --profile", "1.0");
   args.add_flag("epoch", "SC epoch transfers (0 = none)", "0");
+  args.add_flag("algo", "solve: offline backend auto|dp|quadratic|exact", "dp");
   args.add_flag("dot", "write DOT of the space-time graph here");
   args.add_bool_flag("report", "print the per-request cost attribution table");
   args.add_flag("metrics-out", "write an obs metrics snapshot (JSON) here");
@@ -289,6 +374,8 @@ int main(int argc, char** argv) {
   args.add_flag("queue-cap", "serve --engine: per-shard queue capacity", "1024");
   args.add_flag("batch", "serve --engine: max dequeue batch", "64");
   args.add_flag("policy", "serve --engine: backpressure block|drop|spill", "block");
+  args.add_flag("engine-config", "serve --engine: EngineConfig string (overrides the individual engine flags)");
+  args.add_flag("producers", "serve --engine: concurrent ingestion sessions", "1");
   args.add_bool_flag("no-determinism", "serve --engine: allow lossy policies");
   args.add_bool_flag("verify", "serve --engine: check bit-identity vs serial");
   args.add_flag("items-top", "serve: items shown in the report table", "10");

@@ -10,6 +10,9 @@
 #      streaming engine runs real std::thread workers under TSan — no
 #      serial fallback anywhere in the repo — so interleavings are
 #      worth re-rolling)
+#   6. a multi-producer TSan stress lane: the >= 8-producer ingestion
+#      session tests and fuzz lane, plus an 8-producer trace_tool
+#      serve --verify, repeated until-fail
 #
 # Exit code is non-zero iff any gate that could run failed; unavailable
 # tools are reported as SKIP, not failure, so the gate degrades gracefully
@@ -25,6 +28,8 @@
 #   MCDC_FUZZ_ITERS         forwarded to the fuzz harness (default 1000)
 #   MCDC_CHECK_ENGINE_STRESS  repeat count for the engine TSan stress lane
 #                           (default 3; 0 disables the lane)
+#   MCDC_CHECK_MULTI_PRODUCER  repeat count for the multi-producer TSan
+#                           stress lane (default 3; 0 disables the lane)
 set -uo pipefail
 cd "$(dirname "$0")/.."
 
@@ -112,6 +117,35 @@ else
     record PASS "engine TSan stress (x$ENGINE_STRESS)"
   else
     record FAIL "engine TSan stress (x$ENGINE_STRESS)"
+  fi
+fi
+
+# ---- 6. multi-producer TSan stress lane -----------------------------------
+# The deterministic cross-producer merge is the most interleaving-sensitive
+# code in the repo, so it gets its own lane on top of step 5: re-roll the
+# many-producer gtest lanes (>= 8 barrier-started sessions) and an
+# 8-producer `trace_tool serve --verify` under TSan.
+MULTI_PRODUCER="${MCDC_CHECK_MULTI_PRODUCER:-3}"
+if [ "$MULTI_PRODUCER" -le 0 ]; then
+  record SKIP "multi-producer TSan stress (MCDC_CHECK_MULTI_PRODUCER=$MULTI_PRODUCER)"
+else
+  echo "=== multi-producer TSan stress (gtest_repeat=$MULTI_PRODUCER) ==="
+  if cmake --preset tsan > /dev/null \
+      && cmake --build --preset tsan -j "$JOBS" > /dev/null \
+      && ./build-tsan/tests/test_engine \
+           --gtest_filter='IngressSession.*:StreamingEngine.DeprecatedSubmitShimStillWorks' \
+           --gtest_repeat="$MULTI_PRODUCER" --gtest_brief=1 \
+      && MCDC_FUZZ_ITERS="${MCDC_FUZZ_ITERS:-200}" ./build-tsan/tests/fuzz_differential \
+           --gtest_filter='FuzzDifferential.EngineMultiProducerBitIdenticalToSerial' \
+           --gtest_brief=1 \
+      && ./build-tsan/examples/trace_tool gen --out=build-tsan/mp_stress.csv \
+           --kind=multi --requests=4000 --items=40 --servers=6 > /dev/null \
+      && ./build-tsan/examples/trace_tool serve --in=build-tsan/mp_stress.csv \
+           --engine --engine-config=shards=4,queue=64,batch=16,credits=8 \
+           --producers=8 --verify > /dev/null; then
+    record PASS "multi-producer TSan stress (>=8 producers, x$MULTI_PRODUCER)"
+  else
+    record FAIL "multi-producer TSan stress (>=8 producers, x$MULTI_PRODUCER)"
   fi
 fi
 

@@ -4,7 +4,10 @@
 #include <bit>
 #include <cmath>
 #include <stdexcept>
+#include <utility>
 #include <vector>
+
+#include "baselines/solve.h"
 
 namespace mcdc {
 
@@ -210,7 +213,19 @@ ExactSolverResult solve_offline_exact(const RequestSequence& seq,
 ExactSolverResult solve_offline_exact(const RequestSequence& seq,
                                       const CostModel& cm,
                                       const ExactSolverOptions& options) {
-  return solve_offline_exact(seq, HeterogeneousCostModel(seq.m(), cm), options);
+  // Legacy homogeneous entry point: forwards through the facade
+  // (baselines/solve.h), which dispatches to the heterogeneous overload.
+  SolveOptions so;
+  so.algorithm = OfflineAlgorithm::kExact;
+  so.schedule = options.reconstruct_schedule;
+  so.upload_cost = options.upload_cost;
+  auto res = solve_offline(seq, cm, so);
+  ExactSolverResult out;
+  out.optimal_cost = res.optimal_cost;
+  out.schedule = std::move(res.schedule);
+  out.has_schedule = res.has_schedule;
+  out.final_holders = std::move(res.final_holders);
+  return out;
 }
 
 ExactSolverResult solve_exact_window(const std::vector<Request>& requests,

@@ -2,13 +2,26 @@
 
 #include <algorithm>
 #include <cmath>
+#include <utility>
 
+#include "baselines/solve.h"
 #include "core/marginal_bounds.h"
 
 namespace mcdc {
 
 QuadraticDpResult solve_offline_quadratic(const RequestSequence& seq,
                                           const CostModel& cm) {
+  auto res = solve_offline(seq, cm,
+                           {.algorithm = OfflineAlgorithm::kQuadratic});
+  QuadraticDpResult out;
+  out.C = std::move(res.C);
+  out.D = std::move(res.D);
+  out.optimal_cost = res.optimal_cost;
+  return out;
+}
+
+QuadraticDpResult detail::solve_quadratic_impl(const RequestSequence& seq,
+                                               const CostModel& cm) {
   const RequestIndex n = seq.n();
   const auto nn = static_cast<std::size_t>(n);
   const MarginalBounds mb = compute_marginal_bounds(seq, cm);

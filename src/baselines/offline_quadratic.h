@@ -22,7 +22,15 @@ struct QuadraticDpResult {
   Cost optimal_cost = 0.0;
 };
 
+/// Legacy entry point: forwards through the solve_offline facade
+/// (baselines/solve.h) with OfflineAlgorithm::kQuadratic.
 QuadraticDpResult solve_offline_quadratic(const RequestSequence& seq,
                                           const CostModel& cm);
+
+namespace detail {
+/// The actual O(n^2) recurrence scan; dispatched to by the facade.
+QuadraticDpResult solve_quadratic_impl(const RequestSequence& seq,
+                                       const CostModel& cm);
+}  // namespace detail
 
 }  // namespace mcdc

@@ -1,0 +1,95 @@
+#include "baselines/solve.h"
+
+#include <cmath>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+#include "baselines/offline_exact.h"
+#include "baselines/offline_quadratic.h"
+#include "util/contracts.h"
+
+namespace mcdc {
+
+const char* to_string(OfflineAlgorithm algorithm) {
+  switch (algorithm) {
+    case OfflineAlgorithm::kAuto:
+      return "auto";
+    case OfflineAlgorithm::kDp:
+      return "dp";
+    case OfflineAlgorithm::kQuadratic:
+      return "quadratic";
+    case OfflineAlgorithm::kExact:
+      return "exact";
+  }
+  MCDC_UNREACHABLE("bad OfflineAlgorithm %d", static_cast<int>(algorithm));
+}
+
+OfflineAlgorithm parse_offline_algorithm(const char* name) {
+  const std::string s(name);
+  if (s == "auto") return OfflineAlgorithm::kAuto;
+  if (s == "dp") return OfflineAlgorithm::kDp;
+  if (s == "quadratic") return OfflineAlgorithm::kQuadratic;
+  if (s == "exact") return OfflineAlgorithm::kExact;
+  throw std::invalid_argument("unknown offline algorithm: " + s +
+                              " (expected auto|dp|quadratic|exact)");
+}
+
+SolveResult solve_offline(const RequestSequence& seq, const CostModel& cm,
+                          const SolveOptions& options) {
+  OfflineAlgorithm algorithm = options.algorithm;
+  const bool has_upload = !std::isinf(options.upload_cost);
+  if (algorithm == OfflineAlgorithm::kAuto) {
+    // Only the exact solver models the upload cost beta; everything else
+    // gets the O(mn) DP.
+    algorithm = has_upload ? OfflineAlgorithm::kExact : OfflineAlgorithm::kDp;
+  }
+  if (has_upload && algorithm != OfflineAlgorithm::kExact) {
+    throw std::invalid_argument(
+        std::string("solve_offline: upload_cost requires the exact solver, "
+                    "not ") +
+        to_string(algorithm));
+  }
+
+  SolveResult res;
+  res.algorithm = algorithm;
+  switch (algorithm) {
+    case OfflineAlgorithm::kDp: {
+      OfflineDpOptions dp;
+      dp.lookup = options.pivot_lookup;
+      dp.reconstruct_schedule = options.schedule;
+      dp.observer = options.observer;
+      auto r = solve_offline(seq, cm, dp);
+      res.optimal_cost = r.optimal_cost;
+      res.C = std::move(r.C);
+      res.D = std::move(r.D);
+      res.schedule = std::move(r.schedule);
+      res.has_schedule = r.has_schedule;
+      break;
+    }
+    case OfflineAlgorithm::kQuadratic: {
+      auto r = detail::solve_quadratic_impl(seq, cm);
+      res.optimal_cost = r.optimal_cost;
+      res.C = std::move(r.C);
+      res.D = std::move(r.D);
+      break;
+    }
+    case OfflineAlgorithm::kExact: {
+      ExactSolverOptions ex;
+      ex.upload_cost = options.upload_cost;
+      ex.reconstruct_schedule = options.schedule;
+      auto r = solve_offline_exact(seq, HeterogeneousCostModel(seq.m(), cm),
+                                   ex);
+      res.optimal_cost = r.optimal_cost;
+      res.schedule = std::move(r.schedule);
+      res.has_schedule = r.has_schedule;
+      res.final_holders = std::move(r.final_holders);
+      break;
+    }
+    case OfflineAlgorithm::kAuto:
+      MCDC_UNREACHABLE("kAuto resolved above");
+  }
+  return res;
+}
+
+}  // namespace mcdc

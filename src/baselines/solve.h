@@ -1,0 +1,90 @@
+// Unified entry point to the three offline solvers.
+//
+// The repo grew three ways to compute the offline optimum — the paper's
+// O(mn) DP (core/offline_dp.h), the O(n^2) reference recurrence
+// (baselines/offline_quadratic.h), and the exponential replica-set oracle
+// (baselines/offline_exact.h) — each with its own options and result
+// struct. This facade folds them behind one call:
+//
+//   const auto res = solve_offline(seq, cm, {.algorithm = OfflineAlgorithm::kExact});
+//
+// returning a common SolveResult regardless of backend. The legacy entry
+// points (solve_offline_quadratic, the homogeneous solve_offline_exact)
+// forward through here; the two-argument solve_offline(seq, cm) remains
+// the DP and is unaffected.
+//
+// Layering: the facade lives in baselines/ because it must see all three
+// backends; core/ stays free of upward dependencies. Heterogeneous models
+// and window solves remain exact-solver-only capabilities and keep their
+// specific entry points.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/offline_dp.h"
+#include "model/cost_model.h"
+#include "model/request.h"
+#include "model/schedule.h"
+#include "util/types.h"
+
+namespace mcdc {
+
+enum class OfflineAlgorithm : std::uint8_t {
+  kAuto,       ///< kExact when upload_cost is finite (only it supports beta),
+               ///< otherwise the O(mn) DP
+  kDp,         ///< the paper's O(mn) algorithm (core/offline_dp.h)
+  kQuadratic,  ///< the O(n^2) reference recurrence (no schedule output)
+  kExact,      ///< the O(n * 3^a) replica-set oracle; needs <= 14 request servers
+};
+
+const char* to_string(OfflineAlgorithm algorithm);
+OfflineAlgorithm parse_offline_algorithm(const char* name);
+
+/// Facade options. Field names deliberately differ from OfflineDpOptions /
+/// ExactSolverOptions so designated initializers stay unambiguous at call
+/// sites that see both overload sets.
+struct SolveOptions {
+  OfflineAlgorithm algorithm = OfflineAlgorithm::kAuto;
+
+  /// Reconstruct an optimal schedule when the backend can (kQuadratic
+  /// cannot; it only computes the cost tables).
+  bool schedule = true;
+
+  /// kDp only: pivot candidate lookup strategy.
+  PivotLookup pivot_lookup = PivotLookup::kAuto;
+
+  /// kExact/kAuto only: the paper's upload cost beta. Finite values steer
+  /// kAuto to the exact solver; kDp/kQuadratic reject them.
+  Cost upload_cost = kInfiniteCost;
+
+  /// Passed through to the backend that supports telemetry (kDp). Not
+  /// owned; null = off.
+  obs::Observer* observer = nullptr;
+};
+
+struct SolveResult {
+  OfflineAlgorithm algorithm = OfflineAlgorithm::kDp;  ///< backend actually run
+
+  Cost optimal_cost = 0.0;
+
+  /// Cost tables C[i], D[i] for 0 <= i <= n. Filled by kDp and kQuadratic;
+  /// empty for kExact (it never forms them).
+  std::vector<Cost> C;
+  std::vector<Cost> D;
+
+  /// An optimal schedule (normalized) when requested and supported.
+  Schedule schedule;
+  bool has_schedule = false;
+
+  /// kExact only: replica set right after the last request.
+  std::vector<ServerId> final_holders;
+};
+
+/// Solve the offline problem with the selected backend. No default for
+/// `options`: the two-argument solve_offline(seq, cm) is the DP overload
+/// from core/offline_dp.h, kept intact for existing callers.
+SolveResult solve_offline(const RequestSequence& seq, const CostModel& cm,
+                          const SolveOptions& options);
+
+}  // namespace mcdc

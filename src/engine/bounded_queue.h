@@ -11,9 +11,12 @@
 // engine_config.h).
 //
 // Stats are collected under the same lock (no extra atomics) and snapshot
-// on demand.
+// on demand: stats() copies the whole QueueStats — current depth included —
+// inside one critical section, so every field of a snapshot describes the
+// same instant (no torn multi-field reads in metrics export).
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -30,7 +33,9 @@ struct QueueStats {
   std::uint64_t dropped = 0;    ///< rejected pushes (kDrop on a full queue)
   std::uint64_t spilled = 0;    ///< pushes beyond capacity (kSpill)
   std::uint64_t stalls = 0;     ///< producer waits (kBlock on a full queue)
+  std::uint64_t control = 0;    ///< control markers (not counted in enqueued)
   std::size_t max_depth = 0;    ///< high-water mark of the queue depth
+  std::size_t depth = 0;        ///< depth at snapshot time (set by stats())
 };
 
 template <typename T>
@@ -67,6 +72,22 @@ class BoundedMpscQueue {
     return true;
   }
 
+  /// Push a control marker (engine-internal open/close records): always
+  /// appended regardless of capacity and policy — a dropped close marker
+  /// would leave a shard's merge waiting forever — and counted separately
+  /// from request pushes. Silently ignored on a closed queue (the worker
+  /// force-flushes every lane at close, so the marker is redundant then).
+  void push_control(T v) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      if (closed_) return;
+      q_.push_back(std::move(v));
+      ++stats_.control;
+      if (q_.size() > stats_.max_depth) stats_.max_depth = q_.size();
+    }
+    not_empty_.notify_one();
+  }
+
   /// Pop up to `max` elements into `out` (appended), blocking until at
   /// least one is available or the queue is closed and drained. Returns the
   /// number popped; 0 means closed-and-empty — the consumer's termination
@@ -75,19 +96,36 @@ class BoundedMpscQueue {
     MCDC_ASSERT(max > 0);
     std::unique_lock<std::mutex> lock(mu_);
     not_empty_.wait(lock, [this] { return !q_.empty() || closed_; });
-    std::size_t popped = 0;
-    while (popped < max && !q_.empty()) {
-      out.push_back(std::move(q_.front()));
-      q_.pop_front();
-      ++popped;
-    }
-    lock.unlock();
-    // Only kBlock producers ever wait on not_full_; wake them all — a
-    // batch frees up to `max` slots.
-    if (popped > 0 && policy_ == BackpressurePolicy::kBlock) {
-      not_full_.notify_all();
-    }
-    return popped;
+    return drain_locked(lock, out, max);
+  }
+
+  /// Timed pop_batch: waits at most `timeout` for an element. May return 0
+  /// on timeout with the queue still open (unlike pop_batch, where 0 means
+  /// closed-and-drained) — the shard worker uses this while its merge is
+  /// stalled on another producer's watermark, so it wakes to re-check
+  /// watermark progress without needing a cross-thread signal.
+  std::size_t pop_batch_for(std::vector<T>& out, std::size_t max,
+                            std::chrono::microseconds timeout) {
+    MCDC_ASSERT(max > 0);
+    std::unique_lock<std::mutex> lock(mu_);
+    not_empty_.wait_for(lock, timeout,
+                        [this] { return !q_.empty() || closed_; });
+    return drain_locked(lock, out, max);
+  }
+
+  /// Non-blocking pop of everything currently queued (no `max`): the shard
+  /// worker calls this after snapshotting producer watermarks — the merge
+  /// is only allowed to trust a watermark after a full drain that follows
+  /// it (docs/ENGINE.md, merge-safety argument).
+  std::size_t try_pop_all(std::vector<T>& out) {
+    std::unique_lock<std::mutex> lock(mu_);
+    return drain_locked(lock, out, q_.size());
+  }
+
+  /// True once close() was called and every element has been popped.
+  bool closed_and_drained() const {
+    const std::lock_guard<std::mutex> lock(mu_);
+    return closed_ && q_.empty();
   }
 
   /// No more pushes will arrive; wakes the consumer to drain and exit.
@@ -105,12 +143,35 @@ class BoundedMpscQueue {
     return q_.size();
   }
 
+  /// One consistent snapshot: all counters plus the instantaneous depth,
+  /// copied under the queue mutex (no field can be newer than another).
   QueueStats stats() const {
     const std::lock_guard<std::mutex> lock(mu_);
-    return stats_;
+    QueueStats s = stats_;
+    s.depth = q_.size();
+    return s;
   }
 
  private:
+  /// Pop up to `max` elements while holding `lock`; releases the lock and
+  /// wakes kBlock producers when slots were freed.
+  std::size_t drain_locked(std::unique_lock<std::mutex>& lock,
+                           std::vector<T>& out, std::size_t max) {
+    std::size_t popped = 0;
+    while (popped < max && !q_.empty()) {
+      out.push_back(std::move(q_.front()));
+      q_.pop_front();
+      ++popped;
+    }
+    lock.unlock();
+    // Only kBlock producers ever wait on not_full_; wake them all — a
+    // batch frees up to `max` slots.
+    if (popped > 0 && policy_ == BackpressurePolicy::kBlock) {
+      not_full_.notify_all();
+    }
+    return popped;
+  }
+
   const std::size_t capacity_;
   const BackpressurePolicy policy_;
 

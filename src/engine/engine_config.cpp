@@ -1,0 +1,114 @@
+#include "engine/engine_config.h"
+
+#include <cstddef>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+#include "util/contracts.h"
+
+namespace mcdc {
+
+const char* to_string(BackpressurePolicy policy) {
+  switch (policy) {
+    case BackpressurePolicy::kBlock:
+      return "block";
+    case BackpressurePolicy::kDrop:
+      return "drop";
+    case BackpressurePolicy::kSpill:
+      return "spill";
+  }
+  MCDC_UNREACHABLE("bad BackpressurePolicy %d", static_cast<int>(policy));
+}
+
+BackpressurePolicy parse_backpressure_policy(const char* name) {
+  const std::string s(name);
+  if (s == "block") return BackpressurePolicy::kBlock;
+  if (s == "drop") return BackpressurePolicy::kDrop;
+  if (s == "spill") return BackpressurePolicy::kSpill;
+  throw std::invalid_argument("unknown backpressure policy: " + s +
+                              " (expected block|drop|spill)");
+}
+
+std::string EngineConfig::to_string() const {
+  std::ostringstream os;
+  os << "shards=" << num_shards << ",queue=" << queue_capacity
+     << ",batch=" << max_batch << ",policy=" << mcdc::to_string(policy)
+     << ",deterministic=" << (deterministic ? "true" : "false")
+     << ",credits=" << producer_credits;
+  return os.str();
+}
+
+namespace {
+
+[[noreturn]] void bad_value(const std::string& key, const std::string& value,
+                            const char* expected) {
+  throw std::invalid_argument("EngineConfig: unknown value \"" + value +
+                              "\" for key \"" + key + "\" (expected " +
+                              expected + ")");
+}
+
+/// Whole-token non-negative integer; rejects partial parses like "4x".
+std::uint64_t parse_u64(const std::string& key, const std::string& value,
+                        const char* expected) {
+  if (value.empty()) bad_value(key, value, expected);
+  std::uint64_t out = 0;
+  for (const char c : value) {
+    if (c < '0' || c > '9') bad_value(key, value, expected);
+    out = out * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  return out;
+}
+
+bool parse_bool(const std::string& key, const std::string& value) {
+  if (value == "true") return true;
+  if (value == "false") return false;
+  bad_value(key, value, "true|false");
+}
+
+}  // namespace
+
+EngineConfig EngineConfig::parse(const std::string& text) {
+  EngineConfig cfg;
+  std::istringstream in(text);
+  std::string token;
+  while (std::getline(in, token, ',')) {
+    if (token.empty()) continue;
+    const std::size_t eq = token.find('=');
+    if (eq == std::string::npos) {
+      throw std::invalid_argument(
+          "EngineConfig: malformed token \"" + token +
+          "\" (expected key=value with key in "
+          "shards|queue|batch|policy|deterministic|credits)");
+    }
+    const std::string key = token.substr(0, eq);
+    const std::string value = token.substr(eq + 1);
+    if (key == "shards") {
+      cfg.num_shards = static_cast<int>(
+          parse_u64(key, value, "a shard count >= 0; 0 = hardware threads"));
+    } else if (key == "queue") {
+      cfg.queue_capacity = static_cast<std::size_t>(
+          parse_u64(key, value, "a queue capacity > 0"));
+    } else if (key == "batch") {
+      cfg.max_batch =
+          static_cast<std::size_t>(parse_u64(key, value, "a batch size > 0"));
+    } else if (key == "policy") {
+      if (value != "block" && value != "drop" && value != "spill") {
+        bad_value(key, value, "block|drop|spill");
+      }
+      cfg.policy = parse_backpressure_policy(value.c_str());
+    } else if (key == "deterministic") {
+      cfg.deterministic = parse_bool(key, value);
+    } else if (key == "credits") {
+      cfg.producer_credits = static_cast<std::size_t>(
+          parse_u64(key, value, "a credit window >= 0; 0 = off"));
+    } else {
+      throw std::invalid_argument(
+          "EngineConfig: unknown key \"" + key +
+          "\" (expected shards|queue|batch|policy|deterministic|credits)");
+    }
+  }
+  return cfg;
+}
+
+}  // namespace mcdc

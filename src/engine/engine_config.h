@@ -2,6 +2,7 @@
 #pragma once
 
 #include <cstddef>
+#include <string>
 
 #include "core/online_sc.h"
 
@@ -42,11 +43,33 @@ struct EngineConfig {
   /// exact; see docs/ENGINE.md "Determinism contract").
   bool deterministic = true;
 
+  /// Per-producer soft credit window: when a session has this many
+  /// requests in flight (submitted but not yet retired by shard workers),
+  /// further submits record a credit_throttles event and yield once
+  /// before enqueueing. 0 disables the window. The window is accounting
+  /// plus pacing, never a hard block — a producer hard-blocked on credits
+  /// can deadlock the deterministic merge (docs/ENGINE.md derives the
+  /// cycle); the bounded queue remains the hard backpressure.
+  std::size_t producer_credits = 0;
+
   /// Forwarded to every shard's OnlineDataService (speculation knobs,
   /// observer). A non-null observer's metrics registry is shared by all
   /// shards (counters are atomic); an attached TraceSink is wrapped in an
   /// obs::LockedSink so shard event streams interleave without racing.
   SpeculativeCachingOptions service_options;
+
+  /// Canonical textual form of the scalar fields, e.g.
+  /// "shards=4,queue=1024,batch=64,policy=block,deterministic=true,credits=0".
+  /// service_options (pointers, speculation knobs) is not part of the
+  /// string form. parse(to_string()) round-trips exactly (property test).
+  std::string to_string() const;
+
+  /// Parse a comma-separated key=value list in the to_string() format.
+  /// Keys may appear in any order and be omitted (defaults apply). Errors
+  /// name the offending key or token and the valid choices — e.g.
+  /// `EngineConfig: unknown value "blok" for key "policy" (expected
+  /// block|drop|spill)` — and throw std::invalid_argument.
+  static EngineConfig parse(const std::string& text);
 };
 
 }  // namespace mcdc

@@ -14,8 +14,8 @@ std::string EngineStats::to_string() const {
   os << ", " << stalls << " enqueue stalls";
 
   Table t({"shard", "items", "requests", "max depth", "stalls", "drops",
-           "spills", "batches", "mean batch", "max batch", "arena KiB",
-           "cost"});
+           "spills", "batches", "mean batch", "max batch", "merge peak",
+           "merge stalls", "ties", "arena KiB", "cost"});
   for (const auto& s : shards) {
     t.add_row({std::to_string(s.shard),
                Table::integer(static_cast<long long>(s.items)),
@@ -27,10 +27,26 @@ std::string EngineStats::to_string() const {
                Table::integer(static_cast<long long>(s.batches.batches)),
                Table::num(s.batches.mean_batch(), 2),
                Table::integer(static_cast<long long>(s.batches.max_batch)),
+               Table::integer(static_cast<long long>(s.merge_depth_max)),
+               Table::integer(static_cast<long long>(s.merge_stalls)),
+               Table::integer(static_cast<long long>(s.ties_broken)),
                Table::num(static_cast<double>(s.resident_bytes) / 1024.0, 1),
                Table::num(s.cost)});
   }
   os << "\n" << t.render();
+  if (producers.size() > 1) {
+    Table p({"producer", "submitted", "dropped", "retired", "throttles",
+             "max in-flight"});
+    for (const auto& pr : producers) {
+      p.add_row({std::to_string(pr.producer),
+                 Table::integer(static_cast<long long>(pr.submitted)),
+                 Table::integer(static_cast<long long>(pr.dropped)),
+                 Table::integer(static_cast<long long>(pr.retired)),
+                 Table::integer(static_cast<long long>(pr.credit_throttles)),
+                 Table::integer(static_cast<long long>(pr.max_in_flight))});
+    }
+    os << "\n" << p.render();
+  }
   return os.str();
 }
 

@@ -27,18 +27,41 @@ struct ShardStats {
   BatchStats batches;
   Cost cost = 0.0;              ///< this shard's share of the total cost
   std::size_t resident_bytes = 0;  ///< shard arena footprint at drain time
+
+  // Cross-producer merge behaviour (see docs/ENGINE.md, "Ingestion
+  // sessions"). All zero in single-producer runs, where the worker
+  // bypasses the merge buffers entirely.
+  std::size_t producers = 0;       ///< producer lanes opened on this shard
+  std::size_t merge_depth_max = 0; ///< peak records parked in merge buffers
+  std::uint64_t merge_stalls = 0;  ///< waits on a lagging producer watermark
+  std::uint64_t ties_broken = 0;   ///< equal-time heads ordered by (producer, seq)
+};
+
+/// Per-producer ingestion accounting, snapshot by finish(). The credit
+/// window (EngineConfig::producer_credits) is soft — accounting and
+/// pacing, never a hard block — so throttle counts and the in-flight peak
+/// are the backpressure signal a producer actually observes.
+struct ProducerStats {
+  std::uint32_t producer = 0;
+  std::uint64_t submitted = 0;        ///< submit() calls (accepted or dropped)
+  std::uint64_t dropped = 0;          ///< lost to kDrop backpressure
+  std::uint64_t retired = 0;          ///< processed by shard workers
+  std::uint64_t credit_throttles = 0; ///< submits over the credit window
+  std::uint64_t max_in_flight = 0;    ///< peak submitted - retired
 };
 
 struct EngineStats {
   std::vector<ShardStats> shards;
+  std::vector<ProducerStats> producers;
 
   std::uint64_t submitted = 0;  ///< submit() calls accepted or dropped
   std::uint64_t dropped = 0;    ///< lost to kDrop backpressure
   std::uint64_t spilled = 0;    ///< pushed past capacity under kSpill
   std::uint64_t stalls = 0;     ///< producer waits under kBlock
 
-  /// Totals plus a util/table.h per-shard breakdown (queue pressure, batch
-  /// amortization, cost share).
+  /// Totals plus util/table.h breakdowns: per shard (queue pressure, batch
+  /// amortization, merge behaviour, cost share) and — when more than one
+  /// producer fed the engine — per producer (credit accounting).
   std::string to_string() const;
 };
 

@@ -1,0 +1,133 @@
+// Multi-producer ingestion sessions for the streaming engine.
+//
+// The engine's original submit() was single-producer: one caller owning
+// the global clock. A real service is fed by many uncoordinated sources,
+// so ingestion is now organized around sessions: each producer opens an
+// IngressSession (StreamingEngine::open_producer()) and submits its own
+// strictly-increasing-time subsequence from its own thread. The session
+// stamps every submission with the producer id and a per-producer
+// monotone sequence number; shard workers merge the per-producer FIFO
+// streams back into one time-ordered stream, breaking equal-timestamp
+// ties deterministically by (producer_id, seq). docs/ENGINE.md
+// ("Ingestion sessions") derives why this keeps the N-producer run
+// bit-identical to the serial service regardless of thread interleaving.
+//
+// Threading contract:
+//  * open_producer() calls must all happen before the first submit()
+//    anywhere on the engine (enforced; the merge needs the full producer
+//    set before it can order anything).
+//  * Each session is single-threaded; distinct sessions may run on
+//    distinct threads concurrently.
+//  * All producer threads must be quiesced (joined or otherwise
+//    synchronized) before finish(); sessions must not outlive the engine.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "util/types.h"
+
+namespace mcdc {
+
+namespace obs {
+class Counter;
+class Gauge;
+}  // namespace obs
+
+class StreamingEngine;
+
+/// Engine-owned per-producer state. Stable address (the engine stores
+/// these behind unique_ptrs); shard workers reach it through the kOpen
+/// control record, producers through their IngressSession.
+struct ProducerState {
+  std::uint32_t id = 0;
+
+  /// Highest time this producer has finished submitting (stored with
+  /// release order *after* the enqueue). A shard worker that snapshots
+  /// the watermark before draining its queue is guaranteed to have seen
+  /// every record from this producer with time <= the snapshot — the
+  /// merge-safety argument in docs/ENGINE.md.
+  std::atomic<double> watermark{0.0};
+
+  std::atomic<std::uint64_t> submitted{0};
+  std::atomic<std::uint64_t> retired{0};  ///< processed by shard workers
+  std::atomic<std::uint64_t> dropped{0};  ///< rejected by kDrop backpressure
+  std::atomic<bool> closed{false};
+
+  // Producer-thread-only (read by finish() after the quiesce contract).
+  Time last_time = 0.0;
+  std::uint64_t seq = 0;
+  std::uint64_t credit_throttles = 0;  ///< submits over the credit window
+  std::uint64_t max_in_flight = 0;     ///< peak submitted - retired
+
+  // Registry handles (created at open_producer when an observer with a
+  // metrics registry is attached; published once at session close).
+  obs::Counter* m_submitted = nullptr;
+  obs::Counter* m_credit_throttles = nullptr;
+  obs::Gauge* m_max_in_flight = nullptr;
+};
+
+/// One element of a shard's ingest queue: a stamped request, or a control
+/// marker bracketing a producer's lifetime (kOpen announces the lane and
+/// carries its state pointer; kClose releases the merge from waiting on
+/// the producer's watermark).
+struct IngressRecord {
+  enum class Kind : std::uint8_t { kRequest, kOpen, kClose };
+
+  int item = 0;
+  ServerId server = 0;
+  Time time = 0.0;
+  std::uint32_t producer = 0;
+  std::uint64_t seq = 0;
+  Kind kind = Kind::kRequest;
+  ProducerState* state = nullptr;  ///< non-null only on kOpen
+};
+
+/// A producer's handle into the engine. Move-only; single-threaded;
+/// closes itself on destruction. Obtain via
+/// StreamingEngine::open_producer().
+class IngressSession {
+ public:
+  IngressSession() = default;
+  IngressSession(const IngressSession&) = delete;
+  IngressSession& operator=(const IngressSession&) = delete;
+  IngressSession(IngressSession&& other) noexcept;
+  IngressSession& operator=(IngressSession&& other) noexcept;
+  ~IngressSession();
+
+  /// False for a default-constructed or moved-from handle.
+  bool valid() const { return state_ != nullptr; }
+
+  std::uint32_t id() const;
+
+  /// Route one request to its shard, stamped with this producer's id and
+  /// next sequence number. Times must strictly increase per session (and
+  /// be > 0); throws std::invalid_argument otherwise, std::logic_error
+  /// once closed. Returns false iff dropped by kDrop backpressure.
+  bool submit(int item, ServerId server, Time time);
+
+  /// Announce end-of-stream: pushes a close marker to every shard so the
+  /// merge stops waiting on this producer's watermark. Idempotent;
+  /// finish() force-closes any session left open.
+  void close();
+
+  bool closed() const;
+
+  /// Requests submitted but not yet processed by shard workers (the
+  /// quantity the credit window throttles).
+  std::uint64_t in_flight() const;
+
+ private:
+  friend class StreamingEngine;
+  IngressSession(StreamingEngine* engine, ProducerState* state)
+      : engine_(engine), state_(state) {}
+
+  StreamingEngine* engine_ = nullptr;
+  ProducerState* state_ = nullptr;
+};
+
+/// The name the API is documented under: a ProducerHandle *is* an
+/// ingestion session.
+using ProducerHandle = IngressSession;
+
+}  // namespace mcdc

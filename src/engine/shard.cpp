@@ -1,5 +1,6 @@
 #include "engine/shard.h"
 
+#include <chrono>
 #include <string>
 #include <vector>
 
@@ -17,6 +18,11 @@ BackpressurePolicy effective_policy(const EngineConfig& cfg) {
   return cfg.policy;
 }
 
+// How long a merge-stalled worker sleeps between watermark re-checks.
+// Watermarks advance without signalling this shard's condvar (a producer
+// only notifies the shards it pushes to), so the stalled state polls.
+constexpr std::chrono::microseconds kStallRecheck{200};
+
 }  // namespace
 
 EngineShard::EngineShard(int index, int num_servers, const CostModel& cm,
@@ -24,9 +30,10 @@ EngineShard::EngineShard(int index, int num_servers, const CostModel& cm,
                          const SpeculativeCachingOptions& options)
     : index_(index),
       deterministic_(cfg.deterministic),
+      max_batch_(cfg.max_batch),
       service_(num_servers, cm, options),
-      queue_(cfg.queue_capacity, effective_policy(cfg)),
-      batcher_(cfg.max_batch) {
+      queue_(cfg.queue_capacity, effective_policy(cfg)) {
+  batch_buf_.reserve(cfg.max_batch);
   obs::Observer* ob = options.observer;
   if (ob != nullptr && ob->metrics() != nullptr) {
     obs::MetricsRegistry& reg = *ob->metrics();
@@ -38,6 +45,8 @@ EngineShard::EngineShard(int index, int num_servers, const CostModel& cm,
     requests_ = &reg.counter(p + "requests");
     cost_total_ = &reg.gauge(p + "cost_total");
     shard_resident_bytes_ = &reg.gauge(p + "resident_bytes");
+    merge_depth_ = &reg.gauge(p + "merge_depth");
+    merge_stall_counter_ = &reg.counter(p + "merge_stalls");
   }
 }
 
@@ -55,43 +64,216 @@ void EngineShard::start() {
   worker_ = std::thread([this] { run(); });
 }
 
-bool EngineShard::enqueue(const MultiItemRequest& r) {
+bool EngineShard::enqueue(const IngressRecord& r) {
   return queue_.value.push(r);
+}
+
+void EngineShard::enqueue_control(const IngressRecord& r) {
+  queue_.value.push_control(r);
 }
 
 void EngineShard::run() {
   try {
+    bool stalled = false;
     for (;;) {
-      const std::vector<MultiItemRequest>& batch = batcher_.next(queue_.value);
-      if (batch.empty()) break;  // closed and drained
-      if (queue_depth_ != nullptr) {
-        queue_depth_->set(static_cast<double>(queue_.value.depth()));
+      batch_buf_.clear();
+      bool closed = false;
+      std::size_t got = 0;
+      if (stalled) {
+        // Merge is waiting on a lagging producer's watermark; wake on new
+        // records or on the poll interval, whichever comes first.
+        got = queue_.value.pop_batch_for(batch_buf_, max_batch_, kStallRecheck);
+        if (got == 0 && queue_.value.closed_and_drained()) closed = true;
+      } else {
+        got = queue_.value.pop_batch(batch_buf_, max_batch_);
+        if (got == 0) closed = true;  // pop_batch: 0 iff closed-and-drained
       }
-      if (batch_size_ != nullptr) {
-        batch_size_->observe(static_cast<double>(batch.size()));
-      }
-      for (const MultiItemRequest& r : batch) {
-        if (deterministic_) {
-          // Replay-order contract: FIFO delivery of a time-ordered stream.
-          // (service_.request would also reject, but this names the broken
-          // engine invariant rather than a generic input error.)
-          MCDC_INVARIANT(!saw_request_ || r.time > last_time_seen_,
-                         "shard %d replay order broken: t=%.12g after %.12g",
-                         index_, r.time, last_time_seen_);
+      demux(batch_buf_);
+      std::size_t total = got;
+      if (producers_seen_ > 1) {
+        // Merge-safety protocol: snapshot every open lane's watermark,
+        // THEN drain the queue completely. Afterwards any record with
+        // time <= its lane's snapshot is demultiplexed (the producer
+        // stores the watermark with release order only after the push),
+        // so an empty lane with wm_snap >= t provably has nothing at or
+        // before t anywhere — its head may be overtaken.
+        for (Lane& lane : lanes_) {
+          if (lane.open && !lane.closed && lane.state != nullptr) {
+            lane.wm_snap =
+                lane.state->watermark.load(std::memory_order_acquire);
+          }
         }
-        saw_request_ = true;
-        last_time_seen_ = r.time;
-        service_.value.request(r.item, r.server, r.time);
-        ++processed_;
+        batch_buf_.clear();
+        const std::size_t more = queue_.value.try_pop_all(batch_buf_);
+        if (more > 0) demux(batch_buf_);
+        total += more;
       }
-      if (requests_ != nullptr) requests_->inc(batch.size());
+      if (total > 0) {
+        ++batch_stats_.batches;
+        batch_stats_.requests += total;
+        if (total > batch_stats_.max_batch) batch_stats_.max_batch = total;
+        if (batch_size_ != nullptr) {
+          batch_size_->observe(static_cast<double>(total));
+        }
+        if (queue_depth_ != nullptr) {
+          queue_depth_->set(static_cast<double>(queue_.value.stats().depth));
+        }
+      }
+      if (producers_seen_ > 1 || merge_buffered_ > 0) {
+        stalled = process_eligible(closed);
+        if (merge_depth_ != nullptr) {
+          merge_depth_->set(static_cast<double>(merge_buffered_));
+        }
+      }
+      if (batch_emitted_ > 0) {
+        if (requests_ != nullptr) requests_->inc(batch_emitted_);
+        batch_emitted_ = 0;
+      }
+      flush_retired();
+      if (closed) break;
     }
   } catch (...) {
     failure_ = std::current_exception();
     // Keep draining so a kBlock producer stalled on our full queue cannot
     // deadlock; the exception resurfaces from drain_and_finish().
-    std::vector<MultiItemRequest> discard;
+    std::vector<IngressRecord> discard;
     while (queue_.value.pop_batch(discard, 1024) > 0) discard.clear();
+  }
+}
+
+void EngineShard::demux(const std::vector<IngressRecord>& batch) {
+  for (const IngressRecord& r : batch) {
+    switch (r.kind) {
+      case IngressRecord::Kind::kOpen: {
+        // Sessions must all be opened before the first submit, so by FIFO
+        // every kOpen precedes every data record on this queue.
+        MCDC_INVARIANT(processed_ == 0 && merge_buffered_ == 0,
+                       "shard %d: producer %u opened after ingest started",
+                       index_, r.producer);
+        if (r.producer >= lanes_.size()) lanes_.resize(r.producer + 1);
+        Lane& lane = lanes_[r.producer];
+        MCDC_INVARIANT(!lane.open, "shard %d: producer %u opened twice",
+                       index_, r.producer);
+        lane.open = true;
+        lane.state = r.state;
+        ++producers_seen_;
+        break;
+      }
+      case IngressRecord::Kind::kClose: {
+        MCDC_INVARIANT(r.producer < lanes_.size() && lanes_[r.producer].open,
+                       "shard %d: close for unknown producer %u", index_,
+                       r.producer);
+        lanes_[r.producer].closed = true;
+        break;
+      }
+      case IngressRecord::Kind::kRequest: {
+        MCDC_INVARIANT(r.producer < lanes_.size() && lanes_[r.producer].open,
+                       "shard %d: request from unopened producer %u", index_,
+                       r.producer);
+        Lane& lane = lanes_[r.producer];
+        MCDC_INVARIANT(!lane.closed,
+                       "shard %d: request from closed producer %u", index_,
+                       r.producer);
+        // Per-lane replay order: a session's stream reaches its shard as
+        // a strictly-increasing (time, seq) FIFO.
+        MCDC_INVARIANT(!lane.saw_any ||
+                           (r.time > lane.last_time && r.seq > lane.last_seq),
+                       "shard %d: lane %u order broken at t=%.12g seq=%llu",
+                       index_, r.producer, r.time,
+                       static_cast<unsigned long long>(r.seq));
+        lane.saw_any = true;
+        lane.last_time = r.time;
+        lane.last_seq = r.seq;
+        if (producers_seen_ <= 1) {
+          // Single-producer bypass: one lane is always merge-eligible, so
+          // skip the buffers and process in arrival order (the original
+          // fast path — protects the throughput gate).
+          process_record(r);
+          ++lane.retired_pending;
+        } else {
+          lane.buf.push_back(r);
+          ++merge_buffered_;
+          if (merge_buffered_ > merge_depth_max_) {
+            merge_depth_max_ = merge_buffered_;
+          }
+        }
+        break;
+      }
+    }
+  }
+}
+
+bool EngineShard::process_eligible(bool flush_all) {
+  for (;;) {
+    // Minimal head across lanes by (time, producer id); seq never ties
+    // across lanes because each lane is already FIFO by seq.
+    Lane* best = nullptr;
+    bool tie = false;
+    for (Lane& lane : lanes_) {
+      if (lane.buf.empty()) continue;
+      if (best == nullptr) {
+        best = &lane;
+        continue;
+      }
+      const IngressRecord& a = lane.buf.front();
+      const IngressRecord& b = best->buf.front();
+      if (a.time < b.time) {
+        best = &lane;
+        tie = false;
+      } else if (a.time == b.time) {
+        tie = true;
+        if (a.producer < b.producer) best = &lane;
+      }
+    }
+    if (best == nullptr) return false;  // nothing parked
+    const IngressRecord r = best->buf.front();
+    if (!flush_all) {
+      // r may only be emitted if no open lane could still produce a
+      // record ordered before (or tied with) it: an empty lane passes
+      // when its watermark snapshot has reached r.time — everything it
+      // submitted up to that time is already demultiplexed (see run()).
+      for (const Lane& lane : lanes_) {
+        if (&lane == best || !lane.open || lane.closed || !lane.buf.empty()) {
+          continue;
+        }
+        if (lane.wm_snap < r.time) {
+          ++merge_stalls_;
+          if (merge_stall_counter_ != nullptr) merge_stall_counter_->inc();
+          return true;  // stalled on a lagging producer
+        }
+      }
+    }
+    if (tie) ++ties_broken_;
+    best->buf.pop_front();
+    --merge_buffered_;
+    process_record(r);
+    ++best->retired_pending;
+  }
+}
+
+void EngineShard::process_record(const IngressRecord& r) {
+  if (deterministic_) {
+    // Merge-order contract: emitted times are non-decreasing (equal times
+    // only across distinct producers; the per-lane check in demux already
+    // guarantees strict increase within a producer).
+    MCDC_INVARIANT(!saw_request_ || r.time >= last_time_seen_,
+                   "shard %d merge order broken: t=%.12g after %.12g", index_,
+                   r.time, last_time_seen_);
+  }
+  saw_request_ = true;
+  last_time_seen_ = r.time;
+  service_.value.request(r.item, r.server, r.time);
+  ++processed_;
+  ++batch_emitted_;
+}
+
+void EngineShard::flush_retired() {
+  for (Lane& lane : lanes_) {
+    if (lane.retired_pending > 0 && lane.state != nullptr) {
+      lane.state->retired.fetch_add(lane.retired_pending,
+                                    std::memory_order_release);
+      lane.retired_pending = 0;
+    }
   }
 }
 
@@ -100,18 +282,23 @@ ServiceReport EngineShard::drain_and_finish() {
   if (worker_.joinable()) worker_.join();
   joined_ = true;
   if (failure_ != nullptr) std::rethrow_exception(failure_);
+  // One consistent queue snapshot (taken under the queue mutex) feeds both
+  // the registry export below and ShardStats — the counters can never
+  // disagree with each other about which instant they describe.
+  queue_stats_ = queue_.value.stats();
   // Arena footprint at its peak — finish() releases the recording vectors
   // into the report, so sample first.
   resident_bytes_ = service_.value.resident_bytes();
   ServiceReport rep = service_.value.finish();
   items_ = rep.items;
   cost_ = rep.total_cost;
-  if (enqueue_stalls_ != nullptr) enqueue_stalls_->inc(queue_.value.stats().stalls);
+  if (enqueue_stalls_ != nullptr) enqueue_stalls_->inc(queue_stats_.stalls);
   if (cost_total_ != nullptr) cost_total_->set(cost_);
   if (shard_resident_bytes_ != nullptr) {
     shard_resident_bytes_->set(static_cast<double>(resident_bytes_));
   }
   if (queue_depth_ != nullptr) queue_depth_->set(0.0);
+  if (merge_depth_ != nullptr) merge_depth_->set(0.0);
   return rep;
 }
 
@@ -121,10 +308,14 @@ ShardStats EngineShard::stats() const {
   s.shard = index_;
   s.items = items_;
   s.requests = processed_;
-  s.queue = queue_.value.stats();
-  s.batches = batcher_.stats();
+  s.queue = queue_stats_;
+  s.batches = batch_stats_;
   s.cost = cost_;
   s.resident_bytes = resident_bytes_;
+  s.producers = producers_seen_;
+  s.merge_depth_max = merge_depth_max_;
+  s.merge_stalls = merge_stalls_;
+  s.ties_broken = ties_broken_;
   return s;
 }
 

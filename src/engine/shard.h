@@ -1,11 +1,19 @@
 // One shard of the streaming engine: a bounded ingest queue, a worker
 // thread, and a private OnlineDataService owning every item hashed here.
 //
-// Because the engine's producer feeds each shard in global time order and
-// the queue is FIFO, the shard sees a strictly-increasing-time subsequence
-// of the stream — exactly what OnlineDataService requires — and every item
-// is owned by exactly one shard, so per-item results are independent of
-// the shard count (the determinism contract, docs/ENGINE.md).
+// Multi-producer ingestion (docs/ENGINE.md, "Ingestion sessions"): the
+// queue carries stamped IngressRecords from any number of sessions, each
+// a strictly-increasing-time FIFO of its own. The worker demultiplexes
+// records into per-producer merge lanes and emits them in global
+// (time, producer_id, seq) order — the deterministic cross-producer merge
+// that keeps the engine bit-identical to the serial service no matter how
+// producer threads interleave. A lane's head may only be emitted once
+// every other open lane either has a buffered record or a watermark
+// snapshot proving its future records are strictly later; the snapshot is
+// taken *before* a full queue drain, which is what makes trusting it
+// sound (the merge-safety argument in the doc). With a single producer
+// the worker bypasses the lanes entirely and processes batches in place —
+// the original fast path, preserved bit for bit.
 //
 // Memory: the shard's service is its arena — item state lives in the
 // service-owned slab (docs/ENGINE.md "Memory model"), so steady-state
@@ -14,17 +22,19 @@
 // CachePadded: adjacent shards in the engine's array never false-share.
 #pragma once
 
+#include <cstdint>
 #include <exception>
+#include <deque>
 #include <thread>
+#include <vector>
 
-#include "engine/batcher.h"
 #include "engine/bounded_queue.h"
 #include "engine/engine_config.h"
 #include "engine/engine_stats.h"
+#include "engine/ingress.h"
 #include "obs/observer.h"
 #include "service/data_service.h"
 #include "util/concurrency.h"
-#include "workload/generators.h"
 
 namespace mcdc {
 
@@ -43,8 +53,12 @@ class EngineShard {
   void start();
 
   /// Enqueue under the shard's backpressure policy. Returns false when the
-  /// request was dropped (kDrop on a full queue). Producer-side only.
-  bool enqueue(const MultiItemRequest& r);
+  /// request was dropped (kDrop on a full queue). Any producer thread.
+  bool enqueue(const IngressRecord& r);
+
+  /// Enqueue a control marker (kOpen/kClose): never dropped, never
+  /// counted as a request. Any thread.
+  void enqueue_control(const IngressRecord& r);
 
   /// Close the queue, join the worker (rethrowing anything it threw), and
   /// return the shard's service report (per_item ascending by item id).
@@ -56,23 +70,56 @@ class EngineShard {
   int index() const { return index_; }
 
  private:
+  /// Per-producer merge lane: the FIFO of this producer's records that
+  /// have reached the shard but not yet been emitted, plus the watermark
+  /// snapshot taken before the most recent full queue drain.
+  struct Lane {
+    std::deque<IngressRecord> buf;
+    ProducerState* state = nullptr;
+    double wm_snap = 0.0;
+    bool open = false;
+    bool closed = false;
+    Time last_time = 0.0;       ///< per-lane replay-order check
+    std::uint64_t last_seq = 0;
+    bool saw_any = false;
+    std::uint64_t retired_pending = 0;  ///< batched into state->retired
+  };
+
   void run();
+  void demux(const std::vector<IngressRecord>& batch);
+  /// Emit every merge-eligible record; with `flush_all` (queue closed and
+  /// drained — no further input can exist) lanes are treated as closed.
+  /// Returns true when records remain parked (merge stalled).
+  bool process_eligible(bool flush_all);
+  void process_record(const IngressRecord& r);
+  void flush_retired();
 
   const int index_;
   const bool deterministic_;
+  const std::size_t max_batch_;
   CachePadded<OnlineDataService> service_;
-  CachePadded<BoundedMpscQueue<MultiItemRequest>> queue_;
-  Microbatcher<MultiItemRequest> batcher_;
+  CachePadded<BoundedMpscQueue<IngressRecord>> queue_;
   std::thread worker_;
   std::exception_ptr failure_;
   bool joined_ = false;
 
+  // Worker-local state.
+  std::vector<IngressRecord> batch_buf_;
+  BatchStats batch_stats_;
+  std::vector<Lane> lanes_;
+  std::size_t producers_seen_ = 0;
+  std::size_t merge_buffered_ = 0;   ///< total records parked across lanes
+  std::size_t merge_depth_max_ = 0;
+  std::uint64_t merge_stalls_ = 0;
+  std::uint64_t ties_broken_ = 0;
   std::uint64_t processed_ = 0;
+  std::uint64_t batch_emitted_ = 0;  ///< requests emitted since last counter flush
   Time last_time_seen_ = 0.0;
   bool saw_request_ = false;
   std::size_t items_ = 0;
   Cost cost_ = 0.0;
   std::size_t resident_bytes_ = 0;
+  QueueStats queue_stats_;  ///< one consistent snapshot, taken at drain
 
   // Per-shard registry metrics (null without an observer registry).
   obs::Gauge* queue_depth_ = nullptr;
@@ -81,6 +128,8 @@ class EngineShard {
   obs::Counter* requests_ = nullptr;
   obs::Gauge* cost_total_ = nullptr;
   obs::Gauge* shard_resident_bytes_ = nullptr;
+  obs::Gauge* merge_depth_ = nullptr;
+  obs::Counter* merge_stall_counter_ = nullptr;
 };
 
 }  // namespace mcdc

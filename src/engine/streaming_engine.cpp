@@ -4,31 +4,12 @@
 #include <cstdint>
 #include <stdexcept>
 #include <string>
+#include <thread>
 
+#include "obs/metrics.h"
 #include "util/concurrency.h"
 
 namespace mcdc {
-
-const char* to_string(BackpressurePolicy policy) {
-  switch (policy) {
-    case BackpressurePolicy::kBlock:
-      return "block";
-    case BackpressurePolicy::kDrop:
-      return "drop";
-    case BackpressurePolicy::kSpill:
-      return "spill";
-  }
-  MCDC_UNREACHABLE("bad BackpressurePolicy %d", static_cast<int>(policy));
-}
-
-BackpressurePolicy parse_backpressure_policy(const char* name) {
-  const std::string s(name);
-  if (s == "block") return BackpressurePolicy::kBlock;
-  if (s == "drop") return BackpressurePolicy::kDrop;
-  if (s == "spill") return BackpressurePolicy::kSpill;
-  throw std::invalid_argument("unknown backpressure policy: " + s +
-                              " (expected block|drop|spill)");
-}
 
 std::size_t StreamingEngine::shard_of(int item, int num_shards) {
   MCDC_ASSERT(num_shards > 0);
@@ -45,7 +26,7 @@ std::size_t StreamingEngine::shard_of(int item, int num_shards) {
 
 StreamingEngine::StreamingEngine(int num_servers, const CostModel& cm,
                                  const EngineConfig& cfg)
-    : num_servers_(num_servers) {
+    : num_servers_(num_servers), credits_(cfg.producer_credits) {
   if (num_servers <= 0) {
     throw std::invalid_argument("StreamingEngine: need at least one server");
   }
@@ -77,25 +58,143 @@ StreamingEngine::StreamingEngine(int num_servers, const CostModel& cm,
   for (auto& s : shards_) s->start();
 }
 
-bool StreamingEngine::submit(int item, ServerId server, Time time) {
-  if (finished_) throw std::logic_error("StreamingEngine: already finished");
+StreamingEngine::~StreamingEngine() {
+  // Abandoned sessions must not push into queues that are about to close;
+  // marking every producer closed turns their close() into a no-op.
+  for (auto& p : producers_) p->closed.store(true, std::memory_order_release);
+  // Workers retire into ProducerState, and producers_ (declared later) is
+  // destroyed before shards_ — so the workers must be joined here, while
+  // every producer is still alive, not in the shards' own destructors.
+  shards_.clear();
+}
+
+IngressSession StreamingEngine::open_producer() {
+  const std::lock_guard<std::mutex> lock(producers_mu_);
+  if (finished_) {
+    throw std::logic_error("StreamingEngine: already finished");
+  }
+  if (ingest_started_.load(std::memory_order_acquire)) {
+    throw std::logic_error(
+        "StreamingEngine: open_producer() after ingest started (every "
+        "session must be opened before the first submit)");
+  }
+  auto owned = std::make_unique<ProducerState>();
+  ProducerState* p = owned.get();
+  p->id = static_cast<std::uint32_t>(producers_.size());
+  if (observer_ != nullptr && observer_->metrics() != nullptr) {
+    obs::MetricsRegistry& reg = *observer_->metrics();
+    const std::string prefix = "engine_producer" + std::to_string(p->id) + "_";
+    p->m_submitted = &reg.counter(prefix + "submitted");
+    p->m_credit_throttles = &reg.counter(prefix + "credit_throttles");
+    p->m_max_in_flight = &reg.gauge(prefix + "max_in_flight");
+  }
+  producers_.push_back(std::move(owned));
+  // Announce the lane to every shard. All opens precede the first submit,
+  // so by queue FIFO every kOpen precedes every data record.
+  IngressRecord open;
+  open.kind = IngressRecord::Kind::kOpen;
+  open.producer = p->id;
+  open.state = p;
+  for (auto& s : shards_) s->enqueue_control(open);
+  return IngressSession(this, p);
+}
+
+bool StreamingEngine::submit_from(ProducerState& p, int item, ServerId server,
+                                  Time time) {
+  if (p.closed.load(std::memory_order_acquire)) {
+    throw std::logic_error("IngressSession: session is closed");
+  }
   if (server < 0 || server >= num_servers_) {
     throw std::invalid_argument("StreamingEngine: server out of range");
   }
-  if (!(time > last_time_)) {
-    throw std::invalid_argument("StreamingEngine: times must strictly increase");
+  if (!(time > p.last_time)) {
+    throw std::invalid_argument(
+        "IngressSession: times must strictly increase per producer");
   }
-  last_time_ = time;
-  ++submitted_;
+  ingest_started_.store(true, std::memory_order_release);
+  p.last_time = time;
+  ++p.seq;
+  if (credits_ > 0) {
+    const std::uint64_t over =
+        p.submitted.load(std::memory_order_relaxed) -
+        p.dropped.load(std::memory_order_relaxed) -
+        p.retired.load(std::memory_order_relaxed);
+    if (over >= credits_) {
+      // Soft credit window: account and yield once, never block. A hard
+      // block here can deadlock against the cross-producer merge — a shard
+      // worker may be stalled waiting on THIS producer's watermark while
+      // this producer waits on that worker's progress (derivation in
+      // docs/ENGINE.md). The bounded queue's kBlock remains the hard
+      // backpressure bound.
+      ++p.credit_throttles;
+      if (p.m_credit_throttles != nullptr) p.m_credit_throttles->inc();
+      std::this_thread::yield();
+    }
+  }
+  IngressRecord r;
+  r.item = item;
+  r.server = server;
+  r.time = time;
+  r.producer = p.id;
+  r.seq = p.seq;
+  // submitted is incremented before the enqueue so retired (worker-side)
+  // can never be observed above it.
+  const std::uint64_t submitted =
+      p.submitted.fetch_add(1, std::memory_order_relaxed) + 1;
   const std::size_t s = shard_of(item, num_shards());
-  const bool accepted = shards_[s]->enqueue({item, server, time});
-  if (!accepted) ++dropped_;
+  const bool accepted = shards_[s]->enqueue(r);
+  if (!accepted) p.dropped.fetch_add(1, std::memory_order_relaxed);
+  // Watermark advances AFTER the enqueue (release order): a worker that
+  // acquire-loads it and then fully drains its queue has provably seen
+  // every record from this producer with time <= the loaded value — the
+  // merge-safety protocol (docs/ENGINE.md, "Ingestion sessions").
+  p.watermark.store(time, std::memory_order_release);
+  const std::uint64_t in_flight = submitted -
+                                  p.dropped.load(std::memory_order_relaxed) -
+                                  p.retired.load(std::memory_order_relaxed);
+  if (in_flight > p.max_in_flight) {
+    p.max_in_flight = in_flight;
+    if (p.m_max_in_flight != nullptr) {
+      p.m_max_in_flight->set(static_cast<double>(in_flight));
+    }
+  }
   return accepted;
 }
 
+void StreamingEngine::close_producer(ProducerState* p) {
+  if (p->closed.exchange(true, std::memory_order_acq_rel)) return;
+  // Exactly one closer (the session's thread, or finish() after the
+  // quiesce) broadcasts the marker and publishes the session's metrics.
+  IngressRecord rec;
+  rec.kind = IngressRecord::Kind::kClose;
+  rec.producer = p->id;
+  for (auto& s : shards_) s->enqueue_control(rec);
+  if (p->m_submitted != nullptr) {
+    p->m_submitted->inc(p->submitted.load(std::memory_order_relaxed));
+  }
+  if (p->m_max_in_flight != nullptr) {
+    p->m_max_in_flight->set(static_cast<double>(p->max_in_flight));
+  }
+}
+
+bool StreamingEngine::submit(int item, ServerId server, Time time) {
+  if (!default_session_.valid()) {
+    // Lazy legacy session: producer 0, opened on first use. open_producer
+    // throws once finished, preserving the old submit-after-finish error.
+    default_session_ = open_producer();
+  }
+  return default_session_.submit(item, server, time);
+}
+
 ServiceReport StreamingEngine::finish() {
-  if (finished_) throw std::logic_error("StreamingEngine: already finished");
-  finished_ = true;
+  {
+    const std::lock_guard<std::mutex> lock(producers_mu_);
+    if (finished_) throw std::logic_error("StreamingEngine: already finished");
+    finished_ = true;
+  }
+  // Force-close stragglers so no shard merge is left waiting on an open
+  // lane's watermark; then close the queues and join the workers.
+  for (auto& p : producers_) close_producer(p.get());
 
   ServiceReport rep;
   for (auto& s : shards_) {
@@ -115,10 +214,24 @@ ServiceReport StreamingEngine::finish() {
   finalize_report(rep);
 
   stats_.shards.clear();
-  stats_.submitted = submitted_;
-  stats_.dropped = dropped_;
+  stats_.producers.clear();
+  stats_.submitted = 0;
+  stats_.dropped = 0;
   stats_.spilled = 0;
   stats_.stalls = 0;
+  // Workers are joined: every producer's retired count is final.
+  for (const auto& p : producers_) {
+    ProducerStats ps;
+    ps.producer = p->id;
+    ps.submitted = p->submitted.load(std::memory_order_acquire);
+    ps.dropped = p->dropped.load(std::memory_order_acquire);
+    ps.retired = p->retired.load(std::memory_order_acquire);
+    ps.credit_throttles = p->credit_throttles;
+    ps.max_in_flight = p->max_in_flight;
+    stats_.producers.push_back(ps);
+    stats_.submitted += ps.submitted;
+    stats_.dropped += ps.dropped;
+  }
   std::size_t resident = 0;
   for (const auto& s : shards_) {
     stats_.shards.push_back(s->stats());
@@ -130,10 +243,11 @@ ServiceReport StreamingEngine::finish() {
   // publish the sum once so the gauge covers the whole engine rather than
   // whichever shard drained last.
   if (observer_ != nullptr) observer_->set_service_resident_bytes(resident);
-  MCDC_INVARIANT(submitted_ - dropped_ ==
+  MCDC_INVARIANT(stats_.submitted - stats_.dropped ==
                      rep.requests + static_cast<std::uint64_t>(rep.items),
                  "engine accounting: %llu accepted != %zu served + %zu births",
-                 static_cast<unsigned long long>(submitted_ - dropped_),
+                 static_cast<unsigned long long>(stats_.submitted -
+                                                 stats_.dropped),
                  rep.requests, rep.items);
   return rep;
 }
@@ -141,6 +255,63 @@ ServiceReport StreamingEngine::finish() {
 const EngineStats& StreamingEngine::stats() const {
   MCDC_ASSERT(finished_, "engine stats read before finish()");
   return stats_;
+}
+
+std::size_t StreamingEngine::num_producers() const {
+  const std::lock_guard<std::mutex> lock(producers_mu_);
+  return producers_.size();
+}
+
+// ---- IngressSession ------------------------------------------------------
+
+IngressSession::IngressSession(IngressSession&& other) noexcept
+    : engine_(other.engine_), state_(other.state_) {
+  other.engine_ = nullptr;
+  other.state_ = nullptr;
+}
+
+IngressSession& IngressSession::operator=(IngressSession&& other) noexcept {
+  if (this != &other) {
+    if (engine_ != nullptr && state_ != nullptr) engine_->close_producer(state_);
+    engine_ = other.engine_;
+    state_ = other.state_;
+    other.engine_ = nullptr;
+    other.state_ = nullptr;
+  }
+  return *this;
+}
+
+IngressSession::~IngressSession() {
+  if (engine_ != nullptr && state_ != nullptr) engine_->close_producer(state_);
+}
+
+std::uint32_t IngressSession::id() const {
+  MCDC_ASSERT(state_ != nullptr, "id() on an invalid session");
+  return state_->id;
+}
+
+bool IngressSession::submit(int item, ServerId server, Time time) {
+  if (state_ == nullptr) {
+    throw std::logic_error("IngressSession: invalid (moved-from) session");
+  }
+  return engine_->submit_from(*state_, item, server, time);
+}
+
+void IngressSession::close() {
+  if (engine_ != nullptr && state_ != nullptr) engine_->close_producer(state_);
+}
+
+bool IngressSession::closed() const {
+  return state_ == nullptr || state_->closed.load(std::memory_order_acquire);
+}
+
+std::uint64_t IngressSession::in_flight() const {
+  if (state_ == nullptr) return 0;
+  // All three counters only grow; submitted is incremented before the
+  // enqueue, so the difference cannot underflow.
+  return state_->submitted.load(std::memory_order_relaxed) -
+         state_->dropped.load(std::memory_order_relaxed) -
+         state_->retired.load(std::memory_order_relaxed);
 }
 
 }  // namespace mcdc

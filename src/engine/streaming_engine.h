@@ -6,31 +6,42 @@
 // homogeneous cost model items are independent (the service layer already
 // exploits this), so the stream can be hash-partitioned by item id onto N
 // shards, each an OnlineDataService of its own behind a bounded MPSC
-// queue: the producer pays only hash + enqueue, the SC work proceeds on N
+// queue: producers pay only hash + enqueue, the SC work proceeds on N
 // worker threads, and no cross-shard coordination ever happens because no
 // item spans shards.
+//
+// Ingestion is organized around producer sessions (engine/ingress.h):
+// open_producer() hands out an IngressSession per request source; each
+// session stamps its submissions with a per-producer monotone sequence
+// number and shard workers merge the per-producer FIFOs back into one
+// time-ordered stream with a deterministic (producer_id, seq) tie-break
+// on equal timestamps. All sessions must be opened before the first
+// submit anywhere on the engine; each session is single-threaded, and
+// distinct sessions may submit concurrently from distinct threads.
 //
 // Determinism contract (asserted by the differential fuzz lane): with a
 // lossless policy (kBlock/kSpill, forced by EngineConfig::deterministic),
 // per-item outcomes AND aggregate ServiceReport totals are bit-identical
-// to the serial service on the same stream — same per-item subsequences
-// (stable shard_of hash + FIFO queues), same floating-point summation
-// order (finalize_report over item-id-ascending outcomes). Only the
-// interleaving of observer events across items is unspecified.
+// to the serial service on the canonically merged stream — same per-item
+// subsequences (stable shard_of hash + FIFO lanes + deterministic merge),
+// same floating-point summation order (finalize_report over
+// item-id-ascending outcomes) — REGARDLESS of producer thread
+// interleaving. Only the interleaving of observer events across items is
+// unspecified.
 //
-// Threading contract: submit() is single-producer (it enforces the global
-// strictly-increasing-time invariant, mirroring the serial service);
-// worker threads are internal. finish() closes the queues, joins, merges.
 // The engine stays threaded under ThreadSanitizer by design — std::thread
 // and std::mutex are fully instrumented — so TSan actually races the hot
 // paths (util/concurrency.h states the repo-wide threading policy).
 #pragma once
 
+#include <atomic>
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "engine/engine_config.h"
 #include "engine/engine_stats.h"
+#include "engine/ingress.h"
 #include "engine/shard.h"
 #include "obs/observer.h"
 #include "obs/sinks.h"
@@ -44,25 +55,42 @@ class StreamingEngine {
                   const EngineConfig& cfg = {});
 
   /// Joins any still-running workers; results are discarded if finish()
-  /// was never called.
-  ~StreamingEngine() = default;
+  /// was never called. Sessions must not outlive the engine.
+  ~StreamingEngine();
 
-  /// Route one request to its shard. Returns false iff the request was
-  /// dropped by kDrop backpressure; kBlock may wait for the shard to
-  /// drain. Times must strictly increase across calls (throws otherwise,
-  /// like the serial service). Single producer thread.
+  /// Open an ingestion session. Every open must happen before the first
+  /// submit anywhere on the engine (throws std::logic_error afterwards —
+  /// the deterministic merge needs the full producer set before it can
+  /// order anything). The returned session is single-threaded; distinct
+  /// sessions may run on distinct threads. finish() force-closes any
+  /// session left open.
+  IngressSession open_producer();
+
+  /// Route one request to its shard. Single-producer legacy entry point:
+  /// lazily opens one internal session (producer 0) and forwards — which
+  /// means it cannot be mixed with explicit open_producer() sessions.
+  /// Returns false iff the request was dropped by kDrop backpressure;
+  /// kBlock may wait for the shard to drain. Times must strictly increase
+  /// across calls (throws otherwise, like the serial service).
+  [[deprecated(
+      "use open_producer() — the session API; submit() is a "
+      "single-producer shim kept for one release")]]
   bool submit(int item, ServerId server, Time time);
 
-  /// Close all queues, join all workers (rethrowing the first worker
-  /// failure), and merge the per-shard reports into one ServiceReport
-  /// whose per_item is ascending by item id and whose totals satisfy the
-  /// finalize_report reconciliation invariant.
+  /// Close all sessions and queues, join all workers (rethrowing the
+  /// first worker failure), and merge the per-shard reports into one
+  /// ServiceReport whose per_item is ascending by item id and whose
+  /// totals satisfy the finalize_report reconciliation invariant. All
+  /// producer threads must be quiesced before this call.
   ServiceReport finish();
 
-  /// Queue/batch/loss statistics. Valid after finish().
+  /// Queue/batch/loss/producer statistics. Valid after finish().
   const EngineStats& stats() const;
 
   int num_shards() const { return static_cast<int>(shards_.size()); }
+
+  /// Producers opened so far (the internal shim session included).
+  std::size_t num_producers() const;
 
   /// Stable item -> shard assignment (splitmix64 finalizer; independent of
   /// platform, std::hash, and insertion order — part of the determinism
@@ -70,7 +98,18 @@ class StreamingEngine {
   static std::size_t shard_of(int item, int num_shards);
 
  private:
+  friend class IngressSession;
+
+  /// The session submit path: validates, stamps (producer, seq), applies
+  /// the soft credit window, enqueues, then advances the watermark.
+  bool submit_from(ProducerState& p, int item, ServerId server, Time time);
+
+  /// Idempotent: first closer broadcasts the kClose marker to every shard
+  /// and publishes the session's metrics.
+  void close_producer(ProducerState* p);
+
   int num_servers_;
+  std::size_t credits_ = 0;
   std::vector<std::unique_ptr<EngineShard>> shards_;
 
   // Engine-owned observer rewiring: shards share the caller's metrics
@@ -80,10 +119,12 @@ class StreamingEngine {
   std::unique_ptr<obs::Observer> shard_observer_;
   obs::Observer* observer_ = nullptr;  ///< caller's observer (fleet gauges)
 
-  Time last_time_ = 0.0;
-  std::uint64_t submitted_ = 0;
-  std::uint64_t dropped_ = 0;
+  mutable std::mutex producers_mu_;  ///< guards producers_ and finished_
+  std::vector<std::unique_ptr<ProducerState>> producers_;
+  std::atomic<bool> ingest_started_{false};
   bool finished_ = false;
+
+  IngressSession default_session_;  ///< lazily opened by the submit() shim
   EngineStats stats_;
 };
 

@@ -27,6 +27,7 @@
 #include "baselines/offline_het_heuristic.h"
 #include "baselines/offline_quadratic.h"
 #include "baselines/offline_veeravalli.h"
+#include "baselines/solve.h"
 
 // Workloads and traces.
 #include "workload/generators.h"
@@ -58,6 +59,7 @@
 // Sharded concurrent streaming engine fronting the service.
 #include "engine/engine_config.h"
 #include "engine/engine_stats.h"
+#include "engine/ingress.h"
 #include "engine/streaming_engine.h"
 
 // Classic capacity-driven paging (Table I baseline).

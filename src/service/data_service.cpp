@@ -160,8 +160,8 @@ bool OnlineDataService::request(int item, ServerId server, Time time) {
   if (server < 0 || server >= num_servers_) {
     throw std::invalid_argument("OnlineDataService: server out of range");
   }
-  if (!(time > last_time_)) {
-    throw std::invalid_argument("OnlineDataService: times must strictly increase");
+  if (time < last_time_) {
+    throw std::invalid_argument("OnlineDataService: times must be non-decreasing");
   }
   last_time_ = time;
 

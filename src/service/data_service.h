@@ -112,7 +112,11 @@ class OnlineDataService {
                     const SpeculativeCachingOptions& options = {});
 
   /// Process one request. Returns true when served locally (a hit or the
-  /// birth request), false when a transfer was needed.
+  /// birth request), false when a transfer was needed. Times must be
+  /// non-decreasing across calls — equal times are allowed only for
+  /// distinct items (a deterministically merged multi-producer stream can
+  /// carry cross-producer ties); the per-item SC instance still rejects
+  /// equal times on the same item.
   bool request(int item, ServerId server, Time time);
 
   /// Close every item at its own last request time and build the report

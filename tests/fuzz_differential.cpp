@@ -32,15 +32,19 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <cstdlib>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "baselines/offline_exact.h"
 #include "baselines/offline_quadratic.h"
 #include "core/offline_dp.h"
 #include "core/online_sc.h"
 #include "core/reductions.h"
+#include "engine/ingress.h"
 #include "engine/streaming_engine.h"
 #include "model/schedule_validator.h"
 #include "service/data_service.h"
@@ -264,9 +268,11 @@ TEST(FuzzDifferential, EngineBitIdenticalToSerial) {
                                 : BackpressurePolicy::kSpill;
     ecfg.deterministic = true;
     StreamingEngine engine(cfg.num_servers, cm, ecfg);
+    IngressSession session = engine.open_producer();
     for (const auto& r : stream) {
-      ASSERT_TRUE(engine.submit(r.item, r.server, r.time));
+      ASSERT_TRUE(session.submit(r.item, r.server, r.time));
     }
+    session.close();
     const ServiceReport got = engine.finish();
 
     ASSERT_EQ(want.total_cost, got.total_cost);
@@ -288,6 +294,114 @@ TEST(FuzzDifferential, EngineBitIdenticalToSerial) {
       ASSERT_EQ(w.transfers, g.transfers) << "item " << w.item;
       ASSERT_EQ(w.hits, g.hits) << "item " << w.item;
     }
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+}
+
+namespace {
+
+void assert_reports_identical(const ServiceReport& want,
+                              const ServiceReport& got) {
+  ASSERT_EQ(want.total_cost, got.total_cost);
+  ASSERT_EQ(want.caching_cost, got.caching_cost);
+  ASSERT_EQ(want.transfer_cost, got.transfer_cost);
+  ASSERT_EQ(want.items, got.items);
+  ASSERT_EQ(want.requests, got.requests);
+  ASSERT_EQ(want.per_item.size(), got.per_item.size());
+  for (std::size_t i = 0; i < want.per_item.size(); ++i) {
+    const ItemOutcome& w = want.per_item[i];
+    const ItemOutcome& g = got.per_item[i];
+    ASSERT_EQ(w.item, g.item);
+    ASSERT_EQ(w.origin, g.origin);
+    ASSERT_EQ(w.birth, g.birth);
+    ASSERT_EQ(w.requests, g.requests);
+    ASSERT_EQ(w.cost, g.cost) << "item " << w.item;
+    ASSERT_EQ(w.caching_cost, g.caching_cost) << "item " << w.item;
+    ASSERT_EQ(w.transfer_cost, g.transfer_cost) << "item " << w.item;
+    ASSERT_EQ(w.transfers, g.transfers) << "item " << w.item;
+    ASSERT_EQ(w.hits, g.hits) << "item " << w.item;
+  }
+}
+
+}  // namespace
+
+// Multi-producer determinism sweep: random producer counts (1, 2, 4, 8),
+// a random request -> producer assignment (each producer's slice keeps the
+// stream's increasing times, so per-session monotonicity holds by
+// construction), and barrier-started producer threads so every iteration
+// runs a genuinely different OS interleaving. Whatever the interleaving,
+// the engine's (time, producer, seq) merge must reproduce the serial
+// service bit for bit.
+TEST(FuzzDifferential, EngineMultiProducerBitIdenticalToSerial) {
+  const std::uint64_t iters = env_u64("MCDC_FUZZ_ITERS", 1000);
+  const std::uint64_t base_seed = env_u64("MCDC_FUZZ_SEED", 20170814);
+
+  for (std::uint64_t it = 0; it < iters; ++it) {
+    const std::uint64_t seed = base_seed + 0x900000000ULL + it;
+    Rng rng(seed);
+    MultiItemConfig cfg;
+    cfg.num_servers = 1 + static_cast<int>(rng.uniform_int(std::uint64_t{6}));
+    cfg.num_items = 1 + static_cast<int>(rng.uniform_int(std::uint64_t{40}));
+    cfg.num_requests = 1 + static_cast<int>(rng.uniform_int(std::uint64_t{250}));
+    cfg.arrival_rate = rng.uniform(0.5, 8.0);
+    cfg.item_zipf_alpha = rng.uniform(0.0, 1.3);
+    cfg.server_zipf_alpha = rng.uniform(0.0, 1.3);
+    const CostModel cm(std::exp(rng.uniform(-2.3, 1.4)),
+                       std::exp(rng.uniform(-2.3, 2.1)));
+    const auto stream = gen_multi_item(rng, cfg);
+
+    const std::size_t producers = std::size_t{1}
+                                  << rng.uniform_int(std::uint64_t{4});
+    std::vector<std::vector<MultiItemRequest>> slices(producers);
+    for (const auto& r : stream) {
+      slices[rng.uniform_int(producers)].push_back(r);
+    }
+
+    SCOPED_TRACE("engine-mp seed=" + std::to_string(seed) + " m=" +
+                 std::to_string(cfg.num_servers) + " n=" +
+                 std::to_string(cfg.num_requests) + " producers=" +
+                 std::to_string(producers));
+
+    OnlineDataService serial(cfg.num_servers, cm);
+    for (const auto& r : stream) serial.request(r.item, r.server, r.time);
+    const ServiceReport want = serial.finish();
+
+    EngineConfig ecfg;
+    ecfg.num_shards = 1 + static_cast<int>(rng.uniform_int(std::uint64_t{6}));
+    ecfg.queue_capacity = std::size_t{1}
+                          << rng.uniform_int(std::uint64_t{8});  // 1..128
+    ecfg.max_batch = 1 + rng.uniform_int(std::uint64_t{16});
+    ecfg.policy = (it % 2 == 0) ? BackpressurePolicy::kBlock
+                                : BackpressurePolicy::kSpill;
+    ecfg.deterministic = true;
+    ecfg.producer_credits = (it % 3 == 0) ? std::size_t{4} : std::size_t{0};
+    StreamingEngine engine(cfg.num_servers, cm, ecfg);
+
+    std::vector<IngressSession> sessions;
+    sessions.reserve(producers);
+    for (std::size_t p = 0; p < producers; ++p) {
+      sessions.push_back(engine.open_producer());
+    }
+    std::atomic<std::size_t> ready{0};
+    std::atomic<bool> go{false};
+    std::vector<std::thread> threads;
+    threads.reserve(producers);
+    for (std::size_t p = 0; p < producers; ++p) {
+      threads.emplace_back([&, p] {
+        ready.fetch_add(1);
+        while (!go.load()) std::this_thread::yield();
+        for (const auto& r : slices[p]) {
+          sessions[p].submit(r.item, r.server, r.time);
+        }
+        sessions[p].close();
+      });
+    }
+    while (ready.load() < producers) std::this_thread::yield();
+    go.store(true);
+    for (auto& t : threads) t.join();
+    const ServiceReport got = engine.finish();
+
+    assert_reports_identical(want, got);
     if (::testing::Test::HasFatalFailure()) return;
   }
 }

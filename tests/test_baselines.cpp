@@ -8,7 +8,11 @@
 #include "baselines/lookahead.h"
 #include "baselines/offline_het_heuristic.h"
 #include "baselines/offline_exact.h"
+#include "baselines/offline_quadratic.h"
+#include "baselines/solve.h"
 #include "core/offline_dp.h"
+#include "obs/metrics.h"
+#include "obs/observer.h"
 #include "core/online_sc.h"
 #include "model/schedule_validator.h"
 #include "util/rng.h"
@@ -308,6 +312,103 @@ TEST(Lookahead, RejectsBadWindow) {
   const CostModel cm(1.0, 1.0);
   const RequestSequence seq(2, {{1, 1.0}});
   EXPECT_THROW(solve_lookahead(seq, cm, {.window = 0}), std::invalid_argument);
+}
+
+// ---------------- Unified solve_offline facade ----------------
+
+TEST(SolveFacade, AllBackendsAgreeOnOptimalCost) {
+  Rng rng(33);
+  const CostModel cm(1.0, 1.2);
+  for (int inst = 0; inst < 20; ++inst) {
+    const auto seq = random_sequence(rng, 4, 14);
+    const auto dp =
+        solve_offline(seq, cm, {.algorithm = OfflineAlgorithm::kDp});
+    const auto quad =
+        solve_offline(seq, cm, {.algorithm = OfflineAlgorithm::kQuadratic});
+    const auto exact =
+        solve_offline(seq, cm, {.algorithm = OfflineAlgorithm::kExact});
+    EXPECT_EQ(dp.algorithm, OfflineAlgorithm::kDp);
+    EXPECT_EQ(quad.algorithm, OfflineAlgorithm::kQuadratic);
+    EXPECT_EQ(exact.algorithm, OfflineAlgorithm::kExact);
+    EXPECT_TRUE(almost_equal(dp.optimal_cost, quad.optimal_cost, 1e-7));
+    EXPECT_TRUE(almost_equal(dp.optimal_cost, exact.optimal_cost, 1e-7));
+    // DP and the quadratic reference must agree on the whole cost tables.
+    ASSERT_EQ(dp.C.size(), quad.C.size());
+    for (std::size_t i = 0; i < dp.C.size(); ++i) {
+      EXPECT_TRUE(almost_equal(dp.C[i], quad.C[i], 1e-7)) << "C[" << i << "]";
+    }
+    // Schedules come from the backends that can produce them.
+    EXPECT_TRUE(dp.has_schedule);
+    EXPECT_TRUE(validate_schedule(dp.schedule, seq).ok);
+    EXPECT_FALSE(quad.has_schedule);
+    EXPECT_TRUE(exact.has_schedule);
+    EXPECT_FALSE(exact.final_holders.empty());
+  }
+}
+
+TEST(SolveFacade, AutoPicksDpUnlessUploadCostForcesExact) {
+  Rng rng(34);
+  const CostModel cm(1.0, 1.0);
+  const auto seq = random_sequence(rng, 3, 10);
+  const auto plain = solve_offline(seq, cm, {.schedule = false});
+  EXPECT_EQ(plain.algorithm, OfflineAlgorithm::kDp);
+  const auto uploaded = solve_offline(seq, cm, {.upload_cost = 0.4});
+  EXPECT_EQ(uploaded.algorithm, OfflineAlgorithm::kExact);
+  EXPECT_LE(uploaded.optimal_cost, plain.optimal_cost + 1e-9);
+  // Explicitly asking a backend that cannot model the upload cost is an
+  // error, not a silent ignore.
+  EXPECT_THROW(solve_offline(seq, cm,
+                             {.algorithm = OfflineAlgorithm::kDp,
+                              .upload_cost = 0.4}),
+               std::invalid_argument);
+}
+
+TEST(SolveFacade, LegacyEntryPointsForwardThroughFacade) {
+  Rng rng(35);
+  const CostModel cm(0.8, 1.5);
+  const auto seq = random_sequence(rng, 4, 12);
+  const auto facade_quad =
+      solve_offline(seq, cm, {.algorithm = OfflineAlgorithm::kQuadratic});
+  const auto legacy_quad = solve_offline_quadratic(seq, cm);
+  EXPECT_EQ(legacy_quad.optimal_cost, facade_quad.optimal_cost);
+  ASSERT_EQ(legacy_quad.C.size(), facade_quad.C.size());
+  for (std::size_t i = 0; i < legacy_quad.C.size(); ++i) {
+    EXPECT_EQ(legacy_quad.C[i], facade_quad.C[i]);
+    EXPECT_EQ(legacy_quad.D[i], facade_quad.D[i]);
+  }
+  const auto facade_exact =
+      solve_offline(seq, cm, {.algorithm = OfflineAlgorithm::kExact});
+  const auto legacy_exact =
+      solve_offline_exact(seq, cm, {.reconstruct_schedule = true});
+  EXPECT_EQ(legacy_exact.optimal_cost, facade_exact.optimal_cost);
+  EXPECT_TRUE(legacy_exact.has_schedule);
+  EXPECT_EQ(legacy_exact.final_holders, facade_exact.final_holders);
+}
+
+TEST(SolveFacade, ObserverPassesThroughToDp) {
+  Rng rng(36);
+  const CostModel cm(1.0, 1.0);
+  const auto seq = random_sequence(rng, 3, 20);
+  obs::MetricsRegistry reg;
+  obs::Observer observer(&reg, nullptr);
+  const auto res = solve_offline(
+      seq, cm, {.algorithm = OfflineAlgorithm::kDp, .observer = &observer});
+  EXPECT_GT(res.optimal_cost, 0.0);
+  const auto snap = reg.snapshot();
+  bool saw_stage_histogram = false;
+  for (const auto& [name, h] : snap.histograms) {
+    if (name == "dp_stage_us" && h.count > 0) saw_stage_histogram = true;
+  }
+  EXPECT_TRUE(saw_stage_histogram);
+}
+
+TEST(SolveFacade, AlgorithmNamesRoundTrip) {
+  for (const auto a :
+       {OfflineAlgorithm::kAuto, OfflineAlgorithm::kDp,
+        OfflineAlgorithm::kQuadratic, OfflineAlgorithm::kExact}) {
+    EXPECT_EQ(parse_offline_algorithm(to_string(a)), a);
+  }
+  EXPECT_THROW(parse_offline_algorithm("newton"), std::invalid_argument);
 }
 
 }  // namespace

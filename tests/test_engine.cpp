@@ -11,9 +11,11 @@
 #include <atomic>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "engine/bounded_queue.h"
+#include "engine/ingress.h"
 #include "engine/streaming_engine.h"
 #include "obs/observer.h"
 #include "obs/sinks.h"
@@ -39,6 +41,50 @@ ServiceReport run_serial(const std::vector<MultiItemRequest>& stream,
   OnlineDataService service(servers, cm);
   for (const auto& r : stream) service.request(r.item, r.server, r.time);
   return service.finish();
+}
+
+/// Feed the whole stream through one ingestion session — the session-API
+/// form of the old single-producer submit() loop.
+void submit_all(StreamingEngine& engine,
+                const std::vector<MultiItemRequest>& stream) {
+  IngressSession session = engine.open_producer();
+  for (const auto& r : stream) session.submit(r.item, r.server, r.time);
+  session.close();
+}
+
+/// Round-robin the stream across `producers` barrier-started threads, each
+/// feeding its own session: real concurrent interleavings, one per run.
+/// Each thread's slice inherits the stream's increasing times, so the
+/// deterministic merge must reproduce the original global order exactly.
+ServiceReport run_engine_producers(const std::vector<MultiItemRequest>& stream,
+                                   int servers, const CostModel& cm,
+                                   const EngineConfig& cfg,
+                                   std::size_t producers) {
+  StreamingEngine engine(servers, cm, cfg);
+  std::vector<IngressSession> sessions;
+  sessions.reserve(producers);
+  for (std::size_t p = 0; p < producers; ++p) {
+    sessions.push_back(engine.open_producer());
+  }
+  std::atomic<std::size_t> ready{0};
+  std::atomic<bool> go{false};
+  std::vector<std::thread> threads;
+  threads.reserve(producers);
+  for (std::size_t p = 0; p < producers; ++p) {
+    threads.emplace_back([&, p] {
+      ready.fetch_add(1);
+      while (!go.load()) std::this_thread::yield();
+      for (std::size_t i = p; i < stream.size(); i += producers) {
+        const auto& r = stream[i];
+        sessions[p].submit(r.item, r.server, r.time);
+      }
+      sessions[p].close();
+    });
+  }
+  while (ready.load() < producers) std::this_thread::yield();
+  go.store(true);
+  for (auto& t : threads) t.join();
+  return engine.finish();
 }
 
 // Bit-identical comparison: EXPECT_EQ on doubles is exact equality.
@@ -204,7 +250,7 @@ TEST(StreamingEngine, BitIdenticalToSerialAcrossShardCounts) {
     cfg.queue_capacity = 32;  // small: force backpressure blocking
     cfg.max_batch = 8;
     StreamingEngine engine(5, cm, cfg);
-    for (const auto& r : stream) EXPECT_TRUE(engine.submit(r.item, r.server, r.time));
+    submit_all(engine, stream);
     const auto rep = engine.finish();
     SCOPED_TRACE("shards=" + std::to_string(shards));
     expect_reports_identical(serial, rep);
@@ -221,7 +267,7 @@ TEST(StreamingEngine, SpillPolicyIsAlsoLossless) {
   cfg.policy = BackpressurePolicy::kSpill;
   cfg.deterministic = true;
   StreamingEngine engine(4, cm, cfg);
-  for (const auto& r : stream) engine.submit(r.item, r.server, r.time);
+  submit_all(engine, stream);
   const auto rep = engine.finish();
   expect_reports_identical(serial, rep);
   std::uint64_t spilled = 0;
@@ -239,17 +285,22 @@ TEST(StreamingEngine, DropPolicyBoundsQueueAndCountsLosses) {
   cfg.policy = BackpressurePolicy::kDrop;
   cfg.deterministic = false;  // deterministic mode would override kDrop
   StreamingEngine engine(4, cm, cfg);
+  IngressSession session = engine.open_producer();
   std::uint64_t accepted = 0;
   for (const auto& r : stream) {
-    if (engine.submit(r.item, r.server, r.time)) ++accepted;
+    if (session.submit(r.item, r.server, r.time)) ++accepted;
   }
+  session.close();
   const auto rep = engine.finish();
   const auto& st = engine.stats();
   EXPECT_EQ(st.submitted, stream.size());
   EXPECT_EQ(st.dropped, stream.size() - accepted);
   EXPECT_EQ(rep.requests + rep.items, static_cast<std::size_t>(accepted));
   for (const auto& s : st.shards) {
-    EXPECT_LE(s.queue.max_depth, cfg.queue_capacity);
+    // Control markers (kOpen/kClose) bypass the capacity bound so a close
+    // can never be dropped; one producer adds at most two to the peak.
+    EXPECT_LE(s.queue.max_depth, cfg.queue_capacity + 2);
+    EXPECT_EQ(s.queue.control, 2u);  // one open + one close marker
   }
 }
 
@@ -263,7 +314,7 @@ TEST(StreamingEngine, DeterministicModeOverridesDropToBlock) {
   cfg.policy = BackpressurePolicy::kDrop;
   cfg.deterministic = true;  // lossless despite kDrop + tiny queue
   StreamingEngine engine(3, cm, cfg);
-  for (const auto& r : stream) EXPECT_TRUE(engine.submit(r.item, r.server, r.time));
+  submit_all(engine, stream);
   expect_reports_identical(serial, engine.finish());
 }
 
@@ -280,9 +331,11 @@ TEST(StreamingEngine, EmptyAndSingleItemStreams) {
     EngineConfig cfg;
     cfg.num_shards = 4;  // more shards than items
     StreamingEngine engine(3, cm, cfg);
-    engine.submit(42, 1, 1.0);
-    engine.submit(42, 2, 1.5);
-    engine.submit(42, 1, 9.0);
+    IngressSession session = engine.open_producer();
+    session.submit(42, 1, 1.0);
+    session.submit(42, 2, 1.5);
+    session.submit(42, 1, 9.0);
+    session.close();
     const auto rep = engine.finish();
     EXPECT_EQ(rep.items, 1u);
     EXPECT_EQ(rep.requests, 2u);
@@ -308,20 +361,26 @@ TEST(StreamingEngine, Errors) {
     EXPECT_THROW(StreamingEngine(2, cm, cfg), std::invalid_argument);
   }
   StreamingEngine engine(2, cm, {});
-  engine.submit(0, 0, 1.0);
-  EXPECT_THROW(engine.submit(0, 0, 1.0), std::invalid_argument);  // time
-  EXPECT_THROW(engine.submit(0, 5, 2.0), std::invalid_argument);  // server
+  IngressSession session = engine.open_producer();
+  session.submit(0, 0, 1.0);
+  EXPECT_THROW(session.submit(0, 0, 1.0), std::invalid_argument);  // time
+  EXPECT_THROW(session.submit(0, 5, 2.0), std::invalid_argument);  // server
+  // The merge needs the full producer set up front: no opens after ingest.
+  EXPECT_THROW(engine.open_producer(), std::logic_error);
   engine.finish();
-  EXPECT_THROW(engine.submit(0, 0, 3.0), std::logic_error);
+  EXPECT_THROW(session.submit(0, 0, 3.0), std::logic_error);  // force-closed
   EXPECT_THROW(engine.finish(), std::logic_error);
+  EXPECT_THROW(engine.open_producer(), std::logic_error);  // finished
 }
 
 TEST(StreamingEngine, AbandonedEngineJoinsCleanly) {
   const CostModel cm(1.0, 1.0);
   const auto stream = make_stream(17, 3, 6, 300);
   StreamingEngine engine(3, cm, {});
-  for (const auto& r : stream) engine.submit(r.item, r.server, r.time);
-  // No finish(): the destructor must close queues and join workers.
+  IngressSession session = engine.open_producer();
+  for (const auto& r : stream) session.submit(r.item, r.server, r.time);
+  // No finish(), no close(): the engine destructor must mark the session
+  // closed, close the queues, and join the workers.
 }
 
 TEST(StreamingEngine, ZeroShardsMeansHardwareThreads) {
@@ -346,7 +405,7 @@ TEST(StreamingEngine, MetricsRollUpIntoSharedRegistry) {
   cfg.max_batch = 8;
   cfg.service_options.observer = &observer;
   StreamingEngine engine(4, cm, cfg);
-  for (const auto& r : stream) engine.submit(r.item, r.server, r.time);
+  submit_all(engine, stream);
   const auto rep = engine.finish();
 
   const auto snap = reg.snapshot();
@@ -397,6 +456,242 @@ TEST(StreamingEngine, MetricsRollUpIntoSharedRegistry) {
               serial_ring.count(static_cast<obs::EventKind>(k)))
         << "event kind " << k;
   }
+}
+
+TEST(StreamingEngine, DeprecatedSubmitShimStillWorks) {
+  const CostModel cm(1.0, 1.0);
+  const auto stream = make_stream(29, 3, 7, 400);
+  const auto serial = run_serial(stream, 3, cm);
+  EngineConfig cfg;
+  cfg.num_shards = 2;
+  StreamingEngine engine(3, cm, cfg);
+  // The shim is deprecated but must keep its exact semantics for one
+  // release: lazily opens producer 0 and forwards.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+  for (const auto& r : stream) {
+    EXPECT_TRUE(engine.submit(r.item, r.server, r.time));
+  }
+  EXPECT_EQ(engine.num_producers(), 1u);
+  EXPECT_THROW(engine.open_producer(), std::logic_error);  // ingest started
+  const auto rep = engine.finish();
+  EXPECT_THROW(engine.submit(0, 0, 999.0), std::logic_error);
+#pragma GCC diagnostic pop
+  expect_reports_identical(serial, rep);
+}
+
+TEST(IngressSession, MultiProducerBitIdenticalAcrossInterleavings) {
+  const CostModel cm(1.0, 1.3);
+  const auto stream = make_stream(41, 5, 19, 900);
+  const auto serial = run_serial(stream, 5, cm);
+  for (const std::size_t producers : {std::size_t{2}, std::size_t{8}}) {
+    for (const int shards : {1, 3}) {
+      // Several repetitions: every run is a fresh thread interleaving, and
+      // every one must merge back to the bit-identical serial report.
+      for (int rep = 0; rep < 3; ++rep) {
+        EngineConfig cfg;
+        cfg.num_shards = shards;
+        cfg.queue_capacity = 16;  // small: force blocking + merge stalls
+        cfg.max_batch = 8;
+        SCOPED_TRACE("producers=" + std::to_string(producers) +
+                     " shards=" + std::to_string(shards) +
+                     " rep=" + std::to_string(rep));
+        expect_reports_identical(
+            serial, run_engine_producers(stream, 5, cm, cfg, producers));
+      }
+    }
+  }
+}
+
+TEST(IngressSession, EqualTimeTiesBreakByProducerThenSeq) {
+  const CostModel cm(1.0, 1.0);
+  constexpr int kPairs = 50;
+  // Producer 0 and producer 1 submit distinct items at identical
+  // timestamps; the canonical merged order is (time, producer id, seq).
+  OnlineDataService serial(3, cm);
+  for (int k = 0; k < kPairs; ++k) {
+    const Time t = 1.0 + k;
+    serial.request(0, k % 3, t);        // producer 0's record first
+    serial.request(1, (k + 1) % 3, t);  // then producer 1's tie
+  }
+  const auto serial_rep = serial.finish();
+
+  EngineConfig cfg;
+  cfg.num_shards = 1;  // both items on one shard: every pair is a merge tie
+  StreamingEngine engine(3, cm, cfg);
+  IngressSession s0 = engine.open_producer();
+  IngressSession s1 = engine.open_producer();
+  // Producer 1 submits its whole stream before producer 0 even starts; the
+  // merge must still put each equal-time pair in producer-id order.
+  for (int k = 0; k < kPairs; ++k) s1.submit(1, (k + 1) % 3, 1.0 + k);
+  s1.close();
+  for (int k = 0; k < kPairs; ++k) s0.submit(0, k % 3, 1.0 + k);
+  s0.close();
+  const auto rep = engine.finish();
+  expect_reports_identical(serial_rep, rep);
+  std::uint64_t ties = 0;
+  for (const auto& s : engine.stats().shards) ties += s.ties_broken;
+  EXPECT_GT(ties, 0u);
+}
+
+TEST(IngressSession, CloseSemanticsAndProducerAccounting) {
+  const CostModel cm(1.0, 1.0);
+  EngineConfig cfg;
+  cfg.num_shards = 2;
+  cfg.producer_credits = 4;  // tiny soft window: exercise the throttle path
+  StreamingEngine engine(3, cm, cfg);
+  IngressSession a = engine.open_producer();
+  IngressSession b = engine.open_producer();
+  EXPECT_EQ(a.id(), 0u);
+  EXPECT_EQ(b.id(), 1u);
+  EXPECT_EQ(engine.num_producers(), 2u);
+  EXPECT_FALSE(a.closed());
+  for (int k = 1; k <= 200; ++k) {
+    a.submit(k % 11, k % 3, static_cast<Time>(k));
+  }
+  a.close();
+  EXPECT_TRUE(a.closed());
+  a.close();  // idempotent
+  EXPECT_THROW(a.submit(3, 0, 1000.0), std::logic_error);
+  // b's times overlap a's already-submitted range: sessions only promise
+  // per-producer monotonicity, the merge provides the global order.
+  for (int k = 1; k <= 100; ++k) {
+    b.submit(100 + (k % 5), k % 3, static_cast<Time>(k));
+  }
+  b.close();
+  const auto rep = engine.finish();
+  const auto& st = engine.stats();
+  ASSERT_EQ(st.producers.size(), 2u);
+  EXPECT_EQ(st.producers[0].producer, 0u);
+  EXPECT_EQ(st.producers[0].submitted, 200u);
+  EXPECT_EQ(st.producers[1].submitted, 100u);
+  EXPECT_EQ(st.producers[0].dropped, 0u);
+  EXPECT_EQ(st.producers[0].retired, 200u);  // lossless: all processed
+  EXPECT_EQ(st.producers[1].retired, 100u);
+  EXPECT_GE(st.producers[0].max_in_flight, 1u);
+  EXPECT_LE(st.producers[0].credit_throttles, st.producers[0].submitted);
+  EXPECT_EQ(st.submitted, 300u);
+  EXPECT_EQ(rep.requests + rep.items, 300u);
+  // Every shard saw both producer lanes (open markers are broadcast).
+  for (const auto& s : st.shards) EXPECT_EQ(s.producers, 2u);
+}
+
+TEST(IngressSession, ManyProducersStressBitIdentical) {
+  const CostModel cm(1.0, 1.0);
+  const auto stream = make_stream(71, 4, 31, 3000);
+  const auto serial = run_serial(stream, 4, cm);
+  EngineConfig cfg;
+  cfg.num_shards = 4;
+  cfg.queue_capacity = 8;  // tiny: constant backpressure under 8 producers
+  cfg.max_batch = 4;
+  cfg.producer_credits = 8;
+  expect_reports_identical(serial,
+                           run_engine_producers(stream, 4, cm, cfg, 8));
+}
+
+TEST(IngressSession, MovedFromSessionIsInvalid) {
+  const CostModel cm(1.0, 1.0);
+  StreamingEngine engine(2, cm, {});
+  IngressSession a = engine.open_producer();
+  IngressSession b = std::move(a);
+  EXPECT_FALSE(a.valid());  // NOLINT(bugprone-use-after-move): probing it
+  EXPECT_TRUE(b.valid());
+  EXPECT_THROW(a.submit(0, 0, 1.0), std::logic_error);
+  b.submit(0, 0, 1.0);
+  b.close();
+  engine.finish();
+}
+
+TEST(EngineConfig, ToStringParseRoundTrip) {
+  // Property test: parse(to_string()) is the identity on every scalar
+  // field, across randomized configurations.
+  Rng rng(123);
+  const BackpressurePolicy policies[] = {BackpressurePolicy::kBlock,
+                                         BackpressurePolicy::kDrop,
+                                         BackpressurePolicy::kSpill};
+  for (int iter = 0; iter < 200; ++iter) {
+    EngineConfig cfg;
+    cfg.num_shards = static_cast<int>(rng.uniform_int(0, 64));
+    cfg.queue_capacity = static_cast<std::size_t>(rng.uniform_int(1, 1 << 16));
+    cfg.max_batch = static_cast<std::size_t>(rng.uniform_int(1, 512));
+    cfg.policy = policies[rng.uniform_int(3)];
+    cfg.deterministic = rng.bernoulli(0.5);
+    cfg.producer_credits = static_cast<std::size_t>(rng.uniform_int(0, 1024));
+    const std::string text = cfg.to_string();
+    const EngineConfig back = EngineConfig::parse(text);
+    EXPECT_EQ(back.num_shards, cfg.num_shards) << text;
+    EXPECT_EQ(back.queue_capacity, cfg.queue_capacity) << text;
+    EXPECT_EQ(back.max_batch, cfg.max_batch) << text;
+    EXPECT_EQ(back.policy, cfg.policy) << text;
+    EXPECT_EQ(back.deterministic, cfg.deterministic) << text;
+    EXPECT_EQ(back.producer_credits, cfg.producer_credits) << text;
+    EXPECT_EQ(back.to_string(), text);
+  }
+}
+
+void expect_parse_error(const std::string& text, const std::string& needle_a,
+                        const std::string& needle_b) {
+  try {
+    EngineConfig::parse(text);
+    FAIL() << "no exception for \"" << text << "\"";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find(needle_a), std::string::npos) << what;
+    EXPECT_NE(what.find(needle_b), std::string::npos) << what;
+  }
+}
+
+TEST(EngineConfig, ParseErrorsNameKeyTokenAndChoices) {
+  // Unknown key: names the key and lists the valid ones.
+  expect_parse_error("shards=4,polices=block", "polices",
+                     "shards|queue|batch|policy|deterministic|credits");
+  // Bad enum value: names both the value and its key, plus the choices.
+  expect_parse_error("policy=blok", "blok", "block|drop|spill");
+  expect_parse_error("policy=blok", "policy", "block|drop|spill");
+  // Bad number: whole-token parse, so trailing garbage is an error.
+  expect_parse_error("queue=12x", "12x", "queue");
+  expect_parse_error("batch=", "batch", "expected");
+  // Bad bool.
+  expect_parse_error("deterministic=yes", "yes", "true|false");
+  // Malformed token (no '='): echoed back with the key list.
+  expect_parse_error("shards", "shards",
+                     "shards|queue|batch|policy|deterministic|credits");
+
+  // Omitted keys keep their defaults; order does not matter.
+  const EngineConfig defaults;
+  const EngineConfig partial = EngineConfig::parse("queue=7");
+  EXPECT_EQ(partial.queue_capacity, 7u);
+  EXPECT_EQ(partial.num_shards, defaults.num_shards);
+  EXPECT_EQ(partial.max_batch, defaults.max_batch);
+  const EngineConfig reordered =
+      EngineConfig::parse("credits=2,shards=3,policy=spill");
+  EXPECT_EQ(reordered.producer_credits, 2u);
+  EXPECT_EQ(reordered.num_shards, 3);
+  EXPECT_EQ(reordered.policy, BackpressurePolicy::kSpill);
+}
+
+TEST(BoundedQueue, StatsSnapshotUnderOneLock) {
+  BoundedMpscQueue<int> q(8, BackpressurePolicy::kBlock);
+  for (int i = 0; i < 5; ++i) q.push(i);
+  QueueStats st = q.stats();
+  EXPECT_EQ(st.enqueued, 5u);
+  EXPECT_EQ(st.depth, 5u);  // depth is part of the same snapshot
+  EXPECT_EQ(st.control, 0u);
+  std::vector<int> out;
+  q.pop_batch(out, 2);
+  st = q.stats();
+  EXPECT_EQ(st.depth, 3u);
+  q.push_control(99);
+  st = q.stats();
+  EXPECT_EQ(st.control, 1u);
+  EXPECT_EQ(st.enqueued, 5u);  // markers are not requests
+  EXPECT_EQ(st.depth, 4u);
+  // Control pushes ignore capacity: fill up, then a marker still lands.
+  for (int i = 0; i < 4; ++i) q.push(i);
+  q.push_control(100);
+  st = q.stats();
+  EXPECT_EQ(st.depth, 9u);  // 8 data + 1 marker, capacity 8
+  EXPECT_EQ(st.max_depth, 9u);
 }
 
 TEST(FinalizeReport, RecomputesAggregatesFromPerItem) {

@@ -25,8 +25,15 @@ TEST(Umbrella, EndToEndThroughSingleInclude) {
 
   // The concurrent layer is reachable through the same include.
   StreamingEngine engine(4, cm, EngineConfig{});
-  EXPECT_TRUE(engine.submit(0, 1, 0.5));
+  ProducerHandle producer = engine.open_producer();
+  EXPECT_TRUE(producer.submit(0, 1, 0.5));
+  producer.close();
   EXPECT_EQ(engine.finish().items, 1);
+
+  // So is the unified offline facade.
+  const auto unified =
+      solve_offline(seq, cm, {.algorithm = OfflineAlgorithm::kExact});
+  EXPECT_NEAR(unified.optimal_cost, opt.optimal_cost, 1e-9);
 }
 
 }  // namespace
