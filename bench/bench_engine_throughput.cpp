@@ -16,7 +16,8 @@
 //
 // Output: BENCH_engine.json (requests/sec vs shard count and vs producer
 // count — the 4-shard engine is also fed from 2 and 8 concurrent ingestion
-// sessions — serial ratio, hardware context). The ≥2×
+// sessions — serial ratio, hardware context, and a telemetry-on pass
+// reporting the pipeline-stage queue-wait/apply/e2e p50/p99). The ≥2×
 // speedup target at 4 shards (ISSUE 3) is enforced only when the host
 // actually has ≥4 hardware threads; on smaller containers it is reported
 // as SKIP (a 1-core box cannot physically speed up, and a hard gate there
@@ -210,6 +211,61 @@ int main(int argc, char** argv) {
   }
   std::fputs(t.render().c_str(), stdout);
 
+  // ---- pipeline-telemetry pass -------------------------------------------
+  // One extra (untimed-by-the-headline) replay at the headline shard count
+  // with EngineConfig::telemetry on and two producers: reports the
+  // pipeline-stage latency distributions the telemetry subsystem measures
+  // (docs/OBSERVABILITY.md, "Pipeline-stage latencies").
+  obs::LatencyHistogramSnapshot tele_queue_wait;
+  obs::LatencyHistogramSnapshot tele_e2e;
+  obs::LatencyHistogramSnapshot tele_apply;
+  double tele_secs = 0.0;
+  {
+    EngineConfig tcfg = ecfg;
+    tcfg.num_shards = 4;
+    tcfg.telemetry = true;
+    Timer timer;
+    StreamingEngine engine(cfg.num_servers, cm, tcfg);
+    std::vector<IngressSession> sessions;
+    sessions.push_back(engine.open_producer());
+    sessions.push_back(engine.open_producer());
+    std::atomic<bool> go{false};
+    std::vector<std::thread> threads;
+    for (int p = 0; p < 2; ++p) {
+      threads.emplace_back([&, p] {
+        while (!go.load(std::memory_order_acquire)) std::this_thread::yield();
+        auto& session = sessions[static_cast<std::size_t>(p)];
+        for (std::size_t k = static_cast<std::size_t>(p); k < stream.size();
+             k += 2) {
+          session.submit(stream[k].item, stream[k].server, stream[k].time);
+        }
+        session.close();
+      });
+    }
+    go.store(true, std::memory_order_release);
+    for (auto& th : threads) th.join();
+    const auto rep = engine.finish();
+    tele_secs = timer.seconds();
+    if (rep.total_cost != rows[0].cost) {
+      std::printf("FAIL: telemetry pass changed the total cost "
+                  "(%.9f vs serial %.9f)\n",
+                  rep.total_cost, rows[0].cost);
+      ok = false;
+    }
+    tele_queue_wait = engine.queue_wait_snapshot();
+    tele_e2e = engine.e2e_snapshot();
+    tele_apply = engine.apply_snapshot();
+  }
+  std::printf(
+      "\ntelemetry pass (4 shards, 2 producers, telemetry=on): "
+      "queue-wait p50 %llu ns / p99 %llu ns, e2e p50 %llu ns / p99 %llu ns "
+      "over %llu requests\n",
+      static_cast<unsigned long long>(tele_queue_wait.p50_ns()),
+      static_cast<unsigned long long>(tele_queue_wait.p99_ns()),
+      static_cast<unsigned long long>(tele_e2e.p50_ns()),
+      static_cast<unsigned long long>(tele_e2e.p99_ns()),
+      static_cast<unsigned long long>(tele_e2e.count));
+
   // ---- BENCH_engine.json -------------------------------------------------
   {
     std::ofstream out(args.get("out"));
@@ -238,7 +294,31 @@ int main(int argc, char** argv) {
                     med[i], i + 1 < rows.size() ? "," : "");
       out << buf;
     }
-    out << "  ]\n}\n";
+    out << "  ],\n";
+    std::snprintf(
+        buf, sizeof(buf),
+        "  \"telemetry\": {\"shards\": 4, \"producers\": 2, "
+        "\"seconds\": %.6f,\n", tele_secs);
+    out << buf;
+    std::snprintf(buf, sizeof(buf),
+                  "    \"queue_wait_p50_ns\": %llu, "
+                  "\"queue_wait_p99_ns\": %llu,\n",
+                  static_cast<unsigned long long>(tele_queue_wait.p50_ns()),
+                  static_cast<unsigned long long>(tele_queue_wait.p99_ns()));
+    out << buf;
+    std::snprintf(buf, sizeof(buf),
+                  "    \"apply_p50_ns\": %llu, \"apply_p99_ns\": %llu,\n",
+                  static_cast<unsigned long long>(tele_apply.p50_ns()),
+                  static_cast<unsigned long long>(tele_apply.p99_ns()));
+    out << buf;
+    std::snprintf(buf, sizeof(buf),
+                  "    \"e2e_p50_ns\": %llu, \"e2e_p99_ns\": %llu, "
+                  "\"e2e_count\": %llu}\n",
+                  static_cast<unsigned long long>(tele_e2e.p50_ns()),
+                  static_cast<unsigned long long>(tele_e2e.p99_ns()),
+                  static_cast<unsigned long long>(tele_e2e.count));
+    out << buf;
+    out << "}\n";
     std::printf("\nwrote %s\n", args.get("out").c_str());
   }
 

@@ -16,10 +16,21 @@
 // a plain min- or mean-of-passes flaps by ±10% in shared containers. The
 // 2% line is reported as the headline CHECK; the exit code only fails
 // hard (>10% median) so residual jitter cannot flake CI.
+//
+// A second section applies the same discipline to the streaming engine's
+// pipeline telemetry (EngineConfig::telemetry): with telemetry off the
+// engine pays one predicted branch per submit and per worker iteration,
+// so the engine null path — a hooks-only observer, no registry, no sink,
+// telemetry off — must stay within the same 2% of the bare engine;
+// "telemetry on" (stamping, four stage histograms, span ring, per-shard
+// registry metrics) is reported as INFO — it is an opt-in diagnostic
+// mode, not a default.
 #include <algorithm>
 #include <cstdio>
 #include <vector>
 
+#include "engine/ingress.h"
+#include "engine/streaming_engine.h"
 #include "obs/observer.h"
 #include "obs/sinks.h"
 #include "service/data_service.h"
@@ -150,6 +161,79 @@ int main(int argc, char** argv) {
     std::puts("FAIL: no-sink observer overhead exceeds 10% — instrumentation "
               "regressed the hot path");
     ok = false;
+  }
+
+  // ---- engine path: pipeline telemetry off must be free ------------------
+  std::puts("\n== OBS: pipeline-telemetry overhead of the streaming engine ==");
+  {
+    obs::Observer engine_hooks;  // no registry, no sink: the null path
+    struct EngineRow {
+      const char* name;
+      bool observer;
+      bool telemetry;
+      std::vector<double> ratios{};
+      double best = 1e100;
+      Cost cost = 0.0;
+    };
+    std::vector<EngineRow> erows = {
+        {"engine bare (no observer, telemetry=off)", false, false},
+        {"engine hooks-only observer (telemetry=off)", true, false},
+        {"engine telemetry=on (engine-owned registry)", false, true},
+    };
+    auto engine_pass = [&](EngineRow& row) {
+      EngineConfig ec;
+      ec.num_shards = 2;
+      ec.deterministic = true;
+      ec.telemetry = row.telemetry;
+      ec.service_options.observer = row.observer ? &engine_hooks : nullptr;
+      Timer timer;
+      StreamingEngine engine(cfg.num_servers, cm, ec);
+      IngressSession session = engine.open_producer();
+      for (const auto& r : stream) session.submit(r.item, r.server, r.time);
+      session.close();
+      const auto rep = engine.finish();
+      const double secs = timer.seconds();
+      row.best = std::min(row.best, secs);
+      row.cost = rep.total_cost;
+      return secs;
+    };
+    for (auto& row : erows) engine_pass(row);  // warm-up
+    for (auto& row : erows) row.best = 1e100;
+    for (int r = 0; r < reps; ++r) {
+      const double bare_secs = engine_pass(erows[0]);
+      erows[0].ratios.push_back(1.0);
+      for (std::size_t i = 1; i < erows.size(); ++i) {
+        erows[i].ratios.push_back(engine_pass(erows[i]) / bare_secs);
+      }
+    }
+    Table et({"configuration", "best pass (ms)", "Mreq/s", "median overhead"});
+    std::vector<double> eover(erows.size(), 0.0);
+    for (std::size_t i = 0; i < erows.size(); ++i) {
+      const EngineRow& row = erows[i];
+      eover[i] = 100.0 * (median(row.ratios) - 1.0);
+      et.add_row(
+          {row.name, Table::num(row.best * 1e3, 2),
+           Table::num(static_cast<double>(stream.size()) / row.best / 1e6, 2),
+           Table::num(eover[i], 2) + " %"});
+      if (row.cost != erows[0].cost) {
+        std::printf(
+            "FAIL: config '%s' changed the engine cost (%.9f vs %.9f)\n",
+            row.name, row.cost, erows[0].cost);
+        ok = false;
+      }
+    }
+    std::fputs(et.render().c_str(), stdout);
+    std::printf(
+        "\nCHECK engine telemetry-off overhead %.2f%% (invariant: < 2%%) — "
+        "%s\n",
+        eover[1], eover[1] < 2.0 ? "PASS" : "MARGINAL");
+    std::printf("INFO  engine telemetry-on overhead %.2f%%\n", eover[2]);
+    if (eover[1] >= 10.0) {
+      std::puts(
+          "FAIL: engine telemetry-off overhead exceeds 10% — the telemetry "
+          "null path regressed the engine");
+      ok = false;
+    }
   }
   return ok ? 0 : 1;
 }

@@ -9,6 +9,7 @@
 //                    --batch=64 --policy=block|drop|spill
 //                    --engine-config=shards=4,queue=1024,...
 //                    --producers=4] [--verify]
+//                    [--telemetry-out=trace.json --prom-out=metrics.prom]
 //
 // `gen` writes a synthetic trace (`--kind=multi` emits a multi-item trace
 // for `serve`); `solve` runs the off-line optimum on a single-item trace
@@ -25,7 +26,13 @@
 // Observability: `solve`, `online`, and `serve` accept
 // `--metrics-out=metrics.json` (registry snapshot) and
 // `--trace-out=trace.jsonl` (structured event stream); see
-// docs/OBSERVABILITY.md for both schemas.
+// docs/OBSERVABILITY.md for both schemas. `serve --engine` additionally
+// accepts `--telemetry-out=trace.json` (Chrome-trace/Perfetto JSON of the
+// pipeline-stage spans, sampler counter tracks, and — unless --trace-out
+// claimed the event stream — service events as a model-time instant
+// track) and `--prom-out=metrics.prom` (Prometheus text exposition of
+// the engine's telemetry registry); either flag forces
+// EngineConfig::telemetry on.
 #include <atomic>
 #include <cstdio>
 #include <exception>
@@ -47,6 +54,7 @@
 #include "core/offline_dp.h"
 #include "core/online_sc.h"
 #include "model/schedule_validator.h"
+#include "obs/export.h"
 #include "obs/observer.h"
 #include "obs/sinks.h"
 #include "service/data_service.h"
@@ -261,6 +269,14 @@ int cmd_serve(const ArgParser& args) {
     return service.finish();
   };
 
+  const bool want_pipeline_tele =
+      args.has("telemetry-out") || args.has("prom-out");
+  if (want_pipeline_tele && !args.get_bool("engine")) {
+    throw std::invalid_argument(
+        "--telemetry-out/--prom-out require --engine (pipeline telemetry "
+        "instruments the streaming engine)");
+  }
+
   ServiceReport rep;
   if (args.get_bool("engine")) {
     EngineConfig cfg;
@@ -274,6 +290,21 @@ int cmd_serve(const ArgParser& args) {
       cfg.deterministic = !args.get_bool("no-determinism");
     }
     cfg.service_options.observer = telemetry.get();
+    // --telemetry-out/--prom-out force pipeline telemetry on; default the
+    // sampler to 5 ms so short replays still land a few counter samples.
+    obs::RingBufferSink tele_ring(65536);
+    obs::Observer tele_observer(&telemetry.registry, &tele_ring);
+    bool ring_attached = false;
+    if (want_pipeline_tele) {
+      cfg.telemetry = true;
+      if (cfg.sample_ms == 0) cfg.sample_ms = 5;
+      if (cfg.service_options.observer == nullptr) {
+        // No --metrics-out/--trace-out observer: attach one over an
+        // in-memory ring so the Chrome trace gets its instant track.
+        cfg.service_options.observer = &tele_observer;
+        ring_attached = true;
+      }
+    }
     const int producers = static_cast<int>(args.get_int("producers"));
     if (producers < 1) {
       throw std::invalid_argument("--producers must be >= 1");
@@ -327,6 +358,30 @@ int cmd_serve(const ArgParser& args) {
     std::printf("engine: %s (%d shards resolved), %d producer(s)\n",
                 cfg.to_string().c_str(), engine.num_shards(), producers);
     std::printf("%s\n", engine.stats().to_string().c_str());
+    if (args.has("telemetry-out")) {
+      const std::string path = args.get("telemetry-out");
+      std::ofstream out(path);
+      if (!out) throw std::runtime_error("cannot open " + path);
+      std::vector<obs::Event> instants;
+      if (ring_attached) instants = tele_ring.events();
+      out << engine.chrome_trace_json(ring_attached ? &instants : nullptr)
+          << '\n';
+      const auto e2e = engine.e2e_snapshot();
+      std::printf(
+          "chrome trace written to %s (%zu instant events; e2e p50 %llu ns, "
+          "p99 %llu ns over %llu requests)\n",
+          path.c_str(), instants.size(),
+          static_cast<unsigned long long>(e2e.p50_ns()),
+          static_cast<unsigned long long>(e2e.p99_ns()),
+          static_cast<unsigned long long>(e2e.count));
+    }
+    if (args.has("prom-out")) {
+      const std::string path = args.get("prom-out");
+      std::ofstream out(path);
+      if (!out) throw std::runtime_error("cannot open " + path);
+      out << obs::to_prometheus(engine.telemetry_registry()->snapshot());
+      std::printf("prometheus exposition written to %s\n", path.c_str());
+    }
     if (args.get_bool("verify")) {
       const auto serial = run_serial(nullptr);
       const bool identical = serial.total_cost == rep.total_cost &&
@@ -379,6 +434,12 @@ int main(int argc, char** argv) {
   args.add_bool_flag("no-determinism", "serve --engine: allow lossy policies");
   args.add_bool_flag("verify", "serve --engine: check bit-identity vs serial");
   args.add_flag("items-top", "serve: items shown in the report table", "10");
+  args.add_flag("telemetry-out",
+                "serve --engine: write a Chrome-trace JSON of pipeline "
+                "telemetry here (forces telemetry on)");
+  args.add_flag("prom-out",
+                "serve --engine: write a Prometheus text exposition of the "
+                "telemetry registry here (forces telemetry on)");
 
   try {
     const auto pos = args.parse(argc, argv);

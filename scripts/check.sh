@@ -13,6 +13,10 @@
 #   6. a multi-producer TSan stress lane: the >= 8-producer ingestion
 #      session tests and fuzz lane, plus an 8-producer trace_tool
 #      serve --verify, repeated until-fail
+#   7. a telemetry-export gate: trace_tool serve --engine with
+#      --telemetry-out/--prom-out under TSan, the Chrome-trace JSON
+#      validated with python3 (skipped if python3 is absent) and the
+#      Prometheus dump grepped for the stage-histogram series
 #
 # Exit code is non-zero iff any gate that could run failed; unavailable
 # tools are reported as SKIP, not failure, so the gate degrades gracefully
@@ -30,6 +34,7 @@
 #                           (default 3; 0 disables the lane)
 #   MCDC_CHECK_MULTI_PRODUCER  repeat count for the multi-producer TSan
 #                           stress lane (default 3; 0 disables the lane)
+#   MCDC_CHECK_TELEMETRY    non-empty "0": skip the telemetry-export gate
 set -uo pipefail
 cd "$(dirname "$0")/.."
 
@@ -133,7 +138,7 @@ else
   if cmake --preset tsan > /dev/null \
       && cmake --build --preset tsan -j "$JOBS" > /dev/null \
       && ./build-tsan/tests/test_engine \
-           --gtest_filter='IngressSession.*:StreamingEngine.DeprecatedSubmitShimStillWorks' \
+           --gtest_filter='IngressSession.*' \
            --gtest_repeat="$MULTI_PRODUCER" --gtest_brief=1 \
       && MCDC_FUZZ_ITERS="${MCDC_FUZZ_ITERS:-200}" ./build-tsan/tests/fuzz_differential \
            --gtest_filter='FuzzDifferential.EngineMultiProducerBitIdenticalToSerial' \
@@ -146,6 +151,58 @@ else
     record PASS "multi-producer TSan stress (>=8 producers, x$MULTI_PRODUCER)"
   else
     record FAIL "multi-producer TSan stress (>=8 producers, x$MULTI_PRODUCER)"
+  fi
+fi
+
+# ---- 7. telemetry export gate ---------------------------------------------
+# The pipeline-telemetry exporters are observability surface the tests can
+# only golden-check in miniature; this gate runs the real CLI end to end
+# (under TSan: the sampler thread + shard workers + producers all race) and
+# validates the artifacts: the Chrome-trace document must be syntactically
+# valid JSON with a traceEvents array (python3; SKIPped when absent) and
+# the Prometheus dump must carry the per-shard stage-histogram series.
+if [ "${MCDC_CHECK_TELEMETRY:-1}" = "0" ]; then
+  record SKIP "telemetry export gate (MCDC_CHECK_TELEMETRY=0)"
+else
+  echo "=== telemetry export gate (trace_tool serve --telemetry-out) ==="
+  TELE_OK=1
+  cmake --preset tsan > /dev/null \
+    && cmake --build --preset tsan -j "$JOBS" > /dev/null \
+    && ./build-tsan/examples/trace_tool gen --out=build-tsan/tele_gate.csv \
+         --kind=multi --requests=3000 --items=30 --servers=6 > /dev/null \
+    && ./build-tsan/examples/trace_tool serve --in=build-tsan/tele_gate.csv \
+         --engine --engine-config=shards=3,queue=64,batch=16,sample_ms=1 \
+         --producers=4 --telemetry-out=build-tsan/tele_gate.json \
+         --prom-out=build-tsan/tele_gate.prom --verify > /dev/null \
+    || TELE_OK=0
+  if [ "$TELE_OK" = "1" ]; then
+    if command -v python3 > /dev/null 2>&1; then
+      python3 - build-tsan/tele_gate.json << 'PYEOF' || TELE_OK=0
+import json, sys
+doc = json.load(open(sys.argv[1]))
+events = doc["traceEvents"]
+assert isinstance(events, list) and events, "traceEvents empty"
+phases = {e["ph"] for e in events}
+assert "X" in phases, "no span events"
+assert "C" in phases, "no counter events"
+threads = {e["args"]["name"] for e in events if e.get("name") == "thread_name"}
+assert any(t.startswith("shard") for t in threads), "no per-shard rows"
+counters = {e["name"] for e in events if e["ph"] == "C"}
+assert any(c.startswith("engine_shard") for c in counters), "no sampler tracks"
+print(f"telemetry JSON ok: {len(events)} events, phases {sorted(phases)}")
+PYEOF
+    else
+      echo "  (python3 absent: JSON validation skipped, grep only)"
+      grep -q '"traceEvents"' build-tsan/tele_gate.json || TELE_OK=0
+    fi
+    grep -q '^engine_shard0_e2e_ns_bucket' build-tsan/tele_gate.prom \
+      && grep -q '^engine_shard0_queue_wait_ns_count' build-tsan/tele_gate.prom \
+      || TELE_OK=0
+  fi
+  if [ "$TELE_OK" = "1" ]; then
+    record PASS "telemetry export gate (Chrome-trace JSON + Prometheus)"
+  else
+    record FAIL "telemetry export gate (Chrome-trace JSON + Prometheus)"
   fi
 fi
 

@@ -35,7 +35,9 @@ std::string EngineConfig::to_string() const {
   os << "shards=" << num_shards << ",queue=" << queue_capacity
      << ",batch=" << max_batch << ",policy=" << mcdc::to_string(policy)
      << ",deterministic=" << (deterministic ? "true" : "false")
-     << ",credits=" << producer_credits;
+     << ",credits=" << producer_credits
+     << ",telemetry=" << (telemetry ? "on" : "off")
+     << ",sample_ms=" << sample_ms;
   return os.str();
 }
 
@@ -79,7 +81,8 @@ EngineConfig EngineConfig::parse(const std::string& text) {
       throw std::invalid_argument(
           "EngineConfig: malformed token \"" + token +
           "\" (expected key=value with key in "
-          "shards|queue|batch|policy|deterministic|credits)");
+          "shards|queue|batch|policy|deterministic|credits|telemetry|"
+          "sample_ms)");
     }
     const std::string key = token.substr(0, eq);
     const std::string value = token.substr(eq + 1);
@@ -102,10 +105,22 @@ EngineConfig EngineConfig::parse(const std::string& text) {
     } else if (key == "credits") {
       cfg.producer_credits = static_cast<std::size_t>(
           parse_u64(key, value, "a credit window >= 0; 0 = off"));
+    } else if (key == "telemetry") {
+      if (value == "on") {
+        cfg.telemetry = true;
+      } else if (value == "off") {
+        cfg.telemetry = false;
+      } else {
+        bad_value(key, value, "on|off");
+      }
+    } else if (key == "sample_ms") {
+      cfg.sample_ms = static_cast<std::size_t>(
+          parse_u64(key, value, "a sampler period in ms >= 0; 0 = off"));
     } else {
       throw std::invalid_argument(
           "EngineConfig: unknown key \"" + key +
-          "\" (expected shards|queue|batch|policy|deterministic|credits)");
+          "\" (expected shards|queue|batch|policy|deterministic|credits|"
+          "telemetry|sample_ms)");
     }
   }
   return cfg;

@@ -52,6 +52,27 @@ struct EngineConfig {
   /// cycle); the bounded queue remains the hard backpressure.
   std::size_t producer_credits = 0;
 
+  /// Pipeline telemetry: per-shard stage latency histograms (queue-wait,
+  /// merge-stall, batch apply, end-to-end submit->retire), per-shard span
+  /// rings for the Chrome-trace export, and per-producer credit-wait
+  /// accounting. Off by default — the off path costs one branch per
+  /// submit and per batch (held under the <2% gate in
+  /// bench_obs_overhead). Everything telemetry records into is
+  /// pre-allocated at construction/open_producer, so telemetry-on keeps
+  /// steady-state ingest allocation-free; submit timestamps never
+  /// participate in the deterministic merge order (bit-identity is
+  /// unchanged either way). Histograms land in the attached observer's
+  /// metrics registry, or an engine-owned registry when none is attached
+  /// (see StreamingEngine::telemetry_registry()).
+  bool telemetry = false;
+
+  /// TelemetrySampler period in milliseconds: with telemetry on and a
+  /// non-zero period, a background thread samples queue depth, merge
+  /// depth, per-producer in-flight, and resident bytes into fixed-size
+  /// ring series (docs/OBSERVABILITY.md, "Time-series sampler"). 0
+  /// disables the sampler.
+  std::size_t sample_ms = 0;
+
   /// Forwarded to every shard's OnlineDataService (speculation knobs,
   /// observer). A non-null observer's metrics registry is shared by all
   /// shards (counters are atomic); an attached TraceSink is wrapped in an
@@ -59,7 +80,7 @@ struct EngineConfig {
   SpeculativeCachingOptions service_options;
 
   /// Canonical textual form of the scalar fields, e.g.
-  /// "shards=4,queue=1024,batch=64,policy=block,deterministic=true,credits=0".
+  /// "shards=4,queue=1024,batch=64,policy=block,deterministic=true,credits=0,telemetry=off,sample_ms=0".
   /// service_options (pointers, speculation knobs) is not part of the
   /// string form. parse(to_string()) round-trips exactly (property test).
   std::string to_string() const;

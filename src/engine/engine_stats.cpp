@@ -36,14 +36,16 @@ std::string EngineStats::to_string() const {
   os << "\n" << t.render();
   if (producers.size() > 1) {
     Table p({"producer", "submitted", "dropped", "retired", "throttles",
-             "max in-flight"});
+             "max in-flight", "credit wait us"});
     for (const auto& pr : producers) {
       p.add_row({std::to_string(pr.producer),
                  Table::integer(static_cast<long long>(pr.submitted)),
                  Table::integer(static_cast<long long>(pr.dropped)),
                  Table::integer(static_cast<long long>(pr.retired)),
                  Table::integer(static_cast<long long>(pr.credit_throttles)),
-                 Table::integer(static_cast<long long>(pr.max_in_flight))});
+                 Table::integer(static_cast<long long>(pr.max_in_flight)),
+                 Table::num(static_cast<double>(pr.credit_wait_ns) / 1e3,
+                            1)});
     }
     os << "\n" << p.render();
   }

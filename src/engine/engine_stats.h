@@ -48,6 +48,8 @@ struct ProducerStats {
   std::uint64_t retired = 0;          ///< processed by shard workers
   std::uint64_t credit_throttles = 0; ///< submits over the credit window
   std::uint64_t max_in_flight = 0;    ///< peak submitted - retired
+  std::uint64_t credit_wait_ns = 0;   ///< wall time in throttle yields
+                                      ///< (0 unless telemetry is on)
 };
 
 struct EngineStats {

@@ -59,12 +59,15 @@ struct ProducerState {
   std::uint64_t seq = 0;
   std::uint64_t credit_throttles = 0;  ///< submits over the credit window
   std::uint64_t max_in_flight = 0;     ///< peak submitted - retired
+  std::uint64_t credit_wait_ns = 0;    ///< wall time spent in throttle yields
+                                       ///< (measured only with telemetry on)
 
   // Registry handles (created at open_producer when an observer with a
   // metrics registry is attached; published once at session close).
   obs::Counter* m_submitted = nullptr;
   obs::Counter* m_credit_throttles = nullptr;
   obs::Gauge* m_max_in_flight = nullptr;
+  obs::Counter* m_credit_wait_ns = nullptr;  ///< telemetry only
 };
 
 /// One element of a shard's ingest queue: a stamped request, or a control
@@ -79,6 +82,11 @@ struct IngressRecord {
   Time time = 0.0;
   std::uint32_t producer = 0;
   std::uint64_t seq = 0;
+  /// Telemetry stamp (obs::telemetry_now_ns at submit); 0 with telemetry
+  /// off. Feeds the queue-wait and end-to-end histograms only — the
+  /// deterministic merge orders strictly by (time, producer, seq) and
+  /// never consults wall-clock stamps (bit-identity is stamp-blind).
+  std::uint64_t submit_ns = 0;
   Kind kind = Kind::kRequest;
   ProducerState* state = nullptr;  ///< non-null only on kOpen
 };

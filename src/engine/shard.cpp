@@ -23,11 +23,21 @@ BackpressurePolicy effective_policy(const EngineConfig& cfg) {
 // only notifies the shards it pushes to), so the stalled state polls.
 constexpr std::chrono::microseconds kStallRecheck{200};
 
+// Stage spans retained per shard for the Chrome-trace export (newest
+// win; SpanRing counts what overflow displaced).
+constexpr std::size_t kSpanRingCapacity = 8192;
+
+// resident_bytes() walks the item population (O(items)), so the
+// telemetry-on worker refreshes its resident gauge only every this many
+// batches — the sampler sees a live-ish value at amortized ~zero cost.
+constexpr std::uint64_t kResidentRefreshBatches = 256;
+
 }  // namespace
 
 EngineShard::EngineShard(int index, int num_servers, const CostModel& cm,
                          const EngineConfig& cfg,
-                         const SpeculativeCachingOptions& options)
+                         const SpeculativeCachingOptions& options,
+                         obs::MetricsRegistry* telemetry_registry)
     : index_(index),
       deterministic_(cfg.deterministic),
       max_batch_(cfg.max_batch),
@@ -35,18 +45,30 @@ EngineShard::EngineShard(int index, int num_servers, const CostModel& cm,
       queue_(cfg.queue_capacity, effective_policy(cfg)) {
   batch_buf_.reserve(cfg.max_batch);
   obs::Observer* ob = options.observer;
-  if (ob != nullptr && ob->metrics() != nullptr) {
-    obs::MetricsRegistry& reg = *ob->metrics();
-    const std::string p = "engine_shard" + std::to_string(index) + "_";
-    queue_depth_ = &reg.gauge(p + "queue_depth");
-    batch_size_ = &reg.histogram(p + "batch_size",
-                                 {1, 2, 4, 8, 16, 32, 64, 128, 256});
-    enqueue_stalls_ = &reg.counter(p + "enqueue_stalls");
-    requests_ = &reg.counter(p + "requests");
-    cost_total_ = &reg.gauge(p + "cost_total");
-    shard_resident_bytes_ = &reg.gauge(p + "resident_bytes");
-    merge_depth_ = &reg.gauge(p + "merge_depth");
-    merge_stall_counter_ = &reg.counter(p + "merge_stalls");
+  // With telemetry on the engine always supplies a registry (the
+  // observer's, or an engine-owned fallback); otherwise per-shard metrics
+  // exist only when an observer registry is attached.
+  obs::MetricsRegistry* reg = telemetry_registry;
+  if (reg == nullptr && ob != nullptr) reg = ob->metrics();
+  if (reg != nullptr) {
+    const obs::LabeledMetricFamily fam(*reg, "engine_shard",
+                                       static_cast<std::size_t>(index));
+    queue_depth_ = &fam.gauge("queue_depth");
+    batch_size_ =
+        &fam.histogram("batch_size", {1, 2, 4, 8, 16, 32, 64, 128, 256});
+    enqueue_stalls_ = &fam.counter("enqueue_stalls");
+    requests_ = &fam.counter("requests");
+    cost_total_ = &fam.gauge("cost_total");
+    shard_resident_bytes_ = &fam.gauge("resident_bytes");
+    merge_depth_ = &fam.gauge("merge_depth");
+    merge_stall_counter_ = &fam.counter("merge_stalls");
+    if (telemetry_registry != nullptr) {
+      queue_wait_ns_ = &fam.latency("queue_wait_ns");
+      merge_stall_ns_ = &fam.latency("merge_stall_ns");
+      apply_ns_ = &fam.latency("apply_ns");
+      e2e_ns_ = &fam.latency("e2e_ns");
+      spans_ = std::make_unique<obs::SpanRing>(kSpanRingCapacity);
+    }
   }
 }
 
@@ -74,6 +96,9 @@ void EngineShard::enqueue_control(const IngressRecord& r) {
 
 void EngineShard::run() {
   try {
+    // Telemetry branches key off this one flag; with telemetry off the
+    // loop takes no clock reads and touches none of the rings.
+    const bool tele = (spans_ != nullptr);
     bool stalled = false;
     for (;;) {
       batch_buf_.clear();
@@ -88,7 +113,14 @@ void EngineShard::run() {
         got = queue_.value.pop_batch(batch_buf_, max_batch_);
         if (got == 0) closed = true;  // pop_batch: 0 iff closed-and-drained
       }
-      demux(batch_buf_);
+      std::uint64_t t_deq = 0;
+      if (tele) {
+        t_deq = obs::telemetry_now_ns();
+        last_deq_ns_ = t_deq;
+        batch_min_submit_ns_ = ~std::uint64_t{0};
+        batch_requests_ = 0;
+      }
+      demux(batch_buf_, t_deq);
       std::size_t total = got;
       if (producers_seen_ > 1) {
         // Merge-safety protocol: snapshot every open lane's watermark,
@@ -105,7 +137,10 @@ void EngineShard::run() {
         }
         batch_buf_.clear();
         const std::size_t more = queue_.value.try_pop_all(batch_buf_);
-        if (more > 0) demux(batch_buf_);
+        if (more > 0) {
+          if (tele) last_deq_ns_ = obs::telemetry_now_ns();
+          demux(batch_buf_, last_deq_ns_);
+        }
         total += more;
       }
       if (total > 0) {
@@ -125,6 +160,40 @@ void EngineShard::run() {
           merge_depth_->set(static_cast<double>(merge_buffered_));
         }
       }
+      if (tele) {
+        const std::uint64_t t_end = obs::telemetry_now_ns();
+        if (batch_requests_ > 0) {
+          // One queue-wait span per batch: oldest submit stamp to
+          // dequeue (per-record detail lives in the histogram).
+          const std::uint64_t dur = last_deq_ns_ > batch_min_submit_ns_
+                                        ? last_deq_ns_ - batch_min_submit_ns_
+                                        : 0;
+          spans_->push({"queue_wait", batch_min_submit_ns_, dur,
+                        batch_requests_});
+        }
+        if (total > 0) {
+          // Apply covers dequeue through merge + service updates for
+          // everything this iteration emitted.
+          const std::uint64_t dur = t_end - t_deq;
+          apply_ns_->record(dur);
+          spans_->push({"apply", t_deq, dur, total});
+        }
+        // Merge-stall episodes: opened when the merge first parks on a
+        // lagging watermark, closed when it unstalls (or flushes).
+        if (stalled && stall_started_ns_ == 0) {
+          stall_started_ns_ = t_end;
+        } else if (!stalled && stall_started_ns_ != 0) {
+          const std::uint64_t dur = t_end - stall_started_ns_;
+          merge_stall_ns_->record(dur);
+          spans_->push({"merge_stall", stall_started_ns_, dur, 0});
+          stall_started_ns_ = 0;
+        }
+        if (shard_resident_bytes_ != nullptr && total > 0 &&
+            (++telemetry_batches_ % kResidentRefreshBatches) == 0) {
+          shard_resident_bytes_->set(
+              static_cast<double>(service_.value.resident_bytes()));
+        }
+      }
       if (batch_emitted_ > 0) {
         if (requests_ != nullptr) requests_->inc(batch_emitted_);
         batch_emitted_ = 0;
@@ -141,7 +210,8 @@ void EngineShard::run() {
   }
 }
 
-void EngineShard::demux(const std::vector<IngressRecord>& batch) {
+void EngineShard::demux(const std::vector<IngressRecord>& batch,
+                        std::uint64_t deq_ns) {
   for (const IngressRecord& r : batch) {
     switch (r.kind) {
       case IngressRecord::Kind::kOpen: {
@@ -184,6 +254,14 @@ void EngineShard::demux(const std::vector<IngressRecord>& batch) {
         lane.saw_any = true;
         lane.last_time = r.time;
         lane.last_seq = r.seq;
+        if (queue_wait_ns_ != nullptr && r.submit_ns != 0) {
+          queue_wait_ns_->record(deq_ns > r.submit_ns ? deq_ns - r.submit_ns
+                                                      : 0);
+          if (r.submit_ns < batch_min_submit_ns_) {
+            batch_min_submit_ns_ = r.submit_ns;
+          }
+          ++batch_requests_;
+        }
         if (producers_seen_ <= 1) {
           // Single-producer bypass: one lane is always merge-eligible, so
           // skip the buffers and process in arrival order (the original
@@ -265,6 +343,13 @@ void EngineShard::process_record(const IngressRecord& r) {
   service_.value.request(r.item, r.server, r.time);
   ++processed_;
   ++batch_emitted_;
+  if (e2e_ns_ != nullptr && r.submit_ns != 0) {
+    // Submit -> retire on the telemetry clock. One steady_clock read per
+    // record — a telemetry-on cost only (the off path never gets here
+    // with a non-null histogram).
+    const std::uint64_t now = obs::telemetry_now_ns();
+    e2e_ns_->record(now > r.submit_ns ? now - r.submit_ns : 0);
+  }
 }
 
 void EngineShard::flush_retired() {
@@ -300,6 +385,12 @@ ServiceReport EngineShard::drain_and_finish() {
   if (queue_depth_ != nullptr) queue_depth_->set(0.0);
   if (merge_depth_ != nullptr) merge_depth_->set(0.0);
   return rep;
+}
+
+std::vector<obs::TelemetrySpan> EngineShard::telemetry_spans() const {
+  MCDC_ASSERT(joined_, "shard spans read before drain_and_finish");
+  if (spans_ == nullptr) return {};
+  return spans_->spans();
 }
 
 ShardStats EngineShard::stats() const {

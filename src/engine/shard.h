@@ -25,6 +25,7 @@
 #include <cstdint>
 #include <exception>
 #include <deque>
+#include <memory>
 #include <thread>
 #include <vector>
 
@@ -33,6 +34,7 @@
 #include "engine/engine_stats.h"
 #include "engine/ingress.h"
 #include "obs/observer.h"
+#include "obs/timeseries.h"
 #include "service/data_service.h"
 #include "util/concurrency.h"
 
@@ -42,9 +44,14 @@ class EngineShard {
  public:
   /// `options` are the per-shard service options (observer already
   /// rewired by the engine for thread safety; not owned).
+  /// `telemetry_registry` is non-null iff EngineConfig::telemetry is on:
+  /// the shard pre-allocates its stage latency histograms and span ring
+  /// there (and registers its standard per-shard metrics into it when no
+  /// observer registry is attached).
   EngineShard(int index, int num_servers, const CostModel& cm,
               const EngineConfig& cfg,
-              const SpeculativeCachingOptions& options);
+              const SpeculativeCachingOptions& options,
+              obs::MetricsRegistry* telemetry_registry = nullptr);
 
   EngineShard(const EngineShard&) = delete;
   EngineShard& operator=(const EngineShard&) = delete;
@@ -69,6 +76,25 @@ class EngineShard {
 
   int index() const { return index_; }
 
+  /// Instantaneous ingest queue depth (any thread; takes the queue
+  /// mutex). The TelemetrySampler's per-shard probe.
+  std::size_t queue_depth() const { return queue_.value.depth(); }
+
+  // Telemetry read-outs: null with telemetry off. The histograms are
+  // lock-free (readable any time); the span ring is single-writer, so
+  // spans() is only safe after drain_and_finish().
+  const obs::LatencyHistogram* queue_wait_hist() const {
+    return queue_wait_ns_;
+  }
+  const obs::LatencyHistogram* merge_stall_hist() const {
+    return merge_stall_ns_;
+  }
+  const obs::LatencyHistogram* apply_hist() const { return apply_ns_; }
+  const obs::LatencyHistogram* e2e_hist() const { return e2e_ns_; }
+
+  /// Retained stage spans, oldest first; empty with telemetry off.
+  std::vector<obs::TelemetrySpan> telemetry_spans() const;
+
  private:
   /// Per-producer merge lane: the FIFO of this producer's records that
   /// have reached the shard but not yet been emitted, plus the watermark
@@ -86,7 +112,9 @@ class EngineShard {
   };
 
   void run();
-  void demux(const std::vector<IngressRecord>& batch);
+  /// `deq_ns` is the dequeue timestamp feeding the queue-wait histogram
+  /// (0 with telemetry off).
+  void demux(const std::vector<IngressRecord>& batch, std::uint64_t deq_ns);
   /// Emit every merge-eligible record; with `flush_all` (queue closed and
   /// drained — no further input can exist) lanes are treated as closed.
   /// Returns true when records remain parked (merge stalled).
@@ -121,7 +149,8 @@ class EngineShard {
   std::size_t resident_bytes_ = 0;
   QueueStats queue_stats_;  ///< one consistent snapshot, taken at drain
 
-  // Per-shard registry metrics (null without an observer registry).
+  // Per-shard registry metrics (null without an observer registry and
+  // with telemetry off).
   obs::Gauge* queue_depth_ = nullptr;
   obs::Histogram* batch_size_ = nullptr;
   obs::Counter* enqueue_stalls_ = nullptr;
@@ -130,6 +159,23 @@ class EngineShard {
   obs::Gauge* shard_resident_bytes_ = nullptr;
   obs::Gauge* merge_depth_ = nullptr;
   obs::Counter* merge_stall_counter_ = nullptr;
+
+  // Pipeline telemetry (all null/empty when EngineConfig::telemetry is
+  // off; pre-allocated in the constructor when on, so the worker records
+  // without allocating). Stage definitions: docs/ENGINE.md,
+  // "Pipeline-stage latencies".
+  obs::LatencyHistogram* queue_wait_ns_ = nullptr;  ///< submit -> dequeue
+  obs::LatencyHistogram* merge_stall_ns_ = nullptr; ///< stall episode length
+  obs::LatencyHistogram* apply_ns_ = nullptr;       ///< dequeue -> applied
+  obs::LatencyHistogram* e2e_ns_ = nullptr;         ///< submit -> retire
+  std::unique_ptr<obs::SpanRing> spans_;            ///< worker-only writer
+
+  // Worker-local telemetry bookkeeping (meaningless when telemetry off).
+  std::uint64_t stall_started_ns_ = 0;     ///< open merge-stall episode
+  std::uint64_t batch_min_submit_ns_ = 0;  ///< oldest stamp in this batch
+  std::uint64_t batch_requests_ = 0;       ///< stamped requests in batch
+  std::uint64_t last_deq_ns_ = 0;
+  std::uint64_t telemetry_batches_ = 0;    ///< resident-refresh amortizer
 };
 
 }  // namespace mcdc

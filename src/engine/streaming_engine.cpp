@@ -1,11 +1,14 @@
 #include "engine/streaming_engine.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdint>
 #include <stdexcept>
 #include <string>
 #include <thread>
+#include <utility>
 
+#include "obs/export.h"
 #include "obs/metrics.h"
 #include "util/concurrency.h"
 
@@ -49,16 +52,32 @@ StreamingEngine::StreamingEngine(int num_servers, const CostModel& cm,
         std::make_unique<obs::Observer>(ob->metrics(), locked_sink_.get());
     shard_options.observer = shard_observer_.get();
   }
+  if (cfg.telemetry) {
+    if (ob != nullptr && ob->metrics() != nullptr) {
+      telemetry_registry_ = ob->metrics();
+    } else {
+      // No observer registry: telemetry still works against an
+      // engine-owned registry (telemetry_registry() exposes it).
+      owned_registry_ = std::make_unique<obs::MetricsRegistry>();
+      telemetry_registry_ = owned_registry_.get();
+    }
+    sample_ms_ = cfg.sample_ms;
+  }
 
   shards_.reserve(static_cast<std::size_t>(shards));
   for (int i = 0; i < shards; ++i) {
-    shards_.push_back(std::make_unique<EngineShard>(i, num_servers, cm, cfg,
-                                                    shard_options));
+    shards_.push_back(std::make_unique<EngineShard>(
+        i, num_servers, cm, cfg, shard_options, telemetry_registry_));
   }
   for (auto& s : shards_) s->start();
 }
 
 StreamingEngine::~StreamingEngine() {
+  // The sampler's probes reference shards and producer states: stop it
+  // first. The empty call_once synchronizes with the producer thread
+  // that may have started it.
+  std::call_once(sampler_once_, [] {});
+  if (sampler_ != nullptr) sampler_->stop();
   // Abandoned sessions must not push into queues that are about to close;
   // marking every producer closed turns their close() into a no-op.
   for (auto& p : producers_) p->closed.store(true, std::memory_order_release);
@@ -81,12 +100,16 @@ IngressSession StreamingEngine::open_producer() {
   auto owned = std::make_unique<ProducerState>();
   ProducerState* p = owned.get();
   p->id = static_cast<std::uint32_t>(producers_.size());
-  if (observer_ != nullptr && observer_->metrics() != nullptr) {
-    obs::MetricsRegistry& reg = *observer_->metrics();
-    const std::string prefix = "engine_producer" + std::to_string(p->id) + "_";
-    p->m_submitted = &reg.counter(prefix + "submitted");
-    p->m_credit_throttles = &reg.counter(prefix + "credit_throttles");
-    p->m_max_in_flight = &reg.gauge(prefix + "max_in_flight");
+  obs::MetricsRegistry* reg = telemetry_registry_;
+  if (reg == nullptr && observer_ != nullptr) reg = observer_->metrics();
+  if (reg != nullptr) {
+    const obs::LabeledMetricFamily fam(*reg, "engine_producer", p->id);
+    p->m_submitted = &fam.counter("submitted");
+    p->m_credit_throttles = &fam.counter("credit_throttles");
+    p->m_max_in_flight = &fam.gauge("max_in_flight");
+    if (telemetry_registry_ != nullptr) {
+      p->m_credit_wait_ns = &fam.counter("credit_wait_ns");
+    }
   }
   producers_.push_back(std::move(owned));
   // Announce the lane to every shard. All opens precede the first submit,
@@ -112,6 +135,13 @@ bool StreamingEngine::submit_from(ProducerState& p, int item, ServerId server,
         "IngressSession: times must strictly increase per producer");
   }
   ingest_started_.store(true, std::memory_order_release);
+  const bool tele = telemetry_registry_ != nullptr;
+  if (tele && sample_ms_ > 0) {
+    // Every producer is open by now (open_producer throws after the first
+    // submit), so the sampler's probe set is final. Exactly one submit
+    // launches it.
+    std::call_once(sampler_once_, [this] { start_sampler(); });
+  }
   p.last_time = time;
   ++p.seq;
   if (credits_ > 0) {
@@ -128,7 +158,15 @@ bool StreamingEngine::submit_from(ProducerState& p, int item, ServerId server,
       // backpressure bound.
       ++p.credit_throttles;
       if (p.m_credit_throttles != nullptr) p.m_credit_throttles->inc();
-      std::this_thread::yield();
+      if (tele) {
+        const std::uint64_t t0 = obs::telemetry_now_ns();
+        std::this_thread::yield();
+        const std::uint64_t dt = obs::telemetry_now_ns() - t0;
+        p.credit_wait_ns += dt;
+        if (p.m_credit_wait_ns != nullptr) p.m_credit_wait_ns->inc(dt);
+      } else {
+        std::this_thread::yield();
+      }
     }
   }
   IngressRecord r;
@@ -137,6 +175,9 @@ bool StreamingEngine::submit_from(ProducerState& p, int item, ServerId server,
   r.time = time;
   r.producer = p.id;
   r.seq = p.seq;
+  // Wall-clock stamp feeding the queue-wait/e2e histograms; the merge
+  // NEVER consults it (bit-identity is stamp-blind).
+  if (tele) r.submit_ns = obs::telemetry_now_ns();
   // submitted is incremented before the enqueue so retired (worker-side)
   // can never be observed above it.
   const std::uint64_t submitted =
@@ -177,21 +218,17 @@ void StreamingEngine::close_producer(ProducerState* p) {
   }
 }
 
-bool StreamingEngine::submit(int item, ServerId server, Time time) {
-  if (!default_session_.valid()) {
-    // Lazy legacy session: producer 0, opened on first use. open_producer
-    // throws once finished, preserving the old submit-after-finish error.
-    default_session_ = open_producer();
-  }
-  return default_session_.submit(item, server, time);
-}
-
 ServiceReport StreamingEngine::finish() {
   {
     const std::lock_guard<std::mutex> lock(producers_mu_);
     if (finished_) throw std::logic_error("StreamingEngine: already finished");
     finished_ = true;
   }
+  // The sampler reads live shard/producer state; stop it before teardown.
+  // The empty call_once synchronizes with whichever producer thread
+  // started it (start is itself a call_once, so this is a no-op then).
+  std::call_once(sampler_once_, [] {});
+  if (sampler_ != nullptr) sampler_->stop();
   // Force-close stragglers so no shard merge is left waiting on an open
   // lane's watermark; then close the queues and join the workers.
   for (auto& p : producers_) close_producer(p.get());
@@ -228,6 +265,7 @@ ServiceReport StreamingEngine::finish() {
     ps.retired = p->retired.load(std::memory_order_acquire);
     ps.credit_throttles = p->credit_throttles;
     ps.max_in_flight = p->max_in_flight;
+    ps.credit_wait_ns = p->credit_wait_ns;
     stats_.producers.push_back(ps);
     stats_.submitted += ps.submitted;
     stats_.dropped += ps.dropped;
@@ -260,6 +298,126 @@ const EngineStats& StreamingEngine::stats() const {
 std::size_t StreamingEngine::num_producers() const {
   const std::lock_guard<std::mutex> lock(producers_mu_);
   return producers_.size();
+}
+
+// ---- Pipeline telemetry --------------------------------------------------
+
+void StreamingEngine::start_sampler() {
+  // Probe closures capture raw pointers into shards_/producers_ — safe
+  // because finish() and the destructor stop the sampler before either is
+  // torn down. All allocation happens here, once; the tick loop only
+  // reads atomics and takes the queue mutexes.
+  std::vector<obs::TelemetrySampler::Source> sources;
+  std::vector<obs::Gauge*> resident;
+  resident.reserve(shards_.size());
+  for (const auto& s : shards_) {
+    EngineShard* sh = s.get();
+    const obs::LabeledMetricFamily fam(
+        *telemetry_registry_, "engine_shard",
+        static_cast<std::size_t>(sh->index()));
+    sources.push_back({fam.prefix() + "queue_depth", [sh] {
+                         return static_cast<double>(sh->queue_depth());
+                       }});
+    // Merge depth and resident bytes are registry gauges the worker
+    // refreshes; sampling those avoids touching worker-local state.
+    sources.push_back({fam.prefix() + "merge_depth",
+                       [g = &fam.gauge("merge_depth")] { return g->value(); }});
+    resident.push_back(&fam.gauge("resident_bytes"));
+  }
+  sources.push_back(
+      {"service_resident_bytes", [resident = std::move(resident)] {
+         double total = 0.0;
+         for (const obs::Gauge* g : resident) total += g->value();
+         return total;
+       }});
+  {
+    // A racing open_producer() may still be appending (it loses the
+    // ingest_started_ check only after this submit's store lands).
+    const std::lock_guard<std::mutex> lock(producers_mu_);
+    for (const auto& p : producers_) {
+      ProducerState* ps = p.get();
+      sources.push_back(
+          {"engine_producer" + std::to_string(ps->id) + "_in_flight", [ps] {
+             const std::uint64_t in_flight =
+                 ps->submitted.load(std::memory_order_relaxed) -
+                 ps->dropped.load(std::memory_order_relaxed) -
+                 ps->retired.load(std::memory_order_relaxed);
+             return static_cast<double>(in_flight);
+           }});
+    }
+  }
+  sampler_ = std::make_unique<obs::TelemetrySampler>(
+      std::move(sources),
+      std::chrono::milliseconds(static_cast<long long>(sample_ms_)));
+  sampler_->start();
+}
+
+obs::MetricsRegistry* StreamingEngine::telemetry_registry() const {
+  if (telemetry_registry_ != nullptr) return telemetry_registry_;
+  return observer_ != nullptr ? observer_->metrics() : nullptr;
+}
+
+namespace {
+obs::LatencyHistogramSnapshot merge_shard_hists(
+    const std::vector<std::unique_ptr<EngineShard>>& shards,
+    const obs::LatencyHistogram* (EngineShard::*hist)() const) {
+  obs::LatencyHistogramSnapshot out;
+  for (const auto& s : shards) {
+    if (const obs::LatencyHistogram* h = (s.get()->*hist)()) {
+      out.merge(h->snapshot());
+    }
+  }
+  return out;
+}
+}  // namespace
+
+obs::LatencyHistogramSnapshot StreamingEngine::queue_wait_snapshot() const {
+  return merge_shard_hists(shards_, &EngineShard::queue_wait_hist);
+}
+
+obs::LatencyHistogramSnapshot StreamingEngine::merge_stall_snapshot() const {
+  return merge_shard_hists(shards_, &EngineShard::merge_stall_hist);
+}
+
+obs::LatencyHistogramSnapshot StreamingEngine::apply_snapshot() const {
+  return merge_shard_hists(shards_, &EngineShard::apply_hist);
+}
+
+obs::LatencyHistogramSnapshot StreamingEngine::e2e_snapshot() const {
+  return merge_shard_hists(shards_, &EngineShard::e2e_hist);
+}
+
+std::vector<obs::TelemetrySampler::Series> StreamingEngine::telemetry_series()
+    const {
+  std::call_once(sampler_once_, [] {});
+  if (sampler_ == nullptr) return {};
+  return sampler_->series();
+}
+
+std::string StreamingEngine::chrome_trace_json(
+    const std::vector<obs::Event>* service_events) const {
+  obs::ChromeTraceBuilder b;
+  b.add_process(1, "engine (wall clock)");
+  for (const auto& s : shards_) {
+    b.add_thread(1, s->index(), "shard" + std::to_string(s->index()));
+    for (const auto& sp : s->telemetry_spans()) {
+      b.add_span(1, s->index(), sp);
+    }
+  }
+  std::call_once(sampler_once_, [] {});
+  if (sampler_ != nullptr) {
+    for (const auto& series : sampler_->series()) {
+      for (const auto& smp : series.samples) {
+        b.add_counter(1, series.name, smp.t_ns, smp.value);
+      }
+    }
+  }
+  if (service_events != nullptr && !service_events->empty()) {
+    b.add_process(2, "service (model time)");
+    b.add_thread(2, 0, "events");
+    for (const auto& e : *service_events) b.add_event(2, 0, e);
+  }
+  return b.json();
 }
 
 // ---- IngressSession ------------------------------------------------------

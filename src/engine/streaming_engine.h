@@ -37,6 +37,7 @@
 #include <atomic>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <vector>
 
 #include "engine/engine_config.h"
@@ -45,6 +46,7 @@
 #include "engine/shard.h"
 #include "obs/observer.h"
 #include "obs/sinks.h"
+#include "obs/timeseries.h"
 #include "service/data_service.h"
 
 namespace mcdc {
@@ -66,17 +68,6 @@ class StreamingEngine {
   /// session left open.
   IngressSession open_producer();
 
-  /// Route one request to its shard. Single-producer legacy entry point:
-  /// lazily opens one internal session (producer 0) and forwards — which
-  /// means it cannot be mixed with explicit open_producer() sessions.
-  /// Returns false iff the request was dropped by kDrop backpressure;
-  /// kBlock may wait for the shard to drain. Times must strictly increase
-  /// across calls (throws otherwise, like the serial service).
-  [[deprecated(
-      "use open_producer() — the session API; submit() is a "
-      "single-producer shim kept for one release")]]
-  bool submit(int item, ServerId server, Time time);
-
   /// Close all sessions and queues, join all workers (rethrowing the
   /// first worker failure), and merge the per-shard reports into one
   /// ServiceReport whose per_item is ascending by item id and whose
@@ -89,13 +80,42 @@ class StreamingEngine {
 
   int num_shards() const { return static_cast<int>(shards_.size()); }
 
-  /// Producers opened so far (the internal shim session included).
+  /// Producers opened so far.
   std::size_t num_producers() const;
 
   /// Stable item -> shard assignment (splitmix64 finalizer; independent of
   /// platform, std::hash, and insertion order — part of the determinism
   /// contract).
   static std::size_t shard_of(int item, int num_shards);
+
+  // ---- Pipeline telemetry (EngineConfig::telemetry) ---------------------
+
+  /// True when the engine was built with telemetry on.
+  bool telemetry_enabled() const { return telemetry_registry_ != nullptr; }
+
+  /// The registry holding per-shard/per-producer metrics and the stage
+  /// latency histograms: the attached observer's registry when there is
+  /// one, an engine-owned registry otherwise. Null with telemetry off
+  /// and no observer.
+  obs::MetricsRegistry* telemetry_registry() const;
+
+  /// Fleet-wide stage histograms, merged across shards (lock-free reads;
+  /// callable any time). Empty snapshots with telemetry off.
+  obs::LatencyHistogramSnapshot queue_wait_snapshot() const;
+  obs::LatencyHistogramSnapshot merge_stall_snapshot() const;
+  obs::LatencyHistogramSnapshot apply_snapshot() const;
+  obs::LatencyHistogramSnapshot e2e_snapshot() const;
+
+  /// Sampler ring series (EngineConfig::sample_ms); empty when the
+  /// sampler never ran. Valid after finish().
+  std::vector<obs::TelemetrySampler::Series> telemetry_series() const;
+
+  /// Chrome-trace/Perfetto JSON: one wall-clock track per shard carrying
+  /// queue-wait/merge-stall/apply spans, sampler series as counter
+  /// tracks, plus — when `service_events` is given — the obs::Event
+  /// stream as a model-time instant track. Valid after finish().
+  std::string chrome_trace_json(
+      const std::vector<obs::Event>* service_events = nullptr) const;
 
  private:
   friend class IngressSession;
@@ -108,9 +128,20 @@ class StreamingEngine {
   /// and publishes the session's metrics.
   void close_producer(ProducerState* p);
 
+  /// Builds the sampler's probe set (every producer is open by the first
+  /// submit, so the source list is final) and launches its thread. Runs
+  /// once, via sampler_once_.
+  void start_sampler();
+
   int num_servers_;
   std::size_t credits_ = 0;
+  std::size_t sample_ms_ = 0;
   std::vector<std::unique_ptr<EngineShard>> shards_;
+
+  // Telemetry registry: the observer's, or engine-owned when telemetry is
+  // on without an observer. Null iff telemetry is off.
+  std::unique_ptr<obs::MetricsRegistry> owned_registry_;
+  obs::MetricsRegistry* telemetry_registry_ = nullptr;
 
   // Engine-owned observer rewiring: shards share the caller's metrics
   // registry directly (atomics), but an attached TraceSink is serialized
@@ -124,7 +155,13 @@ class StreamingEngine {
   std::atomic<bool> ingest_started_{false};
   bool finished_ = false;
 
-  IngressSession default_session_;  ///< lazily opened by the submit() shim
+  // Declared after shards_ and producers_: the sampler's probes reference
+  // both, so it must stop (destruction runs in reverse order) first.
+  // Mutable: const readers run a passive call_once to synchronize with
+  // the producer thread that lazily started the sampler.
+  mutable std::once_flag sampler_once_;
+  std::unique_ptr<obs::TelemetrySampler> sampler_;
+
   EngineStats stats_;
 };
 

@@ -1,0 +1,80 @@
+#include "obs/latency_histogram.h"
+
+#include <algorithm>
+
+namespace mcdc::obs {
+
+LatencyHistogramSnapshot LatencyHistogram::snapshot() const {
+  LatencyHistogramSnapshot s;
+  for (int b = 0; b < kLatencyBuckets; ++b) {
+    s.counts[static_cast<std::size_t>(b)] =
+        counts_[static_cast<std::size_t>(b)].load(std::memory_order_relaxed);
+    s.count += s.counts[static_cast<std::size_t>(b)];
+  }
+  s.sum_ns = sum_ns_.load(std::memory_order_relaxed);
+  s.max_ns = max_ns_.load(std::memory_order_relaxed);
+  return s;
+}
+
+void LatencyHistogramSnapshot::merge(const LatencyHistogramSnapshot& other) {
+  for (int b = 0; b < kLatencyBuckets; ++b) {
+    counts[static_cast<std::size_t>(b)] +=
+        other.counts[static_cast<std::size_t>(b)];
+  }
+  count += other.count;
+  sum_ns += other.sum_ns;
+  max_ns = std::max(max_ns, other.max_ns);
+}
+
+std::uint64_t LatencyHistogramSnapshot::bucket_floor_ns(int b) {
+  return b == 0 ? 0 : (std::uint64_t{1} << b);
+}
+
+std::uint64_t LatencyHistogramSnapshot::bucket_ceil_ns(int b) {
+  return std::uint64_t{1} << (b + 1);
+}
+
+namespace {
+
+/// Estimated k-th order statistic (0-based): samples spread uniformly
+/// inside their bucket, each at the center of its 1/n_b slice. The
+/// overflow bucket's upper edge is clamped to the observed max.
+double order_stat_ns(const LatencyHistogramSnapshot& s, double k) {
+  std::uint64_t before = 0;
+  for (int b = 0; b < kLatencyBuckets; ++b) {
+    const std::uint64_t n = s.counts[static_cast<std::size_t>(b)];
+    if (n == 0) continue;
+    if (k < static_cast<double>(before + n)) {
+      const double lo =
+          static_cast<double>(LatencyHistogramSnapshot::bucket_floor_ns(b));
+      double hi =
+          static_cast<double>(LatencyHistogramSnapshot::bucket_ceil_ns(b));
+      if (b == kLatencyBuckets - 1 || static_cast<double>(s.max_ns) < hi) {
+        hi = std::max(lo + 1.0, static_cast<double>(s.max_ns));
+      }
+      const double j = k - static_cast<double>(before);  // 0-based in-bucket
+      return lo + (hi - lo) * ((j + 0.5) / static_cast<double>(n));
+    }
+    before += n;
+  }
+  return static_cast<double>(s.max_ns);
+}
+
+}  // namespace
+
+double LatencyHistogramSnapshot::percentile_ns(double q) const {
+  if (count == 0) return 0.0;
+  q = std::clamp(q, 0.0, 100.0);
+  if (q == 100.0) return static_cast<double>(max_ns);
+  // util/stats.h percentile(): fractional rank over n-1 gaps, linear
+  // interpolation between the two flanking order statistics.
+  const double pos = q / 100.0 * static_cast<double>(count - 1);
+  const double lo = static_cast<double>(static_cast<std::uint64_t>(pos));
+  const double frac = pos - lo;
+  const double a = order_stat_ns(*this, lo);
+  const double b = frac > 0.0 ? order_stat_ns(*this, lo + 1.0) : a;
+  const double v = a * (1.0 - frac) + b * frac;
+  return std::min(v, static_cast<double>(max_ns));
+}
+
+}  // namespace mcdc::obs

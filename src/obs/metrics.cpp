@@ -135,6 +135,25 @@ std::string MetricsSnapshot::to_json() const {
     out += ",\"max\":" + num_to_string(h.max);
     out += '}';
   }
+  out += "},\"latency\":{";
+  first = true;
+  for (const auto& [name, h] : latency) {
+    if (!first) out += ',';
+    first = false;
+    append_json_string(out, name);
+    out += ":{\"counts\":[";
+    for (int b = 0; b < kLatencyBuckets; ++b) {
+      if (b) out += ',';
+      out += std::to_string(h.counts[static_cast<std::size_t>(b)]);
+    }
+    out += "],\"count\":" + std::to_string(h.count);
+    out += ",\"sum_ns\":" + std::to_string(h.sum_ns);
+    out += ",\"max_ns\":" + std::to_string(h.max_ns);
+    out += ",\"p50_ns\":" + num_to_string(h.p50_ns());
+    out += ",\"p95_ns\":" + num_to_string(h.p95_ns());
+    out += ",\"p99_ns\":" + num_to_string(h.p99_ns());
+    out += '}';
+  }
   out += "}}";
   return out;
 }
@@ -159,6 +178,22 @@ void MetricsSnapshot::write_csv(std::ostream& out) const {
     rows.push_back({"histogram", name, "sum", num_to_string(h.sum)});
     rows.push_back({"histogram", name, "min", num_to_string(h.min)});
     rows.push_back({"histogram", name, "max", num_to_string(h.max)});
+  }
+  for (const auto& [name, h] : latency) {
+    // 48 log2 buckets are mostly empty in practice; only emit occupied
+    // ones (the ceilings make the row self-describing).
+    for (int b = 0; b < kLatencyBuckets; ++b) {
+      const std::uint64_t c = h.counts[static_cast<std::size_t>(b)];
+      if (c == 0) continue;
+      rows.push_back(
+          {"latency", name,
+           "le_" +
+               std::to_string(LatencyHistogramSnapshot::bucket_ceil_ns(b)),
+           std::to_string(c)});
+    }
+    rows.push_back({"latency", name, "count", std::to_string(h.count)});
+    rows.push_back({"latency", name, "sum_ns", std::to_string(h.sum_ns)});
+    rows.push_back({"latency", name, "max_ns", std::to_string(h.max_ns)});
   }
   csv_write(out, rows);
 }
@@ -185,6 +220,13 @@ Histogram& MetricsRegistry::histogram(const std::string& name,
   return *slot;
 }
 
+LatencyHistogram& MetricsRegistry::latency(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = latency_[name];
+  if (!slot) slot = std::make_unique<LatencyHistogram>();
+  return *slot;
+}
+
 MetricsSnapshot MetricsRegistry::snapshot() const {
   std::lock_guard<std::mutex> lock(mu_);
   MetricsSnapshot s;
@@ -196,7 +238,32 @@ MetricsSnapshot MetricsRegistry::snapshot() const {
   for (const auto& [name, h] : histograms_) {
     s.histograms.emplace_back(name, h->snapshot());
   }
+  s.latency.reserve(latency_.size());
+  for (const auto& [name, h] : latency_) {
+    s.latency.emplace_back(name, h->snapshot());
+  }
   return s;
+}
+
+LabeledMetricFamily::LabeledMetricFamily(MetricsRegistry& reg,
+                                         const char* base, std::size_t label)
+    : reg_(&reg), prefix_(base + std::to_string(label) + "_") {}
+
+Counter& LabeledMetricFamily::counter(const char* field) const {
+  return reg_->counter(prefix_ + field);
+}
+
+Gauge& LabeledMetricFamily::gauge(const char* field) const {
+  return reg_->gauge(prefix_ + field);
+}
+
+Histogram& LabeledMetricFamily::histogram(
+    const char* field, std::vector<double> upper_bounds) const {
+  return reg_->histogram(prefix_ + field, std::move(upper_bounds));
+}
+
+LatencyHistogram& LabeledMetricFamily::latency(const char* field) const {
+  return reg_->latency(prefix_ + field);
 }
 
 }  // namespace mcdc::obs

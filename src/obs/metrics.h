@@ -24,6 +24,8 @@
 #include <utility>
 #include <vector>
 
+#include "obs/latency_histogram.h"
+
 namespace mcdc::obs {
 
 /// Monotonically increasing event count.
@@ -104,13 +106,18 @@ struct MetricsSnapshot {
   std::vector<std::pair<std::string, std::uint64_t>> counters;
   std::vector<std::pair<std::string, double>> gauges;
   std::vector<std::pair<std::string, HistogramSnapshot>> histograms;
+  std::vector<std::pair<std::string, LatencyHistogramSnapshot>> latency;
 
-  /// One JSON object: {"counters":{...},"gauges":{...},"histograms":{...}}.
+  /// One JSON object:
+  /// {"counters":{...},"gauges":{...},"histograms":{...},"latency":{...}}.
+  /// Latency histograms carry integer-ns buckets plus derived
+  /// p50/p95/p99 so consumers need not re-implement the interpolation.
   std::string to_json() const;
 
   /// Long-form CSV via util/csv.h: rows of `kind,name,key,value` (counters
   /// and gauges use key "value"; histograms emit per-bucket `le_<bound>`
-  /// rows plus count/sum/min/max).
+  /// rows plus count/sum/min/max; latency histograms emit only their
+  /// non-empty `le_<ns>` buckets plus count/sum_ns/max_ns).
   void write_csv(std::ostream& out) const;
 };
 
@@ -123,6 +130,7 @@ class MetricsRegistry {
   Gauge& gauge(const std::string& name);
   Histogram& histogram(const std::string& name,
                        std::vector<double> upper_bounds);
+  LatencyHistogram& latency(const std::string& name);
 
   MetricsSnapshot snapshot() const;
   std::string to_json() const { return snapshot().to_json(); }
@@ -133,6 +141,33 @@ class MetricsRegistry {
   std::map<std::string, std::unique_ptr<Counter>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>> gauges_;
   std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  std::map<std::string, std::unique_ptr<LatencyHistogram>> latency_;
+};
+
+/// Cached name builder for a labeled metric family — the per-shard /
+/// per-producer registrations ("engine_shard<i>_*", "engine_producer<i>_*").
+/// The "<base><label>_" prefix is formatted exactly once; each handle is
+/// then resolved with a single concatenation instead of every registration
+/// site re-spelling the prefix arithmetic. Handles come straight from the
+/// registry, so they stay valid for the registry's lifetime and are meant
+/// to be cached by the caller as usual.
+class LabeledMetricFamily {
+ public:
+  LabeledMetricFamily(MetricsRegistry& reg, const char* base,
+                      std::size_t label);
+
+  Counter& counter(const char* field) const;
+  Gauge& gauge(const char* field) const;
+  Histogram& histogram(const char* field,
+                       std::vector<double> upper_bounds) const;
+  LatencyHistogram& latency(const char* field) const;
+
+  /// "<base><label>_", e.g. "engine_shard3_".
+  const std::string& prefix() const { return prefix_; }
+
+ private:
+  MetricsRegistry* reg_;
+  std::string prefix_;
 };
 
 }  // namespace mcdc::obs

@@ -267,6 +267,10 @@ TEST(FuzzDifferential, EngineBitIdenticalToSerial) {
     ecfg.policy = (it % 2 == 0) ? BackpressurePolicy::kBlock
                                 : BackpressurePolicy::kSpill;
     ecfg.deterministic = true;
+    // Telemetry must be invisible to the determinism contract: randomly
+    // flip it (and the sampler) and demand the same bit-identity.
+    ecfg.telemetry = (it % 3 == 0);
+    ecfg.sample_ms = (it % 6 == 0) ? std::size_t{1} : std::size_t{0};
     StreamingEngine engine(cfg.num_servers, cm, ecfg);
     IngressSession session = engine.open_producer();
     for (const auto& r : stream) {
@@ -375,6 +379,10 @@ TEST(FuzzDifferential, EngineMultiProducerBitIdenticalToSerial) {
                                 : BackpressurePolicy::kSpill;
     ecfg.deterministic = true;
     ecfg.producer_credits = (it % 3 == 0) ? std::size_t{4} : std::size_t{0};
+    // Telemetry randomization: stamps and histograms must never leak
+    // into the cross-producer merge order.
+    ecfg.telemetry = (it % 2 == 1);
+    ecfg.sample_ms = (it % 4 == 1) ? std::size_t{1} : std::size_t{0};
     StreamingEngine engine(cfg.num_servers, cm, ecfg);
 
     std::vector<IngressSession> sessions;

@@ -9,6 +9,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <string>
 #include <thread>
 #include <utility>
@@ -458,25 +459,21 @@ TEST(StreamingEngine, MetricsRollUpIntoSharedRegistry) {
   }
 }
 
-TEST(StreamingEngine, DeprecatedSubmitShimStillWorks) {
+TEST(IngressSession, SingleSessionMatchesSerialAndLifecycleErrors) {
   const CostModel cm(1.0, 1.0);
   const auto stream = make_stream(29, 3, 7, 400);
   const auto serial = run_serial(stream, 3, cm);
   EngineConfig cfg;
   cfg.num_shards = 2;
   StreamingEngine engine(3, cm, cfg);
-  // The shim is deprecated but must keep its exact semantics for one
-  // release: lazily opens producer 0 and forwards.
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+  auto session = engine.open_producer();
   for (const auto& r : stream) {
-    EXPECT_TRUE(engine.submit(r.item, r.server, r.time));
+    EXPECT_TRUE(session.submit(r.item, r.server, r.time));
   }
   EXPECT_EQ(engine.num_producers(), 1u);
   EXPECT_THROW(engine.open_producer(), std::logic_error);  // ingest started
   const auto rep = engine.finish();
-  EXPECT_THROW(engine.submit(0, 0, 999.0), std::logic_error);
-#pragma GCC diagnostic pop
+  EXPECT_THROW(session.submit(0, 0, 999.0), std::logic_error);  // closed
   expect_reports_identical(serial, rep);
 }
 
@@ -617,6 +614,8 @@ TEST(EngineConfig, ToStringParseRoundTrip) {
     cfg.policy = policies[rng.uniform_int(3)];
     cfg.deterministic = rng.bernoulli(0.5);
     cfg.producer_credits = static_cast<std::size_t>(rng.uniform_int(0, 1024));
+    cfg.telemetry = rng.bernoulli(0.5);
+    cfg.sample_ms = static_cast<std::size_t>(rng.uniform_int(0, 1000));
     const std::string text = cfg.to_string();
     const EngineConfig back = EngineConfig::parse(text);
     EXPECT_EQ(back.num_shards, cfg.num_shards) << text;
@@ -625,6 +624,8 @@ TEST(EngineConfig, ToStringParseRoundTrip) {
     EXPECT_EQ(back.policy, cfg.policy) << text;
     EXPECT_EQ(back.deterministic, cfg.deterministic) << text;
     EXPECT_EQ(back.producer_credits, cfg.producer_credits) << text;
+    EXPECT_EQ(back.telemetry, cfg.telemetry) << text;
+    EXPECT_EQ(back.sample_ms, cfg.sample_ms) << text;
     EXPECT_EQ(back.to_string(), text);
   }
 }
@@ -653,6 +654,9 @@ TEST(EngineConfig, ParseErrorsNameKeyTokenAndChoices) {
   expect_parse_error("batch=", "batch", "expected");
   // Bad bool.
   expect_parse_error("deterministic=yes", "yes", "true|false");
+  // Telemetry uses on|off (a mode switch, not a bool).
+  expect_parse_error("telemetry=true", "true", "on|off");
+  expect_parse_error("sample_ms=fast", "fast", "sample_ms");
   // Malformed token (no '='): echoed back with the key list.
   expect_parse_error("shards", "shards",
                      "shards|queue|batch|policy|deterministic|credits");
@@ -715,6 +719,139 @@ TEST(FinalizeReport, RecomputesAggregatesFromPerItem) {
   EXPECT_EQ(rep.total_cost, 3.75);
   EXPECT_EQ(rep.caching_cost, 1.75);
   EXPECT_EQ(rep.transfer_cost, 2.0);
+}
+
+// ---- pipeline telemetry ----------------------------------------------------
+
+TEST(EngineTelemetry, OffByDefaultWithEmptySnapshots) {
+  const CostModel cm(1.0, 1.0);
+  const auto stream = make_stream(61, 3, 9, 300);
+  EngineConfig cfg;
+  cfg.num_shards = 2;
+  StreamingEngine engine(3, cm, cfg);
+  EXPECT_FALSE(engine.telemetry_enabled());
+  EXPECT_EQ(engine.telemetry_registry(), nullptr);
+  submit_all(engine, stream);
+  engine.finish();
+  EXPECT_EQ(engine.queue_wait_snapshot().count, 0u);
+  EXPECT_EQ(engine.e2e_snapshot().count, 0u);
+  EXPECT_TRUE(engine.telemetry_series().empty());
+}
+
+TEST(EngineTelemetry, BitIdenticalWithStageHistogramsPopulated) {
+  // The hard constraint: telemetry stamps wall-clock times onto records,
+  // and the deterministic merge must never consult them. Same stream,
+  // telemetry on, multi-producer — report must stay bit-identical, and
+  // every accepted request must land in the queue-wait and e2e
+  // histograms exactly once.
+  const CostModel cm(1.0, 1.3);
+  const auto stream = make_stream(67, 4, 15, 1200);
+  const auto serial = run_serial(stream, 4, cm);
+  EngineConfig cfg;
+  cfg.num_shards = 3;
+  cfg.queue_capacity = 32;
+  cfg.telemetry = true;
+  const auto rep = run_engine_producers(stream, 4, cm, cfg, 3);
+  expect_reports_identical(serial, rep);
+}
+
+TEST(EngineTelemetry, HistogramsCountEveryAcceptedRequest) {
+  const CostModel cm(1.0, 1.0);
+  const auto stream = make_stream(71, 3, 10, 800);
+  EngineConfig cfg;
+  cfg.num_shards = 2;
+  cfg.telemetry = true;
+  StreamingEngine engine(3, cm, cfg);
+  EXPECT_TRUE(engine.telemetry_enabled());
+  ASSERT_NE(engine.telemetry_registry(), nullptr);  // engine-owned
+  submit_all(engine, stream);
+  engine.finish();
+  const auto queue_wait = engine.queue_wait_snapshot();
+  const auto e2e = engine.e2e_snapshot();
+  EXPECT_EQ(queue_wait.count, stream.size());
+  EXPECT_EQ(e2e.count, stream.size());
+  // e2e spans submit -> retire, so its mean cannot undercut queue-wait's
+  // on the merged totals (both start at the same submit stamp).
+  EXPECT_GE(e2e.sum_ns, queue_wait.sum_ns);
+  // The apply histogram records per batch, not per record: bounded by
+  // batches <= requests, at least one batch per shard that saw work.
+  EXPECT_GE(engine.apply_snapshot().count, 1u);
+  EXPECT_LE(engine.apply_snapshot().count, stream.size());
+  // Per-shard latency metrics registered under the labeled names.
+  auto snap = engine.telemetry_registry()->snapshot();
+  bool found = false;
+  for (const auto& [name, hist] : snap.latency) {
+    if (name == "engine_shard0_e2e_ns" || name == "engine_shard1_e2e_ns") {
+      found = found || hist.count > 0;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(EngineTelemetry, UsesObserverRegistryWhenAttached) {
+  const CostModel cm(1.0, 1.0);
+  const auto stream = make_stream(73, 3, 8, 400);
+  obs::MetricsRegistry reg;
+  obs::Observer ob(&reg);
+  EngineConfig cfg;
+  cfg.num_shards = 2;
+  cfg.telemetry = true;
+  cfg.service_options.observer = &ob;
+  StreamingEngine engine(3, cm, cfg);
+  EXPECT_EQ(engine.telemetry_registry(), &reg);
+  submit_all(engine, stream);
+  engine.finish();
+  // Stage histograms and the producer credit-wait counter live in the
+  // caller's registry, under the labeled-family names.
+  EXPECT_GT(reg.latency("engine_shard0_queue_wait_ns").snapshot().count, 0u);
+  (void)reg.counter("engine_producer0_credit_wait_ns");  // registered
+}
+
+TEST(EngineTelemetry, SamplerRecordsSeriesAndChromeTraceExports) {
+  const CostModel cm(1.0, 1.0);
+  const auto stream = make_stream(79, 3, 12, 2000);
+  EngineConfig cfg;
+  cfg.num_shards = 2;
+  cfg.telemetry = true;
+  cfg.sample_ms = 1;
+  StreamingEngine engine(3, cm, cfg);
+  {
+    IngressSession session = engine.open_producer();
+    for (const auto& r : stream) {
+      session.submit(r.item, r.server, r.time);
+    }
+    // Keep the engine alive past a few sampler periods before closing.
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    session.close();
+  }
+  engine.finish();
+  const auto series = engine.telemetry_series();
+  ASSERT_FALSE(series.empty());
+  // Per-shard queue depth + merge depth, fleet resident bytes, and one
+  // in-flight series for the single producer.
+  EXPECT_EQ(series.size(), 2u * 2u + 1u + 1u);
+  bool saw_resident = false;
+  bool saw_depth = false;
+  for (const auto& s : series) {
+    if (s.name == "service_resident_bytes") saw_resident = true;
+    if (s.name == "engine_shard0_queue_depth") saw_depth = true;
+    EXPECT_GT(s.seen, 0u) << s.name;
+    for (std::size_t k = 1; k < s.samples.size(); ++k) {
+      EXPECT_GE(s.samples[k].t_ns, s.samples[k - 1].t_ns) << s.name;
+    }
+  }
+  EXPECT_TRUE(saw_resident);
+  EXPECT_TRUE(saw_depth);
+
+  const std::string json = engine.chrome_trace_json();
+  EXPECT_NE(json.find("\"traceEvents\":["), std::string::npos);
+  EXPECT_NE(json.find("engine (wall clock)"), std::string::npos);
+  EXPECT_NE(json.find("\"shard0\""), std::string::npos);
+  EXPECT_NE(json.find("\"shard1\""), std::string::npos);
+  EXPECT_NE(json.find("queue_wait"), std::string::npos);  // span or counter
+  EXPECT_NE(json.find("\"ph\":\"C\""), std::string::npos);  // sampler track
+  // No service events passed: no model-time process in the document.
+  EXPECT_EQ(json.find("service (model time)"), std::string::npos);
 }
 
 }  // namespace
