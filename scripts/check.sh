@@ -17,6 +17,13 @@
 #      --telemetry-out/--prom-out under TSan, the Chrome-trace JSON
 #      validated with python3 (skipped if python3 is absent) and the
 #      Prometheus dump grepped for the stage-histogram series
+#   8. mcdc-lint (tools/lint/mcdc_lint.py): the project-specific
+#      static-analysis pass proving the standing invariants at the
+#      source level (no-alloc / lock-free / stamp-blind / deterministic
+#      closures rooted at the src/util/annotate.h annotations, plus the
+#      module include-DAG and header self-sufficiency). Uses libclang
+#      when importable, its built-in text frontend otherwise; needs only
+#      python3 (SKIP when absent). Report: build/lint_report.json
 #
 # Exit code is non-zero iff any gate that could run failed; unavailable
 # tools are reported as SKIP, not failure, so the gate degrades gracefully
@@ -35,6 +42,7 @@
 #   MCDC_CHECK_MULTI_PRODUCER  repeat count for the multi-producer TSan
 #                           stress lane (default 3; 0 disables the lane)
 #   MCDC_CHECK_TELEMETRY    non-empty "0": skip the telemetry-export gate
+#   MCDC_CHECK_SKIP_LINT    non-empty: skip the mcdc-lint gate
 set -uo pipefail
 cd "$(dirname "$0")/.."
 
@@ -204,6 +212,37 @@ PYEOF
   else
     record FAIL "telemetry export gate (Chrome-trace JSON + Prometheus)"
   fi
+fi
+
+# ---- 8. mcdc-lint ---------------------------------------------------------
+# The custom static-analysis pass: call-graph closures rooted at the
+# src/util/annotate.h annotations (no-alloc, lock-free, stamp-blind,
+# deterministic) plus the module include DAG and header self-sufficiency.
+# --require-roots makes silently-deleted annotations a failure, not a
+# vacuous pass. The summary line carries the per-rule violation counts.
+if [ -n "${MCDC_CHECK_SKIP_LINT:-}" ]; then
+  record SKIP "mcdc-lint (MCDC_CHECK_SKIP_LINT set)"
+elif command -v python3 > /dev/null 2>&1; then
+  echo "=== mcdc-lint (tools/lint/mcdc_lint.py) ==="
+  mkdir -p build
+  LINT_ARGS=(--require-roots --report build/lint_report.json)
+  if [ -f build-werror/compile_commands.json ]; then
+    LINT_ARGS+=(--compile-commands build-werror/compile_commands.json)
+  fi
+  if python3 tools/lint/mcdc_lint.py "${LINT_ARGS[@]}"; then
+    LINT_STATUS=PASS
+  else
+    LINT_STATUS=FAIL
+  fi
+  LINT_COUNTS=$(python3 - build/lint_report.json << 'PYEOF' 2> /dev/null
+import json, sys
+rules = json.load(open(sys.argv[1]))["rules"]
+print(", ".join(f"{k}={rules[k]}" for k in sorted(rules)))
+PYEOF
+)
+  record "$LINT_STATUS" "mcdc-lint (${LINT_COUNTS:-report unreadable})"
+else
+  record SKIP "mcdc-lint (python3 not installed)"
 fi
 
 # ---- summary --------------------------------------------------------------

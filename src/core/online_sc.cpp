@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "obs/observer.h"
+#include "util/annotate.h"
 #include "util/contracts.h"
 
 namespace mcdc {
@@ -46,6 +47,9 @@ SpeculativeCache::SpeculativeCache(int num_servers, ServerId origin,
   }
 }
 
+// Steady state reuses the free list; the emplace_back only fires while
+// the alive-copy population grows to a new peak (bounded by num_servers).
+MCDC_ALLOC_OK("amortized slab growth, bounded by the server count")
 int SpeculativeCache::alloc_copy(ServerId server) {
   int idx;
   if (free_head_ != kNil) {
@@ -108,7 +112,7 @@ void SpeculativeCache::kill(int idx, Time death, bool expired) {
   --alive_count_;
   result_.caching_cost += cm_.mu * (death - c.birth);
   if (recording_full()) {
-    result_.copies.push_back(
+    result_.copies.push_back(  // mcdc-lint: allow(alloc) kFull recording only
         CopyLifetime{c.server, c.birth, death, c.last_use, c.created_by_edge});
     result_.schedule.add_cache(c.server, c.birth, death);
   }
@@ -139,6 +143,7 @@ void SpeculativeCache::expire_before(Time t) {
                  "the system must always hold at least one copy");
 }
 
+MCDC_NO_ALLOC MCDC_HOT_PATH
 bool SpeculativeCache::observe(ServerId server, Time time) {
   if (finished_) throw std::logic_error("SpeculativeCache: already finished");
   if (server < 0 || server >= num_servers_) {
@@ -160,7 +165,9 @@ bool SpeculativeCache::observe(ServerId server, Time time) {
     list_unlink(local);
     list_push_back(local);
     ++result_.hits;
-    if (recording_full()) result_.served_by_cache.push_back(true);
+    if (recording_full()) {
+      result_.served_by_cache.push_back(true);  // mcdc-lint: allow(alloc) kFull recording only
+    }
     if (opt_.observer != nullptr) {
       opt_.observer->request_served(opt_.trace_item, next_request_index_,
                                     server, opt_.trace_time_offset + time,
@@ -183,12 +190,14 @@ bool SpeculativeCache::observe(ServerId server, Time time) {
       src = copies_[static_cast<std::size_t>(tail_)].server;
     }
     if (recording_full()) {
-      result_.edges.push_back(
+      result_.edges.push_back(  // mcdc-lint: allow(alloc) kFull recording only
           ScTransferEdge{src, server, time, next_request_index_});
     }
     result_.transfer_cost += cm_.lambda;
     ++result_.misses;
-    if (recording_full()) result_.served_by_cache.push_back(false);
+    if (recording_full()) {
+      result_.served_by_cache.push_back(false);  // mcdc-lint: allow(alloc) kFull recording only
+    }
 
     // Both endpoints of the transfer get a fresh window (step 3 of §V);
     // the source is re-inserted before the target so that a simultaneous

@@ -24,6 +24,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <type_traits>
 
 #include "util/types.h"
 
@@ -90,6 +91,16 @@ struct IngressRecord {
   Kind kind = Kind::kRequest;
   ProducerState* state = nullptr;  ///< non-null only on kOpen
 };
+
+// Queue-slot layout guards: records are copied between producer threads,
+// ring buffers, and merge lanes by the millions — they must stay memcpy-
+// safe, and a silent size/alignment change would shift every queue
+// capacity and resident-bytes figure the benches report.
+static_assert(std::is_trivially_copyable_v<IngressRecord>,
+              "IngressRecord must be memcpy-safe (queue/merge-lane slots)");
+static_assert(sizeof(IngressRecord) == 56 && alignof(IngressRecord) == 8,
+              "IngressRecord layout changed — revisit queue capacity and "
+              "resident-bytes accounting before accepting the new size");
 
 /// A producer's handle into the engine. Move-only; single-threaded;
 /// closes itself on destruction. Obtain via

@@ -4,6 +4,8 @@
 #include <string>
 #include <vector>
 
+#include "util/annotate.h"
+
 namespace mcdc {
 
 namespace {
@@ -281,28 +283,43 @@ void EngineShard::demux(const std::vector<IngressRecord>& batch,
   }
 }
 
+MCDC_DETERMINISTIC
+bool EngineShard::merge_precedes(const IngressRecord& a,
+                                 const IngressRecord& b) {
+  if (a.time != b.time) return a.time < b.time;
+  return a.producer < b.producer;
+}
+
+MCDC_DETERMINISTIC
+EngineShard::Lane* EngineShard::select_merge_head(bool& tie) {
+  Lane* best = nullptr;
+  tie = false;
+  for (Lane& lane : lanes_) {
+    if (lane.buf.empty()) continue;
+    if (best == nullptr) {
+      best = &lane;
+      continue;
+    }
+    const IngressRecord& a = lane.buf.front();
+    const IngressRecord& b = best->buf.front();
+    if (a.time == b.time) {
+      // A tie survives until a strictly earlier head displaces it.
+      tie = true;
+      if (merge_precedes(a, b)) best = &lane;
+    } else if (merge_precedes(a, b)) {
+      best = &lane;
+      tie = false;
+    }
+  }
+  return best;
+}
+
 bool EngineShard::process_eligible(bool flush_all) {
   for (;;) {
     // Minimal head across lanes by (time, producer id); seq never ties
     // across lanes because each lane is already FIFO by seq.
-    Lane* best = nullptr;
     bool tie = false;
-    for (Lane& lane : lanes_) {
-      if (lane.buf.empty()) continue;
-      if (best == nullptr) {
-        best = &lane;
-        continue;
-      }
-      const IngressRecord& a = lane.buf.front();
-      const IngressRecord& b = best->buf.front();
-      if (a.time < b.time) {
-        best = &lane;
-        tie = false;
-      } else if (a.time == b.time) {
-        tie = true;
-        if (a.producer < b.producer) best = &lane;
-      }
-    }
+    Lane* best = select_merge_head(tie);
     if (best == nullptr) return false;  // nothing parked
     const IngressRecord r = best->buf.front();
     if (!flush_all) {
@@ -329,6 +346,7 @@ bool EngineShard::process_eligible(bool flush_all) {
   }
 }
 
+MCDC_NO_ALLOC MCDC_HOT_PATH
 void EngineShard::process_record(const IngressRecord& r) {
   if (deterministic_) {
     // Merge-order contract: emitted times are non-decreasing (equal times

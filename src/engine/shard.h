@@ -119,6 +119,15 @@ class EngineShard {
   /// drained — no further input can exist) lanes are treated as closed.
   /// Returns true when records remain parked (merge stalled).
   bool process_eligible(bool flush_all);
+  /// The deterministic cross-producer merge order: (time, producer id).
+  /// seq never ties across lanes (each lane is already FIFO by seq).
+  /// Stamp-blind by contract — mcdc-lint proves no telemetry stamp read
+  /// is reachable from here (rule `stamp`).
+  static bool merge_precedes(const IngressRecord& a, const IngressRecord& b);
+  /// The lane whose head is globally minimal under merge_precedes, or
+  /// nullptr when every lane is empty; sets `tie` when the winner shares
+  /// its time with another lane's head.
+  Lane* select_merge_head(bool& tie);
   void process_record(const IngressRecord& r);
   void flush_retired();
 

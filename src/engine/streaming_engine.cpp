@@ -10,6 +10,7 @@
 
 #include "obs/export.h"
 #include "obs/metrics.h"
+#include "util/annotate.h"
 #include "util/concurrency.h"
 
 namespace mcdc {
@@ -144,31 +145,7 @@ bool StreamingEngine::submit_from(ProducerState& p, int item, ServerId server,
   }
   p.last_time = time;
   ++p.seq;
-  if (credits_ > 0) {
-    const std::uint64_t over =
-        p.submitted.load(std::memory_order_relaxed) -
-        p.dropped.load(std::memory_order_relaxed) -
-        p.retired.load(std::memory_order_relaxed);
-    if (over >= credits_) {
-      // Soft credit window: account and yield once, never block. A hard
-      // block here can deadlock against the cross-producer merge — a shard
-      // worker may be stalled waiting on THIS producer's watermark while
-      // this producer waits on that worker's progress (derivation in
-      // docs/ENGINE.md). The bounded queue's kBlock remains the hard
-      // backpressure bound.
-      ++p.credit_throttles;
-      if (p.m_credit_throttles != nullptr) p.m_credit_throttles->inc();
-      if (tele) {
-        const std::uint64_t t0 = obs::telemetry_now_ns();
-        std::this_thread::yield();
-        const std::uint64_t dt = obs::telemetry_now_ns() - t0;
-        p.credit_wait_ns += dt;
-        if (p.m_credit_wait_ns != nullptr) p.m_credit_wait_ns->inc(dt);
-      } else {
-        std::this_thread::yield();
-      }
-    }
-  }
+  credit_throttle(p, tele);
   IngressRecord r;
   r.item = item;
   r.server = server;
@@ -200,6 +177,32 @@ bool StreamingEngine::submit_from(ProducerState& p, int item, ServerId server,
     }
   }
   return accepted;
+}
+
+MCDC_NO_ALLOC MCDC_LOCK_FREE
+void StreamingEngine::credit_throttle(ProducerState& p, bool tele) {
+  if (credits_ == 0) return;
+  const std::uint64_t over = p.submitted.load(std::memory_order_relaxed) -
+                             p.dropped.load(std::memory_order_relaxed) -
+                             p.retired.load(std::memory_order_relaxed);
+  if (over < credits_) return;
+  // Soft credit window: account and yield once, never block. A hard
+  // block here can deadlock against the cross-producer merge — a shard
+  // worker may be stalled waiting on THIS producer's watermark while
+  // this producer waits on that worker's progress (derivation in
+  // docs/ENGINE.md). The bounded queue's kBlock remains the hard
+  // backpressure bound.
+  ++p.credit_throttles;
+  if (p.m_credit_throttles != nullptr) p.m_credit_throttles->inc();
+  if (tele) {
+    const std::uint64_t t0 = obs::telemetry_now_ns();
+    std::this_thread::yield();
+    const std::uint64_t dt = obs::telemetry_now_ns() - t0;
+    p.credit_wait_ns += dt;
+    if (p.m_credit_wait_ns != nullptr) p.m_credit_wait_ns->inc(dt);
+  } else {
+    std::this_thread::yield();
+  }
 }
 
 void StreamingEngine::close_producer(ProducerState* p) {

@@ -124,6 +124,12 @@ class StreamingEngine {
   /// the soft credit window, enqueues, then advances the watermark.
   bool submit_from(ProducerState& p, int item, ServerId server, Time time);
 
+  /// The soft credit window: account and yield once when the producer's
+  /// in-flight count exceeds its credits — never block (a hard block can
+  /// deadlock against the cross-producer merge; docs/ENGINE.md). Atomics,
+  /// a yield, and — with `tele` — telemetry clock reads only.
+  void credit_throttle(ProducerState& p, bool tele);
+
   /// Idempotent: first closer broadcasts the kClose marker to every shard
   /// and publishes the session's metrics.
   void close_producer(ProducerState* p);

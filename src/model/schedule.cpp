@@ -4,10 +4,14 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "util/annotate.h"
 #include "util/contracts.h"
 
 namespace mcdc {
 
+// Recording structure: append-only by design, only built under kFull
+// recording (the steady-state serving paths line-escape their call sites).
+MCDC_ALLOC_OK("schedule recording is kFull-only")
 void Schedule::add_cache(ServerId server, Time start, Time end) {
   if (server < 0) throw std::invalid_argument("add_cache: bad server");
   if (!(end >= start - kEps)) {
@@ -17,6 +21,7 @@ void Schedule::add_cache(ServerId server, Time start, Time end) {
   caches_.push_back(CacheInterval{server, start, end});
 }
 
+MCDC_ALLOC_OK("schedule recording is kFull-only")
 void Schedule::add_transfer(ServerId from, ServerId to, Time at) {
   if (from < 0 || to < 0) throw std::invalid_argument("add_transfer: bad server");
   if (from == to) throw std::invalid_argument("add_transfer: self transfer");

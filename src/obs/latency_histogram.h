@@ -22,6 +22,8 @@
 #include <bit>
 #include <cstdint>
 
+#include "util/annotate.h"
+
 namespace mcdc::obs {
 
 inline constexpr int kLatencyBuckets = 48;
@@ -64,6 +66,7 @@ class LatencyHistogram {
   LatencyHistogram& operator=(const LatencyHistogram&) = delete;
 
   /// Any thread; no locks, no allocation.
+  MCDC_NO_ALLOC MCDC_LOCK_FREE
   void record(std::uint64_t ns) noexcept {
     counts_[static_cast<std::size_t>(bucket_of(ns))].fetch_add(
         1, std::memory_order_relaxed);

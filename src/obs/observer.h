@@ -18,6 +18,7 @@
 
 #include "obs/events.h"
 #include "obs/metrics.h"
+#include "util/annotate.h"
 
 namespace mcdc::obs {
 
@@ -58,6 +59,7 @@ class Observer {
 
   // --- instrumentation hooks -------------------------------------------
 
+  MCDC_ALLOC_OK("sink tracing is opt-in diagnostics; the metrics side is atomics only")
   void request_served(int item, RequestIndex request, ServerId server, Time at,
                       bool hit, Cost cost_delta, std::size_t replicas_alive) {
     if (metrics_ != nullptr) {
@@ -80,6 +82,7 @@ class Observer {
     }
   }
 
+  MCDC_ALLOC_OK("sink tracing is opt-in diagnostics; the metrics side is atomics only")
   void transfer_issued(int item, RequestIndex request, ServerId from,
                        ServerId to, Time at, Cost cost_delta) {
     if (metrics_ != nullptr) transfers_issued_->inc();
@@ -96,6 +99,7 @@ class Observer {
     }
   }
 
+  MCDC_ALLOC_OK("sink tracing is opt-in diagnostics; the metrics side is atomics only")
   void copy_born(int item, ServerId server, Time at) {
     if (metrics_ != nullptr) copies_born_->inc();
     if (sink_ != nullptr) {
@@ -108,6 +112,7 @@ class Observer {
     }
   }
 
+  MCDC_ALLOC_OK("sink tracing is opt-in diagnostics; the metrics side is atomics only")
   void copy_expired(int item, ServerId server, Time at, bool expired,
                     Cost cost_delta) {
     if (metrics_ != nullptr) copies_expired_->inc();
@@ -123,6 +128,7 @@ class Observer {
     }
   }
 
+  MCDC_ALLOC_OK("sink tracing is opt-in diagnostics; the metrics side is atomics only")
   void epoch_reset(int item, Time at) {
     if (metrics_ != nullptr) epoch_resets_->inc();
     if (sink_ != nullptr) {

@@ -21,7 +21,10 @@
 #include <mutex>
 #include <string>
 #include <thread>
+#include <type_traits>
 #include <vector>
+
+#include "util/annotate.h"
 
 namespace mcdc::obs {
 
@@ -36,6 +39,12 @@ struct TimeSample {
   double value = 0.0;
 };
 
+// Ring entries are bulk-copied on export and sized at ring construction;
+// the capacity math in the samplers assumes these exact footprints.
+static_assert(std::is_trivially_copyable_v<TimeSample> &&
+                  sizeof(TimeSample) == 16,
+              "TimeSample must stay a 16-byte POD (SampleRing slot)");
+
 /// Single-writer ring of TimeSamples. Pre-allocated; keeps the newest
 /// `capacity` entries. Readers must synchronize with the writer
 /// externally (the sampler reads after stop(), the engine after join).
@@ -43,6 +52,7 @@ class SampleRing {
  public:
   explicit SampleRing(std::size_t capacity);
 
+  MCDC_NO_ALLOC MCDC_LOCK_FREE
   void push(std::uint64_t t_ns, double value) noexcept {
     buf_[static_cast<std::size_t>(seen_ % buf_.size())] = {t_ns, value};
     ++seen_;
@@ -68,11 +78,16 @@ struct TelemetrySpan {
   std::uint64_t weight = 0;  ///< records covered by the span (0 = n/a)
 };
 
+static_assert(std::is_trivially_copyable_v<TelemetrySpan> &&
+                  sizeof(TelemetrySpan) == 32,
+              "TelemetrySpan must stay a 32-byte POD (SpanRing slot)");
+
 /// Single-writer ring of TelemetrySpans; same contract as SampleRing.
 class SpanRing {
  public:
   explicit SpanRing(std::size_t capacity);
 
+  MCDC_NO_ALLOC MCDC_LOCK_FREE
   void push(const TelemetrySpan& s) noexcept {
     buf_[static_cast<std::size_t>(seen_ % buf_.size())] = s;
     ++seen_;

@@ -8,6 +8,7 @@
 #include "core/offline_dp.h"
 #include "obs/observer.h"
 #include "obs/scoped_timer.h"
+#include "util/annotate.h"
 #include "util/contracts.h"
 #include "util/table.h"
 
@@ -62,6 +63,7 @@ std::string ServiceReport::to_string(std::size_t max_items) const {
   return os.str();
 }
 
+MCDC_DETERMINISTIC
 void finalize_report(ServiceReport& rep) {
   rep.total_cost = 0.0;
   rep.caching_cost = 0.0;
@@ -153,9 +155,11 @@ OnlineDataService::OnlineDataService(int num_servers, const CostModel& cm,
   }
 }
 
+MCDC_NO_ALLOC MCDC_HOT_PATH
 bool OnlineDataService::request(int item, ServerId server, Time time) {
   obs::Observer* ob = options_.observer;
-  obs::ScopedTimer latency(ob != nullptr ? ob->request_latency_us() : nullptr);
+  obs::ScopedTimer latency_timer(ob != nullptr ? ob->request_latency_us()
+                                               : nullptr);
   if (finished_) throw std::logic_error("OnlineDataService: already finished");
   if (server < 0 || server >= num_servers_) {
     throw std::invalid_argument("OnlineDataService: server out of range");

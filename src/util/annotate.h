@@ -1,0 +1,59 @@
+// Source-level invariant annotations for the mcdc-lint static analyzer.
+//
+// The repo's standing invariants — zero-allocation steady-state serving,
+// lock-free telemetry recording, a stamp-blind deterministic merge — are
+// enforced dynamically (counting-operator-new tests, TSan lanes, fuzz
+// bit-identity). Dynamic tests prove one execution; these annotations let
+// `tools/lint/mcdc_lint.py` prove the property over every call path at
+// review time. Each macro expands to a clang `annotate` attribute (zero
+// runtime cost, erased after the front end) and to nothing at all on
+// other compilers — tests/test_contracts.cpp probes both expansions from
+// two translation units.
+//
+//   MCDC_NO_ALLOC       no operator new / malloc / allocating container
+//                       call may be reachable from this function
+//   MCDC_LOCK_FREE      no mutex, condition_variable, or blocking wait
+//                       may be reachable from this function
+//   MCDC_DETERMINISTIC  no clock, rand, address-as-key, or unordered-
+//                       container use may be reachable from this function,
+//                       and the telemetry stamp fields of IngressRecord
+//                       must never be read here (the stamp-blind rule)
+//   MCDC_HOT_PATH       documentation-grade marker: this function sits on
+//                       a measured hot path (the lint reports its closure
+//                       size but attaches no rule)
+//
+//   MCDC_ALLOC_OK(why)  escape hatch: this function may allocate even
+//                       when reached from MCDC_NO_ALLOC code (cold or
+//                       amortized paths: slab chunk growth, hash-table
+//                       doubling, per-item birth). `why` is required,
+//                       never evaluated, and discarded at preprocessing —
+//                       it exists for the reader and for `git grep`.
+//
+// Statement-level escapes use lint comments instead of attributes:
+//   some_vector.push_back(x);  // mcdc-lint: allow(alloc) kFull recording only
+// with rule names alloc, lock, stamp, det, layering (see
+// docs/STATIC_ANALYSIS.md, "mcdc-lint").
+//
+// Placement: annotate the *definition* (the lint binds attributes where
+// the body is). GNU attribute syntax admits the macro before the
+// decl-specifiers, so out-of-line definitions read naturally:
+//
+//   MCDC_NO_ALLOC MCDC_HOT_PATH
+//   bool OnlineDataService::request(int item, ServerId server, Time t) {...}
+#pragma once
+
+#if defined(__clang__)
+#define MCDC_ANNOTATE(tag) __attribute__((annotate(tag)))
+#else
+#define MCDC_ANNOTATE(tag)
+#endif
+
+#define MCDC_NO_ALLOC MCDC_ANNOTATE("mcdc::no_alloc")
+#define MCDC_LOCK_FREE MCDC_ANNOTATE("mcdc::lock_free")
+#define MCDC_DETERMINISTIC MCDC_ANNOTATE("mcdc::deterministic")
+#define MCDC_HOT_PATH MCDC_ANNOTATE("mcdc::hot_path")
+
+// Function-like on purpose: the reason is mandatory at the call site but
+// must vanish from the token stream on every compiler (the two-TU probe
+// passes an undeclared identifier through it to prove non-evaluation).
+#define MCDC_ALLOC_OK(why) MCDC_ANNOTATE("mcdc::alloc_ok")

@@ -45,6 +45,13 @@ struct alignas(kCacheLineSize) CachePadded {
   T value{};
 };
 
+// The whole point of the wrapper: adjacent array elements land on
+// distinct cache lines. alignas also rounds sizeof up to the alignment,
+// so a small T still occupies a full line.
+static_assert(alignof(CachePadded<char>) == kCacheLineSize &&
+                  sizeof(CachePadded<char>) == kCacheLineSize,
+              "CachePadded must pad to exactly one cache line");
+
 /// Run f(i) for i in [0, n) across up to `threads` std::threads (0 means
 /// hardware_thread_count()). f must be safe to call concurrently for
 /// distinct indices — typically it writes results[i] only. Indices are

@@ -20,6 +20,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "util/annotate.h"
 #include "util/contracts.h"
 
 namespace mcdc {
@@ -126,10 +127,12 @@ class FlatIndexMap {
     return static_cast<std::size_t>(x);
   }
 
+  MCDC_ALLOC_OK("capacity doubling: the map's only allocation")
   void grow() {
     rehash(table_.empty() ? kMinCapacity : table_.size() * 2);
   }
 
+  MCDC_ALLOC_OK("capacity doubling: the map's only allocation")
   void rehash(std::size_t cap) {
     std::vector<Entry> old = std::move(table_);
     table_.assign(cap, Entry{});

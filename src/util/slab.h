@@ -20,6 +20,8 @@
 #include <utility>
 #include <vector>
 
+#include "util/annotate.h"
+
 namespace mcdc {
 
 template <typename T, std::size_t kChunk = 64>
@@ -47,6 +49,7 @@ class Slab {
 
   /// Construct a new element in place; returns its stable index.
   template <typename... Args>
+  MCDC_ALLOC_OK("amortized: one chunk allocation per kChunk births")
   std::size_t emplace(Args&&... args) {
     if (size_ == chunks_.size() * kChunk) {
       chunks_.push_back(std::make_unique<Chunk>());

@@ -1,0 +1,48 @@
+// Zero-cost probe for src/util/annotate.h: the lint annotation macros
+// must (a) vanish entirely on non-clang compilers, (b) never evaluate —
+// or even keep — the MCDC_ALLOC_OK reason argument, and (c) leave
+// annotated functions with ordinary linkage so a second TU (this one)
+// can define what test_contracts.cpp calls. Mirrors the two-TU pattern
+// of contracts_release_probe.cpp.
+#include "util/annotate.h"
+
+#include "tests_contracts_probe.h"
+
+#define MCDC_PROBE_STR2(x) #x
+#define MCDC_PROBE_STR(x) MCDC_PROBE_STR2(x)
+
+#if !defined(__clang__)
+// Stringified, the whole macro set must be empty tokens: "" (size 1).
+// On clang the same expression expands to annotate attributes, which the
+// front end erases after recording — zero cost either way.
+static_assert(sizeof(MCDC_PROBE_STR(
+                  MCDC_NO_ALLOC MCDC_LOCK_FREE MCDC_DETERMINISTIC
+                      MCDC_HOT_PATH MCDC_ALLOC_OK(ignored))) == 1,
+              "annotate.h macros must expand to nothing on non-clang");
+#endif
+
+namespace mcdc::testprobe {
+
+namespace {
+
+int alloc_ok_argument_evaluations = 0;
+
+// The reason argument is discarded at preprocessing: a side-effecting
+// expression must never run...
+MCDC_ALLOC_OK(++alloc_ok_argument_evaluations)
+int annotated_with_side_effect_reason() { return 21; }
+
+// ...and an undeclared identifier must not even reach the parser.
+MCDC_ALLOC_OK(this identifier soup is discarded before parsing)
+MCDC_NO_ALLOC MCDC_LOCK_FREE MCDC_DETERMINISTIC MCDC_HOT_PATH
+int annotated_with_everything() { return 21; }
+
+}  // namespace
+
+int annotate_probe_value() {
+  return annotated_with_side_effect_reason() + annotated_with_everything();
+}
+
+int annotate_probe_evaluations() { return alloc_ok_argument_evaluations; }
+
+}  // namespace mcdc::testprobe

@@ -52,5 +52,19 @@ TEST(Contracts, ReleaseModeCompilesOutConditionAndMessage) {
   EXPECT_EQ(testprobe::release_probe_evaluations(), 0);
 }
 
+TEST(Annotate, MacrosAreZeroCostAndLinkageNeutral) {
+  // annotate_probe.cpp defines functions carrying every annotate.h macro
+  // (plus a non-clang static_assert that the macros stringify to nothing);
+  // calling across TUs proves the attributes change neither codegen nor
+  // linkage.
+  EXPECT_EQ(testprobe::annotate_probe_value(), 42);
+}
+
+TEST(Annotate, AllocOkReasonIsNeverEvaluated) {
+  // MCDC_ALLOC_OK(why) discards `why` at preprocessing: a side-effecting
+  // reason must never run, on any compiler, in any build type.
+  EXPECT_EQ(testprobe::annotate_probe_evaluations(), 0);
+}
+
 }  // namespace
 }  // namespace mcdc

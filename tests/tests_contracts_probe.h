@@ -11,4 +11,13 @@ namespace mcdc::testprobe {
 /// compiled out entirely, not merely ignored.
 int release_probe_evaluations();
 
+/// Sum of two functions in annotate_probe.cpp carrying every annotate.h
+/// macro (42 when the attributes leave codegen and linkage untouched).
+int annotate_probe_value();
+
+/// How many times MCDC_ALLOC_OK's reason argument was evaluated across
+/// the annotated probe functions. Must be 0: the reason is discarded at
+/// preprocessing on every compiler.
+int annotate_probe_evaluations();
+
 }  // namespace mcdc::testprobe

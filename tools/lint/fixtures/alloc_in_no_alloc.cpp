@@ -1,0 +1,39 @@
+// Fixture: a MCDC_NO_ALLOC root reaching an allocation two calls deep.
+#include "util/annotate.h"
+
+#include <cstdlib>
+#include <vector>
+
+namespace fixture {
+
+std::vector<int> sink;
+
+void helper_leaf() {
+  sink.push_back(1);  // VIOLATION(alloc)
+}
+
+void helper_mid() { helper_leaf(); }
+
+MCDC_NO_ALLOC
+int hot_serve(int x) {
+  helper_mid();
+  int* p = new int(x);  // VIOLATION(alloc)
+  int r = *p;
+  delete p;
+  void* q = std::malloc(16);  // VIOLATION(alloc)
+  std::free(q);
+  return r;
+}
+
+// An MCDC_ALLOC_OK callee is a sanctioned cold path: reachable
+// allocations inside it must NOT be flagged.
+MCDC_ALLOC_OK("fixture: amortized growth")
+void cold_grow() { sink.reserve(1024); }
+
+MCDC_NO_ALLOC
+int hot_with_escape() {
+  cold_grow();
+  return 0;
+}
+
+}  // namespace fixture

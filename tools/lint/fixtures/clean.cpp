@@ -1,0 +1,58 @@
+// Fixture: known-benign patterns that must produce ZERO violations.
+// Guards the linter against over-flagging (a lint that cries wolf gets
+// MCDC_CHECK_SKIP'd, which is how lints rot).
+#include "util/annotate.h"
+
+#include <cstdint>
+#include <new>
+#include <stdexcept>
+#include <vector>
+
+namespace fixture_clean {
+
+struct Pod {
+  int v = 0;
+};
+
+inline void contract_fail_stub(const char*) {}
+
+#define FIXTURE_ASSERT(cond, msg) \
+  do {                            \
+    if (!(cond)) contract_fail_stub(msg); \
+  } while (false)
+
+std::vector<int> warm;
+
+// Placement new constructs in pre-owned storage: not an allocation.
+MCDC_NO_ALLOC
+Pod* construct_in_place(void* storage) {
+  Pod* p = ::new (storage) Pod();
+  return p;
+}
+
+// Throw expressions are error paths, not steady-state: the std::string
+// the exception constructor builds must not be flagged.
+MCDC_NO_ALLOC
+int checked_divide(int a, int b) {
+  if (b == 0) {
+    throw std::invalid_argument("fixture: division by zero");
+  }
+  return a / b;
+}
+
+// Statement-level escapes silence exactly the named rule on that line.
+MCDC_NO_ALLOC
+void recording_path(bool full) {
+  if (full) {
+    warm.push_back(1);  // mcdc-lint: allow(alloc) kFull recording only
+  }
+}
+
+// Unannotated code allocates freely without a peep from the linter.
+void cold_setup() {
+  warm.reserve(4096);
+  auto* block = new Pod[8];
+  delete[] block;
+}
+
+}  // namespace fixture_clean

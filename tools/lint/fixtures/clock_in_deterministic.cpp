@@ -1,0 +1,34 @@
+// Fixture: determinism hygiene — clocks, rand, address-as-key, and
+// unordered iteration inside a MCDC_DETERMINISTIC region.
+#include "util/annotate.h"
+
+#include <chrono>
+#include <cstdint>
+#include <cstdlib>
+#include <unordered_map>
+
+namespace fixture {
+
+std::uint64_t jitter_source() {
+  return static_cast<std::uint64_t>(
+      std::chrono::steady_clock::now().time_since_epoch().count());  // VIOLATION(det)
+}
+
+MCDC_DETERMINISTIC
+std::uint64_t merge_key(int item) {
+  std::uint64_t k = jitter_source();
+  k ^= static_cast<std::uint64_t>(std::rand());  // VIOLATION(det)
+  std::unordered_map<int, int> order;  // VIOLATION(det)
+  order[item] = 1;
+  const int* p = &item;
+  k ^= reinterpret_cast<std::uintptr_t>(p);  // VIOLATION(det)
+  return k;
+}
+
+// Unannotated code may read clocks (telemetry does, by design).
+std::uint64_t telemetry_stamp() {
+  return static_cast<std::uint64_t>(
+      std::chrono::steady_clock::now().time_since_epoch().count());
+}
+
+}  // namespace fixture

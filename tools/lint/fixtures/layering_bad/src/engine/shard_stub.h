@@ -1,0 +1,6 @@
+// Fixture stub: stands in for a real engine header.
+#pragma once
+
+namespace fixture::engine {
+inline int stub() { return 1; }
+}  // namespace fixture::engine

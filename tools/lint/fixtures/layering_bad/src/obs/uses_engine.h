@@ -1,0 +1,10 @@
+// Fixture: the obs module must never depend on the engine (the
+// observability layer is below the serving layers in the include DAG).
+#pragma once
+
+#include "engine/shard_stub.h"  // VIOLATION(layering)
+#include "util/helper_stub.h"
+
+namespace fixture::obs {
+inline int probe() { return fixture::engine::stub() + fixture::util::stub(); }
+}  // namespace fixture::obs

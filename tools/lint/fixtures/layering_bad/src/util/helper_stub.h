@@ -1,0 +1,6 @@
+// Fixture stub: util is importable from everywhere (and imports nothing).
+#pragma once
+
+namespace fixture::util {
+inline int stub() { return 2; }
+}  // namespace fixture::util

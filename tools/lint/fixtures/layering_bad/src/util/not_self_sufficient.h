@@ -1,0 +1,5 @@
+#pragma once  // VIOLATION(layering) — header is not self-sufficient (std::vector without <vector>)
+
+namespace fixture::util {
+inline int first_of(const std::vector<int>& v) { return v.empty() ? 0 : v[0]; }
+}  // namespace fixture::util

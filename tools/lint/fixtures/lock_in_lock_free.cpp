@@ -1,0 +1,30 @@
+// Fixture: a MCDC_LOCK_FREE root reaching a mutex and a blocking wait.
+#include "util/annotate.h"
+
+#include <chrono>
+#include <mutex>
+#include <thread>
+
+namespace fixture {
+
+std::mutex mu;
+int counter = 0;
+
+void guarded_bump() {
+  const std::lock_guard<std::mutex> lock(mu);  // VIOLATION(lock)
+  ++counter;
+}
+
+MCDC_LOCK_FREE
+void record_sample() {
+  guarded_bump();
+  std::this_thread::sleep_for(std::chrono::milliseconds(1));  // VIOLATION(lock)
+}
+
+// Not annotated: locking here is fine and must not be flagged.
+void cold_flush() {
+  const std::lock_guard<std::mutex> lock(mu);
+  counter = 0;
+}
+
+}  // namespace fixture

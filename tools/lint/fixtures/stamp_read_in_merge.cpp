@@ -1,0 +1,33 @@
+// Fixture: the deterministic merge/compare path touching a telemetry
+// stamp field (the stamp-blind rule). Mirrors engine/ingress.h's
+// IngressRecord in miniature.
+#include "util/annotate.h"
+
+#include <cstdint>
+
+namespace fixture {
+
+struct IngressRecord {
+  double time = 0.0;
+  std::uint32_t producer = 0;
+  std::uint64_t seq = 0;
+  std::uint64_t submit_ns = 0;  ///< telemetry stamp — merge must be blind
+};
+
+bool tie_break(const IngressRecord& a, const IngressRecord& b) {
+  if (a.producer != b.producer) return a.producer < b.producer;
+  return a.submit_ns < b.submit_ns;  // VIOLATION(stamp)
+}
+
+MCDC_DETERMINISTIC
+bool merge_precedes(const IngressRecord& a, const IngressRecord& b) {
+  if (a.time != b.time) return a.time < b.time;
+  return tie_break(a, b);
+}
+
+// Unannotated telemetry code may read the stamp freely.
+std::uint64_t queue_wait(const IngressRecord& r, std::uint64_t deq_ns) {
+  return deq_ns - r.submit_ns;
+}
+
+}  // namespace fixture

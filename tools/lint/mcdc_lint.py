@@ -1,0 +1,1057 @@
+#!/usr/bin/env python3
+"""mcdc-lint: project-specific static analysis proving the standing invariants.
+
+The repo's dynamic gates (counting-operator-new tests, TSan lanes, fuzz
+bit-identity) prove one execution each; this tool proves the same claims
+over every call path, at review time. It builds a per-translation-unit
+call graph and enforces five rules rooted at the `src/util/annotate.h`
+source annotations:
+
+  alloc     no operator new / malloc / allocating container call is
+            reachable (transitively) from a MCDC_NO_ALLOC function.
+            MCDC_ALLOC_OK(why) exempts a callee (cold or amortized paths).
+  lock      no mutex / condition_variable / blocking wait is reachable
+            from a MCDC_LOCK_FREE function.
+  stamp     the telemetry stamp fields of IngressRecord (submit_ns) are
+            never touched by code reachable from the deterministic
+            merge/compare path (MCDC_DETERMINISTIC roots) — the static
+            form of the engine's stamp-blind bit-identity contract.
+  det       no rand / clock read / address-as-key cast / unordered
+            container inside MCDC_DETERMINISTIC regions.
+  layering  the module include DAG stays acyclic and explicit (util
+            imports nothing, obs never imports engine, core/model never
+            import service/engine, ...), and every header compiles
+            standalone (self-sufficiency probe, needs a C++ compiler).
+
+Statement-level escape: append `// mcdc-lint: allow(<rule>[, <rule>...]) why`
+to the offending line. Function-level escape (alloc only): MCDC_ALLOC_OK.
+
+Frontends:
+  clang     libclang (python `clang.cindex`) over compile_commands.json —
+            precise call resolution and attribute binding.
+  text      a token-level C++ scanner built into this file — no
+            dependencies beyond python3; annotation macros are matched
+            textually. Call resolution is by name (over-approximate).
+  auto      clang when importable and working, else text. Never fails
+            just because libclang is missing.
+
+Exit status: 0 clean, 1 violations, 2 usage/environment error. The
+machine-readable report (--report) is written in every case.
+
+Self-tests: tools/lint/selftest.py (ctest: lint_selftest) runs this tool
+over seeded-violation fixtures and over the real tree; see
+docs/STATIC_ANALYSIS.md ("mcdc-lint").
+"""
+
+from __future__ import annotations
+
+import argparse
+import concurrent.futures
+import json
+import os
+import re
+import shutil
+import subprocess
+import sys
+import tempfile
+from dataclasses import dataclass, field
+
+# --------------------------------------------------------------------------
+# Project configuration (the "project-specific" half of the analyzer).
+# --------------------------------------------------------------------------
+
+ANNOTATION_TAGS = {
+    "MCDC_NO_ALLOC": "no_alloc",
+    "MCDC_LOCK_FREE": "lock_free",
+    "MCDC_DETERMINISTIC": "deterministic",
+    "MCDC_HOT_PATH": "hot_path",
+    "MCDC_ALLOC_OK": "alloc_ok",
+}
+# clang annotate-attribute spellings (the macro expansions).
+ATTR_TAGS = {
+    "mcdc::no_alloc": "no_alloc",
+    "mcdc::lock_free": "lock_free",
+    "mcdc::deterministic": "deterministic",
+    "mcdc::hot_path": "hot_path",
+    "mcdc::alloc_ok": "alloc_ok",
+}
+
+# Telemetry stamp fields that the deterministic merge must never touch.
+STAMP_FIELDS = ("submit_ns",)
+
+# Project functions that ARE clocks no matter how they resolve.
+KNOWN_CLOCK_FUNCTIONS = ("telemetry_now_ns",)
+
+# Module include DAG for src/: module -> modules it may include (itself is
+# always allowed). This is the *current* dependency set, codified —
+# growing an edge is a deliberate one-line change here, reviewed with the
+# code that needs it. The named invariants (util -> nothing, obs never ->
+# engine, core/model never -> service/engine) are consequences of the map.
+LAYERING = {
+    "util": set(),
+    "model": {"util"},
+    "obs": {"util"},
+    "paging": {"util"},
+    "workload": {"model", "util"},
+    "core": {"model", "obs", "util"},
+    "sim": {"model", "obs", "util"},
+    "analysis": {"core", "model", "util"},
+    "baselines": {"core", "model", "util"},
+    "service": {"core", "model", "obs", "util", "workload"},
+    "engine": {"core", "model", "obs", "service", "util"},
+    # src/mcdc.h (the umbrella header) lives at the src root.
+    "": {"analysis", "baselines", "core", "engine", "model", "obs",
+         "paging", "service", "sim", "util", "workload"},
+}
+
+RULES = ("alloc", "lock", "stamp", "det", "layering")
+
+# --------------------------------------------------------------------------
+# Shared IR
+# --------------------------------------------------------------------------
+
+
+@dataclass
+class Fact:
+    kind: str  # alloc | lock | det | stamp
+    file: str
+    line: int
+    detail: str
+
+
+@dataclass
+class Func:
+    name: str  # qualified, e.g. EngineShard::process_record
+    bare: str
+    file: str
+    line: int
+    annotations: set = field(default_factory=set)
+    calls: list = field(default_factory=list)  # (name, file, line)
+    facts: list = field(default_factory=list)
+
+
+@dataclass
+class Violation:
+    rule: str
+    file: str
+    line: int
+    function: str
+    message: str
+    path: list
+
+    def render(self) -> str:
+        s = f"{self.file}:{self.line}: [{self.rule}] {self.message}"
+        if self.path:
+            s += f"\n    via {' -> '.join(self.path)}"
+        return s
+
+
+# --------------------------------------------------------------------------
+# Lexical preprocessing shared by both frontends
+# --------------------------------------------------------------------------
+
+ALLOW_RE = re.compile(r"mcdc-lint:\s*allow\(([a-z,\s]+)\)", re.IGNORECASE)
+
+
+def line_of(text: str, pos: int) -> int:
+    return text.count("\n", 0, pos) + 1
+
+
+def strip_comments_and_strings(text: str):
+    """Blank comments, string and char literals (newlines preserved).
+
+    Returns (clean_text, allows) where allows maps line -> set of rule
+    names escaped by a `// mcdc-lint: allow(...)` comment on that line.
+    """
+    out = list(text)
+    allows = {}
+    i, n = 0, len(text)
+
+    def blank(a: int, b: int):
+        for k in range(a, b):
+            if out[k] != "\n":
+                out[k] = " "
+
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if c == "/" and nxt == "/":
+            j = text.find("\n", i)
+            j = n if j < 0 else j
+            m = ALLOW_RE.search(text[i:j])
+            if m:
+                rules = {r.strip() for r in m.group(1).split(",") if r.strip()}
+                allows.setdefault(line_of(text, i), set()).update(rules)
+            blank(i, j)
+            i = j
+        elif c == "/" and nxt == "*":
+            j = text.find("*/", i + 2)
+            j = n - 2 if j < 0 else j
+            m = ALLOW_RE.search(text[i:j])
+            if m:
+                rules = {r.strip() for r in m.group(1).split(",") if r.strip()}
+                allows.setdefault(line_of(text, i), set()).update(rules)
+            blank(i, j + 2)
+            i = j + 2
+        elif c == '"':
+            # Raw string?
+            if re.match(r'R"', text[i - 1:i + 1]) and i >= 1 and text[i - 1] == "R":
+                m = re.match(r'R"([^(]*)\(', text[i - 1:i + 40])
+                if m:
+                    close = ")" + m.group(1) + '"'
+                    j = text.find(close, i)
+                    j = n - len(close) if j < 0 else j
+                    blank(i - 1, j + len(close))
+                    i = j + len(close)
+                    continue
+            j = i + 1
+            while j < n and text[j] != '"':
+                j += 2 if text[j] == "\\" else 1
+            blank(i, j + 1)
+            i = j + 1
+        elif c == "'":
+            j = i + 1
+            while j < n and text[j] != "'":
+                j += 2 if text[j] == "\\" else 1
+            blank(i, j + 1)
+            i = j + 1
+        else:
+            i += 1
+    return "".join(out), allows
+
+
+def blank_balanced_calls(text: str, names) -> str:
+    """Blank `NAME ( ... )` with balanced parens for each NAME (contract
+    macros and throw-side error paths are not steady-state code)."""
+    out = list(text)
+    for name in names:
+        for m in re.finditer(r"\b" + re.escape(name) + r"\s*\(", text):
+            depth, j = 1, m.end()
+            while j < len(text) and depth:
+                if text[j] == "(":
+                    depth += 1
+                elif text[j] == ")":
+                    depth -= 1
+                j += 1
+            for k in range(m.start(), j):
+                if out[k] != "\n":
+                    out[k] = " "
+    return "".join(out)
+
+
+def blank_throw_statements(text: str) -> str:
+    """Blank `throw <expr> ;` — error paths abort the hot path, so the
+    std::string an exception constructor builds is not steady-state."""
+    out = list(text)
+    for m in re.finditer(r"\bthrow\b", text):
+        j = m.end()
+        depth = 0
+        while j < len(text):
+            c = text[j]
+            if c in "([{":
+                depth += 1
+            elif c in ")]}":
+                depth -= 1
+            elif c == ";" and depth <= 0:
+                break
+            j += 1
+        for k in range(m.start(), j + 1):
+            if out[k] != "\n":
+                out[k] = " "
+    return "".join(out)
+
+
+CONTRACT_MACROS = ("MCDC_ASSERT", "MCDC_INVARIANT", "MCDC_UNREACHABLE",
+                   "static_assert", "assert")
+
+# --------------------------------------------------------------------------
+# Fact extraction (shared: both frontends run it over function bodies)
+# --------------------------------------------------------------------------
+
+ALLOC_METHODS = ("push_back", "emplace_back", "append", "resize", "reserve",
+                 "assign", "shrink_to_fit", "push_front", "emplace_front")
+
+FACT_PATTERNS = [
+    # --- alloc ---
+    ("alloc", re.compile(r"\b(malloc|calloc|realloc|strdup|aligned_alloc|"
+                         r"posix_memalign)\s*\("), "C allocator call"),
+    ("alloc", re.compile(r"\bmake_unique\b|\bmake_shared\b"),
+     "make_unique/make_shared"),
+    ("alloc", re.compile(r"(?:\.|->)\s*(%s)\s*\(" % "|".join(ALLOC_METHODS)),
+     "allocating container call"),
+    ("alloc", re.compile(r"\bstd::to_string\s*\("), "std::to_string"),
+    ("alloc", re.compile(r"\bstd::ostringstream\b|\bstd::stringstream\b"),
+     "string stream"),
+    # --- lock ---
+    ("lock", re.compile(r"\bstd::(recursive_|shared_|timed_)?mutex\b"),
+     "mutex"),
+    ("lock", re.compile(r"\b(lock_guard|unique_lock|scoped_lock|shared_lock)\b"),
+     "lock guard"),
+    ("lock", re.compile(r"\bcondition_variable\b"), "condition variable"),
+    ("lock", re.compile(r"(?:\.|->)\s*(wait|wait_for|wait_until|lock|try_lock|"
+                        r"join)\s*\("), "blocking call"),
+    ("lock", re.compile(r"\b(sleep_for|sleep_until|call_once)\b"),
+     "blocking call"),
+    ("lock", re.compile(r"\bstd::(future|promise|barrier|latch)\b"),
+     "blocking primitive"),
+    # --- det ---
+    ("det", re.compile(r"\brandom_device\b|\bsrand\s*\(|\bstd::rand\s*\("),
+     "randomness"),
+    ("det", re.compile(r"\b(steady_clock|system_clock|high_resolution_clock)"
+                       r"\b"), "clock"),
+    ("det", re.compile(r"\b(gettimeofday|clock_gettime)\b"), "clock"),
+    ("det", re.compile(r"\b(%s)\b" % "|".join(KNOWN_CLOCK_FUNCTIONS)),
+     "telemetry clock"),
+    ("det", re.compile(r"\bunordered_(map|set|multimap|multiset)\b"),
+     "unordered container (iteration order is nondeterministic)"),
+    ("det", re.compile(r"reinterpret_cast<\s*(std::)?u?intptr_t"),
+     "address-as-key cast"),
+    # --- stamp ---
+    ("stamp", re.compile(r"(?:\.|->)\s*(%s)\b" % "|".join(STAMP_FIELDS)),
+     "telemetry stamp field access"),
+]
+
+# `rand(` / `time(` / `clock()` are flagged only when they do not resolve
+# to a project function (model/request.h has a time() accessor).
+CALLLIKE_DET = [
+    (re.compile(r"(?<![\w.:>])rand\s*\("), "rand()"),
+    (re.compile(r"(?<![\w.:>])time\s*\(\s*(nullptr|NULL|0)?\s*\)"), "time()"),
+    (re.compile(r"(?<![\w.:>])clock\s*\(\s*\)"), "clock()"),
+]
+
+CALL_RE = re.compile(r"(?<![\w.:>])([A-Za-z_][\w]*(?:::[\w~]+)*)\s*\(")
+
+CALL_KEYWORDS = frozenset(
+    "if for while switch return sizeof alignof alignas decltype noexcept "
+    "catch throw new delete static_cast dynamic_cast reinterpret_cast "
+    "const_cast typeid defined __attribute__ int char bool double float "
+    "long short unsigned signed void auto".split())
+
+# Trivial accessors whose name-based resolution would only add noise.
+IGNORED_CALLS = frozenset(
+    "size empty begin end front back data capacity c_str value get min max "
+    "count load store exchange fetch_add fetch_sub compare_exchange_weak "
+    "compare_exchange_strong move forward swap abs floor ceil sqrt".split())
+
+
+def extract_facts(body: str, file: str, base_line: int):
+    """Facts + outgoing calls from one (comment-stripped) function body.
+
+    `base_line` is the file line of body offset 0.
+    """
+    body = blank_balanced_calls(body, CONTRACT_MACROS)
+    body = blank_throw_statements(body)
+
+    facts = []
+    calls = []
+
+    def bline(pos: int) -> int:
+        return base_line + body.count("\n", 0, pos)
+
+    for kind, rx, detail in FACT_PATTERNS:
+        for m in rx.finditer(body):
+            facts.append(Fact(kind, file, bline(m.start()), detail))
+
+    # new-expressions: placement new does not allocate.
+    for m in re.finditer(r"\bnew\b", body):
+        rest = body[m.end():m.end() + 160].lstrip()
+        if rest.startswith("("):
+            inner = rest[1:rest.find(")")] if ")" in rest else rest[1:]
+            if "nothrow" not in inner:
+                continue  # placement new: constructs, never allocates
+        facts.append(Fact("alloc", file, bline(m.start()), "new expression"))
+
+    for m in CALL_RE.finditer(body):
+        name = m.group(1)
+        bare = name.rsplit("::", 1)[-1]
+        if bare in CALL_KEYWORDS or bare in IGNORED_CALLS:
+            continue
+        calls.append((name, file, bline(m.start())))
+
+    call_names = {c[0].rsplit("::", 1)[-1] for c in calls}
+    for rx, detail in CALLLIKE_DET:
+        for m in rx.finditer(body):
+            facts.append(Fact("det?", file, bline(m.start()), detail))
+    # det? facts are resolved against the project call graph later.
+    _ = call_names
+    return facts, calls
+
+
+# --------------------------------------------------------------------------
+# Text frontend: a token-level C++ function scanner
+# --------------------------------------------------------------------------
+
+SCOPE_KEYWORDS = frozenset(("class", "struct", "union", "enum", "namespace"))
+REJECT_BEFORE_BRACE = frozenset({"do", "else", "try", "extern"} | SCOPE_KEYWORDS)
+SIG_QUALIFIERS = frozenset(("const", "noexcept", "override", "final",
+                            "mutable", "volatile", "try", "constexpr"))
+CONTROL_KEYWORDS = frozenset(("if", "for", "while", "switch", "catch",
+                              "return", "sizeof", "alignof", "decltype",
+                              "noexcept", "new", "delete", "throw"))
+
+IDENT_CHARS = re.compile(r"[\w~]")
+
+
+def _match_back_paren(text: str, close: int) -> int:
+    depth, j = 1, close - 1
+    while j >= 0 and depth:
+        if text[j] == ")":
+            depth += 1
+        elif text[j] == "(":
+            depth -= 1
+            if depth == 0:
+                return j
+        j -= 1
+    return -1
+
+
+def _match_back_brace(text: str, close: int) -> int:
+    depth, j = 1, close - 1
+    while j >= 0 and depth:
+        if text[j] == "}":
+            depth += 1
+        elif text[j] == "{":
+            depth -= 1
+            if depth == 0:
+                return j
+        j -= 1
+    return -1
+
+
+def _read_ident_back(text: str, j: int):
+    """Identifier (with :: / ~ / operator@) ending at j inclusive."""
+    end = j
+    while j >= 0 and (IDENT_CHARS.match(text[j]) or
+                      (text[j] == ":" and j >= 1 and text[j - 1] == ":")):
+        if text[j] == ":":
+            j -= 2
+        else:
+            j -= 1
+    name = text[j + 1:end + 1]
+    if not name:
+        # operator symbols: scan symbols back, then expect 'operator'.
+        k = end
+        while k >= 0 and text[k] in "=<>!+-*/%&|^[]~":
+            k -= 1
+        if k < end:
+            m = re.search(r"operator\s*$", text[max(0, k - 9):k + 1])
+            if m:
+                return "operator" + text[k + 1:end + 1], max(0, k - 9) + m.start()
+    return name, j + 1
+
+
+def _find_signature(text: str, brace: int):
+    """Walk backwards from a `{` to decide whether it opens a function
+    definition. Returns (name, sig_open_paren_pos) or None."""
+    j = brace - 1
+    guard = 0
+    while j >= 0 and guard < 80:
+        guard += 1
+        while j >= 0 and text[j].isspace():
+            j -= 1
+        if j < 0:
+            return None
+        c = text[j]
+        if c == ")":
+            op = _match_back_paren(text, j)
+            if op <= 0:
+                return None
+            k = op - 1
+            while k >= 0 and text[k].isspace():
+                k -= 1
+            name, start = _read_ident_back(text, k)
+            if not name:
+                return None
+            bare = name.rsplit("::", 1)[-1].lstrip("~")
+            if name in ("noexcept", "throw", "alignas", "decltype",
+                        "__attribute__"):
+                j = start - 1
+                continue
+            if bare in CONTROL_KEYWORDS or bare in SCOPE_KEYWORDS:
+                return None
+            # Constructor-init-list member `x_(v)`: keep walking left.
+            p = start - 1
+            while p >= 0 and text[p].isspace():
+                p -= 1
+            if p >= 0 and (text[p] == "," or
+                           (text[p] == ":" and (p == 0 or text[p - 1] != ":"))):
+                j = p - 1
+                continue
+            return name, op
+        if c == "}":
+            op = _match_back_brace(text, j)  # member init `x_{v}`
+            if op <= 0:
+                return None
+            j = op - 1
+            continue
+        if c == ">":  # trailing return types unsupported (unused in repo)
+            return None
+        if IDENT_CHARS.match(c):
+            name, start = _read_ident_back(text, j)
+            if name in SIG_QUALIFIERS:
+                j = start - 1
+                continue
+            if name in REJECT_BEFORE_BRACE:
+                return None
+            return None  # `int x {3}`, `namespace foo {`, labels, ...
+        return None
+    return None
+
+
+def parse_text_file(path: str, rel: str):
+    """All function definitions (qualified) in one file."""
+    with open(path, encoding="utf-8", errors="replace") as f:
+        raw = f.read()
+    clean, allows = strip_comments_and_strings(raw)
+
+    funcs = []
+    # Scope stack entries: (brace_depth_after_open, kind, name)
+    stack = []
+    depth = 0
+    i, n = 0, len(clean)
+    while i < n:
+        c = clean[i]
+        if c == "{":
+            depth += 1
+            sig = _find_signature(clean, i)
+            if sig is not None:
+                name, sig_open = sig
+                # Close over the body.
+                body_close = _find_match_fwd(clean, i)
+                scope = "::".join(s[2] for s in stack
+                                  if s[1] in ("class", "struct", "union")
+                                  and s[2])
+                qual = name if "::" in name or not scope \
+                    else scope + "::" + name
+                fn = Func(name=qual, bare=name.rsplit("::", 1)[-1],
+                          file=rel, line=line_of(clean, sig_open))
+                # Annotations: macro tokens in the window back to the
+                # previous statement/scope boundary.
+                wstart = max(clean.rfind(";", 0, sig_open),
+                             clean.rfind("}", 0, sig_open),
+                             clean.rfind("{", 0, sig_open), 0)
+                window = clean[wstart:sig_open]
+                for macro, tag in ANNOTATION_TAGS.items():
+                    if re.search(r"\b%s\b" % macro, window):
+                        fn.annotations.add(tag)
+                body = clean[i + 1:body_close]
+                fn.facts, fn.calls = extract_facts(
+                    body, rel, line_of(clean, i + 1))
+                # Apply line-level allows at extraction time.
+                fn.facts = [
+                    fa for fa in fn.facts
+                    if fa.kind.rstrip("?") not in allows.get(fa.line, set())
+                ]
+                funcs.append(fn)
+                # Recurse into the body for nested class methods? Bodies
+                # contain only lambdas (attributed to the enclosing fn),
+                # so skip ahead.
+                i = body_close + 1
+                depth -= 1
+                continue
+            kind, name = _scope_kind(clean, i)
+            stack.append((depth, kind, name))
+        elif c == "}":
+            depth -= 1
+            if stack and stack[-1][0] == depth + 1:
+                stack.pop()
+        i += 1
+    return funcs, allows
+
+
+def _find_match_fwd(text: str, open_pos: int) -> int:
+    depth, j = 1, open_pos + 1
+    n = len(text)
+    while j < n and depth:
+        if text[j] == "{":
+            depth += 1
+        elif text[j] == "}":
+            depth -= 1
+            if depth == 0:
+                return j
+        j += 1
+    return n - 1
+
+
+def _scope_kind(text: str, brace: int):
+    """Classify a non-function `{`: class/struct/namespace name, or block."""
+    wstart = max(text.rfind(";", 0, brace), text.rfind("}", 0, brace),
+                 text.rfind("{", 0, brace), 0)
+    window = text[wstart:brace]
+    m = re.search(r"\b(class|struct|union|enum|namespace)\b", window)
+    if not m:
+        return "block", ""
+    kw = m.group(1)
+    names = re.findall(r"[A-Za-z_]\w*", window[m.end():])
+    names = [x for x in names
+             if x not in ("final", "public", "private", "protected", "alignas",
+                          "class", "struct")]
+    return kw, names[0] if names else ""
+
+
+class TextFrontend:
+    name = "text"
+
+    def __init__(self, root: str, src_dirs, verbose=False):
+        self.root = root
+        self.src_dirs = src_dirs
+        self.verbose = verbose
+
+    def scan(self):
+        funcs, files = [], []
+        for d in self.src_dirs:
+            base = os.path.join(self.root, d)
+            for dirpath, _, names in sorted(os.walk(base)):
+                for fname in sorted(names):
+                    if not fname.endswith((".h", ".cpp", ".cc", ".hpp")):
+                        continue
+                    p = os.path.join(dirpath, fname)
+                    rel = os.path.relpath(p, self.root)
+                    files.append(rel)
+                    fns, _ = parse_text_file(p, rel)
+                    funcs.extend(fns)
+        return funcs, files
+
+
+# --------------------------------------------------------------------------
+# Clang frontend (libclang): precise definitions, annotations, and calls
+# --------------------------------------------------------------------------
+
+
+def _find_libclang(cindex):
+    if cindex.Config.loaded:
+        return
+    env = os.environ.get("MCDC_LIBCLANG")
+    candidates = [env] if env else []
+    for ver in ("", "-18", "-17", "-16", "-15", "-14", "-13"):
+        candidates += [f"/usr/lib/llvm{ver}/lib/libclang{ver}.so",
+                       f"/usr/lib/x86_64-linux-gnu/libclang{ver}.so",
+                       f"/usr/lib/x86_64-linux-gnu/libclang{ver}.so.1"]
+    candidates += ["libclang.so"]
+    for c in candidates:
+        if c and os.path.exists(c):
+            cindex.Config.set_library_file(c)
+            return
+
+
+class ClangFrontend:
+    name = "clang"
+
+    def __init__(self, root, src_dirs, compile_commands=None, extra_args=(),
+                 verbose=False):
+        import clang.cindex as cindex  # noqa: raises ImportError upstream
+        _find_libclang(cindex)
+        self.cindex = cindex
+        self.index = cindex.Index.create()
+        self.root = root
+        self.src_dirs = src_dirs
+        self.compile_commands = compile_commands
+        self.extra_args = list(extra_args)
+        self.verbose = verbose
+
+    def _tu_args(self, path):
+        args = ["-x", "c++", "-std=c++20", f"-I{self.root}/src"]
+        if self.compile_commands and os.path.exists(self.compile_commands):
+            try:
+                with open(self.compile_commands) as f:
+                    for entry in json.load(f):
+                        if os.path.realpath(entry["file"]) == \
+                                os.path.realpath(path):
+                            raw = entry.get("arguments") or \
+                                entry.get("command", "").split()
+                            args = [a for a in raw[1:]
+                                    if a not in ("-c", "-o") and
+                                    not a.endswith((".cpp", ".o"))]
+                            break
+            except (OSError, ValueError, KeyError):
+                pass
+        return args + self.extra_args
+
+    def scan(self):
+        funcs, files = [], []
+        paths = []
+        for d in self.src_dirs:
+            base = os.path.join(self.root, d)
+            for dirpath, _, names in sorted(os.walk(base)):
+                for fname in sorted(names):
+                    if fname.endswith((".cpp", ".cc")):
+                        paths.append(os.path.join(dirpath, fname))
+        # Headers with no TU of their own still need scanning: parse each
+        # header standalone as C++ (cheap at this tree size).
+        for d in self.src_dirs:
+            base = os.path.join(self.root, d)
+            for dirpath, _, names in sorted(os.walk(base)):
+                for fname in sorted(names):
+                    if fname.endswith((".h", ".hpp")):
+                        paths.append(os.path.join(dirpath, fname))
+        seen_defs = set()
+        for p in paths:
+            rel = os.path.relpath(p, self.root)
+            files.append(rel)
+            try:
+                tu = self.index.parse(p, args=self._tu_args(p))
+            except self.cindex.TranslationUnitLoadError:
+                continue
+            with open(p, encoding="utf-8", errors="replace") as f:
+                clean, allows = strip_comments_and_strings(f.read())
+            for cur in tu.cursor.walk_preorder():
+                if cur.kind.name not in ("FUNCTION_DECL", "CXX_METHOD",
+                                         "CONSTRUCTOR", "DESTRUCTOR",
+                                         "FUNCTION_TEMPLATE"):
+                    continue
+                if not cur.is_definition():
+                    continue
+                loc = cur.location
+                if loc.file is None:
+                    continue
+                lrel = os.path.relpath(loc.file.name, self.root)
+                if lrel != rel:
+                    continue  # only definitions in this file
+                key = (lrel, loc.line, cur.spelling)
+                if key in seen_defs:
+                    continue
+                seen_defs.add(key)
+                parent = cur.semantic_parent
+                scope = []
+                while parent is not None and parent.kind.name in (
+                        "CLASS_DECL", "STRUCT_DECL", "CLASS_TEMPLATE",
+                        "NAMESPACE"):
+                    if parent.kind.name != "NAMESPACE" and parent.spelling:
+                        scope.append(parent.spelling)
+                    parent = parent.semantic_parent
+                qual = "::".join(reversed(scope + [cur.spelling])) \
+                    if scope else cur.spelling
+                fn = Func(name=qual, bare=cur.spelling, file=lrel,
+                          line=loc.line)
+                for ch in cur.get_children():
+                    if ch.kind.name == "ANNOTATE_ATTR" and \
+                            ch.spelling in ATTR_TAGS:
+                        fn.annotations.add(ATTR_TAGS[ch.spelling])
+                ext = cur.extent
+                body = _extent_text(clean, ext)
+                if body is not None:
+                    fn.facts, calls_txt = extract_facts(
+                        body, lrel, ext.start.line)
+                    fn.facts = [
+                        fa for fa in fn.facts
+                        if fa.kind.rstrip("?") not in allows.get(fa.line,
+                                                                 set())
+                    ]
+                    fn.calls = calls_txt
+                # Precise call edges from the AST complement textual ones.
+                for sub in cur.walk_preorder():
+                    if sub.kind.name == "CALL_EXPR" and sub.referenced:
+                        fn.calls.append((sub.referenced.spelling, lrel,
+                                         sub.location.line))
+                funcs.append(fn)
+        return funcs, sorted(set(files))
+
+
+def _extent_text(clean: str, extent):
+    lines = clean.split("\n")
+    s, e = extent.start.line - 1, extent.end.line
+    if s < 0 or e > len(lines):
+        return None
+    return "\n".join(lines[s:e])
+
+
+# --------------------------------------------------------------------------
+# Rule engine
+# --------------------------------------------------------------------------
+
+
+class Analyzer:
+    def __init__(self, funcs, verbose=False):
+        self.funcs = funcs
+        self.by_name = {}
+        self.verbose = verbose
+        for f in funcs:
+            self.by_name.setdefault(f.bare, []).append(f)
+            if "::" in f.name:
+                self.by_name.setdefault(f.name, []).append(f)
+
+    def resolve(self, name):
+        if name in self.by_name:
+            return self.by_name[name]
+        return self.by_name.get(name.rsplit("::", 1)[-1], [])
+
+    def _closure(self, root, stop_tag=None):
+        """BFS over the call graph from `root`; yields (func, path) where
+        path is the chain of function names from the root."""
+        seen = {id(root)}
+        queue = [(root, [root.name])]
+        while queue:
+            fn, path = queue.pop(0)
+            yield fn, path
+            for cname, _, _ in fn.calls:
+                for callee in self.resolve(cname):
+                    if id(callee) in seen:
+                        continue
+                    if stop_tag and stop_tag in callee.annotations:
+                        continue  # escape hatch: don't descend
+                    seen.add(id(callee))
+                    queue.append((callee, path + [callee.name]))
+
+    def check_reachability(self, root_tag, fact_kinds, rule, stop_tag=None):
+        out = []
+        for root in self.funcs:
+            if root_tag not in root.annotations:
+                continue
+            for fn, path in self._closure(root, stop_tag=stop_tag):
+                for fact in fn.facts:
+                    kind = fact.kind
+                    if kind == "det?":
+                        # call-like det facts: only when unresolvable as a
+                        # project function (a project fn named time() is a
+                        # call edge, not a clock).
+                        if "det" not in fact_kinds:
+                            continue
+                        if self.resolve(fact.detail.rstrip("()")):
+                            continue
+                        kind = "det"
+                    if kind not in fact_kinds:
+                        continue
+                    out.append(Violation(
+                        rule=rule, file=fact.file, line=fact.line,
+                        function=fn.name,
+                        message=f"{fact.detail} in '{fn.name}' reachable "
+                                f"from {root_tag.upper()} root "
+                                f"'{root.name}'",
+                        path=path if len(path) > 1 else []))
+        return out
+
+    def annotation_roots(self):
+        roots = {tag: [] for tag in
+                 ("no_alloc", "lock_free", "deterministic", "hot_path",
+                  "alloc_ok")}
+        for f in self.funcs:
+            for tag in f.annotations:
+                roots[tag].append(f"{f.name} ({f.file}:{f.line})")
+        return roots
+
+
+# --------------------------------------------------------------------------
+# Layering: include DAG + header self-sufficiency
+# --------------------------------------------------------------------------
+
+INCLUDE_RE = re.compile(r'^[ \t]*#[ \t]*include[ \t]+"([^"]+)"', re.MULTILINE)
+
+
+def check_layering(root, src_dirs, layering=None):
+    layering = layering or LAYERING
+    out = []
+    for d in src_dirs:
+        base = os.path.join(root, d)
+        for dirpath, _, names in sorted(os.walk(base)):
+            for fname in sorted(names):
+                if not fname.endswith((".h", ".hpp", ".cpp", ".cc")):
+                    continue
+                p = os.path.join(dirpath, fname)
+                rel = os.path.relpath(p, root)
+                relsrc = os.path.relpath(p, base)
+                mod = os.path.dirname(relsrc).split(os.sep)[0]
+                mod = "" if mod == "." else mod
+                if mod not in layering:
+                    continue  # unknown module: no contract yet
+                with open(p, encoding="utf-8", errors="replace") as f:
+                    text = f.read()
+                _, allows = strip_comments_and_strings(text)
+                for m in INCLUDE_RE.finditer(text):
+                    inc = m.group(1)
+                    imod = inc.split("/")[0] if "/" in inc else ""
+                    if imod == mod or imod not in layering:
+                        continue
+                    line = line_of(text, m.start())
+                    if "layering" in allows.get(line, set()):
+                        continue
+                    if imod not in layering[mod]:
+                        out.append(Violation(
+                            rule="layering", file=rel, line=line,
+                            function="",
+                            message=f"module '{mod or '<src root>'}' must "
+                                    f"not include '{inc}' (allowed: "
+                                    f"{sorted(layering[mod]) or 'nothing'})",
+                            path=[]))
+    return out
+
+
+def check_headers_standalone(root, src_dirs, jobs=0):
+    """Every header must compile on its own (self-sufficiency)."""
+    cxx = os.environ.get("CXX") or shutil.which("c++") or \
+        shutil.which("g++") or shutil.which("clang++")
+    if cxx is None:
+        return [], False
+    headers = []
+    for d in src_dirs:
+        base = os.path.join(root, d)
+        for dirpath, _, names in sorted(os.walk(base)):
+            for fname in sorted(names):
+                if fname.endswith((".h", ".hpp")):
+                    p = os.path.join(dirpath, fname)
+                    headers.append((os.path.relpath(p, root),
+                                    os.path.relpath(p, base)))
+
+    def probe(item):
+        rel, relsrc = item
+        with tempfile.NamedTemporaryFile("w", suffix=".cpp",
+                                         delete=False) as tf:
+            tf.write(f'#include "{relsrc}"\n')
+            tmp = tf.name
+        try:
+            r = subprocess.run(
+                [cxx, "-fsyntax-only", "-std=c++20", "-x", "c++",
+                 f"-I{os.path.join(root, src_dirs[0])}", tmp],
+                capture_output=True, text=True, timeout=60)
+            if r.returncode != 0:
+                first = (r.stderr or "?").strip().splitlines()
+                return Violation(
+                    rule="layering", file=rel, line=1, function="",
+                    message="header is not self-sufficient: "
+                            + (first[0] if first else "compile error"),
+                    path=[])
+        except (subprocess.TimeoutExpired, OSError):
+            return None
+        finally:
+            os.unlink(tmp)
+        return None
+
+    workers = jobs or min(16, (os.cpu_count() or 2))
+    with concurrent.futures.ThreadPoolExecutor(workers) as ex:
+        results = list(ex.map(probe, headers))
+    return [v for v in results if v is not None], True
+
+
+# --------------------------------------------------------------------------
+# Driver
+# --------------------------------------------------------------------------
+
+
+def make_frontend(kind, root, src_dirs, compile_commands, extra_args,
+                  verbose):
+    if kind in ("clang", "auto"):
+        try:
+            fe = ClangFrontend(root, src_dirs,
+                               compile_commands=compile_commands,
+                               extra_args=extra_args, verbose=verbose)
+            # Trial parse so `auto` can fall back on broken installs.
+            fe.index.parse("mcdc_lint_probe.cpp",
+                           unsaved_files=[("mcdc_lint_probe.cpp",
+                                           "int main(){return 0;}")],
+                           args=["-x", "c++"])
+            return fe
+        except Exception as e:  # noqa: BLE001 — any cindex failure
+            if kind == "clang":
+                print(f"mcdc-lint: libclang frontend unavailable: {e}",
+                      file=sys.stderr)
+                sys.exit(2)
+            if verbose:
+                print(f"mcdc-lint: libclang unavailable ({e}); "
+                      "falling back to text frontend", file=sys.stderr)
+    return TextFrontend(root, src_dirs, verbose=verbose)
+
+
+def main(argv=None):
+    ap = argparse.ArgumentParser(
+        prog="mcdc_lint.py",
+        description="Prove the repo's standing invariants at source level.")
+    default_root = os.path.realpath(
+        os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", ".."))
+    ap.add_argument("--root", default=default_root)
+    ap.add_argument("--src", action="append", default=None,
+                    help="source dir(s) relative to root (default: src)")
+    ap.add_argument("--frontend", choices=("auto", "clang", "text"),
+                    default="auto")
+    ap.add_argument("--compile-commands", default=None,
+                    help="compile_commands.json for the clang frontend")
+    ap.add_argument("--extra-arg", action="append", default=[],
+                    help="extra compiler arg for the clang frontend")
+    ap.add_argument("--report", default=None,
+                    help="write the machine-readable JSON report here")
+    ap.add_argument("--no-headers", action="store_true",
+                    help="skip the header self-sufficiency probe")
+    ap.add_argument("--require-roots", action="store_true",
+                    help="fail unless every annotation has at least one "
+                         "root (guards against annotations rotting away)")
+    ap.add_argument("-v", "--verbose", action="store_true")
+    args = ap.parse_args(argv)
+
+    root = os.path.realpath(args.root)
+    src_dirs = args.src or ["src"]
+    cc = args.compile_commands
+    if cc is None:
+        for cand in ("build/compile_commands.json",
+                     "build-werror/compile_commands.json"):
+            if os.path.exists(os.path.join(root, cand)):
+                cc = os.path.join(root, cand)
+                break
+
+    fe = make_frontend(args.frontend, root, src_dirs, cc, args.extra_arg,
+                       args.verbose)
+    funcs, files = fe.scan()
+    an = Analyzer(funcs, verbose=args.verbose)
+
+    violations = []
+    violations += an.check_reachability("no_alloc", {"alloc"}, "alloc",
+                                        stop_tag="alloc_ok")
+    violations += an.check_reachability("lock_free", {"lock"}, "lock")
+    violations += an.check_reachability("deterministic", {"det"}, "det")
+    violations += an.check_reachability("deterministic", {"stamp"}, "stamp")
+    violations += check_layering(root, src_dirs)
+    headers_probed = False
+    if not args.no_headers:
+        hv, headers_probed = check_headers_standalone(root, src_dirs)
+        violations += hv
+
+    # Deduplicate (same rule+site reachable from several roots).
+    uniq, seen = [], set()
+    for v in sorted(violations, key=lambda v: (v.rule, v.file, v.line)):
+        key = (v.rule, v.file, v.line, v.message)
+        if key not in seen:
+            seen.add(key)
+            uniq.append(v)
+    violations = uniq
+
+    roots = an.annotation_roots()
+    missing_roots = []
+    if args.require_roots:
+        for tag in ("no_alloc", "lock_free", "deterministic", "hot_path"):
+            if not roots[tag]:
+                missing_roots.append(tag)
+
+    rule_counts = {r: 0 for r in RULES}
+    for v in violations:
+        rule_counts[v.rule] += 1
+
+    report = {
+        "tool": "mcdc-lint",
+        "version": 1,
+        "frontend": fe.name,
+        "root": root,
+        "files_scanned": len(files),
+        "functions": len(funcs),
+        "headers_probed": headers_probed,
+        "annotation_roots": {k: sorted(v) for k, v in roots.items()},
+        "missing_roots": missing_roots,
+        "rules": rule_counts,
+        "violations": [vars(v) for v in violations],
+    }
+    if args.report:
+        os.makedirs(os.path.dirname(os.path.abspath(args.report)),
+                    exist_ok=True)
+        with open(args.report, "w") as f:
+            json.dump(report, f, indent=2, sort_keys=True)
+
+    for v in violations:
+        print(v.render())
+    for tag in missing_roots:
+        print(f"mcdc-lint: no function carries {tag.upper()} — the "
+              "annotations have rotted away (see src/util/annotate.h)")
+    summary = ", ".join(f"{r}={rule_counts[r]}" for r in RULES)
+    print(f"mcdc-lint[{fe.name}]: {len(files)} files, {len(funcs)} "
+          f"functions, {sum(len(v) for v in roots.values())} annotations; "
+          f"violations: {summary}")
+    return 1 if violations or missing_roots else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
