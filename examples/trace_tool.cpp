@@ -10,6 +10,9 @@
 //                    --engine-config=shards=4,queue=1024,...
 //                    --producers=4] [--verify]
 //                    [--telemetry-out=trace.json --prom-out=metrics.prom]
+//   trace_tool scenario [--scenario-config=family=flash,servers=8,...]
+//                    [--mu=1] [--lambda=1] [--json-out=report.json]
+//                    [--max-rows=0]
 //
 // `gen` writes a synthetic trace (`--kind=multi` emits a multi-item trace
 // for `serve`); `solve` runs the off-line optimum on a single-item trace
@@ -22,6 +25,10 @@
 // the engine from N concurrent ingestion sessions (round-robin split of
 // the trace, barrier-started threads); `--verify` runs the serial service
 // too and checks the engine report is bit-identical regardless of N.
+// `scenario` generates a synthetic load from a ScenarioConfig string and
+// benchmarks the network-time policies (static and adaptive Δt) against
+// instantaneous SC and the offline optimum (see docs/SCENLAB.md);
+// `--json-out` dumps the full report, `--max-rows` truncates the table.
 //
 // Observability: `solve`, `online`, and `serve` accept
 // `--metrics-out=metrics.json` (registry snapshot) and
@@ -57,6 +64,8 @@
 #include "obs/export.h"
 #include "obs/observer.h"
 #include "obs/sinks.h"
+#include "scenlab/scenario_config.h"
+#include "scenlab/scenario_run.h"
 #include "service/data_service.h"
 #include "util/cli.h"
 #include "workload/generators.h"
@@ -403,6 +412,27 @@ int cmd_serve(const ArgParser& args) {
   return 0;
 }
 
+int cmd_scenario(const ArgParser& args) {
+  const scenlab::ScenarioConfig cfg =
+      scenlab::ScenarioConfig::parse(args.get("scenario-config"));
+  const CostModel cm = cost_model_from_args(args);
+  const scenlab::ScenarioReport rep = scenlab::run_scenario(cfg, cm);
+  std::fputs(
+      rep.to_string(static_cast<std::size_t>(args.get_int("max-rows"))).c_str(),
+      stdout);
+  if (args.has("json-out")) {
+    const std::string path = args.get("json-out");
+    std::ofstream out(path);
+    if (!out) {
+      std::fprintf(stderr, "cannot open %s\n", path.c_str());
+      return 2;
+    }
+    out << rep.to_json() << '\n';
+    std::printf("scenario report written to %s\n", path.c_str());
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -440,11 +470,20 @@ int main(int argc, char** argv) {
   args.add_flag("prom-out",
                 "serve --engine: write a Prometheus text exposition of the "
                 "telemetry registry here (forces telemetry on)");
+  args.add_flag("scenario-config",
+                "scenario: ScenarioConfig string (family=...,servers=...; "
+                "see docs/SCENLAB.md)",
+                "family=mixed,servers=8,items=64,users=100000,rate=0.0001,"
+                "duration=96");
+  args.add_flag("json-out", "scenario: write the report JSON here");
+  args.add_flag("max-rows", "scenario: rows shown in the table (0 = all)", "0");
 
   try {
     const auto pos = args.parse(argc, argv);
     if (pos.size() != 1) {
-      std::fprintf(stderr, "usage: trace_tool <gen|solve|online|serve> [flags]\n%s",
+      std::fprintf(stderr,
+                   "usage: trace_tool <gen|solve|online|serve|scenario> "
+                   "[flags]\n%s",
                    args.usage("trace_tool").c_str());
       return 2;
     }
@@ -452,6 +491,7 @@ int main(int argc, char** argv) {
     if (pos[0] == "solve") return cmd_solve(args);
     if (pos[0] == "online") return cmd_online(args);
     if (pos[0] == "serve") return cmd_serve(args);
+    if (pos[0] == "scenario") return cmd_scenario(args);
     std::fprintf(stderr, "unknown command: %s\n", pos[0].c_str());
     return 2;
   } catch (const std::exception& e) {

@@ -17,7 +17,11 @@
 #      --telemetry-out/--prom-out under TSan, the Chrome-trace JSON
 #      validated with python3 (skipped if python3 is absent) and the
 #      Prometheus dump grepped for the stage-histogram series
-#   8. mcdc-lint (tools/lint/mcdc_lint.py): the project-specific
+#   8. the scenario bench gate: bench_scenarios --quick (scenlab), which
+#      hard-fails unless the adaptive Δt controller beats the static
+#      window on cost (diurnal family) and SLO attainment (flash family),
+#      with feasibility and cost reconciliation asserted in every run
+#   9. mcdc-lint (tools/lint/mcdc_lint.py): the project-specific
 #      static-analysis pass proving the standing invariants at the
 #      source level (no-alloc / lock-free / stamp-blind / deterministic
 #      closures rooted at the src/util/annotate.h annotations, plus the
@@ -42,6 +46,7 @@
 #   MCDC_CHECK_MULTI_PRODUCER  repeat count for the multi-producer TSan
 #                           stress lane (default 3; 0 disables the lane)
 #   MCDC_CHECK_TELEMETRY    non-empty "0": skip the telemetry-export gate
+#   MCDC_CHECK_SCENARIOS    non-empty "0": skip the scenario bench gate
 #   MCDC_CHECK_SKIP_LINT    non-empty: skip the mcdc-lint gate
 set -uo pipefail
 cd "$(dirname "$0")/.."
@@ -214,7 +219,27 @@ PYEOF
   fi
 fi
 
-# ---- 8. mcdc-lint ---------------------------------------------------------
+# ---- 8. scenario bench gate -----------------------------------------------
+# bench_scenarios hard-gates the adaptive-window claim (adaptive beats the
+# static Δt on cost for the diurnal family and on SLO attainment for the
+# flash family) and every run inside it asserts feasibility and exact cost
+# reconciliation. Quick mode keeps the lane to well under a second; reuses
+# the werror build from step 3.
+if [ "${MCDC_CHECK_SCENARIOS:-1}" = "0" ]; then
+  record SKIP "scenario bench gate (MCDC_CHECK_SCENARIOS=0)"
+else
+  echo "=== scenario bench gate (bench_scenarios --quick) ==="
+  if cmake --preset werror > /dev/null \
+      && cmake --build --preset werror -j "$JOBS" --target bench_scenarios > /dev/null \
+      && ./build-werror/bench/bench_scenarios --quick \
+           --out=build-werror/BENCH_scenarios.json; then
+    record PASS "scenario bench gate (adaptive beats static; cost+SLO)"
+  else
+    record FAIL "scenario bench gate (adaptive beats static; cost+SLO)"
+  fi
+fi
+
+# ---- 9. mcdc-lint ---------------------------------------------------------
 # The custom static-analysis pass: call-graph closures rooted at the
 # src/util/annotate.h annotations (no-alloc, lock-free, stamp-blind,
 # deterministic) plus the module include DAG and header self-sufficiency.

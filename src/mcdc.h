@@ -31,6 +31,7 @@
 
 // Workloads and traces.
 #include "workload/generators.h"
+#include "workload/scenario_gen.h"
 #include "workload/trace_io.h"
 
 // Discrete-event simulation and online policies.
@@ -38,6 +39,13 @@
 #include "sim/policies.h"
 #include "sim/policy_runner.h"
 #include "sim/predictive_policy.h"
+
+// Scenario lab: network-time simulation and adaptive window policies.
+#include "scenlab/adaptive.h"
+#include "scenlab/event_queue.h"
+#include "scenlab/network_sim.h"
+#include "scenlab/scenario_config.h"
+#include "scenlab/scenario_run.h"
 
 // Observability: metrics registry, event tracing, profiling scopes.
 #include "obs/events.h"

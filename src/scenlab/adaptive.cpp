@@ -1,0 +1,79 @@
+#include "scenlab/adaptive.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/annotate.h"
+#include "util/contracts.h"
+
+namespace mcdc::scenlab {
+
+AdaptiveController::AdaptiveController(const AdaptiveOptions& options)
+    : opt_(options) {
+  if (!(opt_.delta_base > 0.0)) {
+    throw std::invalid_argument("AdaptiveController: delta_base must be > 0");
+  }
+  if (!(opt_.ewma > 0.0 && opt_.ewma <= 1.0)) {
+    throw std::invalid_argument("AdaptiveController: ewma must be in (0, 1]");
+  }
+  if (!(opt_.clamp_lo > 0.0 && opt_.clamp_hi >= opt_.clamp_lo)) {
+    throw std::invalid_argument(
+        "AdaptiveController: need 0 < clamp_lo <= clamp_hi");
+  }
+  if (!(opt_.blend > 0.0 && opt_.blend <= 1.0)) {
+    throw std::invalid_argument("AdaptiveController: blend must be in (0, 1]");
+  }
+}
+
+void AdaptiveController::reset() {
+  rate_ewma_ = 0.0;
+  warm_ = false;
+}
+
+MCDC_DETERMINISTIC MCDC_HOT_PATH
+WindowDecision AdaptiveController::on_interval(
+    const WindowIntervalStats& stats, const WindowDecision& current) {
+  WindowDecision next = current;
+
+  if (stats.requests == 0) {
+    // Idle interval: nothing refreshes, every held copy is pure cost —
+    // shrink toward the floor and keep the epoch as is.
+    next.factor = std::max(opt_.clamp_lo, current.factor * 0.5);
+    return next;
+  }
+
+  MCDC_ASSERT(stats.interval > 0.0, "monitoring interval must be positive");
+  // Re-access intensity, not raw arrival rate: a pair seen once costs a
+  // transfer regardless of the window, so only repeats within the interval
+  // measure what a held copy would save.
+  const double pairs =
+      static_cast<double>(std::max<std::size_t>(1, stats.active_pairs));
+  const double repeats = static_cast<double>(
+      stats.requests - std::min(stats.requests, stats.active_pairs));
+  const double rate = repeats / (pairs * stats.interval);
+  rate_ewma_ = warm_ ? opt_.ewma * rate + (1.0 - opt_.ewma) * rate_ewma_
+                     : rate;
+  warm_ = true;
+
+  // Expected re-hits per base window per active pair: the ski-rental dial.
+  const double score = rate_ewma_ * opt_.delta_base;
+  double target = std::clamp(score, opt_.clamp_lo, opt_.clamp_hi);
+
+  const bool wasting = stats.expirations > stats.hits;
+  if (wasting) {
+    target = std::min(target, current.factor * 0.5);
+  }
+  if (static_cast<double>(stats.slo_missed) * 100.0 >
+      static_cast<double>(stats.requests) * opt_.slo_miss_percent) {
+    target = std::max(target, current.factor * 2.0);
+  }
+
+  next.factor =
+      std::clamp((1.0 - opt_.blend) * current.factor + opt_.blend * target,
+                 opt_.clamp_lo, opt_.clamp_hi);
+  next.epoch_transfers =
+      stats.expirations > 2 * stats.hits ? opt_.prune_epoch : opt_.base_epoch;
+  return next;
+}
+
+}  // namespace mcdc::scenlab

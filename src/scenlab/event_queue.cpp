@@ -1,0 +1,55 @@
+#include "scenlab/event_queue.h"
+
+#include <utility>
+
+#include "util/annotate.h"
+#include "util/contracts.h"
+
+namespace mcdc::scenlab {
+
+MCDC_DETERMINISTIC
+bool EventQueue::before(const Event& a, const Event& b) {
+  if (a.time != b.time) return a.time < b.time;
+  if (a.kind != b.kind) {
+    return static_cast<std::uint8_t>(a.kind) < static_cast<std::uint8_t>(b.kind);
+  }
+  return a.seq < b.seq;
+}
+
+MCDC_DETERMINISTIC MCDC_HOT_PATH
+std::uint64_t EventQueue::push(Event e) {
+  e.seq = next_seq_++;
+  heap_.push_back(e);  // mcdc-lint: allow(alloc) amortized past the high-water mark
+  std::size_t i = heap_.size() - 1;
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / 2;
+    if (!before(heap_[i], heap_[parent])) break;
+    std::swap(heap_[i], heap_[parent]);
+    i = parent;
+  }
+  if (heap_.size() > max_size_) max_size_ = heap_.size();
+  return e.seq;
+}
+
+MCDC_DETERMINISTIC MCDC_HOT_PATH
+Event EventQueue::pop() {
+  MCDC_ASSERT(!heap_.empty(), "EventQueue::pop on an empty queue");
+  const Event out = heap_.front();
+  heap_.front() = heap_.back();
+  heap_.pop_back();
+  const std::size_t n = heap_.size();
+  std::size_t i = 0;
+  while (true) {
+    const std::size_t l = 2 * i + 1;
+    const std::size_t r = l + 1;
+    std::size_t least = i;
+    if (l < n && before(heap_[l], heap_[least])) least = l;
+    if (r < n && before(heap_[r], heap_[least])) least = r;
+    if (least == i) break;
+    std::swap(heap_[i], heap_[least]);
+    i = least;
+  }
+  return out;
+}
+
+}  // namespace mcdc::scenlab

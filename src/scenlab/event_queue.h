@@ -1,0 +1,79 @@
+// Deterministic discrete-event queue for the scenario lab.
+//
+// A binary min-heap ordered by the total key (time, priority, seq): no
+// wall clocks anywhere, and ties are broken first by event class (a
+// transfer that completes at t lands before a request at t, so the
+// request sees the arrived copy) and then by insertion sequence, so two
+// runs that push the same events pop them in the same order — the
+// determinism oracle in tests/fuzz_differential.cpp holds this to
+// bit-identity over 1k seeds. Priorities are the EventKind order:
+//
+//   kTransferComplete (0) < kExpiry (1) < kRequest (2) < kMonitor (3)
+//
+// Expiry before request means a gap of exactly one window is a miss —
+// the closed-window convention, documented in docs/SCENLAB.md.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/types.h"
+
+namespace mcdc::scenlab {
+
+enum class EventKind : std::uint8_t {
+  kTransferComplete = 0,
+  kExpiry = 1,
+  kRequest = 2,
+  kMonitor = 3,
+};
+
+struct Event {
+  Time time = 0.0;
+  EventKind kind = EventKind::kRequest;
+  std::uint64_t seq = 0;  ///< assigned by the queue at push, breaks ties
+  std::int32_t item = -1;
+  std::int32_t server = -1;
+  /// Kind-specific payload: request index (kRequest), copy generation
+  /// (kExpiry), transfer id (kTransferComplete); unused for kMonitor.
+  std::int64_t aux = 0;
+};
+
+/// Min-heap over (time, priority, seq). push() stamps the sequence number;
+/// pop() returns the least element. Storage is a plain vector (sift-up /
+/// sift-down in place), so steady-state push/pop never allocates once the
+/// high-water mark is reached.
+class EventQueue {
+ public:
+  EventQueue() = default;
+
+  /// Reserve heap capacity up front (the simulator sizes it from the
+  /// stream so the hot loop stays allocation-free).
+  void reserve(std::size_t n) { heap_.reserve(n); }
+
+  bool empty() const { return heap_.empty(); }
+  std::size_t size() const { return heap_.size(); }
+  const Event& top() const { return heap_.front(); }
+
+  /// Total events ever pushed (also the next sequence number).
+  std::uint64_t pushed() const { return next_seq_; }
+  std::size_t max_size() const { return max_size_; }
+
+  /// Enqueue; `e.seq` is overwritten with the next sequence number, which
+  /// is also returned.
+  std::uint64_t push(Event e);
+
+  /// Dequeue the least event by (time, priority, seq). Precondition:
+  /// !empty().
+  Event pop();
+
+ private:
+  static bool before(const Event& a, const Event& b);
+
+  std::vector<Event> heap_;
+  std::uint64_t next_seq_ = 0;
+  std::size_t max_size_ = 0;
+};
+
+}  // namespace mcdc::scenlab

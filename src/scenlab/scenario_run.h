@@ -1,0 +1,72 @@
+// run_scenario: one scenario end to end, four ways.
+//
+// Generates the load stream for the scenario's seed, then runs it through:
+//
+//   net-static    — the network-time simulator, SC at the configured
+//                   static window factor;
+//   net-adaptive  — the network-time simulator with the AdaptiveController
+//                   retuning (window, epoch) every monitoring interval;
+//   sc-instant    — the instantaneous-world SC via sim::policy_runner
+//                   (per item, split_by_item), the paper's own regime;
+//   opt           — the offline O(mn) DP lower bound per item.
+//
+// Every row reports total/caching/transfer cost, hit mix, SLO attainment,
+// tail latency, and the competitive ratio against opt — the scenario-lab
+// deliverable the bench and the trace_tool `scenario` subcommand print.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "model/cost_model.h"
+#include "workload/scenario_gen.h"
+
+#include "scenlab/network_sim.h"
+#include "scenlab/scenario_config.h"
+
+namespace mcdc::scenlab {
+
+struct ScenarioRow {
+  std::string policy;
+  Cost total = 0.0;
+  Cost caching = 0.0;
+  Cost transfer = 0.0;
+  std::size_t transfers = 0;
+  std::size_t hits = 0;
+  std::size_t misses = 0;
+  /// Fraction of requests served within the SLO (instantaneous rows serve
+  /// at latency 0, so theirs is 1 by construction).
+  double slo_attainment = 1.0;
+  double latency_p50 = 0.0;
+  double latency_p99 = 0.0;
+  /// total / opt total (1 for the opt row itself; inf if opt is 0).
+  double ratio = 1.0;
+  /// Window factor at end of run (static rows: the configured factor).
+  double final_factor = 1.0;
+};
+
+struct ScenarioReport {
+  ScenarioConfig config;
+  std::size_t requests = 0;
+  std::size_t items_touched = 0;  ///< items with at least one request
+  std::vector<FlashWindow> flashes;
+  std::vector<ScenarioRow> rows;  ///< in run order (see run_scenario)
+
+  const ScenarioRow* find(const std::string& policy) const;
+
+  /// Human-readable summary: a header line plus a table of rows sorted by
+  /// total cost (ascending — cheapest policy first), truncated to
+  /// `max_rows` with a "(+N more rows by cost)" tail, following the
+  /// ServiceReport::to_string conventions. 0 = no truncation.
+  std::string to_string(std::size_t max_rows = 0) const;
+
+  /// Machine-readable form for BENCH_scenarios.json / --json-out.
+  std::string to_json() const;
+};
+
+/// Run all four rows of `cfg` under `cm`. Throws std::invalid_argument on
+/// invalid configs (the message names the offending field).
+ScenarioReport run_scenario(const ScenarioConfig& cfg, const CostModel& cm);
+
+}  // namespace mcdc::scenlab

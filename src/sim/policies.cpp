@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 #include <numbers>
+#include <stdexcept>
 
 namespace mcdc {
 
@@ -150,6 +151,100 @@ void LruKPolicy::on_request(ReplicaContext& ctx, ServerId server,
     if (victim == kNoServer) break;
     ctx.drop(victim);
   }
+}
+
+// ---------------- TunableScPolicy ----------------
+
+TunableScPolicy::TunableScPolicy(const CostModel& cm, ServerId origin,
+                                 Time interval, WindowController* controller,
+                                 WindowDecision initial)
+    : delta_base_(cm.lambda / cm.mu),
+      interval_(interval),
+      controller_(controller),
+      decision_(initial),
+      last_request_server_(origin) {
+  if (decision_.factor <= 0.0) decision_.factor = 1.0;
+  if (controller_ != nullptr && !(interval_ > 0.0)) {
+    throw std::invalid_argument(
+        "TunableScPolicy: a controller needs interval > 0");
+  }
+}
+
+void TunableScPolicy::on_start(ReplicaContext& ctx) {
+  expiry_.assign(static_cast<std::size_t>(ctx.num_servers()), 0.0);
+  ordinal_.assign(static_cast<std::size_t>(ctx.num_servers()), 0);
+  pair_mark_.assign(static_cast<std::size_t>(ctx.num_servers()), 0);
+  tick_id_ = 1;
+  tick_ = {};
+  tick_.interval = interval_;
+  if (controller_ != nullptr) {
+    controller_->reset();
+    next_monitor_ = interval_;
+    ctx.wake_at(next_monitor_);
+  }
+  refresh(ctx, last_request_server_);
+}
+
+void TunableScPolicy::refresh(ReplicaContext& ctx, ServerId s) {
+  expiry_[static_cast<std::size_t>(s)] = ctx.now() + window();
+  ordinal_[static_cast<std::size_t>(s)] = ++counter_;
+  ctx.wake_at(expiry_[static_cast<std::size_t>(s)]);
+}
+
+void TunableScPolicy::on_request(ReplicaContext& ctx, ServerId server,
+                                 RequestIndex /*index*/) {
+  ++tick_.requests;
+  if (pair_mark_[static_cast<std::size_t>(server)] != tick_id_) {
+    pair_mark_[static_cast<std::size_t>(server)] = tick_id_;
+    ++tick_.active_pairs;
+  }
+  if (ctx.has_copy(server)) {
+    ++tick_.hits;
+    refresh(ctx, server);
+  } else {
+    ++tick_.misses;
+    ServerId src = last_request_server_;
+    if (!ctx.has_copy(src) || src == server) {
+      std::uint64_t best = 0;
+      src = kNoServer;
+      for (const ServerId h : ctx.holders()) {
+        if (src == kNoServer || ordinal_[static_cast<std::size_t>(h)] >= best) {
+          best = ordinal_[static_cast<std::size_t>(h)];
+          src = h;
+        }
+      }
+    }
+    ctx.transfer(src, server);
+    refresh(ctx, src);     // source serves the transfer: fresh window
+    refresh(ctx, server);  // target refreshed after: the tie rule keeps it
+    if (decision_.epoch_transfers > 0 &&
+        ++epoch_transfers_ >= decision_.epoch_transfers) {
+      for (const ServerId h : ctx.holders()) {
+        if (h != server) ctx.drop(h);
+      }
+      epoch_transfers_ = 0;
+    }
+  }
+  last_request_server_ = server;
+}
+
+void TunableScPolicy::monitor_tick(ReplicaContext& ctx) {
+  while (controller_ != nullptr && ctx.now() >= next_monitor_ - kEps) {
+    tick_.interval = interval_;
+    decision_ = controller_->on_interval(tick_, decision_);
+    if (decision_.factor <= 0.0) decision_.factor = 1.0;
+    tick_ = {};
+    ++tick_id_;
+    next_monitor_ += interval_;
+    ctx.wake_at(next_monitor_);
+  }
+}
+
+void TunableScPolicy::on_wake(ReplicaContext& ctx) {
+  const std::size_t before = ctx.copy_count();
+  drop_due_copies(ctx, expiry_, ordinal_);
+  tick_.expirations += before - ctx.copy_count();
+  monitor_tick(ctx);
 }
 
 // ---------------- RandomizedSkiRentalPolicy ----------------

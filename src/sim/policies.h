@@ -16,8 +16,15 @@
 //  * RandomizedSkiRentalPolicy — SC with the classical randomized ski-rental
 //                         window distribution (density e^x/(e-1) on [0,1],
 //                         scaled by delta_t) instead of the fixed window.
+//  * TunableScPolicy    — SC whose speculation window and epoch length are
+//                         retuned per monitoring interval by a pluggable
+//                         WindowController (the scenario lab's adaptive
+//                         policies run through the existing policy_runner
+//                         via this adapter; see docs/SCENLAB.md).
 #pragma once
 
+#include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "model/cost_model.h"
@@ -90,6 +97,85 @@ class LruKPolicy final : public OnlinePolicy {
   ServerId last_;
   std::vector<std::uint64_t> last_use_;
   std::uint64_t counter_ = 0;
+};
+
+/// What a WindowController observes over one monitoring interval. All
+/// counters cover the interval just ended, not the whole run.
+struct WindowIntervalStats {
+  Time interval = 0.0;          ///< interval length in simulated time
+  std::size_t requests = 0;
+  std::size_t hits = 0;         ///< requests that found a local copy
+  std::size_t misses = 0;       ///< requests served by a transfer
+  std::size_t expirations = 0;  ///< copies that expired unused
+  std::size_t slo_missed = 0;   ///< network-time world only; 0 otherwise
+  /// Distinct (item, server) pairs that received requests this interval —
+  /// the denominator for the per-pair arrival-rate estimate lambda-hat.
+  std::size_t active_pairs = 0;
+};
+
+/// A controller's retuning decision, applied to all subsequent holds.
+struct WindowDecision {
+  /// New speculation factor: delta_t = factor * lambda / mu.
+  double factor = 1.0;
+  /// New epoch length in transfers (0 = no epoch resets).
+  std::size_t epoch_transfers = 0;
+};
+
+/// Measure-then-adapt hook: called once per monitoring interval with the
+/// observed hit/transfer/expiry mix; returns the window/epoch retuning.
+/// Implementations live above sim/ (scenlab::AdaptiveController); sim only
+/// defines the contract so both the instantaneous policy_runner world and
+/// the scenlab network-time world can drive the same controller.
+class WindowController {
+ public:
+  virtual ~WindowController() = default;
+  virtual WindowDecision on_interval(const WindowIntervalStats& stats,
+                                     const WindowDecision& current) = 0;
+  /// Called at the start of each run so one controller can serve many
+  /// per-item policy instances in sequence.
+  virtual void reset() {}
+};
+
+/// SC with a runtime-tunable window: behaves exactly like ScSimPolicy at
+/// the current (factor, epoch) setting, and polls `controller` every
+/// `interval` of simulated time via self-scheduled wake-ups. A null
+/// controller makes it a static SC at the initial decision (tested to be
+/// cost-identical to ScSimPolicy).
+class TunableScPolicy final : public OnlinePolicy {
+ public:
+  TunableScPolicy(const CostModel& cm, ServerId origin, Time interval,
+                  WindowController* controller,
+                  WindowDecision initial = {});
+
+  std::string name() const override {
+    return controller_ == nullptr ? "sc-tunable" : "sc-adaptive";
+  }
+  void on_start(ReplicaContext& ctx) override;
+  void on_request(ReplicaContext& ctx, ServerId server, RequestIndex index) override;
+  void on_wake(ReplicaContext& ctx) override;
+
+  double current_factor() const { return decision_.factor; }
+  std::size_t current_epoch() const { return decision_.epoch_transfers; }
+
+ private:
+  Time window() const { return decision_.factor * delta_base_; }
+  void refresh(ReplicaContext& ctx, ServerId s);
+  void monitor_tick(ReplicaContext& ctx);
+
+  Time delta_base_;  ///< lambda / mu
+  Time interval_;
+  WindowController* controller_;
+  WindowDecision decision_;
+  Time next_monitor_ = 0.0;
+  std::size_t epoch_transfers_ = 0;
+  ServerId last_request_server_;
+  std::vector<Time> expiry_;
+  std::vector<std::uint64_t> ordinal_;
+  std::uint64_t counter_ = 0;
+
+  WindowIntervalStats tick_;  ///< accumulates over the current interval
+  std::vector<std::uint64_t> pair_mark_;  ///< active_pairs dedup per interval
+  std::uint64_t tick_id_ = 0;
 };
 
 class RandomizedSkiRentalPolicy final : public OnlinePolicy {

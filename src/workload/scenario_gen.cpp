@@ -1,0 +1,199 @@
+#include "workload/scenario_gen.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+#include <string>
+
+#include "util/contracts.h"
+
+namespace mcdc {
+
+const char* to_string(LoadShape shape) {
+  switch (shape) {
+    case LoadShape::kUniform:
+      return "uniform";
+    case LoadShape::kDiurnal:
+      return "diurnal";
+    case LoadShape::kFlashCrowd:
+      return "flash";
+    case LoadShape::kMixed:
+      return "mixed";
+  }
+  MCDC_UNREACHABLE("bad LoadShape %d", static_cast<int>(shape));
+}
+
+LoadShape parse_load_shape(const char* name) {
+  const std::string s(name);
+  if (s == "uniform") return LoadShape::kUniform;
+  if (s == "diurnal") return LoadShape::kDiurnal;
+  if (s == "flash") return LoadShape::kFlashCrowd;
+  if (s == "mixed") return LoadShape::kMixed;
+  throw std::invalid_argument("unknown load shape: " + s +
+                              " (expected uniform|diurnal|flash|mixed)");
+}
+
+namespace {
+
+bool has_diurnal(LoadShape s) {
+  return s == LoadShape::kDiurnal || s == LoadShape::kMixed;
+}
+
+bool has_flash(LoadShape s) {
+  return s == LoadShape::kFlashCrowd || s == LoadShape::kMixed;
+}
+
+void check_positive(double v, const char* field) {
+  if (!(v > 0.0) || !std::isfinite(v)) {
+    throw std::invalid_argument(std::string("gen_scenario_stream: ") + field +
+                                " must be finite and > 0");
+  }
+}
+
+void validate(const ScenarioLoadConfig& cfg) {
+  if (cfg.num_servers < 2) {
+    throw std::invalid_argument(
+        "gen_scenario_stream: num_servers must be >= 2 (a scenario needs a "
+        "remote server to source transfers from)");
+  }
+  if (cfg.num_items <= 0) {
+    throw std::invalid_argument("gen_scenario_stream: num_items must be > 0");
+  }
+  check_positive(cfg.users, "users");
+  check_positive(cfg.rate_per_user, "rate_per_user");
+  check_positive(cfg.duration, "duration");
+  check_positive(cfg.period, "period");
+  if (cfg.day_night_ratio < 1.0) {
+    throw std::invalid_argument(
+        "gen_scenario_stream: day_night_ratio must be >= 1");
+  }
+  check_positive(cfg.flash_every, "flash_every");
+  check_positive(cfg.flash_len, "flash_len");
+  if (cfg.flash_boost < 1.0) {
+    throw std::invalid_argument("gen_scenario_stream: flash_boost must be >= 1");
+  }
+  if (cfg.flash_affinity < 0.0 || cfg.flash_affinity > 1.0) {
+    throw std::invalid_argument(
+        "gen_scenario_stream: flash_affinity must be in [0, 1]");
+  }
+  if (cfg.item_alpha < 0.0 || cfg.server_alpha < 0.0) {
+    throw std::invalid_argument(
+        "gen_scenario_stream: item_alpha/server_alpha must be >= 0");
+  }
+}
+
+/// Diurnal multiplier at time t, normalized to mean 1 over a period:
+/// raw(t) varies in [1, ratio] as a sinusoid starting at the trough
+/// ("midnight" at t = 0), and the mean of raw is (1 + ratio) / 2.
+double diurnal_factor(const ScenarioLoadConfig& cfg, Time t) {
+  const double ratio = cfg.day_night_ratio;
+  const double phase = 2.0 * std::numbers::pi * t / cfg.period;
+  const double raw =
+      1.0 + (ratio - 1.0) * (1.0 + std::sin(phase - std::numbers::pi / 2)) / 2.0;
+  return raw * 2.0 / (1.0 + ratio);
+}
+
+}  // namespace
+
+double scenario_intensity(const ScenarioLoadConfig& cfg,
+                          const std::vector<FlashWindow>& flashes, Time t) {
+  double rate = cfg.users * cfg.rate_per_user;
+  if (has_diurnal(cfg.shape)) rate *= diurnal_factor(cfg, t);
+  if (has_flash(cfg.shape)) {
+    for (const auto& f : flashes) {
+      if (t >= f.start && t < f.end) {
+        rate *= cfg.flash_boost;
+        break;
+      }
+    }
+  }
+  return rate;
+}
+
+std::vector<MultiItemRequest> gen_scenario_stream(
+    Rng& rng, const ScenarioLoadConfig& cfg,
+    std::vector<FlashWindow>* flashes_out) {
+  validate(cfg);
+  const int m = cfg.num_servers;
+
+  // Flash schedule first, in a fixed draw order, so the rest of the stream
+  // is insensitive to how many candidate arrivals thinning rejects.
+  std::vector<FlashWindow> flashes;
+  if (has_flash(cfg.shape)) {
+    for (Time anchor = cfg.flash_every * 0.5; anchor < cfg.duration;
+         anchor += cfg.flash_every) {
+      FlashWindow f;
+      f.start = anchor + rng.uniform(0.0, 0.25 * cfg.flash_every);
+      f.end = f.start + cfg.flash_len;
+      f.hot_item = static_cast<int>(
+          rng.uniform_int(static_cast<std::uint64_t>(cfg.num_items)));
+      f.hot_server =
+          static_cast<ServerId>(rng.uniform_int(static_cast<std::uint64_t>(m)));
+      if (f.start < cfg.duration) flashes.push_back(f);
+    }
+  }
+
+  const ZipfSampler item_zipf(static_cast<std::size_t>(cfg.num_items),
+                              cfg.item_alpha);
+  const ZipfSampler server_zipf(static_cast<std::size_t>(m), cfg.server_alpha);
+  // Per-item rotation of the server popularity order (each item has its own
+  // favourite servers, as in gen_multi_item).
+  std::vector<int> rotation(static_cast<std::size_t>(cfg.num_items));
+  for (auto& r : rotation) {
+    r = static_cast<int>(rng.uniform_int(static_cast<std::uint64_t>(m)));
+  }
+
+  // Thinning envelope: the intensity never exceeds base * peak_diurnal *
+  // flash_boost (diurnal_factor is at most 2 * ratio / (1 + ratio)).
+  const double base = cfg.users * cfg.rate_per_user;
+  double peak = base;
+  if (has_diurnal(cfg.shape)) {
+    peak *= 2.0 * cfg.day_night_ratio / (1.0 + cfg.day_night_ratio);
+  }
+  if (has_flash(cfg.shape)) peak *= cfg.flash_boost;
+
+  std::vector<MultiItemRequest> stream;
+  stream.reserve(static_cast<std::size_t>(
+      std::min(base * cfg.duration * 1.1 + 16.0, 1e8)));
+  Time t = 0.0;
+  Time last_emitted = 0.0;
+  while (true) {
+    t += rng.exponential(peak);
+    if (t >= cfg.duration) break;
+    const double lam = scenario_intensity(cfg, flashes, t);
+    MCDC_ASSERT(lam <= peak * (1.0 + kEps), "thinning envelope violated: "
+                "intensity %.6g > peak %.6g at t=%.6g", lam, peak, t);
+    if (rng.uniform() * peak >= lam) continue;  // thinned out
+
+    const FlashWindow* active = nullptr;
+    if (has_flash(cfg.shape)) {
+      for (const auto& f : flashes) {
+        if (t >= f.start && t < f.end) {
+          active = &f;
+          break;
+        }
+      }
+    }
+    int item;
+    ServerId server;
+    if (active != nullptr && rng.bernoulli(cfg.flash_affinity)) {
+      item = active->hot_item;
+      server = active->hot_server;
+    } else {
+      item = static_cast<int>(item_zipf.sample(rng));
+      const auto rank = static_cast<int>(server_zipf.sample(rng));
+      server = static_cast<ServerId>(
+          (rank + rotation[static_cast<std::size_t>(item)]) % m);
+    }
+    // Strict global increase (the service and per-item instance extraction
+    // both require it); continuous draws collide only pathologically.
+    const Time emit = std::max(t, last_emitted + 1e-9);
+    stream.push_back({item, server, emit});
+    last_emitted = emit;
+  }
+  if (flashes_out != nullptr) *flashes_out = std::move(flashes);
+  return stream;
+}
+
+}  // namespace mcdc

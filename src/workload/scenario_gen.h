@@ -1,0 +1,94 @@
+// Scenario load generators for the discrete-event scenario lab.
+//
+// ROADMAP item 3 asks for load that "looks like millions of real users":
+// request intensity that follows diurnal curves, ignites flash crowds, and
+// concentrates on few popular items (Zipf). This module provides the
+// load half of that — a non-homogeneous Poisson process over a multi-item
+// request stream, sampled by thinning against the peak intensity — while
+// src/scenlab provides the network-time simulator that consumes it.
+//
+// Shapes (composable via LoadShape):
+//
+//   * kUniform    — constant intensity, no spikes (control case).
+//   * kDiurnal    — sinusoidal day/night intensity with a configurable
+//                   peak/trough ratio, normalized so the mean aggregate
+//                   rate equals users * rate_per_user.
+//   * kFlashCrowd — constant base intensity plus periodic flash crowds: a
+//                   multiplicative boost window focused (with configurable
+//                   affinity) on one randomly chosen hot (item, server).
+//   * kMixed      — diurnal base with flash crowds layered on top.
+//
+// All randomness flows through the explicit Rng, so a seed reproduces the
+// stream bit-for-bit (the scenlab determinism fuzz lane depends on it).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "workload/generators.h"
+
+namespace mcdc {
+
+enum class LoadShape : std::uint8_t {
+  kUniform,
+  kDiurnal,
+  kFlashCrowd,
+  kMixed,
+};
+
+const char* to_string(LoadShape shape);
+
+/// Parse "uniform" | "diurnal" | "flash" | "mixed"; throws
+/// std::invalid_argument naming the token and the valid choices.
+LoadShape parse_load_shape(const char* name);
+
+struct ScenarioLoadConfig {
+  LoadShape shape = LoadShape::kDiurnal;
+  int num_servers = 8;
+  int num_items = 64;
+
+  /// Simulated user population. The aggregate mean request rate is
+  /// users * rate_per_user; population only enters through that product,
+  /// so "millions of users" costs nothing beyond the requests they emit.
+  double users = 100000.0;
+  double rate_per_user = 1e-4;
+
+  double duration = 96.0;  ///< stream horizon in simulated time units
+  double period = 24.0;    ///< diurnal period (one "day")
+
+  /// Peak/trough intensity ratio of the diurnal sinusoid (>= 1; 1 makes
+  /// kDiurnal equivalent to kUniform).
+  double day_night_ratio = 4.0;
+
+  double flash_every = 24.0;    ///< one flash crowd ignites per this interval
+  double flash_len = 3.0;       ///< burn time of each flash
+  double flash_boost = 6.0;     ///< intensity multiplier while burning (>= 1)
+  double flash_affinity = 0.85; ///< share of flash traffic on the hot pair
+
+  double item_alpha = 0.9;    ///< Zipf skew of item popularity
+  double server_alpha = 0.6;  ///< Zipf skew of per-item server affinity
+};
+
+/// One ignited flash crowd (exposed for tests and the scenlab report).
+struct FlashWindow {
+  Time start = 0.0;
+  Time end = 0.0;
+  int hot_item = 0;
+  ServerId hot_server = 0;
+};
+
+/// Time-varying aggregate intensity of `cfg` at time t, given the active
+/// flash windows. Exposed so tests can check the thinning envelope.
+double scenario_intensity(const ScenarioLoadConfig& cfg,
+                          const std::vector<FlashWindow>& flashes, Time t);
+
+/// Generate the multi-item request stream for `cfg`: strictly increasing
+/// times in (0, duration], item/server drawn per the shape rules. If
+/// `flashes_out` is non-null it receives the ignited flash windows.
+/// Throws std::invalid_argument (naming the offending field) on invalid
+/// configs.
+std::vector<MultiItemRequest> gen_scenario_stream(
+    Rng& rng, const ScenarioLoadConfig& cfg,
+    std::vector<FlashWindow>* flashes_out = nullptr);
+
+}  // namespace mcdc

@@ -47,6 +47,8 @@
 #include "engine/ingress.h"
 #include "engine/streaming_engine.h"
 #include "model/schedule_validator.h"
+#include "scenlab/scenario_config.h"
+#include "scenlab/scenario_run.h"
 #include "service/data_service.h"
 #include "sim/executor.h"
 #include "util/rng.h"
@@ -412,6 +414,53 @@ TEST(FuzzDifferential, EngineMultiProducerBitIdenticalToSerial) {
     assert_reports_identical(want, got);
     if (::testing::Test::HasFatalFailure()) return;
   }
+}
+
+// Scenlab lane (ctest label: scenlab): the discrete-event network
+// simulator must be a pure function of (config, seed). Every iteration
+// draws a random ScenarioConfig through the string form (so the parser is
+// fuzzed too), runs the full scenario twice, and demands BIT-identical
+// JSON — with an environment decoy mutated between the runs to prove the
+// simulator reads no process state (no clocks, no env, no address-order
+// containers on any result path).
+TEST(FuzzDifferential, ScenarioRunsBitIdenticalAndEnvIndependent) {
+  const std::uint64_t iters = env_u64("MCDC_FUZZ_ITERS", 1000);
+  const std::uint64_t base_seed = env_u64("MCDC_FUZZ_SEED", 20170814);
+  // Each iteration is a full 4-policy scenario run twice; keep the default
+  // lane at a fraction of the solver sweep's count.
+  const std::uint64_t runs = std::max<std::uint64_t>(iters / 10, 25);
+
+  constexpr const char* kFamilies[] = {"uniform", "diurnal", "flash", "mixed"};
+  for (std::uint64_t it = 0; it < runs; ++it) {
+    const std::uint64_t seed = base_seed + 0xB00000000ULL + it;
+    Rng rng(seed);
+    std::string spec =
+        std::string("family=") + kFamilies[rng.uniform_int(std::uint64_t{4})] +
+        ",servers=" + std::to_string(2 + rng.uniform_int(std::uint64_t{6})) +
+        ",items=" + std::to_string(1 + rng.uniform_int(std::uint64_t{24})) +
+        ",users=" + std::to_string(5000 + 5000 * rng.uniform_int(
+                                              std::uint64_t{5})) +
+        ",rate=0.0001,duration=" +
+        std::to_string(12 + 12 * rng.uniform_int(std::uint64_t{3})) +
+        ",slots=" + std::to_string(1 + rng.uniform_int(std::uint64_t{4})) +
+        ",seed=" + std::to_string(seed);
+    if (it % 3 == 0) spec += ",epoch=" + std::to_string(
+        2 + rng.uniform_int(std::uint64_t{6}));
+    const scenlab::ScenarioConfig cfg = scenlab::ScenarioConfig::parse(spec);
+    ASSERT_EQ(scenlab::ScenarioConfig::parse(cfg.to_string()), cfg) << spec;
+    const CostModel cm(std::exp(rng.uniform(-1.0, 1.0)),
+                       std::exp(rng.uniform(-1.0, 2.0)));
+
+    SCOPED_TRACE("scenlab seed=" + std::to_string(seed) + " " + spec);
+    const std::string first = scenlab::run_scenario(cfg, cm).to_json();
+    // Perturb the process environment between the runs: a deterministic
+    // simulator must not notice.
+    ASSERT_EQ(setenv("MCDC_SCENLAB_DECOY", std::to_string(it).c_str(), 1), 0);
+    const std::string second = scenlab::run_scenario(cfg, cm).to_json();
+    ASSERT_EQ(first, second) << "seeded scenario run is not reproducible";
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+  unsetenv("MCDC_SCENLAB_DECOY");
 }
 
 // Deterministic corners the random sweep hits only by luck.

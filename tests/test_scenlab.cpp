@@ -1,0 +1,623 @@
+// Tests for the scenario lab: the deterministic event queue, the
+// ScenarioConfig string form, the scenario load generators, the
+// network-time simulator (hand-computed micro scenarios: costs, SLOs,
+// in-flight joins, slot contention, the pinned last copy), the adaptive
+// window controller, and the end-to-end run_scenario report.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "scenlab/adaptive.h"
+#include "scenlab/event_queue.h"
+#include "scenlab/network_sim.h"
+#include "scenlab/scenario_config.h"
+#include "scenlab/scenario_run.h"
+#include "util/rng.h"
+#include "workload/scenario_gen.h"
+
+namespace mcdc {
+namespace {
+
+using scenlab::AdaptiveController;
+using scenlab::AdaptiveOptions;
+using scenlab::Event;
+using scenlab::EventKind;
+using scenlab::EventQueue;
+using scenlab::NetworkRunResult;
+using scenlab::ScenarioConfig;
+using scenlab::ScenarioPolicy;
+using scenlab::ScenarioReport;
+using scenlab::run_network_sim;
+using scenlab::run_scenario;
+
+// ---------------- EventQueue ----------------
+
+TEST(EventQueue, OrdersByTimeThenKindThenSeq) {
+  EventQueue q;
+  q.push({3.0, EventKind::kRequest, 0, 1, 0, 0});
+  q.push({1.0, EventKind::kMonitor, 0, 2, 0, 0});
+  q.push({1.0, EventKind::kExpiry, 0, 3, 0, 0});
+  q.push({1.0, EventKind::kTransferComplete, 0, 4, 0, 0});
+  q.push({1.0, EventKind::kRequest, 0, 5, 0, 0});
+  q.push({2.0, EventKind::kRequest, 0, 6, 0, 0});
+
+  // Equal times resolve transfer-complete < expiry < request < monitor.
+  EXPECT_EQ(q.pop().item, 4);
+  EXPECT_EQ(q.pop().item, 3);
+  EXPECT_EQ(q.pop().item, 5);
+  EXPECT_EQ(q.pop().item, 2);
+  EXPECT_EQ(q.pop().item, 6);
+  EXPECT_EQ(q.pop().item, 1);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, EqualKeysPopInPushOrder) {
+  EventQueue q;
+  for (int i = 0; i < 50; ++i) {
+    q.push({1.0, EventKind::kRequest, 0, i, 0, 0});
+  }
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(q.pop().item, i);
+  }
+}
+
+TEST(EventQueue, RandomizedHeapMatchesSortedOrder) {
+  Rng rng(99);
+  EventQueue q;
+  std::vector<Event> pushed;
+  for (int i = 0; i < 500; ++i) {
+    Event e;
+    e.time = rng.uniform(0.0, 10.0);
+    e.kind = static_cast<EventKind>(rng.uniform_int(std::uint64_t(4)));
+    e.item = i;
+    e.seq = q.push(e);
+    pushed.push_back(e);
+  }
+  EXPECT_EQ(q.size(), 500u);
+  EXPECT_EQ(q.pushed(), 500u);
+  EXPECT_EQ(q.max_size(), 500u);
+  std::sort(pushed.begin(), pushed.end(), [](const Event& a, const Event& b) {
+    if (a.time != b.time) return a.time < b.time;
+    if (a.kind != b.kind) {
+      return static_cast<int>(a.kind) < static_cast<int>(b.kind);
+    }
+    return a.seq < b.seq;
+  });
+  for (const Event& want : pushed) {
+    EXPECT_EQ(q.pop().item, want.item);
+  }
+}
+
+// ---------------- ScenarioConfig string form ----------------
+
+TEST(ScenarioConfig, DefaultRoundTrips) {
+  const ScenarioConfig def;
+  EXPECT_EQ(ScenarioConfig::parse(def.to_string()), def);
+  EXPECT_EQ(ScenarioConfig::parse(""), def);
+}
+
+TEST(ScenarioConfig, RoundTrips200RandomConfigs) {
+  Rng rng(20260807);
+  const LoadShape shapes[] = {LoadShape::kUniform, LoadShape::kDiurnal,
+                              LoadShape::kFlashCrowd, LoadShape::kMixed};
+  for (int i = 0; i < 200; ++i) {
+    ScenarioConfig cfg;
+    cfg.load.shape = shapes[rng.uniform_int(std::uint64_t(4))];
+    cfg.load.num_servers = static_cast<int>(rng.uniform_int(2, 32));
+    cfg.load.num_items = static_cast<int>(rng.uniform_int(1, 512));
+    cfg.load.users = rng.uniform(1.0, 5e6);
+    cfg.load.rate_per_user = rng.uniform(1e-7, 1e-2);
+    cfg.load.duration = rng.uniform(1.0, 400.0);
+    cfg.load.period = rng.uniform(0.5, 48.0);
+    cfg.load.day_night_ratio = rng.uniform(1.0, 20.0);
+    cfg.load.flash_every = rng.uniform(0.5, 50.0);
+    cfg.load.flash_len = rng.uniform(0.1, 10.0);
+    cfg.load.flash_boost = rng.uniform(1.0, 30.0);
+    cfg.load.flash_affinity = rng.uniform();
+    cfg.load.item_alpha = rng.uniform(0.0, 2.0);
+    cfg.load.server_alpha = rng.uniform(0.0, 2.0);
+    cfg.bandwidth = rng.uniform(0.1, 100.0);
+    cfg.item_size = rng.uniform(0.1, 100.0);
+    cfg.transfer_slots = static_cast<int>(rng.uniform_int(1, 64));
+    cfg.slo = rng.uniform(0.0, 10.0);
+    cfg.policy = rng.bernoulli(0.5) ? ScenarioPolicy::kAdaptive
+                                    : ScenarioPolicy::kStatic;
+    cfg.window = rng.uniform(0.01, 16.0);
+    cfg.interval = rng.uniform(0.1, 24.0);
+    cfg.epoch = rng.uniform_int(std::uint64_t(100));
+    cfg.seed = rng.next_u64();
+
+    const std::string text = cfg.to_string();
+    SCOPED_TRACE(text);
+    EXPECT_EQ(ScenarioConfig::parse(text), cfg) << "iteration " << i;
+  }
+}
+
+TEST(ScenarioConfig, ErrorsNameKeyTokenAndChoices) {
+  // Unknown key: named, and the full key list offered.
+  try {
+    ScenarioConfig::parse("bogus=1");
+    FAIL() << "expected invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("\"bogus\""), std::string::npos) << msg;
+    EXPECT_NE(msg.find("family|servers|items"), std::string::npos) << msg;
+  }
+  // Bad value: key, offending token, and the valid choices.
+  try {
+    ScenarioConfig::parse("family=weekly");
+    FAIL() << "expected invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("\"family\""), std::string::npos) << msg;
+    EXPECT_NE(msg.find("\"weekly\""), std::string::npos) << msg;
+    EXPECT_NE(msg.find("uniform|diurnal|flash|mixed"), std::string::npos)
+        << msg;
+  }
+  try {
+    ScenarioConfig::parse("slots=4x");
+    FAIL() << "expected invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("\"slots\""), std::string::npos) << msg;
+    EXPECT_NE(msg.find("\"4x\""), std::string::npos) << msg;
+  }
+  // Range violation: named key.
+  try {
+    ScenarioConfig::parse("day_night=0.5");
+    FAIL() << "expected invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("\"day_night\""), std::string::npos) << msg;
+    EXPECT_NE(msg.find(">= 1"), std::string::npos) << msg;
+  }
+  // Malformed token: echoed back with the key list.
+  try {
+    ScenarioConfig::parse("servers");
+    FAIL() << "expected invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("\"servers\""), std::string::npos) << msg;
+    EXPECT_NE(msg.find("key=value"), std::string::npos) << msg;
+  }
+  EXPECT_THROW(ScenarioConfig::parse("policy=maybe"), std::invalid_argument);
+  EXPECT_THROW(ScenarioConfig::parse("bw=0"), std::invalid_argument);
+  EXPECT_THROW(ScenarioConfig::parse("window=-1"), std::invalid_argument);
+  EXPECT_THROW(ScenarioConfig::parse("flash_affinity=1.5"),
+               std::invalid_argument);
+}
+
+// ---------------- Scenario load generation ----------------
+
+TEST(ScenarioGen, StreamIsValidAndSeedDeterministic) {
+  ScenarioConfig cfg = ScenarioConfig::parse(
+      "family=mixed,servers=6,items=32,users=50000,rate=0.0001,duration=48,"
+      "seed=5");
+  Rng rng_a(cfg.seed);
+  Rng rng_b(cfg.seed);
+  std::vector<FlashWindow> flashes_a;
+  std::vector<FlashWindow> flashes_b;
+  const auto a = gen_scenario_stream(rng_a, cfg.load, &flashes_a);
+  const auto b = gen_scenario_stream(rng_b, cfg.load, &flashes_b);
+  ASSERT_FALSE(a.empty());
+  ASSERT_EQ(a.size(), b.size());
+  Time prev = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].item, b[i].item);
+    EXPECT_EQ(a[i].server, b[i].server);
+    EXPECT_EQ(a[i].time, b[i].time);
+    EXPECT_GT(a[i].time, prev);
+    prev = a[i].time;
+    EXPECT_GE(a[i].item, 0);
+    EXPECT_LT(a[i].item, cfg.load.num_items);
+    EXPECT_GE(a[i].server, 0);
+    EXPECT_LT(a[i].server, cfg.load.num_servers);
+    EXPECT_LE(a[i].time, cfg.load.duration);
+  }
+  ASSERT_EQ(flashes_a.size(), flashes_b.size());
+  EXPECT_FALSE(flashes_a.empty());  // mixed ignites flash crowds
+}
+
+TEST(ScenarioGen, IntensityStaysUnderThinningEnvelope) {
+  ScenarioConfig cfg = ScenarioConfig::parse(
+      "family=mixed,servers=4,items=16,users=10000,rate=0.0001,duration=48,"
+      "day_night=6,flash_boost=8,seed=9");
+  Rng rng(cfg.seed);
+  std::vector<FlashWindow> flashes;
+  (void)gen_scenario_stream(rng, cfg.load, &flashes);
+  const double mean = cfg.load.users * cfg.load.rate_per_user;
+  const double peak_bound =
+      mean * (2.0 * cfg.load.day_night_ratio /
+              (1.0 + cfg.load.day_night_ratio)) *
+      cfg.load.flash_boost * (1.0 + kEps);
+  for (double t = 0.0; t <= cfg.load.duration; t += 0.05) {
+    const double lam = scenario_intensity(cfg.load, flashes, t);
+    EXPECT_GE(lam, 0.0);
+    EXPECT_LE(lam, peak_bound) << "t=" << t;
+  }
+}
+
+TEST(ScenarioGen, RejectsInvalidConfigNamingField) {
+  ScenarioLoadConfig bad;
+  bad.num_servers = 1;
+  Rng rng(1);
+  try {
+    (void)gen_scenario_stream(rng, bad);
+    FAIL() << "expected invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("num_servers"), std::string::npos)
+        << e.what();
+  }
+}
+
+// ---------------- Network simulator: hand-computed micro runs ----------
+
+ScenarioConfig micro_config() {
+  ScenarioConfig cfg;
+  cfg.load.num_servers = 3;
+  cfg.load.num_items = 2;
+  cfg.load.duration = 10.0;
+  cfg.bandwidth = 1.0;
+  cfg.item_size = 1.0;  // transfer takes exactly 1 time unit
+  cfg.transfer_slots = 1;
+  cfg.slo = 0.5;
+  cfg.window = 1.0;
+  return cfg;
+}
+
+TEST(NetworkSim, HandComputedCostsAndSlo) {
+  const ScenarioConfig cfg = micro_config();
+  const CostModel cm(1.0, 1.0);  // window = 1.0 * lambda / mu = 1
+  const std::vector<MultiItemRequest> stream = {
+      {0, 0, 1.0},  // birth at s0: free local hit
+      {0, 1, 2.0},  // miss: fetch s0 -> s1, lands at t=3, latency 1 > SLO
+      {0, 1, 3.5},  // hit (copy landed at 3 with window 1)
+  };
+  const NetworkRunResult res = run_network_sim(cfg, cm, stream);
+
+  EXPECT_TRUE(res.feasible);
+  EXPECT_EQ(res.requests, 3u);
+  EXPECT_EQ(res.hits, 2u);
+  EXPECT_EQ(res.misses, 1u);
+  EXPECT_EQ(res.transfers, 1u);
+  EXPECT_EQ(res.joins, 0u);
+  // s0 lives [1, 3] (expired when the transfer lands and its window, last
+  // refreshed at t=2 while serving, lapsed); s1 lives [3, 10] pinned as
+  // the last copy. Caching = 2 + 7 = 9, transfer = 1.
+  EXPECT_NEAR(res.caching_cost, 9.0, 1e-9);
+  EXPECT_NEAR(res.transfer_cost, 1.0, 1e-9);
+  EXPECT_NEAR(res.total_cost, 10.0, 1e-9);
+  EXPECT_NEAR(res.copy_time, 9.0, 1e-9);
+  EXPECT_EQ(res.expirations, 1u);
+  EXPECT_EQ(res.max_copies, 2u);
+  // SLO 0.5: both hits at latency 0 met it, the fetch took 1.0.
+  EXPECT_EQ(res.slo_met, 2u);
+  EXPECT_EQ(res.slo_missed, 1u);
+  EXPECT_NEAR(res.latency_max, 1.0, 1e-9);
+  EXPECT_NEAR(res.horizon, 10.0, 1e-9);
+}
+
+TEST(NetworkSim, RequestsJoinInFlightTransfers) {
+  const ScenarioConfig cfg = micro_config();
+  const CostModel cm(1.0, 1.0);
+  const std::vector<MultiItemRequest> stream = {
+      {0, 0, 1.0},  // birth
+      {0, 1, 2.0},  // miss: fetch lands t=3
+      {0, 1, 2.5},  // joins the same transfer, waits 0.5 (meets SLO)
+  };
+  const NetworkRunResult res = run_network_sim(cfg, cm, stream);
+  EXPECT_EQ(res.transfers, 1u);  // no duplicate fetch
+  EXPECT_EQ(res.joins, 1u);
+  EXPECT_EQ(res.misses, 2u);
+  EXPECT_EQ(res.slo_met, 2u);  // birth hit + the join (0.5 <= 0.5)
+  EXPECT_EQ(res.slo_missed, 1u);
+  EXPECT_NEAR(res.latency_max, 1.0, 1e-9);
+}
+
+TEST(NetworkSim, FiniteSlotsQueueTransfersFifo) {
+  ScenarioConfig cfg = micro_config();
+  cfg.transfer_slots = 1;
+  const CostModel cm(1.0, 1.0);
+  // Both items live only on s0; two fetches contend for its single slot.
+  const std::vector<MultiItemRequest> stream = {
+      {0, 0, 0.4},  // item 0 born at s0
+      {1, 0, 0.5},  // item 1 born at s0
+      {0, 1, 1.0},  // fetch item 0 s0 -> s1: starts 1.0, lands 2.0
+      {1, 2, 1.1},  // fetch item 1 s0 -> s2: queued, starts 2.0, lands 3.0
+  };
+  const NetworkRunResult res = run_network_sim(cfg, cm, stream);
+  EXPECT_EQ(res.transfers, 2u);
+  EXPECT_EQ(res.queued_transfers, 1u);
+  // Queued fetch waited for the slot: latency 3.0 - 1.1 = 1.9.
+  EXPECT_NEAR(res.latency_max, 1.9, 1e-9);
+  EXPECT_EQ(res.slo_missed, 2u);  // both fetches breach the 0.5 SLO
+  EXPECT_TRUE(res.feasible);
+}
+
+TEST(NetworkSim, LastCopyIsPinnedForever) {
+  ScenarioConfig cfg = micro_config();
+  const CostModel cm(1.0, 1.0);
+  const std::vector<MultiItemRequest> stream = {{0, 2, 1.0}};
+  const NetworkRunResult res = run_network_sim(cfg, cm, stream);
+  // One copy, window long gone by t=10 — still alive (feasibility).
+  EXPECT_TRUE(res.feasible);
+  EXPECT_EQ(res.expirations, 0u);
+  EXPECT_NEAR(res.copy_time, 9.0, 1e-9);  // [1, 10]
+  EXPECT_NEAR(res.total_cost, 9.0, 1e-9);
+}
+
+TEST(NetworkSim, EpochCollapsesReplicaSets) {
+  ScenarioConfig cfg = micro_config();
+  cfg.window = 20.0;  // windows never lapse inside the horizon
+  const CostModel cm(1.0, 1.0);
+  const std::vector<MultiItemRequest> stream = {
+      {0, 0, 1.0},
+      {0, 1, 1.5},  // fetch s0 -> s1, lands 2.5
+  };
+  const NetworkRunResult keep = run_network_sim(cfg, cm, stream);
+  EXPECT_EQ(keep.expirations, 0u);
+  EXPECT_NEAR(keep.copy_time, (10.0 - 1.0) + (10.0 - 2.5), 1e-9);
+
+  cfg.epoch = 1;  // collapse to the landing copy after every transfer
+  const NetworkRunResult collapse = run_network_sim(cfg, cm, stream);
+  EXPECT_EQ(collapse.expirations, 1u);
+  EXPECT_NEAR(collapse.copy_time, (2.5 - 1.0) + (10.0 - 2.5), 1e-9);
+  EXPECT_LT(collapse.total_cost, keep.total_cost);
+}
+
+TEST(NetworkSim, CostReconciliationAndAccountingInvariants) {
+  const CostModel cm(1.0, 4.0);
+  for (const char* family : {"uniform", "diurnal", "flash", "mixed"}) {
+    ScenarioConfig cfg = ScenarioConfig::parse(
+        std::string("family=") + family +
+        ",servers=6,items=24,users=40000,rate=0.0001,duration=48,seed=3");
+    Rng rng(cfg.seed);
+    const auto stream = gen_scenario_stream(rng, cfg.load);
+    for (const bool adaptive : {false, true}) {
+      AdaptiveOptions opts;
+      opts.delta_base = cm.lambda / cm.mu;
+      AdaptiveController controller(opts);
+      const NetworkRunResult res = run_network_sim(
+          cfg, cm, stream, adaptive ? &controller : nullptr);
+      SCOPED_TRACE(std::string(family) +
+                   (adaptive ? " adaptive" : " static"));
+      EXPECT_TRUE(res.feasible) << res.violations.front();
+      EXPECT_NEAR(res.total_cost, res.caching_cost + res.transfer_cost,
+                  1e-9 * (1.0 + res.total_cost));
+      EXPECT_NEAR(res.caching_cost, cm.mu * res.copy_time,
+                  1e-9 * (1.0 + res.caching_cost));
+      EXPECT_NEAR(res.transfer_cost,
+                  cm.lambda * static_cast<double>(res.transfers),
+                  1e-9 * (1.0 + res.transfer_cost));
+      EXPECT_EQ(res.hits + res.misses, res.requests);
+      EXPECT_EQ(res.slo_met + res.slo_missed, res.requests);
+      EXPECT_EQ(res.requests, stream.size());
+      if (adaptive) {
+        EXPECT_GE(res.final_factor, opts.clamp_lo);
+        EXPECT_LE(res.final_factor, opts.clamp_hi);
+        EXPECT_GT(res.monitor_intervals, 0u);
+      }
+    }
+  }
+}
+
+TEST(NetworkSim, ValidatesConfigNamingField) {
+  const CostModel cm(1.0, 1.0);
+  ScenarioConfig cfg = micro_config();
+  cfg.bandwidth = 0.0;
+  try {
+    (void)run_network_sim(cfg, cm, {});
+    FAIL() << "expected invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("bandwidth"), std::string::npos);
+  }
+}
+
+// ---------------- AdaptiveController ----------------
+
+AdaptiveOptions adaptive_opts() {
+  AdaptiveOptions opts;
+  opts.delta_base = 1.0;
+  return opts;
+}
+
+TEST(Adaptive, IdleIntervalsShrinkToFloor) {
+  AdaptiveController c(adaptive_opts());
+  WindowDecision d;
+  d.factor = 8.0;
+  WindowIntervalStats idle;
+  idle.interval = 1.0;
+  for (int i = 0; i < 10; ++i) d = c.on_interval(idle, d);
+  EXPECT_NEAR(d.factor, adaptive_opts().clamp_lo, 1e-12);
+}
+
+TEST(Adaptive, HotRepeatsGrowTheWindow) {
+  AdaptiveController c(adaptive_opts());
+  WindowDecision d;  // factor 1
+  WindowIntervalStats hot;
+  hot.interval = 1.0;
+  hot.requests = 100;
+  hot.active_pairs = 2;  // 98 repeats: r-hat = 49 per pair per time
+  hot.hits = 90;
+  hot.misses = 10;
+  double prev = d.factor;
+  for (int i = 0; i < 40; ++i) {
+    d = c.on_interval(hot, d);
+    EXPECT_GE(d.factor, prev);
+    prev = d.factor;
+  }
+  EXPECT_NEAR(d.factor, adaptive_opts().clamp_hi, 1e-6);
+  EXPECT_GT(c.rate_estimate(), 1.0);
+}
+
+TEST(Adaptive, SparseOneOffTrafficShrinks) {
+  AdaptiveController c(adaptive_opts());
+  WindowDecision d;
+  WindowIntervalStats sparse;
+  sparse.interval = 1.0;
+  sparse.requests = 20;
+  sparse.active_pairs = 20;  // no repeats at all
+  sparse.misses = 20;
+  for (int i = 0; i < 40; ++i) d = c.on_interval(sparse, d);
+  EXPECT_NEAR(d.factor, adaptive_opts().clamp_lo, 1e-6);
+}
+
+TEST(Adaptive, WasteGuardOverridesRate) {
+  AdaptiveController c(adaptive_opts());
+  WindowDecision d;
+  d.factor = 4.0;
+  WindowIntervalStats waste;
+  waste.interval = 1.0;
+  waste.requests = 50;
+  waste.active_pairs = 5;  // high repeat rate would say grow...
+  waste.hits = 3;
+  waste.expirations = 20;  // ...but copies are dying unused
+  const WindowDecision next = c.on_interval(waste, d);
+  EXPECT_LT(next.factor, d.factor);
+  EXPECT_EQ(next.epoch_transfers, adaptive_opts().prune_epoch);
+}
+
+TEST(Adaptive, SloPressureGrowsTheWindow) {
+  AdaptiveController c(adaptive_opts());
+  WindowDecision d;
+  d.factor = 1.0;
+  WindowIntervalStats pressured;
+  pressured.interval = 1.0;
+  pressured.requests = 40;
+  pressured.active_pairs = 40;  // rate alone would shrink
+  pressured.misses = 40;
+  pressured.slo_missed = 10;  // 25% SLO misses
+  const WindowDecision next = c.on_interval(pressured, d);
+  EXPECT_GT(next.factor, d.factor);
+}
+
+TEST(Adaptive, RejectsBadOptions) {
+  AdaptiveOptions opts = adaptive_opts();
+  opts.delta_base = 0.0;
+  EXPECT_THROW(AdaptiveController{opts}, std::invalid_argument);
+  opts = adaptive_opts();
+  opts.ewma = 1.5;
+  EXPECT_THROW(AdaptiveController{opts}, std::invalid_argument);
+  opts = adaptive_opts();
+  opts.clamp_lo = 2.0;
+  opts.clamp_hi = 1.0;
+  EXPECT_THROW(AdaptiveController{opts}, std::invalid_argument);
+}
+
+// ---------------- run_scenario end to end ----------------
+
+TEST(ScenarioRun, ReportHasAllRowsAndRatios) {
+  const ScenarioConfig cfg = ScenarioConfig::parse(
+      "family=diurnal,servers=6,items=24,users=40000,rate=0.0001,"
+      "duration=48,seed=17");
+  const CostModel cm(1.0, 4.0);
+  const ScenarioReport rep = run_scenario(cfg, cm);
+  ASSERT_EQ(rep.rows.size(), 4u);
+  for (const char* name : {"net-static", "net-adaptive", "sc-instant", "opt"}) {
+    const auto* row = rep.find(name);
+    ASSERT_NE(row, nullptr) << name;
+    EXPECT_GT(row->total, 0.0);
+    // Nothing beats the offline optimum.
+    EXPECT_GE(row->ratio, 1.0 - 1e-9) << name;
+  }
+  EXPECT_NEAR(rep.find("opt")->ratio, 1.0, 1e-12);
+  // The instantaneous SC stays within the paper's 3-competitive bound.
+  EXPECT_LE(rep.find("sc-instant")->ratio, 3.0 + 1e-9);
+  EXPECT_GT(rep.requests, 0u);
+  EXPECT_GT(rep.items_touched, 0u);
+}
+
+TEST(ScenarioRun, SeededRunsAreBitIdentical) {
+  const ScenarioConfig cfg = ScenarioConfig::parse(
+      "family=mixed,servers=6,items=24,users=40000,rate=0.0001,duration=48,"
+      "seed=23");
+  const CostModel cm(1.0, 4.0);
+  const ScenarioReport a = run_scenario(cfg, cm);
+  const ScenarioReport b = run_scenario(cfg, cm);
+  EXPECT_EQ(a.to_json(), b.to_json());
+  EXPECT_EQ(a.to_string(), b.to_string());
+}
+
+TEST(ScenarioRun, JsonCarriesEveryRow) {
+  const ScenarioConfig cfg = ScenarioConfig::parse(
+      "family=flash,servers=6,items=16,users=30000,rate=0.0001,duration=48,"
+      "seed=29");
+  const CostModel cm(1.0, 4.0);
+  const std::string json = run_scenario(cfg, cm).to_json();
+  for (const char* needle :
+       {"\"config\":\"family=flash", "\"requests\":", "\"flashes\":[",
+        "\"net-static\"", "\"net-adaptive\"", "\"sc-instant\"", "\"opt\"",
+        "\"slo_attainment\":", "\"ratio\":"}) {
+    EXPECT_NE(json.find(needle), std::string::npos) << needle;
+  }
+}
+
+TEST(ScenarioRun, SummaryTruncatesRowsByCost) {
+  const ScenarioConfig cfg = ScenarioConfig::parse(
+      "family=uniform,servers=4,items=8,users=20000,rate=0.0001,duration=24,"
+      "seed=31");
+  const CostModel cm(1.0, 4.0);
+  const ScenarioReport rep = run_scenario(cfg, cm);
+  const std::string full = rep.to_string();
+  EXPECT_EQ(full.find("more rows by cost"), std::string::npos);
+  const std::string cut = rep.to_string(2);
+  EXPECT_NE(cut.find("(+2 more rows by cost)"), std::string::npos) << cut;
+  // Cheapest first: opt leads every table.
+  EXPECT_LT(cut.find("opt"), cut.find("net-"));
+}
+
+// Golden pin of the exact summary rendering (same conventions as the
+// ServiceReport::to_string goldens: fixed seed, literal expected string,
+// truncation marker included). Any formatting drift — column order, float
+// precision, the "(+N more rows by cost)" footer — fails here first.
+TEST(ScenarioRun, SummaryMatchesGoldenString) {
+  const ScenarioConfig cfg = ScenarioConfig::parse(
+      "family=flash,servers=4,items=8,users=20000,rate=0.0001,duration=24,"
+      "seed=7");
+  const CostModel cm(1.0, 4.0);
+  const ScenarioReport rep = run_scenario(cfg, cm);
+
+  const std::string kFull =
+      "scenario flash seed 7: 86 requests, 8 items, 1 flashes\n"
+      "+--------------+---------+---------+----------+-----------+------+"
+      "--------+-------+-------+-------+\n"
+      "| policy       | total   | caching | transfer | transfers | hits |"
+      " misses | slo   | p99   | ratio |\n"
+      "+--------------+---------+---------+----------+-----------+------+"
+      "--------+-------+-------+-------+\n"
+      "| opt          | 213.668 | 0.000   | 0.000    | 0         | 0    |"
+      " 0      | 1.000 | 0.000 | 1.000 |\n"
+      "| sc-instant   | 302.656 | 202.656 | 100.000  | 25        | 61   |"
+      " 25     | 1.000 | 0.000 | 1.416 |\n"
+      "| net-adaptive | 309.624 | 197.624 | 112.000  | 28        | 51   |"
+      " 35     | 1.000 | 0.490 | 1.449 |\n"
+      "| net-static   | 342.769 | 242.769 | 100.000  | 25        | 54   |"
+      " 32     | 1.000 | 0.489 | 1.604 |\n"
+      "+--------------+---------+---------+----------+-----------+------+"
+      "--------+-------+-------+-------+\n";
+  EXPECT_EQ(rep.to_string(), kFull);
+
+  const std::string kTruncated =
+      "scenario flash seed 7: 86 requests, 8 items, 1 flashes\n"
+      "+------------+---------+---------+----------+-----------+------+"
+      "--------+-------+-------+-------+\n"
+      "| policy     | total   | caching | transfer | transfers | hits |"
+      " misses | slo   | p99   | ratio |\n"
+      "+------------+---------+---------+----------+-----------+------+"
+      "--------+-------+-------+-------+\n"
+      "| opt        | 213.668 | 0.000   | 0.000    | 0         | 0    |"
+      " 0      | 1.000 | 0.000 | 1.000 |\n"
+      "| sc-instant | 302.656 | 202.656 | 100.000  | 25        | 61   |"
+      " 25     | 1.000 | 0.000 | 1.416 |\n"
+      "+------------+---------+---------+----------+-----------+------+"
+      "--------+-------+-------+-------+\n"
+      "(+2 more rows by cost)\n";
+  EXPECT_EQ(rep.to_string(2), kTruncated);
+}
+
+}  // namespace
+}  // namespace mcdc

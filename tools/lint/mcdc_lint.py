@@ -99,9 +99,11 @@ LAYERING = {
     "baselines": {"core", "model", "util"},
     "service": {"core", "model", "obs", "util", "workload"},
     "engine": {"core", "model", "obs", "service", "util"},
+    "scenlab": {"baselines", "core", "model", "obs", "sim", "util",
+                "workload"},
     # src/mcdc.h (the umbrella header) lives at the src root.
     "": {"analysis", "baselines", "core", "engine", "model", "obs",
-         "paging", "service", "sim", "util", "workload"},
+         "paging", "scenlab", "service", "sim", "util", "workload"},
 }
 
 RULES = ("alloc", "lock", "stamp", "det", "layering")
