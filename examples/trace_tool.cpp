@@ -57,6 +57,7 @@
 #include "baselines/solve.h"
 #include "engine/ingress.h"
 #include "engine/streaming_engine.h"
+#include "model/cost_model.h"
 #include "model/pricing.h"
 #include "core/offline_dp.h"
 #include "core/online_sc.h"
@@ -270,10 +271,10 @@ int cmd_serve(const ArgParser& args) {
   std::printf("stream: m=%d items=%d n=%zu\n", trace.num_servers,
               trace.num_items, trace.stream.size());
 
-  auto run_serial = [&](obs::Observer* ob) {
+  auto run_serial = [&](const ServingCostModel& serving, obs::Observer* ob) {
     SpeculativeCachingOptions opt;
     opt.observer = ob;
-    OnlineDataService service(trace.num_servers, cm, opt);
+    OnlineDataService service(trace.num_servers, serving, opt);
     for (const auto& r : trace.stream) service.request(r.item, r.server, r.time);
     return service.finish();
   };
@@ -392,7 +393,15 @@ int cmd_serve(const ArgParser& args) {
       std::printf("prometheus exposition written to %s\n", path.c_str());
     }
     if (args.get_bool("verify")) {
-      const auto serial = run_serial(nullptr);
+      // The serial reference must serve the same costs the engine resolved
+      // from its config (cost=het:<spec> included), or the comparison is
+      // het-vs-hom by construction.
+      ServingCostModel serving(cm);
+      if (cfg.cost.rfind("het:", 0) == 0) {
+        serving = ServingCostModel(
+            HeterogeneousCostModel::parse(cfg.cost.substr(4)));
+      }
+      const auto serial = run_serial(serving, nullptr);
       const bool identical = serial.total_cost == rep.total_cost &&
                              serial.caching_cost == rep.caching_cost &&
                              serial.transfer_cost == rep.transfer_cost &&
@@ -404,7 +413,7 @@ int cmd_serve(const ArgParser& args) {
       if (!identical) return 1;
     }
   } else {
-    rep = run_serial(telemetry.get());
+    rep = run_serial(ServingCostModel(cm), telemetry.get());
   }
   std::printf("%s\n", rep.to_string(static_cast<std::size_t>(
                           args.get_int("items-top"))).c_str());

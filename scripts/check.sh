@@ -21,7 +21,12 @@
 #      hard-fails unless the adaptive Δt controller beats the static
 #      window on cost (diurnal family) and SLO attainment (flash family),
 #      with feasibility and cost reconciliation asserted in every run
-#   9. mcdc-lint (tools/lint/mcdc_lint.py): the project-specific
+#   9. the heterogeneous-cost gate: ctest -L het (the het model / facade
+#      unit suites, the fuzz het lanes, and bench_het_frontier --quick,
+#      which hard-fails unless SC-het is feasible, reconciles exactly,
+#      never beats the exact optimum, and its measured competitive-ratio
+#      frontier stays under the per-family ceilings)
+#  10. mcdc-lint (tools/lint/mcdc_lint.py): the project-specific
 #      static-analysis pass proving the standing invariants at the
 #      source level (no-alloc / lock-free / stamp-blind / deterministic
 #      closures rooted at the src/util/annotate.h annotations, plus the
@@ -47,6 +52,7 @@
 #                           stress lane (default 3; 0 disables the lane)
 #   MCDC_CHECK_TELEMETRY    non-empty "0": skip the telemetry-export gate
 #   MCDC_CHECK_SCENARIOS    non-empty "0": skip the scenario bench gate
+#   MCDC_CHECK_HET          non-empty "0": skip the heterogeneous-cost gate
 #   MCDC_CHECK_SKIP_LINT    non-empty: skip the mcdc-lint gate
 set -uo pipefail
 cd "$(dirname "$0")/.."
@@ -239,7 +245,29 @@ else
   fi
 fi
 
-# ---- 9. mcdc-lint ---------------------------------------------------------
+# ---- 9. heterogeneous-cost gate -------------------------------------------
+# The het serving path gets its own lane: the het-labelled ctest slice
+# (test_model's metric/parse suites, test_baselines' facade dispatch, the
+# fuzz het lanes cross-checking SC-het against the exact oracle and the
+# het heuristic, and bench_het_frontier --quick). The frontier bench
+# hard-fails unless every run is feasible, reconciles its booked cost
+# against Schedule::cost exactly, never beats OPT, and the per-family
+# empirical competitive ratios stay under their ceilings (near-homogeneous
+# must stay under the paper's proven 3). Reuses the werror build.
+if [ "${MCDC_CHECK_HET:-1}" = "0" ]; then
+  record SKIP "heterogeneous-cost gate (MCDC_CHECK_HET=0)"
+else
+  echo "=== heterogeneous-cost gate (ctest -L het) ==="
+  if cmake --preset werror > /dev/null \
+      && cmake --build --preset werror -j "$JOBS" > /dev/null \
+      && ctest --test-dir build-werror -L het --output-on-failure -j "$JOBS"; then
+    record PASS "heterogeneous-cost gate (ctest -L het + frontier ceilings)"
+  else
+    record FAIL "heterogeneous-cost gate (ctest -L het + frontier ceilings)"
+  fi
+fi
+
+# ---- 10. mcdc-lint --------------------------------------------------------
 # The custom static-analysis pass: call-graph closures rooted at the
 # src/util/annotate.h annotations (no-alloc, lock-free, stamp-blind,
 # deterministic) plus the module include DAG and header self-sufficiency.

@@ -29,14 +29,17 @@ fi
 # repo root: BENCH_engine.json (ingest throughput vs shard count,
 # docs/ENGINE.md), BENCH_service_memory.json (resident footprint of
 # the sparse core vs the dense pre-refactor path, docs/ENGINE.md
-# "Memory model"), and BENCH_scenarios.json (adaptive vs static
-# speculation windows under network time, docs/SCENLAB.md).
+# "Memory model"), BENCH_scenarios.json (adaptive vs static
+# speculation windows under network time, docs/SCENLAB.md), and
+# BENCH_het.json (the heterogeneous-cost competitive frontier,
+# docs/COST_MODELS.md).
 (for b in build/bench/bench_*; do
   echo "===== $b"
   case "$b" in
     */bench_engine_throughput) "$b" --out=BENCH_engine.json ;;
     */bench_service_memory) "$b" --out=BENCH_service_memory.json ;;
     */bench_scenarios) "$b" --out=BENCH_scenarios.json ;;
+    */bench_het_frontier) "$b" --out=BENCH_het.json ;;
     *) "$b" ;;
   esac
 done) 2>&1 | tee bench_output.txt
@@ -48,4 +51,4 @@ build/examples/trace_tool gen --out=build/obs_trace.csv --kind=mobility \
 build/examples/trace_tool online --in=build/obs_trace.csv --epoch=16 \
   --metrics-out=metrics.json --trace-out=trace.jsonl > /dev/null
 
-echo "done: test_output.txt, bench_output.txt, BENCH_engine.json, BENCH_scenarios.json, metrics.json, trace.jsonl"
+echo "done: test_output.txt, bench_output.txt, BENCH_engine.json, BENCH_scenarios.json, BENCH_het.json, metrics.json, trace.jsonl"

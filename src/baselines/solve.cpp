@@ -4,12 +4,21 @@
 #include <stdexcept>
 #include <string>
 #include <utility>
+#include <vector>
 
 #include "baselines/offline_exact.h"
+#include "baselines/offline_het_heuristic.h"
 #include "baselines/offline_quadratic.h"
 #include "util/contracts.h"
 
 namespace mcdc {
+
+namespace {
+
+/// The exact solver's hard cap on active servers (O(n * 3^a)).
+constexpr int kExactActiveServerCap = 14;
+
+}  // namespace
 
 const char* to_string(OfflineAlgorithm algorithm) {
   switch (algorithm) {
@@ -21,6 +30,8 @@ const char* to_string(OfflineAlgorithm algorithm) {
       return "quadratic";
     case OfflineAlgorithm::kExact:
       return "exact";
+    case OfflineAlgorithm::kHetHeuristic:
+      return "het";
   }
   MCDC_UNREACHABLE("bad OfflineAlgorithm %d", static_cast<int>(algorithm));
 }
@@ -31,8 +42,23 @@ OfflineAlgorithm parse_offline_algorithm(const char* name) {
   if (s == "dp") return OfflineAlgorithm::kDp;
   if (s == "quadratic") return OfflineAlgorithm::kQuadratic;
   if (s == "exact") return OfflineAlgorithm::kExact;
+  if (s == "het") return OfflineAlgorithm::kHetHeuristic;
   throw std::invalid_argument("unknown offline algorithm: " + s +
-                              " (expected auto|dp|quadratic|exact)");
+                              " (expected auto|dp|quadratic|exact|het)");
+}
+
+int count_active_servers(const RequestSequence& seq) {
+  std::vector<bool> seen(static_cast<std::size_t>(seq.m()), false);
+  seen[static_cast<std::size_t>(seq.origin())] = true;
+  int active = 1;
+  for (RequestIndex i = 1; i <= seq.n(); ++i) {
+    const ServerId s = seq.server(i);
+    if (!seen[static_cast<std::size_t>(s)]) {
+      seen[static_cast<std::size_t>(s)] = true;
+      ++active;
+    }
+  }
+  return active;
 }
 
 SolveResult solve_offline(const RequestSequence& seq, const CostModel& cm,
@@ -84,6 +110,92 @@ SolveResult solve_offline(const RequestSequence& seq, const CostModel& cm,
       res.schedule = std::move(r.schedule);
       res.has_schedule = r.has_schedule;
       res.final_holders = std::move(r.final_holders);
+      break;
+    }
+    case OfflineAlgorithm::kHetHeuristic: {
+      // Exact under homogeneity — the lift makes this a legal backend for
+      // the homogeneous facade too (differential tests use it).
+      auto r = solve_offline_het_heuristic(
+          seq, HeterogeneousCostModel(seq.m(), cm));
+      res.optimal_cost = r.cost;
+      res.C = std::move(r.C);
+      res.D = std::move(r.D);
+      if (options.schedule) {
+        res.schedule = std::move(r.schedule);
+        res.has_schedule = true;
+      }
+      break;
+    }
+    case OfflineAlgorithm::kAuto:
+      MCDC_UNREACHABLE("kAuto resolved above");
+  }
+  return res;
+}
+
+SolveResult solve_offline(const RequestSequence& seq,
+                          const HeterogeneousCostModel& cm,
+                          const SolveOptions& options) {
+  if (cm.m() != seq.m()) {
+    throw std::invalid_argument(
+        "solve_offline: heterogeneous model is sized for " +
+        std::to_string(cm.m()) + " servers, sequence for " +
+        std::to_string(seq.m()));
+  }
+  OfflineAlgorithm algorithm = options.algorithm;
+  const bool has_upload = !std::isinf(options.upload_cost);
+  if (algorithm == OfflineAlgorithm::kAuto) {
+    if (cm.is_exactly_homogeneous() && !has_upload) {
+      algorithm = OfflineAlgorithm::kDp;
+    } else if (count_active_servers(seq) <= kExactActiveServerCap) {
+      algorithm = OfflineAlgorithm::kExact;
+    } else {
+      algorithm = OfflineAlgorithm::kHetHeuristic;
+    }
+  }
+  if (has_upload && algorithm != OfflineAlgorithm::kExact) {
+    throw std::invalid_argument(
+        std::string("solve_offline: upload_cost requires the exact solver, "
+                    "not ") +
+        to_string(algorithm));
+  }
+
+  SolveResult res;
+  res.algorithm = algorithm;
+  switch (algorithm) {
+    case OfflineAlgorithm::kDp:
+    case OfflineAlgorithm::kQuadratic: {
+      if (!cm.is_homogeneous()) {
+        throw std::invalid_argument(
+            std::string("solve_offline: ") + to_string(algorithm) +
+            " requires a homogeneous cost model (its optimality proof "
+            "does); use auto, exact, or het");
+      }
+      return solve_offline(seq, cm.as_homogeneous(), [&] {
+        SolveOptions o = options;
+        o.algorithm = algorithm;
+        return o;
+      }());
+    }
+    case OfflineAlgorithm::kExact: {
+      ExactSolverOptions ex;
+      ex.upload_cost = options.upload_cost;
+      ex.reconstruct_schedule = options.schedule;
+      auto r = solve_offline_exact(seq, cm, ex);
+      res.optimal_cost = r.optimal_cost;
+      res.schedule = std::move(r.schedule);
+      res.has_schedule = r.has_schedule;
+      res.final_holders = std::move(r.final_holders);
+      break;
+    }
+    case OfflineAlgorithm::kHetHeuristic: {
+      auto r = solve_offline_het_heuristic(seq, cm);
+      res.optimal_cost = r.cost;
+      res.C = std::move(r.C);
+      res.D = std::move(r.D);
+      if (options.schedule) {
+        res.schedule = std::move(r.schedule);
+        res.has_schedule = true;
+      }
       break;
     }
     case OfflineAlgorithm::kAuto:

@@ -13,10 +13,13 @@
 // forward through here; the two-argument solve_offline(seq, cm) remains
 // the DP and is unaffected.
 //
-// Layering: the facade lives in baselines/ because it must see all three
+// Layering: the facade lives in baselines/ because it must see all the
 // backends; core/ stays free of upward dependencies. Heterogeneous models
-// and window solves remain exact-solver-only capabilities and keep their
-// specific entry points.
+// go through the solve_offline(seq, HeterogeneousCostModel, options)
+// overload: kAuto picks the DP for exactly-homogeneous matrices, the
+// exact oracle when the active-server count permits, and the het
+// heuristic upper bound beyond that. Window solves remain an
+// exact-solver-only capability with their specific entry point.
 #pragma once
 
 #include <cstdint>
@@ -31,11 +34,15 @@
 namespace mcdc {
 
 enum class OfflineAlgorithm : std::uint8_t {
-  kAuto,       ///< kExact when upload_cost is finite (only it supports beta),
-               ///< otherwise the O(mn) DP
+  kAuto,       ///< homogeneous: kExact when upload_cost is finite (only it
+               ///< supports beta), otherwise the O(mn) DP. Heterogeneous:
+               ///< kDp on an exactly-homogeneous matrix, else kExact when
+               ///< <= 14 request servers, else kHetHeuristic.
   kDp,         ///< the paper's O(mn) algorithm (core/offline_dp.h)
   kQuadratic,  ///< the O(n^2) reference recurrence (no schedule output)
   kExact,      ///< the O(n * 3^a) replica-set oracle; needs <= 14 request servers
+  kHetHeuristic,  ///< the heterogeneous recurrence (upper bound; exact
+                  ///< under homogeneity — baselines/offline_het_heuristic.h)
 };
 
 const char* to_string(OfflineAlgorithm algorithm);
@@ -86,5 +93,16 @@ struct SolveResult {
 /// from core/offline_dp.h, kept intact for existing callers.
 SolveResult solve_offline(const RequestSequence& seq, const CostModel& cm,
                           const SolveOptions& options);
+
+/// Heterogeneous facade: kAuto dispatches on homogeneity (see the enum).
+/// kDp/kQuadratic are only valid when cm.is_homogeneous() — they run on
+/// cm.as_homogeneous() — because the O(mn) optimality proof needs it.
+SolveResult solve_offline(const RequestSequence& seq,
+                          const HeterogeneousCostModel& cm,
+                          const SolveOptions& options);
+
+/// Servers that actually receive requests (origin included): the exact
+/// solver's `a` in O(n * 3^a), and what kAuto compares against its cap.
+int count_active_servers(const RequestSequence& seq);
 
 }  // namespace mcdc

@@ -10,9 +10,10 @@
 namespace mcdc {
 
 SpeculativeCache::SpeculativeCache(int num_servers, ServerId origin,
-                                   const CostModel& cm,
+                                   const ServingCostModel& cm,
                                    const SpeculativeCachingOptions& options)
-    : cm_(cm), opt_(options), num_servers_(num_servers) {
+    : cm_(cm.hom()), het_hold_(cm.het_ptr()), het_(het_hold_.get()),
+      opt_(options), num_servers_(num_servers) {
   if (num_servers <= 0) {
     throw std::invalid_argument("SpeculativeCache: need at least one server");
   }
@@ -25,16 +26,28 @@ SpeculativeCache::SpeculativeCache(int num_servers, ServerId origin,
   if (opt_.epoch_transfers == 0) {
     throw std::invalid_argument("SpeculativeCache: epoch_transfers must be >= 1");
   }
+  if (het_ != nullptr && het_->m() != num_servers) {
+    throw std::invalid_argument(
+        "SpeculativeCache: heterogeneous model is sized for " +
+        std::to_string(het_->m()) + " servers, cache for " +
+        std::to_string(num_servers));
+  }
   delta_t_ = opt_.speculation_factor * cm_.lambda / cm_.mu;
 
-  // The initial copy on the origin (the paper's c <- 1, data at s^1).
+  // The initial copy on the origin (the paper's c <- 1, data at s^1). No
+  // transfer created it; its re-creation cost is the cheapest way back in,
+  // so that is the window it gets (== delta_t on the homogeneous path).
   const int idx = alloc_copy(origin);
   Copy& c0 = copies_[static_cast<std::size_t>(idx)];
   c0.birth = 0.0;
   c0.last_use = 0.0;
-  c0.expiry = delta_t_;
+  c0.window = het_ == nullptr
+                  ? delta_t_
+                  : opt_.speculation_factor * het_->cheapest_in(origin) /
+                        het_->mu(origin);
+  c0.expiry = c0.window;
   c0.created_by_edge = -1;
-  list_push_back(idx);
+  list_insert_sorted(idx);
   alive_count_ = 1;
   last_request_server_ = origin;
 
@@ -66,26 +79,35 @@ int SpeculativeCache::alloc_copy(ServerId server) {
   return idx;
 }
 
-void SpeculativeCache::list_push_back(int idx) {
+void SpeculativeCache::list_insert_sorted(int idx) {
   Copy& c = copies_[static_cast<std::size_t>(idx)];
-  // The intrusive list is sorted by expiry because time is monotone and
-  // every (re-)insertion sets expiry = now + delta_t; expire_before relies
-  // on popping stale copies strictly from the front.
   MCDC_INVARIANT(c.prev == kNil && c.next == kNil && head_ != idx &&
                      tail_ != idx,
                  "copy %d (server %d) is already linked", idx, c.server);
-  MCDC_INVARIANT(tail_ == kNil ||
-                     copies_[static_cast<std::size_t>(tail_)].expiry <=
-                         c.expiry + kEps,
-                 "push_back would break expiry order (tail=%g, new=%g)",
-                 tail_ == kNil ? 0.0
-                               : copies_[static_cast<std::size_t>(tail_)].expiry,
-                 c.expiry);
-  c.prev = tail_;
-  c.next = kNil;
-  if (tail_ != kNil) copies_[static_cast<std::size_t>(tail_)].next = idx;
-  tail_ = idx;
-  if (head_ == kNil) head_ = idx;
+  // Walk backward from the tail to the first entry whose expiry is <= the
+  // new copy's and insert after it. Equal expiries keep insertion order
+  // (the transfer tie rule: source re-inserted before target dies first),
+  // and on the homogeneous path expiry = now + delta_t with monotone time
+  // means the walk never takes a step — this IS the old push_back, list
+  // state bit for bit. Heterogeneous per-copy windows pay O(alive), which
+  // the paper bounds by a small constant in expectation.
+  int after = tail_;
+  while (after != kNil &&
+         copies_[static_cast<std::size_t>(after)].expiry > c.expiry) {
+    after = copies_[static_cast<std::size_t>(after)].prev;
+  }
+  c.prev = after;
+  if (after == kNil) {
+    c.next = head_;
+    if (head_ != kNil) copies_[static_cast<std::size_t>(head_)].prev = idx;
+    head_ = idx;
+  } else {
+    Copy& a = copies_[static_cast<std::size_t>(after)];
+    c.next = a.next;
+    if (a.next != kNil) copies_[static_cast<std::size_t>(a.next)].prev = idx;
+    a.next = idx;
+  }
+  if (tail_ == kNil || after == tail_) tail_ = idx;
 }
 
 void SpeculativeCache::list_unlink(int idx) {
@@ -110,7 +132,7 @@ void SpeculativeCache::kill(int idx, Time death, bool expired) {
   [[maybe_unused]] const bool erased = copy_index_.erase(c.server);
   MCDC_ASSERT(erased, "kill of unindexed copy on s%d", c.server + 1);
   --alive_count_;
-  result_.caching_cost += cm_.mu * (death - c.birth);
+  result_.caching_cost += mu_of(c.server) * (death - c.birth);
   if (recording_full()) {
     result_.copies.push_back(  // mcdc-lint: allow(alloc) kFull recording only
         CopyLifetime{c.server, c.birth, death, c.last_use, c.created_by_edge});
@@ -120,7 +142,7 @@ void SpeculativeCache::kill(int idx, Time death, bool expired) {
   if (opt_.observer != nullptr) {
     opt_.observer->copy_expired(opt_.trace_item, c.server,
                                 opt_.trace_time_offset + death, expired,
-                                cm_.mu * (death - c.birth));
+                                mu_of(c.server) * (death - c.birth));
   }
   // Return the slab entry to the free list.
   c.server = kNoServer;
@@ -129,10 +151,10 @@ void SpeculativeCache::kill(int idx, Time death, bool expired) {
 }
 
 void SpeculativeCache::expire_before(Time t) {
-  // Copies sit in last-use order == expiry order, so stale copies are at
-  // the front. The front copy is never killed while it is the only one
-  // alive: that is the paper's "extend the last copy" rule, which is
-  // cost-identical to repeated extension by delta_t.
+  // Copies sit in expiry order, so stale copies are at the front. The
+  // front copy is never killed while it is the only one alive: that is
+  // the paper's "extend the last copy" rule, which is cost-identical to
+  // repeated extension by its window.
   while (alive_count_ > 1) {
     const int idx = head_;
     const Copy& c = copies_[static_cast<std::size_t>(idx)];
@@ -161,9 +183,9 @@ bool SpeculativeCache::observe(ServerId server, Time time) {
     // Served by the local copy: refresh its speculative window.
     Copy& c = copies_[static_cast<std::size_t>(local)];
     c.last_use = time;
-    c.expiry = time + delta_t_;
+    c.expiry = time + c.window;
     list_unlink(local);
-    list_push_back(local);
+    list_insert_sorted(local);
     ++result_.hits;
     if (recording_full()) {
       result_.served_by_cache.push_back(true);  // mcdc-lint: allow(alloc) kFull recording only
@@ -174,26 +196,65 @@ bool SpeculativeCache::observe(ServerId server, Time time) {
                                     /*hit=*/true, 0.0, alive_count_);
     }
   } else {
-    // Served by a transfer from the server of r_{i-1}, whose copy is alive
-    // by the extension invariant (Observation 4). The defensive fallback to
-    // the most recently used copy should never trigger: r_{i-1}'s copy was
-    // refreshed last, so it sits at the tail and survives expire_before —
-    // and if it sat on this server, the request would have been a hit.
-    int src_idx = copy_index_.find(last_request_server_);
-    ServerId src = last_request_server_;
-    MCDC_INVARIANT(
-        src_idx != kNil && last_request_server_ != server,
-        "Observation 4: copy of r_{i-1}'s server s%d must be alive on a miss",
-        last_request_server_ + 1);
-    if (src_idx == kNil || src == server) {
-      src_idx = tail_;
-      src = copies_[static_cast<std::size_t>(tail_)].server;
+    int src_idx;
+    ServerId src;
+    if (het_ == nullptr) {
+      // Served by a transfer from the server of r_{i-1}, whose copy is
+      // alive by the extension invariant (Observation 4). The defensive
+      // fallback to the most recently used copy should never trigger:
+      // r_{i-1}'s copy was refreshed last, so it sits at the tail and
+      // survives expire_before — and if it sat on this server, the request
+      // would have been a hit.
+      src_idx = copy_index_.find(last_request_server_);
+      src = last_request_server_;
+      MCDC_INVARIANT(
+          src_idx != kNil && last_request_server_ != server,
+          "Observation 4: copy of r_{i-1}'s server s%d must be alive on a miss",
+          last_request_server_ + 1);
+      if (src_idx == kNil || src == server) {
+        src_idx = tail_;
+        src = copies_[static_cast<std::size_t>(tail_)].server;
+      }
+    } else {
+      // Cheapest-source selection: the alive copy with the smallest
+      // lambda(u, server). Ties prefer r_{i-1}'s copy (Observation 4, so
+      // the homogeneous lift — where every lambda ties — picks exactly
+      // the homogeneous source), then the most recently used, then the
+      // lowest server id for full determinism.
+      src_idx = kNil;
+      src = kNoServer;
+      double best = 0.0;
+      for (int it = head_; it != kNil;
+           it = copies_[static_cast<std::size_t>(it)].next) {
+        const Copy& cand = copies_[static_cast<std::size_t>(it)];
+        const double l = het_->lambda(cand.server, server);
+        bool better = src_idx == kNil || l < best;
+        if (!better && l == best) {
+          const Copy& cur = copies_[static_cast<std::size_t>(src_idx)];
+          if (cand.server == last_request_server_) {
+            better = true;
+          } else if (cur.server != last_request_server_) {
+            better = cand.last_use > cur.last_use ||
+                     (cand.last_use == cur.last_use &&
+                      cand.server < cur.server);
+          }
+        }
+        if (better) {
+          src_idx = it;
+          src = cand.server;
+          best = l;
+        }
+      }
+      MCDC_INVARIANT(src_idx != kNil && src != server,
+                     "cheapest-source scan found no source for s%d",
+                     server + 1);
     }
     if (recording_full()) {
       result_.edges.push_back(  // mcdc-lint: allow(alloc) kFull recording only
           ScTransferEdge{src, server, time, next_request_index_});
     }
-    result_.transfer_cost += cm_.lambda;
+    const double edge_cost = lambda_of(src, server);
+    result_.transfer_cost += edge_cost;
     ++result_.misses;
     if (recording_full()) {
       result_.served_by_cache.push_back(false);  // mcdc-lint: allow(alloc) kFull recording only
@@ -205,31 +266,40 @@ bool SpeculativeCache::observe(ServerId server, Time time) {
     {
       Copy& src_copy = copies_[static_cast<std::size_t>(src_idx)];
       src_copy.last_use = time;
-      src_copy.expiry = time + delta_t_;
+      src_copy.expiry = time + src_copy.window;
     }
     list_unlink(src_idx);
-    list_push_back(src_idx);
+    list_insert_sorted(src_idx);
 
     // alloc_copy may grow the slab, invalidating Copy references — take
-    // the reference only after.
+    // the reference only after. The new copy's window is the per-edge
+    // ski-rental window delta_t(src, server) = factor * lambda / mu_server
+    // (same association as the homogeneous delta_t, so a homogeneous lift
+    // reproduces it bit for bit).
+    const Time window =
+        het_ == nullptr
+            ? delta_t_
+            : opt_.speculation_factor * het_->lambda(src, server) /
+                  het_->mu(server);
     const int idx = alloc_copy(server);
     Copy& c = copies_[static_cast<std::size_t>(idx)];
     c.birth = time;
     c.last_use = time;
-    c.expiry = time + delta_t_;
+    c.window = window;
+    c.expiry = time + window;
     c.created_by_edge =
         recording_full() ? static_cast<int>(result_.edges.size()) - 1 : -1;
-    list_push_back(idx);
+    list_insert_sorted(idx);
     ++alive_count_;
 
     if (opt_.observer != nullptr) {
       const Time abs_time = opt_.trace_time_offset + time;
       opt_.observer->transfer_issued(opt_.trace_item, next_request_index_, src,
-                                     server, abs_time, cm_.lambda);
+                                     server, abs_time, edge_cost);
       opt_.observer->copy_born(opt_.trace_item, server, abs_time);
       opt_.observer->request_served(opt_.trace_item, next_request_index_,
                                     server, abs_time, /*hit=*/false,
-                                    cm_.lambda, alive_count_);
+                                    edge_cost, alive_count_);
     }
 
     if (++epoch_transfers_seen_ >= opt_.epoch_transfers) {
@@ -281,16 +351,29 @@ void SpeculativeCache::finish(Time horizon) {
   }
   result_.total_cost = result_.caching_cost + result_.transfer_cost;
   // Exact booking reconciliation: every lifetime was closed (kill booked
-  // mu*lifetime), every miss booked one lambda, and nothing else was added.
+  // mu*lifetime), every miss booked its edge's lambda, and nothing else
+  // was added. The homogeneous identity is exact; heterogeneous bookings
+  // are bracketed by the extreme edges of the matrix.
   MCDC_INVARIANT(alive_count_ == 0 && copy_index_.empty(),
                  "finish left %zu copies alive", alive_count_);
   MCDC_INVARIANT(!recording_full() || result_.copies.size() >= 1,
                  "full recording closed no lifetimes");
   MCDC_INVARIANT(
-      almost_equal(result_.transfer_cost,
-                   cm_.lambda * static_cast<double>(result_.misses), 1e-7),
+      het_ != nullptr ||
+          almost_equal(result_.transfer_cost,
+                       cm_.lambda * static_cast<double>(result_.misses), 1e-7),
       "transfer booking %g != lambda * misses = %g", result_.transfer_cost,
       cm_.lambda * static_cast<double>(result_.misses));
+  MCDC_INVARIANT(
+      het_ == nullptr ||
+          (result_.transfer_cost >= het_->min_lambda() *
+                                            static_cast<double>(result_.misses) -
+                                        kEps &&
+           result_.transfer_cost <= het_->max_lambda() *
+                                            static_cast<double>(result_.misses) +
+                                        kEps),
+      "transfer booking %g outside [min,max] lambda * misses (%zu misses)",
+      result_.transfer_cost, result_.misses);
   MCDC_INVARIANT(result_.caching_cost >= -kEps && result_.total_cost >= -kEps,
                  "negative booked cost (caching=%g, total=%g)",
                  result_.caching_cost, result_.total_cost);
@@ -308,7 +391,7 @@ std::size_t SpeculativeCache::heap_bytes() const {
 }
 
 OnlineScResult run_speculative_caching(const RequestSequence& seq,
-                                       const CostModel& cm,
+                                       const ServingCostModel& cm,
                                        const SpeculativeCachingOptions& options) {
   SpeculativeCache cache(seq.m(), seq.origin(), cm, options);
   for (RequestIndex i = 1; i <= seq.n(); ++i) {

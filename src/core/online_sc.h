@@ -16,11 +16,13 @@
 //  * State is O(alive copies), not O(m): live copies sit in a small slab
 //    (free-listed, so entries recycle without allocation) indexed by an
 //    open-addressing FlatIndexMap from server id, plus an intrusive doubly
-//    linked list in last-use order. The paper proves the alive set stays
+//    linked list sorted by expiry. The paper proves the alive set stays
 //    small (copies die delta_t after their last use), so a service hosting
 //    millions of items pays a few copies per item, not m slots per item.
-//    Because every use sets expiry = now + delta_t and time is monotone,
-//    the list is also sorted by expiry; expirations pop from the front.
+//    On the homogeneous path every use sets expiry = now + delta_t with
+//    monotone time, so the sorted insert degenerates to a push_back;
+//    heterogeneous copies carry per-edge windows and the insert walks
+//    back over the (small) alive set. Expirations pop from the front.
 //    Each copy is created and killed once, so the per-request work is
 //    amortized O(1) — exactly the constant-time claim of the paper.
 //  * The paper's tie rule for a transfer's pair of simultaneous expirations
@@ -128,9 +130,22 @@ struct OnlineScResult {
 /// per request. Feed strictly increasing request times via observe();
 /// finish() closes all lifetimes. Results accumulate into an
 /// OnlineScResult.
+///
+/// Heterogeneous serving: pass a ServingCostModel wrapping a
+/// HeterogeneousCostModel and every copy carries its own speculation
+/// window delta_t(u,v) = factor * lambda(u,v) / mu_v (the per-edge
+/// ski-rental window: holding the copy the transfer u->v created for
+/// delta_t(u,v) costs exactly that transfer again). Misses are served by
+/// the cheapest alive source (min lambda(u, server), ties to the most
+/// recently used copy — the paper's Observation-4 choice under a
+/// homogeneous lift). A homogeneous-equivalent heterogeneous model is
+/// bit-identical to the CostModel path: same association in every
+/// window/booking expression, and the expiry-sorted insert degenerates to
+/// the homogeneous push_back when all windows are equal.
 class SpeculativeCache {
  public:
-  SpeculativeCache(int num_servers, ServerId origin, const CostModel& cm,
+  SpeculativeCache(int num_servers, ServerId origin,
+                   const ServingCostModel& cm,
                    const SpeculativeCachingOptions& options = {});
 
   /// Process one request; returns true for a cache hit, false for a miss
@@ -146,6 +161,8 @@ class SpeculativeCache {
   /// Transfers in the current epoch (the paper's r).
   std::size_t epoch_transfer_count() const { return epoch_transfers_seen_; }
 
+  /// The homogeneous window (factor * lambda / mu). Heterogeneous
+  /// instances use per-copy windows; this is their representative value.
   Time speculation_window() const { return delta_t_; }
 
   /// Heap bytes owned by this instance (copy slab + index + recording
@@ -162,28 +179,40 @@ class SpeculativeCache {
   static constexpr int kNil = -1;
 
   /// One alive (or free-listed) replica. `prev`/`next` are slab indices of
-  /// the intrusive last-use list; a free entry reuses `next` as the free
-  /// list link.
+  /// the intrusive expiry-ordered list; a free entry reuses `next` as the
+  /// free list link. `window` is this copy's speculation window, fixed at
+  /// creation (== the global delta_t on the homogeneous path).
   struct Copy {
     ServerId server = kNoServer;
     Time birth = 0.0;
     Time expiry = 0.0;
     Time last_use = 0.0;
+    Time window = 0.0;
     int created_by_edge = -1;
     int prev = kNil;
     int next = kNil;
   };
 
   int alloc_copy(ServerId server);
-  void list_push_back(int idx);
+  void list_insert_sorted(int idx);
   void list_unlink(int idx);
   void kill(int idx, Time death, bool expired);
   void expire_before(Time t);
   bool recording_full() const {
     return opt_.recording == RecordingMode::kFull;
   }
+  double mu_of(ServerId s) const {
+    return het_ == nullptr ? cm_.mu : het_->mu(s);
+  }
+  double lambda_of(ServerId from, ServerId to) const {
+    return het_ == nullptr ? cm_.lambda : het_->lambda(from, to);
+  }
 
   CostModel cm_;
+  /// Shared ownership of the heterogeneous matrix (null on the
+  /// homogeneous fast path); het_ caches the raw pointee for the hot loop.
+  std::shared_ptr<const HeterogeneousCostModel> het_hold_;
+  const HeterogeneousCostModel* het_ = nullptr;
   SpeculativeCachingOptions opt_;
   Time delta_t_ = 0.0;
   int num_servers_ = 0;
@@ -191,7 +220,7 @@ class SpeculativeCache {
   std::vector<Copy> copies_;   ///< slab: sized by peak concurrent replicas
   FlatIndexMap copy_index_;    ///< server id -> slab index of its live copy
   int free_head_ = kNil;
-  int head_ = kNil;            ///< intrusive list, last-use == expiry order
+  int head_ = kNil;            ///< intrusive list, sorted by expiry
   int tail_ = kNil;
   std::size_t alive_count_ = 0;
 
@@ -205,9 +234,10 @@ class SpeculativeCache {
 };
 
 /// Convenience driver: run SC over a whole sequence and return the result
-/// (schedule normalized, served_by_cache sized n+1).
+/// (schedule normalized, served_by_cache sized n+1). Accepts CostModel,
+/// HeterogeneousCostModel, or ServingCostModel (implicit conversions).
 OnlineScResult run_speculative_caching(const RequestSequence& seq,
-                                       const CostModel& cm,
+                                       const ServingCostModel& cm,
                                        const SpeculativeCachingOptions& options = {});
 
 }  // namespace mcdc

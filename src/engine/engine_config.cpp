@@ -5,6 +5,7 @@
 #include <stdexcept>
 #include <string>
 
+#include "model/cost_model.h"
 #include "util/contracts.h"
 
 namespace mcdc {
@@ -37,7 +38,7 @@ std::string EngineConfig::to_string() const {
      << ",deterministic=" << (deterministic ? "true" : "false")
      << ",credits=" << producer_credits
      << ",telemetry=" << (telemetry ? "on" : "off")
-     << ",sample_ms=" << sample_ms;
+     << ",sample_ms=" << sample_ms << ",cost=" << cost;
   return os.str();
 }
 
@@ -82,7 +83,7 @@ EngineConfig EngineConfig::parse(const std::string& text) {
           "EngineConfig: malformed token \"" + token +
           "\" (expected key=value with key in "
           "shards|queue|batch|policy|deterministic|credits|telemetry|"
-          "sample_ms)");
+          "sample_ms|cost)");
     }
     const std::string key = token.substr(0, eq);
     const std::string value = token.substr(eq + 1);
@@ -116,11 +117,27 @@ EngineConfig EngineConfig::parse(const std::string& text) {
     } else if (key == "sample_ms") {
       cfg.sample_ms = static_cast<std::size_t>(
           parse_u64(key, value, "a sampler period in ms >= 0; 0 = off"));
+    } else if (key == "cost") {
+      if (value == "hom") {
+        cfg.cost = "hom";
+      } else if (value.rfind("het:", 0) == 0) {
+        // Validate eagerly and store the canonical spec so
+        // parse(to_string()) round-trips exactly.
+        try {
+          cfg.cost =
+              "het:" + HeterogeneousCostModel::parse(value.substr(4)).to_string();
+        } catch (const std::invalid_argument& e) {
+          throw std::invalid_argument("EngineConfig: bad value \"" + value +
+                                      "\" for key \"cost\": " + e.what());
+        }
+      } else {
+        bad_value(key, value, "hom|het:<spec>");
+      }
     } else {
       throw std::invalid_argument(
           "EngineConfig: unknown key \"" + key +
           "\" (expected shards|queue|batch|policy|deterministic|credits|"
-          "telemetry|sample_ms)");
+          "telemetry|sample_ms|cost)");
     }
   }
   return cfg;

@@ -79,8 +79,19 @@ struct EngineConfig {
   /// obs::LockedSink so shard event streams interleave without racing.
   SpeculativeCachingOptions service_options;
 
+  /// Cost model selector: "hom" (the CostModel the engine constructor
+  /// receives) or "het:<spec>" with <spec> in the
+  /// HeterogeneousCostModel::parse grammar (comma-free, so it nests in
+  /// this comma-separated string form). parse() validates the spec
+  /// eagerly and stores the canonical rendering; StreamingEngine resolves
+  /// it against its constructor model (het spec + het constructor model
+  /// is a conflict and throws there). The deterministic merge is
+  /// cost-model-blind, so bit-identity to the serial service holds for
+  /// heterogeneous runs too (fuzz-proven).
+  std::string cost = "hom";
+
   /// Canonical textual form of the scalar fields, e.g.
-  /// "shards=4,queue=1024,batch=64,policy=block,deterministic=true,credits=0,telemetry=off,sample_ms=0".
+  /// "shards=4,queue=1024,batch=64,policy=block,deterministic=true,credits=0,telemetry=off,sample_ms=0,cost=hom".
   /// service_options (pointers, speculation knobs) is not part of the
   /// string form. parse(to_string()) round-trips exactly (property test).
   std::string to_string() const;

@@ -36,7 +36,7 @@ constexpr std::uint64_t kResidentRefreshBatches = 256;
 
 }  // namespace
 
-EngineShard::EngineShard(int index, int num_servers, const CostModel& cm,
+EngineShard::EngineShard(int index, int num_servers, const ServingCostModel& cm,
                          const EngineConfig& cfg,
                          const SpeculativeCachingOptions& options,
                          obs::MetricsRegistry* telemetry_registry)

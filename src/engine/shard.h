@@ -48,7 +48,7 @@ class EngineShard {
   /// the shard pre-allocates its stage latency histograms and span ring
   /// there (and registers its standard per-shard metrics into it when no
   /// observer registry is attached).
-  EngineShard(int index, int num_servers, const CostModel& cm,
+  EngineShard(int index, int num_servers, const ServingCostModel& cm,
               const EngineConfig& cfg,
               const SpeculativeCachingOptions& options,
               obs::MetricsRegistry* telemetry_registry = nullptr);

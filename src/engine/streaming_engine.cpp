@@ -28,7 +28,7 @@ std::size_t StreamingEngine::shard_of(int item, int num_shards) {
   return static_cast<std::size_t>(x % static_cast<std::uint64_t>(num_shards));
 }
 
-StreamingEngine::StreamingEngine(int num_servers, const CostModel& cm,
+StreamingEngine::StreamingEngine(int num_servers, const ServingCostModel& cm,
                                  const EngineConfig& cfg)
     : num_servers_(num_servers), credits_(cfg.producer_credits) {
   if (num_servers <= 0) {
@@ -39,6 +39,29 @@ StreamingEngine::StreamingEngine(int num_servers, const CostModel& cm,
   }
   if (cfg.max_batch == 0) {
     throw std::invalid_argument("StreamingEngine: max_batch must be > 0");
+  }
+  // Resolve the effective cost model: constructor-supplied vs the
+  // EngineConfig::cost string. Exactly one may be heterogeneous.
+  ServingCostModel effective = cm;
+  if (cfg.cost != "hom") {
+    if (cfg.cost.rfind("het:", 0) != 0) {
+      throw std::invalid_argument(
+          "StreamingEngine: EngineConfig::cost must be \"hom\" or "
+          "\"het:<spec>\", got \"" + cfg.cost + "\"");
+    }
+    if (cm.heterogeneous()) {
+      throw std::invalid_argument(
+          "StreamingEngine: both the constructor cost model and "
+          "EngineConfig::cost are heterogeneous — pick one");
+    }
+    effective = ServingCostModel(HeterogeneousCostModel::parse(
+        cfg.cost.substr(4)));
+  }
+  if (effective.het() != nullptr && effective.het()->m() != num_servers) {
+    throw std::invalid_argument(
+        "StreamingEngine: heterogeneous model is sized for " +
+        std::to_string(effective.het()->m()) + " servers, engine for " +
+        std::to_string(num_servers));
   }
   const int shards = cfg.num_shards > 0
                          ? cfg.num_shards
@@ -68,7 +91,7 @@ StreamingEngine::StreamingEngine(int num_servers, const CostModel& cm,
   shards_.reserve(static_cast<std::size_t>(shards));
   for (int i = 0; i < shards; ++i) {
     shards_.push_back(std::make_unique<EngineShard>(
-        i, num_servers, cm, cfg, shard_options, telemetry_registry_));
+        i, num_servers, effective, cfg, shard_options, telemetry_registry_));
   }
   for (auto& s : shards_) s->start();
 }

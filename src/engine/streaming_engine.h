@@ -53,7 +53,17 @@ namespace mcdc {
 
 class StreamingEngine {
  public:
-  StreamingEngine(int num_servers, const CostModel& cm,
+  /// `cm` accepts a CostModel (homogeneous fast path, implicit
+  /// conversion) or a ServingCostModel carrying a HeterogeneousCostModel.
+  /// EngineConfig::cost = "het:<spec>" is an alternative, string-borne way
+  /// to select heterogeneous costs: the spec must be sized for
+  /// `num_servers` and combining it with a heterogeneous `cm` is a
+  /// conflict (std::invalid_argument — two models, no tiebreak). Either
+  /// way the shards' services serve per-pair costs; the deterministic
+  /// merge itself never reads the cost model, so the bit-identity
+  /// contract below is unchanged (het lane of the differential fuzz
+  /// tower).
+  StreamingEngine(int num_servers, const ServingCostModel& cm,
                   const EngineConfig& cfg = {});
 
   /// Joins any still-running workers; results are discarded if finish()

@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <cmath>
 #include <deque>
+#include <memory>
 #include <stdexcept>
+#include <string>
 #include <utility>
 
 #include "obs/latency_histogram.h"
@@ -23,6 +25,11 @@ struct CopySlot {
   bool doomed = false;
   Time expiry = 0.0;
   Time birth = 0.0;
+  /// The transfer-cost edge this copy arrived over (cheapest_in for a
+  /// born copy): its speculation window is factor * lam_in / mu_s for the
+  /// copy's whole life, refreshed with the current factor. Equals the
+  /// global lambda on the homogeneous path.
+  double lam_in = 0.0;
   std::uint64_t gen = 0;
   std::uint64_t ordinal = 0;
   std::uint32_t sourcing = 0;
@@ -39,10 +46,15 @@ struct Transfer {
 
 class NetworkSimulator {
  public:
-  NetworkSimulator(const ScenarioConfig& cfg, const CostModel& cm,
+  NetworkSimulator(const ScenarioConfig& cfg, const ServingCostModel& cm,
                    const std::vector<MultiItemRequest>& stream,
                    WindowController* controller)
-      : cfg_(cfg), cm_(cm), stream_(stream), controller_(controller) {
+      : cfg_(cfg),
+        cm_(cm.hom()),
+        het_hold_(cm.het_ptr()),
+        het_(het_hold_.get()),
+        stream_(stream),
+        controller_(controller) {
     validate();
     const std::size_t slots =
         static_cast<std::size_t>(cfg_.load.num_items) *
@@ -70,11 +82,30 @@ class NetworkSimulator {
            static_cast<std::size_t>(s);
   }
 
-  Time window() const { return decision_.factor * cm_.lambda / cm_.mu; }
+  double mu_of(ServerId s) const {
+    return het_ == nullptr ? cm_.mu : het_->mu(s);
+  }
+  double lambda_of(ServerId from, ServerId to) const {
+    return het_ == nullptr ? cm_.lambda : het_->lambda(from, to);
+  }
+  /// The copy's speculation window under the current factor. Homogeneous
+  /// lifts evaluate factor * lambda / mu in the same left-to-right order
+  /// as the original global window, so they stay bit-identical.
+  Time window_of(const CopySlot& c, ServerId s) const {
+    return decision_.factor * c.lam_in / mu_of(s);
+  }
+  /// Link occupancy of a transfer: the base size/bw time scaled by how
+  /// far the copy travels relative to the closest pair. Homogeneous:
+  /// lambda/min_lambda == 1.0 exactly, so the duration is xfer_time_.
+  Time xfer_dur(ServerId src, ServerId dst) const {
+    return het_ == nullptr
+               ? xfer_time_
+               : xfer_time_ * (het_->lambda(src, dst) / het_->min_lambda());
+  }
 
   void validate() const;
   void refresh(int item, ServerId s, Time now);
-  void place_copy(int item, ServerId s, Time now);
+  void place_copy(int item, ServerId s, Time now, double lam_in);
   void drop_copy(int item, ServerId s, Time now);
   ServerId choose_source(int item, ServerId target) const;
   void start_or_queue(std::size_t tid, Time now);
@@ -87,7 +118,9 @@ class NetworkSimulator {
   void handle_monitor(const Event& e);
 
   const ScenarioConfig& cfg_;
-  const CostModel& cm_;
+  const CostModel cm_;  ///< homogeneous scalars (the fast path)
+  const std::shared_ptr<const HeterogeneousCostModel> het_hold_;
+  const HeterogeneousCostModel* het_;  ///< null = homogeneous
   const std::vector<MultiItemRequest>& stream_;
   WindowController* controller_;
 
@@ -136,6 +169,12 @@ void NetworkSimulator::validate() const {
     throw std::invalid_argument(
         "NetworkSimulator: a controller needs interval > 0");
   }
+  if (het_ != nullptr && het_->m() != cfg_.load.num_servers) {
+    throw std::invalid_argument(
+        "NetworkSimulator: heterogeneous model is sized for " +
+        std::to_string(het_->m()) + " servers, scenario for " +
+        std::to_string(cfg_.load.num_servers));
+  }
   for (const MultiItemRequest& r : stream_) {
     if (r.item < 0 || r.item >= cfg_.load.num_items || r.server < 0 ||
         r.server >= cfg_.load.num_servers) {
@@ -147,7 +186,7 @@ void NetworkSimulator::validate() const {
 
 void NetworkSimulator::refresh(int item, ServerId s, Time now) {
   CopySlot& c = copies_[idx(item, s)];
-  c.expiry = now + window();
+  c.expiry = now + window_of(c, s);
   ++c.gen;
   c.ordinal = ++counter_;
   c.doomed = false;
@@ -155,12 +194,14 @@ void NetworkSimulator::refresh(int item, ServerId s, Time now) {
                static_cast<std::int64_t>(c.gen)});
 }
 
-void NetworkSimulator::place_copy(int item, ServerId s, Time now) {
+void NetworkSimulator::place_copy(int item, ServerId s, Time now,
+                                  double lam_in) {
   CopySlot& c = copies_[idx(item, s)];
   MCDC_ASSERT(!c.present, "duplicate copy at (item %d, server %d)", item,
               static_cast<int>(s));
   c.present = true;
   c.birth = now;
+  c.lam_in = lam_in;
   const int n = ++copy_count_[static_cast<std::size_t>(item)];
   if (static_cast<std::size_t>(n) > out_.max_copies) {
     out_.max_copies = static_cast<std::size_t>(n);
@@ -173,7 +214,11 @@ void NetworkSimulator::drop_copy(int item, ServerId s, Time now) {
   MCDC_ASSERT(c.present && c.sourcing == 0, "dropping a live source");
   c.present = false;
   c.doomed = false;
-  out_.copy_time += now - c.birth;
+  const Time seg = now - c.birth;
+  out_.copy_time += seg;
+  // Per-segment accrual (not one mu * copy_time multiply at the end) so
+  // each server's own mu prices its copy time on the heterogeneous path.
+  out_.caching_cost += mu_of(s) * seg;
   const int n = --copy_count_[static_cast<std::size_t>(item)];
   if (n < 1) {
     out_.feasible = false;
@@ -184,9 +229,40 @@ void NetworkSimulator::drop_copy(int item, ServerId s, Time now) {
 }
 
 ServerId NetworkSimulator::choose_source(int item, ServerId target) const {
+  const ServerId last = last_req_[static_cast<std::size_t>(item)];
+  if (het_ != nullptr) {
+    // Cheapest-lambda holder; ties prefer the last requesting server,
+    // then the most-recently-used copy. With an all-equal matrix every
+    // holder ties, so this reduces to the homogeneous rule below.
+    ServerId best = kNoServer;
+    double best_lam = 0.0;
+    std::uint64_t best_ord = 0;
+    for (ServerId s = 0; s < cfg_.load.num_servers; ++s) {
+      const CopySlot& c = copies_[idx(item, s)];
+      if (!c.present || s == target) continue;
+      const double lam = het_->lambda(s, target);
+      bool better;
+      if (best == kNoServer || lam < best_lam) {
+        better = true;
+      } else if (lam > best_lam) {
+        better = false;
+      } else if (s == last) {
+        better = true;
+      } else if (best == last) {
+        better = false;
+      } else {
+        better = c.ordinal >= best_ord;
+      }
+      if (better) {
+        best = s;
+        best_lam = lam;
+        best_ord = c.ordinal;
+      }
+    }
+    return best;
+  }
   // Prefer the last requesting server (the SC discipline); fall back to
   // the most-recently-used holder.
-  const ServerId last = last_req_[static_cast<std::size_t>(item)];
   if (last != kNoServer && last != target && copies_[idx(item, last)].present) {
     return last;
   }
@@ -210,8 +286,8 @@ void NetworkSimulator::start_or_queue(std::size_t tid, Time now) {
   if (free > 0) {
     --free;
     t.started = true;
-    queue_.push({now + xfer_time_, EventKind::kTransferComplete, 0, t.item,
-                 t.dst, static_cast<std::int64_t>(tid)});
+    queue_.push({now + xfer_dur(t.src, t.dst), EventKind::kTransferComplete, 0,
+                 t.item, t.dst, static_cast<std::int64_t>(tid)});
   } else {
     pending_[static_cast<std::size_t>(t.src)].push_back(tid);
     ++out_.queued_transfers;
@@ -268,9 +344,12 @@ void NetworkSimulator::handle_request(const Event& e) {
 
   if (born_[static_cast<std::size_t>(item)] == 0) {
     // The item is born where it is first requested (split_by_item's
-    // convention): a free local hit, caching starts accruing here.
+    // convention): a free local hit, caching starts accruing here. A born
+    // copy's window edge is its cheapest inbound lambda (no transfer
+    // brought it, matching the SC core's origin-copy convention).
     born_[static_cast<std::size_t>(item)] = 1;
-    place_copy(item, s, e.time);
+    place_copy(item, s, e.time,
+               het_ == nullptr ? cm_.lambda : het_->cheapest_in(s));
     ++out_.hits;
     ++tick_.hits;
     record_latency(0.0);
@@ -308,10 +387,11 @@ void NetworkSimulator::handle_transfer_complete(const Event& e) {
   Transfer& t = transfers_[static_cast<std::size_t>(e.aux)];
   const int item = t.item;
 
-  out_.transfer_cost += cm_.lambda;
+  const double edge = lambda_of(t.src, t.dst);
+  out_.transfer_cost += edge;
   ++out_.transfers;
   inflight_[idx(item, t.dst)] = 0;
-  place_copy(item, t.dst, e.time);
+  place_copy(item, t.dst, e.time, edge);
   for (const auto& [req, arrival] : t.waiters) {
     (void)req;
     record_latency(e.time - arrival);
@@ -330,9 +410,9 @@ void NetworkSimulator::handle_transfer_complete(const Event& e) {
     q.pop_front();
     --free;
     transfers_[next].started = true;
-    queue_.push({e.time + xfer_time_, EventKind::kTransferComplete, 0,
-                 transfers_[next].item, transfers_[next].dst,
-                 static_cast<std::int64_t>(next)});
+    queue_.push({e.time + xfer_dur(transfers_[next].src, transfers_[next].dst),
+                 EventKind::kTransferComplete, 0, transfers_[next].item,
+                 transfers_[next].dst, static_cast<std::int64_t>(next)});
   }
   if (src.doomed && src.sourcing == 0 &&
       copy_count_[static_cast<std::size_t>(item)] > 1) {
@@ -442,10 +522,13 @@ NetworkRunResult NetworkSimulator::run() {
     }
     for (ServerId s = 0; s < cfg_.load.num_servers; ++s) {
       const CopySlot& c = copies_[idx(item, s)];
-      if (c.present) out_.copy_time += out_.horizon - c.birth;
+      if (c.present) {
+        const Time seg = out_.horizon - c.birth;
+        out_.copy_time += seg;
+        out_.caching_cost += mu_of(s) * seg;
+      }
     }
   }
-  out_.caching_cost = cm_.mu * out_.copy_time;
   out_.total_cost = out_.caching_cost + out_.transfer_cost;
   MCDC_INVARIANT(
       almost_equal(out_.total_cost, out_.caching_cost + out_.transfer_cost),
@@ -467,10 +550,28 @@ NetworkRunResult NetworkSimulator::run() {
 }  // namespace
 
 NetworkRunResult run_network_sim(const ScenarioConfig& cfg,
-                                 const CostModel& cm,
+                                 const ServingCostModel& cm,
                                  const std::vector<MultiItemRequest>& stream,
                                  WindowController* controller) {
-  NetworkSimulator sim(cfg, cm, stream, controller);
+  // Resolve cfg.cost against the explicit model, mirroring the engine's
+  // rule: the string form may select heterogeneity, but two heterogeneous
+  // sources conflict.
+  ServingCostModel effective = cm;
+  if (cfg.cost != "hom") {
+    if (cfg.cost.rfind("het:", 0) != 0) {
+      throw std::invalid_argument(
+          "run_network_sim: ScenarioConfig::cost must be \"hom\" or "
+          "\"het:<spec>\", got \"" + cfg.cost + "\"");
+    }
+    if (cm.heterogeneous()) {
+      throw std::invalid_argument(
+          "run_network_sim: both the cost-model argument and "
+          "ScenarioConfig::cost are heterogeneous — pick one");
+    }
+    effective =
+        ServingCostModel(HeterogeneousCostModel::parse(cfg.cost.substr(4)));
+  }
+  NetworkSimulator sim(cfg, effective, stream, controller);
   return sim.run();
 }
 

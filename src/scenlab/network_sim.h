@@ -28,11 +28,24 @@
 // wall clocks and no RNG inside the simulator, so a given (config, stream)
 // replays bit-identically (the scenlab fuzz lane pins this).
 //
-// Accounting mirrors the paper's homogeneous model: caching cost
-// mu * (copy lifetime), transfer cost lambda per completed transfer, and
+// Accounting mirrors the paper's cost model: caching cost mu_s * (copy
+// lifetime at s), transfer cost lambda(u,v) per completed transfer, and
 // total == caching + transfer is enforced exactly (cost reconciliation
 // invariant). Copy lifetimes truncate at the horizon = max(duration, last
 // event time).
+//
+// Heterogeneous costs (ScenarioConfig::cost = "het:<spec>", or a
+// ServingCostModel carrying a HeterogeneousCostModel): fetches pick the
+// cheapest-lambda holder (ties prefer the last requesting server, then
+// the most-recently-used copy — the homogeneous discipline), a transfer
+// u->v occupies its source for (size/bw) * lambda(u,v)/min_lambda (link
+// time scales with distance), costs lambda(u,v), and each copy's
+// speculation window is factor * lambda_in / mu_s where lambda_in is the
+// edge it arrived over (cheapest_in for a born copy). Under an
+// exactly-homogeneous matrix every one of these expressions reduces
+// bit-for-bit to the homogeneous path (x/x == 1.0, same evaluation
+// order), so het-lifted runs replay bit-identically — the scenlab fuzz
+// lane pins this.
 #pragma once
 
 #include <cstddef>
@@ -90,8 +103,14 @@ struct NetworkRunResult {
 /// otherwise the controller retunes (factor, epoch) every cfg.interval.
 /// Items are born at their first request's server (the split_by_item
 /// convention); items never requested cost nothing.
+///
+/// `cm` accepts a CostModel (implicit conversion; the homogeneous path)
+/// or a heterogeneous ServingCostModel. cfg.cost = "het:<spec>" selects
+/// heterogeneity by string instead; combining it with a heterogeneous
+/// `cm` is a conflict (std::invalid_argument), and either way the model
+/// must be sized for cfg.load.num_servers.
 NetworkRunResult run_network_sim(const ScenarioConfig& cfg,
-                                 const CostModel& cm,
+                                 const ServingCostModel& cm,
                                  const std::vector<MultiItemRequest>& stream,
                                  WindowController* controller = nullptr);
 

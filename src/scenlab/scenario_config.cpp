@@ -6,6 +6,7 @@
 #include <stdexcept>
 #include <system_error>
 
+#include "model/cost_model.h"
 #include "util/contracts.h"
 
 namespace mcdc::scenlab {
@@ -33,7 +34,7 @@ namespace {
 constexpr const char* kKeys =
     "family|servers|items|users|rate|duration|period|day_night|flash_every|"
     "flash_len|flash_boost|flash_affinity|zipf_items|zipf_servers|bw|size|"
-    "slots|slo|policy|window|interval|epoch|seed";
+    "slots|slo|policy|window|interval|epoch|seed|cost";
 
 /// Shortest round-trip decimal form, so parse(to_string()) is exact.
 void append_double(std::string& out, double v) {
@@ -126,6 +127,8 @@ std::string ScenarioConfig::to_string() const {
   out += std::to_string(epoch);
   out += ",seed=";
   out += std::to_string(seed);
+  out += ",cost=";
+  out += cost;
   return out;
 }
 
@@ -244,6 +247,22 @@ ScenarioConfig ScenarioConfig::parse(const std::string& text) {
       cfg.epoch = parse_u64(key, value, "an epoch length >= 0; 0 = off");
     } else if (key == "seed") {
       cfg.seed = parse_u64(key, value, "a seed >= 0");
+    } else if (key == "cost") {
+      if (value == "hom") {
+        cfg.cost = "hom";
+      } else if (value.rfind("het:", 0) == 0) {
+        // Validate eagerly and store the canonical spec so
+        // parse(to_string()) round-trips exactly.
+        try {
+          cfg.cost = "het:" +
+                     HeterogeneousCostModel::parse(value.substr(4)).to_string();
+        } catch (const std::invalid_argument& e) {
+          throw std::invalid_argument("ScenarioConfig: bad value \"" + value +
+                                      "\" for key \"cost\": " + e.what());
+        }
+      } else {
+        bad_value(key, value, "hom|het:<spec>");
+      }
     } else {
       throw std::invalid_argument("ScenarioConfig: unknown key \"" + key +
                                   "\" (expected " + std::string(kKeys) + ")");
@@ -271,7 +290,7 @@ bool ScenarioConfig::operator==(const ScenarioConfig& other) const {
          transfer_slots == other.transfer_slots && slo == other.slo &&
          policy == other.policy && window == other.window &&
          interval == other.interval && epoch == other.epoch &&
-         seed == other.seed;
+         seed == other.seed && cost == other.cost;
 }
 
 }  // namespace mcdc::scenlab

@@ -58,12 +58,24 @@ struct ScenarioConfig {
 
   std::uint64_t seed = 1;
 
+  // -- cost model --
+  /// "hom" (unit-ish homogeneous costs supplied by the caller) or
+  /// "het:<spec>" with <spec> in the HeterogeneousCostModel::parse
+  /// grammar (';'/'|' separated, comma-free — it nests inside this
+  /// comma-separated form). parse() validates the spec eagerly and
+  /// canonicalizes it; a het spec must be sized for `servers` (checked
+  /// when the scenario runs, where both are finally known). Per-link
+  /// transfers then cost lambda(u,v), occupy the source for a
+  /// distance-scaled duration, and speculation windows become
+  /// Delta t(u,v) = window * lambda(u,v) / mu(v).
+  std::string cost = "hom";
+
   /// Canonical textual form, e.g.
   /// "family=diurnal,servers=8,items=64,users=100000,rate=0.0001,
   ///  duration=96,period=24,day_night=4,flash_every=24,flash_len=3,
   ///  flash_boost=6,flash_affinity=0.85,zipf_items=0.9,zipf_servers=0.6,
   ///  bw=20,size=10,slots=4,slo=0.75,policy=static,window=1,interval=2,
-  ///  epoch=0,seed=1" (one line, no spaces). Doubles print in shortest
+  ///  epoch=0,seed=1,cost=hom" (one line, no spaces). Doubles print in shortest
   /// round-trip form, so parse(to_string()) is exact.
   std::string to_string() const;
 

@@ -4,9 +4,12 @@
 #include <charconv>
 #include <cmath>
 #include <sstream>
+#include <stdexcept>
 #include <system_error>
+#include <utility>
 
 #include "baselines/solve.h"
+#include "core/online_sc.h"
 #include "sim/policies.h"
 #include "sim/policy_runner.h"
 #include "util/contracts.h"
@@ -129,22 +132,14 @@ std::string ScenarioReport::to_json() const {
   return os.str();
 }
 
-ScenarioReport run_scenario(const ScenarioConfig& cfg, const CostModel& cm) {
-  ScenarioReport rep;
-  rep.config = cfg;
+namespace {
 
-  Rng rng(cfg.seed);
-  const std::vector<MultiItemRequest> stream =
-      gen_scenario_stream(rng, cfg.load, &rep.flashes);
-  rep.requests = stream.size();
-
-  std::vector<std::uint8_t> touched(
-      static_cast<std::size_t>(cfg.load.num_items), 0);
-  for (const MultiItemRequest& r : stream) {
-    touched[static_cast<std::size_t>(r.item)] = 1;
-  }
-  for (const std::uint8_t t : touched) rep.items_touched += t;
-
+/// The homogeneous four-row run, kept verbatim: exactly-homogeneous het
+/// configs are dispatched here (their scalar projection reproduces every
+/// row bit-for-bit).
+ScenarioReport run_scenario_hom(const ScenarioConfig& cfg, const CostModel& cm,
+                                ScenarioReport rep,
+                                const std::vector<MultiItemRequest>& stream) {
   // Network-time rows.
   rep.rows.push_back(row_from_network(run_network_sim(cfg, cm, stream)));
   {
@@ -198,6 +193,138 @@ ScenarioReport run_scenario(const ScenarioConfig& cfg, const CostModel& cm) {
   rep.rows.push_back(sc);
   rep.rows.push_back(opt);
   return rep;
+}
+
+/// The heterogeneous four-row run: per-link network rows, core SC-het for
+/// sc-instant, and the het solve_offline facade for opt.
+ScenarioReport run_scenario_het(const ScenarioConfig& cfg,
+                                const ServingCostModel& scm,
+                                ScenarioReport rep,
+                                const std::vector<MultiItemRequest>& stream) {
+  const HeterogeneousCostModel& het = *scm.het();
+
+  rep.rows.push_back(row_from_network(run_network_sim(cfg, scm, stream)));
+  {
+    AdaptiveOptions opts;
+    // The controller's base window: the worst speculation window any edge
+    // can induce (max over u != v of lambda(u,v)/mu(v)).
+    double base = 0.0;
+    for (ServerId u = 0; u < het.m(); ++u) {
+      for (ServerId v = 0; v < het.m(); ++v) {
+        if (u == v) continue;
+        base = std::max(base, het.speculation_window(u, v));
+      }
+    }
+    opts.delta_base = base;
+    opts.base_epoch = static_cast<std::size_t>(cfg.epoch);
+    AdaptiveController controller(opts);
+    rep.rows.push_back(
+        row_from_network(run_network_sim(cfg, scm, stream, &controller)));
+  }
+
+  const std::vector<RequestSequence> per_item = split_by_item(
+      stream, cfg.load.num_servers, cfg.load.num_items);
+  ScenarioRow sc;
+  sc.policy = "sc-instant";
+  sc.slo_attainment = 1.0;
+  sc.final_factor = cfg.window;
+  ScenarioRow opt;
+  opt.policy = "opt";
+  opt.slo_attainment = 1.0;
+  opt.final_factor = 0.0;
+  SpeculativeCachingOptions sc_opts;
+  sc_opts.speculation_factor = cfg.window;
+  if (cfg.epoch > 0) {
+    sc_opts.epoch_transfers = static_cast<std::size_t>(cfg.epoch);
+  }
+  sc_opts.recording = RecordingMode::kCostsOnly;
+  for (const RequestSequence& seq : per_item) {
+    if (seq.n() == 0) continue;
+    const OnlineScResult res = run_speculative_caching(seq, scm, sc_opts);
+    sc.total += res.total_cost;
+    sc.caching += res.caching_cost;
+    sc.transfer += res.transfer_cost;
+    sc.transfers += res.misses;
+    sc.hits += res.hits;
+    sc.misses += res.misses;
+
+    SolveOptions solve_opts;
+    solve_opts.schedule = false;
+    opt.total += solve_offline(seq, het, solve_opts).optimal_cost;
+  }
+
+  const double opt_total = opt.total;
+  for (ScenarioRow& row : rep.rows) {
+    row.ratio = opt_total > 0.0 ? row.total / opt_total : 1.0;
+  }
+  sc.ratio = opt_total > 0.0 ? sc.total / opt_total : 1.0;
+  opt.ratio = 1.0;
+  rep.rows.push_back(sc);
+  rep.rows.push_back(opt);
+  return rep;
+}
+
+}  // namespace
+
+ScenarioReport run_scenario(const ScenarioConfig& cfg,
+                            const ServingCostModel& cm) {
+  // Resolve cfg.cost against the explicit model (the run_network_sim /
+  // StreamingEngine rule: the string may select heterogeneity; two het
+  // sources conflict).
+  ServingCostModel effective = cm;
+  if (cfg.cost != "hom") {
+    if (cfg.cost.rfind("het:", 0) != 0) {
+      throw std::invalid_argument(
+          "run_scenario: ScenarioConfig::cost must be \"hom\" or "
+          "\"het:<spec>\", got \"" + cfg.cost + "\"");
+    }
+    if (cm.heterogeneous()) {
+      throw std::invalid_argument(
+          "run_scenario: both the cost-model argument and "
+          "ScenarioConfig::cost are heterogeneous — pick one");
+    }
+    effective =
+        ServingCostModel(HeterogeneousCostModel::parse(cfg.cost.substr(4)));
+  }
+  if (effective.het() != nullptr &&
+      effective.het()->m() != cfg.load.num_servers) {
+    throw std::invalid_argument(
+        "run_scenario: heterogeneous model is sized for " +
+        std::to_string(effective.het()->m()) + " servers, scenario for " +
+        std::to_string(cfg.load.num_servers));
+  }
+
+  ScenarioReport rep;
+  rep.config = cfg;
+
+  Rng rng(cfg.seed);
+  const std::vector<MultiItemRequest> stream =
+      gen_scenario_stream(rng, cfg.load, &rep.flashes);
+  rep.requests = stream.size();
+
+  std::vector<std::uint8_t> touched(
+      static_cast<std::size_t>(cfg.load.num_items), 0);
+  for (const MultiItemRequest& r : stream) {
+    touched[static_cast<std::size_t>(r.item)] = 1;
+  }
+  for (const std::uint8_t t : touched) rep.items_touched += t;
+
+  // The row runners receive the resolved model explicitly, so neutralize
+  // the string selector (run_network_sim would otherwise see two
+  // heterogeneous sources and flag the conflict).
+  ScenarioConfig run_cfg = cfg;
+  run_cfg.cost = "hom";
+
+  if (effective.het() == nullptr) {
+    return run_scenario_hom(run_cfg, effective.hom(), std::move(rep), stream);
+  }
+  if (effective.het()->is_exactly_homogeneous()) {
+    // Scalar projection: every row implementation reproduces its
+    // homogeneous output bit-for-bit on this matrix.
+    return run_scenario_hom(run_cfg, effective.het()->as_homogeneous(),
+                            std::move(rep), stream);
+  }
+  return run_scenario_het(run_cfg, effective, std::move(rep), stream);
 }
 
 }  // namespace mcdc::scenlab

@@ -65,8 +65,20 @@ struct ScenarioReport {
   std::string to_json() const;
 };
 
-/// Run all four rows of `cfg` under `cm`. Throws std::invalid_argument on
-/// invalid configs (the message names the offending field).
-ScenarioReport run_scenario(const ScenarioConfig& cfg, const CostModel& cm);
+/// Run all four rows of `cfg` under `cm` (CostModel converts implicitly —
+/// the homogeneous path). Throws std::invalid_argument on invalid configs
+/// (the message names the offending field).
+///
+/// Heterogeneous costs (cfg.cost = "het:<spec>" or a het `cm`; both at
+/// once is a conflict): the network rows serve per-link costs, sc-instant
+/// runs the core SC-het per item (cfg.epoch maps to epoch_transfers), and
+/// opt solves each item through the heterogeneous solve_offline facade
+/// (kAuto: exact oracle when the active-server count permits, the het
+/// heuristic upper bound beyond — ratios are then measured against an
+/// upper bound of OPT). An exactly-homogeneous matrix is dispatched to
+/// the homogeneous row implementations, whose outputs it matches
+/// bit-for-bit.
+ScenarioReport run_scenario(const ScenarioConfig& cfg,
+                            const ServingCostModel& cm);
 
 }  // namespace mcdc::scenlab

@@ -147,11 +147,18 @@ ServiceReport plan_offline_service(const std::vector<MultiItemRequest>& stream,
   return rep;
 }
 
-OnlineDataService::OnlineDataService(int num_servers, const CostModel& cm,
+OnlineDataService::OnlineDataService(int num_servers,
+                                     const ServingCostModel& cm,
                                      const SpeculativeCachingOptions& options)
     : num_servers_(num_servers), cm_(cm), options_(options) {
   if (num_servers <= 0) {
     throw std::invalid_argument("OnlineDataService: need at least one server");
+  }
+  if (cm_.het() != nullptr && cm_.het()->m() != num_servers) {
+    throw std::invalid_argument(
+        "OnlineDataService: heterogeneous model is sized for " +
+        std::to_string(cm_.het()->m()) + " servers, service for " +
+        std::to_string(num_servers));
   }
 }
 

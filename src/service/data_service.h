@@ -108,7 +108,11 @@ ServiceReport plan_offline_service(const std::vector<MultiItemRequest>& stream,
 /// beyond one branch per site.
 class OnlineDataService {
  public:
-  OnlineDataService(int num_servers, const CostModel& cm,
+  /// Accepts CostModel (the homogeneous fast path, implicit conversion)
+  /// or a ServingCostModel carrying a HeterogeneousCostModel — the
+  /// per-item SC instances then serve per-pair costs with distance-scaled
+  /// windows. A heterogeneous model must be sized for `num_servers`.
+  OnlineDataService(int num_servers, const ServingCostModel& cm,
                     const SpeculativeCachingOptions& options = {});
 
   /// Process one request. Returns true when served locally (a hit or the
@@ -140,7 +144,8 @@ class OnlineDataService {
     SpeculativeCache cache;
 
     ItemState(int item_, ServerId origin_, Time birth_, int num_servers,
-              const CostModel& cm, const SpeculativeCachingOptions& options)
+              const ServingCostModel& cm,
+              const SpeculativeCachingOptions& options)
         : item(item_),
           origin(origin_),
           birth(birth_),
@@ -149,7 +154,7 @@ class OnlineDataService {
   };
 
   int num_servers_;
-  CostModel cm_;
+  ServingCostModel cm_;
   SpeculativeCachingOptions options_;
   FlatIndexMap index_;        ///< item id -> slab slot
   Slab<ItemState> items_;     ///< the item arena: born once, freed together

@@ -41,12 +41,14 @@
 
 #include "baselines/offline_exact.h"
 #include "baselines/offline_quadratic.h"
+#include "baselines/solve.h"
 #include "core/offline_dp.h"
 #include "core/online_sc.h"
 #include "core/reductions.h"
 #include "engine/ingress.h"
 #include "engine/streaming_engine.h"
 #include "model/schedule_validator.h"
+#include "scenlab/network_sim.h"
 #include "scenlab/scenario_config.h"
 #include "scenlab/scenario_run.h"
 #include "service/data_service.h"
@@ -502,6 +504,204 @@ TEST(FuzzDifferential, DeterministicEdgeCases) {
     }
     const RequestSequence seq(4, std::move(reqs));
     check_instance(seq, cm, PivotLookup::kBinarySearch, "window-boundary");
+  }
+}
+
+// ---------------- Heterogeneous lane (ctest label: het) ----------------
+//
+// Three cost families, mirroring the bench frontier (bench_het_frontier):
+//   metric-random    lambda = Euclidean distances between random points
+//                    (a metric by construction), log-uniform per-server mu;
+//   tiered           edge_cloud topologies with metric-safe tier prices;
+//   near-homogeneous per-entry relative jitter of 1e-6 around a scalar
+//                    model — heterogeneous to the serving path, but deep
+//                    inside the regime where the paper's intuition holds.
+
+const char* kHetFamilies[] = {"metric-random", "tiered", "near-homogeneous"};
+
+HeterogeneousCostModel random_het_model(Rng& rng, int m, int family) {
+  switch (family) {
+    case 0: {
+      std::vector<double> xs(m), ys(m), mu(m);
+      for (int j = 0; j < m; ++j) {
+        xs[j] = rng.uniform(0.0, 4.0);
+        ys[j] = rng.uniform(0.0, 4.0);
+        mu[j] = std::exp(rng.uniform(-1.0, 1.0));
+      }
+      std::vector<std::vector<double>> lam(
+          m, std::vector<double>(static_cast<std::size_t>(m), 0.0));
+      for (int j = 0; j < m; ++j) {
+        for (int k = 0; k < m; ++k) {
+          if (j == k) continue;
+          const double dx = xs[j] - xs[k];
+          const double dy = ys[j] - ys[k];
+          // The +c floor keeps every edge positive and preserves the
+          // triangle inequality (it adds c to both sides' each leg).
+          lam[j][k] = 0.25 + std::sqrt(dx * dx + dy * dy);
+        }
+      }
+      return {std::move(mu), std::move(lam)};
+    }
+    case 1: {
+      const int edge =
+          1 + static_cast<int>(rng.uniform_int(
+                  static_cast<std::uint64_t>(std::max(m - 1, 1))));
+      const double cross = rng.uniform(0.5, 2.0);
+      // Within-tier prices capped at 2 * cross: the two-hop detour through
+      // the other tier never undercuts a direct edge, so the matrix is a
+      // metric and the constructor's triangle check passes.
+      return HeterogeneousCostModel::edge_cloud(
+          std::min(edge, m), m - std::min(edge, m),
+          std::exp(rng.uniform(0.0, 1.5)), std::exp(rng.uniform(-1.5, 0.0)),
+          rng.uniform(0.1, 2.0 * cross), cross, rng.uniform(0.1, 2.0 * cross));
+    }
+    default: {
+      const double mu0 = std::exp(rng.uniform(-1.0, 1.0));
+      const double l0 = std::exp(rng.uniform(-1.0, 1.5));
+      std::vector<double> mu(m);
+      std::vector<std::vector<double>> lam(
+          m, std::vector<double>(static_cast<std::size_t>(m), 0.0));
+      for (int j = 0; j < m; ++j) {
+        mu[j] = mu0 * (1.0 + rng.uniform(-1e-6, 1e-6));
+        for (int k = 0; k < m; ++k) {
+          if (j != k) lam[j][k] = l0 * (1.0 + rng.uniform(-1e-6, 1e-6));
+        }
+      }
+      return {std::move(mu), std::move(lam)};
+    }
+  }
+}
+
+// One differential pass over a heterogeneous instance: SC-het serves every
+// request, reconciles its booking against the schedule's per-edge price,
+// never beats the exact optimum, and the het heuristic upper-bounds it.
+void check_het_instance(const RequestSequence& seq,
+                        const HeterogeneousCostModel& cm,
+                        const std::string& tag) {
+  SCOPED_TRACE(tag + " " + cm.to_string() + " " + seq.to_string());
+
+  const auto sc = run_speculative_caching(seq, cm);
+  ASSERT_EQ(sc.hits + sc.misses, static_cast<std::size_t>(seq.n()));
+  ASSERT_TRUE(almost_equal(sc.total_cost,
+                           sc.caching_cost + sc.transfer_cost, kTol));
+  // Transfer booking is a sum of real edges of the matrix.
+  const double misses = static_cast<double>(sc.misses);
+  ASSERT_TRUE(less_or_equal(cm.min_lambda() * misses, sc.transfer_cost, kTol));
+  ASSERT_TRUE(less_or_equal(sc.transfer_cost, cm.max_lambda() * misses, kTol));
+  // The recorded schedule is feasible and re-prices to the booked total.
+  const auto val = validate_schedule(sc.schedule, seq);
+  ASSERT_TRUE(val.ok) << "SC-het schedule infeasible: " << val.to_string();
+  ASSERT_TRUE(almost_equal(sc.schedule.cost(cm), sc.total_cost, kTol))
+      << "schedule re-price " << sc.schedule.cost(cm) << " != booked "
+      << sc.total_cost;
+
+  // The heuristic is an upper bound on the exact heterogeneous optimum;
+  // SC never beats that optimum. (The exact oracle is exponential in the
+  // active-server count, so it gates the small instances only.)
+  const auto ub = solve_offline(
+      seq, cm,
+      {.algorithm = OfflineAlgorithm::kHetHeuristic, .schedule = false});
+  if (count_active_servers(seq) <= 8) {
+    const auto opt = solve_offline(
+        seq, cm, {.algorithm = OfflineAlgorithm::kExact, .schedule = false});
+    ASSERT_TRUE(less_or_equal(opt.optimal_cost, sc.total_cost, kTol))
+        << "SC-het beat the exact optimum: SC=" << sc.total_cost
+        << " OPT=" << opt.optimal_cost;
+    ASSERT_TRUE(less_or_equal(opt.optimal_cost, ub.optimal_cost, kTol))
+        << "het heuristic below the exact optimum: heuristic="
+        << ub.optimal_cost << " OPT=" << opt.optimal_cost;
+    // kAuto must agree with the backend it claims to have picked.
+    const auto facade = solve_offline(seq, cm, {.schedule = false});
+    if (facade.algorithm == OfflineAlgorithm::kExact) {
+      ASSERT_EQ(facade.optimal_cost, opt.optimal_cost);
+    }
+  }
+}
+
+TEST(FuzzDifferential, HetLane) {
+  const std::uint64_t iters = env_u64("MCDC_FUZZ_ITERS", 1000);
+  const std::uint64_t base_seed = env_u64("MCDC_FUZZ_SEED", 20170814);
+
+  for (std::uint64_t it = 0; it < iters; ++it) {
+    const std::uint64_t seed = base_seed + 0xD00000000ULL + it;
+    Rng rng(seed);
+    const int m = 2 + static_cast<int>(rng.uniform_int(std::uint64_t{6}));
+    const int n = 1 + static_cast<int>(rng.uniform_int(std::uint64_t{40}));
+    const int family = static_cast<int>(it % 3);
+    const auto het = random_het_model(rng, m, family);
+    const auto seq = random_instance(rng, m, n, het.as_homogeneous());
+    check_het_instance(seq, het,
+                       std::string(kHetFamilies[family]) +
+                           " seed=" + std::to_string(seed));
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+}
+
+// Hom-equivalence lane: an exact homogeneous lift must be BIT-identical
+// to the scalar path through every serving layer — the serial service,
+// the sharded engine (lift delivered via the config string, exercising
+// the parse seam too), and the network-time simulator.
+TEST(FuzzDifferential, HetHomEquivalentBitIdentical) {
+  const std::uint64_t iters = env_u64("MCDC_FUZZ_ITERS", 1000);
+  const std::uint64_t base_seed = env_u64("MCDC_FUZZ_SEED", 20170814);
+
+  for (std::uint64_t it = 0; it < iters; ++it) {
+    const std::uint64_t seed = base_seed + 0xE00000000ULL + it;
+    Rng rng(seed);
+    MultiItemConfig cfg;
+    cfg.num_servers = 2 + static_cast<int>(rng.uniform_int(std::uint64_t{5}));
+    cfg.num_items = 1 + static_cast<int>(rng.uniform_int(std::uint64_t{20}));
+    cfg.num_requests =
+        1 + static_cast<int>(rng.uniform_int(std::uint64_t{150}));
+    cfg.arrival_rate = rng.uniform(0.5, 8.0);
+    const CostModel cm(std::exp(rng.uniform(-2.3, 1.4)),
+                       std::exp(rng.uniform(-2.3, 2.1)));
+    const HeterogeneousCostModel lift(cfg.num_servers, cm);
+    const auto stream = gen_multi_item(rng, cfg);
+
+    SCOPED_TRACE("het-lift seed=" + std::to_string(seed) + " m=" +
+                 std::to_string(cfg.num_servers) + " n=" +
+                 std::to_string(cfg.num_requests));
+
+    OnlineDataService hom_serial(cfg.num_servers, cm);
+    OnlineDataService het_serial(cfg.num_servers, lift);
+    for (const auto& r : stream) {
+      hom_serial.request(r.item, r.server, r.time);
+      het_serial.request(r.item, r.server, r.time);
+    }
+    const ServiceReport want = hom_serial.finish();
+    assert_reports_identical(want, het_serial.finish());
+    if (::testing::Test::HasFatalFailure()) return;
+
+    EngineConfig ecfg;
+    ecfg.num_shards = 1 + static_cast<int>(rng.uniform_int(std::uint64_t{4}));
+    ecfg.cost = "het:" + lift.to_string();
+    StreamingEngine engine(cfg.num_servers, cm, ecfg);
+    IngressSession session = engine.open_producer();
+    for (const auto& r : stream) {
+      ASSERT_TRUE(session.submit(r.item, r.server, r.time));
+    }
+    session.close();
+    assert_reports_identical(want, engine.finish());
+    if (::testing::Test::HasFatalFailure()) return;
+
+    // Network-time simulator: scalar vs lift on the same stream.
+    if (it % 10 == 0) {
+      scenlab::ScenarioConfig scfg;
+      scfg.load.num_servers = cfg.num_servers;
+      scfg.load.num_items = cfg.num_items;
+      const auto hom_net = scenlab::run_network_sim(scfg, cm, stream);
+      const auto het_net = scenlab::run_network_sim(scfg, lift, stream);
+      ASSERT_EQ(hom_net.total_cost, het_net.total_cost);
+      ASSERT_EQ(hom_net.caching_cost, het_net.caching_cost);
+      ASSERT_EQ(hom_net.transfer_cost, het_net.transfer_cost);
+      ASSERT_EQ(hom_net.hits, het_net.hits);
+      ASSERT_EQ(hom_net.misses, het_net.misses);
+      ASSERT_EQ(hom_net.transfers, het_net.transfers);
+      ASSERT_EQ(hom_net.expirations, het_net.expirations);
+      ASSERT_EQ(hom_net.latency_p99, het_net.latency_p99);
+    }
+    if (::testing::Test::HasFatalFailure()) return;
   }
 }
 

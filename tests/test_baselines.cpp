@@ -130,11 +130,13 @@ TEST(Heterogeneous, CheapServerAttractsCaching) {
 
 TEST(Heterogeneous, AsymmetricTransferCostsRespected) {
   // Transfers out of s1 are dear; out of s2 cheap. Serving s3 should
-  // source from s2.
+  // source from s2. Deliberately non-metric (50 > 1 + 1), so the
+  // constructor's triangle check is opted out.
   const HeterogeneousCostModel hcm({1.0, 1.0, 1.0},
                                    {{0.0, 1.0, 50.0},
                                     {1.0, 0.0, 1.0},
-                                    {50.0, 1.0, 0.0}});
+                                    {50.0, 1.0, 0.0}},
+                                   {.require_metric = false});
   const RequestSequence seq(3, {{1, 1.0}, {2, 2.0}});
   const auto res = solve_offline_exact(seq, hcm, {.reconstruct_schedule = true});
   ASSERT_TRUE(res.has_schedule);
@@ -191,7 +193,9 @@ TEST(HetHeuristic, UpperBoundsExactAndStaysClose) {
         }
       }
     }
-    const HeterogeneousCostModel hcm(mu, lambda);
+    // Independently drawn entries can violate the triangle inequality;
+    // the heuristic bound is being measured, not the metric assumption.
+    const HeterogeneousCostModel hcm(mu, lambda, {.require_metric = false});
     const auto seq = random_sequence(rng, m, 12);
     const auto heur = solve_offline_het_heuristic(seq, hcm);
     const auto exact = solve_offline_exact(seq, hcm);
@@ -402,10 +406,43 @@ TEST(SolveFacade, ObserverPassesThroughToDp) {
   EXPECT_TRUE(saw_stage_histogram);
 }
 
+TEST(SolveFacade, HetLiftDispatchesToDpBitIdentical) {
+  // kAuto on an exactly-homogeneous matrix must run the very same DP the
+  // scalar overload runs: identical backend, bit-identical cost tables.
+  Rng rng(37);
+  const CostModel cm(0.8, 1.5);
+  for (int inst = 0; inst < 10; ++inst) {
+    const auto seq = random_sequence(rng, 4, 16);
+    const auto hom = solve_offline(seq, cm, {.schedule = false});
+    const auto lift = solve_offline(seq, HeterogeneousCostModel(seq.m(), cm),
+                                    {.schedule = false});
+    EXPECT_EQ(lift.algorithm, OfflineAlgorithm::kDp);
+    EXPECT_EQ(lift.optimal_cost, hom.optimal_cost);
+    ASSERT_EQ(lift.C.size(), hom.C.size());
+    for (std::size_t i = 0; i < hom.C.size(); ++i) {
+      EXPECT_EQ(lift.C[i], hom.C[i]) << "C[" << i << "]";
+      EXPECT_EQ(lift.D[i], hom.D[i]) << "D[" << i << "]";
+    }
+  }
+  // A truly heterogeneous matrix refuses the homogeneity-only backends
+  // with a message naming the requirement.
+  const auto seq = random_sequence(rng, 3, 8);
+  const HeterogeneousCostModel het({1.0, 2.0, 0.5},
+                                   {{0, 1, 2}, {1, 0, 1.5}, {2, 1.5, 0}});
+  try {
+    solve_offline(seq, het, {.algorithm = OfflineAlgorithm::kDp});
+    FAIL() << "kDp accepted a heterogeneous model";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("homogeneous"), std::string::npos)
+        << e.what();
+  }
+}
+
 TEST(SolveFacade, AlgorithmNamesRoundTrip) {
   for (const auto a :
        {OfflineAlgorithm::kAuto, OfflineAlgorithm::kDp,
-        OfflineAlgorithm::kQuadratic, OfflineAlgorithm::kExact}) {
+        OfflineAlgorithm::kQuadratic, OfflineAlgorithm::kExact,
+        OfflineAlgorithm::kHetHeuristic}) {
     EXPECT_EQ(parse_offline_algorithm(to_string(a)), a);
   }
   EXPECT_THROW(parse_offline_algorithm("newton"), std::invalid_argument);

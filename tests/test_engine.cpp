@@ -616,6 +616,11 @@ TEST(EngineConfig, ToStringParseRoundTrip) {
     cfg.producer_credits = static_cast<std::size_t>(rng.uniform_int(0, 1024));
     cfg.telemetry = rng.bernoulli(0.5);
     cfg.sample_ms = static_cast<std::size_t>(rng.uniform_int(0, 1000));
+    // Only canonical specs round-trip verbatim (parse canonicalizes the
+    // tier shorthand into matrix form; that is pinned separately below).
+    const char* costs[] = {"hom", "het:mu=1|2;lam=0|0.5|0.5|0",
+                           "het:mu=2|2|2;lam=0|1|1|1|0|1|1|1|0"};
+    cfg.cost = costs[rng.uniform_int(3)];
     const std::string text = cfg.to_string();
     const EngineConfig back = EngineConfig::parse(text);
     EXPECT_EQ(back.num_shards, cfg.num_shards) << text;
@@ -626,8 +631,16 @@ TEST(EngineConfig, ToStringParseRoundTrip) {
     EXPECT_EQ(back.producer_credits, cfg.producer_credits) << text;
     EXPECT_EQ(back.telemetry, cfg.telemetry) << text;
     EXPECT_EQ(back.sample_ms, cfg.sample_ms) << text;
+    EXPECT_EQ(back.cost, cfg.cost) << text;
     EXPECT_EQ(back.to_string(), text);
   }
+
+  // The tier shorthand is accepted but canonicalized to matrix form, so
+  // parse(to_string()) is still the identity after one parse.
+  const EngineConfig tiered =
+      EngineConfig::parse("cost=het:mu=3|1;lam=1|2|1;tier=1x1");
+  EXPECT_EQ(tiered.cost, "het:mu=3|1;lam=0|2|2|0");
+  EXPECT_EQ(EngineConfig::parse(tiered.to_string()).cost, tiered.cost);
 }
 
 void expect_parse_error(const std::string& text, const std::string& needle_a,
@@ -657,9 +670,15 @@ TEST(EngineConfig, ParseErrorsNameKeyTokenAndChoices) {
   // Telemetry uses on|off (a mode switch, not a bool).
   expect_parse_error("telemetry=true", "true", "on|off");
   expect_parse_error("sample_ms=fast", "fast", "sample_ms");
+  // Cost model: bad family, and a nested het-spec error surfaces the
+  // inner HeterogeneousCostModel message under the EngineConfig banner.
+  expect_parse_error("cost=bogus", "bogus", "hom|het:<spec>");
+  expect_parse_error("cost=het:mu=1", "cost", "missing key");
+  expect_parse_error("cost=het:mu=1|1;lam=0|1|1", "cost", "m*m=4");
   // Malformed token (no '='): echoed back with the key list.
   expect_parse_error("shards", "shards",
                      "shards|queue|batch|policy|deterministic|credits");
+  expect_parse_error("shards", "shards", "cost");
 
   // Omitted keys keep their defaults; order does not matter.
   const EngineConfig defaults;
@@ -672,6 +691,74 @@ TEST(EngineConfig, ParseErrorsNameKeyTokenAndChoices) {
   EXPECT_EQ(reordered.producer_credits, 2u);
   EXPECT_EQ(reordered.num_shards, 3);
   EXPECT_EQ(reordered.policy, BackpressurePolicy::kSpill);
+}
+
+TEST(StreamingEngine, HeterogeneousConfigConflictsAndSizing) {
+  const HeterogeneousCostModel het(2, CostModel(1.0, 1.0));
+  // Two heterogeneous sources (constructor model AND config string) is a
+  // conflict, not a silent precedence rule.
+  EngineConfig both;
+  both.cost = "het:mu=1|1;lam=0|1|1|0";
+  EXPECT_THROW(StreamingEngine(2, het, both), std::invalid_argument);
+  // The matrix must be sized for the engine, whichever way it arrives.
+  EXPECT_THROW(StreamingEngine(3, het, {}), std::invalid_argument);
+  EXPECT_THROW(StreamingEngine(3, CostModel(1.0, 1.0), both),
+               std::invalid_argument);
+  // A cost string that never went through parse is still validated.
+  EngineConfig bogus;
+  bogus.cost = "nope";
+  EXPECT_THROW(StreamingEngine(2, CostModel(1.0, 1.0), bogus),
+               std::invalid_argument);
+}
+
+TEST(StreamingEngine, HeterogeneousBitIdenticalToSerial) {
+  // Five servers on a line (distances are a metric); per-server mu.
+  const HeterogeneousCostModel het({2.0, 1.0, 4.0, 1.5, 3.0},
+                                   {{0, 1, 3, 6, 10},
+                                    {1, 0, 2, 5, 9},
+                                    {3, 2, 0, 3, 7},
+                                    {6, 5, 3, 0, 4},
+                                    {10, 9, 7, 4, 0}});
+  const ServingCostModel scm = het;
+  const auto stream = make_stream(97, 5, 23, 1200);
+  OnlineDataService service(5, scm);
+  for (const auto& r : stream) service.request(r.item, r.server, r.time);
+  const auto serial = service.finish();
+  EXPECT_GT(serial.total_cost, 0.0);
+  for (int shards : {1, 3}) {
+    EngineConfig cfg;
+    cfg.num_shards = shards;
+    cfg.queue_capacity = 32;
+    cfg.max_batch = 8;
+    StreamingEngine engine(5, scm, cfg);
+    submit_all(engine, stream);
+    SCOPED_TRACE("shards=" + std::to_string(shards));
+    expect_reports_identical(serial, engine.finish());
+  }
+  // Same matrix through the config string instead of the constructor; the
+  // placeholder homogeneous model is superseded, not blended.
+  EngineConfig cfg;
+  cfg.cost = "het:" + het.to_string();
+  StreamingEngine engine(5, CostModel(1.0, 1.0), cfg);
+  submit_all(engine, stream);
+  expect_reports_identical(serial, engine.finish());
+}
+
+TEST(StreamingEngine, HomEquivalentHetLiftBitIdentical) {
+  // An exact homogeneous lift must reproduce the scalar path bit for bit
+  // through the whole engine (merge order included), both when handed in
+  // as a matrix and when parsed out of the config string.
+  const CostModel cm(0.7, 1.3);
+  const auto stream = make_stream(53, 4, 12, 800);
+  const auto serial = run_serial(stream, 4, cm);
+  StreamingEngine lifted(4, HeterogeneousCostModel(4, cm), {});
+  submit_all(lifted, stream);
+  expect_reports_identical(serial, lifted.finish());
+  EngineConfig cfg;
+  cfg.cost = "het:" + HeterogeneousCostModel(4, cm).to_string();
+  StreamingEngine parsed(4, cm, cfg);
+  submit_all(parsed, stream);
+  expect_reports_identical(serial, parsed.finish());
 }
 
 TEST(BoundedQueue, StatsSnapshotUnderOneLock) {

@@ -146,6 +146,156 @@ TEST(HeterogeneousCostModel, ConstructionValidation) {
   EXPECT_THROW(ok.lambda(0, 0), std::invalid_argument);
 }
 
+TEST(HeterogeneousCostModel, ValidationNamesOffendingEntry) {
+  try {
+    HeterogeneousCostModel({1.0, -2.0}, {{0.0, 1.0}, {1.0, 0.0}});
+    FAIL() << "no exception for negative mu";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("mu[1]"), std::string::npos)
+        << e.what();
+  }
+  try {
+    HeterogeneousCostModel({1.0, 1.0}, {{0.0, 1.0}, {-3.0, 0.0}});
+    FAIL() << "no exception for negative lambda";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("lambda(1,0)"), std::string::npos)
+        << e.what();
+  }
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  try {
+    HeterogeneousCostModel({1.0, 1.0}, {{0.0, nan}, {1.0, 0.0}});
+    FAIL() << "no exception for NaN lambda";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("lambda(0,1)"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(HeterogeneousCostModel, TriangleCheckNamesPairAndOptsOut) {
+  // lambda(0,1) = 9 > lambda(0,2) + lambda(2,1) = 2: non-metric.
+  const std::vector<double> mu{1.0, 1.0, 1.0};
+  const std::vector<std::vector<double>> lam{
+      {0.0, 9.0, 1.0}, {9.0, 0.0, 1.0}, {1.0, 1.0, 0.0}};
+  try {
+    HeterogeneousCostModel m(mu, lam);
+    FAIL() << "no exception for a triangle violation";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("triangle"), std::string::npos) << what;
+    EXPECT_NE(what.find("lambda(0,1)"), std::string::npos) << what;
+    EXPECT_NE(what.find("require_metric"), std::string::npos) << what;
+  }
+  const HeterogeneousCostModel ok(mu, lam, {.require_metric = false});
+  EXPECT_FALSE(ok.metric_checked());
+  EXPECT_DOUBLE_EQ(ok.lambda(0, 1), 9.0);
+}
+
+TEST(HeterogeneousCostModel, HotPathAccessorsAndDerivedQuantities) {
+  const HeterogeneousCostModel h({2.0, 1.0, 4.0},
+                                 {{0.0, 1.0, 2.0},
+                                  {1.0, 0.0, 1.5},
+                                  {2.0, 1.5, 0.0}});
+  EXPECT_DOUBLE_EQ(h.min_lambda(), 1.0);
+  EXPECT_DOUBLE_EQ(h.max_lambda(), 2.0);
+  EXPECT_DOUBLE_EQ(h.cheapest_in(0), 1.0);
+  EXPECT_DOUBLE_EQ(h.cheapest_in(2), 1.5);
+  EXPECT_DOUBLE_EQ(h.speculation_window(0, 1), 1.0 / 1.0);
+  EXPECT_DOUBLE_EQ(h.speculation_window(0, 2), 2.0 / 4.0);
+  EXPECT_DOUBLE_EQ(h.caching(2, 3.0), 12.0);
+}
+
+TEST(HeterogeneousCostModel, EdgeCloudTiers) {
+  const auto h =
+      HeterogeneousCostModel::edge_cloud(2, 2, 3.0, 1.0, 1.0, 2.0, 1.0);
+  EXPECT_EQ(h.m(), 4);
+  EXPECT_DOUBLE_EQ(h.mu(0), 3.0);   // edge tier caches dear
+  EXPECT_DOUBLE_EQ(h.mu(3), 1.0);   // cloud tier caches cheap
+  EXPECT_DOUBLE_EQ(h.lambda(0, 1), 1.0);  // within the edge tier
+  EXPECT_DOUBLE_EQ(h.lambda(0, 2), 2.0);  // cross-tier
+  EXPECT_DOUBLE_EQ(h.lambda(2, 3), 1.0);  // within the cloud tier
+  EXPECT_FALSE(h.is_homogeneous());
+  EXPECT_THROW(HeterogeneousCostModel::edge_cloud(0, 0, 1.0, 1.0, 1.0, 1.0,
+                                                  1.0),
+               std::invalid_argument);
+}
+
+TEST(HeterogeneousCostModel, ToStringParseRoundTrip) {
+  const HeterogeneousCostModel h({1.5, 2.0}, {{0.0, 0.75}, {1.25, 0.0}});
+  const auto back = HeterogeneousCostModel::parse(h.to_string());
+  EXPECT_EQ(back, h);
+  EXPECT_EQ(back.to_string(), h.to_string());
+
+  // Tier shorthand builds the same model as the factory.
+  const auto t = HeterogeneousCostModel::parse("tier=2x2;mu=3|1;lam=1|2|1");
+  EXPECT_EQ(t,
+            HeterogeneousCostModel::edge_cloud(2, 2, 3.0, 1.0, 1.0, 2.0, 1.0));
+
+  // metric=off survives the round-trip (it is part of the model identity).
+  const HeterogeneousCostModel nm(
+      {1.0, 1.0, 1.0}, {{0.0, 9.0, 1.0}, {9.0, 0.0, 1.0}, {1.0, 1.0, 0.0}},
+      {.require_metric = false});
+  EXPECT_NE(nm.to_string().find("metric=off"), std::string::npos);
+  EXPECT_EQ(HeterogeneousCostModel::parse(nm.to_string()), nm);
+}
+
+void expect_spec_error(const std::string& spec, const std::string& needle_a,
+                       const std::string& needle_b) {
+  try {
+    HeterogeneousCostModel::parse(spec);
+    FAIL() << "no exception for \"" << spec << "\"";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find(needle_a), std::string::npos) << what;
+    EXPECT_NE(what.find(needle_b), std::string::npos) << what;
+  }
+}
+
+TEST(HeterogeneousCostModel, ParseErrorsNameKeyTokenAndChoices) {
+  expect_spec_error("mu=1|1", "missing key", "lam");
+  expect_spec_error("lam=0|1|1|0", "missing key", "mu");
+  expect_spec_error("mu=1|x;lam=0|1|1|0", "x", "mu");
+  expect_spec_error("mu=1|1;lam=0|1|1|0;bogus=3", "bogus", "mu|lam|tier|metric");
+  expect_spec_error("mu=1|1;lam=0|1|1", "lam", "m*m=4");
+  expect_spec_error("tier=2z2;mu=1|1;lam=1|1|1", "2z2", "tier");
+  expect_spec_error("tier=2x2;mu=1;lam=1|1|1", "mu", "2 values");
+  expect_spec_error("tier=2x2;mu=1|1;lam=1|1", "lam", "3 values");
+  expect_spec_error("mu=1|1;lam=0|1|1|0;metric=maybe", "maybe", "on|off");
+  expect_spec_error("mu", "malformed token", "mu|lam|tier|metric");
+}
+
+TEST(HeterogeneousCostModel, ExactHomogeneityAndProjection) {
+  const HeterogeneousCostModel lift(4, CostModel(0.3, 0.7));
+  EXPECT_TRUE(lift.is_exactly_homogeneous());
+  const CostModel back = lift.as_homogeneous();
+  EXPECT_EQ(back.mu, 0.3);
+  EXPECT_EQ(back.lambda, 0.7);
+  // Near-homogeneous (within almost_equal, not bitwise): the solver
+  // dispatch may treat it as homogeneous, the serving path must not.
+  const HeterogeneousCostModel near({1.0, 1.0 + 1e-12},
+                                    {{0.0, 1.0}, {1.0, 0.0}});
+  EXPECT_TRUE(near.is_homogeneous());
+  EXPECT_FALSE(near.is_exactly_homogeneous());
+}
+
+TEST(ServingCostModel, HomFastPathAndHetCarrier) {
+  const ServingCostModel hom = CostModel(2.0, 3.0);
+  EXPECT_FALSE(hom.heterogeneous());
+  EXPECT_EQ(hom.het(), nullptr);
+  EXPECT_DOUBLE_EQ(hom.hom().mu, 2.0);
+  EXPECT_DOUBLE_EQ(hom.hom().lambda, 3.0);
+
+  const HeterogeneousCostModel h(3, CostModel(2.0, 3.0));
+  const ServingCostModel het = h;
+  ASSERT_TRUE(het.heterogeneous());
+  EXPECT_EQ(het.het()->m(), 3);
+  // The scalar view is the exact projection of an exactly-homogeneous
+  // matrix; copies share the immutable matrix (no deep copy per copy).
+  EXPECT_EQ(het.hom().mu, 2.0);
+  EXPECT_EQ(het.hom().lambda, 3.0);
+  const ServingCostModel copy = het;  // NOLINT(performance-unnecessary-copy-initialization)
+  EXPECT_EQ(copy.het(), het.het());
+}
+
 TEST(Schedule, CostAccounting) {
   const CostModel cm(1.0, 1.0);
   Schedule s;

@@ -490,5 +490,72 @@ TEST(CompetitiveAdversarial, JustPastWindowAlternation) {
   EXPECT_GT(ratio, 1.2);  // genuinely adversarial: well above trivial
 }
 
+// ---------------- Heterogeneous serving semantics ----------------
+
+TEST(OnlineScHet, CheapestAliveSourceAndPerEdgeAccounting) {
+  // Three servers on a line at positions 0, 1, 3 (distances are a metric).
+  const HeterogeneousCostModel het({1.0, 1.0, 2.0},
+                                   {{0, 1, 3}, {1, 0, 2}, {3, 2, 0}});
+  // Origin copy on s0: window = cheapest_in(0)/mu(0) = 1, so r_1 at t=1.0
+  // hits exactly at expiry and refreshes to 2.0.
+  const RequestSequence seq(3, {{0, 1.0}, {1, 1.1}, {2, 1.2}});
+  const auto res = run_speculative_caching(seq, het);
+  EXPECT_EQ(res.hits, 1u);
+  EXPECT_EQ(res.misses, 2u);
+  // r_2 pulls over lambda(0,1) = 1. For r_3 both s0 and s1 hold live
+  // copies; the cheapest-source rule picks s1 (lambda 2) over s0
+  // (lambda 3), so the transfer books 1 + 2, not 1 + 3.
+  EXPECT_NEAR(res.transfer_cost, 3.0, kTol);
+  // Per-server accrual: s0 holds [0, 1.2] at mu=1, s1 holds [1.1, 1.2]
+  // at mu=1, s2 is born at the horizon.
+  EXPECT_NEAR(res.caching_cost, 1.3, kTol);
+  EXPECT_NEAR(res.total_cost, res.caching_cost + res.transfer_cost, kTol);
+}
+
+TEST(OnlineScHet, PerEdgeWindowScalesWithTransferCost) {
+  // The copy created at s2 by the lambda(1,2)=2 transfer gets window
+  // lambda(1,2)/mu(2) = 1, not the homogeneous-global window: a request
+  // at exactly birth + 1 still hits.
+  const HeterogeneousCostModel het({1.0, 1.0, 2.0},
+                                   {{0, 1, 3}, {1, 0, 2}, {3, 2, 0}});
+  const RequestSequence seq(3, {{0, 1.0}, {1, 1.1}, {2, 1.2}, {2, 2.2}});
+  const auto res = run_speculative_caching(seq, het);
+  EXPECT_EQ(res.hits, 2u);
+  EXPECT_EQ(res.misses, 2u);
+  EXPECT_NEAR(res.transfer_cost, 3.0, kTol);
+}
+
+TEST(OnlineScHet, HomLiftBitIdenticalOnRandomSequences) {
+  // The exact homogeneous lift must reproduce the scalar fast path bit
+  // for bit — costs, counters, everything — across random sequences,
+  // cost scalars, and speculation factors.
+  Rng rng(20170814);
+  for (int iter = 0; iter < 50; ++iter) {
+    const int m = 2 + static_cast<int>(rng.uniform_int(std::uint64_t(5)));
+    const int n = 1 + static_cast<int>(rng.uniform_int(std::uint64_t(40)));
+    std::vector<Request> reqs;
+    Time t = 0.0;
+    for (int i = 0; i < n; ++i) {
+      t += rng.uniform(0.01, 3.0);
+      reqs.push_back(
+          {static_cast<ServerId>(rng.uniform_int(std::uint64_t(m))), t});
+    }
+    const RequestSequence seq(m, std::move(reqs));
+    const CostModel cm(rng.uniform(0.5, 2.0), rng.uniform(0.5, 4.0));
+    SpeculativeCachingOptions opts;
+    opts.speculation_factor = rng.uniform(0.5, 2.0);
+    const auto hom = run_speculative_caching(seq, cm, opts);
+    const auto het =
+        run_speculative_caching(seq, HeterogeneousCostModel(m, cm), opts);
+    SCOPED_TRACE("iter " + std::to_string(iter));
+    EXPECT_EQ(het.total_cost, hom.total_cost);
+    EXPECT_EQ(het.caching_cost, hom.caching_cost);
+    EXPECT_EQ(het.transfer_cost, hom.transfer_cost);
+    EXPECT_EQ(het.hits, hom.hits);
+    EXPECT_EQ(het.misses, hom.misses);
+    EXPECT_EQ(het.expirations, hom.expirations);
+  }
+}
+
 }  // namespace
 }  // namespace mcdc

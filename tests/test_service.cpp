@@ -102,6 +102,56 @@ TEST(OnlineService, ThreeCompetitivePerItem) {
   EXPECT_GE(online.total_cost, offline.total_cost - 1e-6);
 }
 
+TEST(OnlineService, HomEquivalentHetLiftBitIdentical) {
+  // The exact homogeneous lift through the whole multi-item service:
+  // every aggregate and per-item field must match the scalar path bit
+  // for bit (the serving loops share code; the lift must not perturb a
+  // single float).
+  Rng rng(31);
+  const CostModel cm(0.8, 1.7);
+  MultiItemConfig cfg;
+  cfg.num_servers = 5;
+  cfg.num_items = 9;
+  cfg.num_requests = 500;
+  const auto stream = gen_multi_item(rng, cfg);
+
+  OnlineDataService hom_service(cfg.num_servers, cm);
+  OnlineDataService het_service(
+      cfg.num_servers, HeterogeneousCostModel(cfg.num_servers, cm));
+  for (const auto& r : stream) {
+    hom_service.request(r.item, r.server, r.time);
+    het_service.request(r.item, r.server, r.time);
+  }
+  const auto hom = hom_service.finish();
+  const auto het = het_service.finish();
+  EXPECT_EQ(het.total_cost, hom.total_cost);
+  EXPECT_EQ(het.caching_cost, hom.caching_cost);
+  EXPECT_EQ(het.transfer_cost, hom.transfer_cost);
+  ASSERT_EQ(het.per_item.size(), hom.per_item.size());
+  for (std::size_t i = 0; i < hom.per_item.size(); ++i) {
+    EXPECT_EQ(het.per_item[i].cost, hom.per_item[i].cost);
+    EXPECT_EQ(het.per_item[i].hits, hom.per_item[i].hits);
+    EXPECT_EQ(het.per_item[i].transfers, hom.per_item[i].transfers);
+  }
+  EXPECT_EQ(het.to_string(), hom.to_string());
+}
+
+TEST(OnlineService, HeterogeneousModelMustMatchServerCount) {
+  const HeterogeneousCostModel het(3, CostModel(1.0, 1.0));
+  try {
+    OnlineDataService service(4, het);
+    FAIL() << "no exception for a 3-server model on a 4-server service";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find('3'), std::string::npos) << what;
+    EXPECT_NE(what.find('4'), std::string::npos) << what;
+  }
+  OnlineDataService ok(3, het);  // matching sizes construct fine
+  ok.request(0, 1, 1.0);
+  ok.request(0, 2, 2.0);
+  EXPECT_GT(ok.finish().total_cost, 0.0);
+}
+
 TEST(OnlineService, Errors) {
   const CostModel cm(1.0, 1.0);
   OnlineDataService service(2, cm);

@@ -131,7 +131,7 @@ def main():
           f"{proc.stdout}{proc.stderr}")
     roots = report["annotation_roots"]
     for tag, floor in (("no_alloc", 3), ("lock_free", 3),
-                       ("deterministic", 6), ("hot_path", 5),
+                       ("deterministic", 6), ("hot_path", 8),
                        ("alloc_ok", 2)):
         check(len(roots.get(tag, [])) >= floor,
               f"expected >= {floor} {tag} annotations in the tree, found "
