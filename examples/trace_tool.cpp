@@ -40,12 +40,14 @@
 // track) and `--prom-out=metrics.prom` (Prometheus text exposition of
 // the engine's telemetry registry); either flag forces
 // EngineConfig::telemetry on.
+#include <algorithm>
 #include <atomic>
 #include <cstdio>
 #include <exception>
 #include <fstream>
 #include <iostream>
 #include <memory>
+#include <span>
 #include <string>
 #include <thread>
 #include <vector>
@@ -323,9 +325,7 @@ int cmd_serve(const ArgParser& args) {
     StreamingEngine engine(trace.num_servers, cm, cfg);
     if (producers == 1) {
       IngressSession session = engine.open_producer();
-      for (const auto& r : trace.stream) {
-        session.submit(r.item, r.server, r.time);
-      }
+      session.submit_span(std::span<const MultiItemRequest>(trace.stream));
       session.close();
     } else {
       // Round-robin slices keep each producer's times strictly increasing
@@ -343,14 +343,26 @@ int cmd_serve(const ArgParser& args) {
       threads.reserve(static_cast<std::size_t>(producers));
       for (int p = 0; p < producers; ++p) {
         threads.emplace_back([&, p] {
+          // Gather this producer's strided slice into a contiguous buffer,
+          // then submit it in small spans: the batched API needs contiguous
+          // records, and the short spans keep producers interleaving at the
+          // shards so --verify still exercises the cross-producer merge.
+          std::vector<MultiItemRequest> slice;
+          slice.reserve(trace.stream.size() /
+                            static_cast<std::size_t>(producers) +
+                        1);
+          for (std::size_t k = static_cast<std::size_t>(p);
+               k < trace.stream.size();
+               k += static_cast<std::size_t>(producers)) {
+            slice.push_back(trace.stream[k]);
+          }
           while (!go.load(std::memory_order_acquire)) std::this_thread::yield();
           auto& session = sessions[static_cast<std::size_t>(p)];
           try {
-            for (std::size_t k = static_cast<std::size_t>(p);
-                 k < trace.stream.size();
-                 k += static_cast<std::size_t>(producers)) {
-              const auto& r = trace.stream[k];
-              session.submit(r.item, r.server, r.time);
+            constexpr std::size_t kSpan = 32;
+            for (std::size_t k = 0; k < slice.size(); k += kSpan) {
+              session.submit_span(std::span<const MultiItemRequest>(
+                  slice.data() + k, std::min(kSpan, slice.size() - k)));
             }
           } catch (...) {
             errors[static_cast<std::size_t>(p)] = std::current_exception();

@@ -33,6 +33,7 @@ SpeculativeCache::SpeculativeCache(int num_servers, ServerId origin,
         std::to_string(num_servers));
   }
   delta_t_ = opt_.speculation_factor * cm_.lambda / cm_.mu;
+  copy_slot_.assign(static_cast<std::size_t>(num_servers), kNil);
 
   // The initial copy on the origin (the paper's c <- 1, data at s^1). No
   // transfer created it; its re-creation cost is the cheapest way back in,
@@ -75,7 +76,9 @@ int SpeculativeCache::alloc_copy(ServerId server) {
   Copy& c = copies_[static_cast<std::size_t>(idx)];
   c.server = server;
   c.prev = c.next = kNil;
-  copy_index_.insert(server, idx);
+  MCDC_ASSERT(copy_slot_[static_cast<std::size_t>(server)] == kNil,
+              "alloc_copy: s%d already holds a copy", server + 1);
+  copy_slot_[static_cast<std::size_t>(server)] = idx;
   return idx;
 }
 
@@ -108,6 +111,7 @@ void SpeculativeCache::list_insert_sorted(int idx) {
     a.next = idx;
   }
   if (tail_ == kNil || after == tail_) tail_ = idx;
+  min_expiry_ = copies_[static_cast<std::size_t>(head_)].expiry;
 }
 
 void SpeculativeCache::list_unlink(int idx) {
@@ -117,6 +121,8 @@ void SpeculativeCache::list_unlink(int idx) {
   if (head_ == idx) head_ = c.next;
   if (tail_ == idx) tail_ = c.prev;
   c.prev = c.next = kNil;
+  min_expiry_ = head_ == kNil ? 0.0
+                              : copies_[static_cast<std::size_t>(head_)].expiry;
 }
 
 void SpeculativeCache::kill(int idx, Time death, bool expired) {
@@ -129,8 +135,9 @@ void SpeculativeCache::kill(int idx, Time death, bool expired) {
                  "copy on s%d dies at %g before its birth %g", c.server + 1,
                  death, c.birth);
   list_unlink(idx);
-  [[maybe_unused]] const bool erased = copy_index_.erase(c.server);
-  MCDC_ASSERT(erased, "kill of unindexed copy on s%d", c.server + 1);
+  MCDC_ASSERT(copy_slot_[static_cast<std::size_t>(c.server)] == idx,
+              "kill of unindexed copy on s%d", c.server + 1);
+  copy_slot_[static_cast<std::size_t>(c.server)] = kNil;
   --alive_count_;
   result_.caching_cost += mu_of(c.server) * (death - c.birth);
   if (recording_full()) {
@@ -175,9 +182,13 @@ bool SpeculativeCache::observe(ServerId server, Time time) {
     throw std::invalid_argument("SpeculativeCache: times must strictly increase");
   }
 
-  expire_before(time);
+  // Expiry fast path: the list head carries the minimum expiry, so one
+  // cached compare tells us whether expire_before() has any work (it
+  // never kills the last copy, hence the alive guard). Skipping it when
+  // no kill would fire leaves the state bit-identical.
+  if (alive_count_ > 1 && min_expiry_ < time - kEps) expire_before(time);
 
-  const int local = copy_index_.find(server);
+  const int local = copy_slot_[static_cast<std::size_t>(server)];
   const bool hit = local != kNil;
   if (hit) {
     // Served by the local copy: refresh its speculative window.
@@ -205,7 +216,7 @@ bool SpeculativeCache::observe(ServerId server, Time time) {
       // r_{i-1}'s copy was refreshed last, so it sits at the tail and
       // survives expire_before — and if it sat on this server, the request
       // would have been a hit.
-      src_idx = copy_index_.find(last_request_server_);
+      src_idx = copy_slot_[static_cast<std::size_t>(last_request_server_)];
       src = last_request_server_;
       MCDC_INVARIANT(
           src_idx != kNil && last_request_server_ != server,
@@ -354,7 +365,9 @@ void SpeculativeCache::finish(Time horizon) {
   // mu*lifetime), every miss booked its edge's lambda, and nothing else
   // was added. The homogeneous identity is exact; heterogeneous bookings
   // are bracketed by the extreme edges of the matrix.
-  MCDC_INVARIANT(alive_count_ == 0 && copy_index_.empty(),
+  MCDC_INVARIANT(alive_count_ == 0 &&
+                     std::all_of(copy_slot_.begin(), copy_slot_.end(),
+                                 [](int s) { return s == kNil; }),
                  "finish left %zu copies alive", alive_count_);
   MCDC_INVARIANT(!recording_full() || result_.copies.size() >= 1,
                  "full recording closed no lifetimes");
@@ -382,7 +395,7 @@ void SpeculativeCache::finish(Time horizon) {
 
 std::size_t SpeculativeCache::heap_bytes() const {
   std::size_t bytes = copies_.capacity() * sizeof(Copy) +
-                      copy_index_.heap_bytes() +
+                      copy_slot_.capacity() * sizeof(int) +
                       result_.copies.capacity() * sizeof(CopyLifetime) +
                       result_.edges.capacity() * sizeof(ScTransferEdge) +
                       result_.served_by_cache.capacity() / 8 +

@@ -13,12 +13,17 @@
 // paper's epoch of n transfers).
 //
 // Implementation notes:
-//  * State is O(alive copies), not O(m): live copies sit in a small slab
-//    (free-listed, so entries recycle without allocation) indexed by an
-//    open-addressing FlatIndexMap from server id, plus an intrusive doubly
-//    linked list sorted by expiry. The paper proves the alive set stays
-//    small (copies die delta_t after their last use), so a service hosting
-//    millions of items pays a few copies per item, not m slots per item.
+//  * Copy state is O(alive copies): live copies sit in a small slab
+//    (free-listed, so entries recycle without allocation) plus an intrusive
+//    doubly linked list sorted by expiry. The paper proves the alive set
+//    stays small (copies die delta_t after their last use), so a service
+//    hosting millions of items pays a few copies per item — the only
+//    per-server cost is the direct-mapped index below (4 bytes/server),
+//    an order of magnitude under the dense layout's full Slot per server.
+//    Server ids are a dense bounded domain, so the server -> slab-index
+//    map is a plain int array: find/insert/erase are one unhashed array
+//    access each, which matters because the workloads that stress this
+//    path are miss-heavy (every miss is an erase + two finds + an insert).
 //    On the homogeneous path every use sets expiry = now + delta_t with
 //    monotone time, so the sorted insert degenerates to a push_back;
 //    heterogeneous copies carry per-edge windows and the insert walks
@@ -44,7 +49,6 @@
 #include "model/cost_model.h"
 #include "model/request.h"
 #include "model/schedule.h"
-#include "util/flat_map.h"
 
 namespace mcdc {
 
@@ -218,11 +222,18 @@ class SpeculativeCache {
   int num_servers_ = 0;
 
   std::vector<Copy> copies_;   ///< slab: sized by peak concurrent replicas
-  FlatIndexMap copy_index_;    ///< server id -> slab index of its live copy
+  /// Direct-mapped index: copy_slot_[server] is the slab index of that
+  /// server's live copy, kNil when it holds none. Sized num_servers once
+  /// at construction — no hashing, no probing, no steady-state growth.
+  std::vector<int> copy_slot_;
   int free_head_ = kNil;
   int head_ = kNil;            ///< intrusive list, sorted by expiry
   int tail_ = kNil;
   std::size_t alive_count_ = 0;
+  /// Mirror of copies_[head_].expiry, refreshed by the two list mutators.
+  /// Lets observe() gate expire_before() on one comparison instead of a
+  /// slab pointer chase per request (the common case is "nothing stale").
+  Time min_expiry_ = 0.0;
 
   ServerId last_request_server_ = kNoServer;
   std::size_t epoch_transfers_seen_ = 0;

@@ -72,6 +72,57 @@ class BoundedMpscQueue {
     return true;
   }
 
+  /// Push a whole span under ONE lock acquisition (the batched submit
+  /// path, queue=mutex mode). Policy semantics match n push() calls
+  /// exactly: kBlock waits (one stall count per wait episode) until every
+  /// record is in, kSpill grows past capacity counting the excess, kDrop
+  /// rejects the records that do not fit. Returns the number accepted
+  /// (== n except under kDrop).
+  std::size_t push_span(const T* data, std::size_t n) {
+    if (n == 0) return 0;
+    std::unique_lock<std::mutex> lock(mu_);
+    std::size_t done = 0;
+    while (done < n) {
+      if (q_.size() >= capacity_) {
+        if (policy_ == BackpressurePolicy::kDrop) {
+          stats_.dropped += n - done;
+          break;
+        }
+        if (policy_ == BackpressurePolicy::kBlock) {
+          ++stats_.stalls;
+          // Wake the consumer BEFORE parking: the records appended so far
+          // are invisible to a sleeping consumer until a notify, and the
+          // end-of-span notify below cannot happen while we wait here for
+          // the very drain that consumer performs.
+          not_empty_.notify_one();
+          not_full_.wait(lock,
+                         [this] { return q_.size() < capacity_ || closed_; });
+        } else {
+          stats_.spilled += n - done;
+          // kSpill: append the whole remainder past capacity.
+          while (done < n) {
+            MCDC_ASSERT(!closed_, "push into a closed queue");
+            q_.push_back(data[done]);
+            ++done;
+            ++stats_.enqueued;
+          }
+          break;
+        }
+      }
+      while (done < n && q_.size() < capacity_) {
+        MCDC_ASSERT(!closed_, "push into a closed queue");
+        q_.push_back(data[done]);
+        ++done;
+        ++stats_.enqueued;
+      }
+    }
+    if (q_.size() > stats_.max_depth) stats_.max_depth = q_.size();
+    const std::size_t accepted = done;
+    lock.unlock();
+    if (accepted > 0) not_empty_.notify_one();
+    return accepted;
+  }
+
   /// Push a control marker (engine-internal open/close records): always
   /// appended regardless of capacity and policy — a dropped close marker
   /// would leave a shard's merge waiting forever — and counted separately

@@ -1,12 +1,12 @@
 #include "engine/engine_config.h"
 
 #include <cstddef>
-#include <sstream>
 #include <stdexcept>
 #include <string>
 
 #include "model/cost_model.h"
 #include "util/contracts.h"
+#include "util/kvform.h"
 
 namespace mcdc {
 
@@ -31,115 +31,97 @@ BackpressurePolicy parse_backpressure_policy(const char* name) {
                               " (expected block|drop|spill)");
 }
 
-std::string EngineConfig::to_string() const {
-  std::ostringstream os;
-  os << "shards=" << num_shards << ",queue=" << queue_capacity
-     << ",batch=" << max_batch << ",policy=" << mcdc::to_string(policy)
-     << ",deterministic=" << (deterministic ? "true" : "false")
-     << ",credits=" << producer_credits
-     << ",telemetry=" << (telemetry ? "on" : "off")
-     << ",sample_ms=" << sample_ms << ",cost=" << cost;
-  return os.str();
-}
-
-namespace {
-
-[[noreturn]] void bad_value(const std::string& key, const std::string& value,
-                            const char* expected) {
-  throw std::invalid_argument("EngineConfig: unknown value \"" + value +
-                              "\" for key \"" + key + "\" (expected " +
-                              expected + ")");
-}
-
-/// Whole-token non-negative integer; rejects partial parses like "4x".
-std::uint64_t parse_u64(const std::string& key, const std::string& value,
-                        const char* expected) {
-  if (value.empty()) bad_value(key, value, expected);
-  std::uint64_t out = 0;
-  for (const char c : value) {
-    if (c < '0' || c > '9') bad_value(key, value, expected);
-    out = out * 10 + static_cast<std::uint64_t>(c - '0');
+const char* to_string(QueueKind kind) {
+  switch (kind) {
+    case QueueKind::kMutex:
+      return "mutex";
+    case QueueKind::kSpsc:
+      return "spsc";
   }
+  MCDC_UNREACHABLE("bad QueueKind %d", static_cast<int>(kind));
+}
+
+std::string EngineConfig::to_string() const {
+  std::string out;
+  out += "shards=" + std::to_string(num_shards);
+  out += ",queue=";
+  out += mcdc::to_string(queue);
+  out += ",cap=" + std::to_string(queue_capacity);
+  out += ",batch=" + std::to_string(max_batch);
+  out += ",policy=";
+  out += mcdc::to_string(policy);
+  out += ",deterministic=";
+  out += deterministic ? "true" : "false";
+  out += ",credits=" + std::to_string(producer_credits);
+  out += ",telemetry=";
+  out += telemetry ? "on" : "off";
+  out += ",sample_ms=" + std::to_string(sample_ms);
+  out += ",cost=" + cost;
   return out;
 }
 
-bool parse_bool(const std::string& key, const std::string& value) {
-  if (value == "true") return true;
-  if (value == "false") return false;
-  bad_value(key, value, "true|false");
-}
-
-}  // namespace
-
 EngineConfig EngineConfig::parse(const std::string& text) {
+  static const std::string kCtx = "EngineConfig";
+  static const std::string kKeys =
+      "shards|queue|cap|batch|policy|deterministic|credits|telemetry|"
+      "sample_ms|cost";
   EngineConfig cfg;
-  std::istringstream in(text);
-  std::string token;
-  while (std::getline(in, token, ',')) {
-    if (token.empty()) continue;
-    const std::size_t eq = token.find('=');
-    if (eq == std::string::npos) {
-      throw std::invalid_argument(
-          "EngineConfig: malformed token \"" + token +
-          "\" (expected key=value with key in "
-          "shards|queue|batch|policy|deterministic|credits|telemetry|"
-          "sample_ms|cost)");
-    }
-    const std::string key = token.substr(0, eq);
-    const std::string value = token.substr(eq + 1);
-    if (key == "shards") {
-      cfg.num_shards = static_cast<int>(
-          parse_u64(key, value, "a shard count >= 0; 0 = hardware threads"));
-    } else if (key == "queue") {
-      cfg.queue_capacity = static_cast<std::size_t>(
-          parse_u64(key, value, "a queue capacity > 0"));
-    } else if (key == "batch") {
-      cfg.max_batch =
-          static_cast<std::size_t>(parse_u64(key, value, "a batch size > 0"));
-    } else if (key == "policy") {
-      if (value != "block" && value != "drop" && value != "spill") {
-        bad_value(key, value, "block|drop|spill");
-      }
-      cfg.policy = parse_backpressure_policy(value.c_str());
-    } else if (key == "deterministic") {
-      cfg.deterministic = parse_bool(key, value);
-    } else if (key == "credits") {
-      cfg.producer_credits = static_cast<std::size_t>(
-          parse_u64(key, value, "a credit window >= 0; 0 = off"));
-    } else if (key == "telemetry") {
-      if (value == "on") {
-        cfg.telemetry = true;
-      } else if (value == "off") {
-        cfg.telemetry = false;
-      } else {
-        bad_value(key, value, "on|off");
-      }
-    } else if (key == "sample_ms") {
-      cfg.sample_ms = static_cast<std::size_t>(
-          parse_u64(key, value, "a sampler period in ms >= 0; 0 = off"));
-    } else if (key == "cost") {
-      if (value == "hom") {
-        cfg.cost = "hom";
-      } else if (value.rfind("het:", 0) == 0) {
-        // Validate eagerly and store the canonical spec so
-        // parse(to_string()) round-trips exactly.
-        try {
-          cfg.cost =
-              "het:" + HeterogeneousCostModel::parse(value.substr(4)).to_string();
-        } catch (const std::invalid_argument& e) {
-          throw std::invalid_argument("EngineConfig: bad value \"" + value +
-                                      "\" for key \"cost\": " + e.what());
+  kvform::for_each_kv(
+      kCtx, text, ',', kKeys,
+      [&cfg](const std::string& key, const std::string& value) {
+        if (key == "shards") {
+          cfg.num_shards = static_cast<int>(kvform::parse_u64(
+              kCtx, key, value, "a shard count >= 0; 0 = hardware threads"));
+        } else if (key == "queue") {
+          if (value == "mutex") {
+            cfg.queue = QueueKind::kMutex;
+          } else if (value == "spsc") {
+            cfg.queue = QueueKind::kSpsc;
+          } else {
+            kvform::bad_value(kCtx, key, value, "mutex|spsc");
+          }
+        } else if (key == "cap") {
+          cfg.queue_capacity = static_cast<std::size_t>(
+              kvform::parse_u64(kCtx, key, value, "a queue capacity > 0"));
+        } else if (key == "batch") {
+          cfg.max_batch = static_cast<std::size_t>(
+              kvform::parse_u64(kCtx, key, value, "a batch size > 0"));
+        } else if (key == "policy") {
+          if (value != "block" && value != "drop" && value != "spill") {
+            kvform::bad_value(kCtx, key, value, "block|drop|spill");
+          }
+          cfg.policy = parse_backpressure_policy(value.c_str());
+        } else if (key == "deterministic") {
+          cfg.deterministic = kvform::parse_bool(kCtx, key, value);
+        } else if (key == "credits") {
+          cfg.producer_credits = static_cast<std::size_t>(kvform::parse_u64(
+              kCtx, key, value, "a credit window >= 0; 0 = off"));
+        } else if (key == "telemetry") {
+          cfg.telemetry = kvform::parse_on_off(kCtx, key, value);
+        } else if (key == "sample_ms") {
+          cfg.sample_ms = static_cast<std::size_t>(kvform::parse_u64(
+              kCtx, key, value, "a sampler period in ms >= 0; 0 = off"));
+        } else if (key == "cost") {
+          if (value == "hom") {
+            cfg.cost = "hom";
+          } else if (value.rfind("het:", 0) == 0) {
+            // Validate eagerly and store the canonical spec so
+            // parse(to_string()) round-trips exactly.
+            try {
+              cfg.cost = "het:" +
+                         HeterogeneousCostModel::parse(value.substr(4)).to_string();
+            } catch (const std::invalid_argument& e) {
+              throw std::invalid_argument(kCtx + ": bad value \"" + value +
+                                          "\" for key \"cost\": " + e.what());
+            }
+          } else {
+            kvform::bad_value(kCtx, key, value, "hom|het:<spec>");
+          }
+        } else {
+          return false;
         }
-      } else {
-        bad_value(key, value, "hom|het:<spec>");
-      }
-    } else {
-      throw std::invalid_argument(
-          "EngineConfig: unknown key \"" + key +
-          "\" (expected shards|queue|batch|policy|deterministic|credits|"
-          "telemetry|sample_ms|cost)");
-    }
-  }
+        return true;
+      });
   return cfg;
 }
 

@@ -23,11 +23,31 @@ const char* to_string(BackpressurePolicy policy);
 /// (CLI surface for trace_tool / benches).
 BackpressurePolicy parse_backpressure_policy(const char* name);
 
+/// Ingest transport between producer sessions and shard workers.
+enum class QueueKind {
+  kMutex,  ///< PR-6 BoundedMpscQueue: one mutex-guarded FIFO per shard,
+           ///< shared by all producers. Kept as the A/B reference.
+  kSpsc,   ///< one lock-free SpscRing per producer×shard lane; the shard
+           ///< merges lanes by (time, producer, seq). Wait-free hot path.
+};
+
+const char* to_string(QueueKind kind);
+
 struct EngineConfig {
   /// Number of shards (worker threads). 0 = one per hardware thread.
   int num_shards = 4;
 
-  /// Per-shard ingest queue capacity, in requests.
+  /// Ingest transport (string key `queue=mutex|spsc`). Backpressure
+  /// policies, producer credits, watermark merge safety, and bit-identity
+  /// to the serial service hold identically under both kinds — that
+  /// equivalence is what the A/B switch exists to demonstrate (and what
+  /// the fuzz lanes check).
+  QueueKind queue = QueueKind::kSpsc;
+
+  /// Ingest queue capacity, in requests (string key `cap=`). For kMutex
+  /// this is the per-shard shared-queue capacity; for kSpsc it is the
+  /// per-lane ring capacity, rounded up to the next power of two by the
+  /// ring itself.
   std::size_t queue_capacity = 1024;
 
   /// Max requests a worker dequeues per lock acquisition (micro-batching
@@ -91,7 +111,7 @@ struct EngineConfig {
   std::string cost = "hom";
 
   /// Canonical textual form of the scalar fields, e.g.
-  /// "shards=4,queue=1024,batch=64,policy=block,deterministic=true,credits=0,telemetry=off,sample_ms=0,cost=hom".
+  /// "shards=4,queue=spsc,cap=1024,batch=64,policy=block,deterministic=true,credits=0,telemetry=off,sample_ms=0,cost=hom".
   /// service_options (pointers, speculation knobs) is not part of the
   /// string form. parse(to_string()) round-trips exactly (property test).
   std::string to_string() const;

@@ -2,7 +2,7 @@
 //
 // The engine's original submit() was single-producer: one caller owning
 // the global clock. A real service is fed by many uncoordinated sources,
-// so ingestion is now organized around sessions: each producer opens an
+// so ingestion is organized around sessions: each producer opens an
 // IngressSession (StreamingEngine::open_producer()) and submits its own
 // strictly-increasing-time subsequence from its own thread. The session
 // stamps every submission with the producer id and a per-producer
@@ -12,8 +12,23 @@
 // ("Ingestion sessions") derives why this keeps the N-producer run
 // bit-identical to the serial service regardless of thread interleaving.
 //
+// The primary submission API is BATCHED: submit_span() stamps, sequences,
+// and enqueues a whole span of records under one queue operation per
+// shard (one ring publication, or one mutex acquisition on the
+// queue=mutex A/B path). The single-record submit() survives as a
+// one-element forwarding shim for call sites that genuinely have one
+// record in hand — it is deprecated in favour of spans.
+//
+// Transport (EngineConfig::queue):
+//  * kSpsc (default): one lock-free SpscRing per producer×shard — each
+//    lane has exactly one writer (the session) and one reader (the shard
+//    worker), so the hot path is wait-free loads/stores (spsc_ring.h
+//    carries the memory-ordering proof). kSpill overflow lives in a
+//    mutex-guarded side-car touched only when a ring is actually full.
+//  * kMutex: the PR-6 BoundedMpscQueue, kept for A/B comparison.
+//
 // Threading contract:
-//  * open_producer() calls must all happen before the first submit()
+//  * open_producer() calls must all happen before the first submit
 //    anywhere on the engine (enforced; the merge needs the full producer
 //    set before it can order anything).
 //  * Each session is single-threaded; distinct sessions may run on
@@ -24,8 +39,14 @@
 
 #include <atomic>
 #include <cstdint>
+#include <deque>
+#include <mutex>
+#include <span>
 #include <type_traits>
+#include <vector>
 
+#include "engine/spsc_ring.h"
+#include "model/request.h"
 #include "util/types.h"
 
 namespace mcdc {
@@ -36,18 +57,22 @@ class Gauge;
 }  // namespace obs
 
 class StreamingEngine;
+struct SpscLane;
+struct IngressRecord;
 
 /// Engine-owned per-producer state. Stable address (the engine stores
-/// these behind unique_ptrs); shard workers reach it through the kOpen
-/// control record, producers through their IngressSession.
+/// these behind unique_ptrs); shard workers reach it through their lane
+/// registration, producers through their IngressSession.
 struct ProducerState {
   std::uint32_t id = 0;
 
   /// Highest time this producer has finished submitting (stored with
   /// release order *after* the enqueue). A shard worker that snapshots
-  /// the watermark before draining its queue is guaranteed to have seen
+  /// the watermark before draining its lane is guaranteed to have seen
   /// every record from this producer with time <= the snapshot — the
-  /// merge-safety argument in docs/ENGINE.md.
+  /// merge-safety argument in docs/ENGINE.md. With submit_span the store
+  /// happens once per span (after every shard bucket is enqueued), value
+  /// = the span's last time.
   std::atomic<double> watermark{0.0};
 
   std::atomic<std::uint64_t> submitted{0};
@@ -58,10 +83,20 @@ struct ProducerState {
   // Producer-thread-only (read by finish() after the quiesce contract).
   Time last_time = 0.0;
   std::uint64_t seq = 0;
-  std::uint64_t credit_throttles = 0;  ///< submits over the credit window
+  std::uint64_t credit_throttles = 0;  ///< spans over the credit window
   std::uint64_t max_in_flight = 0;     ///< peak submitted - retired
   std::uint64_t credit_wait_ns = 0;    ///< wall time spent in throttle yields
                                        ///< (measured only with telemetry on)
+
+  /// This producer's ring lane on each shard (index = shard; empty in
+  /// queue=mutex mode). Shard-owned; filled at open_producer.
+  std::vector<SpscLane*> lanes;
+
+  /// Producer-thread-only per-shard routing buckets for submit_span:
+  /// records are stamped into their shard's bucket, then each non-empty
+  /// bucket is enqueued in one operation. Capacity grows to the largest
+  /// span ever routed (amortized; no steady-state allocation).
+  std::vector<std::vector<IngressRecord>> scratch;
 
   // Registry handles (created at open_producer when an observer with a
   // metrics registry is attached; published once at session close).
@@ -71,10 +106,11 @@ struct ProducerState {
   obs::Counter* m_credit_wait_ns = nullptr;  ///< telemetry only
 };
 
-/// One element of a shard's ingest queue: a stamped request, or a control
-/// marker bracketing a producer's lifetime (kOpen announces the lane and
-/// carries its state pointer; kClose releases the merge from waiting on
-/// the producer's watermark).
+/// One element of a shard's ingest lane: a stamped request, or (on the
+/// queue=mutex path only) a control marker bracketing a producer's
+/// lifetime. The spsc path needs no control records: lanes are registered
+/// directly at open_producer and a closed lane is state->closed + empty
+/// ring.
 struct IngressRecord {
   enum class Kind : std::uint8_t { kRequest, kOpen, kClose };
 
@@ -102,6 +138,45 @@ static_assert(sizeof(IngressRecord) == 56 && alignof(IngressRecord) == 8,
               "IngressRecord layout changed — revisit queue capacity and "
               "resident-bytes accounting before accepting the new size");
 
+/// One producer×shard ingest lane (queue=spsc): a wait-free ring plus the
+/// spill side-car and the lane's share of QueueStats. Owned by the shard;
+/// the producer holds a raw pointer (ProducerState::lanes).
+///
+/// Counter ownership is single-writer by design: `enqueued`, `dropped`,
+/// `spilled`, `stalls` are written by the producer thread only and read
+/// by the shard only after the worker joined (the drain snapshot);
+/// `max_depth_seen` is worker-only. No atomics needed, no torn reads
+/// possible — stats() publishes one post-quiesce snapshot, like the PR-6
+/// mutex queue's under-one-lock copy.
+struct SpscLane {
+  explicit SpscLane(std::size_t capacity) : ring(capacity) {}
+
+  SpscRing<IngressRecord> ring;
+  ProducerState* state = nullptr;
+
+  // Producer-thread-only counters (read at drain, after quiesce).
+  std::uint64_t enqueued = 0;
+  std::uint64_t dropped = 0;
+  std::uint64_t spilled = 0;
+  std::uint64_t stalls = 0;
+
+  /// kSpill overflow side-car: when the ring is full the producer parks
+  /// records here (FIFO) instead of blocking or dropping. The mutex is
+  /// touched ONLY on that overflow path and by the worker's splice; the
+  /// common path stays lock-free. `overflow_count` mirrors the deque size
+  /// so both sides can check emptiness without the lock. Ordering: the
+  /// producer never pushes to the ring while overflow is non-empty, and
+  /// the worker splices overflow only after fully draining the ring —
+  /// together that keeps the lane FIFO exact (docs/ENGINE.md).
+  std::mutex spill_mu;
+  std::deque<IngressRecord> overflow;
+  std::atomic<std::size_t> overflow_count{0};
+
+  // Worker-side high-water sample of this lane's depth (ring + overflow),
+  // taken at each drain; summed across lanes at the final snapshot.
+  std::size_t max_depth_seen = 0;
+};
+
 /// A producer's handle into the engine. Move-only; single-threaded;
 /// closes itself on destruction. Obtain via
 /// StreamingEngine::open_producer().
@@ -119,14 +194,26 @@ class IngressSession {
 
   std::uint32_t id() const;
 
-  /// Route one request to its shard, stamped with this producer's id and
-  /// next sequence number. Times must strictly increase per session (and
-  /// be > 0); throws std::invalid_argument otherwise, std::logic_error
-  /// once closed. Returns false iff dropped by kDrop backpressure.
+  /// THE ingestion API: stamp, sequence, and enqueue a whole span of
+  /// records under one queue operation per shard touched. Validation is
+  /// atomic — the entire span is checked (servers in range, times
+  /// strictly increasing within the span and beyond this session's last
+  /// time) before ANY record is enqueued, so a bad span throws
+  /// std::invalid_argument with nothing partially submitted. Throws
+  /// std::logic_error once closed. An empty span is a no-op (returns 0
+  /// without starting ingest). Returns the number of records accepted:
+  /// == batch.size() unless kDrop backpressure rejected some.
+  std::size_t submit_span(std::span<const MultiItemRequest> batch);
+
+  /// One-record compatibility shim over submit_span(). Returns false iff
+  /// the record was dropped by kDrop backpressure.
+  [[deprecated(
+      "submit() forwards one record through submit_span(); batch your "
+      "records and call submit_span() directly")]]
   bool submit(int item, ServerId server, Time time);
 
-  /// Announce end-of-stream: pushes a close marker to every shard so the
-  /// merge stops waiting on this producer's watermark. Idempotent;
+  /// Announce end-of-stream: flushes any spill overflow and releases the
+  /// merge from waiting on this producer's watermark. Idempotent;
   /// finish() force-closes any session left open.
   void close();
 

@@ -20,10 +20,16 @@ BackpressurePolicy effective_policy(const EngineConfig& cfg) {
   return cfg.policy;
 }
 
-// How long a merge-stalled worker sleeps between watermark re-checks.
-// Watermarks advance without signalling this shard's condvar (a producer
-// only notifies the shards it pushes to), so the stalled state polls.
+// How long a merge-stalled (or idle ring-polling) worker sleeps between
+// re-checks. Watermarks and ring tails advance without signalling this
+// shard (a ring push is just a store), so the waiting states poll.
 constexpr std::chrono::microseconds kStallRecheck{200};
+
+// A blocked/idle spinner yields this many times before conceding the
+// timeslice with a sleep — cheap reactivity when the other side is
+// running, bounded burn when it is not (matters on few-core hosts where
+// producer and worker share a core).
+constexpr std::size_t kSpinYields = 64;
 
 // Stage spans retained per shard for the Chrome-trace export (newest
 // win; SpanRing counts what overflow displaced).
@@ -43,6 +49,9 @@ EngineShard::EngineShard(int index, int num_servers, const ServingCostModel& cm,
     : index_(index),
       deterministic_(cfg.deterministic),
       max_batch_(cfg.max_batch),
+      queue_kind_(cfg.queue),
+      policy_(effective_policy(cfg)),
+      lane_capacity_(cfg.queue_capacity),
       service_(num_servers, cm, options),
       queue_(cfg.queue_capacity, effective_policy(cfg)) {
   batch_buf_.reserve(cfg.max_batch);
@@ -76,9 +85,15 @@ EngineShard::EngineShard(int index, int num_servers, const ServingCostModel& cm,
 
 EngineShard::~EngineShard() {
   // Abandoned (engine destroyed before finish()): unblock and join the
-  // worker; any failure it recorded dies with us.
+  // worker; any failure it recorded dies with us. The engine has already
+  // marked every producer closed, so the spsc worker's drain terminates.
   if (!joined_) {
     queue_.value.close();
+    {
+      const std::lock_guard<std::mutex> lk(lanes_mu_);
+      stop_.store(true, std::memory_order_release);
+    }
+    lanes_cv_.notify_all();
     if (worker_.joinable()) worker_.join();
   }
 }
@@ -96,7 +111,88 @@ void EngineShard::enqueue_control(const IngressRecord& r) {
   queue_.value.push_control(r);
 }
 
+SpscLane* EngineShard::add_lane(ProducerState* p) {
+  const std::lock_guard<std::mutex> lk(lanes_mu_);
+  MCDC_ASSERT(!lanes_frozen_.load(std::memory_order_relaxed),
+              "shard %d: lane added after ingest started", index_);
+  spsc_lanes_.push_back(std::make_unique<SpscLane>(lane_capacity_));
+  spsc_lanes_.back()->state = p;
+  return spsc_lanes_.back().get();
+}
+
+void EngineShard::freeze_lanes() {
+  {
+    const std::lock_guard<std::mutex> lk(lanes_mu_);
+    lanes_frozen_.store(true, std::memory_order_release);
+  }
+  lanes_cv_.notify_all();
+}
+
+std::size_t EngineShard::lane_push_span(SpscLane& lane,
+                                        const IngressRecord* data,
+                                        std::size_t n) {
+  if (n == 0) return 0;
+  switch (policy_) {
+    case BackpressurePolicy::kBlock: {
+      std::size_t done = lane.ring.try_push_span(data, n);
+      if (done < n) {
+        // One stall episode per span, like the mutex queue's one condvar
+        // wait per full-queue push. The worker always drains rings (even
+        // merge-stalled or after a failure), so this loop terminates.
+        ++lane.stalls;
+        std::size_t spins = 0;
+        while (done < n) {
+          if (++spins <= kSpinYields) {
+            std::this_thread::yield();
+          } else {
+            std::this_thread::sleep_for(kStallRecheck);
+          }
+          done += lane.ring.try_push_span(data + done, n - done);
+        }
+      }
+      lane.enqueued += n;
+      return n;
+    }
+    case BackpressurePolicy::kDrop: {
+      const std::size_t done = lane.ring.try_push_span(data, n);
+      lane.dropped += n - done;
+      lane.enqueued += done;
+      return done;
+    }
+    case BackpressurePolicy::kSpill: {
+      // Lossless overflow: records that do not fit park in the locked
+      // side-car. The ring is only used while the side-car is empty —
+      // otherwise ring records could overtake parked ones and break the
+      // lane's FIFO. overflow_count is producer-raised / worker-cleared,
+      // so a producer-side read of 0 is exact ("the worker spliced
+      // everything I ever parked").
+      std::size_t done = 0;
+      if (lane.overflow_count.load(std::memory_order_relaxed) == 0) {
+        done = lane.ring.try_push_span(data, n);
+      }
+      if (done < n) {
+        const std::lock_guard<std::mutex> lk(lane.spill_mu);
+        lane.overflow.insert(lane.overflow.end(), data + done, data + n);
+        lane.overflow_count.store(lane.overflow.size(),
+                                  std::memory_order_release);
+        lane.spilled += n - done;
+      }
+      lane.enqueued += n;
+      return n;
+    }
+  }
+  MCDC_UNREACHABLE("bad BackpressurePolicy %d", static_cast<int>(policy_));
+}
+
 void EngineShard::run() {
+  if (queue_kind_ == QueueKind::kSpsc) {
+    run_spsc();
+  } else {
+    run_mutex();
+  }
+}
+
+void EngineShard::run_mutex() {
   try {
     // Telemetry branches key off this one flag; with telemetry off the
     // loop takes no clock reads and touches none of the rings.
@@ -210,6 +306,228 @@ void EngineShard::run() {
     std::vector<IngressRecord> discard;
     while (queue_.value.pop_batch(discard, 1024) > 0) discard.clear();
   }
+}
+
+void EngineShard::run_spsc() {
+  // Lanes are registered (open_producer) strictly before the first
+  // submit; the freeze at that first submit seals the vector, so the loop
+  // below reads it without locks.
+  {
+    std::unique_lock<std::mutex> lk(lanes_mu_);
+    lanes_cv_.wait(lk, [this] {
+      return lanes_frozen_.load(std::memory_order_relaxed) ||
+             stop_.load(std::memory_order_relaxed);
+    });
+  }
+  if (!lanes_frozen_.load(std::memory_order_acquire)) return;  // no ingest
+  try {
+    const bool tele = (spans_ != nullptr);
+    // Merge lanes mirror the registered spsc lanes (all known up front —
+    // the spsc path needs no kOpen control records).
+    producers_seen_ = spsc_lanes_.size();
+    for (const std::unique_ptr<SpscLane>& l : spsc_lanes_) {
+      const std::uint32_t id = l->state->id;
+      if (id >= lanes_.size()) lanes_.resize(id + 1);
+      lanes_[id].open = true;
+      lanes_[id].state = l->state;
+    }
+    const bool single = producers_seen_ <= 1;
+    if (single) soa_.reserve(lane_capacity_ + 1);
+    bool stalled = false;
+    std::size_t idle = 0;
+    for (;;) {
+      // Closed-ness observed BEFORE the drain: a producer stores closed
+      // with release after its last push, so once we see closed here,
+      // this iteration's drain provably consumes its final records.
+      bool all_closed = true;
+      for (const std::unique_ptr<SpscLane>& l : spsc_lanes_) {
+        if (l->state->closed.load(std::memory_order_acquire)) {
+          if (!lanes_[l->state->id].closed) lanes_[l->state->id].closed = true;
+        } else {
+          all_closed = false;
+        }
+      }
+      std::uint64_t t_deq = 0;
+      if (tele) {
+        t_deq = obs::telemetry_now_ns();
+        last_deq_ns_ = t_deq;
+        batch_min_submit_ns_ = ~std::uint64_t{0};
+        batch_requests_ = 0;
+      }
+      if (!single) {
+        // Merge-safety protocol, ring edition: snapshot every open lane's
+        // watermark, THEN fully drain every ring (and spill side-car).
+        // The producer's watermark release-store follows its pushes, so a
+        // snapshot >= t guarantees the drain below sees every record at
+        // or before t — an empty lane with wm_snap >= t may be overtaken.
+        for (Lane& lane : lanes_) {
+          if (lane.open && !lane.closed && lane.state != nullptr) {
+            lane.wm_snap =
+                lane.state->watermark.load(std::memory_order_acquire);
+          }
+        }
+      }
+      std::size_t total = 0;
+      soa_.clear();
+      for (const std::unique_ptr<SpscLane>& l : spsc_lanes_) {
+        total += drain_lane(*l, lanes_[l->state->id], single, last_deq_ns_);
+      }
+      if (single && soa_.size() > 0) {
+        // SoA apply: the ring slots were retired in one head store inside
+        // drain_lane (producer regains capacity immediately); now walk
+        // the dense columns. Per-record invariants already ran in the
+        // drain sink.
+        const std::size_t n = soa_.size();
+        for (std::size_t i = 0; i < n; ++i) {
+          service_.value.request(soa_.items[i], soa_.servers[i],
+                                 soa_.times[i]);
+        }
+        saw_request_ = true;
+        last_time_seen_ = soa_.times[n - 1];
+        processed_ += n;
+        batch_emitted_ += n;
+        lanes_[spsc_lanes_.front()->state->id].retired_pending += n;
+      }
+      if (total > 0) {
+        ++batch_stats_.batches;
+        batch_stats_.requests += total;
+        if (total > batch_stats_.max_batch) batch_stats_.max_batch = total;
+        if (batch_size_ != nullptr) {
+          batch_size_->observe(static_cast<double>(total));
+        }
+      }
+      if (!single || merge_buffered_ > 0) {
+        stalled = process_eligible(all_closed);
+        if (merge_depth_ != nullptr) {
+          merge_depth_->set(static_cast<double>(merge_buffered_));
+        }
+      }
+      if (tele) {
+        const std::uint64_t t_end = obs::telemetry_now_ns();
+        if (batch_requests_ > 0) {
+          const std::uint64_t dur = last_deq_ns_ > batch_min_submit_ns_
+                                        ? last_deq_ns_ - batch_min_submit_ns_
+                                        : 0;
+          spans_->push({"queue_wait", batch_min_submit_ns_, dur,
+                        batch_requests_});
+        }
+        if (total > 0) {
+          const std::uint64_t dur = t_end - t_deq;
+          apply_ns_->record(dur);
+          spans_->push({"apply", t_deq, dur, total});
+        }
+        if (stalled && stall_started_ns_ == 0) {
+          stall_started_ns_ = t_end;
+        } else if (!stalled && stall_started_ns_ != 0) {
+          const std::uint64_t dur = t_end - stall_started_ns_;
+          merge_stall_ns_->record(dur);
+          spans_->push({"merge_stall", stall_started_ns_, dur, 0});
+          stall_started_ns_ = 0;
+        }
+        if (shard_resident_bytes_ != nullptr && total > 0 &&
+            (++telemetry_batches_ % kResidentRefreshBatches) == 0) {
+          shard_resident_bytes_->set(
+              static_cast<double>(service_.value.resident_bytes()));
+        }
+      }
+      if (batch_emitted_ > 0) {
+        if (requests_ != nullptr) requests_->inc(batch_emitted_);
+        batch_emitted_ = 0;
+      }
+      flush_retired();
+      if (all_closed && total == 0 && merge_buffered_ == 0) break;
+      // Rings have no condvar: poll. Yield while the other side looks
+      // live, back off to a sleep when genuinely idle.
+      if (total == 0) {
+        if (++idle <= kSpinYields) {
+          std::this_thread::yield();
+        } else {
+          std::this_thread::sleep_for(kStallRecheck);
+        }
+      } else {
+        idle = 0;
+      }
+    }
+  } catch (...) {
+    failure_ = std::current_exception();
+    // Keep consuming rings and side-cars so a kBlock producer spinning on
+    // a full ring cannot deadlock; the exception resurfaces from
+    // drain_and_finish().
+    for (;;) {
+      const bool stopping = stop_.load(std::memory_order_acquire);
+      std::size_t got = 0;
+      for (const std::unique_ptr<SpscLane>& l : spsc_lanes_) {
+        got += l->ring.consume_all([](const IngressRecord&) {});
+        if (l->overflow_count.load(std::memory_order_acquire) > 0) {
+          const std::lock_guard<std::mutex> lk(l->spill_mu);
+          got += l->overflow.size();
+          l->overflow.clear();
+          l->overflow_count.store(0, std::memory_order_relaxed);
+        }
+      }
+      if (stopping) break;
+      if (got == 0) std::this_thread::sleep_for(kStallRecheck);
+    }
+  }
+}
+
+std::size_t EngineShard::drain_lane(SpscLane& src, Lane& ml, bool single,
+                                    std::uint64_t deq_ns) {
+  // High-water sample (worker-only): lane depth just before the drain.
+  const std::size_t depth =
+      src.ring.size_approx() +
+      src.overflow_count.load(std::memory_order_relaxed);
+  if (depth > src.max_depth_seen) src.max_depth_seen = depth;
+  const bool tele = (queue_wait_ns_ != nullptr);
+  auto sink = [&](const IngressRecord& r) {
+    // Per-lane replay order: a session's stream reaches its shard as a
+    // strictly-increasing (time, seq) FIFO — across the ring AND the
+    // spill side-car (the producer never interleaves them out of order).
+    MCDC_INVARIANT(!ml.saw_any ||
+                       (r.time > ml.last_time && r.seq > ml.last_seq),
+                   "shard %d: lane %u order broken at t=%.12g seq=%llu",
+                   index_, r.producer, r.time,
+                   static_cast<unsigned long long>(r.seq));
+    ml.saw_any = true;
+    ml.last_time = r.time;
+    ml.last_seq = r.seq;
+    if (tele && r.submit_ns != 0) {
+      queue_wait_ns_->record(deq_ns > r.submit_ns ? deq_ns - r.submit_ns : 0);
+      if (r.submit_ns < batch_min_submit_ns_) {
+        batch_min_submit_ns_ = r.submit_ns;
+      }
+      ++batch_requests_;
+    }
+    if (single) {
+      if (tele) {
+        // Telemetry wants a per-record e2e stamp: take the straight
+        // process path (histograms need the record, not the columns).
+        process_record(r);
+        ++ml.retired_pending;
+      } else {
+        soa_.push(r.item, r.server, r.time);
+      }
+    } else {
+      ml.buf.push_back(r);
+      ++merge_buffered_;
+      if (merge_buffered_ > merge_depth_max_) {
+        merge_depth_max_ = merge_buffered_;
+      }
+    }
+  };
+  std::size_t got = src.ring.consume_all(sink);
+  // Spill side-car: spliced only after the ring is fully drained. Ring
+  // content is always older than parked content (the producer never
+  // pushes to the ring while its side-car is non-empty), so this order
+  // preserves the lane's FIFO exactly.
+  if (src.overflow_count.load(std::memory_order_acquire) > 0) {
+    const std::lock_guard<std::mutex> lk(src.spill_mu);
+    for (const IngressRecord& r : src.overflow) sink(r);
+    got += src.overflow.size();
+    src.overflow.clear();
+    src.overflow_count.store(0, std::memory_order_relaxed);
+  }
+  return got;
 }
 
 void EngineShard::demux(const std::vector<IngressRecord>& batch,
@@ -382,13 +700,40 @@ void EngineShard::flush_retired() {
 
 ServiceReport EngineShard::drain_and_finish() {
   queue_.value.close();
+  {
+    const std::lock_guard<std::mutex> lk(lanes_mu_);
+    stop_.store(true, std::memory_order_release);
+  }
+  lanes_cv_.notify_all();
   if (worker_.joinable()) worker_.join();
   joined_ = true;
   if (failure_ != nullptr) std::rethrow_exception(failure_);
-  // One consistent queue snapshot (taken under the queue mutex) feeds both
-  // the registry export below and ShardStats — the counters can never
-  // disagree with each other about which instant they describe.
-  queue_stats_ = queue_.value.stats();
+  if (queue_kind_ == QueueKind::kSpsc) {
+    // One post-quiesce snapshot: producers and the worker are both done,
+    // so the per-lane single-writer counters are plain reads here and the
+    // assembled QueueStats is trivially torn-read-free (the ring-lane
+    // analogue of the mutex queue's under-one-lock stats copy;
+    // docs/ENGINE.md "Queue statistics under ring lanes").
+    queue_stats_ = QueueStats{};
+    for (const std::unique_ptr<SpscLane>& l : spsc_lanes_) {
+      queue_stats_.enqueued += l->enqueued;
+      queue_stats_.dropped += l->dropped;
+      queue_stats_.spilled += l->spilled;
+      queue_stats_.stalls += l->stalls;
+      queue_stats_.max_depth += l->max_depth_seen;
+      queue_stats_.depth += l->ring.size_approx() +
+                            l->overflow_count.load(std::memory_order_relaxed);
+    }
+    // The mutex transport counts one kOpen + one kClose control record
+    // per producer; lanes carry the same lifecycle out of band, so the
+    // stats keep the same meaning: 2 per registered lane.
+    queue_stats_.control = 2 * spsc_lanes_.size();
+  } else {
+    // One consistent queue snapshot (taken under the queue mutex) feeds
+    // both the registry export below and ShardStats — the counters can
+    // never disagree with each other about which instant they describe.
+    queue_stats_ = queue_.value.stats();
+  }
   // Arena footprint at its peak — finish() releases the recording vectors
   // into the report, so sample first.
   resident_bytes_ = service_.value.resident_bytes();
@@ -403,6 +748,20 @@ ServiceReport EngineShard::drain_and_finish() {
   if (queue_depth_ != nullptr) queue_depth_->set(0.0);
   if (merge_depth_ != nullptr) merge_depth_->set(0.0);
   return rep;
+}
+
+std::size_t EngineShard::queue_depth() const {
+  if (queue_kind_ == QueueKind::kMutex) return queue_.value.depth();
+  // Sampler gauge: racy by nature. The lock only guards the lane vector
+  // against concurrent registration (pre-freeze); the per-lane reads are
+  // atomic loads.
+  const std::lock_guard<std::mutex> lk(lanes_mu_);
+  std::size_t depth = 0;
+  for (const std::unique_ptr<SpscLane>& l : spsc_lanes_) {
+    depth += l->ring.size_approx() +
+             l->overflow_count.load(std::memory_order_relaxed);
+  }
+  return depth;
 }
 
 std::vector<obs::TelemetrySpan> EngineShard::telemetry_spans() const {

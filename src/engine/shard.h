@@ -1,19 +1,36 @@
-// One shard of the streaming engine: a bounded ingest queue, a worker
+// One shard of the streaming engine: an ingest transport, a worker
 // thread, and a private OnlineDataService owning every item hashed here.
 //
 // Multi-producer ingestion (docs/ENGINE.md, "Ingestion sessions"): the
-// queue carries stamped IngressRecords from any number of sessions, each
-// a strictly-increasing-time FIFO of its own. The worker demultiplexes
-// records into per-producer merge lanes and emits them in global
-// (time, producer_id, seq) order — the deterministic cross-producer merge
-// that keeps the engine bit-identical to the serial service no matter how
-// producer threads interleave. A lane's head may only be emitted once
-// every other open lane either has a buffered record or a watermark
-// snapshot proving its future records are strictly later; the snapshot is
-// taken *before* a full queue drain, which is what makes trusting it
-// sound (the merge-safety argument in the doc). With a single producer
-// the worker bypasses the lanes entirely and processes batches in place —
-// the original fast path, preserved bit for bit.
+// transport carries stamped IngressRecords from any number of sessions,
+// each a strictly-increasing-time FIFO of its own. The worker
+// demultiplexes records into per-producer merge lanes and emits them in
+// global (time, producer_id, seq) order — the deterministic
+// cross-producer merge that keeps the engine bit-identical to the serial
+// service no matter how producer threads interleave. A lane's head may
+// only be emitted once every other open lane either has a buffered record
+// or a watermark snapshot proving its future records are strictly later;
+// the snapshot is taken *before* a full transport drain, which is what
+// makes trusting it sound (the merge-safety argument in the doc). With a
+// single producer the worker bypasses the merge buffers entirely and
+// processes records in arrival order — the original fast path, preserved
+// bit for bit.
+//
+// Two transports (EngineConfig::queue):
+//  * kSpsc (default): one lock-free SpscRing per producer lane
+//    (registered via add_lane() at open_producer, sealed by
+//    freeze_lanes() at first submit). Producers push with wait-free span
+//    publications; the worker polls lanes, consuming each ring in one
+//    acquire/release pair. Backpressure policies keep their mutex-path
+//    semantics: kBlock spins the producer on ring space, kDrop rejects
+//    the tail of a span that does not fit, kSpill parks overflow in a
+//    per-lane locked side-car the worker splices after each full ring
+//    drain (lock touched only when a ring actually fills — the common
+//    path stays lock-free, and FIFO is exact because a producer never
+//    pushes to the ring while its overflow is non-empty).
+//  * kMutex: the PR-6 BoundedMpscQueue (one shared mutex-guarded FIFO
+//    per shard, control records bracket producer lifetimes). Kept as the
+//    A/B reference; both transports are fuzz-proven bit-identical.
 //
 // Memory: the shard's service is its arena — item state lives in the
 // service-owned slab (docs/ENGINE.md "Memory model"), so steady-state
@@ -22,13 +39,17 @@
 // CachePadded: adjacent shards in the engine's array never false-share.
 #pragma once
 
+#include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <exception>
 #include <deque>
 #include <memory>
+#include <mutex>
 #include <thread>
 #include <vector>
 
+#include "engine/batcher.h"
 #include "engine/bounded_queue.h"
 #include "engine/engine_config.h"
 #include "engine/engine_stats.h"
@@ -59,16 +80,44 @@ class EngineShard {
 
   void start();
 
+  // ---- kMutex transport (engine uses these only in queue=mutex mode) ----
+
   /// Enqueue under the shard's backpressure policy. Returns false when the
   /// request was dropped (kDrop on a full queue). Any producer thread.
   bool enqueue(const IngressRecord& r);
+
+  /// Enqueue a whole span under the shard's backpressure policy in ONE
+  /// lock acquisition. Returns records accepted (== n except kDrop). Any
+  /// producer thread.
+  std::size_t enqueue_span(const IngressRecord* data, std::size_t n) {
+    return queue_.value.push_span(data, n);
+  }
 
   /// Enqueue a control marker (kOpen/kClose): never dropped, never
   /// counted as a request. Any thread.
   void enqueue_control(const IngressRecord& r);
 
-  /// Close the queue, join the worker (rethrowing anything it threw), and
-  /// return the shard's service report (per_item ascending by item id).
+  // ---- kSpsc transport ----
+
+  /// Register a producer's lane on this shard (open_producer; before the
+  /// first submit anywhere). Returns the lane the producer pushes into;
+  /// the shard keeps ownership.
+  SpscLane* add_lane(ProducerState* p);
+
+  /// Seal the lane set: called (once) at the first submit. After this the
+  /// lane vector is immutable, so the worker scans it without locking.
+  void freeze_lanes();
+
+  /// Producer-side: push `n` stamped records into `lane` under the
+  /// shard's backpressure policy, in one ring publication when they fit.
+  /// Returns records accepted (== n except under kDrop). Producer thread
+  /// of `lane` only.
+  std::size_t lane_push_span(SpscLane& lane, const IngressRecord* data,
+                             std::size_t n);
+
+  /// Close the transport, join the worker (rethrowing anything it threw),
+  /// and return the shard's service report (per_item ascending by item
+  /// id).
   ServiceReport drain_and_finish();
 
   /// Valid after drain_and_finish().
@@ -76,9 +125,10 @@ class EngineShard {
 
   int index() const { return index_; }
 
-  /// Instantaneous ingest queue depth (any thread; takes the queue
-  /// mutex). The TelemetrySampler's per-shard probe.
-  std::size_t queue_depth() const { return queue_.value.depth(); }
+  /// Instantaneous ingest depth (any thread): queue mutex snapshot under
+  /// kMutex, sum of lane ring occupancies (+ spill side-cars) under
+  /// kSpsc. The TelemetrySampler's per-shard probe.
+  std::size_t queue_depth() const;
 
   // Telemetry read-outs: null with telemetry off. The histograms are
   // lock-free (readable any time); the span ring is single-writer, so
@@ -98,7 +148,7 @@ class EngineShard {
  private:
   /// Per-producer merge lane: the FIFO of this producer's records that
   /// have reached the shard but not yet been emitted, plus the watermark
-  /// snapshot taken before the most recent full queue drain.
+  /// snapshot taken before the most recent full transport drain.
   struct Lane {
     std::deque<IngressRecord> buf;
     ProducerState* state = nullptr;
@@ -112,12 +162,20 @@ class EngineShard {
   };
 
   void run();
+  void run_mutex();
+  void run_spsc();
+  /// Consume everything in `src` (ring, then spill side-car): demux into
+  /// the merge lane `ml`, or — single-producer — into the SoA scratch
+  /// (telemetry off) / straight through process_record (telemetry on).
+  /// `deq_ns` feeds the queue-wait histogram (0 with telemetry off).
+  std::size_t drain_lane(SpscLane& src, Lane& ml, bool single,
+                         std::uint64_t deq_ns);
   /// `deq_ns` is the dequeue timestamp feeding the queue-wait histogram
   /// (0 with telemetry off).
   void demux(const std::vector<IngressRecord>& batch, std::uint64_t deq_ns);
-  /// Emit every merge-eligible record; with `flush_all` (queue closed and
-  /// drained — no further input can exist) lanes are treated as closed.
-  /// Returns true when records remain parked (merge stalled).
+  /// Emit every merge-eligible record; with `flush_all` (transport closed
+  /// and drained — no further input can exist) lanes are treated as
+  /// closed. Returns true when records remain parked (merge stalled).
   bool process_eligible(bool flush_all);
   /// The deterministic cross-producer merge order: (time, producer id).
   /// seq never ties across lanes (each lane is already FIFO by seq).
@@ -134,14 +192,27 @@ class EngineShard {
   const int index_;
   const bool deterministic_;
   const std::size_t max_batch_;
+  const QueueKind queue_kind_;
+  const BackpressurePolicy policy_;  ///< effective (deterministic kDrop->kBlock)
+  const std::size_t lane_capacity_;  ///< per-lane ring capacity (kSpsc)
   CachePadded<OnlineDataService> service_;
   CachePadded<BoundedMpscQueue<IngressRecord>> queue_;
   std::thread worker_;
   std::exception_ptr failure_;
   bool joined_ = false;
 
+  // kSpsc lane registry: mutated only under lanes_mu_ and only before
+  // freeze_lanes(); the worker waits on the condvar for the freeze (or
+  // stop) and then reads the vector lock-free.
+  mutable std::mutex lanes_mu_;
+  std::condition_variable lanes_cv_;
+  std::vector<std::unique_ptr<SpscLane>> spsc_lanes_;
+  std::atomic<bool> lanes_frozen_{false};
+  std::atomic<bool> stop_{false};
+
   // Worker-local state.
   std::vector<IngressRecord> batch_buf_;
+  RequestSoA soa_;
   BatchStats batch_stats_;
   std::vector<Lane> lanes_;
   std::size_t producers_seen_ = 0;

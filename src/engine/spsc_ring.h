@@ -1,0 +1,156 @@
+// Lock-free single-producer/single-consumer ring: the engine's ingest
+// lane. One instance carries one producer's records to one shard worker
+// (per-producer×shard lanes), so each side is single-threaded by
+// construction and the whole protocol is two atomic indices:
+//
+//   tail_  written by the producer only (publish), read by the consumer;
+//   head_  written by the consumer only (retire), read by the producer.
+//
+// Memory-ordering proof (docs/ENGINE.md, "Ingestion sessions" carries the
+// merge-level argument on top of this):
+//  * The producer writes slots [tail, tail+n), THEN stores tail+n with
+//    release. A consumer that acquire-loads tail t therefore sees every
+//    slot write before index t — the release store is the publication
+//    fence.
+//  * The consumer reads slots [head, tail), THEN stores the new head with
+//    release. A producer that acquire-loads head h may therefore reuse
+//    slots before index h — the consumer is provably done with them.
+//  * Indices are free-running 64-bit counters masked on access: at one
+//    record per nanosecond a wrap takes ~584 years, so overflow is not a
+//    practical concern and emptiness is the exact test head == tail.
+//
+// No CAS, no RMW, no spinlock anywhere: each atomic has exactly one
+// writer, so plain loads/stores with acquire/release are sufficient and
+// every operation is wait-free. Head and tail live on separate cache
+// lines (CachePadded) so the producer and consumer never false-share;
+// each side additionally caches the other's index and refreshes it only
+// when the stale value says full/empty, which keeps steady-state pushes
+// and pops at zero cross-core traffic beyond the data itself.
+//
+// Capacity is rounded up to a power of two (index masking instead of
+// modulo). The slot array is allocated once at construction; push and
+// pop never allocate (MCDC_NO_ALLOC on the hot entry points backs the
+// engine's zero-steady-state-allocation invariant).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <type_traits>
+#include <vector>
+
+#include "util/annotate.h"
+#include "util/concurrency.h"
+#include "util/contracts.h"
+
+namespace mcdc {
+
+template <typename T>
+class SpscRing {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "SpscRing slots are published across threads by plain "
+                "stores; the element type must be memcpy-safe");
+
+ public:
+  /// Capacity is the smallest power of two >= min_capacity (>= 2). All
+  /// allocation happens here, once.
+  explicit SpscRing(std::size_t min_capacity) {
+    MCDC_ASSERT(min_capacity > 0, "ring capacity must be positive");
+    std::size_t cap = 2;
+    while (cap < min_capacity) cap <<= 1;
+    slots_.resize(cap);
+    mask_ = cap - 1;
+  }
+
+  SpscRing(const SpscRing&) = delete;
+  SpscRing& operator=(const SpscRing&) = delete;
+
+  std::size_t capacity() const { return mask_ + 1; }
+
+  // ---- Producer side ------------------------------------------------------
+
+  /// Push one record; false when the ring is full. Wait-free.
+  MCDC_NO_ALLOC MCDC_LOCK_FREE
+  bool try_push(const T& v) {
+    const std::uint64_t tail = tail_.value.load(std::memory_order_relaxed);
+    if (tail - cached_head_ >= capacity()) {
+      cached_head_ = head_.value.load(std::memory_order_acquire);
+      if (tail - cached_head_ >= capacity()) return false;
+    }
+    slots_[static_cast<std::size_t>(tail) & mask_] = v;
+    tail_.value.store(tail + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Push up to n records from `data` under ONE publication: all slot
+  /// writes land first, then a single release store of the new tail.
+  /// Returns the number pushed (< n iff the ring filled up). Wait-free.
+  MCDC_NO_ALLOC MCDC_LOCK_FREE
+  std::size_t try_push_span(const T* data, std::size_t n) {
+    const std::uint64_t tail = tail_.value.load(std::memory_order_relaxed);
+    std::size_t room = capacity() - static_cast<std::size_t>(tail - cached_head_);
+    if (room < n) {
+      cached_head_ = head_.value.load(std::memory_order_acquire);
+      room = capacity() - static_cast<std::size_t>(tail - cached_head_);
+    }
+    const std::size_t take = n < room ? n : room;
+    for (std::size_t i = 0; i < take; ++i) {
+      slots_[static_cast<std::size_t>(tail + i) & mask_] = data[i];
+    }
+    if (take > 0) tail_.value.store(tail + take, std::memory_order_release);
+    return take;
+  }
+
+  /// Free slots from the producer's point of view (pessimistic: the
+  /// consumer may have retired more since the last acquire).
+  std::size_t free_slots() {
+    const std::uint64_t tail = tail_.value.load(std::memory_order_relaxed);
+    cached_head_ = head_.value.load(std::memory_order_acquire);
+    return capacity() - static_cast<std::size_t>(tail - cached_head_);
+  }
+
+  // ---- Consumer side ------------------------------------------------------
+
+  /// Drain everything published so far: one acquire of tail, f(record) for
+  /// each pending slot in FIFO order, then ONE release store of head.
+  /// Returns the number consumed. Wait-free; never allocates (whatever f
+  /// does is f's business — the engine's consumers copy into pre-sized
+  /// buffers or feed the service directly).
+  template <typename F>
+  MCDC_NO_ALLOC MCDC_LOCK_FREE
+  std::size_t consume_all(F&& f) {
+    const std::uint64_t head = head_.value.load(std::memory_order_relaxed);
+    const std::uint64_t tail = tail_.value.load(std::memory_order_acquire);
+    for (std::uint64_t i = head; i != tail; ++i) {
+      f(slots_[static_cast<std::size_t>(i) & mask_]);
+    }
+    if (tail != head) head_.value.store(tail, std::memory_order_release);
+    return static_cast<std::size_t>(tail - head);
+  }
+
+  /// Consumer-exact emptiness (producer may publish concurrently; a false
+  /// return is instantaneously true at the acquire).
+  bool empty() const {
+    return head_.value.load(std::memory_order_relaxed) ==
+           tail_.value.load(std::memory_order_acquire);
+  }
+
+  // ---- Any thread ---------------------------------------------------------
+
+  /// Instantaneous occupancy; a gauge, racy by nature (sampler probes).
+  std::size_t size_approx() const {
+    const std::uint64_t head = head_.value.load(std::memory_order_acquire);
+    const std::uint64_t tail = tail_.value.load(std::memory_order_acquire);
+    return tail >= head ? static_cast<std::size_t>(tail - head) : 0;
+  }
+
+ private:
+  std::vector<T> slots_;
+  std::size_t mask_ = 0;
+  /// Producer-thread-only mirror of head_ (refreshed on apparent full).
+  std::uint64_t cached_head_ = 0;
+  CachePadded<std::atomic<std::uint64_t>> head_;  ///< consumer writes
+  CachePadded<std::atomic<std::uint64_t>> tail_;  ///< producer writes
+};
+
+}  // namespace mcdc

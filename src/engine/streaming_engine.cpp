@@ -30,7 +30,9 @@ std::size_t StreamingEngine::shard_of(int item, int num_shards) {
 
 StreamingEngine::StreamingEngine(int num_servers, const ServingCostModel& cm,
                                  const EngineConfig& cfg)
-    : num_servers_(num_servers), credits_(cfg.producer_credits) {
+    : num_servers_(num_servers),
+      queue_kind_(cfg.queue),
+      credits_(cfg.producer_credits) {
   if (num_servers <= 0) {
     throw std::invalid_argument("StreamingEngine: need at least one server");
   }
@@ -136,29 +138,55 @@ IngressSession StreamingEngine::open_producer() {
     }
   }
   producers_.push_back(std::move(owned));
-  // Announce the lane to every shard. All opens precede the first submit,
-  // so by queue FIFO every kOpen precedes every data record.
-  IngressRecord open;
-  open.kind = IngressRecord::Kind::kOpen;
-  open.producer = p->id;
-  open.state = p;
-  for (auto& s : shards_) s->enqueue_control(open);
+  // Per-shard routing buckets for submit_span (both transports bucket the
+  // same way; capacity grows to the largest span ever routed).
+  p->scratch.resize(shards_.size());
+  if (queue_kind_ == QueueKind::kSpsc) {
+    // Register this producer's ring lane on every shard. No control
+    // records: the lane set is sealed at the first submit (freeze_once_)
+    // and a closed lane is state->closed + empty ring.
+    p->lanes.reserve(shards_.size());
+    for (auto& s : shards_) p->lanes.push_back(s->add_lane(p));
+  } else {
+    // Announce the lane to every shard. All opens precede the first
+    // submit, so by queue FIFO every kOpen precedes every data record.
+    IngressRecord open;
+    open.kind = IngressRecord::Kind::kOpen;
+    open.producer = p->id;
+    open.state = p;
+    for (auto& s : shards_) s->enqueue_control(open);
+  }
   return IngressSession(this, p);
 }
 
-bool StreamingEngine::submit_from(ProducerState& p, int item, ServerId server,
-                                  Time time) {
+std::size_t StreamingEngine::submit_span_from(
+    ProducerState& p, std::span<const MultiItemRequest> batch) {
   if (p.closed.load(std::memory_order_acquire)) {
     throw std::logic_error("IngressSession: session is closed");
   }
-  if (server < 0 || server >= num_servers_) {
-    throw std::invalid_argument("StreamingEngine: server out of range");
-  }
-  if (!(time > p.last_time)) {
-    throw std::invalid_argument(
-        "IngressSession: times must strictly increase per producer");
+  if (batch.empty()) return 0;  // no-op: no side effects, ingest not started
+  // Atomic validation: the WHOLE span is checked before anything is
+  // enqueued, so a bad span throws with no partial submission (the
+  // session's last_time, seq, and watermark are untouched too).
+  Time prev = p.last_time;
+  for (const MultiItemRequest& r : batch) {
+    if (r.server < 0 || r.server >= num_servers_) {
+      throw std::invalid_argument("StreamingEngine: server out of range");
+    }
+    if (!(r.time > prev)) {
+      throw std::invalid_argument(
+          "IngressSession: times must strictly increase per producer");
+    }
+    prev = r.time;
   }
   ingest_started_.store(true, std::memory_order_release);
+  if (queue_kind_ == QueueKind::kSpsc) {
+    // First submit anywhere seals the lane sets: workers scan the lane
+    // vectors lock-free from here on.
+    std::call_once(freeze_once_, [this] {
+      for (auto& s : shards_) s->freeze_lanes();
+    });
+  }
   const bool tele = telemetry_registry_ != nullptr;
   if (tele && sample_ms_ > 0) {
     // Every producer is open by now (open_producer throws after the first
@@ -166,30 +194,52 @@ bool StreamingEngine::submit_from(ProducerState& p, int item, ServerId server,
     // launches it.
     std::call_once(sampler_once_, [this] { start_sampler(); });
   }
-  p.last_time = time;
-  ++p.seq;
   credit_throttle(p, tele);
-  IngressRecord r;
-  r.item = item;
-  r.server = server;
-  r.time = time;
-  r.producer = p.id;
-  r.seq = p.seq;
-  // Wall-clock stamp feeding the queue-wait/e2e histograms; the merge
-  // NEVER consults it (bit-identity is stamp-blind).
-  if (tele) r.submit_ns = obs::telemetry_now_ns();
+  // Wall-clock stamp feeding the queue-wait/e2e histograms — one read per
+  // span; the merge NEVER consults it (bit-identity is stamp-blind).
+  const std::uint64_t submit_ns = tele ? obs::telemetry_now_ns() : 0;
+  const int nsh = num_shards();
+  // Stamp and bucket per shard in producer-owned scratch (amortized
+  // growth to the largest span; zero steady-state allocation).
+  for (std::vector<IngressRecord>& b : p.scratch) b.clear();
+  for (const MultiItemRequest& r : batch) {
+    IngressRecord rec;
+    rec.item = r.item;
+    rec.server = r.server;
+    rec.time = r.time;
+    rec.producer = p.id;
+    rec.seq = ++p.seq;
+    rec.submit_ns = submit_ns;
+    const std::size_t s = nsh == 1 ? 0 : shard_of(r.item, nsh);
+    p.scratch[s].push_back(rec);
+  }
+  p.last_time = batch.back().time;
   // submitted is incremented before the enqueue so retired (worker-side)
   // can never be observed above it.
   const std::uint64_t submitted =
-      p.submitted.fetch_add(1, std::memory_order_relaxed) + 1;
-  const std::size_t s = shard_of(item, num_shards());
-  const bool accepted = shards_[s]->enqueue(r);
-  if (!accepted) p.dropped.fetch_add(1, std::memory_order_relaxed);
-  // Watermark advances AFTER the enqueue (release order): a worker that
-  // acquire-loads it and then fully drains its queue has provably seen
-  // every record from this producer with time <= the loaded value — the
-  // merge-safety protocol (docs/ENGINE.md, "Ingestion sessions").
-  p.watermark.store(time, std::memory_order_release);
+      p.submitted.fetch_add(batch.size(), std::memory_order_relaxed) +
+      batch.size();
+  std::size_t accepted = 0;
+  for (int s = 0; s < nsh; ++s) {
+    const std::vector<IngressRecord>& bucket = p.scratch[static_cast<std::size_t>(s)];
+    if (bucket.empty()) continue;
+    if (queue_kind_ == QueueKind::kSpsc) {
+      accepted += shards_[static_cast<std::size_t>(s)]->lane_push_span(
+          *p.lanes[static_cast<std::size_t>(s)], bucket.data(), bucket.size());
+    } else {
+      accepted += shards_[static_cast<std::size_t>(s)]->enqueue_span(
+          bucket.data(), bucket.size());
+    }
+  }
+  const std::uint64_t lost = batch.size() - accepted;
+  if (lost > 0) p.dropped.fetch_add(lost, std::memory_order_relaxed);
+  // Watermark advances AFTER every bucket is enqueued (release order): a
+  // worker that acquire-loads it and then fully drains its lane has
+  // provably seen every record from this producer with time <= the loaded
+  // value — the merge-safety protocol (docs/ENGINE.md, "Ingestion
+  // sessions"). One store covers the whole span (a dropped record never
+  // arrives, so the span's last time is safe even under kDrop).
+  p.watermark.store(batch.back().time, std::memory_order_release);
   const std::uint64_t in_flight = submitted -
                                   p.dropped.load(std::memory_order_relaxed) -
                                   p.retired.load(std::memory_order_relaxed);
@@ -231,11 +281,16 @@ void StreamingEngine::credit_throttle(ProducerState& p, bool tele) {
 void StreamingEngine::close_producer(ProducerState* p) {
   if (p->closed.exchange(true, std::memory_order_acq_rel)) return;
   // Exactly one closer (the session's thread, or finish() after the
-  // quiesce) broadcasts the marker and publishes the session's metrics.
-  IngressRecord rec;
-  rec.kind = IngressRecord::Kind::kClose;
-  rec.producer = p->id;
-  for (auto& s : shards_) s->enqueue_control(rec);
+  // quiesce) announces end-of-stream and publishes the session's metrics.
+  // kSpsc needs no marker: the exchange above is a release store that
+  // follows every push, so a worker that acquire-observes closed and then
+  // drains the lane provably consumes the final records.
+  if (queue_kind_ == QueueKind::kMutex) {
+    IngressRecord rec;
+    rec.kind = IngressRecord::Kind::kClose;
+    rec.producer = p->id;
+    for (auto& s : shards_) s->enqueue_control(rec);
+  }
   if (p->m_submitted != nullptr) {
     p->m_submitted->inc(p->submitted.load(std::memory_order_relaxed));
   }
@@ -474,11 +529,21 @@ std::uint32_t IngressSession::id() const {
   return state_->id;
 }
 
+std::size_t IngressSession::submit_span(
+    std::span<const MultiItemRequest> batch) {
+  if (state_ == nullptr) {
+    throw std::logic_error("IngressSession: invalid (moved-from) session");
+  }
+  return engine_->submit_span_from(*state_, batch);
+}
+
 bool IngressSession::submit(int item, ServerId server, Time time) {
   if (state_ == nullptr) {
     throw std::logic_error("IngressSession: invalid (moved-from) session");
   }
-  return engine_->submit_from(*state_, item, server, time);
+  const MultiItemRequest one{item, server, time};
+  return engine_->submit_span_from(
+             *state_, std::span<const MultiItemRequest>(&one, 1)) == 1;
 }
 
 void IngressSession::close() {

@@ -5,17 +5,22 @@
 // trace replay, a ceiling for "heavy traffic" streams. Under the
 // homogeneous cost model items are independent (the service layer already
 // exploits this), so the stream can be hash-partitioned by item id onto N
-// shards, each an OnlineDataService of its own behind a bounded MPSC
-// queue: producers pay only hash + enqueue, the SC work proceeds on N
-// worker threads, and no cross-shard coordination ever happens because no
-// item spans shards.
+// shards, each an OnlineDataService of its own behind an ingest
+// transport: producers pay only stamp + hash + publish, the SC work
+// proceeds on N worker threads, and no cross-shard coordination ever
+// happens because no item spans shards. The default transport is a
+// lock-free SPSC ring per producer×shard lane (EngineConfig::queue =
+// kSpsc); the PR-6 mutex queue survives as the A/B reference (kMutex).
 //
 // Ingestion is organized around producer sessions (engine/ingress.h):
 // open_producer() hands out an IngressSession per request source; each
 // session stamps its submissions with a per-producer monotone sequence
 // number and shard workers merge the per-producer FIFOs back into one
 // time-ordered stream with a deterministic (producer_id, seq) tie-break
-// on equal timestamps. All sessions must be opened before the first
+// on equal timestamps. The primary submission API is the batched
+// IngressSession::submit_span() — one validation pass, one credit check,
+// one queue publication per shard touched, and one watermark advance for
+// a whole span of records. All sessions must be opened before the first
 // submit anywhere on the engine; each session is single-threaded, and
 // distinct sessions may submit concurrently from distinct threads.
 //
@@ -37,6 +42,7 @@
 #include <atomic>
 #include <memory>
 #include <mutex>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -130,9 +136,14 @@ class StreamingEngine {
  private:
   friend class IngressSession;
 
-  /// The session submit path: validates, stamps (producer, seq), applies
-  /// the soft credit window, enqueues, then advances the watermark.
-  bool submit_from(ProducerState& p, int item, ServerId server, Time time);
+  /// The session submit path: validates the WHOLE span first (nothing is
+  /// enqueued on a bad span), stamps (producer, seq), applies the soft
+  /// credit window once, buckets records per shard, enqueues each bucket
+  /// in one queue operation, then advances the watermark once to the
+  /// span's last time. Returns records accepted (== batch.size() except
+  /// under kDrop).
+  std::size_t submit_span_from(ProducerState& p,
+                               std::span<const MultiItemRequest> batch);
 
   /// The soft credit window: account and yield once when the producer's
   /// in-flight count exceeds its credits — never block (a hard block can
@@ -150,9 +161,15 @@ class StreamingEngine {
   void start_sampler();
 
   int num_servers_;
+  QueueKind queue_kind_ = QueueKind::kSpsc;
   std::size_t credits_ = 0;
   std::size_t sample_ms_ = 0;
   std::vector<std::unique_ptr<EngineShard>> shards_;
+
+  /// First submit anywhere seals the spsc lane sets (the merge needs the
+  /// full producer population before it can order anything; freezing lets
+  /// workers scan lanes lock-free thereafter).
+  std::once_flag freeze_once_;
 
   // Telemetry registry: the observer's, or engine-owned when telemetry is
   // on without an observer. Null iff telemetry is off.

@@ -5,59 +5,34 @@
 #include <cstddef>
 
 #include "util/contracts.h"
+#include "util/kvform.h"
 
 namespace mcdc {
 namespace {
 
-// Shortest round-trip rendering (same convention as EngineConfig /
-// ScenarioConfig): std::to_chars without a precision argument.
-std::string fmt_double(double v) {
-  char buf[64];
-  const auto res = std::to_chars(buf, buf + sizeof(buf), v);
-  return std::string(buf, res.ptr);
-}
+constexpr const char* kCtx = "HeterogeneousCostModel";
+constexpr const char* kKeys = "mu|lam|tier|metric";
+
+// Thin context-binding shims over util/kvform.h (shared with EngineConfig /
+// ScenarioConfig): same shortest-round-trip floats, whole-token parses, and
+// error shapes; this file only pins the surface name.
+
+using kvform::fmt_double;
 
 [[noreturn]] void fail(const std::string& msg) {
-  throw std::invalid_argument("HeterogeneousCostModel: " + msg);
+  throw std::invalid_argument(std::string(kCtx) + ": " + msg);
 }
 
 [[noreturn]] void bad_value(const std::string& key, const std::string& value,
                             const std::string& expected) {
-  fail("unknown value \"" + value + "\" for key \"" + key + "\" (expected " +
-       expected + ")");
-}
-
-// Whole-token double: trailing junk is an error, not a partial parse.
-double parse_f64(const std::string& key, const std::string& token) {
-  double v = 0.0;
-  const char* begin = token.data();
-  const char* end = begin + token.size();
-  const auto res = std::from_chars(begin, end, v);
-  if (token.empty() || res.ec != std::errc() || res.ptr != end) {
-    bad_value(key, token, "a number");
-  }
-  return v;
-}
-
-std::vector<std::string> split(const std::string& s, char sep) {
-  std::vector<std::string> out;
-  std::size_t start = 0;
-  while (true) {
-    const std::size_t pos = s.find(sep, start);
-    if (pos == std::string::npos) {
-      out.push_back(s.substr(start));
-      return out;
-    }
-    out.push_back(s.substr(start, pos - start));
-    start = pos + 1;
-  }
+  kvform::bad_value(kCtx, key, value, expected);
 }
 
 std::vector<double> parse_list(const std::string& key,
                                const std::string& value) {
   std::vector<double> out;
-  for (const std::string& tok : split(value, '|')) {
-    out.push_back(parse_f64(key, tok));
+  for (const std::string& tok : kvform::split(value, '|')) {
+    out.push_back(kvform::parse_f64(kCtx, key, tok, "a number"));
   }
   return out;
 }
@@ -268,14 +243,8 @@ HeterogeneousCostModel HeterogeneousCostModel::parse(const std::string& spec) {
   int tier_edge = 0;
   int tier_cloud = 0;
   Options options;
-  for (const std::string& token : split(spec, ';')) {
-    const std::size_t pos = token.find('=');
-    if (pos == std::string::npos || pos == 0) {
-      fail("malformed token \"" + token +
-           "\" (expected key=value with keys mu|lam|tier|metric)");
-    }
-    const std::string key = token.substr(0, pos);
-    const std::string value = token.substr(pos + 1);
+  kvform::for_each_kv(kCtx, spec, ';', kKeys, [&](const std::string& key,
+                                                  const std::string& value) {
     if (key == "mu") {
       mu = parse_list(key, value);
       have_mu = true;
@@ -299,17 +268,12 @@ HeterogeneousCostModel HeterogeneousCostModel::parse(const std::string& spec) {
       if (!ok) bad_value(key, value, "<edge>x<cloud> server counts");
       have_tier = true;
     } else if (key == "metric") {
-      if (value == "on") {
-        options.require_metric = true;
-      } else if (value == "off") {
-        options.require_metric = false;
-      } else {
-        bad_value(key, value, "on|off");
-      }
+      options.require_metric = kvform::parse_on_off(kCtx, key, value);
     } else {
-      fail("unknown key \"" + key + "\" (expected mu|lam|tier|metric)");
+      return false;  // for_each_kv raises the uniform unknown-key error
     }
-  }
+    return true;
+  });
   if (!have_mu) fail("missing key \"mu\"");
   if (!have_lam) fail("missing key \"lam\"");
   if (have_tier) {

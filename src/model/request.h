@@ -27,6 +27,19 @@ struct Request {
   bool operator==(const Request&) const = default;
 };
 
+/// One record of a multi-item stream: the element type of every bulk
+/// ingestion surface (workload generators, trace files, the engine's
+/// IngressSession::submit_span). Lives in the model layer so the engine
+/// can take spans of it without reaching into workload/ (the layering
+/// DAG forbids that direction).
+struct MultiItemRequest {
+  int item = 0;
+  ServerId server = kNoServer;
+  Time time = 0.0;
+
+  bool operator==(const MultiItemRequest&) const = default;
+};
+
 class RequestSequence {
  public:
   /// Build a sequence over `num_servers` servers. `requests` are r_1..r_n in

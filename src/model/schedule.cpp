@@ -29,26 +29,80 @@ void Schedule::add_transfer(ServerId from, ServerId to, Time at) {
 }
 
 void Schedule::normalize() {
-  std::sort(caches_.begin(), caches_.end(), [](const auto& a, const auto& b) {
+  // Ordering is (server, start, end) lexicographic. The recorders feed us
+  // near-sorted data — SC kills copies in chronological order, and
+  // per-server intervals are disjoint and appended in (start, end) order —
+  // so the common cases are "already sorted" (one is_sorted pass) or
+  // "sorted within each server" (a stable counting pass by server, then an
+  // is_sorted check per server range). Equal triples are identical
+  // structs, so any comparator-respecting order is byte-identical to the
+  // old full std::sort: the output — and every cost derived from it — is
+  // bit-for-bit unchanged.
+  const auto cache_less = [](const CacheInterval& a, const CacheInterval& b) {
     if (a.server != b.server) return a.server < b.server;
     if (a.start != b.start) return a.start < b.start;
     return a.end < b.end;
-  });
-  std::vector<CacheInterval> merged;
-  for (const auto& c : caches_) {
-    if (!merged.empty() && merged.back().server == c.server &&
-        c.start <= merged.back().end + kEps) {
-      merged.back().end = std::max(merged.back().end, c.end);
+  };
+  if (!std::is_sorted(caches_.begin(), caches_.end(), cache_less)) {
+    int max_server = 0;
+    for (const auto& c : caches_) {
+      if (c.server > max_server) max_server = c.server;
+    }
+    const std::size_t buckets = static_cast<std::size_t>(max_server) + 1;
+    if (buckets <= caches_.size() * 4 + 64) {
+      // Stable counting partition by server: one histogram pass, one
+      // placement pass — O(n + m) instead of O(n log n) comparisons, and
+      // it leaves each server's appends in recorder order.
+      std::vector<std::size_t> start(buckets + 1, 0);
+      for (const auto& c : caches_) {
+        ++start[static_cast<std::size_t>(c.server) + 1];
+      }
+      for (std::size_t s = 1; s <= buckets; ++s) start[s] += start[s - 1];
+      std::vector<CacheInterval> tmp(caches_.size());
+      std::vector<std::size_t> pos(start.begin(), start.end() - 1);
+      for (const auto& c : caches_) {
+        tmp[pos[static_cast<std::size_t>(c.server)]++] = c;
+      }
+      caches_.swap(tmp);
+      const auto se_less = [](const CacheInterval& a, const CacheInterval& b) {
+        if (a.start != b.start) return a.start < b.start;
+        return a.end < b.end;
+      };
+      for (std::size_t s = 0; s < buckets; ++s) {
+        const auto lo = caches_.begin() + static_cast<std::ptrdiff_t>(start[s]);
+        const auto hi =
+            caches_.begin() + static_cast<std::ptrdiff_t>(start[s + 1]);
+        if (!std::is_sorted(lo, hi, se_less)) std::sort(lo, hi, se_less);
+      }
     } else {
-      merged.push_back(c);
+      // Sparse server ids (m >> n): the histogram would dominate.
+      std::sort(caches_.begin(), caches_.end(), cache_less);
     }
   }
-  caches_ = std::move(merged);
-  std::sort(transfers_.begin(), transfers_.end(), [](const auto& a, const auto& b) {
+  // Merge adjacent/overlapping intervals in place (write index chases the
+  // read index; no temporary vector, no copies of the already-compact
+  // prefix).
+  std::size_t w = 0;
+  for (std::size_t rd = 0; rd < caches_.size(); ++rd) {
+    const CacheInterval c = caches_[rd];
+    if (w > 0 && caches_[w - 1].server == c.server &&
+        c.start <= caches_[w - 1].end + kEps) {
+      if (c.end > caches_[w - 1].end) caches_[w - 1].end = c.end;
+    } else {
+      caches_[w++] = c;
+    }
+  }
+  caches_.resize(w);
+  const auto tr_less = [](const Transfer& a, const Transfer& b) {
     if (a.at != b.at) return a.at < b.at;
     if (a.from != b.from) return a.from < b.from;
     return a.to < b.to;
-  });
+  };
+  // SC appends transfer edges chronologically, so this is usually a
+  // single guard pass.
+  if (!std::is_sorted(transfers_.begin(), transfers_.end(), tr_less)) {
+    std::sort(transfers_.begin(), transfers_.end(), tr_less);
+  }
 
 #if MCDC_CONTRACTS
   // Postcondition: per server, intervals are disjoint with positive length

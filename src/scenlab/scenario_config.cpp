@@ -1,13 +1,12 @@
 #include "scenlab/scenario_config.h"
 
-#include <charconv>
-#include <cstddef>
-#include <sstream>
+#include <cstdint>
 #include <stdexcept>
-#include <system_error>
+#include <string>
 
 #include "model/cost_model.h"
 #include "util/contracts.h"
+#include "util/kvform.h"
 
 namespace mcdc::scenlab {
 
@@ -31,49 +30,30 @@ ScenarioPolicy parse_scenario_policy(const char* name) {
 
 namespace {
 
+constexpr const char* kCtx = "ScenarioConfig";
 constexpr const char* kKeys =
     "family|servers|items|users|rate|duration|period|day_night|flash_every|"
     "flash_len|flash_boost|flash_affinity|zipf_items|zipf_servers|bw|size|"
     "slots|slo|policy|window|interval|epoch|seed|cost";
 
-/// Shortest round-trip decimal form, so parse(to_string()) is exact.
-void append_double(std::string& out, double v) {
-  char buf[64];
-  const auto res = std::to_chars(buf, buf + sizeof(buf), v);
-  MCDC_ASSERT(res.ec == std::errc{}, "double to_chars cannot fail here");
-  out.append(buf, res.ptr);
-}
+// Thin context-binding shims over util/kvform.h — the shared helpers carry
+// the whole-token and error-shape contract; these just pin the surface name.
+
+using kvform::append_double;
 
 [[noreturn]] void bad_value(const std::string& key, const std::string& value,
                             const char* expected) {
-  throw std::invalid_argument("ScenarioConfig: unknown value \"" + value +
-                              "\" for key \"" + key + "\" (expected " +
-                              expected + ")");
+  kvform::bad_value(kCtx, key, value, expected);
 }
 
-/// Whole-token non-negative integer; rejects partial parses like "4x".
 std::uint64_t parse_u64(const std::string& key, const std::string& value,
                         const char* expected) {
-  if (value.empty()) bad_value(key, value, expected);
-  std::uint64_t out = 0;
-  for (const char c : value) {
-    if (c < '0' || c > '9') bad_value(key, value, expected);
-    out = out * 10 + static_cast<std::uint64_t>(c - '0');
-  }
-  return out;
+  return kvform::parse_u64(kCtx, key, value, expected);
 }
 
-/// Whole-token double via from_chars (mirrors to_chars in append_double).
 double parse_f64(const std::string& key, const std::string& value,
                  const char* expected) {
-  double out = 0.0;
-  const char* first = value.data();
-  const char* last = value.data() + value.size();
-  const auto res = std::from_chars(first, last, out);
-  if (res.ec != std::errc{} || res.ptr != last) {
-    bad_value(key, value, expected);
-  }
-  return out;
+  return kvform::parse_f64(kCtx, key, value, expected);
 }
 
 }  // namespace
@@ -134,18 +114,8 @@ std::string ScenarioConfig::to_string() const {
 
 ScenarioConfig ScenarioConfig::parse(const std::string& text) {
   ScenarioConfig cfg;
-  std::istringstream in(text);
-  std::string token;
-  while (std::getline(in, token, ',')) {
-    if (token.empty()) continue;
-    const std::size_t eq = token.find('=');
-    if (eq == std::string::npos) {
-      throw std::invalid_argument("ScenarioConfig: malformed token \"" + token +
-                                  "\" (expected key=value with key in " +
-                                  std::string(kKeys) + ")");
-    }
-    const std::string key = token.substr(0, eq);
-    const std::string value = token.substr(eq + 1);
+  kvform::for_each_kv(kCtx, text, ',', kKeys, [&](const std::string& key,
+                                                  const std::string& value) {
     if (key == "family") {
       if (value != "uniform" && value != "diurnal" && value != "flash" &&
           value != "mixed") {
@@ -264,10 +234,10 @@ ScenarioConfig ScenarioConfig::parse(const std::string& text) {
         bad_value(key, value, "hom|het:<spec>");
       }
     } else {
-      throw std::invalid_argument("ScenarioConfig: unknown key \"" + key +
-                                  "\" (expected " + std::string(kKeys) + ")");
+      return false;  // for_each_kv raises the uniform unknown-key error
     }
-  }
+    return true;
+  });
   return cfg;
 }
 

@@ -25,6 +25,7 @@
 // reported.
 #pragma once
 
+#include <span>
 #include <string>
 #include <vector>
 
@@ -122,6 +123,18 @@ class OnlineDataService {
   /// carry cross-producer ties); the per-item SC instance still rejects
   /// equal times on the same item.
   bool request(int item, ServerId server, Time time);
+
+  /// Batched ingest: processes `batch` in order with semantics — and a
+  /// finish() report — bit-identical to calling request() per record.
+  /// What batching buys is lookahead: the span lets the service prefetch
+  /// the index bucket and per-item state of upcoming records while the
+  /// current one computes, hiding the cache misses a one-record-at-a-time
+  /// caller must eat cold (items interleave, so consecutive records
+  /// rarely share state). This is the serial sibling of
+  /// IngressSession::submit_span and the preferred way to feed a stream
+  /// that is already in memory. Returns the number of records served
+  /// locally (births and cache hits).
+  std::size_t request_span(std::span<const MultiItemRequest> batch);
 
   /// Close every item at its own last request time and build the report
   /// (per_item ascending by item id).

@@ -127,12 +127,9 @@ RequestSequence perturb_sequence(Rng& rng, const RequestSequence& seq,
                                  double time_jitter, double server_flip_prob);
 
 // ---- Multi-item streams (for the Table I paradigm comparison) ----
-
-struct MultiItemRequest {
-  int item = 0;
-  ServerId server = kNoServer;
-  Time time = 0.0;
-};
+// MultiItemRequest itself lives in model/request.h (included above): the
+// engine's span-ingest API takes it, and engine code may not include
+// workload headers.
 
 struct MultiItemConfig {
   int num_servers = 4;

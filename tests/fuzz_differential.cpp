@@ -35,6 +35,7 @@
 #include <atomic>
 #include <cmath>
 #include <cstdlib>
+#include <span>
 #include <string>
 #include <thread>
 #include <vector>
@@ -111,6 +112,22 @@ RequestSequence random_instance(Rng& rng, int m, int n, const CostModel& cm) {
     }
     default:
       return gen_uniform(rng, m, n, rng.uniform(0.2, 4.0));
+  }
+}
+
+// Feed a producer's records through submit_span in randomly sized chunks
+// (including the occasional empty span): span boundaries must be invisible
+// to the determinism contract, so fuzzing them IS the point.
+void submit_in_random_spans(Rng& rng, IngressSession& session,
+                            const std::vector<MultiItemRequest>& recs) {
+  std::size_t k = 0;
+  while (k < recs.size()) {
+    const std::size_t len =
+        rng.uniform_int(std::uint64_t{17});  // 0..17: empty spans too
+    const std::size_t take = std::min(len, recs.size() - k);
+    session.submit_span(
+        std::span<const MultiItemRequest>(recs.data() + k, take));
+    k += take;
   }
 }
 
@@ -272,14 +289,14 @@ TEST(FuzzDifferential, EngineBitIdenticalToSerial) {
                                 : BackpressurePolicy::kSpill;
     ecfg.deterministic = true;
     // Telemetry must be invisible to the determinism contract: randomly
-    // flip it (and the sampler) and demand the same bit-identity.
+    // flip it (and the sampler) and demand the same bit-identity. Same for
+    // the transport: spsc rings and the mutex queue must agree bit for bit.
     ecfg.telemetry = (it % 3 == 0);
     ecfg.sample_ms = (it % 6 == 0) ? std::size_t{1} : std::size_t{0};
+    ecfg.queue = (it % 5 < 3) ? QueueKind::kSpsc : QueueKind::kMutex;
     StreamingEngine engine(cfg.num_servers, cm, ecfg);
     IngressSession session = engine.open_producer();
-    for (const auto& r : stream) {
-      ASSERT_TRUE(session.submit(r.item, r.server, r.time));
-    }
+    submit_in_random_spans(rng, session, stream);
     session.close();
     const ServiceReport got = engine.finish();
 
@@ -384,9 +401,11 @@ TEST(FuzzDifferential, EngineMultiProducerBitIdenticalToSerial) {
     ecfg.deterministic = true;
     ecfg.producer_credits = (it % 3 == 0) ? std::size_t{4} : std::size_t{0};
     // Telemetry randomization: stamps and histograms must never leak
-    // into the cross-producer merge order.
+    // into the cross-producer merge order. Transport randomization: the
+    // lock-free lanes and the mutex queue must merge identically.
     ecfg.telemetry = (it % 2 == 1);
     ecfg.sample_ms = (it % 4 == 1) ? std::size_t{1} : std::size_t{0};
+    ecfg.queue = (it % 5 < 3) ? QueueKind::kSpsc : QueueKind::kMutex;
     StreamingEngine engine(cfg.num_servers, cm, ecfg);
 
     std::vector<IngressSession> sessions;
@@ -400,11 +419,12 @@ TEST(FuzzDifferential, EngineMultiProducerBitIdenticalToSerial) {
     threads.reserve(producers);
     for (std::size_t p = 0; p < producers; ++p) {
       threads.emplace_back([&, p] {
+        // Per-thread rng: span boundaries are randomized independently on
+        // every producer without sharing the seeding rng across threads.
+        Rng trng(seed ^ (0x9E3779B97F4A7C15ULL * (p + 1)));
         ready.fetch_add(1);
         while (!go.load()) std::this_thread::yield();
-        for (const auto& r : slices[p]) {
-          sessions[p].submit(r.item, r.server, r.time);
-        }
+        submit_in_random_spans(trng, sessions[p], slices[p]);
         sessions[p].close();
       });
     }
@@ -676,11 +696,10 @@ TEST(FuzzDifferential, HetHomEquivalentBitIdentical) {
     EngineConfig ecfg;
     ecfg.num_shards = 1 + static_cast<int>(rng.uniform_int(std::uint64_t{4}));
     ecfg.cost = "het:" + lift.to_string();
+    ecfg.queue = (it % 2 == 0) ? QueueKind::kSpsc : QueueKind::kMutex;
     StreamingEngine engine(cfg.num_servers, cm, ecfg);
     IngressSession session = engine.open_producer();
-    for (const auto& r : stream) {
-      ASSERT_TRUE(session.submit(r.item, r.server, r.time));
-    }
+    submit_in_random_spans(rng, session, stream);
     session.close();
     assert_reports_identical(want, engine.finish());
     if (::testing::Test::HasFatalFailure()) return;

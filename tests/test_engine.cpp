@@ -10,6 +10,7 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <span>
 #include <string>
 #include <thread>
 #include <utility>
@@ -17,6 +18,7 @@
 
 #include "engine/bounded_queue.h"
 #include "engine/ingress.h"
+#include "engine/spsc_ring.h"
 #include "engine/streaming_engine.h"
 #include "obs/observer.h"
 #include "obs/sinks.h"
@@ -44,19 +46,27 @@ ServiceReport run_serial(const std::vector<MultiItemRequest>& stream,
   return service.finish();
 }
 
-/// Feed the whole stream through one ingestion session — the session-API
-/// form of the old single-producer submit() loop.
+/// One-record span: the submit_span() form of the old submit() call.
+/// Returns records accepted (0 or 1).
+std::size_t submit_one(IngressSession& session, int item, ServerId server,
+                       Time time) {
+  const MultiItemRequest r{item, server, time};
+  return session.submit_span(std::span<const MultiItemRequest>(&r, 1));
+}
+
+/// Feed the whole stream through one ingestion session as a single span.
 void submit_all(StreamingEngine& engine,
                 const std::vector<MultiItemRequest>& stream) {
   IngressSession session = engine.open_producer();
-  for (const auto& r : stream) session.submit(r.item, r.server, r.time);
+  session.submit_span(std::span<const MultiItemRequest>(stream));
   session.close();
 }
 
 /// Round-robin the stream across `producers` barrier-started threads, each
-/// feeding its own session: real concurrent interleavings, one per run.
-/// Each thread's slice inherits the stream's increasing times, so the
-/// deterministic merge must reproduce the original global order exactly.
+/// feeding its own session in short spans: real concurrent interleavings,
+/// one per run. Each thread's slice inherits the stream's increasing
+/// times, so the deterministic merge must reproduce the original global
+/// order exactly.
 ServiceReport run_engine_producers(const std::vector<MultiItemRequest>& stream,
                                    int servers, const CostModel& cm,
                                    const EngineConfig& cfg,
@@ -67,6 +77,10 @@ ServiceReport run_engine_producers(const std::vector<MultiItemRequest>& stream,
   for (std::size_t p = 0; p < producers; ++p) {
     sessions.push_back(engine.open_producer());
   }
+  std::vector<std::vector<MultiItemRequest>> slices(producers);
+  for (std::size_t i = 0; i < stream.size(); ++i) {
+    slices[i % producers].push_back(stream[i]);
+  }
   std::atomic<std::size_t> ready{0};
   std::atomic<bool> go{false};
   std::vector<std::thread> threads;
@@ -75,9 +89,11 @@ ServiceReport run_engine_producers(const std::vector<MultiItemRequest>& stream,
     threads.emplace_back([&, p] {
       ready.fetch_add(1);
       while (!go.load()) std::this_thread::yield();
-      for (std::size_t i = p; i < stream.size(); i += producers) {
-        const auto& r = stream[i];
-        sessions[p].submit(r.item, r.server, r.time);
+      const auto& slice = slices[p];
+      constexpr std::size_t kSpan = 8;  // short spans keep threads interleaving
+      for (std::size_t k = 0; k < slice.size(); k += kSpan) {
+        sessions[p].submit_span(std::span<const MultiItemRequest>(
+            slice.data() + k, std::min(kSpan, slice.size() - k)));
       }
       sessions[p].close();
     });
@@ -206,6 +222,67 @@ TEST(BoundedQueue, ConcurrentProducersLoseNothing) {
   for (int i = 0; i < kProducers * kPerProducer; ++i) EXPECT_EQ(all[static_cast<std::size_t>(i)], i);
 }
 
+TEST(SpscRing, CapacityRoundsUpToPowerOfTwo) {
+  EXPECT_EQ(SpscRing<int>(1).capacity(), 2u);
+  EXPECT_EQ(SpscRing<int>(2).capacity(), 2u);
+  EXPECT_EQ(SpscRing<int>(3).capacity(), 4u);
+  EXPECT_EQ(SpscRing<int>(1000).capacity(), 1024u);
+}
+
+TEST(SpscRing, FifoAcrossWraparound) {
+  SpscRing<int> ring(4);
+  std::vector<int> out;
+  int next = 0;
+  // Push/drain in odd-sized steps so head and tail wrap repeatedly.
+  for (int round = 0; round < 50; ++round) {
+    for (int i = 0; i < 3; ++i) EXPECT_TRUE(ring.try_push(next++));
+    ring.consume_all([&](const int& v) { out.push_back(v); });
+  }
+  ASSERT_EQ(out.size(), 150u);
+  for (int i = 0; i < 150; ++i) EXPECT_EQ(out[static_cast<std::size_t>(i)], i);
+  EXPECT_TRUE(ring.empty());
+}
+
+TEST(SpscRing, PushSpanTakesPrefixWhenFull) {
+  SpscRing<int> ring(4);
+  const int a[6] = {0, 1, 2, 3, 4, 5};
+  EXPECT_EQ(ring.try_push_span(a, 6), 4u);  // capacity 4: prefix only
+  EXPECT_EQ(ring.free_slots(), 0u);
+  EXPECT_FALSE(ring.try_push(99));
+  std::vector<int> out;
+  EXPECT_EQ(ring.consume_all([&](const int& v) { out.push_back(v); }), 4u);
+  EXPECT_EQ(out, (std::vector<int>{0, 1, 2, 3}));
+  EXPECT_EQ(ring.try_push_span(a + 4, 2), 2u);  // room again after drain
+  EXPECT_EQ(ring.size_approx(), 2u);
+}
+
+TEST(SpscRing, SingleProducerSingleConsumerThreaded) {
+  SpscRing<int> ring(8);
+  constexpr int kCount = 20000;
+  std::vector<int> out;
+  out.reserve(kCount);
+  std::thread consumer([&] {
+    while (out.size() < static_cast<std::size_t>(kCount)) {
+      if (ring.consume_all([&](const int& v) { out.push_back(v); }) == 0) {
+        std::this_thread::yield();
+      }
+    }
+  });
+  int pushed = 0;
+  while (pushed < kCount) {
+    if (ring.try_push(pushed)) {
+      ++pushed;
+    } else {
+      std::this_thread::yield();
+    }
+  }
+  consumer.join();
+  ASSERT_EQ(out.size(), static_cast<std::size_t>(kCount));
+  for (int i = 0; i < kCount; ++i) {
+    ASSERT_EQ(out[static_cast<std::size_t>(i)], i);
+  }
+}
+
 TEST(Microbatcher, TracksBatchShape) {
   BoundedMpscQueue<int> q(16, BackpressurePolicy::kBlock);
   for (int i = 0; i < 10; ++i) q.push(i);
@@ -245,16 +322,20 @@ TEST(StreamingEngine, BitIdenticalToSerialAcrossShardCounts) {
   const CostModel cm(1.0, 1.0);
   const auto stream = make_stream(97, 5, 23, 1200);
   const auto serial = run_serial(stream, 5, cm);
-  for (int shards : {1, 2, 4, 7}) {
-    EngineConfig cfg;
-    cfg.num_shards = shards;
-    cfg.queue_capacity = 32;  // small: force backpressure blocking
-    cfg.max_batch = 8;
-    StreamingEngine engine(5, cm, cfg);
-    submit_all(engine, stream);
-    const auto rep = engine.finish();
-    SCOPED_TRACE("shards=" + std::to_string(shards));
-    expect_reports_identical(serial, rep);
+  for (const QueueKind qk : {QueueKind::kSpsc, QueueKind::kMutex}) {
+    for (int shards : {1, 2, 4, 7}) {
+      EngineConfig cfg;
+      cfg.num_shards = shards;
+      cfg.queue = qk;
+      cfg.queue_capacity = 32;  // small: force backpressure blocking
+      cfg.max_batch = 8;
+      StreamingEngine engine(5, cm, cfg);
+      submit_all(engine, stream);
+      const auto rep = engine.finish();
+      SCOPED_TRACE(std::string("queue=") + to_string(qk) +
+                   " shards=" + std::to_string(shards));
+      expect_reports_identical(serial, rep);
+    }
   }
 }
 
@@ -288,8 +369,10 @@ TEST(StreamingEngine, DropPolicyBoundsQueueAndCountsLosses) {
   StreamingEngine engine(4, cm, cfg);
   IngressSession session = engine.open_producer();
   std::uint64_t accepted = 0;
-  for (const auto& r : stream) {
-    if (session.submit(r.item, r.server, r.time)) ++accepted;
+  constexpr std::size_t kSpan = 16;  // span tails get dropped wholesale
+  for (std::size_t k = 0; k < stream.size(); k += kSpan) {
+    accepted += session.submit_span(std::span<const MultiItemRequest>(
+        stream.data() + k, std::min(kSpan, stream.size() - k)));
   }
   session.close();
   const auto rep = engine.finish();
@@ -333,9 +416,10 @@ TEST(StreamingEngine, EmptyAndSingleItemStreams) {
     cfg.num_shards = 4;  // more shards than items
     StreamingEngine engine(3, cm, cfg);
     IngressSession session = engine.open_producer();
-    session.submit(42, 1, 1.0);
-    session.submit(42, 2, 1.5);
-    session.submit(42, 1, 9.0);
+    const std::vector<MultiItemRequest> recs = {
+        {42, 1, 1.0}, {42, 2, 1.5}, {42, 1, 9.0}};
+    EXPECT_EQ(session.submit_span(std::span<const MultiItemRequest>(recs)),
+              recs.size());
     session.close();
     const auto rep = engine.finish();
     EXPECT_EQ(rep.items, 1u);
@@ -363,13 +447,13 @@ TEST(StreamingEngine, Errors) {
   }
   StreamingEngine engine(2, cm, {});
   IngressSession session = engine.open_producer();
-  session.submit(0, 0, 1.0);
-  EXPECT_THROW(session.submit(0, 0, 1.0), std::invalid_argument);  // time
-  EXPECT_THROW(session.submit(0, 5, 2.0), std::invalid_argument);  // server
+  submit_one(session, 0, 0, 1.0);
+  EXPECT_THROW(submit_one(session, 0, 0, 1.0), std::invalid_argument);  // time
+  EXPECT_THROW(submit_one(session, 0, 5, 2.0), std::invalid_argument);  // server
   // The merge needs the full producer set up front: no opens after ingest.
   EXPECT_THROW(engine.open_producer(), std::logic_error);
   engine.finish();
-  EXPECT_THROW(session.submit(0, 0, 3.0), std::logic_error);  // force-closed
+  EXPECT_THROW(submit_one(session, 0, 0, 3.0), std::logic_error);  // force-closed
   EXPECT_THROW(engine.finish(), std::logic_error);
   EXPECT_THROW(engine.open_producer(), std::logic_error);  // finished
 }
@@ -379,7 +463,7 @@ TEST(StreamingEngine, AbandonedEngineJoinsCleanly) {
   const auto stream = make_stream(17, 3, 6, 300);
   StreamingEngine engine(3, cm, {});
   IngressSession session = engine.open_producer();
-  for (const auto& r : stream) session.submit(r.item, r.server, r.time);
+  session.submit_span(std::span<const MultiItemRequest>(stream));
   // No finish(), no close(): the engine destructor must mark the session
   // closed, close the queues, and join the workers.
 }
@@ -467,13 +551,12 @@ TEST(IngressSession, SingleSessionMatchesSerialAndLifecycleErrors) {
   cfg.num_shards = 2;
   StreamingEngine engine(3, cm, cfg);
   auto session = engine.open_producer();
-  for (const auto& r : stream) {
-    EXPECT_TRUE(session.submit(r.item, r.server, r.time));
-  }
+  EXPECT_EQ(session.submit_span(std::span<const MultiItemRequest>(stream)),
+            stream.size());
   EXPECT_EQ(engine.num_producers(), 1u);
   EXPECT_THROW(engine.open_producer(), std::logic_error);  // ingest started
   const auto rep = engine.finish();
-  EXPECT_THROW(session.submit(0, 0, 999.0), std::logic_error);  // closed
+  EXPECT_THROW(submit_one(session, 0, 0, 999.0), std::logic_error);  // closed
   expect_reports_identical(serial, rep);
 }
 
@@ -481,20 +564,24 @@ TEST(IngressSession, MultiProducerBitIdenticalAcrossInterleavings) {
   const CostModel cm(1.0, 1.3);
   const auto stream = make_stream(41, 5, 19, 900);
   const auto serial = run_serial(stream, 5, cm);
-  for (const std::size_t producers : {std::size_t{2}, std::size_t{8}}) {
-    for (const int shards : {1, 3}) {
-      // Several repetitions: every run is a fresh thread interleaving, and
-      // every one must merge back to the bit-identical serial report.
-      for (int rep = 0; rep < 3; ++rep) {
-        EngineConfig cfg;
-        cfg.num_shards = shards;
-        cfg.queue_capacity = 16;  // small: force blocking + merge stalls
-        cfg.max_batch = 8;
-        SCOPED_TRACE("producers=" + std::to_string(producers) +
-                     " shards=" + std::to_string(shards) +
-                     " rep=" + std::to_string(rep));
-        expect_reports_identical(
-            serial, run_engine_producers(stream, 5, cm, cfg, producers));
+  for (const QueueKind qk : {QueueKind::kSpsc, QueueKind::kMutex}) {
+    for (const std::size_t producers : {std::size_t{2}, std::size_t{8}}) {
+      for (const int shards : {1, 3}) {
+        // Several repetitions: every run is a fresh thread interleaving,
+        // and every one must merge back to the bit-identical serial report.
+        for (int rep = 0; rep < 3; ++rep) {
+          EngineConfig cfg;
+          cfg.num_shards = shards;
+          cfg.queue = qk;
+          cfg.queue_capacity = 16;  // small: force blocking + merge stalls
+          cfg.max_batch = 8;
+          SCOPED_TRACE(std::string("queue=") + to_string(qk) +
+                       " producers=" + std::to_string(producers) +
+                       " shards=" + std::to_string(shards) +
+                       " rep=" + std::to_string(rep));
+          expect_reports_identical(
+              serial, run_engine_producers(stream, 5, cm, cfg, producers));
+        }
       }
     }
   }
@@ -520,9 +607,9 @@ TEST(IngressSession, EqualTimeTiesBreakByProducerThenSeq) {
   IngressSession s1 = engine.open_producer();
   // Producer 1 submits its whole stream before producer 0 even starts; the
   // merge must still put each equal-time pair in producer-id order.
-  for (int k = 0; k < kPairs; ++k) s1.submit(1, (k + 1) % 3, 1.0 + k);
+  for (int k = 0; k < kPairs; ++k) submit_one(s1, 1, (k + 1) % 3, 1.0 + k);
   s1.close();
-  for (int k = 0; k < kPairs; ++k) s0.submit(0, k % 3, 1.0 + k);
+  for (int k = 0; k < kPairs; ++k) submit_one(s0, 0, k % 3, 1.0 + k);
   s0.close();
   const auto rep = engine.finish();
   expect_reports_identical(serial_rep, rep);
@@ -544,16 +631,16 @@ TEST(IngressSession, CloseSemanticsAndProducerAccounting) {
   EXPECT_EQ(engine.num_producers(), 2u);
   EXPECT_FALSE(a.closed());
   for (int k = 1; k <= 200; ++k) {
-    a.submit(k % 11, k % 3, static_cast<Time>(k));
+    submit_one(a, k % 11, k % 3, static_cast<Time>(k));
   }
   a.close();
   EXPECT_TRUE(a.closed());
   a.close();  // idempotent
-  EXPECT_THROW(a.submit(3, 0, 1000.0), std::logic_error);
+  EXPECT_THROW(submit_one(a, 3, 0, 1000.0), std::logic_error);
   // b's times overlap a's already-submitted range: sessions only promise
   // per-producer monotonicity, the merge provides the global order.
   for (int k = 1; k <= 100; ++k) {
-    b.submit(100 + (k % 5), k % 3, static_cast<Time>(k));
+    submit_one(b, 100 + (k % 5), k % 3, static_cast<Time>(k));
   }
   b.close();
   const auto rep = engine.finish();
@@ -593,10 +680,170 @@ TEST(IngressSession, MovedFromSessionIsInvalid) {
   IngressSession b = std::move(a);
   EXPECT_FALSE(a.valid());  // NOLINT(bugprone-use-after-move): probing it
   EXPECT_TRUE(b.valid());
-  EXPECT_THROW(a.submit(0, 0, 1.0), std::logic_error);
-  b.submit(0, 0, 1.0);
+  EXPECT_THROW(submit_one(a, 0, 0, 1.0), std::logic_error);
+  submit_one(b, 0, 0, 1.0);
   b.close();
   engine.finish();
+}
+
+TEST(IngressSession, DeprecatedSubmitForwardsToSpanPath) {
+  // The one-record shim must share submit_span's whole pipeline: same
+  // validation, same accounting, same report.
+  const CostModel cm(1.0, 1.0);
+  const auto stream = make_stream(31, 3, 5, 200);
+  const auto serial = run_serial(stream, 3, cm);
+  StreamingEngine engine(3, cm, {});
+  IngressSession session = engine.open_producer();
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+  for (const auto& r : stream) {
+    EXPECT_TRUE(session.submit(r.item, r.server, r.time));
+  }
+  EXPECT_THROW(session.submit(0, 99, 1e9), std::invalid_argument);  // server
+#pragma GCC diagnostic pop
+  session.close();
+  expect_reports_identical(serial, engine.finish());
+}
+
+TEST(SubmitSpan, EmptySpanIsANoOpAndDoesNotStartIngest) {
+  const CostModel cm(1.0, 1.0);
+  StreamingEngine engine(3, cm, {});
+  IngressSession a = engine.open_producer();
+  EXPECT_EQ(a.submit_span({}), 0u);
+  // An empty span must not count as "ingest started": the producer set is
+  // still open.
+  IngressSession b = engine.open_producer();
+  EXPECT_EQ(engine.num_producers(), 2u);
+  submit_one(a, 0, 0, 1.0);
+  EXPECT_EQ(a.submit_span({}), 0u);  // and stays a no-op mid-stream
+  a.close();
+  EXPECT_THROW(a.submit_span({}), std::logic_error);  // but closed is closed
+  b.close();
+  const auto rep = engine.finish();
+  EXPECT_EQ(rep.items, 1u);
+  EXPECT_EQ(engine.stats().submitted, 1u);
+}
+
+TEST(SubmitSpan, RejectionIsAtomicAcrossTheWholeSpan) {
+  const CostModel cm(1.0, 1.0);
+  for (const QueueKind qk : {QueueKind::kSpsc, QueueKind::kMutex}) {
+    SCOPED_TRACE(std::string("queue=") + to_string(qk));
+    EngineConfig cfg;
+    cfg.queue = qk;
+    cfg.num_shards = 2;
+    StreamingEngine engine(3, cm, cfg);
+    IngressSession session = engine.open_producer();
+    submit_one(session, 7, 0, 1.0);
+    // Bad record in the MIDDLE of a span: the valid prefix must not leak.
+    const std::vector<MultiItemRequest> bad_server = {
+        {1, 0, 2.0}, {2, 9, 3.0}, {3, 1, 4.0}};
+    EXPECT_THROW(
+        session.submit_span(std::span<const MultiItemRequest>(bad_server)),
+        std::invalid_argument);
+    const std::vector<MultiItemRequest> bad_time = {
+        {4, 0, 5.0}, {5, 1, 5.0}, {6, 1, 6.0}};  // not strictly increasing
+    EXPECT_THROW(
+        session.submit_span(std::span<const MultiItemRequest>(bad_time)),
+        std::invalid_argument);
+    // A span that dips below the session's own last time is rejected too.
+    const std::vector<MultiItemRequest> stale = {{8, 0, 0.5}};
+    EXPECT_THROW(session.submit_span(std::span<const MultiItemRequest>(stale)),
+                 std::invalid_argument);
+    // The session is still usable and its clock unchanged: time 2.0 (valid
+    // only if the rejected spans left last_time at 1.0) goes through.
+    EXPECT_EQ(submit_one(session, 9, 1, 2.0), 1u);
+    session.close();
+    const auto rep = engine.finish();
+    // Exactly the two good records arrived: item 7 and item 9 births.
+    EXPECT_EQ(rep.items, 2u);
+    EXPECT_EQ(engine.stats().submitted, 2u);
+    EXPECT_EQ(engine.stats().dropped, 0u);
+  }
+}
+
+TEST(SubmitSpan, SpanLargerThanTheRingIsLosslessUnderBlock) {
+  // One span many times the per-lane ring capacity: the producer must spin
+  // the remainder in while the worker drains — nothing lost, order kept.
+  const CostModel cm(1.0, 1.3);
+  const auto stream = make_stream(83, 4, 11, 3000);
+  const auto serial = run_serial(stream, 4, cm);
+  for (const QueueKind qk : {QueueKind::kSpsc, QueueKind::kMutex}) {
+    EngineConfig cfg;
+    cfg.queue = qk;
+    cfg.num_shards = 2;
+    cfg.queue_capacity = 8;  // span of 3000 >> ring of 8
+    cfg.policy = BackpressurePolicy::kBlock;
+    StreamingEngine engine(4, cm, cfg);
+    IngressSession session = engine.open_producer();
+    EXPECT_EQ(session.submit_span(std::span<const MultiItemRequest>(stream)),
+              stream.size());
+    session.close();
+    SCOPED_TRACE(std::string("queue=") + to_string(qk));
+    expect_reports_identical(serial, engine.finish());
+  }
+}
+
+TEST(SubmitSpan, SpanBoundariesAreInvisibleToTheReport) {
+  // The same stream cut into spans of every rhythm — per-record, prime
+  // strides, one giant span — must produce the bit-identical report.
+  const CostModel cm(0.9, 1.7);
+  const auto stream = make_stream(89, 4, 13, 900);
+  const auto serial = run_serial(stream, 4, cm);
+  const std::size_t cuts[] = {1, 7, 64, stream.size()};
+  for (const std::size_t cut : cuts) {
+    EngineConfig cfg;
+    cfg.num_shards = 3;
+    StreamingEngine engine(4, cm, cfg);
+    IngressSession session = engine.open_producer();
+    for (std::size_t k = 0; k < stream.size(); k += cut) {
+      session.submit_span(std::span<const MultiItemRequest>(
+          stream.data() + k, std::min(cut, stream.size() - k)));
+    }
+    session.close();
+    SCOPED_TRACE("span=" + std::to_string(cut));
+    expect_reports_identical(serial, engine.finish());
+  }
+}
+
+TEST(QueueStats, RingLaneSemanticsMatchTheDocumentedContract) {
+  // docs/ENGINE.md "Queue statistics under ring lanes": stats() is one
+  // post-quiesce snapshot assembled from single-writer lane counters —
+  // enqueued counts ring (not spill) entries, spilled counts side-car
+  // parks, control = 2 per lane (the mutex path's open+close pair), and
+  // depth is zero after a full drain.
+  const CostModel cm(1.0, 1.0);
+  const auto stream = make_stream(43, 4, 9, 2000);
+  EngineConfig cfg;
+  cfg.num_shards = 2;
+  cfg.queue_capacity = 4;  // tiny rings: force the spill side-car
+  cfg.policy = BackpressurePolicy::kSpill;
+  StreamingEngine engine(4, cm, cfg);
+  IngressSession session = engine.open_producer();
+  session.submit_span(std::span<const MultiItemRequest>(stream));
+  session.close();
+  const auto rep = engine.finish();
+  EXPECT_EQ(rep.requests + rep.items, stream.size());
+  const auto& st = engine.stats();
+  std::uint64_t enq = 0, spill = 0, control = 0;
+  std::size_t depth = 0;
+  for (const auto& s : st.shards) {
+    enq += s.queue.enqueued;
+    spill += s.queue.spilled;
+    control += s.queue.control;
+    depth += s.queue.depth;
+    EXPECT_GE(s.queue.max_depth, 1u);
+  }
+  // enqueued counts every accepted record (kSpill never drops); spilled is
+  // the subset that went through the side-car — the same convention the
+  // mutex queue's stats() uses.
+  EXPECT_EQ(enq, stream.size());
+  EXPECT_GT(spill, 0u) << "spill path never exercised — shrink the ring";
+  EXPECT_LT(spill, enq);
+  EXPECT_EQ(control, 2u * st.shards.size());  // one lane per shard
+  EXPECT_EQ(depth, 0u);
+  EXPECT_EQ(st.spilled, spill);
+  EXPECT_EQ(st.submitted, stream.size());
+  EXPECT_EQ(st.dropped, 0u);
 }
 
 TEST(EngineConfig, ToStringParseRoundTrip) {
@@ -609,6 +856,7 @@ TEST(EngineConfig, ToStringParseRoundTrip) {
   for (int iter = 0; iter < 200; ++iter) {
     EngineConfig cfg;
     cfg.num_shards = static_cast<int>(rng.uniform_int(0, 64));
+    cfg.queue = rng.bernoulli(0.5) ? QueueKind::kSpsc : QueueKind::kMutex;
     cfg.queue_capacity = static_cast<std::size_t>(rng.uniform_int(1, 1 << 16));
     cfg.max_batch = static_cast<std::size_t>(rng.uniform_int(1, 512));
     cfg.policy = policies[rng.uniform_int(3)];
@@ -624,6 +872,7 @@ TEST(EngineConfig, ToStringParseRoundTrip) {
     const std::string text = cfg.to_string();
     const EngineConfig back = EngineConfig::parse(text);
     EXPECT_EQ(back.num_shards, cfg.num_shards) << text;
+    EXPECT_EQ(back.queue, cfg.queue) << text;
     EXPECT_EQ(back.queue_capacity, cfg.queue_capacity) << text;
     EXPECT_EQ(back.max_batch, cfg.max_batch) << text;
     EXPECT_EQ(back.policy, cfg.policy) << text;
@@ -658,12 +907,15 @@ void expect_parse_error(const std::string& text, const std::string& needle_a,
 TEST(EngineConfig, ParseErrorsNameKeyTokenAndChoices) {
   // Unknown key: names the key and lists the valid ones.
   expect_parse_error("shards=4,polices=block", "polices",
-                     "shards|queue|batch|policy|deterministic|credits");
+                     "shards|queue|cap|batch|policy|deterministic|credits");
   // Bad enum value: names both the value and its key, plus the choices.
   expect_parse_error("policy=blok", "blok", "block|drop|spill");
   expect_parse_error("policy=blok", "policy", "block|drop|spill");
+  // queue selects the transport now; the old capacity spelling is a clear
+  // error, not a silent reinterpretation.
+  expect_parse_error("queue=7", "7", "mutex|spsc");
   // Bad number: whole-token parse, so trailing garbage is an error.
-  expect_parse_error("queue=12x", "12x", "queue");
+  expect_parse_error("cap=12x", "12x", "cap");
   expect_parse_error("batch=", "batch", "expected");
   // Bad bool.
   expect_parse_error("deterministic=yes", "yes", "true|false");
@@ -677,19 +929,21 @@ TEST(EngineConfig, ParseErrorsNameKeyTokenAndChoices) {
   expect_parse_error("cost=het:mu=1|1;lam=0|1|1", "cost", "m*m=4");
   // Malformed token (no '='): echoed back with the key list.
   expect_parse_error("shards", "shards",
-                     "shards|queue|batch|policy|deterministic|credits");
+                     "shards|queue|cap|batch|policy|deterministic|credits");
   expect_parse_error("shards", "shards", "cost");
 
   // Omitted keys keep their defaults; order does not matter.
   const EngineConfig defaults;
-  const EngineConfig partial = EngineConfig::parse("queue=7");
+  const EngineConfig partial = EngineConfig::parse("cap=7");
   EXPECT_EQ(partial.queue_capacity, 7u);
+  EXPECT_EQ(partial.queue, defaults.queue);
   EXPECT_EQ(partial.num_shards, defaults.num_shards);
   EXPECT_EQ(partial.max_batch, defaults.max_batch);
   const EngineConfig reordered =
-      EngineConfig::parse("credits=2,shards=3,policy=spill");
+      EngineConfig::parse("credits=2,shards=3,queue=mutex,policy=spill");
   EXPECT_EQ(reordered.producer_credits, 2u);
   EXPECT_EQ(reordered.num_shards, 3);
+  EXPECT_EQ(reordered.queue, QueueKind::kMutex);
   EXPECT_EQ(reordered.policy, BackpressurePolicy::kSpill);
 }
 
@@ -904,9 +1158,7 @@ TEST(EngineTelemetry, SamplerRecordsSeriesAndChromeTraceExports) {
   StreamingEngine engine(3, cm, cfg);
   {
     IngressSession session = engine.open_producer();
-    for (const auto& r : stream) {
-      session.submit(r.item, r.server, r.time);
-    }
+    session.submit_span(std::span<const MultiItemRequest>(stream));
     // Keep the engine alive past a few sampler periods before closing.
     std::this_thread::sleep_for(std::chrono::milliseconds(10));
     session.close();

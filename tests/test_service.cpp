@@ -1,6 +1,9 @@
 // Tests for the multi-item data service layer.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <span>
+
 #include "core/offline_dp.h"
 #include "core/online_sc.h"
 #include "service/data_service.h"
@@ -162,6 +165,61 @@ TEST(OnlineService, Errors) {
   service.finish();
   EXPECT_THROW(service.request(0, 0, 3.0), std::logic_error);
   EXPECT_THROW(service.finish(), std::logic_error);
+}
+
+TEST(OnlineService, RequestSpanBitIdenticalToPerRecordLoop) {
+  // The batched API documents "report bit-identical to request() per
+  // record" — pin it, including across chunked submission (state carries
+  // over between spans) and the prefetch pipeline's birth handling.
+  Rng rng(37);
+  const CostModel cm(1.0, 0.7);
+  MultiItemConfig cfg;
+  cfg.num_servers = 5;
+  cfg.num_items = 12;
+  cfg.num_requests = 600;
+  const auto stream = gen_multi_item(rng, cfg);
+
+  OnlineDataService by_record(cfg.num_servers, cm);
+  std::size_t local_by_record = 0;
+  for (const auto& r : stream) {
+    if (by_record.request(r.item, r.server, r.time)) ++local_by_record;
+  }
+  const auto rep_record = by_record.finish();
+
+  OnlineDataService whole(cfg.num_servers, cm);
+  const std::size_t local_whole =
+      whole.request_span(std::span<const MultiItemRequest>(stream));
+  const auto rep_whole = whole.finish();
+
+  OnlineDataService chunked(cfg.num_servers, cm);
+  std::size_t local_chunked = 0;
+  for (std::size_t k = 0; k < stream.size(); k += 7) {
+    const std::size_t take = std::min<std::size_t>(7, stream.size() - k);
+    local_chunked += chunked.request_span(
+        std::span<const MultiItemRequest>(stream.data() + k, take));
+  }
+  const auto rep_chunked = chunked.finish();
+
+  // Empty spans are legal no-ops.
+  OnlineDataService empty_ok(cfg.num_servers, cm);
+  EXPECT_EQ(empty_ok.request_span({}), 0u);
+
+  EXPECT_EQ(local_whole, local_by_record);
+  EXPECT_EQ(local_chunked, local_by_record);
+  for (const auto* rep : {&rep_whole, &rep_chunked}) {
+    EXPECT_EQ(rep->total_cost, rep_record.total_cost);  // exact, not NEAR
+    EXPECT_EQ(rep->caching_cost, rep_record.caching_cost);
+    EXPECT_EQ(rep->transfer_cost, rep_record.transfer_cost);
+    EXPECT_EQ(rep->requests, rep_record.requests);
+    ASSERT_EQ(rep->per_item.size(), rep_record.per_item.size());
+    for (std::size_t i = 0; i < rep->per_item.size(); ++i) {
+      EXPECT_EQ(rep->per_item[i].item, rep_record.per_item[i].item);
+      EXPECT_EQ(rep->per_item[i].cost, rep_record.per_item[i].cost);
+      EXPECT_EQ(rep->per_item[i].hits, rep_record.per_item[i].hits);
+      EXPECT_EQ(rep->per_item[i].transfers,
+                rep_record.per_item[i].transfers);
+    }
+  }
 }
 
 TEST(OnlineService, ManyItemsLiveIndependently) {

@@ -26,7 +26,9 @@ TEST(Umbrella, EndToEndThroughSingleInclude) {
   // The concurrent layer is reachable through the same include.
   StreamingEngine engine(4, cm, EngineConfig{});
   ProducerHandle producer = engine.open_producer();
-  EXPECT_TRUE(producer.submit(0, 1, 0.5));
+  const MultiItemRequest one{0, 1, 0.5};
+  EXPECT_EQ(producer.submit_span(std::span<const MultiItemRequest>(&one, 1)),
+            1u);
   producer.close();
   EXPECT_EQ(engine.finish().items, 1);
 

@@ -1,11 +1,17 @@
-// Unit tests for the util substrate: rng, stats, csv, table, cli.
+// Unit tests for the util substrate: rng, stats, csv, table, cli, kvform.
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
+#include <functional>
+#include <limits>
 #include <sstream>
+#include <string>
+#include <vector>
 
 #include "util/cli.h"
 #include "util/csv.h"
+#include "util/kvform.h"
 #include "util/rng.h"
 #include "util/stats.h"
 #include "util/table.h"
@@ -237,6 +243,122 @@ TEST(Cli, Errors) {
   const char* ok[] = {"prog", "--n=xyz"};
   p.parse(2, ok);
   EXPECT_THROW(p.get_int("n"), std::invalid_argument);
+}
+
+void expect_kv_error(const std::function<void()>& f,
+                     const std::string& needle_a,
+                     const std::string& needle_b) {
+  try {
+    f();
+    FAIL() << "no exception";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find(needle_a), std::string::npos) << what;
+    EXPECT_NE(what.find(needle_b), std::string::npos) << what;
+  }
+}
+
+TEST(Kvform, U64RoundTripsAndRejectsPartialParses) {
+  Rng rng(404);
+  for (int it = 0; it < 200; ++it) {
+    const std::uint64_t v = rng.uniform_int(~std::uint64_t{0});
+    EXPECT_EQ(kvform::parse_u64("Ctx", "k", std::to_string(v), "a count"), v);
+  }
+  for (const char* bad : {"", "4x", "x4", "-1", "1.5", " 7", "7 "}) {
+    expect_kv_error(
+        [&] { kvform::parse_u64("Ctx", "k", bad, "a count"); }, bad, "a count");
+  }
+}
+
+TEST(Kvform, F64ShortestFormRoundTripsBitForBit) {
+  Rng rng(405);
+  std::vector<double> values = {0.0, 1.0, -1.0, 0.1, 1e-300, 1e300,
+                                std::numeric_limits<double>::min(),
+                                std::numeric_limits<double>::max(),
+                                std::numeric_limits<double>::epsilon()};
+  for (int it = 0; it < 500; ++it) {
+    // Mix magnitudes: uniform mantissas across a wide exponent sweep.
+    const double mag = std::pow(10.0, rng.uniform(-30.0, 30.0));
+    values.push_back(rng.uniform(-1.0, 1.0) * mag);
+  }
+  for (const double v : values) {
+    const std::string text = kvform::fmt_double(v);
+    const double back = kvform::parse_f64("Ctx", "k", text, "a number");
+    // Bit-exact round-trip is the contract every config surface leans on
+    // (parse(to_string()) == identity for ScenarioConfig and the cost spec).
+    EXPECT_EQ(back, v) << text;
+  }
+  for (const char* bad : {"", "1.5x", "nanx", "--3", "1e", "0x10"}) {
+    expect_kv_error(
+        [&] { kvform::parse_f64("Ctx", "k", bad, "a number"); }, bad,
+        "a number");
+  }
+}
+
+TEST(Kvform, BoolAndOnOffAreStrict) {
+  EXPECT_TRUE(kvform::parse_bool("Ctx", "k", "true"));
+  EXPECT_FALSE(kvform::parse_bool("Ctx", "k", "false"));
+  EXPECT_TRUE(kvform::parse_on_off("Ctx", "k", "on"));
+  EXPECT_FALSE(kvform::parse_on_off("Ctx", "k", "off"));
+  expect_kv_error([] { kvform::parse_bool("Ctx", "k", "1"); }, "1",
+                  "true|false");
+  expect_kv_error([] { kvform::parse_on_off("Ctx", "k", "True"); }, "True",
+                  "on|off");
+}
+
+TEST(Kvform, SplitKeepsEmptyFields) {
+  using V = std::vector<std::string>;
+  EXPECT_EQ(kvform::split("a|b|c", '|'), (V{"a", "b", "c"}));
+  EXPECT_EQ(kvform::split("a||b", '|'), (V{"a", "", "b"}));
+  EXPECT_EQ(kvform::split("", '|'), (V{""}));
+  EXPECT_EQ(kvform::split("|", '|'), (V{"", ""}));
+}
+
+TEST(Kvform, ForEachKvVisitsTokensAndSkipsEmpties) {
+  std::vector<std::pair<std::string, std::string>> seen;
+  kvform::for_each_kv("Ctx", ",a=1,,b=,c=x=y,", ',', "a|b|c",
+                      [&](const std::string& k, const std::string& v) {
+                        seen.push_back({k, v});
+                        return true;
+                      });
+  ASSERT_EQ(seen.size(), 3u);
+  EXPECT_EQ(seen[0], (std::pair<std::string, std::string>{"a", "1"}));
+  EXPECT_EQ(seen[1], (std::pair<std::string, std::string>{"b", ""}));
+  // Only the FIRST '=' splits: values may carry '=' (nested specs).
+  EXPECT_EQ(seen[2], (std::pair<std::string, std::string>{"c", "x=y"}));
+}
+
+TEST(Kvform, ErrorShapesNameContextTokenAndChoices) {
+  // The three uniform shapes every config surface shares. Exact strings:
+  // EngineConfig/ScenarioConfig tests grep for needles, this pins the form.
+  try {
+    kvform::bad_value("Ctx", "k", "blok", "block|drop|spill");
+    FAIL();
+  } catch (const std::invalid_argument& e) {
+    EXPECT_STREQ(e.what(),
+                 "Ctx: unknown value \"blok\" for key \"k\" "
+                 "(expected block|drop|spill)");
+  }
+  try {
+    kvform::for_each_kv("Ctx", "bare", ',', "a|b",
+                        [](const std::string&, const std::string&) {
+                          return true;
+                        });
+    FAIL();
+  } catch (const std::invalid_argument& e) {
+    EXPECT_STREQ(e.what(),
+                 "Ctx: malformed token \"bare\" "
+                 "(expected key=value with key in a|b)");
+  }
+  try {
+    kvform::for_each_kv("Ctx", "z=1", ',', "a|b",
+                        [](const std::string&, const std::string&) {
+                          return false;
+                        });
+    FAIL();
+  } catch (const std::invalid_argument& e) {
+    EXPECT_STREQ(e.what(), "Ctx: unknown key \"z\" (expected a|b)");
+  }
 }
 
 }  // namespace

@@ -130,8 +130,12 @@ def main():
           f"real tree must lint clean, got exit {proc.returncode}:\n"
           f"{proc.stdout}{proc.stderr}")
     roots = report["annotation_roots"]
-    for tag, floor in (("no_alloc", 3), ("lock_free", 3),
-                       ("deterministic", 6), ("hot_path", 8),
+    # lock_free = 7 pins the SPSC ring trio (try_push / try_push_span /
+    # consume_all) plus credit_throttle alongside the three obs rings:
+    # deleting a ring annotation fails this gate, per the ingest-fast-path
+    # contract. no_alloc/hot_path floors track the same hot entry points.
+    for tag, floor in (("no_alloc", 9), ("lock_free", 7),
+                       ("deterministic", 6), ("hot_path", 9),
                        ("alloc_ok", 2)):
         check(len(roots.get(tag, [])) >= floor,
               f"expected >= {floor} {tag} annotations in the tree, found "
